@@ -1,0 +1,98 @@
+//! Per-experiment benchmarks: the analysis cost behind every figure of
+//! the paper, measured over a shared precomputed study.
+//!
+//! The expensive part of each figure — the study itself — is measured in
+//! `pipeline.rs`; these benchmarks isolate what each table/figure adds
+//! on top (coverage scans, curve construction, uniqueness accounting,
+//! kiviat-axis statistics, SVG rendering).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+use phaselab_core::{coverage, diversity, uniqueness, StudyConfig, StudyResult};
+use phaselab_viz::{BarChart, KiviatAxisSpec, KiviatPlot, LineChart, PieChart};
+use phaselab_workloads::Suite;
+
+fn shared_study() -> &'static StudyResult {
+    static STUDY: OnceLock<StudyResult> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let mut cfg = StudyConfig::smoke();
+        cfg.samples_per_benchmark = 16;
+        cfg.k = 32;
+        cfg.n_prominent = 16;
+        cfg.suites = Some(vec![Suite::BioPerf, Suite::Bmw, Suite::MediaBench2]);
+        phaselab_core::run_study(&cfg)
+    })
+}
+
+fn benches(c: &mut Criterion) {
+    let r = shared_study();
+    let mut group = c.benchmark_group("experiments");
+
+    group.bench_function("fig4_coverage", |b| b.iter(|| black_box(coverage(r))));
+    group.bench_function("fig5_diversity", |b| b.iter(|| black_box(diversity(r))));
+    group.bench_function("fig6_uniqueness", |b| b.iter(|| black_box(uniqueness(r))));
+    group.bench_function("fig23_kiviat_axes", |b| {
+        b.iter(|| {
+            for p in &r.prominent {
+                black_box(r.kiviat_axes(p));
+            }
+        })
+    });
+    group.bench_function("fig23_kiviat_svg_render", |b| {
+        let axes: Vec<KiviatAxisSpec> = r
+            .kiviat_axes(&r.prominent[0])
+            .into_iter()
+            .map(|a| KiviatAxisSpec::new(a.name.to_string(), a.normalized_value(), a.normalized_rings()))
+            .collect();
+        b.iter(|| {
+            let plot = KiviatPlot::new("phase").with_axes(axes.clone());
+            black_box(plot.to_svg(320.0))
+        })
+    });
+    group.bench_function("fig4_bar_svg_render", |b| {
+        let bars: Vec<(String, f64)> = coverage(r)
+            .iter()
+            .map(|c| (c.suite.short_name().to_string(), c.clusters_touched as f64))
+            .collect();
+        b.iter(|| {
+            let chart = BarChart::new("fig4", "clusters", bars.clone());
+            black_box(chart.to_svg(560.0, 320.0))
+        })
+    });
+    group.bench_function("fig5_line_svg_render", |b| {
+        let series: Vec<(String, Vec<(f64, f64)>)> = diversity(r)
+            .iter()
+            .map(|c| {
+                (
+                    c.suite.short_name().to_string(),
+                    c.cumulative
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &y)| ((i + 1) as f64, y))
+                        .collect(),
+                )
+            })
+            .collect();
+        b.iter(|| {
+            let chart = LineChart::new("fig5", "clusters", "coverage", series.clone());
+            black_box(chart.to_svg(620.0, 360.0))
+        })
+    });
+    group.bench_function("fig23_pie_svg_render", |b| {
+        let slices: Vec<(String, f64)> = r.prominent[0]
+            .composition
+            .iter()
+            .map(|s| (r.benchmarks[s.bench].name.clone(), s.cluster_share))
+            .collect();
+        b.iter(|| {
+            let pie = PieChart::new("phase", slices.clone());
+            black_box(pie.to_svg(200.0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(experiments, benches);
+criterion_main!(experiments);

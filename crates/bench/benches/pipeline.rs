@@ -1,0 +1,52 @@
+//! End-to-end pipeline stages: benchmark characterization, GA fitness
+//! evaluation, and a reduced complete study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use phaselab_core::{characterize_program, run_study, StudyConfig};
+use phaselab_ga::DistanceCorrelationFitness;
+use phaselab_stats::Matrix;
+use phaselab_workloads::{catalog, Scale, Suite};
+
+fn benches(c: &mut Criterion) {
+    // Characterize one benchmark at Tiny scale: the unit of work the
+    // study parallelizes over.
+    let all = catalog();
+    let bench0 = &all[0];
+    let program = bench0.build(Scale::Tiny, 0);
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("characterize_one_benchmark_tiny", |b| {
+        b.iter(|| black_box(characterize_program(&program, 20_000, u64::MAX)))
+    });
+
+    // One GA fitness evaluation at study shape (100 phases × 69
+    // characteristics, 12 selected).
+    let mut x = 0x12345u64;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let rows: Vec<Vec<f64>> = (0..100).map(|_| (0..69).map(|_| next()).collect()).collect();
+    let phases = Matrix::from_rows(&rows);
+    let fitness = DistanceCorrelationFitness::new(&phases, 1.0);
+    let mut mask = vec![false; 69];
+    for m in mask.iter_mut().take(12) {
+        *m = true;
+    }
+    group.bench_function("ga_fitness_eval_100x69_k12", |b| {
+        b.iter(|| black_box(fitness.score(&mask)))
+    });
+
+    // A complete reduced study over one domain-specific suite.
+    let mut cfg = StudyConfig::smoke();
+    cfg.suites = Some(vec![Suite::Bmw]);
+    group.bench_function("smoke_study_bmw", |b| b.iter(|| black_box(run_study(&cfg))));
+    group.finish();
+}
+
+criterion_group!(pipeline, benches);
+criterion_main!(pipeline);

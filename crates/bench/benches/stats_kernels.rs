@@ -1,0 +1,66 @@
+//! Statistics-substrate kernels: eigendecomposition, PCA, k-means and
+//! correlation at the dimensions the study uses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use phaselab_stats::{
+    jacobi_eigen, kmeans, normalize_columns, pearson, rescaled_pca_space, KmeansConfig, Matrix,
+    Pca,
+};
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let rows: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..cols).map(|_| next()).collect())
+        .collect();
+    Matrix::from_rows(&rows)
+}
+
+fn benches(c: &mut Criterion) {
+    // 69×69 symmetric eigendecomposition: the PCA inner step at study
+    // dimensionality.
+    let m = random_matrix(200, 69, 1);
+    let cov = m.covariance();
+    c.bench_function("jacobi_eigen_69x69", |b| {
+        b.iter(|| black_box(jacobi_eigen(&cov)))
+    });
+
+    // PCA fit on a study-sized sample block.
+    let data = random_matrix(2000, 69, 2);
+    c.bench_function("pca_fit_2000x69", |b| b.iter(|| black_box(Pca::fit(&data))));
+
+    // The full rescaled-PCA-space construction used per GA fitness
+    // evaluation (prominent-phase sized).
+    let phases = random_matrix(100, 12, 3);
+    c.bench_function("rescaled_pca_space_100x12", |b| {
+        b.iter(|| black_box(rescaled_pca_space(&phases, 1.0)))
+    });
+
+    // k-means at a reduced study shape.
+    let space = random_matrix(1500, 14, 4);
+    let cfg = KmeansConfig::new(50).with_restarts(1).with_max_iters(15);
+    let mut group = c.benchmark_group("kmeans");
+    group.sample_size(10);
+    group.bench_function("kmeans_1500x14_k50", |b| {
+        b.iter(|| black_box(kmeans(&space, &cfg)))
+    });
+    group.finish();
+
+    // Normalization + correlation micro-kernels.
+    c.bench_function("normalize_2000x69", |b| {
+        b.iter(|| black_box(normalize_columns(&data)))
+    });
+    let x: Vec<f64> = (0..4950).map(|i| (i as f64).sin()).collect();
+    let y: Vec<f64> = (0..4950).map(|i| (i as f64).cos()).collect();
+    c.bench_function("pearson_4950", |b| b.iter(|| black_box(pearson(&x, &y))));
+}
+
+criterion_group!(stats, benches);
+criterion_main!(stats);

@@ -1,0 +1,42 @@
+//! Interpreter throughput over representative kernels (instructions per
+//! second as Criterion element throughput).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use phaselab_trace::CountingSink;
+use phaselab_vm::Vm;
+use phaselab_workloads::kernels::{bio, control, memory, numeric};
+use phaselab_workloads::Builder;
+
+fn run_instructions(program: &phaselab_vm::Program, budget: u64) -> u64 {
+    let mut vm = Vm::new(program);
+    let mut sink = CountingSink::new();
+    vm.run(&mut sink, budget).expect("runs").instructions
+}
+
+fn bench_kernel(c: &mut Criterion, name: &str, emit: impl FnOnce(&mut Builder)) {
+    let mut b = Builder::new(1);
+    emit(&mut b);
+    let program = b.finish().expect("assembles");
+    // Pre-measure the instruction count for throughput accounting.
+    let instructions = run_instructions(&program, u64::MAX);
+    let mut group = c.benchmark_group("vm_throughput");
+    group.throughput(Throughput::Elements(instructions));
+    group.sample_size(20);
+    group.bench_function(name, |bench| {
+        bench.iter(|| black_box(run_instructions(&program, u64::MAX)))
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_kernel(c, "stream_triad", |b| numeric::stream_triad(b, 1024, 20));
+    bench_kernel(c, "pointer_chase", |b| memory::pointer_chase(b, 4096, 200_000));
+    bench_kernel(c, "smith_waterman", |b| bio::smith_waterman(b, 48, 96, 10));
+    bench_kernel(c, "hash_table", |b| control::hash_table(b, 4000, 12, 5));
+    bench_kernel(c, "nbody", |b| numeric::nbody(b, 48, 10));
+}
+
+criterion_group!(vm, benches);
+criterion_main!(vm);

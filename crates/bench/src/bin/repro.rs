@@ -1,0 +1,1014 @@
+//! `repro` — regenerates every table and figure of Hoste & Eeckhout
+//! (ISPASS 2008) from the `phaselab` reproduction.
+//!
+//! ```text
+//! repro [options] <experiment>
+//!
+//! experiments:
+//!   table1             the 69 characteristics by category (Table 1)
+//!   table2             GA-selected key characteristics (Table 2)
+//!   table3             benchmarks and interval counts (Table 3)
+//!   fig1               GA correlation vs #characteristics (Figure 1)
+//!   fig23              kiviat + pie plots of the prominent phases (Figures 2-3)
+//!   fig4               workload-space coverage per suite (Figure 4)
+//!   fig5               cumulative coverage per suite (Figure 5)
+//!   fig6               unique-behavior fraction per suite (Figure 6)
+//!   motivation         aggregate vs phase-level characterization (§2.1)
+//!   implications       simulation-point counts per suite (§5.3)
+//!   simpoints          per-benchmark SimPoint accuracy (related work)
+//!   benchmarks         per-benchmark coverage and specificity
+//!   drift              CPU2000 -> CPU2006 benchmark drift
+//!   similarity         benchmark-similarity heatmap + dendrogram cut
+//!   ablation-k         coverage/variability trade-off across k (§2.6)
+//!   ablation-interval  interval-granularity sensitivity (§2.9)
+//!   ablation-sampling  equal-weight vs proportional sampling (§2.4)
+//!   all                everything above, sharing one study run
+//!
+//! options:
+//!   --scale tiny|small|full   workload scale        (default: full)
+//!   --interval N              interval length       (default: 100000)
+//!   --samples N               samples per benchmark (default: 200)
+//!   --k N                     clusters              (default: 300)
+//!   --seed N                  master seed           (default: 0)
+//!   --threads N               worker threads        (default: all cores)
+//! ```
+//!
+//! Text output goes to stdout; SVG/CSV artifacts go to
+//! `target/experiments` (override with `PHASELAB_OUT`).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use phaselab_bench::write_artifact;
+use phaselab_core::{
+    coverage, diversity, format_table, run_study, uniqueness, SamplingPolicy, StudyConfig,
+    StudyResult,
+};
+use phaselab_ga::{greedy_select, select_features, DistanceCorrelationFitness, GaConfig};
+use phaselab_mica::{feature_names, FeatureCategory, NUM_FEATURES};
+use phaselab_stats::{kmeans, KmeansConfig};
+use phaselab_viz::{
+    ascii_bar_chart, ascii_curve, BarChart, KiviatAxisSpec, KiviatPlot, LineChart, PieChart,
+};
+use phaselab_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, command) = parse_args(&args);
+
+    let needs_study = !matches!(command.as_str(), "table1");
+    let study = if needs_study {
+        eprintln!(
+            "[repro] running study: scale={:?} interval={} samples={} k={}",
+            cfg.scale, cfg.interval_len, cfg.samples_per_benchmark, cfg.k
+        );
+        let t = Instant::now();
+        let r = run_study(&cfg);
+        eprintln!(
+            "[repro] study done in {:.1}s: {} benchmarks, {} sampled intervals, {} PCs ({:.1}% var), {} prominent phases covering {:.1}%",
+            t.elapsed().as_secs_f64(),
+            r.benchmarks.len(),
+            r.sampled.len(),
+            r.pcs_retained,
+            r.variance_explained * 100.0,
+            r.prominent.len(),
+            r.prominent_coverage * 100.0
+        );
+        Some(r)
+    } else {
+        None
+    };
+
+    match command.as_str() {
+        "table1" => table1(),
+        "table2" => table2(study.as_ref().unwrap()),
+        "table3" => table3(study.as_ref().unwrap()),
+        "fig1" => fig1(study.as_ref().unwrap()),
+        "fig23" => fig23(study.as_ref().unwrap()),
+        "fig4" => fig4(study.as_ref().unwrap()),
+        "fig5" => fig5(study.as_ref().unwrap()),
+        "fig6" => fig6(study.as_ref().unwrap()),
+        "motivation" => motivation(study.as_ref().unwrap()),
+        "implications" => implications(study.as_ref().unwrap()),
+        "simpoints" => simpoints(study.as_ref().unwrap()),
+        "benchmarks" => benchmarks_report(study.as_ref().unwrap()),
+        "drift" => drift(study.as_ref().unwrap()),
+        "similarity" => similarity(study.as_ref().unwrap()),
+        "ablation-k" => ablation_k(study.as_ref().unwrap()),
+        "ablation-interval" => ablation_interval(study.as_ref().unwrap(), &cfg),
+        "ablation-sampling" => ablation_sampling(study.as_ref().unwrap(), &cfg),
+        "all" => {
+            let r = study.as_ref().unwrap();
+            table1();
+            table2(r);
+            table3(r);
+            fig1(r);
+            fig23(r);
+            fig4(r);
+            fig5(r);
+            fig6(r);
+            motivation(r);
+            implications(r);
+            simpoints(r);
+            benchmarks_report(r);
+            drift(r);
+            similarity(r);
+            ablation_k(r);
+            ablation_interval(r, &cfg);
+            ablation_sampling(r, &cfg);
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`; see the module docs");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> (StudyConfig, String) {
+    let mut cfg = StudyConfig::paper_scaled();
+    let mut command = String::from("all");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                cfg.scale = match args[i].as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    s => panic!("bad scale `{s}`"),
+                };
+            }
+            "--interval" => {
+                i += 1;
+                cfg.interval_len = args[i].parse().expect("interval");
+            }
+            "--samples" => {
+                i += 1;
+                cfg.samples_per_benchmark = args[i].parse().expect("samples");
+            }
+            "--k" => {
+                i += 1;
+                cfg.k = args[i].parse().expect("k");
+                cfg.n_prominent = cfg.n_prominent.min(cfg.k);
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args[i].parse().expect("seed");
+            }
+            "--threads" => {
+                i += 1;
+                cfg.threads = args[i].parse().expect("threads");
+            }
+            flag if flag.starts_with("--") => panic!("unknown flag `{flag}`"),
+            cmd => command = cmd.to_string(),
+        }
+        i += 1;
+    }
+    (cfg, command)
+}
+
+/// Table 1: the characteristic categories and counts.
+fn table1() {
+    println!("\n== Table 1: microarchitecture-independent characteristics ==\n");
+    let names = feature_names();
+    let rows: Vec<Vec<String>> = FeatureCategory::ALL
+        .into_iter()
+        .map(|cat| {
+            let members: Vec<&str> = cat.range().map(|i| names[i]).collect();
+            vec![
+                cat.name().to_string(),
+                cat.range().len().to_string(),
+                members.join(", "),
+            ]
+        })
+        .collect();
+    println!("{}", format_table(&["category", "#", "characteristics"], &rows));
+    println!("total: {NUM_FEATURES} characteristics (paper: 69)");
+}
+
+/// Table 2: the GA-selected key characteristics.
+fn table2(r: &StudyResult) {
+    println!("\n== Table 2: key characteristics retained by the GA ==\n");
+    let names = feature_names();
+    let rows: Vec<Vec<String>> = r
+        .key_characteristics
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| {
+            vec![
+                (i + 1).to_string(),
+                names[f].to_string(),
+                FeatureCategory::of(f).name().to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", format_table(&["#", "characteristic", "category"], &rows));
+    println!(
+        "distance correlation of the reduced space: {:.3} (paper: ~0.83 with 12)",
+        r.ga_fitness
+    );
+    let csv_rows: Vec<Vec<String>> = rows;
+    let mut buf = Vec::new();
+    phaselab_core::write_csv(&mut buf, &["rank", "characteristic", "category"], &csv_rows)
+        .expect("csv");
+    let path = write_artifact("table2.csv", &String::from_utf8(buf).expect("utf8"));
+    println!("wrote {}", path.display());
+}
+
+/// Table 3: benchmarks and interval counts.
+fn table3(r: &StudyResult) {
+    println!("\n== Table 3: benchmarks and characterized interval counts ==\n");
+    let rows: Vec<Vec<String>> = r
+        .benchmarks
+        .iter()
+        .map(|b| {
+            vec![
+                b.suite.name().to_string(),
+                b.name.clone(),
+                b.input_names.len().to_string(),
+                b.total_intervals().to_string(),
+                b.total_instructions.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["suite", "benchmark", "inputs", "intervals", "instructions"], &rows)
+    );
+    let totals: (usize, u64) = r
+        .benchmarks
+        .iter()
+        .fold((0, 0), |(iv, ins), b| {
+            (iv + b.total_intervals(), ins + b.total_instructions)
+        });
+    println!(
+        "total: {} benchmarks, {} intervals, {} instructions",
+        r.benchmarks.len(),
+        totals.0,
+        totals.1
+    );
+    let mut buf = Vec::new();
+    phaselab_core::write_csv(
+        &mut buf,
+        &["suite", "benchmark", "inputs", "intervals", "instructions"],
+        &rows,
+    )
+    .expect("csv");
+    let path = write_artifact("table3.csv", &String::from_utf8(buf).expect("utf8"));
+    println!("wrote {}", path.display());
+}
+
+/// Figure 1: GA distance correlation vs number of retained
+/// characteristics, with a greedy forward-selection baseline.
+fn fig1(r: &StudyResult) {
+    println!("\n== Figure 1: distance correlation vs #key characteristics ==\n");
+    let rep_rows: Vec<usize> = r.prominent.iter().map(|p| p.representative_row).collect();
+    if rep_rows.len() < 3 {
+        println!("(study too small for figure 1)");
+        return;
+    }
+    let rep_matrix = r.features.select_rows(&rep_rows);
+    let fitness = DistanceCorrelationFitness::new(&rep_matrix, r.config.pca_sd_threshold);
+    let score = |mask: &[bool]| fitness.score(mask);
+
+    let max_k = 20.min(NUM_FEATURES);
+    let mut ga_pts = Vec::new();
+    let mut greedy_pts = Vec::new();
+    let mut rows = Vec::new();
+    for k in 1..=max_k {
+        let ga = select_features(NUM_FEATURES, k, &score, &GaConfig::study(r.config.seed + k as u64));
+        let (_, greedy_fit) = greedy_select(NUM_FEATURES, k, &score);
+        ga_pts.push((k as f64, ga.fitness));
+        greedy_pts.push((k as f64, greedy_fit));
+        rows.push(vec![
+            k.to_string(),
+            format!("{:.3}", ga.fitness),
+            format!("{:.3}", greedy_fit),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(&["#characteristics", "GA correlation", "greedy correlation"], &rows)
+    );
+    println!(
+        "{}",
+        ascii_curve(
+            &[("GA".into(), ga_pts.clone()), ("greedy".into(), greedy_pts.clone())],
+            48,
+            12,
+        )
+    );
+    let chart = LineChart::new(
+        "Figure 1: distance correlation vs retained characteristics",
+        "number of retained characteristics",
+        "Pearson correlation",
+        vec![("GA".into(), ga_pts), ("greedy".into(), greedy_pts)],
+    );
+    let path = write_artifact("fig1.svg", &chart.to_svg(560.0, 320.0));
+    println!("\nwrote {}", path.display());
+}
+
+/// Figures 2–3: kiviat plots and pie charts of the prominent phases.
+fn fig23(r: &StudyResult) {
+    println!("\n== Figures 2-3: prominent phase kiviat plots ==\n");
+    let mut by_kind: BTreeMap<&'static str, Vec<usize>> = BTreeMap::new();
+    for (i, p) in r.prominent.iter().enumerate() {
+        by_kind.entry(p.kind.name()).or_default().push(i);
+    }
+    for (kind, phases) in &by_kind {
+        println!("{kind} clusters: {}", phases.len());
+    }
+
+    let mut listing = String::new();
+    for (idx, phase) in r.prominent.iter().enumerate() {
+        let axes: Vec<KiviatAxisSpec> = r
+            .kiviat_axes(phase)
+            .into_iter()
+            .map(|a| {
+                KiviatAxisSpec::new(a.name.to_string(), a.normalized_value(), a.normalized_rings())
+            })
+            .collect();
+        let title = format!("phase {idx:03} ({}, weight {:.2}%)", phase.kind, phase.weight * 100.0);
+        let kiviat = KiviatPlot::new(&title).with_axes(axes);
+        write_artifact(&format!("fig23_phase{idx:03}_kiviat.svg"), &kiviat.to_svg(320.0));
+
+        let slices: Vec<(String, f64)> = phase
+            .composition
+            .iter()
+            .take(9)
+            .map(|s| {
+                let b = &r.benchmarks[s.bench];
+                (
+                    format!("{} [{}]", b.name, b.suite.short_name()),
+                    s.cluster_share,
+                )
+            })
+            .collect();
+        let rest: f64 = phase.composition.iter().skip(9).map(|s| s.cluster_share).sum();
+        let mut slices = slices;
+        if rest > 0.0 {
+            slices.push(("other".into(), rest));
+        }
+        let pie = PieChart::new(&title, slices);
+        write_artifact(&format!("fig23_phase{idx:03}_pie.svg"), &pie.to_svg(200.0));
+
+        listing.push_str(&format!(
+            "phase {idx:03}  weight {:6.2}%  {:<19}  ",
+            phase.weight * 100.0,
+            phase.kind.name()
+        ));
+        let comp: Vec<String> = phase
+            .composition
+            .iter()
+            .take(4)
+            .map(|s| {
+                let b = &r.benchmarks[s.bench];
+                format!(
+                    "{}[{}] {:.0}% (covers {:.1}% of it)",
+                    b.name,
+                    b.suite.short_name(),
+                    s.cluster_share * 100.0,
+                    s.benchmark_fraction * 100.0
+                )
+            })
+            .collect();
+        listing.push_str(&comp.join(", "));
+        if phase.composition.len() > 4 {
+            listing.push_str(&format!(", … +{}", phase.composition.len() - 4));
+        }
+        listing.push('\n');
+    }
+    // An HTML gallery over the per-phase SVG pairs, grouped by kind.
+    let mut html = String::from(
+        "<!doctype html><meta charset=\"utf-8\"><title>phaselab: prominent phases</title>\n\
+         <style>body{font-family:sans-serif} .phase{display:inline-block;margin:8px;\n\
+         border:1px solid #ddd;padding:4px;vertical-align:top} h2{margin:18px 4px 6px}</style>\n\
+         <h1>Figures 2\u{2013}3: the prominent phases</h1>\n",
+    );
+    for (kind, phases) in &by_kind {
+        html.push_str(&format!("<h2>{kind} ({} clusters)</h2>\n", phases.len()));
+        for &idx in phases {
+            html.push_str(&format!(
+                "<div class=\"phase\"><img src=\"fig23_phase{idx:03}_kiviat.svg\" width=\"240\">\
+                 <br><img src=\"fig23_phase{idx:03}_pie.svg\" width=\"240\"></div>\n"
+            ));
+        }
+    }
+    write_artifact("fig23_index.html", &html);
+    let path = write_artifact("fig23_phases.txt", &listing);
+    println!("\nper-phase listing and {} kiviat/pie SVG pairs written under {}", r.prominent.len(), path.parent().unwrap().display());
+
+    // Print the five heaviest phases inline for a quick look.
+    println!("\nfive heaviest phases:");
+    for line in listing.lines().take(5) {
+        println!("  {line}");
+    }
+}
+
+/// Figure 4: workload-space coverage per suite.
+fn fig4(r: &StudyResult) {
+    println!("\n== Figure 4: workload-space coverage per suite ==\n");
+    let cov = coverage(r);
+    let bars: Vec<(String, f64)> = cov
+        .iter()
+        .map(|c| (c.suite.short_name().to_string(), c.clusters_touched as f64))
+        .collect();
+    println!("{}", ascii_bar_chart(&bars, 40));
+    println!("(of {} non-empty clusters)", cov.first().map(|c| c.total_clusters).unwrap_or(0));
+    let chart = BarChart::new(
+        "Figure 4: workload-space coverage per suite",
+        "#clusters",
+        bars,
+    );
+    let path = write_artifact("fig4.svg", &chart.to_svg(560.0, 320.0));
+    println!("wrote {}", path.display());
+}
+
+/// Figure 5: cumulative coverage per suite.
+fn fig5(r: &StudyResult) {
+    println!("\n== Figure 5: cumulative coverage per suite ==\n");
+    let curves = diversity(r);
+    let series: Vec<(String, Vec<(f64, f64)>)> = curves
+        .iter()
+        .map(|c| {
+            (
+                c.suite.short_name().to_string(),
+                c.cumulative
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &y)| ((i + 1) as f64, y))
+                    .collect(),
+            )
+        })
+        .collect();
+    println!("{}", ascii_curve(&series, 56, 14));
+    let rows: Vec<Vec<String>> = curves
+        .iter()
+        .map(|c| {
+            vec![
+                c.suite.short_name().to_string(),
+                c.clusters_to_cover(0.8).to_string(),
+                c.clusters_to_cover(0.9).to_string(),
+                c.cumulative.len().to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "\n{}",
+        format_table(
+            &["suite", "clusters to 80%", "clusters to 90%", "clusters touched"],
+            &rows
+        )
+    );
+    let chart = LineChart::new(
+        "Figure 5: cumulative coverage per suite",
+        "number of clusters",
+        "cumulative coverage",
+        series,
+    );
+    let path = write_artifact("fig5.svg", &chart.to_svg(620.0, 360.0));
+    println!("wrote {}", path.display());
+}
+
+/// Figure 6: unique-behavior fraction per suite.
+fn fig6(r: &StudyResult) {
+    println!("\n== Figure 6: fraction of unique behavior per suite ==\n");
+    let uniq = uniqueness(r);
+    let bars: Vec<(String, f64)> = uniq
+        .iter()
+        .map(|u| (u.suite.short_name().to_string(), u.unique_fraction))
+        .collect();
+    println!("{}", ascii_bar_chart(&bars, 40));
+    let chart = BarChart::new(
+        "Figure 6: fraction of unique behavior per suite",
+        "fraction",
+        bars,
+    );
+    let path = write_artifact("fig6.svg", &chart.to_svg(560.0, 320.0));
+    println!("wrote {}", path.display());
+}
+
+/// §2.1's motivating argument: an aggregate characterization can be
+/// badly misleading when a program's phases differ. For each benchmark,
+/// compare the whole-execution mean of the memory-read fraction with its
+/// per-interval extremes; rank benchmarks by how wrong the mean is.
+fn motivation(r: &StudyResult) {
+    println!("\n== Motivation (§2.1): aggregate vs phase-level view ==\n");
+    let mem_read = phaselab_mica::feature_index("mix_mem_read").expect("known feature");
+    struct Row {
+        name: String,
+        suite: &'static str,
+        mean: f64,
+        min: f64,
+        max: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for (bench_idx, bench) in r.benchmarks.iter().enumerate() {
+        let vals: Vec<f64> = r
+            .sampled
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.bench == bench_idx)
+            .map(|(row, _)| r.features.get(row, mem_read))
+            .collect();
+        if vals.is_empty() {
+            continue;
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        rows.push(Row {
+            name: bench.name.clone(),
+            suite: bench.suite.short_name(),
+            mean,
+            min,
+            max,
+        });
+    }
+    rows.sort_by(|a, b| {
+        let spread_a = a.max - a.min;
+        let spread_b = b.max - b.min;
+        spread_b.partial_cmp(&spread_a).expect("finite spreads")
+    });
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .take(10)
+        .map(|x| {
+            vec![
+                format!("{} [{}]", x.name, x.suite),
+                format!("{:.1}%", x.mean * 100.0),
+                format!("{:.1}%", x.min * 100.0),
+                format!("{:.1}%", x.max * 100.0),
+                format!("{:.1}pp", (x.max - x.min) * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["benchmark", "aggregate mean", "interval min", "interval max", "spread"],
+            &table
+        )
+    );
+    println!(
+        "(a designer sizing load/store resources from the aggregate column\n\
+         would badly mis-provision the extreme phases — the paper's §2.1 example)"
+    );
+}
+
+/// §5.3's implications: how many representative simulation points each
+/// suite needs, and the simulation-time saving of phase-level sampling.
+fn implications(r: &StudyResult) {
+    println!("\n== Implications (§5.3): simulation points per suite ==\n");
+    let curves = diversity(r);
+    let total_intervals: usize = r.benchmarks.iter().map(|b| b.total_intervals()).sum();
+    let rows: Vec<Vec<String>> = curves
+        .iter()
+        .map(|c| {
+            vec![
+                c.suite.short_name().to_string(),
+                c.clusters_to_cover(0.8).to_string(),
+                c.clusters_to_cover(0.9).to_string(),
+                c.clusters_to_cover(0.95).to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["suite", "points for 80%", "points for 90%", "points for 95%"],
+            &rows
+        )
+    );
+    println!(
+        "simulating one representative interval per prominent phase: {} intervals\n\
+         instead of {} characterized intervals ({:.0}x reduction at {:.1}% coverage)",
+        r.prominent.len(),
+        total_intervals,
+        total_intervals as f64 / r.prominent.len().max(1) as f64,
+        r.prominent_coverage * 100.0
+    );
+    println!(
+        "(the paper's takeaway: CPU2006 needs only slightly more simulation\n\
+         points than CPU2000; BMW and MediaBench II add few behaviors beyond\n\
+         CPU2006 + BioPerf, so simulating them may not pay off)"
+    );
+}
+
+/// Per-benchmark coverage and specificity: which benchmarks contribute
+/// the benchmark-specific clusters of Figures 2-3, and which blend into
+/// mixed behavior.
+fn benchmarks_report(r: &StudyResult) {
+    println!("\n== Per-benchmark coverage and specificity ==\n");
+    let mut stats = phaselab_core::benchmark_stats(r);
+    stats.sort_by(|a, b| {
+        b.benchmark_specific
+            .partial_cmp(&a.benchmark_specific)
+            .expect("finite fractions")
+    });
+    let rows: Vec<Vec<String>> = stats
+        .iter()
+        .map(|s| {
+            let b = &r.benchmarks[s.bench];
+            vec![
+                format!("{} [{}]", b.name, b.suite.short_name()),
+                s.clusters_touched.to_string(),
+                format!("{:.1}%", s.benchmark_specific * 100.0),
+                format!("{:.1}%", s.suite_specific * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["benchmark", "clusters", "benchmark-specific", "suite-specific"],
+            &rows
+        )
+    );
+    let mut buf = Vec::new();
+    phaselab_core::write_csv(
+        &mut buf,
+        &["benchmark", "clusters", "benchmark_specific", "suite_specific"],
+        &rows,
+    )
+    .expect("csv");
+    let path = write_artifact("benchmarks.csv", &String::from_utf8(buf).expect("utf8"));
+    println!("wrote {}", path.display());
+}
+
+/// SimPoint-style per-benchmark simulation points (the related-work
+/// application of the phase taxonomy): classify each benchmark's
+/// intervals against the study's clustering, pick one representative per
+/// phase, and measure how well the weighted representatives reconstruct
+/// the benchmark's aggregate instruction mix.
+fn simpoints(r: &StudyResult) {
+    println!("\n== SimPoints: weighted phase representatives per benchmark ==\n");
+    let catalog = phaselab_workloads::catalog();
+    let mix_range = phaselab_mica::FeatureCategory::Mix.range();
+    // A representative cross-section of suites and behavior styles.
+    let picks = [
+        ("BioPerf", "blast"),
+        ("int2000", "gcc"),
+        ("int2006", "libquantum"),
+        ("fp2006", "cactusADM"),
+        ("MediaBenchII", "jpeg"),
+        ("BMW", "speak"),
+    ];
+    let mut rows = Vec::new();
+    for (suite, name) in picks {
+        let Some(bench) = catalog.iter().find(|b| {
+            b.suite().short_name() == suite && b.name() == name
+        }) else {
+            continue;
+        };
+        let program = bench.build(r.config.scale, 0);
+        let (features, _) = phaselab_core::characterize_program(
+            &program,
+            r.config.interval_len,
+            r.config.max_instructions_per_run,
+        );
+        if features.is_empty() {
+            continue;
+        }
+        let timeline = phaselab_core::PhaseTimeline {
+            clusters: features.iter().map(|f| r.classify(f.as_slice()).0).collect(),
+        };
+        let points = phaselab_core::simulation_points(&timeline, &features);
+        let err = phaselab_core::reconstruction_error(&points, &features, mix_range.clone());
+        rows.push(vec![
+            format!("{name} [{suite}]"),
+            features.len().to_string(),
+            points.len().to_string(),
+            format!("{:.1}x", features.len() as f64 / points.len().max(1) as f64),
+            format!("{:.2e}", err),
+            timeline.render().chars().take(44).collect::<String>(),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["benchmark", "intervals", "sim points", "reduction", "mix MAE", "phase timeline"],
+            &rows
+        )
+    );
+    println!(
+        "(simulating only the weighted representatives reconstructs the\n\
+         aggregate instruction mix to within the MAE column — SimPoint's\n\
+         premise, built on this paper's cross-benchmark taxonomy)"
+    );
+}
+
+/// Benchmark similarity: mean per-benchmark positions in the rescaled
+/// PCA space, hierarchically clustered (the dendrogram view of the
+/// authors' companion similarity papers) and rendered as a heatmap with
+/// similar benchmarks adjacent.
+fn similarity(r: &StudyResult) {
+    println!("\n== Benchmark similarity (companion-methodology view) ==\n");
+    let dims = r.space.cols();
+    let nb = r.benchmarks.len();
+    let mut sums = vec![vec![0.0; dims]; nb];
+    let mut counts = vec![0usize; nb];
+    for (row, s) in r.sampled.iter().enumerate() {
+        counts[s.bench] += 1;
+        for (a, &v) in sums[s.bench].iter_mut().zip(r.space.row(row)) {
+            *a += v;
+        }
+    }
+    let centers: Vec<Vec<f64>> = sums
+        .into_iter()
+        .zip(&counts)
+        .map(|(s, &n)| s.into_iter().map(|v| v / n.max(1) as f64).collect())
+        .collect();
+    let mut dist = phaselab_stats::Matrix::zeros(nb, nb);
+    for i in 0..nb {
+        for j in 0..nb {
+            dist.set(i, j, phaselab_stats::distance(&centers[i], &centers[j]));
+        }
+    }
+    let dendro = phaselab_stats::hierarchical_cluster(&dist);
+    let order = dendro.leaf_order();
+
+    // Heatmap in dendrogram order.
+    let labels: Vec<String> = order
+        .iter()
+        .map(|&i| format!("{} [{}]", r.benchmarks[i].name, r.benchmarks[i].suite.short_name()))
+        .collect();
+    let values: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&i| order.iter().map(|&j| dist.get(i, j)).collect())
+        .collect();
+    let heatmap = phaselab_viz::Heatmap::new(
+        "Benchmark distance (dendrogram-ordered; dark = similar)",
+        labels,
+        values,
+    );
+    let path = write_artifact("similarity_heatmap.svg", &heatmap.to_svg(9.0));
+    println!("wrote {}", path.display());
+
+    // Most similar cross-suite pairs: the paper's mixed clusters should
+    // resurface here.
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+    for i in 0..nb {
+        for j in (i + 1)..nb {
+            if r.benchmarks[i].suite != r.benchmarks[j].suite {
+                pairs.push((i, j, dist.get(i, j)));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite distances"));
+    let rows: Vec<Vec<String>> = pairs
+        .iter()
+        .take(8)
+        .map(|&(i, j, d)| {
+            vec![
+                format!("{} [{}]", r.benchmarks[i].name, r.benchmarks[i].suite.short_name()),
+                format!("{} [{}]", r.benchmarks[j].name, r.benchmarks[j].suite.short_name()),
+                format!("{d:.2}"),
+            ]
+        })
+        .collect();
+    println!("closest cross-suite benchmark pairs:");
+    println!("{}", format_table(&["benchmark", "benchmark", "distance"], &rows));
+
+    // Dendrogram cut: how many benchmark families exist at half the
+    // median pair distance?
+    let median = {
+        let mut ds: Vec<f64> = pairs.iter().map(|p| p.2).collect();
+        ds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        ds[ds.len() / 2]
+    };
+    let cut = dendro.cut(median / 2.0);
+    let families = cut.iter().max().map(|m| m + 1).unwrap_or(0);
+    println!("dendrogram cut at half the median distance: {families} benchmark families");
+}
+
+/// Benchmark drift (Yi et al., cited in the paper's intro): how far did
+/// the benchmarks carried over from CPU2000 to CPU2006 move in the
+/// workload space, relative to the typical distance between unrelated
+/// benchmarks?
+fn drift(r: &StudyResult) {
+    println!("\n== Benchmark drift: CPU2000 -> CPU2006 carried-over codes ==\n");
+    // Mean position of each benchmark in the rescaled PCA space.
+    let dims = r.space.cols();
+    let mut sums = vec![vec![0.0; dims]; r.benchmarks.len()];
+    let mut counts = vec![0usize; r.benchmarks.len()];
+    for (row, s) in r.sampled.iter().enumerate() {
+        counts[s.bench] += 1;
+        for (a, &v) in sums[s.bench].iter_mut().zip(r.space.row(row)) {
+            *a += v;
+        }
+    }
+    let centers: Vec<Vec<f64>> = sums
+        .into_iter()
+        .zip(&counts)
+        .map(|(s, &n)| s.into_iter().map(|v| v / n.max(1) as f64).collect())
+        .collect();
+    let find = |suite: &str, name: &str| -> Option<usize> {
+        r.benchmarks
+            .iter()
+            .position(|b| b.suite.short_name() == suite && b.name == name)
+    };
+    let dist = |a: usize, b: usize| phaselab_stats::distance(&centers[a], &centers[b]);
+
+    // Baseline: mean distance over all cross-suite benchmark pairs.
+    let mut baseline = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..centers.len() {
+        for j in (i + 1)..centers.len() {
+            if r.benchmarks[i].suite != r.benchmarks[j].suite {
+                baseline += dist(i, j);
+                pairs += 1;
+            }
+        }
+    }
+    baseline /= pairs.max(1) as f64;
+
+    let twins = [
+        ("bzip2", "bzip2"),
+        ("gcc", "gcc"),
+        ("mcf", "mcf"),
+        ("perlbmk", "perlbench"),
+    ];
+    let mut rows = Vec::new();
+    for (old, new) in twins {
+        let (Some(a), Some(b)) = (find("int2000", old), find("int2006", new)) else {
+            continue;
+        };
+        let d = dist(a, b);
+        rows.push(vec![
+            format!("{old} -> {new}"),
+            format!("{d:.2}"),
+            format!("{:.2}", d / baseline),
+        ]);
+    }
+    // A non-twin control pair for contrast.
+    if let (Some(a), Some(b)) = (find("int2000", "mcf"), find("int2006", "libquantum")) {
+        rows.push(vec![
+            "mcf -> libquantum (control)".to_string(),
+            format!("{:.2}", dist(a, b)),
+            format!("{:.2}", dist(a, b) / baseline),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["pair", "distance", "vs mean cross-suite distance"],
+            &rows
+        )
+    );
+    println!(
+        "(carried-over benchmarks drift far less than the typical distance\n\
+         between unrelated codes — the same-program-new-input effect the\n\
+         benchmark-drift literature measures)"
+    );
+}
+
+/// Ablation A1 (§2.6): the coverage vs per-cluster-variability trade-off
+/// as k grows past the number of prominent phases.
+fn ablation_k(r: &StudyResult) {
+    println!("\n== Ablation: coverage vs variability across k (§2.6) ==\n");
+    let n_prominent = r.config.n_prominent;
+    let mut rows = Vec::new();
+    for mult in [1.0_f64, 2.0, 3.0, 4.0] {
+        let k = ((n_prominent as f64 * mult) as usize).min(r.space.rows());
+        let clustering = kmeans(
+            &r.space,
+            &KmeansConfig::new(k)
+                .with_restarts(r.config.kmeans_restarts)
+                .with_max_iters(r.config.kmeans_max_iters)
+                .with_seed(r.config.seed ^ 0xAB1E),
+        );
+        // Coverage of the n_prominent heaviest clusters, and their mean
+        // within-cluster variance.
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by(|&a, &b| clustering.sizes[b].cmp(&clustering.sizes[a]));
+        let total = r.space.rows() as f64;
+        let covered: usize = order
+            .iter()
+            .take(n_prominent)
+            .map(|&c| clustering.sizes[c])
+            .sum();
+        // Mean squared distance to centroid inside the prominent set.
+        let prominent: Vec<usize> = order.iter().take(n_prominent).copied().collect();
+        let mut sq = 0.0;
+        let mut n = 0usize;
+        for (row, &c) in clustering.assignments.iter().enumerate() {
+            if prominent.contains(&c) {
+                sq += phaselab_stats::distance_sq(r.space.row(row), clustering.centroids.row(c));
+                n += 1;
+            }
+        }
+        rows.push(vec![
+            k.to_string(),
+            format!("{:.1}%", covered as f64 / total * 100.0),
+            format!("{:.3}", sq / n.max(1) as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "k",
+                &format!("coverage of top {n_prominent}"),
+                "mean within-cluster sq. distance",
+            ],
+            &rows
+        )
+    );
+    println!("(expected: larger k trades coverage for lower per-cluster variability)");
+}
+
+/// Ablation A2 (§2.9): interval-granularity sensitivity.
+fn ablation_interval(r: &StudyResult, cfg: &StudyConfig) {
+    println!("\n== Ablation: interval granularity (§2.9) ==\n");
+    let mut rows = Vec::new();
+    let intervals = [
+        (cfg.interval_len / 2).max(1),
+        cfg.interval_len,
+        cfg.interval_len * 2,
+    ];
+    for interval in intervals {
+        let result;
+        let res = if interval == cfg.interval_len {
+            r
+        } else {
+            let mut c = cfg.clone();
+            c.interval_len = interval;
+            result = run_study(&c);
+            &result
+        };
+        let uniq = uniqueness(res);
+        let bio = uniq
+            .iter()
+            .find(|u| u.suite == phaselab_workloads::Suite::BioPerf)
+            .map(|u| u.unique_fraction)
+            .unwrap_or(f64::NAN);
+        rows.push(vec![
+            interval.to_string(),
+            res.pcs_retained.to_string(),
+            format!("{:.1}%", res.variance_explained * 100.0),
+            format!("{:.1}%", res.prominent_coverage * 100.0),
+            format!("{:.1}%", bio * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "interval",
+                "PCs",
+                "variance explained",
+                "prominent coverage",
+                "BioPerf uniqueness",
+            ],
+            &rows
+        )
+    );
+    println!("(expected: conclusions stable across granularities, finer intervals → more phases)");
+}
+
+/// Ablation A3 (§2.4): sampling policy.
+fn ablation_sampling(r: &StudyResult, cfg: &StudyConfig) {
+    println!("\n== Ablation: equal-weight vs proportional sampling (§2.4) ==\n");
+    let mut c = cfg.clone();
+    c.sampling = SamplingPolicy::Proportional;
+    let prop = run_study(&c);
+
+    let mut rows = Vec::new();
+    let equal_cov = coverage(r);
+    let prop_cov = coverage(&prop);
+    let equal_uniq = uniqueness(r);
+    let prop_uniq = uniqueness(&prop);
+    for (i, c) in equal_cov.iter().enumerate() {
+        rows.push(vec![
+            c.suite.short_name().to_string(),
+            c.clusters_touched.to_string(),
+            prop_cov
+                .iter()
+                .find(|p| p.suite == c.suite)
+                .map(|p| p.clusters_touched.to_string())
+                .unwrap_or_default(),
+            format!("{:.1}%", equal_uniq[i].unique_fraction * 100.0),
+            prop_uniq
+                .iter()
+                .find(|p| p.suite == c.suite)
+                .map(|p| format!("{:.1}%", p.unique_fraction * 100.0))
+                .unwrap_or_default(),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "suite",
+                "clusters (equal)",
+                "clusters (proportional)",
+                "unique (equal)",
+                "unique (proportional)",
+            ],
+            &rows
+        )
+    );
+    println!("(proportional sampling over-weights long-running benchmarks; the paper's equal-weight choice avoids this)");
+}

@@ -1,0 +1,320 @@
+//! Step 6: suite-level coverage, diversity and uniqueness analyses
+//! (the paper's Figures 4, 5 and 6).
+//!
+//! All three analyses use the *full* clustering (all k clusters), not
+//! just the prominent phases — exactly as §5 of the paper does.
+
+use phaselab_workloads::Suite;
+
+use crate::pipeline::StudyResult;
+
+/// Workload-space coverage of one suite: how many of the k clusters
+/// contain at least one of the suite's sampled intervals (Figure 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteCoverage {
+    /// The suite.
+    pub suite: Suite,
+    /// Number of clusters containing at least one interval of the suite.
+    pub clusters_touched: usize,
+    /// Total number of (non-empty) clusters in the study.
+    pub total_clusters: usize,
+}
+
+/// Cumulative-coverage curve of one suite (Figure 5): entry `i` is the
+/// fraction of the suite's sampled execution covered by its `i + 1`
+/// heaviest clusters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteCurve {
+    /// The suite.
+    pub suite: Suite,
+    /// Cumulative coverage fractions, non-decreasing, ending at 1.
+    pub cumulative: Vec<f64>,
+}
+
+impl SuiteCurve {
+    /// Number of clusters needed to reach `fraction` coverage.
+    pub fn clusters_to_cover(&self, fraction: f64) -> usize {
+        self.cumulative
+            .iter()
+            .position(|&c| c >= fraction)
+            .map(|p| p + 1)
+            .unwrap_or(self.cumulative.len())
+    }
+}
+
+/// Uniqueness of one suite (Figure 6): the fraction of the suite's
+/// sampled execution that falls in clusters populated *only* by that
+/// suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteUniqueness {
+    /// The suite.
+    pub suite: Suite,
+    /// Fraction of the suite's sampled intervals in suite-exclusive
+    /// clusters.
+    pub unique_fraction: f64,
+}
+
+/// Suites present in a study, in the paper's reporting order.
+fn suites_present(result: &StudyResult) -> Vec<Suite> {
+    Suite::ALL
+        .into_iter()
+        .filter(|s| result.benchmarks.iter().any(|b| b.suite == *s))
+        .collect()
+}
+
+/// Per-cluster suite membership: `out[c]` lists the suites with at least
+/// one interval in cluster `c`.
+fn cluster_suites(result: &StudyResult) -> Vec<Vec<Suite>> {
+    let mut out = vec![Vec::new(); result.clustering.k()];
+    for (row, &cluster) in result.clustering.assignments.iter().enumerate() {
+        let suite = result.suite_of_row(row);
+        if !out[cluster].contains(&suite) {
+            out[cluster].push(suite);
+        }
+    }
+    out
+}
+
+/// Computes Figure 4: workload-space coverage per suite.
+pub fn coverage(result: &StudyResult) -> Vec<SuiteCoverage> {
+    let per_cluster = cluster_suites(result);
+    let total_clusters = per_cluster.iter().filter(|s| !s.is_empty()).count();
+    suites_present(result)
+        .into_iter()
+        .map(|suite| SuiteCoverage {
+            suite,
+            clusters_touched: per_cluster.iter().filter(|s| s.contains(&suite)).count(),
+            total_clusters,
+        })
+        .collect()
+}
+
+/// Computes Figure 5: the cumulative coverage curve per suite.
+pub fn diversity(result: &StudyResult) -> Vec<SuiteCurve> {
+    suites_present(result)
+        .into_iter()
+        .map(|suite| {
+            // Count the suite's intervals per cluster.
+            let mut counts = vec![0usize; result.clustering.k()];
+            let mut total = 0usize;
+            for (row, &cluster) in result.clustering.assignments.iter().enumerate() {
+                if result.suite_of_row(row) == suite {
+                    counts[cluster] += 1;
+                    total += 1;
+                }
+            }
+            let mut counts: Vec<usize> = counts.into_iter().filter(|&c| c > 0).collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let mut cumulative = Vec::with_capacity(counts.len());
+            let mut acc = 0usize;
+            for c in counts {
+                acc += c;
+                cumulative.push(acc as f64 / total.max(1) as f64);
+            }
+            SuiteCurve { suite, cumulative }
+        })
+        .collect()
+}
+
+/// Computes Figure 6: the unique-behavior fraction per suite.
+pub fn uniqueness(result: &StudyResult) -> Vec<SuiteUniqueness> {
+    let per_cluster = cluster_suites(result);
+    suites_present(result)
+        .into_iter()
+        .map(|suite| {
+            let mut total = 0usize;
+            let mut unique = 0usize;
+            for (row, &cluster) in result.clustering.assignments.iter().enumerate() {
+                if result.suite_of_row(row) == suite {
+                    total += 1;
+                    if per_cluster[cluster] == [suite] {
+                        unique += 1;
+                    }
+                }
+            }
+            SuiteUniqueness {
+                suite,
+                unique_fraction: unique as f64 / total.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Per-benchmark statistics: clusters touched and unique-behavior
+/// fraction at benchmark granularity (the grouping behind the paper's
+/// Figures 2-3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkStats {
+    /// Index into [`StudyResult::benchmarks`].
+    pub bench: usize,
+    /// Number of clusters containing at least one of the benchmark's
+    /// intervals.
+    pub clusters_touched: usize,
+    /// Fraction of the benchmark's sampled intervals in clusters
+    /// populated only by this benchmark (benchmark-specific behavior).
+    pub benchmark_specific: f64,
+    /// Fraction in clusters populated only by this benchmark's suite.
+    pub suite_specific: f64,
+}
+
+/// Computes per-benchmark coverage and specificity statistics.
+pub fn benchmark_stats(result: &StudyResult) -> Vec<BenchmarkStats> {
+    let k = result.clustering.k();
+    // Which benchmarks and suites populate each cluster.
+    let mut benches_in: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (row, &cluster) in result.clustering.assignments.iter().enumerate() {
+        let b = result.bench_of_row(row);
+        if !benches_in[cluster].contains(&b) {
+            benches_in[cluster].push(b);
+        }
+    }
+    let suites_in = cluster_suites(result);
+
+    (0..result.benchmarks.len())
+        .map(|bench| {
+            let suite = result.benchmarks[bench].suite;
+            let mut total = 0usize;
+            let mut own = 0usize;
+            let mut own_suite = 0usize;
+            let mut touched = vec![false; k];
+            for (row, &cluster) in result.clustering.assignments.iter().enumerate() {
+                if result.bench_of_row(row) != bench {
+                    continue;
+                }
+                total += 1;
+                touched[cluster] = true;
+                if benches_in[cluster] == [bench] {
+                    own += 1;
+                }
+                if suites_in[cluster] == [suite] {
+                    own_suite += 1;
+                }
+            }
+            BenchmarkStats {
+                bench,
+                clusters_touched: touched.iter().filter(|&&t| t).count(),
+                benchmark_specific: own as f64 / total.max(1) as f64,
+                suite_specific: own_suite as f64 / total.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StudyConfig;
+    use crate::pipeline::run_study;
+
+    fn result_two_suites() -> StudyResult {
+        let mut cfg = StudyConfig::smoke();
+        cfg.suites = Some(vec![Suite::BioPerf, Suite::MediaBench2]);
+        run_study(&cfg)
+    }
+
+    #[test]
+    fn coverage_is_bounded_and_complete() {
+        let r = result_two_suites();
+        let cov = coverage(&r);
+        assert_eq!(cov.len(), 2);
+        for c in &cov {
+            assert!(c.clusters_touched >= 1);
+            assert!(c.clusters_touched <= c.total_clusters);
+        }
+        // Together the suites touch every non-empty cluster.
+        let max_touched = cov.iter().map(|c| c.clusters_touched).max().unwrap();
+        assert!(max_touched <= cov[0].total_clusters);
+    }
+
+    #[test]
+    fn diversity_curves_are_monotone_and_end_at_one() {
+        let r = result_two_suites();
+        for curve in diversity(&r) {
+            assert!(!curve.cumulative.is_empty());
+            for w in curve.cumulative.windows(2) {
+                assert!(w[1] >= w[0] - 1e-12);
+            }
+            let last = *curve.cumulative.last().unwrap();
+            assert!((last - 1.0).abs() < 1e-9, "curve ends at {last}");
+            assert!(curve.clusters_to_cover(0.5) >= 1);
+            assert_eq!(
+                curve.clusters_to_cover(1.0),
+                curve.cumulative.len().min(curve.clusters_to_cover(1.0))
+            );
+        }
+    }
+
+    #[test]
+    fn uniqueness_fractions_are_probabilities() {
+        let r = result_two_suites();
+        for u in uniqueness(&r) {
+            assert!((0.0..=1.0).contains(&u.unique_fraction));
+        }
+    }
+
+    #[test]
+    fn single_suite_study_is_fully_unique() {
+        let mut cfg = StudyConfig::smoke();
+        cfg.suites = Some(vec![Suite::Bmw]);
+        let r = run_study(&cfg);
+        let u = uniqueness(&r);
+        assert_eq!(u.len(), 1);
+        assert!((u[0].unique_fraction - 1.0).abs() < 1e-12);
+        let cov = coverage(&r);
+        assert_eq!(cov[0].clusters_touched, cov[0].total_clusters);
+    }
+
+    #[test]
+    fn benchmark_stats_are_consistent_with_suite_uniqueness() {
+        let r = result_two_suites();
+        let stats = benchmark_stats(&r);
+        assert_eq!(stats.len(), r.benchmarks.len());
+        for s in &stats {
+            assert!(s.clusters_touched >= 1);
+            assert!((0.0..=1.0).contains(&s.benchmark_specific));
+            // Benchmark-specific clusters are a subset of suite-specific
+            // ones (a single-benchmark cluster is also single-suite).
+            assert!(
+                s.suite_specific >= s.benchmark_specific - 1e-12,
+                "{}: bench {} > suite {}",
+                r.benchmarks[s.bench].name,
+                s.benchmark_specific,
+                s.suite_specific
+            );
+        }
+        // A suite's uniqueness is the benchmark-count-weighted mean of
+        // its members' suite-specific fractions (equal samples per
+        // benchmark).
+        let uniq = uniqueness(&r);
+        for u in uniq {
+            let members: Vec<&BenchmarkStats> = stats
+                .iter()
+                .filter(|s| r.benchmarks[s.bench].suite == u.suite)
+                .collect();
+            let mean: f64 = members.iter().map(|s| s.suite_specific).sum::<f64>()
+                / members.len() as f64;
+            assert!(
+                (mean - u.unique_fraction).abs() < 1e-9,
+                "{:?}: {} vs {}",
+                u.suite,
+                mean,
+                u.unique_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn bioperf_is_distinct_from_mediabench_even_at_smoke_scale() {
+        // BioPerf's integer DP behaviors and MediaBench's media kernels
+        // should rarely co-cluster, so both suites retain substantial
+        // unique fractions.
+        let r = result_two_suites();
+        let u = uniqueness(&r);
+        let bio = u.iter().find(|x| x.suite == Suite::BioPerf).unwrap();
+        assert!(
+            bio.unique_fraction > 0.5,
+            "BioPerf uniqueness {}",
+            bio.unique_fraction
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Step 1: interval characterization of benchmark executions.
+
+use phaselab_mica::{FeatureVector, IntervalCharacterizer};
+use phaselab_trace::TraceSink as _;
+use phaselab_vm::{Program, Vm};
+use phaselab_workloads::Benchmark;
+
+use crate::config::StudyConfig;
+
+/// The characterization of one benchmark across all of its inputs.
+#[derive(Debug, Clone)]
+pub struct BenchCharacterization {
+    /// Interval feature vectors, one `Vec` per input.
+    pub per_input: Vec<Vec<FeatureVector>>,
+    /// Total dynamic instructions executed across inputs.
+    pub total_instructions: u64,
+}
+
+impl BenchCharacterization {
+    /// Total number of characterized intervals across inputs.
+    pub fn total_intervals(&self) -> usize {
+        self.per_input.iter().map(Vec::len).sum()
+    }
+}
+
+/// Characterizes one program execution: runs it to completion (or the
+/// instruction budget) and returns one [`FeatureVector`] per interval.
+///
+/// Only full intervals are kept (as in the paper), unless the whole
+/// execution is shorter than one interval — then the single partial
+/// interval is kept so no benchmark characterizes to nothing.
+///
+/// # Panics
+///
+/// Panics if the program faults: the bundled workloads are validated not
+/// to, so a fault indicates a bug, not an input condition.
+pub fn characterize_program(
+    program: &Program,
+    interval_len: u64,
+    max_instructions: u64,
+) -> (Vec<FeatureVector>, u64) {
+    let mut chr = IntervalCharacterizer::new(interval_len).keep_tail(true);
+    let mut vm = Vm::new(program);
+    let outcome = vm
+        .run(&mut chr, max_instructions)
+        .expect("workload execution faulted");
+    chr.finish();
+    let mut features = chr.into_features();
+    let full = (outcome.instructions / interval_len) as usize;
+    if full >= 1 && features.len() > full {
+        features.truncate(full); // drop the partial tail
+    }
+    (features, outcome.instructions)
+}
+
+/// Characterizes every input of a benchmark at the study's scale and
+/// interval length.
+pub fn characterize_benchmark(bench: &Benchmark, cfg: &StudyConfig) -> BenchCharacterization {
+    let mut per_input = Vec::with_capacity(bench.num_inputs());
+    let mut total_instructions = 0;
+    for input in 0..bench.num_inputs() {
+        let program = bench.build(cfg.scale, input);
+        let (features, instrs) =
+            characterize_program(&program, cfg.interval_len, cfg.max_instructions_per_run);
+        total_instructions += instrs;
+        per_input.push(features);
+    }
+    BenchCharacterization {
+        per_input,
+        total_instructions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phaselab_workloads::{catalog, Scale};
+
+    #[test]
+    fn short_program_keeps_partial_interval() {
+        let all = catalog();
+        let program = all[0].build(Scale::Tiny, 0);
+        // Interval far longer than the whole Tiny run.
+        let (features, instrs) = characterize_program(&program, 1 << 40, 1 << 41);
+        assert_eq!(features.len(), 1);
+        assert!(instrs > 0);
+    }
+
+    #[test]
+    fn interval_count_matches_execution_length() {
+        let all = catalog();
+        let program = all[0].build(Scale::Tiny, 0);
+        let interval = 10_000;
+        let (features, instrs) = characterize_program(&program, interval, 1 << 40);
+        assert_eq!(features.len() as u64, instrs / interval);
+    }
+
+    #[test]
+    fn characterize_benchmark_covers_all_inputs() {
+        let all = catalog();
+        // bzip2 (SPECint2000) has two inputs.
+        let bzip2 = all
+            .iter()
+            .find(|b| b.name() == "bzip2" && b.num_inputs() == 2)
+            .expect("bzip2 with two inputs");
+        let mut cfg = StudyConfig::smoke();
+        cfg.interval_len = 10_000;
+        let c = characterize_benchmark(bzip2, &cfg);
+        assert_eq!(c.per_input.len(), 2);
+        assert!(c.total_intervals() >= 2);
+        assert!(c.total_instructions > 20_000);
+    }
+
+    #[test]
+    fn characterization_is_deterministic() {
+        let all = catalog();
+        let program = all[3].build(Scale::Tiny, 0);
+        let (a, _) = characterize_program(&program, 15_000, 1 << 40);
+        let (b, _) = characterize_program(&program, 15_000, 1 << 40);
+        assert_eq!(a, b);
+    }
+}

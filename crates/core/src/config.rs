@@ -1,0 +1,164 @@
+//! Study configuration.
+
+use phaselab_ga::GaConfig;
+use phaselab_workloads::{Scale, Suite};
+
+/// How intervals are sampled from the characterized executions (§2.4 of
+/// the paper discusses this as an experimental design choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingPolicy {
+    /// A fixed number of intervals per benchmark (the paper's choice):
+    /// every benchmark gets equal weight regardless of its execution
+    /// length or input count.
+    EqualPerBenchmark,
+    /// Sample proportionally to each benchmark's interval count, up to
+    /// the same total budget: long-running benchmarks dominate, which is
+    /// the bias the paper's policy avoids.
+    Proportional,
+}
+
+/// Configuration of a phase-level workload characterization study.
+///
+/// The paper's setup uses 100M-instruction intervals, 1,000 sampled
+/// intervals per benchmark, k = 300 clusters, 100 prominent phases, a
+/// PCA retention threshold of 1.0 and 12 GA-selected key
+/// characteristics. [`StudyConfig::paper_scaled`] keeps every ratio and
+/// threshold but shrinks the interval length and sample count so the
+/// study runs on one machine in minutes; [`StudyConfig::smoke`] shrinks
+/// further for tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyConfig {
+    /// Workload scale (execution length multiplier).
+    pub scale: Scale,
+    /// Interval length in dynamic instructions (paper: 100M).
+    pub interval_len: u64,
+    /// Intervals sampled per benchmark across all inputs (paper: 1,000).
+    pub samples_per_benchmark: usize,
+    /// Sampling policy (paper: equal weight per benchmark).
+    pub sampling: SamplingPolicy,
+    /// Number of k-means clusters (paper: 300).
+    pub k: usize,
+    /// Number of prominent phases kept for visualization (paper: 100).
+    pub n_prominent: usize,
+    /// PCA retention threshold on component standard deviation
+    /// (paper: 1.0, the Kaiser criterion).
+    pub pca_sd_threshold: f64,
+    /// k-means restarts (highest BIC wins).
+    pub kmeans_restarts: usize,
+    /// k-means Lloyd iteration cap.
+    pub kmeans_max_iters: usize,
+    /// Genetic-algorithm configuration for key-characteristic selection.
+    pub ga: GaConfig,
+    /// Number of key characteristics the GA retains (paper: 12).
+    pub n_key_characteristics: usize,
+    /// Restrict the study to these suites (`None` = all 77 benchmarks).
+    pub suites: Option<Vec<Suite>>,
+    /// Instruction budget per benchmark execution (a safety net; all
+    /// bundled benchmarks halt well before it).
+    pub max_instructions_per_run: u64,
+    /// Worker threads for the characterization step (0 = all cores).
+    pub threads: usize,
+    /// Master seed; every stochastic stage derives its own seed from it.
+    pub seed: u64,
+}
+
+impl StudyConfig {
+    /// The full reproduction study: every paper parameter ratio, scaled
+    /// to a single machine (100 K-instruction intervals, 200 samples per
+    /// benchmark, k = 300, 100 prominent phases, 12 key
+    /// characteristics).
+    pub fn paper_scaled() -> Self {
+        StudyConfig {
+            scale: Scale::Full,
+            interval_len: 100_000,
+            samples_per_benchmark: 200,
+            sampling: SamplingPolicy::EqualPerBenchmark,
+            k: 300,
+            n_prominent: 100,
+            pca_sd_threshold: 1.0,
+            kmeans_restarts: 2,
+            kmeans_max_iters: 40,
+            ga: GaConfig::study(0),
+            n_key_characteristics: 12,
+            suites: None,
+            max_instructions_per_run: 500_000_000,
+            threads: 0,
+            seed: 0,
+        }
+    }
+
+    /// A fast configuration for tests: tiny workloads, short intervals,
+    /// small k.
+    pub fn smoke() -> Self {
+        StudyConfig {
+            scale: Scale::Tiny,
+            interval_len: 20_000,
+            samples_per_benchmark: 8,
+            sampling: SamplingPolicy::EqualPerBenchmark,
+            k: 24,
+            n_prominent: 10,
+            pca_sd_threshold: 1.0,
+            kmeans_restarts: 2,
+            kmeans_max_iters: 20,
+            ga: GaConfig::fast(0),
+            n_key_characteristics: 6,
+            suites: None,
+            max_instructions_per_run: 50_000_000,
+            threads: 0,
+            seed: 0,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on contradictory settings (e.g. more prominent phases than
+    /// clusters).
+    pub fn validate(&self) {
+        assert!(self.interval_len > 0, "interval length must be positive");
+        assert!(self.samples_per_benchmark > 0, "need at least one sample");
+        assert!(self.k > 0, "need at least one cluster");
+        assert!(
+            self.n_prominent <= self.k,
+            "cannot keep more prominent phases ({}) than clusters ({})",
+            self.n_prominent,
+            self.k
+        );
+        assert!(
+            self.n_key_characteristics >= 1,
+            "need at least one key characteristic"
+        );
+        if let Some(suites) = &self.suites {
+            assert!(!suites.is_empty(), "empty suite filter");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        StudyConfig::paper_scaled().validate();
+        StudyConfig::smoke().validate();
+    }
+
+    #[test]
+    fn paper_scaled_preserves_paper_ratios() {
+        let cfg = StudyConfig::paper_scaled();
+        assert_eq!(cfg.k, 300);
+        assert_eq!(cfg.n_prominent, 100);
+        assert_eq!(cfg.n_key_characteristics, 12);
+        assert_eq!(cfg.pca_sd_threshold, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "prominent")]
+    fn validate_rejects_prominent_above_k() {
+        let mut cfg = StudyConfig::smoke();
+        cfg.n_prominent = cfg.k + 1;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,172 @@
+//! Prominent phases and their visualization data.
+
+use phaselab_workloads::Suite;
+
+/// How a prominent phase's members distribute over benchmarks and suites
+/// (the grouping of Figures 2–3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// All member intervals come from a single benchmark: behavior unique
+    /// to that benchmark.
+    BenchmarkSpecific,
+    /// Members come from several benchmarks of one suite.
+    SuiteSpecific,
+    /// Members span multiple suites.
+    Mixed,
+}
+
+impl PhaseKind {
+    /// Display name matching the paper's figure grouping.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseKind::BenchmarkSpecific => "benchmark-specific",
+            PhaseKind::SuiteSpecific => "suite-specific",
+            PhaseKind::Mixed => "mixed",
+        }
+    }
+}
+
+impl std::fmt::Display for PhaseKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One benchmark's share of a prominent phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseShare {
+    /// Index into [`StudyResult::benchmarks`](crate::StudyResult).
+    pub bench: usize,
+    /// Fraction of the cluster's members from this benchmark (the pie
+    /// chart slice).
+    pub cluster_share: f64,
+    /// Fraction of this benchmark's sampled execution represented by the
+    /// cluster (the percentage printed next to each benchmark name in
+    /// the paper's figures).
+    pub benchmark_fraction: f64,
+}
+
+/// A prominent phase: one of the heaviest clusters of the k-means
+/// clustering, with its representative interval and benchmark
+/// composition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProminentPhase {
+    /// Cluster index in the full clustering.
+    pub cluster: usize,
+    /// Fraction of all sampled intervals in this cluster (the paper's
+    /// cluster weight).
+    pub weight: f64,
+    /// Row index (into the sampled set) of the interval closest to the
+    /// cluster centroid.
+    pub representative_row: usize,
+    /// Kind: benchmark-specific, suite-specific or mixed.
+    pub kind: PhaseKind,
+    /// Per-benchmark composition, heaviest first.
+    pub composition: Vec<PhaseShare>,
+    /// Suites contributing at least one member.
+    pub suites: Vec<Suite>,
+}
+
+/// One axis of a kiviat plot: a key characteristic with the population
+/// statistics that define the plot's rings (mean ± one standard
+/// deviation, min, max) and the phase's own value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KiviatAxis {
+    /// Feature index in the 69-characteristic layout.
+    pub feature: usize,
+    /// Feature name.
+    pub name: &'static str,
+    /// Minimum over all sampled intervals.
+    pub min: f64,
+    /// Mean over all sampled intervals.
+    pub mean: f64,
+    /// Standard deviation over all sampled intervals.
+    pub sd: f64,
+    /// Maximum over all sampled intervals.
+    pub max: f64,
+    /// The phase representative's value.
+    pub value: f64,
+}
+
+impl KiviatAxis {
+    /// The phase value normalized to `[0, 1]` between the population min
+    /// and max (0.5 when the axis is constant).
+    pub fn normalized_value(&self) -> f64 {
+        if self.max > self.min {
+            ((self.value - self.min) / (self.max - self.min)).clamp(0.0, 1.0)
+        } else {
+            0.5
+        }
+    }
+
+    /// Ring positions for mean − sd, mean, mean + sd, normalized like
+    /// [`normalized_value`](Self::normalized_value) and clamped into the
+    /// min/max span (the paper notes the mean ± sd rings can exceed the
+    /// observed extremes).
+    pub fn normalized_rings(&self) -> [f64; 3] {
+        let norm = |v: f64| {
+            if self.max > self.min {
+                ((v - self.min) / (self.max - self.min)).clamp(0.0, 1.0)
+            } else {
+                0.5
+            }
+        };
+        [norm(self.mean - self.sd), norm(self.mean), norm(self.mean + self.sd)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(PhaseKind::BenchmarkSpecific.name(), "benchmark-specific");
+        assert_eq!(PhaseKind::Mixed.to_string(), "mixed");
+    }
+
+    #[test]
+    fn kiviat_normalization() {
+        let axis = KiviatAxis {
+            feature: 0,
+            name: "x",
+            min: 0.0,
+            mean: 2.0,
+            sd: 1.0,
+            max: 4.0,
+            value: 3.0,
+        };
+        assert_eq!(axis.normalized_value(), 0.75);
+        assert_eq!(axis.normalized_rings(), [0.25, 0.5, 0.75]);
+    }
+
+    #[test]
+    fn constant_axis_centers() {
+        let axis = KiviatAxis {
+            feature: 0,
+            name: "x",
+            min: 1.0,
+            mean: 1.0,
+            sd: 0.0,
+            max: 1.0,
+            value: 1.0,
+        };
+        assert_eq!(axis.normalized_value(), 0.5);
+    }
+
+    #[test]
+    fn rings_clamp_to_span() {
+        let axis = KiviatAxis {
+            feature: 0,
+            name: "x",
+            min: 0.0,
+            mean: 0.5,
+            sd: 2.0,
+            max: 1.0,
+            value: 0.2,
+        };
+        let rings = axis.normalized_rings();
+        assert_eq!(rings[0], 0.0);
+        assert_eq!(rings[2], 1.0);
+    }
+}

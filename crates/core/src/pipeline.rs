@@ -1,0 +1,477 @@
+//! Steps 2–5: the study pipeline.
+
+use std::sync::Mutex;
+
+use phaselab_ga::{select_features, DistanceCorrelationFitness};
+use phaselab_mica::{feature_names, NUM_FEATURES};
+use phaselab_stats::{distance_sq, kmeans, normalize_columns, Clustering, ColumnStats, KmeansConfig, Matrix, Pca};
+use phaselab_workloads::{catalog, Suite};
+
+use crate::characterize::{characterize_benchmark, BenchCharacterization};
+use crate::config::StudyConfig;
+use crate::phases::{KiviatAxis, PhaseKind, PhaseShare, ProminentPhase};
+use crate::sampling::sample_with_policy;
+
+/// Execution metadata of one characterized benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkRun {
+    /// Benchmark name.
+    pub name: String,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Input names.
+    pub input_names: Vec<String>,
+    /// Characterized intervals per input.
+    pub intervals_per_input: Vec<usize>,
+    /// Total dynamic instructions executed.
+    pub total_instructions: u64,
+}
+
+impl BenchmarkRun {
+    /// Total characterized intervals across inputs.
+    pub fn total_intervals(&self) -> usize {
+        self.intervals_per_input.iter().sum()
+    }
+}
+
+/// One sampled interval: a row of the study's data matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampledInterval {
+    /// Index into [`StudyResult::benchmarks`].
+    pub bench: usize,
+    /// Input index within the benchmark.
+    pub input: usize,
+    /// Interval index within the input's execution.
+    pub interval: usize,
+}
+
+/// Everything a study produces: the characterized and sampled data set,
+/// the clustering, the prominent phases and the GA-selected key
+/// characteristics.
+#[derive(Debug, Clone)]
+pub struct StudyResult {
+    /// The configuration the study ran with.
+    pub config: StudyConfig,
+    /// Characterized benchmarks, in catalog order (filtered by suite).
+    pub benchmarks: Vec<BenchmarkRun>,
+    /// The sampled intervals, one per data-matrix row.
+    pub sampled: Vec<SampledInterval>,
+    /// Raw 69-characteristic features of the sampled intervals.
+    pub features: Matrix,
+    /// The rescaled PCA space of the sampled intervals (what the
+    /// clustering ran on).
+    pub space: Matrix,
+    /// Number of principal components retained.
+    pub pcs_retained: usize,
+    /// Fraction of total variance the retained components explain.
+    pub variance_explained: f64,
+    /// The full k-means clustering.
+    pub clustering: Clustering,
+    /// The top-weight clusters (paper: the 100 prominent phases).
+    pub prominent: Vec<ProminentPhase>,
+    /// Combined weight of the prominent phases (the paper's 87.8 %).
+    pub prominent_coverage: f64,
+    /// GA-selected key characteristic indices (paper's Table 2).
+    pub key_characteristics: Vec<usize>,
+    /// Fitness (distance correlation) of the key-characteristic set.
+    pub ga_fitness: f64,
+    /// Column statistics of the raw feature matrix (first normalization).
+    feature_norm: ColumnStats,
+    /// The fitted PCA model.
+    pca: Pca,
+    /// Column statistics of the retained PC scores (the rescaling).
+    score_norm: ColumnStats,
+}
+
+impl StudyResult {
+    /// The suite owning data-matrix row `row`.
+    pub fn suite_of_row(&self, row: usize) -> Suite {
+        self.benchmarks[self.sampled[row].bench].suite
+    }
+
+    /// The benchmark index owning data-matrix row `row`.
+    pub fn bench_of_row(&self, row: usize) -> usize {
+        self.sampled[row].bench
+    }
+
+    /// Kiviat axes for one prominent phase: the phase representative's
+    /// key-characteristic values against population statistics.
+    pub fn kiviat_axes(&self, phase: &ProminentPhase) -> Vec<KiviatAxis> {
+        let names = feature_names();
+        let rep = self.features.row(phase.representative_row);
+        self.key_characteristics
+            .iter()
+            .map(|&feat| {
+                let col = self.features.column(feat);
+                let n = col.len() as f64;
+                let mean = col.iter().sum::<f64>() / n;
+                let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+                let min = col.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                KiviatAxis {
+                    feature: feat,
+                    name: names[feat],
+                    min,
+                    mean,
+                    sd: var.sqrt(),
+                    max,
+                    value: rep[feat],
+                }
+            })
+            .collect()
+    }
+
+    /// The sampled rows assigned to `cluster`.
+    pub fn rows_in_cluster(&self, cluster: usize) -> Vec<usize> {
+        self.clustering.members_of(cluster)
+    }
+
+    /// Projects a raw 69-characteristic feature vector into this study's
+    /// rescaled PCA space, using the normalization and PCA fitted on the
+    /// study's own data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` does not have 69 entries.
+    pub fn project(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), NUM_FEATURES, "expected 69 features");
+        let one = Matrix::from_rows(&[features.to_vec()]);
+        let normed = self.feature_norm.apply(&one);
+        let scores = self.pca.transform(&normed, self.pcs_retained);
+        let rescaled = self.score_norm.apply(&scores);
+        rescaled.row(0).to_vec()
+    }
+
+    /// Assigns a raw feature vector to the nearest cluster of the
+    /// study's clustering — classifying a *new* interval against the
+    /// study's phase taxonomy (the cross-benchmark simulation-point idea
+    /// of Eeckhout et al., discussed in the paper's related work).
+    ///
+    /// Returns the cluster index and the squared distance to its
+    /// centroid in the rescaled PCA space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` does not have 69 entries.
+    pub fn classify(&self, features: &[f64]) -> (usize, f64) {
+        let point = self.project(features);
+        (0..self.clustering.k())
+            .map(|c| (c, distance_sq(&point, self.clustering.centroids.row(c))))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .expect("at least one cluster")
+    }
+}
+
+/// Runs the full methodology pipeline.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see
+/// [`StudyConfig::validate`]) or a workload faults.
+pub fn run_study(cfg: &StudyConfig) -> StudyResult {
+    cfg.validate();
+
+    // Step 1: characterize all benchmarks (in parallel).
+    let benches: Vec<_> = catalog()
+        .into_iter()
+        .filter(|b| {
+            cfg.suites
+                .as_ref()
+                .map(|s| s.contains(&b.suite()))
+                .unwrap_or(true)
+        })
+        .collect();
+    assert!(!benches.is_empty(), "suite filter selected no benchmarks");
+
+    let characterizations = characterize_all(&benches, cfg);
+
+    let benchmarks: Vec<BenchmarkRun> = benches
+        .iter()
+        .zip(&characterizations)
+        .map(|(b, c)| BenchmarkRun {
+            name: b.name().to_string(),
+            suite: b.suite(),
+            input_names: b.input_names().iter().map(|s| s.to_string()).collect(),
+            intervals_per_input: c.per_input.iter().map(Vec::len).collect(),
+            total_instructions: c.total_instructions,
+        })
+        .collect();
+
+    // Step 2: equal-weight interval sampling.
+    let available: Vec<Vec<usize>> = benchmarks
+        .iter()
+        .map(|b| b.intervals_per_input.clone())
+        .collect();
+    let sampled = sample_with_policy(&available, cfg.samples_per_benchmark, cfg.sampling, cfg.seed);
+    assert!(!sampled.is_empty(), "no intervals were sampled");
+
+    let mut rows = Vec::with_capacity(sampled.len());
+    for s in &sampled {
+        rows.push(
+            characterizations[s.bench].per_input[s.input][s.interval]
+                .as_slice()
+                .to_vec(),
+        );
+    }
+    let features = Matrix::from_rows(&rows);
+
+    // Step 3: normalize -> PCA (retain sd > threshold) -> normalize.
+    let (normed, feature_norm) = normalize_columns(&features);
+    let pca = Pca::fit(&normed);
+    let pcs_retained = pca.count_above(cfg.pca_sd_threshold).max(1);
+    let variance_explained = pca.cumulative_explained(pcs_retained);
+    let scores = pca.transform(&normed, pcs_retained);
+    let (space, score_norm) = normalize_columns(&scores);
+
+    // Step 4: k-means with BIC-scored restarts; rank clusters by weight.
+    let k = cfg.k.min(space.rows());
+    let clustering = kmeans(
+        &space,
+        &KmeansConfig::new(k)
+            .with_restarts(cfg.kmeans_restarts)
+            .with_max_iters(cfg.kmeans_max_iters)
+            .with_seed(cfg.seed ^ 0xC1u64),
+    );
+
+    let (prominent, prominent_coverage) =
+        prominent_phases(&clustering, &space, &sampled, &benchmarks, cfg);
+
+    // Step 5: GA key-characteristic selection over the prominent phase
+    // representatives, in the raw characteristic space.
+    let rep_rows: Vec<usize> = prominent.iter().map(|p| p.representative_row).collect();
+    let (key_characteristics, ga_fitness) = if rep_rows.len() >= 3 {
+        let rep_matrix = features.select_rows(&rep_rows);
+        let fitness = DistanceCorrelationFitness::new(&rep_matrix, cfg.pca_sd_threshold);
+        let mut ga_cfg = cfg.ga.clone();
+        ga_cfg.seed ^= cfg.seed;
+        let score = |mask: &[bool]| fitness.score(mask);
+        let result = select_features(NUM_FEATURES, cfg.n_key_characteristics, &score, &ga_cfg);
+        let selected: Vec<usize> = (0..NUM_FEATURES).filter(|&i| result.genome[i]).collect();
+        (selected, result.fitness)
+    } else {
+        // Degenerate smoke studies: fall back to the first features.
+        ((0..cfg.n_key_characteristics).collect(), 0.0)
+    };
+
+    StudyResult {
+        config: cfg.clone(),
+        benchmarks,
+        sampled,
+        features,
+        space,
+        pcs_retained,
+        variance_explained,
+        clustering,
+        prominent,
+        prominent_coverage,
+        key_characteristics,
+        ga_fitness,
+        feature_norm,
+        pca,
+        score_norm,
+    }
+}
+
+/// Characterizes all benchmarks using a simple work-stealing thread pool.
+fn characterize_all(
+    benches: &[phaselab_workloads::Benchmark],
+    cfg: &StudyConfig,
+) -> Vec<BenchCharacterization> {
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        cfg.threads
+    }
+    .min(benches.len())
+    .max(1);
+
+    let next = Mutex::new(0usize);
+    let results: Vec<Mutex<Option<BenchCharacterization>>> =
+        (0..benches.len()).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = {
+                    let mut n = next.lock().expect("queue lock");
+                    let idx = *n;
+                    *n += 1;
+                    idx
+                };
+                if idx >= benches.len() {
+                    break;
+                }
+                let c = characterize_benchmark(&benches[idx], cfg);
+                *results[idx].lock().expect("result lock") = Some(c);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("result lock").expect("worker completed"))
+        .collect()
+}
+
+/// Ranks clusters by weight, keeps the top `n_prominent`, and describes
+/// each with its representative and benchmark composition.
+fn prominent_phases(
+    clustering: &Clustering,
+    space: &Matrix,
+    sampled: &[SampledInterval],
+    benchmarks: &[BenchmarkRun],
+    cfg: &StudyConfig,
+) -> (Vec<ProminentPhase>, f64) {
+    let total = sampled.len() as f64;
+    let mut order: Vec<usize> = (0..clustering.k()).collect();
+    order.sort_by(|&a, &b| clustering.sizes[b].cmp(&clustering.sizes[a]).then(a.cmp(&b)));
+
+    // Per-benchmark sampled totals for benchmark_fraction.
+    let mut bench_totals = vec![0usize; benchmarks.len()];
+    for s in sampled {
+        bench_totals[s.bench] += 1;
+    }
+
+    let mut phases = Vec::new();
+    let mut coverage = 0.0;
+    for &cluster in order.iter().take(cfg.n_prominent) {
+        if clustering.sizes[cluster] == 0 {
+            continue;
+        }
+        let members = clustering.members_of(cluster);
+        let weight = members.len() as f64 / total;
+        coverage += weight;
+        let representative_row = clustering
+            .representative_of(space, cluster)
+            .expect("non-empty cluster");
+
+        let mut per_bench = vec![0usize; benchmarks.len()];
+        for &row in &members {
+            per_bench[sampled[row].bench] += 1;
+        }
+        let mut composition: Vec<PhaseShare> = per_bench
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(bench, &n)| PhaseShare {
+                bench,
+                cluster_share: n as f64 / members.len() as f64,
+                benchmark_fraction: n as f64 / bench_totals[bench].max(1) as f64,
+            })
+            .collect();
+        composition.sort_by(|a, b| {
+            b.cluster_share
+                .partial_cmp(&a.cluster_share)
+                .expect("finite shares")
+        });
+
+        let mut suites: Vec<Suite> = composition
+            .iter()
+            .map(|s| benchmarks[s.bench].suite)
+            .collect();
+        suites.sort_unstable();
+        suites.dedup();
+
+        let kind = if composition.len() == 1 {
+            PhaseKind::BenchmarkSpecific
+        } else if suites.len() == 1 {
+            PhaseKind::SuiteSpecific
+        } else {
+            PhaseKind::Mixed
+        };
+
+        phases.push(ProminentPhase {
+            cluster,
+            weight,
+            representative_row,
+            kind,
+            composition,
+            suites,
+        });
+    }
+    (phases, coverage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_result() -> StudyResult {
+        let mut cfg = StudyConfig::smoke();
+        cfg.suites = Some(vec![Suite::Bmw, Suite::MediaBench2]);
+        cfg.threads = 2;
+        run_study(&cfg)
+    }
+
+    #[test]
+    fn smoke_study_end_to_end() {
+        let r = smoke_result();
+        assert_eq!(r.benchmarks.len(), 12); // 5 BMW + 7 MediaBench II
+        assert_eq!(r.sampled.len(), 12 * r.config.samples_per_benchmark);
+        assert_eq!(r.features.rows(), r.sampled.len());
+        assert_eq!(r.features.cols(), NUM_FEATURES);
+        assert!(r.pcs_retained >= 1);
+        assert!(r.variance_explained > 0.5);
+        assert!(!r.prominent.is_empty());
+        assert!(r.prominent_coverage > 0.0 && r.prominent_coverage <= 1.0 + 1e-9);
+        assert_eq!(
+            r.key_characteristics.len(),
+            r.config.n_key_characteristics
+        );
+        assert!(r.ga_fitness > 0.0, "GA fitness {}", r.ga_fitness);
+    }
+
+    #[test]
+    fn prominent_phases_sorted_by_weight_and_classified() {
+        let r = smoke_result();
+        for w in r.prominent.windows(2) {
+            assert!(w[0].weight >= w[1].weight - 1e-12);
+        }
+        for p in &r.prominent {
+            let share_sum: f64 = p.composition.iter().map(|s| s.cluster_share).sum();
+            assert!((share_sum - 1.0).abs() < 1e-9, "shares sum to {share_sum}");
+            match p.kind {
+                PhaseKind::BenchmarkSpecific => assert_eq!(p.composition.len(), 1),
+                PhaseKind::SuiteSpecific => {
+                    assert!(p.composition.len() > 1);
+                    assert_eq!(p.suites.len(), 1);
+                }
+                PhaseKind::Mixed => assert!(p.suites.len() > 1),
+            }
+        }
+    }
+
+    #[test]
+    fn kiviat_axes_are_well_formed() {
+        let r = smoke_result();
+        let axes = r.kiviat_axes(&r.prominent[0]);
+        assert_eq!(axes.len(), r.config.n_key_characteristics);
+        for axis in axes {
+            assert!(axis.min <= axis.mean + 1e-12);
+            assert!(axis.mean <= axis.max + 1e-12);
+            assert!((axis.min..=axis.max).contains(&axis.value));
+            let v = axis.normalized_value();
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let mut cfg = StudyConfig::smoke();
+        cfg.suites = Some(vec![Suite::Bmw]);
+        let a = run_study(&cfg);
+        let b = run_study(&cfg);
+        assert_eq!(a.clustering.assignments, b.clustering.assignments);
+        assert_eq!(a.key_characteristics, b.key_characteristics);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty suite filter")]
+    fn empty_filter_panics() {
+        let mut cfg = StudyConfig::smoke();
+        cfg.suites = Some(vec![]);
+        let _ = run_study(&cfg);
+    }
+}

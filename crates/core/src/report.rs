@@ -1,0 +1,147 @@
+//! Plain-text and CSV reporting helpers.
+
+use std::io::{self, Write};
+
+/// Formats a table with aligned columns for terminal output.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+///
+/// # Examples
+///
+/// ```
+/// use phaselab_core::format_table;
+///
+/// let t = format_table(
+///     &["suite", "clusters"],
+///     &[vec!["BioPerf".into(), "17".into()]],
+/// );
+/// assert!(t.contains("BioPerf"));
+/// assert!(t.lines().count() >= 3);
+/// ```
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row length mismatch");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let emit_row = |out: &mut String, cells: &[String]| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            out.extend(std::iter::repeat_n(' ', w - cell.len()));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    emit_row(&mut out, &header_cells);
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.extend(std::iter::repeat_n('-', rule));
+    out.push('\n');
+    for row in rows {
+        emit_row(&mut out, row);
+    }
+    out
+}
+
+/// Writes rows as CSV (comma-separated, quoting cells that contain
+/// commas or quotes).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// let mut buf = Vec::new();
+/// phaselab_core::write_csv(
+///     &mut buf,
+///     &["a", "b"],
+///     &[vec!["1".into(), "x,y".into()]],
+/// ).unwrap();
+/// assert_eq!(String::from_utf8(buf).unwrap(), "a,b\n1,\"x,y\"\n");
+/// ```
+pub fn write_csv<W: Write>(
+    writer: &mut W,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    let escape = |cell: &str| -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    writeln!(
+        writer,
+        "{}",
+        headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+    )?;
+    for row in rows {
+        writeln!(
+            writer,
+            "{}",
+            row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = format_table(
+            &["name", "n"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The numeric column starts at the same offset in both data rows.
+        let off1 = lines[2].find('1').unwrap();
+        let off2 = lines[3].find("22").unwrap();
+        assert_eq!(off1, off2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn table_validates_rows() {
+        let _ = format_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn csv_escapes_quotes() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &["x"], &[vec!["say \"hi\"".into()]]).unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            "x\n\"say \"\"hi\"\"\"\n"
+        );
+    }
+
+    #[test]
+    fn csv_plain_cells_unquoted() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &["a", "b"], &[vec!["1".into(), "2".into()]]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "a,b\n1,2\n");
+    }
+}

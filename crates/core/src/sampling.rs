@@ -1,0 +1,191 @@
+//! Step 2: interval sampling.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::config::SamplingPolicy;
+use crate::pipeline::SampledInterval;
+
+/// Samples a fixed number of intervals per benchmark across all of its
+/// inputs (§2.4 of the paper), giving every benchmark equal weight in the
+/// subsequent analysis.
+///
+/// `available[b][i]` is the number of characterized intervals of
+/// benchmark `b`, input `i`. When a benchmark has at least
+/// `samples_per_benchmark` intervals they are drawn without replacement;
+/// when it has fewer, every interval is taken and the remainder is drawn
+/// with replacement — "instruction intervals will appear multiple times
+/// in the data set", as the paper puts it.
+///
+/// Sampling is deterministic in `seed` and independent per benchmark.
+pub fn sample_intervals(
+    available: &[Vec<usize>],
+    samples_per_benchmark: usize,
+    seed: u64,
+) -> Vec<SampledInterval> {
+    let mut out = Vec::with_capacity(available.len() * samples_per_benchmark);
+    for (bench, inputs) in available.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed ^ (bench as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut pool: Vec<(usize, usize)> = inputs
+            .iter()
+            .enumerate()
+            .flat_map(|(input, &n)| (0..n).map(move |iv| (input, iv)))
+            .collect();
+        if pool.is_empty() {
+            continue;
+        }
+        pool.shuffle(&mut rng);
+        if pool.len() >= samples_per_benchmark {
+            pool.truncate(samples_per_benchmark);
+        } else {
+            let deficit = samples_per_benchmark - pool.len();
+            for _ in 0..deficit {
+                let pick = pool[rng.random_range(0..pool.len())];
+                pool.push(pick);
+            }
+        }
+        out.extend(pool.into_iter().map(|(input, interval)| SampledInterval {
+            bench,
+            input,
+            interval,
+        }));
+    }
+    out
+}
+
+/// Samples with the given policy.
+///
+/// [`SamplingPolicy::EqualPerBenchmark`] delegates to
+/// [`sample_intervals`]. [`SamplingPolicy::Proportional`] draws the same
+/// *total* number of intervals, but allocates them to benchmarks in
+/// proportion to their characterized interval counts — the bias the
+/// paper's equal-weight policy is designed to avoid (ablation A3).
+pub fn sample_with_policy(
+    available: &[Vec<usize>],
+    samples_per_benchmark: usize,
+    policy: SamplingPolicy,
+    seed: u64,
+) -> Vec<SampledInterval> {
+    match policy {
+        SamplingPolicy::EqualPerBenchmark => {
+            sample_intervals(available, samples_per_benchmark, seed)
+        }
+        SamplingPolicy::Proportional => {
+            let totals: Vec<usize> = available.iter().map(|v| v.iter().sum()).collect();
+            let grand_total: usize = totals.iter().sum();
+            if grand_total == 0 {
+                return Vec::new();
+            }
+            let budget = samples_per_benchmark * available.len();
+            let mut out = Vec::with_capacity(budget);
+            for (bench, inputs) in available.iter().enumerate() {
+                // Round to the nearest share; at least 1 for non-empty
+                // benchmarks so nothing disappears entirely.
+                let share = (budget as f64 * totals[bench] as f64 / grand_total as f64)
+                    .round() as usize;
+                let share = if totals[bench] > 0 { share.max(1) } else { 0 };
+                if share == 0 {
+                    continue;
+                }
+                let one = sample_intervals(
+                    std::slice::from_ref(inputs),
+                    share,
+                    seed ^ (bench as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+                );
+                out.extend(one.into_iter().map(|s| SampledInterval { bench, ..s }));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weight_per_benchmark() {
+        let available = vec![vec![100], vec![3], vec![10, 10]];
+        let sampled = sample_intervals(&available, 20, 1);
+        for b in 0..3 {
+            let n = sampled.iter().filter(|s| s.bench == b).count();
+            assert_eq!(n, 20, "benchmark {b} got {n} samples");
+        }
+    }
+
+    #[test]
+    fn oversampled_benchmark_draws_without_replacement() {
+        let available = vec![vec![100]];
+        let sampled = sample_intervals(&available, 50, 2);
+        let mut seen: Vec<usize> = sampled.iter().map(|s| s.interval).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 50, "duplicates despite sufficient pool");
+    }
+
+    #[test]
+    fn undersampled_benchmark_repeats_intervals() {
+        let available = vec![vec![3]];
+        let sampled = sample_intervals(&available, 10, 3);
+        assert_eq!(sampled.len(), 10);
+        // All three distinct intervals are present at least once.
+        for iv in 0..3 {
+            assert!(sampled.iter().any(|s| s.interval == iv));
+        }
+    }
+
+    #[test]
+    fn spans_all_inputs() {
+        let available = vec![vec![50, 50]];
+        let sampled = sample_intervals(&available, 60, 4);
+        assert!(sampled.iter().any(|s| s.input == 0));
+        assert!(sampled.iter().any(|s| s.input == 1));
+    }
+
+    #[test]
+    fn deterministic_and_benchmark_independent() {
+        let a = sample_intervals(&[vec![30], vec![30]], 10, 7);
+        let b = sample_intervals(&[vec![30], vec![30]], 10, 7);
+        assert_eq!(a, b);
+        // Removing benchmark 1 does not change benchmark 0's draw.
+        let c = sample_intervals(&[vec![30]], 10, 7);
+        let a0: Vec<_> = a.iter().filter(|s| s.bench == 0).collect();
+        let c0: Vec<_> = c.iter().collect();
+        assert_eq!(a0, c0);
+    }
+
+    #[test]
+    fn empty_benchmark_is_skipped() {
+        let sampled = sample_intervals(&[vec![0], vec![5]], 4, 5);
+        assert!(sampled.iter().all(|s| s.bench == 1));
+    }
+
+    #[test]
+    fn proportional_policy_weights_by_interval_count() {
+        // Benchmark 0 has 9x the intervals of benchmark 1.
+        let available = vec![vec![900], vec![100]];
+        let sampled = sample_with_policy(&available, 50, SamplingPolicy::Proportional, 6);
+        let n0 = sampled.iter().filter(|s| s.bench == 0).count();
+        let n1 = sampled.iter().filter(|s| s.bench == 1).count();
+        assert_eq!(n0 + n1, 100);
+        assert_eq!(n0, 90);
+        assert_eq!(n1, 10);
+    }
+
+    #[test]
+    fn proportional_policy_keeps_benchmark_indices() {
+        let available = vec![vec![10], vec![10], vec![10]];
+        let sampled = sample_with_policy(&available, 6, SamplingPolicy::Proportional, 7);
+        for b in 0..3 {
+            assert!(sampled.iter().any(|s| s.bench == b));
+        }
+    }
+
+    #[test]
+    fn equal_policy_matches_sample_intervals() {
+        let available = vec![vec![30], vec![40]];
+        let a = sample_with_policy(&available, 10, SamplingPolicy::EqualPerBenchmark, 8);
+        let b = sample_intervals(&available, 10, 8);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,185 @@
+//! SimPoint-style representative-interval selection.
+//!
+//! The paper's implications section (§5.3) and its related work (Sherwood
+//! et al.'s SimPoint; Eeckhout et al.'s cross-benchmark simulation
+//! points) reduce simulation time by simulating one representative
+//! interval per phase and weighting it by the phase's share of the
+//! execution. This module derives such simulation points for a single
+//! benchmark execution from a study's phase taxonomy and quantifies how
+//! well the weighted points reconstruct the execution's aggregate
+//! behavior.
+
+use phaselab_mica::{FeatureVector, NUM_FEATURES};
+
+use crate::temporal::PhaseTimeline;
+
+/// One simulation point: a representative interval index plus the weight
+/// (execution fraction) of the phase it represents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimPoint {
+    /// Interval index within the benchmark execution.
+    pub interval: usize,
+    /// Cluster (phase) this point represents.
+    pub cluster: usize,
+    /// Fraction of the execution's intervals in that phase.
+    pub weight: f64,
+}
+
+/// Derives one simulation point per phase visited by `timeline`: for
+/// each cluster, the interval whose features are closest to the
+/// per-cluster mean of this execution, weighted by the cluster's share
+/// of intervals.
+///
+/// # Panics
+///
+/// Panics if `timeline` and `features` have different lengths, or are
+/// empty.
+pub fn simulation_points(timeline: &PhaseTimeline, features: &[FeatureVector]) -> Vec<SimPoint> {
+    assert_eq!(
+        timeline.len(),
+        features.len(),
+        "timeline/features length mismatch"
+    );
+    assert!(!features.is_empty(), "empty execution");
+
+    let total = timeline.len() as f64;
+    let mut points = Vec::new();
+    for cluster in timeline.distinct_phases() {
+        let members: Vec<usize> = (0..timeline.len())
+            .filter(|&i| timeline.clusters[i] == cluster)
+            .collect();
+        // Per-cluster mean in raw feature space.
+        let mut mean = vec![0.0; NUM_FEATURES];
+        for &i in &members {
+            for (m, &v) in mean.iter_mut().zip(features[i].as_slice()) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= members.len() as f64;
+        }
+        // Closest member to the mean.
+        let rep = members
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                let da = phaselab_stats::distance_sq(features[a].as_slice(), &mean);
+                let db = phaselab_stats::distance_sq(features[b].as_slice(), &mean);
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .expect("non-empty cluster");
+        points.push(SimPoint {
+            interval: rep,
+            cluster,
+            weight: members.len() as f64 / total,
+        });
+    }
+    points
+}
+
+/// Reconstructs the execution's aggregate feature vector from weighted
+/// simulation points: `Σ weight × features[point]`.
+pub fn weighted_estimate(points: &[SimPoint], features: &[FeatureVector]) -> Vec<f64> {
+    let mut est = vec![0.0; NUM_FEATURES];
+    for p in points {
+        for (e, &v) in est.iter_mut().zip(features[p.interval].as_slice()) {
+            *e += p.weight * v;
+        }
+    }
+    est
+}
+
+/// Mean absolute error between a weighted simulation-point estimate and
+/// the true per-interval mean, over a feature subset (e.g. the
+/// instruction-mix block, whose entries are commensurable fractions).
+pub fn reconstruction_error(
+    points: &[SimPoint],
+    features: &[FeatureVector],
+    feature_range: std::ops::Range<usize>,
+) -> f64 {
+    let est = weighted_estimate(points, features);
+    let n = features.len() as f64;
+    let mut truth = vec![0.0; NUM_FEATURES];
+    for fv in features {
+        for (t, &v) in truth.iter_mut().zip(fv.as_slice()) {
+            *t += v / n;
+        }
+    }
+    let len = feature_range.len() as f64;
+    feature_range
+        .map(|i| (est[i] - truth[i]).abs())
+        .sum::<f64>()
+        / len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(mem: f64) -> FeatureVector {
+        let mut f = FeatureVector::zeros();
+        f[0] = mem; // mix_mem_read
+        f[6] = 1.0 - mem; // mix_int_add
+        f
+    }
+
+    fn two_phase() -> (PhaseTimeline, Vec<FeatureVector>) {
+        // 6 intervals at 10% memory, then 4 at 50%.
+        let timeline = PhaseTimeline {
+            clusters: vec![1, 1, 1, 1, 1, 1, 2, 2, 2, 2],
+        };
+        let features: Vec<FeatureVector> = (0..10)
+            .map(|i| if i < 6 { fv(0.1) } else { fv(0.5) })
+            .collect();
+        (timeline, features)
+    }
+
+    #[test]
+    fn one_point_per_phase_with_correct_weights() {
+        let (t, f) = two_phase();
+        let pts = simulation_points(&t, &f);
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].weight - 0.6).abs() < 1e-12);
+        assert!((pts[1].weight - 0.4).abs() < 1e-12);
+        assert!(pts[0].interval < 6);
+        assert!(pts[1].interval >= 6);
+        let wsum: f64 = pts.iter().map(|p| p.weight).sum();
+        assert!((wsum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_estimate_recovers_homogeneous_phases() {
+        let (t, f) = two_phase();
+        let pts = simulation_points(&t, &f);
+        let est = weighted_estimate(&pts, &f);
+        // True mean memory fraction: 0.6*0.1 + 0.4*0.5 = 0.26.
+        assert!((est[0] - 0.26).abs() < 1e-12);
+        let err = reconstruction_error(&pts, &f, 0..20);
+        assert!(err < 1e-12, "perfect phases reconstruct exactly, err {err}");
+    }
+
+    #[test]
+    fn noisy_phases_reconstruct_approximately() {
+        // Add within-phase noise: reconstruction error stays small
+        // relative to the between-phase signal.
+        let timeline = PhaseTimeline {
+            clusters: (0..20).map(|i| if i < 10 { 1 } else { 2 }).collect(),
+        };
+        let features: Vec<FeatureVector> = (0..20)
+            .map(|i| {
+                let base = if i < 10 { 0.1 } else { 0.5 };
+                fv(base + 0.02 * ((i % 5) as f64 - 2.0) / 2.0)
+            })
+            .collect();
+        let pts = simulation_points(&timeline, &features);
+        let err = reconstruction_error(&pts, &features, 0..20);
+        assert!(err < 0.02, "reconstruction error {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_rejected() {
+        let t = PhaseTimeline { clusters: vec![0] };
+        let _ = simulation_points(&t, &[]);
+    }
+}

@@ -1,0 +1,331 @@
+//! The multi-population genetic algorithm.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration for [`select_features`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaConfig {
+    /// Number of independent populations (migration moves solutions
+    /// between them).
+    pub populations: usize,
+    /// Genomes per population.
+    pub population_size: usize,
+    /// Stop after this many generations without fitness improvement.
+    pub patience: usize,
+    /// Hard cap on generations.
+    pub max_generations: usize,
+    /// Per-gene mutation probability (a mutation swaps a selected gene
+    /// with an unselected one, preserving the selection count).
+    pub mutation_rate: f64,
+    /// Fraction of each next generation produced by crossover (the rest
+    /// are mutated copies of selected parents).
+    pub crossover_rate: f64,
+    /// Migrate the best genome between populations every this many
+    /// generations.
+    pub migration_interval: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GaConfig {
+    /// The defaults used by the full study: 4 populations × 32 genomes,
+    /// patience 12, up to 120 generations.
+    pub fn study(seed: u64) -> Self {
+        GaConfig {
+            populations: 4,
+            population_size: 32,
+            patience: 12,
+            max_generations: 120,
+            mutation_rate: 0.08,
+            crossover_rate: 0.6,
+            migration_interval: 8,
+            seed,
+        }
+    }
+
+    /// A small, fast configuration for tests and smoke runs.
+    pub fn fast(seed: u64) -> Self {
+        GaConfig {
+            populations: 2,
+            population_size: 12,
+            patience: 6,
+            max_generations: 30,
+            mutation_rate: 0.1,
+            crossover_rate: 0.6,
+            migration_interval: 4,
+            seed,
+        }
+    }
+}
+
+/// The outcome of a GA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaResult {
+    /// The best mask found (`true` = characteristic selected).
+    pub genome: Vec<bool>,
+    /// Its fitness.
+    pub fitness: f64,
+    /// Generations executed.
+    pub generations: usize,
+    /// Total fitness evaluations.
+    pub evaluations: usize,
+}
+
+/// Selects exactly `k` of `num_genes` features maximizing `fitness`,
+/// using a multi-population GA with mutation, crossover and migration
+/// (§2.7 of the paper). Every candidate genome has exactly `k` genes set;
+/// mutation and crossover preserve that invariant (offspring are
+/// repaired).
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds `num_genes`, or if the configuration
+/// has no populations or genomes.
+pub fn select_features(
+    num_genes: usize,
+    k: usize,
+    fitness: &dyn Fn(&[bool]) -> f64,
+    cfg: &GaConfig,
+) -> GaResult {
+    assert!(k > 0 && k <= num_genes, "k out of range");
+    assert!(
+        cfg.populations > 0 && cfg.population_size > 1,
+        "degenerate GA configuration"
+    );
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut evaluations = 0usize;
+
+    let score =
+        |genome: &[bool], evals: &mut usize| -> f64 {
+            *evals += 1;
+            fitness(genome)
+        };
+
+    // Initialize populations with random k-masks.
+    let mut pops: Vec<Vec<(Vec<bool>, f64)>> = (0..cfg.populations)
+        .map(|_| {
+            (0..cfg.population_size)
+                .map(|_| {
+                    let g = random_mask(num_genes, k, &mut rng);
+                    let f = score(&g, &mut evaluations);
+                    (g, f)
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut best: (Vec<bool>, f64) = pops
+        .iter()
+        .flatten()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fitness"))
+        .cloned()
+        .expect("non-empty populations");
+
+    let mut stale = 0usize;
+    let mut generation = 0usize;
+    while generation < cfg.max_generations && stale < cfg.patience {
+        generation += 1;
+        for pop in &mut pops {
+            pop.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fitness"));
+            let elite = pop[0].clone();
+            let parents: Vec<Vec<bool>> =
+                pop.iter().take(pop.len() / 2).map(|(g, _)| g.clone()).collect();
+            let mut next = vec![elite];
+            while next.len() < cfg.population_size {
+                let a = &parents[rng.random_range(0..parents.len())];
+                let mut child = if rng.random_range(0.0..1.0) < cfg.crossover_rate {
+                    let b = &parents[rng.random_range(0..parents.len())];
+                    crossover(a, b, k, &mut rng)
+                } else {
+                    a.clone()
+                };
+                mutate(&mut child, cfg.mutation_rate, &mut rng);
+                let f = score(&child, &mut evaluations);
+                next.push((child, f));
+            }
+            *pop = next;
+        }
+
+        // Migration: best genome of each population replaces the worst of
+        // the next.
+        if cfg.populations > 1 && generation.is_multiple_of(cfg.migration_interval) {
+            let champions: Vec<(Vec<bool>, f64)> = pops
+                .iter()
+                .map(|p| {
+                    p.iter()
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fitness"))
+                        .cloned()
+                        .expect("non-empty population")
+                })
+                .collect();
+            let n = pops.len();
+            for (i, pop) in pops.iter_mut().enumerate() {
+                let incoming = champions[(i + 1) % n].clone();
+                let worst = pop
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.1.partial_cmp(&b.1).expect("finite fitness"))
+                    .map(|(idx, _)| idx)
+                    .expect("non-empty population");
+                pop[worst] = incoming;
+            }
+        }
+
+        let gen_best = pops
+            .iter()
+            .flatten()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fitness"))
+            .cloned()
+            .expect("non-empty populations");
+        if gen_best.1 > best.1 + 1e-12 {
+            best = gen_best;
+            stale = 0;
+        } else {
+            stale += 1;
+        }
+    }
+
+    GaResult {
+        genome: best.0,
+        fitness: best.1,
+        generations: generation,
+        evaluations,
+    }
+}
+
+/// A uniformly random mask with exactly `k` bits set.
+fn random_mask(n: usize, k: usize, rng: &mut StdRng) -> Vec<bool> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let mut mask = vec![false; n];
+    for &i in idx.iter().take(k) {
+        mask[i] = true;
+    }
+    mask
+}
+
+/// Uniform crossover followed by repair to exactly `k` selected genes.
+fn crossover(a: &[bool], b: &[bool], k: usize, rng: &mut StdRng) -> Vec<bool> {
+    let mut child: Vec<bool> = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| if rng.random_range(0..2) == 0 { x } else { y })
+        .collect();
+    repair(&mut child, k, rng);
+    child
+}
+
+/// Count-preserving mutation: each selected gene may swap places with a
+/// random unselected gene.
+fn mutate(genome: &mut [bool], rate: f64, rng: &mut StdRng) {
+    let selected: Vec<usize> = (0..genome.len()).filter(|&i| genome[i]).collect();
+    let unselected: Vec<usize> = (0..genome.len()).filter(|&i| !genome[i]).collect();
+    if unselected.is_empty() {
+        return;
+    }
+    for &i in &selected {
+        if rng.random_range(0.0..1.0) < rate {
+            let j = unselected[rng.random_range(0..unselected.len())];
+            if !genome[j] {
+                genome[i] = false;
+                genome[j] = true;
+            }
+        }
+    }
+}
+
+/// Adds or removes random genes until exactly `k` are selected.
+fn repair(genome: &mut [bool], k: usize, rng: &mut StdRng) {
+    loop {
+        let count = genome.iter().filter(|&&g| g).count();
+        match count.cmp(&k) {
+            std::cmp::Ordering::Equal => return,
+            std::cmp::Ordering::Less => {
+                let candidates: Vec<usize> =
+                    (0..genome.len()).filter(|&i| !genome[i]).collect();
+                let pick = candidates[rng.random_range(0..candidates.len())];
+                genome[pick] = true;
+            }
+            std::cmp::Ordering::Greater => {
+                let candidates: Vec<usize> = (0..genome.len()).filter(|&i| genome[i]).collect();
+                let pick = candidates[rng.random_range(0..candidates.len())];
+                genome[pick] = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(mask: &[bool]) -> usize {
+        mask.iter().filter(|&&g| g).count()
+    }
+
+    #[test]
+    fn finds_planted_optimum() {
+        // Fitness strongly rewards genes 2, 5, 7.
+        let target = [2usize, 5, 7];
+        let fitness = move |mask: &[bool]| {
+            target.iter().map(|&t| if mask[t] { 10.0 } else { 0.0 }).sum::<f64>()
+                - count(mask) as f64 * 0.01
+        };
+        let r = select_features(12, 3, &fitness, &GaConfig::study(3));
+        assert_eq!(count(&r.genome), 3);
+        assert!(r.genome[2] && r.genome[5] && r.genome[7], "{:?}", r.genome);
+        assert!((r.fitness - 29.97).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_k_invariant_throughout() {
+        let fitness = |mask: &[bool]| mask.iter().filter(|&&g| g).count() as f64;
+        for k in [1, 5, 10] {
+            let r = select_features(10, k, &fitness, &GaConfig::fast(1));
+            assert_eq!(count(&r.genome), k);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let fitness = |mask: &[bool]| {
+            mask.iter()
+                .enumerate()
+                .map(|(i, &g)| if g { (i as f64).sin() } else { 0.0 })
+                .sum()
+        };
+        let a = select_features(20, 6, &fitness, &GaConfig::fast(9));
+        let b = select_features(20, 6, &fitness, &GaConfig::fast(9));
+        assert_eq!(a.genome, b.genome);
+        assert_eq!(a.fitness, b.fitness);
+    }
+
+    #[test]
+    fn stops_on_patience() {
+        // Constant fitness: should stop after `patience` stale generations.
+        let fitness = |_: &[bool]| 1.0;
+        let cfg = GaConfig::fast(2);
+        let r = select_features(8, 3, &fitness, &cfg);
+        assert!(r.generations <= cfg.patience + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k out of range")]
+    fn rejects_bad_k() {
+        let fitness = |_: &[bool]| 0.0;
+        let _ = select_features(5, 6, &fitness, &GaConfig::fast(0));
+    }
+
+    #[test]
+    fn repair_adjusts_counts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut g = vec![true; 8];
+        repair(&mut g, 3, &mut rng);
+        assert_eq!(count(&g), 3);
+        let mut g2 = vec![false; 8];
+        repair(&mut g2, 5, &mut rng);
+        assert_eq!(count(&g2), 5);
+    }
+}

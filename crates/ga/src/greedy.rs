@@ -1,0 +1,98 @@
+//! Greedy forward-selection baseline.
+
+/// Selects `k` features by greedy forward selection: starting from the
+/// empty mask, repeatedly add the single feature that maximizes
+/// `fitness`. A natural baseline for the genetic algorithm — greedy gets
+/// trapped when characteristics are only jointly informative.
+///
+/// Returns the mask and its fitness.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds `num_genes`.
+///
+/// # Examples
+///
+/// ```
+/// use phaselab_ga::greedy_select;
+///
+/// let fitness = |mask: &[bool]| if mask[3] { 1.0 } else { 0.0 };
+/// let (mask, fit) = greedy_select(6, 1, &fitness);
+/// assert!(mask[3]);
+/// assert_eq!(fit, 1.0);
+/// ```
+pub fn greedy_select(
+    num_genes: usize,
+    k: usize,
+    fitness: &dyn Fn(&[bool]) -> f64,
+) -> (Vec<bool>, f64) {
+    assert!(k > 0 && k <= num_genes, "k out of range");
+    let mut mask = vec![false; num_genes];
+    let mut best_fit = f64::NEG_INFINITY;
+    for _ in 0..k {
+        let mut best_gene = None;
+        for g in 0..num_genes {
+            if mask[g] {
+                continue;
+            }
+            mask[g] = true;
+            let f = fitness(&mask);
+            mask[g] = false;
+            if best_gene.is_none() || f > best_fit {
+                best_fit = f;
+                best_gene = Some(g);
+            }
+        }
+        mask[best_gene.expect("at least one unselected gene")] = true;
+    }
+    (mask, best_fit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_additively_best_genes() {
+        let weights = [0.1, 5.0, 0.2, 3.0, 0.05];
+        let fitness = move |mask: &[bool]| {
+            mask.iter()
+                .zip(&weights)
+                .map(|(&m, &w)| if m { w } else { 0.0 })
+                .sum()
+        };
+        let (mask, fit) = greedy_select(5, 2, &fitness);
+        assert!(mask[1] && mask[3]);
+        assert!((fit - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_misses_jointly_informative_pairs() {
+        // Genes 0 and 1 are only valuable together; gene 2 has a small
+        // standalone value, so greedy takes it first and then can only
+        // add one of the pair.
+        let fitness = |mask: &[bool]| {
+            let mut f = 0.0;
+            if mask[0] && mask[1] {
+                f += 10.0;
+            }
+            if mask[2] {
+                f += 1.0;
+            }
+            f
+        };
+        let (mask, fit) = greedy_select(3, 2, &fitness);
+        assert!(mask[2]);
+        assert!(fit < 10.0, "greedy should miss the joint pair: {fit}");
+        // The GA, in contrast, finds the pair.
+        let ga = crate::select_features(3, 2, &fitness, &crate::GaConfig::fast(1));
+        assert!((ga.fitness - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_k_selected() {
+        let fitness = |_: &[bool]| 0.0;
+        let (mask, _) = greedy_select(7, 4, &fitness);
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 4);
+    }
+}

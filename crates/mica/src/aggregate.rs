@@ -1,0 +1,177 @@
+//! Whole-execution (aggregate) characterization.
+
+use phaselab_trace::{InstRecord, TraceSink};
+
+use crate::branch::BranchAnalyzer;
+use crate::features::FeatureVector;
+use crate::footprint::FootprintAnalyzer;
+use crate::ilp::IlpAnalyzer;
+use crate::mix::MixAnalyzer;
+use crate::regtraffic::RegTrafficAnalyzer;
+use crate::strides::StrideAnalyzer;
+use crate::Analyzer;
+
+/// Characterizes an entire execution as a *single* 69-characteristic
+/// vector — the "aggregate workload characterization" the paper's §2.1
+/// argues is misleading for multi-phase programs.
+///
+/// Provided so that aggregate-vs-phase comparisons (and prior-work
+/// methodologies built on aggregate MICA data) can be reproduced against
+/// the same analyzers as [`IntervalCharacterizer`](crate::IntervalCharacterizer).
+///
+/// # Examples
+///
+/// ```
+/// use phaselab_mica::AggregateCharacterizer;
+/// use phaselab_trace::{InstClass, InstRecord, TraceSink};
+///
+/// let mut agg = AggregateCharacterizer::new();
+/// agg.observe(&InstRecord::new(0, InstClass::IntAdd));
+/// agg.observe(&InstRecord::new(4, InstClass::MemRead));
+/// let fv = agg.finish_features();
+/// assert_eq!(fv[0], 0.5); // mix_mem_read
+/// ```
+#[derive(Debug)]
+pub struct AggregateCharacterizer {
+    count: u64,
+    mix: MixAnalyzer,
+    ilp: IlpAnalyzer,
+    reg: RegTrafficAnalyzer,
+    footprint: FootprintAnalyzer,
+    strides: StrideAnalyzer,
+    branch: BranchAnalyzer,
+}
+
+impl AggregateCharacterizer {
+    /// Creates an aggregate characterizer with cold analyzer state.
+    pub fn new() -> Self {
+        AggregateCharacterizer {
+            count: 0,
+            mix: MixAnalyzer::new(),
+            ilp: IlpAnalyzer::new(),
+            reg: RegTrafficAnalyzer::new(),
+            footprint: FootprintAnalyzer::new(),
+            strides: StrideAnalyzer::new(),
+            branch: BranchAnalyzer::new(),
+        }
+    }
+
+    /// Instructions observed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Emits the aggregate feature vector for everything observed so far.
+    pub fn features(&self) -> FeatureVector {
+        let mut fv = FeatureVector::zeros();
+        self.mix.emit(&mut fv);
+        self.ilp.emit(&mut fv);
+        self.reg.emit(&mut fv);
+        self.footprint.emit(&mut fv);
+        self.strides.emit(&mut fv);
+        self.branch.emit(&mut fv);
+        fv
+    }
+
+    /// Consumes the characterizer and returns the aggregate features.
+    pub fn finish_features(self) -> FeatureVector {
+        self.features()
+    }
+}
+
+impl Default for AggregateCharacterizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink for AggregateCharacterizer {
+    #[inline]
+    fn observe(&mut self, rec: &InstRecord) {
+        let idx = self.count;
+        self.mix.observe(rec, idx);
+        self.ilp.observe(rec, idx);
+        self.reg.observe(rec, idx);
+        self.footprint.observe(rec, idx);
+        self.strides.observe(rec, idx);
+        self.branch.observe(rec, idx);
+        self.count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterizer::IntervalCharacterizer;
+    use crate::features::FeatureCategory;
+    use phaselab_trace::{ArchReg, InstClass, MemAccess};
+
+    fn stream(n: u64) -> Vec<InstRecord> {
+        let r = ArchReg::int(1);
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    InstRecord::new(4 * (i % 128), InstClass::MemRead)
+                        .with_reads(&[r])
+                        .with_write(r)
+                        .with_mem(MemAccess {
+                            addr: i * 8,
+                            size: 8,
+                            is_store: false,
+                        })
+                } else {
+                    InstRecord::new(4 * (i % 128), InstClass::IntAdd)
+                        .with_reads(&[r])
+                        .with_write(r)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn aggregate_equals_single_interval_characterization() {
+        // On an execution shorter than one interval, aggregate and
+        // interval characterization must agree exactly.
+        let recs = stream(500);
+        let mut agg = AggregateCharacterizer::new();
+        let mut chr = IntervalCharacterizer::new(1_000_000).keep_tail(true);
+        for r in &recs {
+            agg.observe(r);
+            chr.observe(r);
+        }
+        chr.finish();
+        assert_eq!(agg.finish_features(), chr.into_features()[0]);
+    }
+
+    #[test]
+    fn aggregate_footprint_spans_whole_execution() {
+        // Interval characterization resets footprints; the aggregate
+        // view accumulates them — the defining difference.
+        let recs = stream(1000);
+        let mut agg = AggregateCharacterizer::new();
+        let mut chr = IntervalCharacterizer::new(100);
+        for r in &recs {
+            agg.observe(r);
+            chr.observe(r);
+        }
+        let agg_fp = agg.features().category(FeatureCategory::Footprint)[2];
+        let max_interval_fp = chr
+            .features()
+            .iter()
+            .map(|f| f.category(FeatureCategory::Footprint)[2])
+            .fold(0.0_f64, f64::max);
+        assert!(
+            agg_fp > max_interval_fp * 2.0,
+            "aggregate data footprint {agg_fp} vs max interval {max_interval_fp}"
+        );
+    }
+
+    #[test]
+    fn count_tracks_observations() {
+        let mut agg = AggregateCharacterizer::new();
+        for r in stream(42) {
+            agg.observe(&r);
+        }
+        assert_eq!(agg.count(), 42);
+    }
+}

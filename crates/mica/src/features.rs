@@ -1,0 +1,547 @@
+//! The 69-dimensional feature vector and its layout.
+
+use serde::de::{SeqAccess, Visitor};
+use serde::ser::SerializeSeq;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// Number of microarchitecture-independent characteristics (Table 1 of the
+/// paper: 20 mix + 4 ILP + 9 register traffic + 4 footprint + 18 strides +
+/// 14 branch predictability).
+pub const NUM_FEATURES: usize = 69;
+
+/// First index of the instruction-mix block (20 features).
+pub const MIX_BASE: usize = 0;
+/// First index of the ILP block (4 features: windows 32/64/128/256).
+pub const ILP_BASE: usize = 20;
+/// First index of the register-traffic block (9 features).
+pub const REG_BASE: usize = 24;
+/// First index of the memory-footprint block (4 features).
+pub const FOOTPRINT_BASE: usize = 33;
+/// First index of the stride block (18 features).
+pub const STRIDE_BASE: usize = 37;
+/// First index of the branch-predictability block (14 features).
+pub const BRANCH_BASE: usize = 55;
+
+/// The six characteristic categories of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureCategory {
+    /// Instruction mix (20 features).
+    Mix,
+    /// Inherent instruction-level parallelism (4 features).
+    Ilp,
+    /// Register traffic (9 features).
+    RegTraffic,
+    /// Memory footprint (4 features).
+    Footprint,
+    /// Data stream strides (18 features).
+    Stride,
+    /// Branch predictability (14 features).
+    Branch,
+}
+
+impl FeatureCategory {
+    /// All categories in feature-layout order.
+    pub const ALL: [FeatureCategory; 6] = [
+        FeatureCategory::Mix,
+        FeatureCategory::Ilp,
+        FeatureCategory::RegTraffic,
+        FeatureCategory::Footprint,
+        FeatureCategory::Stride,
+        FeatureCategory::Branch,
+    ];
+
+    /// Human-readable category name, matching Table 1 of the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            FeatureCategory::Mix => "instruction mix",
+            FeatureCategory::Ilp => "ILP",
+            FeatureCategory::RegTraffic => "register traffic",
+            FeatureCategory::Footprint => "memory footprint",
+            FeatureCategory::Stride => "data stream strides",
+            FeatureCategory::Branch => "branch predictability",
+        }
+    }
+
+    /// The half-open index range of this category in the feature layout.
+    pub fn range(self) -> std::ops::Range<usize> {
+        match self {
+            FeatureCategory::Mix => MIX_BASE..ILP_BASE,
+            FeatureCategory::Ilp => ILP_BASE..REG_BASE,
+            FeatureCategory::RegTraffic => REG_BASE..FOOTPRINT_BASE,
+            FeatureCategory::Footprint => FOOTPRINT_BASE..STRIDE_BASE,
+            FeatureCategory::Stride => STRIDE_BASE..BRANCH_BASE,
+            FeatureCategory::Branch => BRANCH_BASE..NUM_FEATURES,
+        }
+    }
+
+    /// The category owning feature index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= NUM_FEATURES`.
+    pub fn of(idx: usize) -> FeatureCategory {
+        assert!(idx < NUM_FEATURES, "feature index out of range");
+        Self::ALL
+            .into_iter()
+            .find(|c| c.range().contains(&idx))
+            .expect("categories cover the layout")
+    }
+}
+
+/// The names of all 69 features, in layout order.
+pub fn feature_names() -> &'static [&'static str; NUM_FEATURES] {
+    &[
+        // instruction mix (fractions of the dynamic instruction stream)
+        "mix_mem_read",
+        "mix_mem_write",
+        "mix_cond_branch",
+        "mix_jump",
+        "mix_call",
+        "mix_ret",
+        "mix_int_add",
+        "mix_int_mul",
+        "mix_int_div",
+        "mix_logical",
+        "mix_shift",
+        "mix_compare",
+        "mix_mov",
+        "mix_convert",
+        "mix_fp_add",
+        "mix_fp_mul",
+        "mix_fp_div",
+        "mix_fp_other",
+        "mix_nop",
+        "mix_other",
+        // ILP (idealized IPC per window size)
+        "ilp_win32",
+        "ilp_win64",
+        "ilp_win128",
+        "ilp_win256",
+        // register traffic
+        "reg_avg_input_operands",
+        "reg_avg_degree_of_use",
+        "reg_dep_dist_le1",
+        "reg_dep_dist_le2",
+        "reg_dep_dist_le4",
+        "reg_dep_dist_le8",
+        "reg_dep_dist_le16",
+        "reg_dep_dist_le32",
+        "reg_dep_dist_le64",
+        // memory footprint
+        "footprint_instr_64b_blocks",
+        "footprint_instr_4k_pages",
+        "footprint_data_64b_blocks",
+        "footprint_data_4k_pages",
+        // data stream strides (cumulative probabilities)
+        "stride_local_load_eq0",
+        "stride_local_load_le8",
+        "stride_local_load_le64",
+        "stride_local_load_le512",
+        "stride_local_load_le4096",
+        "stride_local_store_eq0",
+        "stride_local_store_le8",
+        "stride_local_store_le64",
+        "stride_local_store_le512",
+        "stride_local_store_le4096",
+        "stride_global_load_le64",
+        "stride_global_load_le4096",
+        "stride_global_load_le256k",
+        "stride_global_load_le16m",
+        "stride_global_store_le64",
+        "stride_global_store_le4096",
+        "stride_global_store_le256k",
+        "stride_global_store_le16m",
+        // branch predictability
+        "branch_transition_rate",
+        "branch_taken_rate",
+        "ppm_gag_hist4",
+        "ppm_gag_hist8",
+        "ppm_gag_hist12",
+        "ppm_gap_hist4",
+        "ppm_gap_hist8",
+        "ppm_gap_hist12",
+        "ppm_pag_hist4",
+        "ppm_pag_hist8",
+        "ppm_pag_hist12",
+        "ppm_pap_hist4",
+        "ppm_pap_hist8",
+        "ppm_pap_hist12",
+    ]
+}
+
+/// Returns the layout index of a feature name.
+///
+/// # Examples
+///
+/// ```
+/// use phaselab_mica::feature_index;
+///
+/// assert_eq!(feature_index("mix_mem_read"), Some(0));
+/// assert_eq!(feature_index("no_such_feature"), None);
+/// ```
+pub fn feature_index(name: &str) -> Option<usize> {
+    feature_names().iter().position(|&n| n == name)
+}
+
+/// One interval's 69 microarchitecture-independent characteristics.
+///
+/// Indexable by feature index; see [`feature_names`] for the layout.
+///
+/// # Examples
+///
+/// ```
+/// use phaselab_mica::{FeatureVector, NUM_FEATURES};
+///
+/// let mut f = FeatureVector::zeros();
+/// f[0] = 0.25;
+/// assert_eq!(f.as_slice().len(), NUM_FEATURES);
+/// assert_eq!(f[0], 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureVector {
+    values: [f64; NUM_FEATURES],
+}
+
+impl FeatureVector {
+    /// Creates an all-zero feature vector.
+    pub fn zeros() -> Self {
+        FeatureVector {
+            values: [0.0; NUM_FEATURES],
+        }
+    }
+
+    /// Creates a feature vector from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != NUM_FEATURES`.
+    pub fn from_slice(values: &[f64]) -> Self {
+        assert_eq!(values.len(), NUM_FEATURES, "expected {NUM_FEATURES} values");
+        let mut v = Self::zeros();
+        v.values.copy_from_slice(values);
+        v
+    }
+
+    /// The features as a slice, in layout order.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The features of one category, as a slice.
+    pub fn category(&self, cat: FeatureCategory) -> &[f64] {
+        &self.values[cat.range()]
+    }
+}
+
+impl Default for FeatureVector {
+    fn default() -> Self {
+        Self::zeros()
+    }
+}
+
+impl std::ops::Index<usize> for FeatureVector {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, idx: usize) -> &f64 {
+        &self.values[idx]
+    }
+}
+
+impl std::ops::IndexMut<usize> for FeatureVector {
+    #[inline]
+    fn index_mut(&mut self, idx: usize) -> &mut f64 {
+        &mut self.values[idx]
+    }
+}
+
+impl Serialize for FeatureVector {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(NUM_FEATURES))?;
+        for v in &self.values {
+            seq.serialize_element(v)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for FeatureVector {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct FvVisitor;
+        impl<'de> Visitor<'de> for FvVisitor {
+            type Value = FeatureVector;
+
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "a sequence of {NUM_FEATURES} floats")
+            }
+
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut fv = FeatureVector::zeros();
+                for i in 0..NUM_FEATURES {
+                    fv.values[i] = seq
+                        .next_element()?
+                        .ok_or_else(|| serde::de::Error::invalid_length(i, &self))?;
+                }
+                Ok(fv)
+            }
+        }
+        deserializer.deserialize_seq(FvVisitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_consistent() {
+        assert_eq!(feature_names().len(), NUM_FEATURES);
+        // Category ranges tile the layout exactly.
+        let mut covered = 0;
+        for cat in FeatureCategory::ALL {
+            let r = cat.range();
+            assert_eq!(r.start, covered, "category {cat:?} not contiguous");
+            covered = r.end;
+        }
+        assert_eq!(covered, NUM_FEATURES);
+    }
+
+    #[test]
+    fn category_counts_match_table1() {
+        assert_eq!(FeatureCategory::Mix.range().len(), 20);
+        assert_eq!(FeatureCategory::Ilp.range().len(), 4);
+        assert_eq!(FeatureCategory::RegTraffic.range().len(), 9);
+        assert_eq!(FeatureCategory::Footprint.range().len(), 4);
+        assert_eq!(FeatureCategory::Stride.range().len(), 18);
+        assert_eq!(FeatureCategory::Branch.range().len(), 14);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names = feature_names().to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_FEATURES);
+    }
+
+    #[test]
+    fn category_of_resolves_every_index() {
+        for i in 0..NUM_FEATURES {
+            let c = FeatureCategory::of(i);
+            assert!(c.range().contains(&i));
+        }
+    }
+
+    #[test]
+    fn feature_index_roundtrips() {
+        for (i, name) in feature_names().iter().enumerate() {
+            assert_eq!(feature_index(name), Some(i));
+        }
+    }
+
+    #[test]
+    fn vector_index_and_category_slices() {
+        let mut f = FeatureVector::zeros();
+        f[ILP_BASE] = 2.5;
+        assert_eq!(f.category(FeatureCategory::Ilp)[0], 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 69 values")]
+    fn from_slice_validates_length() {
+        let _ = FeatureVector::from_slice(&[1.0, 2.0]);
+    }
+
+    mod serde_roundtrip {
+        use super::*;
+        use serde::de::value::{Error as DeError, SeqDeserializer};
+        use serde::de::IntoDeserializer;
+        use serde::ser::Impossible;
+        use serde::Serializer;
+
+        /// A minimal sequence serializer that collects `f64`s — just
+        /// enough to exercise the hand-written Serialize impl without a
+        /// format crate.
+        struct CollectSeq<'a>(&'a mut Vec<f64>);
+
+        impl serde::ser::SerializeSeq for CollectSeq<'_> {
+            type Ok = ();
+            type Error = std::fmt::Error;
+
+            fn serialize_element<T: ?Sized + Serialize>(
+                &mut self,
+                value: &T,
+            ) -> Result<(), Self::Error> {
+                value.serialize(F64Only(self.0))
+            }
+
+            fn end(self) -> Result<(), Self::Error> {
+                Ok(())
+            }
+        }
+
+        struct F64Only<'a>(&'a mut Vec<f64>);
+
+        macro_rules! unsupported {
+            ($($m:ident: $t:ty),*) => {
+                $(fn $m(self, _v: $t) -> Result<(), std::fmt::Error> {
+                    Err(std::fmt::Error)
+                })*
+            };
+        }
+
+        impl Serializer for F64Only<'_> {
+            type Ok = ();
+            type Error = std::fmt::Error;
+            type SerializeSeq = Impossible<(), std::fmt::Error>;
+            type SerializeTuple = Impossible<(), std::fmt::Error>;
+            type SerializeTupleStruct = Impossible<(), std::fmt::Error>;
+            type SerializeTupleVariant = Impossible<(), std::fmt::Error>;
+            type SerializeMap = Impossible<(), std::fmt::Error>;
+            type SerializeStruct = Impossible<(), std::fmt::Error>;
+            type SerializeStructVariant = Impossible<(), std::fmt::Error>;
+
+            fn serialize_f64(self, v: f64) -> Result<(), std::fmt::Error> {
+                self.0.push(v);
+                Ok(())
+            }
+
+            unsupported!(serialize_bool: bool, serialize_i8: i8, serialize_i16: i16,
+                serialize_i32: i32, serialize_i64: i64, serialize_u8: u8,
+                serialize_u16: u16, serialize_u32: u32, serialize_u64: u64,
+                serialize_f32: f32, serialize_char: char, serialize_str: &str,
+                serialize_bytes: &[u8]);
+
+            fn serialize_none(self) -> Result<(), std::fmt::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_some<T: ?Sized + Serialize>(
+                self,
+                _: &T,
+            ) -> Result<(), std::fmt::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_unit(self) -> Result<(), std::fmt::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_unit_struct(self, _: &'static str) -> Result<(), std::fmt::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_unit_variant(
+                self,
+                _: &'static str,
+                _: u32,
+                _: &'static str,
+            ) -> Result<(), std::fmt::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_newtype_struct<T: ?Sized + Serialize>(
+                self,
+                _: &'static str,
+                _: &T,
+            ) -> Result<(), std::fmt::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_newtype_variant<T: ?Sized + Serialize>(
+                self,
+                _: &'static str,
+                _: u32,
+                _: &'static str,
+                _: &T,
+            ) -> Result<(), std::fmt::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_seq(
+                self,
+                _: Option<usize>,
+            ) -> Result<Self::SerializeSeq, std::fmt::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_tuple(
+                self,
+                _: usize,
+            ) -> Result<Self::SerializeTuple, std::fmt::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_tuple_struct(
+                self,
+                _: &'static str,
+                _: usize,
+            ) -> Result<Self::SerializeTupleStruct, std::fmt::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_tuple_variant(
+                self,
+                _: &'static str,
+                _: u32,
+                _: &'static str,
+                _: usize,
+            ) -> Result<Self::SerializeTupleVariant, std::fmt::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_map(
+                self,
+                _: Option<usize>,
+            ) -> Result<Self::SerializeMap, std::fmt::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_struct(
+                self,
+                _: &'static str,
+                _: usize,
+            ) -> Result<Self::SerializeStruct, std::fmt::Error> {
+                Err(std::fmt::Error)
+            }
+            fn serialize_struct_variant(
+                self,
+                _: &'static str,
+                _: u32,
+                _: &'static str,
+                _: usize,
+            ) -> Result<Self::SerializeStructVariant, std::fmt::Error> {
+                Err(std::fmt::Error)
+            }
+        }
+
+        /// Drives the Serialize impl's element emission through the
+        /// collector and returns what it produced.
+        fn serialize_fv(fv: &FeatureVector) -> Vec<f64> {
+            let mut out = Vec::new();
+            let mut seq = CollectSeq(&mut out);
+            for v in fv.as_slice() {
+                seq.serialize_element(v).expect("collects");
+            }
+            seq.end().expect("ends");
+            out
+        }
+
+        #[test]
+        fn deserialize_accepts_69_floats() {
+            let values: Vec<f64> = (0..NUM_FEATURES).map(|i| i as f64 / 7.0).collect();
+            let de: SeqDeserializer<_, DeError> = values.clone().into_deserializer();
+            let fv = FeatureVector::deserialize(de).expect("deserializes");
+            assert_eq!(fv.as_slice(), &values[..]);
+        }
+
+        #[test]
+        fn deserialize_rejects_short_sequences() {
+            let values = vec![1.0f64; 10];
+            let de: SeqDeserializer<_, DeError> = values.into_deserializer();
+            assert!(FeatureVector::deserialize(de).is_err());
+        }
+
+        #[test]
+        fn serialize_emits_all_values_in_order() {
+            let mut fv = FeatureVector::zeros();
+            for i in 0..NUM_FEATURES {
+                fv[i] = (i * i) as f64;
+            }
+            let collected = serialize_fv(&fv);
+            assert_eq!(collected.len(), NUM_FEATURES);
+            assert_eq!(collected, fv.as_slice());
+        }
+
+        use serde::{Deserialize, Serialize};
+    }
+}

@@ -1,0 +1,98 @@
+//! Instruction-mix analyzer (20 features).
+
+use phaselab_trace::{InstRecord, NUM_INST_CLASSES};
+
+use crate::features::{FeatureVector, MIX_BASE};
+use crate::Analyzer;
+
+/// Computes the fraction of dynamic instructions in each of the 20
+/// behavioral classes (memory reads/writes, branches, arithmetic,
+/// multiplies, …) — the "instruction mix" row of Table 1.
+///
+/// # Examples
+///
+/// ```
+/// use phaselab_mica::{Analyzer, FeatureVector, MixAnalyzer};
+/// use phaselab_trace::{InstClass, InstRecord};
+///
+/// let mut mix = MixAnalyzer::new();
+/// mix.observe(&InstRecord::new(0, InstClass::MemRead), 0);
+/// mix.observe(&InstRecord::new(4, InstClass::IntAdd), 1);
+/// let mut out = FeatureVector::zeros();
+/// mix.emit(&mut out);
+/// assert_eq!(out[0], 0.5); // mix_mem_read
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MixAnalyzer {
+    counts: [u64; NUM_INST_CLASSES],
+    total: u64,
+}
+
+impl MixAnalyzer {
+    /// Creates an analyzer with empty counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Analyzer for MixAnalyzer {
+    #[inline]
+    fn observe(&mut self, rec: &InstRecord, _index: u64) {
+        self.counts[rec.class.index()] += 1;
+        self.total += 1;
+    }
+
+    fn emit(&self, out: &mut FeatureVector) {
+        let total = self.total.max(1) as f64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            out[MIX_BASE + i] = c as f64 / total;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.counts = [0; NUM_INST_CLASSES];
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phaselab_trace::InstClass;
+
+    fn rec(class: InstClass) -> InstRecord {
+        InstRecord::new(0, class)
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut mix = MixAnalyzer::new();
+        for (i, class) in InstClass::ALL.iter().enumerate() {
+            for _ in 0..=i {
+                mix.observe(&rec(*class), 0);
+            }
+        }
+        let mut out = FeatureVector::zeros();
+        mix.emit(&mut out);
+        let sum: f64 = (0..NUM_INST_CLASSES).map(|i| out[MIX_BASE + i]).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_interval_emits_zeros() {
+        let mix = MixAnalyzer::new();
+        let mut out = FeatureVector::zeros();
+        mix.emit(&mut out);
+        assert!((0..NUM_INST_CLASSES).all(|i| out[MIX_BASE + i] == 0.0));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut mix = MixAnalyzer::new();
+        mix.observe(&rec(InstClass::FpDiv), 0);
+        mix.reset();
+        let mut out = FeatureVector::zeros();
+        mix.emit(&mut out);
+        assert_eq!(out[MIX_BASE + InstClass::FpDiv.index()], 0.0);
+    }
+}

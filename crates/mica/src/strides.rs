@@ -1,0 +1,245 @@
+//! Data stream stride analyzer (18 features).
+
+use phaselab_trace::InstRecord;
+
+use crate::features::{FeatureVector, STRIDE_BASE};
+use crate::fxhash::FxHashMap;
+use crate::Analyzer;
+
+/// Cumulative bucket bounds for *local* strides (per static instruction),
+/// in bytes of absolute address delta. The first bucket is exact-zero
+/// (repeated access to the same address).
+const LOCAL_BOUNDS: [u64; 5] = [0, 8, 64, 512, 4096];
+
+/// Cumulative bucket bounds for *global* strides (between consecutive
+/// accesses of the whole stream).
+const GLOBAL_BOUNDS: [u64; 4] = [64, 4096, 256 * 1024, 16 * 1024 * 1024];
+
+#[derive(Debug, Clone)]
+struct StrideDist<const N: usize> {
+    counts: [u64; N],
+    total: u64,
+}
+
+impl<const N: usize> Default for StrideDist<N> {
+    fn default() -> Self {
+        StrideDist {
+            counts: [0; N],
+            total: 0,
+        }
+    }
+}
+
+impl<const N: usize> StrideDist<N> {
+    #[inline]
+    fn record(&mut self, delta: u64, bounds: &[u64; N]) {
+        self.total += 1;
+        for (slot, &bound) in self.counts.iter_mut().zip(bounds) {
+            if delta <= bound {
+                *slot += 1;
+            }
+        }
+    }
+
+    fn emit(&self, out: &mut [f64]) {
+        let denom = self.total.max(1) as f64;
+        for (o, &c) in out.iter_mut().zip(&self.counts) {
+            *o = c as f64 / denom;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.counts = [0; N];
+        self.total = 0;
+    }
+}
+
+/// Computes the distributions of global and local memory access strides
+/// (Table 1, "data stream strides").
+///
+/// The *global* stride is the absolute difference in memory addresses
+/// between two consecutive memory accesses of the same kind (read or
+/// write) anywhere in the stream; the *local* stride restricts this to two
+/// consecutive accesses by the same static instruction. Both are measured
+/// separately for loads and stores and reported as cumulative bucket
+/// probabilities.
+#[derive(Debug, Clone, Default)]
+pub struct StrideAnalyzer {
+    local_last_load: FxHashMap<u64, u64>,
+    local_last_store: FxHashMap<u64, u64>,
+    global_last_load: Option<u64>,
+    global_last_store: Option<u64>,
+    local_load: StrideDist<5>,
+    local_store: StrideDist<5>,
+    global_load: StrideDist<4>,
+    global_store: StrideDist<4>,
+}
+
+impl StrideAnalyzer {
+    /// Creates an analyzer with empty distributions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Analyzer for StrideAnalyzer {
+    #[inline]
+    fn observe(&mut self, rec: &InstRecord, _index: u64) {
+        let Some(mem) = rec.mem else { return };
+        if mem.is_store {
+            if let Some(prev) = self.global_last_store.replace(mem.addr) {
+                self.global_store.record(prev.abs_diff(mem.addr), &GLOBAL_BOUNDS);
+            }
+            if let Some(prev) = self.local_last_store.insert(rec.pc, mem.addr) {
+                self.local_store.record(prev.abs_diff(mem.addr), &LOCAL_BOUNDS);
+            }
+        } else {
+            if let Some(prev) = self.global_last_load.replace(mem.addr) {
+                self.global_load.record(prev.abs_diff(mem.addr), &GLOBAL_BOUNDS);
+            }
+            if let Some(prev) = self.local_last_load.insert(rec.pc, mem.addr) {
+                self.local_load.record(prev.abs_diff(mem.addr), &LOCAL_BOUNDS);
+            }
+        }
+    }
+
+    fn emit(&self, out: &mut FeatureVector) {
+        let mut buf = [0.0; 18];
+        self.local_load.emit(&mut buf[0..5]);
+        self.local_store.emit(&mut buf[5..10]);
+        self.global_load.emit(&mut buf[10..14]);
+        self.global_store.emit(&mut buf[14..18]);
+        for (i, v) in buf.into_iter().enumerate() {
+            out[STRIDE_BASE + i] = v;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.local_last_load.clear();
+        self.local_last_store.clear();
+        self.global_last_load = None;
+        self.global_last_store = None;
+        self.local_load.reset();
+        self.local_store.reset();
+        self.global_load.reset();
+        self.global_store.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phaselab_trace::{InstClass, MemAccess};
+
+    fn load(pc: u64, addr: u64) -> InstRecord {
+        InstRecord::new(pc, InstClass::MemRead).with_mem(MemAccess {
+            addr,
+            size: 8,
+            is_store: false,
+        })
+    }
+
+    fn store(pc: u64, addr: u64) -> InstRecord {
+        InstRecord::new(pc, InstClass::MemWrite).with_mem(MemAccess {
+            addr,
+            size: 8,
+            is_store: true,
+        })
+    }
+
+    fn emit(a: &StrideAnalyzer) -> Vec<f64> {
+        let mut out = FeatureVector::zeros();
+        a.emit(&mut out);
+        (0..18).map(|i| out[STRIDE_BASE + i]).collect()
+    }
+
+    #[test]
+    fn unit_stride_loads_fall_in_small_buckets() {
+        let mut a = StrideAnalyzer::new();
+        for i in 0..100u64 {
+            a.observe(&load(0x40, i * 8), 0);
+        }
+        let f = emit(&a);
+        // local load: stride 8 -> eq0 = 0, le8 = 1.0
+        assert_eq!(f[0], 0.0);
+        assert_eq!(f[1], 1.0);
+        assert_eq!(f[4], 1.0);
+        // global load: stride 8 -> le64 = 1.0
+        assert_eq!(f[10], 1.0);
+    }
+
+    #[test]
+    fn repeated_same_address_is_zero_stride() {
+        let mut a = StrideAnalyzer::new();
+        for _ in 0..10 {
+            a.observe(&load(0x40, 1234), 0);
+        }
+        let f = emit(&a);
+        assert_eq!(f[0], 1.0); // local eq0
+    }
+
+    #[test]
+    fn local_vs_global_distinguish_interleaving() {
+        // Two static loads, each marching unit-stride through far-apart
+        // regions: local strides small, global strides huge.
+        let mut a = StrideAnalyzer::new();
+        for i in 0..100u64 {
+            a.observe(&load(0x40, i * 8), 0);
+            a.observe(&load(0x44, (1 << 30) + i * 8), 0);
+        }
+        let f = emit(&a);
+        assert!(f[1] > 0.99, "local le8 {}", f[1]);
+        assert!(f[13] < 0.02, "global le16m should be tiny, got {}", f[13]);
+    }
+
+    #[test]
+    fn loads_and_stores_tracked_separately() {
+        let mut a = StrideAnalyzer::new();
+        for i in 0..50u64 {
+            a.observe(&load(0x40, i * 8), 0);
+            a.observe(&store(0x44, i * 100_000), 0);
+        }
+        let f = emit(&a);
+        assert_eq!(f[1], 1.0); // local load le8
+        assert_eq!(f[6], 0.0); // local store le8
+        assert_eq!(f[10], 1.0); // global load le64
+        assert_eq!(f[14], 0.0); // global store le64
+        assert_eq!(f[15], 0.0); // global store le4096 (stride 100000)
+        assert_eq!(f[16], 1.0); // global store le256k
+    }
+
+    #[test]
+    fn distributions_are_cumulative() {
+        let mut a = StrideAnalyzer::new();
+        let strides = [0u64, 4, 32, 256, 2048, 1 << 20];
+        let mut addr = 1 << 30;
+        for s in strides {
+            addr += s;
+            a.observe(&load(0x40, addr), 0);
+        }
+        let f = emit(&a);
+        for i in 1..5 {
+            assert!(f[i] >= f[i - 1]);
+        }
+        for i in 11..14 {
+            assert!(f[i] >= f[i - 1]);
+        }
+    }
+
+    #[test]
+    fn non_memory_instructions_ignored() {
+        let mut a = StrideAnalyzer::new();
+        a.observe(&InstRecord::new(0, InstClass::IntAdd), 0);
+        assert_eq!(emit(&a), vec![0.0; 18]);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut a = StrideAnalyzer::new();
+        a.observe(&load(0x40, 0), 0);
+        a.reset();
+        a.observe(&load(0x40, 8), 0);
+        // Only one access since reset: no stride recorded.
+        assert_eq!(emit(&a), vec![0.0; 18]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Agglomerative hierarchical clustering (average linkage).
+//!
+//! The companion methodology papers of Hoste & Eeckhout (PACT'02 workload
+//! design, IEEE ToC benchmark similarity) present benchmark similarity as
+//! dendrograms from hierarchical clustering; this module provides the
+//! same construction for ordering similarity matrices and cutting
+//! benchmark taxonomies at a chosen distance.
+
+use crate::matrix::Matrix;
+
+/// One merge step of the agglomeration: clusters `a` and `b` (node ids)
+/// joined at `distance` into node `n + step` (leaves are `0..n`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First merged node id.
+    pub a: usize,
+    /// Second merged node id.
+    pub b: usize,
+    /// Average-linkage distance at which the merge happened.
+    pub distance: f64,
+}
+
+/// The result of [`hierarchical_cluster`]: a dendrogram over `n` leaves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` when the dendrogram has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The merge steps, in increasing distance order.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// A leaf ordering that places similar leaves adjacently (in-order
+    /// walk of the dendrogram) — the standard ordering for similarity
+    /// heatmaps.
+    pub fn leaf_order(&self) -> Vec<usize> {
+        if self.n == 0 {
+            return Vec::new();
+        }
+        // children[node] for internal nodes (ids n..n+merges).
+        let mut children: Vec<Option<(usize, usize)>> = vec![None; self.n + self.merges.len()];
+        for (step, m) in self.merges.iter().enumerate() {
+            children[self.n + step] = Some((m.a, m.b));
+        }
+        let root = self.n + self.merges.len() - 1;
+        let mut order = Vec::with_capacity(self.n);
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            match children[node] {
+                Some((a, b)) => {
+                    // Push b first so a is visited first (stable walk).
+                    stack.push(b);
+                    stack.push(a);
+                }
+                None => order.push(node),
+            }
+        }
+        order
+    }
+
+    /// Cuts the dendrogram at `distance`, returning a cluster id per
+    /// leaf (ids are dense, in first-appearance order).
+    pub fn cut(&self, distance: f64) -> Vec<usize> {
+        // Union-find over leaves, applying merges below the cut.
+        let mut parent: Vec<usize> = (0..self.n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        // Map node id -> representative leaf.
+        let mut rep: Vec<usize> = (0..self.n + self.merges.len())
+            .map(|i| i.min(self.n.saturating_sub(1)))
+            .collect();
+        for (i, r) in rep.iter_mut().enumerate().take(self.n) {
+            *r = i;
+        }
+        for (step, m) in self.merges.iter().enumerate() {
+            let node = self.n + step;
+            let ra = rep[m.a];
+            let rb = rep[m.b];
+            rep[node] = ra;
+            if m.distance <= distance {
+                let root_a = find(&mut parent, ra);
+                let root_b = find(&mut parent, rb);
+                parent[root_a] = root_b;
+            }
+        }
+        // Dense ids.
+        let mut ids = vec![usize::MAX; self.n];
+        let mut next = 0;
+        for leaf in 0..self.n {
+            let root = find(&mut parent, leaf);
+            if ids[root] == usize::MAX {
+                ids[root] = next;
+                next += 1;
+            }
+            ids[leaf] = ids[root];
+        }
+        ids
+    }
+}
+
+/// Agglomerative average-linkage (UPGMA) clustering over a symmetric
+/// distance matrix.
+///
+/// # Panics
+///
+/// Panics if `distances` is not square, is empty, or is asymmetric.
+///
+/// # Examples
+///
+/// ```
+/// use phaselab_stats::{hierarchical_cluster, Matrix};
+///
+/// // Two tight pairs far apart.
+/// let d = Matrix::from_rows(&[
+///     vec![0.0, 1.0, 9.0, 9.0],
+///     vec![1.0, 0.0, 9.0, 9.0],
+///     vec![9.0, 9.0, 0.0, 1.0],
+///     vec![9.0, 9.0, 1.0, 0.0],
+/// ]);
+/// let dendro = hierarchical_cluster(&d);
+/// let cut = dendro.cut(2.0);
+/// assert_eq!(cut[0], cut[1]);
+/// assert_eq!(cut[2], cut[3]);
+/// assert_ne!(cut[0], cut[2]);
+/// ```
+pub fn hierarchical_cluster(distances: &Matrix) -> Dendrogram {
+    let n = distances.rows();
+    assert_eq!(n, distances.cols(), "distance matrix must be square");
+    assert!(n > 0, "empty distance matrix");
+    for i in 0..n {
+        for j in 0..n {
+            assert!(
+                (distances.get(i, j) - distances.get(j, i)).abs() < 1e-9,
+                "distance matrix must be symmetric"
+            );
+        }
+    }
+
+    // Active clusters: node id, member leaves.
+    let mut active: Vec<(usize, Vec<usize>)> = (0..n).map(|i| (i, vec![i])).collect();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    let mut next_id = n;
+
+    while active.len() > 1 {
+        // Find the closest pair by average linkage.
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for i in 0..active.len() {
+            for j in (i + 1)..active.len() {
+                let mut sum = 0.0;
+                for &a in &active[i].1 {
+                    for &b in &active[j].1 {
+                        sum += distances.get(a, b);
+                    }
+                }
+                let avg = sum / (active[i].1.len() * active[j].1.len()) as f64;
+                if avg < best.2 {
+                    best = (i, j, avg);
+                }
+            }
+        }
+        let (i, j, d) = best;
+        let (id_j, members_j) = active.remove(j);
+        let (id_i, members_i) = active.remove(i);
+        merges.push(Merge {
+            a: id_i,
+            b: id_j,
+            distance: d,
+        });
+        let mut merged = members_i;
+        merged.extend(members_j);
+        active.push((next_id, merged));
+        next_id += 1;
+    }
+
+    Dendrogram { n, merges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair_matrix() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 1.0, 8.0, 9.0],
+            vec![1.0, 0.0, 9.0, 8.0],
+            vec![8.0, 9.0, 0.0, 2.0],
+            vec![9.0, 8.0, 2.0, 0.0],
+        ])
+    }
+
+    #[test]
+    fn merges_in_increasing_distance_order() {
+        let dendro = hierarchical_cluster(&pair_matrix());
+        assert_eq!(dendro.merges().len(), 3);
+        for w in dendro.merges().windows(2) {
+            assert!(w[0].distance <= w[1].distance + 1e-12);
+        }
+        // First merge joins the closest pair (0, 1) at distance 1.
+        assert_eq!(dendro.merges()[0].distance, 1.0);
+    }
+
+    #[test]
+    fn leaf_order_keeps_pairs_adjacent() {
+        let dendro = hierarchical_cluster(&pair_matrix());
+        let order = dendro.leaf_order();
+        assert_eq!(order.len(), 4);
+        let pos = |x: usize| order.iter().position(|&v| v == x).unwrap();
+        assert_eq!(pos(0).abs_diff(pos(1)), 1, "pair (0,1) adjacent");
+        assert_eq!(pos(2).abs_diff(pos(3)), 1, "pair (2,3) adjacent");
+    }
+
+    #[test]
+    fn cut_heights_control_cluster_count() {
+        let dendro = hierarchical_cluster(&pair_matrix());
+        let fine = dendro.cut(0.5);
+        let mut distinct = fine.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 4, "below all merges: singletons");
+
+        let mid = dendro.cut(3.0);
+        let mut distinct = mid.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 2, "two pairs at mid height");
+
+        let coarse = dendro.cut(100.0);
+        assert!(coarse.iter().all(|&c| c == coarse[0]), "one root cluster");
+    }
+
+    #[test]
+    fn single_leaf_is_trivial() {
+        let d = Matrix::from_rows(&[vec![0.0]]);
+        let dendro = hierarchical_cluster(&d);
+        assert_eq!(dendro.leaf_order(), vec![0]);
+        assert_eq!(dendro.cut(1.0), vec![0]);
+        assert!(dendro.merges().is_empty());
+    }
+
+    #[test]
+    fn average_linkage_uses_means_not_minima() {
+        // Leaf 2 is very close to 0 but far from 1; single linkage would
+        // join {0,1} with 2 at distance 1, average linkage at (1+10)/2.
+        let d = Matrix::from_rows(&[
+            vec![0.0, 2.0, 1.0],
+            vec![2.0, 0.0, 10.0],
+            vec![1.0, 10.0, 0.0],
+        ]);
+        let dendro = hierarchical_cluster(&d);
+        // First merge: (0, 2) at 1.0; second: with 1 at (2 + 10)/2 = 6.
+        assert_eq!(dendro.merges()[0].distance, 1.0);
+        assert!((dendro.merges()[1].distance - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_rejected() {
+        let d = Matrix::from_rows(&[vec![0.0, 1.0], vec![2.0, 0.0]]);
+        let _ = hierarchical_cluster(&d);
+    }
+}

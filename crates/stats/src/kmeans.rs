@@ -1,0 +1,391 @@
+//! k-means clustering with k-means++ seeding and BIC model scoring.
+
+use crate::matrix::Matrix;
+use crate::distance_sq;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KmeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Number of random restarts; the clustering with the highest BIC
+    /// score is kept (as in the paper's methodology).
+    pub restarts: usize,
+    /// Maximum Lloyd iterations per restart.
+    pub max_iters: usize,
+    /// RNG seed for deterministic results.
+    pub seed: u64,
+}
+
+impl KmeansConfig {
+    /// Creates a configuration with `k` clusters and sensible defaults
+    /// (5 restarts, 100 iterations, seed 0).
+    pub fn new(k: usize) -> Self {
+        KmeansConfig {
+            k,
+            restarts: 5,
+            max_iters: 100,
+            seed: 0,
+        }
+    }
+
+    /// Sets the number of restarts.
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the maximum iterations per restart.
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+}
+
+/// The result of a k-means clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Cluster index assigned to each input row.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids (k rows).
+    pub centroids: Matrix,
+    /// Number of points per cluster.
+    pub sizes: Vec<usize>,
+    /// Total within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Bayesian Information Criterion score (higher is better).
+    pub bic: f64,
+}
+
+impl Clustering {
+    /// Number of clusters (including empty ones).
+    pub fn k(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Indices of the rows belonging to cluster `c`.
+    pub fn members_of(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == c).then_some(i))
+            .collect()
+    }
+
+    /// The row index closest to the centroid of cluster `c`, or `None` if
+    /// the cluster is empty.
+    ///
+    /// This is the paper's "cluster representative": the instruction
+    /// interval nearest the cluster center.
+    pub fn representative_of(&self, data: &Matrix, c: usize) -> Option<usize> {
+        let centroid = self.centroids.row(c);
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == c)
+            .min_by(|&(i, _), &(j, _)| {
+                let di = distance_sq(data.row(i), centroid);
+                let dj = distance_sq(data.row(j), centroid);
+                di.partial_cmp(&dj).expect("finite distances")
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+/// Runs k-means++ with multiple restarts and returns the clustering with
+/// the highest BIC score.
+///
+/// The BIC score follows the x-means formulation (identical spherical
+/// Gaussians): `BIC = log-likelihood − (p/2)·ln n`, where `p` is the
+/// number of free parameters. The paper selects among candidate
+/// clusterings by BIC; a higher score indicates a better fit/complexity
+/// trade-off.
+///
+/// # Panics
+///
+/// Panics if `cfg.k` is zero or exceeds the number of rows, or if the
+/// matrix is empty.
+///
+/// # Examples
+///
+/// ```
+/// use phaselab_stats::{kmeans, KmeansConfig, Matrix};
+///
+/// let m = Matrix::from_rows(&[
+///     vec![0.0, 0.0],
+///     vec![0.1, 0.0],
+///     vec![10.0, 10.0],
+///     vec![10.1, 10.0],
+/// ]);
+/// let clustering = kmeans(&m, &KmeansConfig::new(2));
+/// assert_eq!(clustering.k(), 2);
+/// assert_eq!(clustering.assignments[0], clustering.assignments[1]);
+/// assert_ne!(clustering.assignments[0], clustering.assignments[2]);
+/// ```
+pub fn kmeans(data: &Matrix, cfg: &KmeansConfig) -> Clustering {
+    assert!(cfg.k > 0, "k must be positive");
+    assert!(
+        cfg.k <= data.rows(),
+        "k ({}) exceeds number of points ({})",
+        cfg.k,
+        data.rows()
+    );
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut best: Option<Clustering> = None;
+    for _ in 0..cfg.restarts.max(1) {
+        let candidate = kmeans_once(data, cfg.k, cfg.max_iters, &mut rng);
+        let better = match &best {
+            None => true,
+            Some(b) => candidate.bic > b.bic,
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best.expect("at least one restart ran")
+}
+
+#[allow(clippy::needless_range_loop)] // index loops touch several arrays in lock-step
+fn kmeans_once(data: &Matrix, k: usize, max_iters: usize, rng: &mut StdRng) -> Clustering {
+    let n = data.rows();
+    let d = data.cols();
+
+    // k-means++ seeding.
+    let mut centroids = Matrix::zeros(k, d);
+    let first = rng.random_range(0..n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+    let mut min_dist_sq: Vec<f64> = (0..n)
+        .map(|i| distance_sq(data.row(i), centroids.row(0)))
+        .collect();
+    for c in 1..k {
+        let total: f64 = min_dist_sq.iter().sum();
+        let choice = if total <= 0.0 {
+            rng.random_range(0..n)
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &dsq) in min_dist_sq.iter().enumerate() {
+                target -= dsq;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(choice));
+        for i in 0..n {
+            let dsq = distance_sq(data.row(i), centroids.row(c));
+            if dsq < min_dist_sq[i] {
+                min_dist_sq[i] = dsq;
+            }
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignments = vec![0usize; n];
+    for iter in 0..max_iters {
+        let mut changed = false;
+        for i in 0..n {
+            let row = data.row(i);
+            let mut best_c = assignments[i];
+            let mut best_d = distance_sq(row, centroids.row(best_c));
+            for c in 0..k {
+                let dsq = distance_sq(row, centroids.row(c));
+                if dsq < best_d {
+                    best_d = dsq;
+                    best_c = c;
+                }
+            }
+            if best_c != assignments[i] || iter == 0 {
+                changed |= best_c != assignments[i];
+                assignments[i] = best_c;
+            }
+        }
+        if iter > 0 && !changed {
+            break;
+        }
+
+        // Recompute centroids; re-seed empty clusters from the farthest
+        // point to keep k effective clusters.
+        let mut sums = Matrix::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignments[i];
+            counts[c] += 1;
+            let target = sums.row_mut(c);
+            for (t, &v) in target.iter_mut().zip(data.row(i)) {
+                *t += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                let far = (0..n)
+                    .max_by(|&i, &j| {
+                        let di = distance_sq(data.row(i), centroids.row(assignments[i]));
+                        let dj = distance_sq(data.row(j), centroids.row(assignments[j]));
+                        di.partial_cmp(&dj).expect("finite distances")
+                    })
+                    .expect("non-empty data");
+                centroids.row_mut(c).copy_from_slice(data.row(far));
+            } else {
+                let inv = 1.0 / counts[c] as f64;
+                let target = centroids.row_mut(c);
+                for (t, &s) in target.iter_mut().zip(sums.row(c)) {
+                    *t = s * inv;
+                }
+            }
+        }
+    }
+
+    // Final statistics.
+    let mut sizes = vec![0usize; k];
+    let mut inertia = 0.0;
+    for i in 0..n {
+        sizes[assignments[i]] += 1;
+        inertia += distance_sq(data.row(i), centroids.row(assignments[i]));
+    }
+    let bic = bic_score(n, d, k, &sizes, inertia);
+
+    Clustering {
+        assignments,
+        centroids,
+        sizes,
+        inertia,
+        bic,
+    }
+}
+
+/// BIC of a clustering under the identical-spherical-Gaussian model
+/// (x-means; Pelleg & Moore 2000). Higher is better.
+fn bic_score(n: usize, d: usize, k: usize, sizes: &[usize], inertia: f64) -> f64 {
+    let n_f = n as f64;
+    let d_f = d as f64;
+    let k_f = k as f64;
+    // Pooled ML variance estimate.
+    let denom = (n_f - k_f).max(1.0) * d_f;
+    let variance = (inertia / denom).max(1e-12);
+
+    let mut ll = 0.0;
+    for &size in sizes {
+        if size == 0 {
+            continue;
+        }
+        let s = size as f64;
+        ll += s * s.ln() - s * n_f.ln() - (s * d_f / 2.0) * (2.0 * std::f64::consts::PI).ln()
+            - (s * d_f / 2.0) * variance.ln()
+            - (s - k_f) * d_f / 2.0 / n_f.max(1.0);
+    }
+    let params = (k_f - 1.0) + k_f * d_f + 1.0;
+    ll - params / 2.0 * n_f.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let j = i as f64 * 0.01;
+            rows.push(vec![j, -j]);
+            rows.push(vec![10.0 + j, 10.0 - j]);
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let data = two_blobs();
+        let c = kmeans(&data, &KmeansConfig::new(2).with_seed(7));
+        // All even rows together, all odd rows together.
+        let c0 = c.assignments[0];
+        let c1 = c.assignments[1];
+        assert_ne!(c0, c1);
+        for i in 0..data.rows() {
+            assert_eq!(c.assignments[i], if i % 2 == 0 { c0 } else { c1 });
+        }
+        assert_eq!(c.sizes.iter().sum::<usize>(), data.rows());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data = two_blobs();
+        let cfg = KmeansConfig::new(3).with_seed(42);
+        let a = kmeans(&data, &cfg);
+        let b = kmeans(&data, &cfg);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.bic, b.bic);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![5.0], vec![9.0]]);
+        let c = kmeans(&data, &KmeansConfig::new(3).with_seed(1));
+        assert!(c.inertia < 1e-12);
+        assert_eq!(c.sizes, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn representative_is_closest_to_centroid() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![100.0]]);
+        let c = kmeans(&data, &KmeansConfig::new(2).with_seed(3));
+        let cluster_of_0 = c.assignments[0];
+        let rep = c.representative_of(&data, cluster_of_0).unwrap();
+        // Centroid of {0,1,2} is 1.0; closest is row 1.
+        assert_eq!(rep, 1);
+    }
+
+    #[test]
+    fn members_of_partitions_rows() {
+        let data = two_blobs();
+        let c = kmeans(&data, &KmeansConfig::new(2).with_seed(9));
+        let total: usize = (0..2).map(|k| c.members_of(k).len()).sum();
+        assert_eq!(total, data.rows());
+    }
+
+    #[test]
+    fn bic_prefers_true_k_over_k1() {
+        let data = two_blobs();
+        let c1 = kmeans(&data, &KmeansConfig::new(1).with_seed(5));
+        let c2 = kmeans(&data, &KmeansConfig::new(2).with_seed(5));
+        assert!(
+            c2.bic > c1.bic,
+            "BIC should prefer k=2 on two blobs: {} vs {}",
+            c2.bic,
+            c1.bic
+        );
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let data = two_blobs();
+        let c2 = kmeans(&data, &KmeansConfig::new(2).with_seed(5));
+        let c8 = kmeans(&data, &KmeansConfig::new(8).with_seed(5));
+        assert!(c8.inertia <= c2.inertia + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds number of points")]
+    fn k_larger_than_n_rejected() {
+        let data = Matrix::from_rows(&[vec![0.0]]);
+        let _ = kmeans(&data, &KmeansConfig::new(2));
+    }
+
+    #[test]
+    fn duplicate_points_do_not_crash() {
+        let data = Matrix::from_rows(&vec![vec![1.0, 1.0]; 10]);
+        let c = kmeans(&data, &KmeansConfig::new(3).with_seed(11));
+        assert_eq!(c.assignments.len(), 10);
+        assert!(c.inertia < 1e-12);
+    }
+}

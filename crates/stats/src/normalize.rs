@@ -1,0 +1,140 @@
+//! Column-wise z-score normalization.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Per-column mean and standard deviation, as computed by
+/// [`normalize_columns`].
+///
+/// Zero-variance columns record a standard deviation of `0.0`; they are
+/// mapped to all-zero columns by the normalization (rather than dividing by
+/// zero), which drops them from any subsequent distance or PCA computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Column means.
+    pub means: Vec<f64>,
+    /// Column sample standard deviations (`0.0` for constant columns).
+    pub stds: Vec<f64>,
+}
+
+impl ColumnStats {
+    /// Computes the statistics of the columns of `m` without normalizing.
+    pub fn of(m: &Matrix) -> Self {
+        let means = m.column_means();
+        let n = m.rows();
+        let mut stds = vec![0.0; m.cols()];
+        if n >= 2 {
+            for row in m.iter_rows() {
+                for (acc, (&v, &mean)) in stds.iter_mut().zip(row.iter().zip(&means)) {
+                    let d = v - mean;
+                    *acc += d * d;
+                }
+            }
+            for s in &mut stds {
+                *s = (*s / (n - 1) as f64).sqrt();
+                if !s.is_finite() || *s < 1e-12 {
+                    *s = 0.0;
+                }
+            }
+        }
+        ColumnStats { means, stds }
+    }
+
+    /// Applies this normalization to a matrix with the same column layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts disagree.
+    pub fn apply(&self, m: &Matrix) -> Matrix {
+        assert_eq!(m.cols(), self.means.len(), "column count mismatch");
+        let mut out = m.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (v, (&mean, &std)) in row.iter_mut().zip(self.means.iter().zip(&self.stds)) {
+                *v = if std == 0.0 { 0.0 } else { (*v - mean) / std };
+            }
+        }
+        out
+    }
+}
+
+/// Z-score normalizes each column of `m` (mean 0, unit variance) and
+/// returns the normalized matrix along with the statistics used.
+///
+/// The characterization methodology normalizes the data set before PCA "to
+/// put all characteristics on a common scale" and again after PCA to give
+/// all retained principal components equal weight (the "rescaled PCA
+/// space" of the paper).
+///
+/// Constant columns become all-zero (see [`ColumnStats`]).
+///
+/// # Examples
+///
+/// ```
+/// use phaselab_stats::{normalize_columns, Matrix};
+///
+/// let m = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+/// let (normed, stats) = normalize_columns(&m);
+/// assert!((stats.means[0] - 2.0).abs() < 1e-12);
+/// assert!((normed.get(0, 0) + 1.0).abs() < 1e-12);
+/// ```
+pub fn normalize_columns(m: &Matrix) -> (Matrix, ColumnStats) {
+    let stats = ColumnStats::of(m);
+    let normed = stats.apply(m);
+    (normed, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_columns_have_zero_mean_unit_variance() {
+        let m = Matrix::from_rows(&[vec![1.0, 100.0], vec![2.0, 200.0], vec![3.0, 300.0]]);
+        let (n, _) = normalize_columns(&m);
+        for c in 0..2 {
+            let col = n.column(c);
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            let var: f64 =
+                col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (col.len() - 1) as f64;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_column_becomes_zero() {
+        let m = Matrix::from_rows(&[vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]]);
+        let (n, stats) = normalize_columns(&m);
+        assert_eq!(stats.stds[0], 0.0);
+        assert!(n.column(0).iter().all(|&v| v == 0.0));
+        assert!(n.column(1).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn apply_reuses_training_statistics() {
+        let train = Matrix::from_rows(&[vec![0.0], vec![10.0]]);
+        let (_, stats) = normalize_columns(&train);
+        let test = Matrix::from_rows(&[vec![5.0]]);
+        let out = stats.apply(&test);
+        // mean 5, std = sqrt(50) => (5-5)/std = 0
+        assert!(out.get(0, 0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_row_matrix_normalizes_to_zero() {
+        let m = Matrix::from_rows(&[vec![3.0, 4.0]]);
+        let (n, stats) = normalize_columns(&m);
+        assert_eq!(stats.stds, vec![0.0, 0.0]);
+        assert_eq!(n.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn apply_validates_columns() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let (_, stats) = normalize_columns(&m);
+        let wrong = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let _ = stats.apply(&wrong);
+    }
+}

@@ -1,0 +1,510 @@
+//! The per-instruction observation record and its component types.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of architectural registers visible to analysis tools.
+///
+/// The `phaselab` machine model has 32 integer registers (ids `0..32`) and
+/// 32 floating-point registers (ids `32..64`), unified into a single
+/// architectural register file for dependence analysis.
+pub const NUM_ARCH_REGS: usize = 64;
+
+/// Number of [`InstClass`] variants.
+///
+/// This matches the instruction-mix category count of the characterization
+/// (20 categories, see `phaselab-mica`).
+pub const NUM_INST_CLASSES: usize = 20;
+
+/// An architectural register id in the unified register file.
+///
+/// Integer registers occupy ids `0..32`, floating-point registers ids
+/// `32..64`. The unified numbering lets dependence-tracking analyses (ILP,
+/// register traffic) treat both files uniformly.
+///
+/// # Examples
+///
+/// ```
+/// use phaselab_trace::ArchReg;
+///
+/// let r = ArchReg::int(5);
+/// assert!(r.is_int());
+/// let f = ArchReg::fp(5);
+/// assert_eq!(f.index(), 37);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// Creates an integer register id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub fn int(n: u8) -> Self {
+        assert!(n < 32, "integer register id {n} out of range");
+        ArchReg(n)
+    }
+
+    /// Creates a floating-point register id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub fn fp(n: u8) -> Self {
+        assert!(n < 32, "fp register id {n} out of range");
+        ArchReg(32 + n)
+    }
+
+    /// Returns the unified register file index, in `0..NUM_ARCH_REGS`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` if this id names an integer register.
+    #[inline]
+    pub fn is_int(self) -> bool {
+        self.0 < 32
+    }
+
+    /// Returns `true` if this id names a floating-point register.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        self.0 >= 32
+    }
+}
+
+impl std::fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_int() {
+            write!(f, "r{}", self.0)
+        } else {
+            write!(f, "f{}", self.0 - 32)
+        }
+    }
+}
+
+/// The behavioral class of a dynamic instruction.
+///
+/// These are the 20 instruction-mix categories of the characterization.
+/// Every dynamic instruction belongs to exactly one class; memory
+/// instructions are classified as memory accesses regardless of the
+/// register file they target, matching the MICA convention of counting
+/// "percentage memory reads / memory writes" as top-level mix categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum InstClass {
+    /// Memory read (integer or floating-point load).
+    MemRead = 0,
+    /// Memory write (integer or floating-point store).
+    MemWrite,
+    /// Conditional branch.
+    CondBranch,
+    /// Unconditional direct or indirect jump.
+    Jump,
+    /// Call (direct or indirect).
+    Call,
+    /// Return.
+    Ret,
+    /// Integer addition or subtraction.
+    IntAdd,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide or remainder.
+    IntDiv,
+    /// Bitwise logical operation (and/or/xor/not).
+    Logical,
+    /// Shift or rotate.
+    Shift,
+    /// Integer or floating-point comparison producing a flag/register.
+    Compare,
+    /// Register move or immediate load.
+    Mov,
+    /// Conversion between integer and floating point.
+    Convert,
+    /// Floating-point addition or subtraction.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide.
+    FpDiv,
+    /// Other floating-point operation (sqrt, min/max, abs, neg).
+    FpOther,
+    /// No-operation.
+    Nop,
+    /// Anything else (halts, fences, system operations).
+    Other,
+}
+
+impl InstClass {
+    /// All classes, in discriminant order.
+    pub const ALL: [InstClass; NUM_INST_CLASSES] = [
+        InstClass::MemRead,
+        InstClass::MemWrite,
+        InstClass::CondBranch,
+        InstClass::Jump,
+        InstClass::Call,
+        InstClass::Ret,
+        InstClass::IntAdd,
+        InstClass::IntMul,
+        InstClass::IntDiv,
+        InstClass::Logical,
+        InstClass::Shift,
+        InstClass::Compare,
+        InstClass::Mov,
+        InstClass::Convert,
+        InstClass::FpAdd,
+        InstClass::FpMul,
+        InstClass::FpDiv,
+        InstClass::FpOther,
+        InstClass::Nop,
+        InstClass::Other,
+    ];
+
+    /// Returns the dense index of this class, in `0..NUM_INST_CLASSES`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Returns a short lowercase name for the class (e.g. `"mem_read"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            InstClass::MemRead => "mem_read",
+            InstClass::MemWrite => "mem_write",
+            InstClass::CondBranch => "cond_branch",
+            InstClass::Jump => "jump",
+            InstClass::Call => "call",
+            InstClass::Ret => "ret",
+            InstClass::IntAdd => "int_add",
+            InstClass::IntMul => "int_mul",
+            InstClass::IntDiv => "int_div",
+            InstClass::Logical => "logical",
+            InstClass::Shift => "shift",
+            InstClass::Compare => "compare",
+            InstClass::Mov => "mov",
+            InstClass::Convert => "convert",
+            InstClass::FpAdd => "fp_add",
+            InstClass::FpMul => "fp_mul",
+            InstClass::FpDiv => "fp_div",
+            InstClass::FpOther => "fp_other",
+            InstClass::Nop => "nop",
+            InstClass::Other => "other",
+        }
+    }
+
+    /// Returns `true` for classes that transfer control (branches, jumps,
+    /// calls, returns).
+    #[inline]
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            InstClass::CondBranch | InstClass::Jump | InstClass::Call | InstClass::Ret
+        )
+    }
+
+    /// Returns `true` for memory-access classes.
+    #[inline]
+    pub fn is_memory(self) -> bool {
+        matches!(self, InstClass::MemRead | InstClass::MemWrite)
+    }
+}
+
+impl std::fmt::Display for InstClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The set of registers read by one instruction (at most three).
+///
+/// Stored inline to keep [`InstRecord`] allocation-free on the hot
+/// observation path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegReads {
+    regs: [u8; 3],
+    len: u8,
+}
+
+impl RegReads {
+    /// An empty read set.
+    pub const EMPTY: RegReads = RegReads {
+        regs: [0; 3],
+        len: 0,
+    };
+
+    /// Creates an empty read set.
+    #[inline]
+    pub fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// Creates a read set from a slice of registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regs` has more than three elements.
+    pub fn from_slice(regs: &[ArchReg]) -> Self {
+        assert!(regs.len() <= 3, "at most 3 register reads per instruction");
+        let mut r = Self::new();
+        for &reg in regs {
+            r.push(reg);
+        }
+        r
+    }
+
+    /// Appends a register to the read set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set already holds three registers.
+    #[inline]
+    pub fn push(&mut self, reg: ArchReg) {
+        assert!(self.len < 3, "at most 3 register reads per instruction");
+        self.regs[self.len as usize] = reg.0;
+        self.len += 1;
+    }
+
+    /// Number of registers read.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` if no registers are read.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the registers read.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.regs[..self.len as usize].iter().map(|&r| ArchReg(r))
+    }
+}
+
+impl FromIterator<ArchReg> for RegReads {
+    fn from_iter<T: IntoIterator<Item = ArchReg>>(iter: T) -> Self {
+        let mut r = Self::new();
+        for reg in iter {
+            r.push(reg);
+        }
+        r
+    }
+}
+
+/// One memory access performed by an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Byte address of the access.
+    pub addr: u64,
+    /// Access size in bytes (1, 2, 4 or 8).
+    pub size: u8,
+    /// `true` for stores, `false` for loads.
+    pub is_store: bool,
+}
+
+/// Outcome of a control-transfer instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchInfo {
+    /// `true` if the branch/jump was taken. Unconditional transfers are
+    /// always taken.
+    pub taken: bool,
+    /// Byte address of the (taken) target.
+    pub target: u64,
+    /// `true` for conditional branches, `false` for unconditional
+    /// jumps/calls/returns.
+    pub conditional: bool,
+}
+
+/// One dynamically executed instruction, as observed by a [`TraceSink`].
+///
+/// This is the complete microarchitecture-independent view of an
+/// instruction: everything the MICA-style characterization in
+/// `phaselab-mica` consumes, and nothing more.
+///
+/// [`TraceSink`]: crate::TraceSink
+///
+/// # Examples
+///
+/// ```
+/// use phaselab_trace::{ArchReg, InstClass, InstRecord, MemAccess};
+///
+/// let rec = InstRecord::new(0x40, InstClass::MemRead)
+///     .with_reads(&[ArchReg::int(3)])
+///     .with_write(ArchReg::int(4))
+///     .with_mem(MemAccess { addr: 0x1000, size: 8, is_store: false });
+/// assert_eq!(rec.pc, 0x40);
+/// assert!(rec.mem.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstRecord {
+    /// Program counter (byte address of the instruction).
+    pub pc: u64,
+    /// Behavioral class.
+    pub class: InstClass,
+    /// Registers read (up to three).
+    pub reads: RegReads,
+    /// Destination register, if any.
+    pub write: Option<ArchReg>,
+    /// Memory access, if any.
+    pub mem: Option<MemAccess>,
+    /// Branch outcome, if this is a control-transfer instruction.
+    pub branch: Option<BranchInfo>,
+}
+
+impl InstRecord {
+    /// Creates a record with no operands, memory access or branch outcome.
+    #[inline]
+    pub fn new(pc: u64, class: InstClass) -> Self {
+        InstRecord {
+            pc,
+            class,
+            reads: RegReads::EMPTY,
+            write: None,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// Sets the registers read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regs` has more than three elements.
+    #[inline]
+    pub fn with_reads(mut self, regs: &[ArchReg]) -> Self {
+        self.reads = RegReads::from_slice(regs);
+        self
+    }
+
+    /// Sets the destination register.
+    #[inline]
+    pub fn with_write(mut self, reg: ArchReg) -> Self {
+        self.write = Some(reg);
+        self
+    }
+
+    /// Sets the memory access.
+    #[inline]
+    pub fn with_mem(mut self, mem: MemAccess) -> Self {
+        self.mem = Some(mem);
+        self
+    }
+
+    /// Sets the branch outcome.
+    #[inline]
+    pub fn with_branch(mut self, branch: BranchInfo) -> Self {
+        self.branch = Some(branch);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_reg_unified_numbering() {
+        assert_eq!(ArchReg::int(0).index(), 0);
+        assert_eq!(ArchReg::int(31).index(), 31);
+        assert_eq!(ArchReg::fp(0).index(), 32);
+        assert_eq!(ArchReg::fp(31).index(), 63);
+    }
+
+    #[test]
+    fn arch_reg_kind_predicates() {
+        assert!(ArchReg::int(7).is_int());
+        assert!(!ArchReg::int(7).is_fp());
+        assert!(ArchReg::fp(7).is_fp());
+        assert!(!ArchReg::fp(7).is_int());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn arch_reg_int_range_checked() {
+        let _ = ArchReg::int(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn arch_reg_fp_range_checked() {
+        let _ = ArchReg::fp(32);
+    }
+
+    #[test]
+    fn arch_reg_display() {
+        assert_eq!(ArchReg::int(3).to_string(), "r3");
+        assert_eq!(ArchReg::fp(3).to_string(), "f3");
+    }
+
+    #[test]
+    fn inst_class_indices_are_dense_and_unique() {
+        for (i, c) in InstClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert_eq!(InstClass::ALL.len(), NUM_INST_CLASSES);
+    }
+
+    #[test]
+    fn inst_class_names_are_unique() {
+        let mut names: Vec<&str> = InstClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_INST_CLASSES);
+    }
+
+    #[test]
+    fn inst_class_predicates() {
+        assert!(InstClass::CondBranch.is_control());
+        assert!(InstClass::Ret.is_control());
+        assert!(!InstClass::IntAdd.is_control());
+        assert!(InstClass::MemRead.is_memory());
+        assert!(InstClass::MemWrite.is_memory());
+        assert!(!InstClass::FpMul.is_memory());
+    }
+
+    #[test]
+    fn reg_reads_push_and_iter() {
+        let mut r = RegReads::new();
+        assert!(r.is_empty());
+        r.push(ArchReg::int(1));
+        r.push(ArchReg::fp(2));
+        assert_eq!(r.len(), 2);
+        let regs: Vec<ArchReg> = r.iter().collect();
+        assert_eq!(regs, vec![ArchReg::int(1), ArchReg::fp(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 3")]
+    fn reg_reads_capacity_checked() {
+        let mut r = RegReads::new();
+        for i in 0..4 {
+            r.push(ArchReg::int(i));
+        }
+    }
+
+    #[test]
+    fn reg_reads_from_iterator() {
+        let r: RegReads = [ArchReg::int(0), ArchReg::int(1)].into_iter().collect();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn record_builder_chain() {
+        let rec = InstRecord::new(4, InstClass::CondBranch)
+            .with_reads(&[ArchReg::int(1), ArchReg::int(2)])
+            .with_branch(BranchInfo {
+                taken: true,
+                target: 0,
+                conditional: true,
+            });
+        assert_eq!(rec.reads.len(), 2);
+        assert!(rec.branch.unwrap().taken);
+        assert!(rec.write.is_none());
+        assert!(rec.mem.is_none());
+    }
+}

@@ -1,0 +1,328 @@
+//! Compact binary trace serialization: record an instruction stream once,
+//! replay it into any number of analysis sinks later.
+//!
+//! Real instrumentation flows often persist traces so expensive binaries
+//! run once while analyses iterate. The format here is a simple private
+//! little-endian framing (magic, version, record stream with presence
+//! flags); it is not a stable interchange format.
+
+use std::io::{self, Read, Write};
+
+use crate::record::{ArchReg, BranchInfo, InstClass, InstRecord, MemAccess, RegReads};
+use crate::sink::TraceSink;
+
+const MAGIC: &[u8; 4] = b"PLT1";
+
+/// Presence-flag bits in each record header byte.
+const HAS_WRITE: u8 = 1 << 2;
+const HAS_MEM: u8 = 1 << 3;
+const HAS_BRANCH: u8 = 1 << 4;
+const BRANCH_TAKEN: u8 = 1 << 5;
+const BRANCH_COND: u8 = 1 << 6;
+const MEM_STORE: u8 = 1 << 7;
+
+/// A [`TraceSink`] that writes every observed record to a byte stream.
+///
+/// # Examples
+///
+/// ```
+/// use phaselab_trace::{InstClass, InstRecord, TraceSink, TraceWriter, replay};
+///
+/// let mut writer = TraceWriter::new(Vec::new());
+/// writer.observe(&InstRecord::new(0x40, InstClass::IntAdd));
+/// let bytes = writer.into_inner().unwrap();
+///
+/// let mut sink = phaselab_trace::VecSink::new();
+/// let n = replay(&bytes[..], &mut sink).unwrap();
+/// assert_eq!(n, 1);
+/// assert_eq!(sink.records()[0].pc, 0x40);
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    started: bool,
+    error: Option<io::Error>,
+    count: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer over any byte sink (file, buffer, socket).
+    pub fn new(out: W) -> Self {
+        TraceWriter {
+            out,
+            started: false,
+            error: None,
+            count: 0,
+        }
+    }
+
+    /// Records written so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Finishes the trace and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered during observation
+    /// (observation itself cannot fail, so errors are deferred here).
+    pub fn into_inner(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    fn write_record(&mut self, rec: &InstRecord) -> io::Result<()> {
+        if !self.started {
+            self.out.write_all(MAGIC)?;
+            self.started = true;
+        }
+        let mut flags = (rec.reads.len() as u8) & 0b11;
+        if rec.write.is_some() {
+            flags |= HAS_WRITE;
+        }
+        if let Some(mem) = rec.mem {
+            flags |= HAS_MEM;
+            if mem.is_store {
+                flags |= MEM_STORE;
+            }
+        }
+        if let Some(br) = rec.branch {
+            flags |= HAS_BRANCH;
+            if br.taken {
+                flags |= BRANCH_TAKEN;
+            }
+            if br.conditional {
+                flags |= BRANCH_COND;
+            }
+        }
+        self.out.write_all(&[flags, rec.class.index() as u8])?;
+        self.out.write_all(&rec.pc.to_le_bytes())?;
+        for r in rec.reads.iter() {
+            self.out.write_all(&[r.index() as u8])?;
+        }
+        if let Some(w) = rec.write {
+            self.out.write_all(&[w.index() as u8])?;
+        }
+        if let Some(mem) = rec.mem {
+            self.out.write_all(&mem.addr.to_le_bytes())?;
+            self.out.write_all(&[mem.size])?;
+        }
+        if let Some(br) = rec.branch {
+            self.out.write_all(&br.target.to_le_bytes())?;
+        }
+        Ok(())
+    }
+}
+
+impl<W: Write> TraceSink for TraceWriter<W> {
+    fn observe(&mut self, rec: &InstRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.write_record(rec) {
+            self.error = Some(e);
+            return;
+        }
+        self.count += 1;
+    }
+}
+
+fn arch_reg(idx: u8) -> io::Result<ArchReg> {
+    if idx < 32 {
+        Ok(ArchReg::int(idx))
+    } else if idx < 64 {
+        Ok(ArchReg::fp(idx - 32))
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("register index {idx} out of range"),
+        ))
+    }
+}
+
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(false);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated trace record",
+            ));
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+/// Replays a serialized trace into `sink`, returning the number of
+/// records delivered. Calls [`TraceSink::finish`] at end of stream.
+///
+/// # Errors
+///
+/// Returns an error for I/O failures, a bad magic header, or malformed
+/// records.
+pub fn replay<R: Read, S: TraceSink>(mut reader: R, sink: &mut S) -> io::Result<u64> {
+    let mut magic = [0u8; 4];
+    if !read_exact_or_eof(&mut reader, &mut magic)? {
+        sink.finish();
+        return Ok(0); // empty trace
+    }
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a phaselab trace (bad magic)",
+        ));
+    }
+
+    let mut count = 0;
+    loop {
+        let mut head = [0u8; 2];
+        if !read_exact_or_eof(&mut reader, &mut head)? {
+            break;
+        }
+        let [flags, class_idx] = head;
+        let class = *InstClass::ALL
+            .get(class_idx as usize)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad class index"))?;
+        let mut pc = [0u8; 8];
+        read_exact_or_eof(&mut reader, &mut pc)?;
+        let mut rec = InstRecord::new(u64::from_le_bytes(pc), class);
+
+        let n_reads = (flags & 0b11) as usize;
+        let mut reads = RegReads::new();
+        for _ in 0..n_reads {
+            let mut b = [0u8; 1];
+            read_exact_or_eof(&mut reader, &mut b)?;
+            reads.push(arch_reg(b[0])?);
+        }
+        rec.reads = reads;
+        if flags & HAS_WRITE != 0 {
+            let mut b = [0u8; 1];
+            read_exact_or_eof(&mut reader, &mut b)?;
+            rec.write = Some(arch_reg(b[0])?);
+        }
+        if flags & HAS_MEM != 0 {
+            let mut addr = [0u8; 8];
+            read_exact_or_eof(&mut reader, &mut addr)?;
+            let mut size = [0u8; 1];
+            read_exact_or_eof(&mut reader, &mut size)?;
+            rec.mem = Some(MemAccess {
+                addr: u64::from_le_bytes(addr),
+                size: size[0],
+                is_store: flags & MEM_STORE != 0,
+            });
+        }
+        if flags & HAS_BRANCH != 0 {
+            let mut target = [0u8; 8];
+            read_exact_or_eof(&mut reader, &mut target)?;
+            rec.branch = Some(BranchInfo {
+                taken: flags & BRANCH_TAKEN != 0,
+                target: u64::from_le_bytes(target),
+                conditional: flags & BRANCH_COND != 0,
+            });
+        }
+        sink.observe(&rec);
+        count += 1;
+    }
+    sink.finish();
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::VecSink;
+
+    fn rich_records() -> Vec<InstRecord> {
+        vec![
+            InstRecord::new(0x400000, InstClass::IntAdd)
+                .with_reads(&[ArchReg::int(1), ArchReg::int(2)])
+                .with_write(ArchReg::int(3)),
+            InstRecord::new(0x400004, InstClass::MemWrite)
+                .with_reads(&[ArchReg::int(3), ArchReg::int(31)])
+                .with_mem(MemAccess {
+                    addr: 0xDEAD_BEEF,
+                    size: 8,
+                    is_store: true,
+                }),
+            InstRecord::new(0x400008, InstClass::CondBranch)
+                .with_reads(&[ArchReg::int(1), ArchReg::int(0)])
+                .with_branch(BranchInfo {
+                    taken: true,
+                    target: 0x400000,
+                    conditional: true,
+                }),
+            InstRecord::new(0x40000C, InstClass::FpMul)
+                .with_reads(&[ArchReg::fp(5), ArchReg::fp(6)])
+                .with_write(ArchReg::fp(7)),
+            InstRecord::new(0x400010, InstClass::Nop),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let records = rich_records();
+        let mut writer = TraceWriter::new(Vec::new());
+        for r in &records {
+            writer.observe(r);
+        }
+        assert_eq!(writer.count(), records.len() as u64);
+        let bytes = writer.into_inner().unwrap();
+
+        let mut sink = VecSink::new();
+        let n = replay(&bytes[..], &mut sink).unwrap();
+        assert_eq!(n, records.len() as u64);
+        assert_eq!(sink.records(), &records[..]);
+    }
+
+    #[test]
+    fn empty_trace_replays_to_nothing() {
+        let writer = TraceWriter::new(Vec::new());
+        let bytes = writer.into_inner().unwrap();
+        let mut sink = VecSink::new();
+        assert_eq!(replay(&bytes[..], &mut sink).unwrap(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut sink = VecSink::new();
+        let err = replay(&b"NOPE"[..], &mut sink).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_trace_rejected() {
+        let records = rich_records();
+        let mut writer = TraceWriter::new(Vec::new());
+        for r in &records {
+            writer.observe(r);
+        }
+        let bytes = writer.into_inner().unwrap();
+        let mut sink = VecSink::new();
+        let err = replay(&bytes[..bytes.len() - 3], &mut sink).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn trace_is_compact() {
+        // A plain ALU record costs 2 (header) + 8 (pc) + 3 (regs) bytes.
+        let mut writer = TraceWriter::new(Vec::new());
+        for _ in 0..100 {
+            writer.observe(
+                &InstRecord::new(0, InstClass::IntAdd)
+                    .with_reads(&[ArchReg::int(1), ArchReg::int(2)])
+                    .with_write(ArchReg::int(3)),
+            );
+        }
+        let bytes = writer.into_inner().unwrap();
+        assert_eq!(bytes.len(), 4 + 100 * 13);
+    }
+}

@@ -1,0 +1,136 @@
+//! Terminal renderings: horizontal bar charts and curve plots.
+
+/// Renders labeled values as a horizontal ASCII bar chart.
+///
+/// # Examples
+///
+/// ```
+/// let chart = phaselab_viz::ascii_bar_chart(
+///     &[("BioPerf".into(), 0.65), ("BMW".into(), 0.19)],
+///     30,
+/// );
+/// assert!(chart.contains("BioPerf"));
+/// assert!(chart.lines().count() == 2);
+/// ```
+pub fn ascii_bar_chart(bars: &[(String, f64)], width: usize) -> String {
+    let max = bars.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max);
+    let label_w = bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in bars {
+        let filled = if max > 0.0 {
+            ((v / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$}  {}{} {v:.3}\n",
+            "█".repeat(filled),
+            " ".repeat(width - filled.min(width)),
+        ));
+    }
+    out.pop();
+    out
+}
+
+/// Renders one or more monotone curves (e.g. cumulative coverage) as an
+/// ASCII grid of the given size; each series is drawn with its own
+/// symbol.
+///
+/// # Examples
+///
+/// ```
+/// let plot = phaselab_viz::ascii_curve(
+///     &[("a".into(), vec![(1.0, 0.1), (2.0, 0.9)])],
+///     20,
+///     8,
+/// );
+/// assert!(plot.contains('a'));
+/// ```
+pub fn ascii_curve(series: &[(String, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
+    const SYMBOLS: [char; 8] = ['*', '+', 'o', 'x', '#', '@', '%', '~'];
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, pts) in series {
+        for &(x, y) in pts {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+    }
+    if !xmin.is_finite() {
+        return String::new();
+    }
+    if xmax - xmin < 1e-12 {
+        xmax = xmin + 1.0;
+    }
+    if ymax - ymin < 1e-12 {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let sym = SYMBOLS[si % SYMBOLS.len()];
+        for &(x, y) in pts {
+            let cx = (((x - xmin) / (xmax - xmin)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - ymin) / (ymax - ymin)) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx.min(width - 1)] = sym;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{ymax:.2} ┐\n"));
+    for row in &grid {
+        out.push_str("     │");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{ymin:.2} └{}\n", "─".repeat(width)));
+    out.push_str(&format!("      {xmin:<8.1}{:>w$.1}\n", xmax, w = width - 8));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {name}", SYMBOLS[i % SYMBOLS.len()]))
+        .collect();
+    out.push_str(&format!("      {}", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_are_proportional() {
+        let chart = ascii_bar_chart(&[("a".into(), 1.0), ("b".into(), 0.5)], 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        let count = |s: &str| s.matches('█').count();
+        assert_eq!(count(lines[0]), 10);
+        assert_eq!(count(lines[1]), 5);
+    }
+
+    #[test]
+    fn zero_bars_draw_nothing() {
+        let chart = ascii_bar_chart(&[("z".into(), 0.0)], 10);
+        assert_eq!(chart.matches('█').count(), 0);
+    }
+
+    #[test]
+    fn curve_marks_every_series() {
+        let plot = ascii_curve(
+            &[
+                ("up".into(), vec![(0.0, 0.0), (1.0, 1.0)]),
+                ("down".into(), vec![(0.0, 1.0), (1.0, 0.0)]),
+            ],
+            16,
+            6,
+        );
+        assert!(plot.contains('*'));
+        assert!(plot.contains('+'));
+        assert!(plot.contains("up"));
+        assert!(plot.contains("down"));
+    }
+
+    #[test]
+    fn empty_series_is_empty_string() {
+        assert_eq!(ascii_curve(&[], 10, 5), "");
+    }
+}

@@ -1,0 +1,292 @@
+//! Pie, bar and line charts.
+
+use crate::svg::SvgCanvas;
+
+/// Color palette shared by the chart types.
+const PALETTE: [&str; 10] = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+    "#9c755f", "#bab0ac",
+];
+
+/// A pie chart: labeled non-negative values (the benchmark composition
+/// of a prominent phase in the paper's figures).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PieChart {
+    title: String,
+    slices: Vec<(String, f64)>,
+}
+
+impl PieChart {
+    /// Creates a pie chart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is negative or not finite.
+    pub fn new(title: impl Into<String>, slices: Vec<(String, f64)>) -> Self {
+        for (label, v) in &slices {
+            assert!(v.is_finite() && *v >= 0.0, "bad slice value for {label}");
+        }
+        PieChart {
+            title: title.into(),
+            slices,
+        }
+    }
+
+    /// Renders the chart as a square SVG with a side legend.
+    pub fn to_svg(&self, size: f64) -> String {
+        let mut c = SvgCanvas::new(size * 1.9, size);
+        let cx = size / 2.0;
+        let cy = size / 2.0 + 6.0;
+        let r = size * 0.38;
+        c.text(cx, 12.0, size * 0.06, "middle", &self.title);
+        let total: f64 = self.slices.iter().map(|(_, v)| v).sum();
+        if total <= 0.0 {
+            c.circle(cx, cy, r, "#999", "none");
+            return c.finish();
+        }
+        let mut angle = -std::f64::consts::FRAC_PI_2;
+        for (i, (label, v)) in self.slices.iter().enumerate() {
+            let frac = v / total;
+            let sweep = frac * std::f64::consts::TAU;
+            let color = PALETTE[i % PALETTE.len()];
+            if frac >= 0.999_999 {
+                // A full circle cannot be drawn as a single arc.
+                c.circle(cx, cy, r, color, color);
+            } else if frac > 0.0 {
+                let (x1, y1) = (cx + r * angle.cos(), cy + r * angle.sin());
+                let end = angle + sweep;
+                let (x2, y2) = (cx + r * end.cos(), cy + r * end.sin());
+                let large = if sweep > std::f64::consts::PI { 1 } else { 0 };
+                let d = format!(
+                    "M {cx:.2} {cy:.2} L {x1:.2} {y1:.2} A {r:.2} {r:.2} 0 {large} 1 {x2:.2} {y2:.2} Z"
+                );
+                c.path(&d, "#fff", color, 0.5);
+            }
+            // Legend entry.
+            let ly = 22.0 + i as f64 * size * 0.085;
+            c.rect(size * 1.02, ly - size * 0.03, size * 0.04, size * 0.04, color);
+            c.text(
+                size * 1.08,
+                ly,
+                size * 0.05,
+                "start",
+                &format!("{label} ({:.0}%)", frac * 100.0),
+            );
+            angle += sweep;
+        }
+        c.finish()
+    }
+}
+
+/// A vertical bar chart (Figures 4 and 6 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarChart {
+    title: String,
+    y_label: String,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Creates a bar chart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is negative or not finite.
+    pub fn new(
+        title: impl Into<String>,
+        y_label: impl Into<String>,
+        bars: Vec<(String, f64)>,
+    ) -> Self {
+        for (label, v) in &bars {
+            assert!(v.is_finite() && *v >= 0.0, "bad bar value for {label}");
+        }
+        BarChart {
+            title: title.into(),
+            y_label: y_label.into(),
+            bars,
+        }
+    }
+
+    /// Renders the chart as an SVG of the given size.
+    pub fn to_svg(&self, width: f64, height: f64) -> String {
+        let mut c = SvgCanvas::new(width, height);
+        c.text(width / 2.0, 14.0, 12.0, "middle", &self.title);
+        c.text(12.0, height / 2.0, 10.0, "middle", &self.y_label);
+        let max = self
+            .bars
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(0.0_f64, f64::max)
+            .max(1e-12);
+        let left = 40.0;
+        let bottom = height - 34.0;
+        let top = 24.0;
+        let plot_w = width - left - 10.0;
+        let n = self.bars.len().max(1) as f64;
+        let bw = plot_w / n * 0.7;
+        c.line(left, top, left, bottom, "#333", 1.0);
+        c.line(left, bottom, width - 10.0, bottom, "#333", 1.0);
+        for (i, (label, v)) in self.bars.iter().enumerate() {
+            let x = left + plot_w * (i as f64 + 0.15) / n;
+            let h = (bottom - top) * v / max;
+            c.rect(x, bottom - h, bw, h, PALETTE[i % PALETTE.len()]);
+            c.text(x + bw / 2.0, bottom - h - 3.0, 8.0, "middle", &format!("{v:.3}"));
+            c.text(x + bw / 2.0, bottom + 12.0, 8.0, "middle", label);
+        }
+        c.finish()
+    }
+}
+
+/// A multi-series line chart (Figure 5's cumulative coverage curves and
+/// Figure 1's GA correlation sweep).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl LineChart {
+    /// Creates a line chart from named series of (x, y) points.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        series: Vec<(String, Vec<(f64, f64)>)>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series,
+        }
+    }
+
+    /// Renders the chart as an SVG of the given size.
+    pub fn to_svg(&self, width: f64, height: f64) -> String {
+        let mut c = SvgCanvas::new(width, height);
+        c.text(width / 2.0, 14.0, 12.0, "middle", &self.title);
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (_, pts) in &self.series {
+            for &(x, y) in pts {
+                xmin = xmin.min(x);
+                xmax = xmax.max(x);
+                ymin = ymin.min(y);
+                ymax = ymax.max(y);
+            }
+        }
+        if !xmin.is_finite() {
+            return c.finish();
+        }
+        if xmax - xmin < 1e-12 {
+            xmax = xmin + 1.0;
+        }
+        if ymax - ymin < 1e-12 {
+            ymax = ymin + 1.0;
+        }
+        let left = 48.0;
+        let bottom = height - 30.0;
+        let top = 24.0;
+        let right = width - 120.0;
+        let sx = |x: f64| left + (right - left) * (x - xmin) / (xmax - xmin);
+        let sy = |y: f64| bottom - (bottom - top) * (y - ymin) / (ymax - ymin);
+        c.line(left, top, left, bottom, "#333", 1.0);
+        c.line(left, bottom, right, bottom, "#333", 1.0);
+        c.text(left - 4.0, bottom, 8.0, "end", &format!("{ymin:.2}"));
+        c.text(left - 4.0, top + 4.0, 8.0, "end", &format!("{ymax:.2}"));
+        c.text(left, bottom + 12.0, 8.0, "middle", &format!("{xmin:.0}"));
+        c.text(right, bottom + 12.0, 8.0, "middle", &format!("{xmax:.0}"));
+        c.text((left + right) / 2.0, bottom + 22.0, 9.0, "middle", &self.x_label);
+        c.text(14.0, (top + bottom) / 2.0, 9.0, "middle", &self.y_label);
+        for (i, (label, pts)) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            if pts.len() >= 2 {
+                let mut d = String::new();
+                for (j, &(x, y)) in pts.iter().enumerate() {
+                    let cmd = if j == 0 { 'M' } else { 'L' };
+                    d.push_str(&format!("{cmd} {:.2} {:.2} ", sx(x), sy(y)));
+                }
+                c.path(d.trim_end(), color, "none", 1.4);
+            }
+            let ly = top + 10.0 + i as f64 * 13.0;
+            c.line(right + 8.0, ly - 3.0, right + 24.0, ly - 3.0, color, 2.0);
+            c.text(right + 28.0, ly, 9.0, "start", label);
+        }
+        c.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pie_fractions_in_legend() {
+        let pie = PieChart::new(
+            "p",
+            vec![("a".into(), 3.0), ("b".into(), 1.0)],
+        );
+        let svg = pie.to_svg(120.0);
+        assert!(svg.contains("a (75%)"));
+        assert!(svg.contains("b (25%)"));
+        assert_eq!(svg.matches("<path").count(), 2);
+    }
+
+    #[test]
+    fn single_slice_pie_is_a_circle() {
+        let pie = PieChart::new("p", vec![("only".into(), 5.0)]);
+        let svg = pie.to_svg(100.0);
+        assert!(svg.contains("<circle"));
+        assert_eq!(svg.matches("<path").count(), 0);
+    }
+
+    #[test]
+    fn empty_pie_renders_outline() {
+        let pie = PieChart::new("p", vec![]);
+        assert!(pie.to_svg(100.0).contains("<circle"));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad slice value")]
+    fn pie_rejects_negative() {
+        let _ = PieChart::new("p", vec![("x".into(), -1.0)]);
+    }
+
+    #[test]
+    fn bar_chart_draws_all_bars() {
+        let chart = BarChart::new(
+            "b",
+            "count",
+            vec![("x".into(), 1.0), ("y".into(), 2.0), ("z".into(), 0.5)],
+        );
+        let svg = chart.to_svg(300.0, 200.0);
+        // 3 bars + no extra rects.
+        assert_eq!(svg.matches("<rect").count(), 3);
+        assert!(svg.contains(">x<") && svg.contains(">y<") && svg.contains(">z<"));
+    }
+
+    #[test]
+    fn line_chart_one_path_per_series() {
+        let chart = LineChart::new(
+            "l",
+            "n",
+            "coverage",
+            vec![
+                ("s1".into(), vec![(0.0, 0.0), (1.0, 0.5), (2.0, 1.0)]),
+                ("s2".into(), vec![(0.0, 0.2), (2.0, 0.4)]),
+            ],
+        );
+        let svg = chart.to_svg(400.0, 240.0);
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains("s1") && svg.contains("s2"));
+    }
+
+    #[test]
+    fn empty_line_chart_does_not_panic() {
+        let chart = LineChart::new("l", "x", "y", vec![]);
+        let svg = chart.to_svg(100.0, 100.0);
+        assert!(svg.starts_with("<svg"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Similarity/distance heatmaps.
+
+use crate::svg::SvgCanvas;
+
+/// A square heatmap over labeled rows/columns — the standard rendering
+/// of a benchmark-similarity matrix (labels on both axes, darker =
+/// closer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Heatmap {
+    title: String,
+    labels: Vec<String>,
+    values: Vec<Vec<f64>>,
+}
+
+impl Heatmap {
+    /// Creates a heatmap from a square matrix of values and its labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is not square with one row per label, or any
+    /// value is not finite.
+    pub fn new(title: impl Into<String>, labels: Vec<String>, values: Vec<Vec<f64>>) -> Self {
+        assert_eq!(labels.len(), values.len(), "one row per label");
+        for row in &values {
+            assert_eq!(row.len(), labels.len(), "matrix must be square");
+            assert!(row.iter().all(|v| v.is_finite()), "values must be finite");
+        }
+        Heatmap {
+            title: title.into(),
+            labels,
+            values,
+        }
+    }
+
+    /// Number of rows/columns.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` for an empty heatmap.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Renders the heatmap as an SVG with the given cell size in pixels.
+    /// Low values render dark (similar), high values light (distant).
+    pub fn to_svg(&self, cell: f64) -> String {
+        let n = self.len();
+        let label_space = 110.0;
+        let size = label_space + n as f64 * cell + 12.0;
+        let mut c = SvgCanvas::new(size, size + 18.0);
+        c.text(size / 2.0, 13.0, 11.0, "middle", &self.title);
+
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for row in &self.values {
+            for &v in row {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        let span = (hi - lo).max(1e-12);
+
+        for (i, row) in self.values.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                // 0 (close) -> dark blue, 1 (far) -> near white.
+                let t = (v - lo) / span;
+                let shade = (40.0 + 215.0 * t) as u8;
+                let fill = format!("#{shade:02x}{shade:02x}ff");
+                c.rect(
+                    label_space + j as f64 * cell,
+                    20.0 + i as f64 * cell,
+                    cell,
+                    cell,
+                    &fill,
+                );
+            }
+        }
+        let font = (cell * 0.8).min(9.0);
+        for (i, label) in self.labels.iter().enumerate() {
+            c.text(
+                label_space - 4.0,
+                20.0 + i as f64 * cell + cell * 0.75,
+                font,
+                "end",
+                label,
+            );
+        }
+        c.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Heatmap {
+        Heatmap::new(
+            "h",
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
+                vec![0.0, 1.0, 2.0],
+                vec![1.0, 0.0, 3.0],
+                vec![2.0, 3.0, 0.0],
+            ],
+        )
+    }
+
+    #[test]
+    fn renders_one_cell_per_entry() {
+        let svg = sample().to_svg(12.0);
+        assert_eq!(svg.matches("<rect").count(), 9);
+        assert!(svg.contains(">a<") && svg.contains(">c<"));
+    }
+
+    #[test]
+    fn diagonal_is_darkest() {
+        let svg = sample().to_svg(12.0);
+        // Minimum value (0.0 on the diagonal) maps to the darkest shade.
+        assert!(svg.contains("#2828ff"));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rejected() {
+        let _ = Heatmap::new("h", vec!["a".into()], vec![vec![0.0, 1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one row per label")]
+    fn label_count_checked() {
+        let _ = Heatmap::new("h", vec!["a".into(), "b".into()], vec![vec![0.0]]);
+    }
+
+    #[test]
+    fn constant_matrix_does_not_divide_by_zero() {
+        let h = Heatmap::new(
+            "h",
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+        );
+        let svg = h.to_svg(10.0);
+        assert!(svg.starts_with("<svg"));
+    }
+}

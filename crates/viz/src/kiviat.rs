@@ -1,0 +1,154 @@
+//! Kiviat (radar) plots.
+
+use crate::svg::SvgCanvas;
+
+/// One kiviat axis: a label, the phase's normalized value, and the
+/// normalized mean − sd / mean / mean + sd ring positions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KiviatAxisSpec {
+    /// Axis label.
+    pub label: String,
+    /// The phase's value on this axis, normalized to `[0, 1]` between the
+    /// population minimum (center) and maximum (outer ring).
+    pub value: f64,
+    /// Normalized positions of the mean − sd, mean, and mean + sd rings.
+    pub rings: [f64; 3],
+}
+
+impl KiviatAxisSpec {
+    /// Creates an axis spec; values are clamped to `[0, 1]`.
+    pub fn new(label: impl Into<String>, value: f64, rings: [f64; 3]) -> Self {
+        KiviatAxisSpec {
+            label: label.into(),
+            value: value.clamp(0.0, 1.0),
+            rings: rings.map(|r| r.clamp(0.0, 1.0)),
+        }
+    }
+}
+
+/// A kiviat plot of one prominent phase: the dark area connecting the
+/// phase's key-characteristic values, drawn over rings marking the
+/// population mean and ± one standard deviation (exactly the plot
+/// construction of Figures 2–3 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KiviatPlot {
+    title: String,
+    axes: Vec<KiviatAxisSpec>,
+}
+
+impl KiviatPlot {
+    /// Creates an empty plot with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        KiviatPlot {
+            title: title.into(),
+            axes: Vec::new(),
+        }
+    }
+
+    /// Sets the axes.
+    pub fn with_axes(mut self, axes: Vec<KiviatAxisSpec>) -> Self {
+        self.axes = axes;
+        self
+    }
+
+    /// The axes.
+    pub fn axes(&self) -> &[KiviatAxisSpec] {
+        &self.axes
+    }
+
+    /// Renders the plot as a square SVG of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than three axes (a radar plot needs a polygon).
+    pub fn to_svg(&self, size: f64) -> String {
+        assert!(self.axes.len() >= 3, "kiviat plot needs at least 3 axes");
+        let mut c = SvgCanvas::new(size, size);
+        let cx = size / 2.0;
+        let cy = size / 2.0 + 6.0;
+        let radius = size * 0.32;
+        let n = self.axes.len();
+
+        let point = |axis: usize, r: f64| -> (f64, f64) {
+            let angle = std::f64::consts::TAU * axis as f64 / n as f64 - std::f64::consts::FRAC_PI_2;
+            (cx + radius * r * angle.cos(), cy + radius * r * angle.sin())
+        };
+
+        c.text(cx, 12.0, size * 0.055, "middle", &self.title);
+
+        // Outer ring (max) and center dot (min).
+        let outer: Vec<(f64, f64)> = (0..n).map(|i| point(i, 1.0)).collect();
+        c.polygon(&outer, "#666", "none", 0.0);
+        c.circle(cx, cy, 1.2, "#666", "#666");
+
+        // Mean ± sd rings: gray polygons through per-axis positions.
+        for (ring_idx, color) in [(0usize, "#bbb"), (1, "#999"), (2, "#bbb")] {
+            let ring: Vec<(f64, f64)> = (0..n)
+                .map(|i| point(i, self.axes[i].rings[ring_idx]))
+                .collect();
+            c.polygon(&ring, color, "none", 0.0);
+        }
+
+        // Axis spokes and labels.
+        for (i, axis) in self.axes.iter().enumerate() {
+            let (x, y) = point(i, 1.0);
+            c.line(cx, cy, x, y, "#ccc", 0.6);
+            let (lx, ly) = point(i, 1.22);
+            let anchor = if lx < cx - 2.0 {
+                "end"
+            } else if lx > cx + 2.0 {
+                "start"
+            } else {
+                "middle"
+            };
+            c.text(lx, ly, size * 0.04, anchor, &axis.label);
+        }
+
+        // The phase's dark area.
+        let shape: Vec<(f64, f64)> = (0..n).map(|i| point(i, self.axes[i].value)).collect();
+        c.polygon(&shape, "#222", "#444", 0.75);
+
+        c.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plot(n: usize) -> KiviatPlot {
+        KiviatPlot::new("t").with_axes(
+            (0..n)
+                .map(|i| KiviatAxisSpec::new(format!("a{i}"), 0.5, [0.3, 0.5, 0.7]))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn renders_all_axis_labels() {
+        let svg = plot(5).to_svg(200.0);
+        for i in 0..5 {
+            assert!(svg.contains(&format!("a{i}")));
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range_values() {
+        let a = KiviatAxisSpec::new("x", 1.7, [-0.2, 0.5, 2.0]);
+        assert_eq!(a.value, 1.0);
+        assert_eq!(a.rings, [0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 axes")]
+    fn too_few_axes_rejected() {
+        let _ = plot(2).to_svg(100.0);
+    }
+
+    #[test]
+    fn polygon_count_includes_rings_and_shape() {
+        let svg = plot(4).to_svg(150.0);
+        // outer + 3 rings + phase shape = 5 polygons.
+        assert_eq!(svg.matches("<polygon").count(), 5);
+    }
+}

@@ -1,0 +1,41 @@
+//! Visualization for `phaselab`: kiviat (radar) plots, pie charts, bar
+//! charts and line charts, rendered to SVG and to ASCII.
+//!
+//! The paper presents its 100 prominent phases as kiviat plots over the
+//! 12 key characteristics, each paired with a pie chart of the
+//! benchmarks it represents (Figures 2–3), plus bar charts for coverage
+//! and uniqueness (Figures 4, 6) and cumulative-coverage line charts
+//! (Figure 5, and the GA sweep of Figure 1). This crate renders all of
+//! those from plain data — no dependency on the analysis crates, so it
+//! is reusable for any small-multiples reporting.
+//!
+//! # Examples
+//!
+//! ```
+//! use phaselab_viz::{KiviatAxisSpec, KiviatPlot};
+//!
+//! let plot = KiviatPlot::new("phase 1")
+//!     .with_axes(vec![
+//!         KiviatAxisSpec::new("ilp", 0.8, [0.2, 0.5, 0.8]),
+//!         KiviatAxisSpec::new("mem", 0.3, [0.1, 0.4, 0.7]),
+//!         KiviatAxisSpec::new("branch", 0.6, [0.3, 0.5, 0.7]),
+//!     ]);
+//! let svg = plot.to_svg(240.0);
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("phase 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ascii;
+mod charts;
+mod heatmap;
+mod kiviat;
+mod svg;
+
+pub use ascii::{ascii_bar_chart, ascii_curve};
+pub use charts::{BarChart, LineChart, PieChart};
+pub use heatmap::Heatmap;
+pub use kiviat::{KiviatAxisSpec, KiviatPlot};
+pub use svg::SvgCanvas;

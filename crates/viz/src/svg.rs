@@ -1,0 +1,152 @@
+//! A minimal SVG document builder.
+
+use std::fmt::Write as _;
+
+/// Builds an SVG document element by element.
+///
+/// # Examples
+///
+/// ```
+/// use phaselab_viz::SvgCanvas;
+///
+/// let mut c = SvgCanvas::new(100.0, 50.0);
+/// c.line(0.0, 0.0, 100.0, 50.0, "#888", 1.0);
+/// c.text(50.0, 25.0, 10.0, "middle", "hello");
+/// let svg = c.finish();
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.ends_with("</svg>\n"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+/// Escapes text content for XML.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+impl SvgCanvas {
+    /// Creates an empty canvas of the given pixel size.
+    pub fn new(width: f64, height: f64) -> Self {
+        SvgCanvas {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Canvas width in pixels.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Canvas height in pixels.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Adds a straight line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width}"/>"#
+        )
+        .expect("write to string");
+    }
+
+    /// Adds a circle outline.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, stroke: &str, fill: &str) {
+        writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" stroke="{stroke}" fill="{fill}"/>"#
+        )
+        .expect("write to string");
+    }
+
+    /// Adds a closed polygon.
+    pub fn polygon(&mut self, points: &[(f64, f64)], stroke: &str, fill: &str, opacity: f64) {
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect();
+        writeln!(
+            self.body,
+            r#"<polygon points="{}" stroke="{stroke}" fill="{fill}" fill-opacity="{opacity}"/>"#,
+            pts.join(" ")
+        )
+        .expect("write to string");
+    }
+
+    /// Adds a filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        writeln!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}"/>"#
+        )
+        .expect("write to string");
+    }
+
+    /// Adds a raw SVG path element.
+    pub fn path(&mut self, d: &str, stroke: &str, fill: &str, width: f64) {
+        writeln!(
+            self.body,
+            r#"<path d="{d}" stroke="{stroke}" fill="{fill}" stroke-width="{width}"/>"#
+        )
+        .expect("write to string");
+    }
+
+    /// Adds text; `anchor` is the SVG `text-anchor` (`start`, `middle`,
+    /// `end`).
+    pub fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, content: &str) {
+        writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size}" text-anchor="{anchor}" font-family="sans-serif">{}</text>"#,
+            escape(content)
+        )
+        .expect("write to string");
+    }
+
+    /// Finalizes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut c = SvgCanvas::new(10.0, 20.0);
+        c.rect(0.0, 0.0, 5.0, 5.0, "#fff");
+        let svg = c.finish();
+        assert!(svg.contains("viewBox=\"0 0 10 20\""));
+        assert!(svg.contains("<rect"));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut c = SvgCanvas::new(10.0, 10.0);
+        c.text(0.0, 0.0, 8.0, "start", "a<b & \"c\"");
+        let svg = c.finish();
+        assert!(svg.contains("a&lt;b &amp; &quot;c&quot;"));
+    }
+
+    #[test]
+    fn polygon_points_formatting() {
+        let mut c = SvgCanvas::new(10.0, 10.0);
+        c.polygon(&[(0.0, 0.0), (1.5, 2.25)], "#000", "#f00", 0.5);
+        let svg = c.finish();
+        assert!(svg.contains("0.00,0.00 1.50,2.25"));
+    }
+}

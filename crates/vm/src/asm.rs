@@ -1,0 +1,629 @@
+//! A label-based assembler DSL for writing workloads in Rust.
+
+use std::collections::HashMap;
+
+use crate::error::AsmError;
+use crate::isa::{AluOp, Cond, FpCond, FpuOp, FReg, IReg, Instr, MemWidth};
+use crate::program::{DataBuilder, Program};
+
+/// Conventional register names for hand-written assembly.
+///
+/// The machine has no ABI — these are naming conventions only:
+/// `T*` temporaries, `S*` saved/loop-carried values, `A*` arguments,
+/// `V*` return values, `G*` globals, `SP` a stack/frame pointer, and the
+/// hardwired `ZERO`. The `F*` constants mirror the integer names for the
+/// floating-point file.
+#[allow(missing_docs)]
+pub mod regs {
+    use crate::isa::{FReg, IReg};
+
+    pub const ZERO: IReg = IReg::new(0);
+    pub const T0: IReg = IReg::new(1);
+    pub const T1: IReg = IReg::new(2);
+    pub const T2: IReg = IReg::new(3);
+    pub const T3: IReg = IReg::new(4);
+    pub const T4: IReg = IReg::new(5);
+    pub const T5: IReg = IReg::new(6);
+    pub const T6: IReg = IReg::new(7);
+    pub const T7: IReg = IReg::new(8);
+    pub const S0: IReg = IReg::new(9);
+    pub const S1: IReg = IReg::new(10);
+    pub const S2: IReg = IReg::new(11);
+    pub const S3: IReg = IReg::new(12);
+    pub const S4: IReg = IReg::new(13);
+    pub const S5: IReg = IReg::new(14);
+    pub const S6: IReg = IReg::new(15);
+    pub const S7: IReg = IReg::new(16);
+    pub const A0: IReg = IReg::new(17);
+    pub const A1: IReg = IReg::new(18);
+    pub const A2: IReg = IReg::new(19);
+    pub const A3: IReg = IReg::new(20);
+    pub const A4: IReg = IReg::new(21);
+    pub const A5: IReg = IReg::new(22);
+    pub const A6: IReg = IReg::new(23);
+    pub const A7: IReg = IReg::new(24);
+    pub const V0: IReg = IReg::new(25);
+    pub const V1: IReg = IReg::new(26);
+    pub const G0: IReg = IReg::new(27);
+    pub const G1: IReg = IReg::new(28);
+    pub const G2: IReg = IReg::new(29);
+    pub const G3: IReg = IReg::new(30);
+    pub const SP: IReg = IReg::new(31);
+
+    pub const FT0: FReg = FReg::new(0);
+    pub const FT1: FReg = FReg::new(1);
+    pub const FT2: FReg = FReg::new(2);
+    pub const FT3: FReg = FReg::new(3);
+    pub const FT4: FReg = FReg::new(4);
+    pub const FT5: FReg = FReg::new(5);
+    pub const FT6: FReg = FReg::new(6);
+    pub const FT7: FReg = FReg::new(7);
+    pub const FS0: FReg = FReg::new(8);
+    pub const FS1: FReg = FReg::new(9);
+    pub const FS2: FReg = FReg::new(10);
+    pub const FS3: FReg = FReg::new(11);
+    pub const FS4: FReg = FReg::new(12);
+    pub const FS5: FReg = FReg::new(13);
+    pub const FS6: FReg = FReg::new(14);
+    pub const FS7: FReg = FReg::new(15);
+    pub const FA0: FReg = FReg::new(16);
+    pub const FA1: FReg = FReg::new(17);
+    pub const FA2: FReg = FReg::new(18);
+    pub const FA3: FReg = FReg::new(19);
+    pub const FA4: FReg = FReg::new(20);
+    pub const FA5: FReg = FReg::new(21);
+    pub const FA6: FReg = FReg::new(22);
+    pub const FA7: FReg = FReg::new(23);
+    pub const FV0: FReg = FReg::new(24);
+    pub const FV1: FReg = FReg::new(25);
+    pub const FG0: FReg = FReg::new(26);
+    pub const FG1: FReg = FReg::new(27);
+    pub const FG2: FReg = FReg::new(28);
+    pub const FG3: FReg = FReg::new(29);
+    pub const FG4: FReg = FReg::new(30);
+    pub const FG5: FReg = FReg::new(31);
+}
+
+/// Which field of an emitted instruction a pending label reference patches.
+#[derive(Debug, Clone)]
+enum Fixup {
+    /// Patch the `target` field of a branch/jump/call at `instr`.
+    Target { instr: usize, label: String },
+    /// Patch the `imm` field of an `Li` at `instr` with the label's
+    /// instruction index (for indirect jumps through `jr`).
+    LiIndex { instr: usize, label: String },
+}
+
+/// A two-pass assembler: emit instructions with symbolic labels, then
+/// [`assemble`](Asm::assemble) into a validated [`Program`].
+///
+/// # Examples
+///
+/// ```
+/// use phaselab_vm::{regs::*, Asm, DataBuilder};
+///
+/// let mut asm = Asm::new();
+/// asm.li(T0, 3);
+/// asm.label("spin");
+/// asm.addi(T0, T0, -1);
+/// asm.bne(T0, ZERO, "spin");
+/// asm.halt();
+/// let program = asm.assemble(DataBuilder::new()).unwrap();
+/// assert_eq!(program.len(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    code: Vec<Instr>,
+    labels: HashMap<String, u32>,
+    fixups: Vec<Fixup>,
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of instructions emitted so far (the index of the next one).
+    pub fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    /// Defines `label` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined (programmer error in a
+    /// hand-written workload).
+    pub fn label(&mut self, label: impl Into<String>) {
+        let label = label.into();
+        let here = self.here();
+        let prev = self.labels.insert(label.clone(), here);
+        assert!(prev.is_none(), "duplicate label `{label}`");
+    }
+
+    #[inline]
+    fn emit(&mut self, instr: Instr) {
+        self.code.push(instr);
+    }
+
+    fn emit_target(&mut self, instr: Instr, label: impl Into<String>) {
+        let idx = self.code.len();
+        self.code.push(instr);
+        self.fixups.push(Fixup::Target {
+            instr: idx,
+            label: label.into(),
+        });
+    }
+
+    // ---- integer ALU -----------------------------------------------------
+
+    /// `rd = rs1 + rs2`
+    pub fn add(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
+        self.emit(Instr::Alu { op: AluOp::Add, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 - rs2`
+    pub fn sub(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
+        self.emit(Instr::Alu { op: AluOp::Sub, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 * rs2` (low 64 bits)
+    pub fn mul(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
+        self.emit(Instr::Alu { op: AluOp::Mul, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 / rs2` (signed; x/0 = all-ones)
+    pub fn div(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
+        self.emit(Instr::Alu { op: AluOp::Div, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 % rs2` (signed; x%0 = x)
+    pub fn rem(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
+        self.emit(Instr::Alu { op: AluOp::Rem, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 & rs2`
+    pub fn and(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
+        self.emit(Instr::Alu { op: AluOp::And, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 | rs2`
+    pub fn or(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
+        self.emit(Instr::Alu { op: AluOp::Or, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 ^ rs2`
+    pub fn xor(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
+        self.emit(Instr::Alu { op: AluOp::Xor, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 << rs2`
+    pub fn sll(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
+        self.emit(Instr::Alu { op: AluOp::Sll, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 >> rs2` (logical)
+    pub fn srl(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
+        self.emit(Instr::Alu { op: AluOp::Srl, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 >> rs2` (arithmetic)
+    pub fn sra(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
+        self.emit(Instr::Alu { op: AluOp::Sra, rd, rs1, rs2 });
+    }
+
+    /// `rd = (rs1 < rs2) ? 1 : 0` (signed)
+    pub fn slt(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
+        self.emit(Instr::Alu { op: AluOp::Slt, rd, rs1, rs2 });
+    }
+
+    /// `rd = (rs1 < rs2) ? 1 : 0` (unsigned)
+    pub fn sltu(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
+        self.emit(Instr::Alu { op: AluOp::Sltu, rd, rs1, rs2 });
+    }
+
+    // ---- integer ALU, immediate ------------------------------------------
+
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: IReg, rs1: IReg, imm: i64) {
+        self.emit(Instr::AluImm { op: AluOp::Add, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 * imm`
+    pub fn muli(&mut self, rd: IReg, rs1: IReg, imm: i64) {
+        self.emit(Instr::AluImm { op: AluOp::Mul, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 & imm`
+    pub fn andi(&mut self, rd: IReg, rs1: IReg, imm: i64) {
+        self.emit(Instr::AluImm { op: AluOp::And, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 | imm`
+    pub fn ori(&mut self, rd: IReg, rs1: IReg, imm: i64) {
+        self.emit(Instr::AluImm { op: AluOp::Or, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 ^ imm`
+    pub fn xori(&mut self, rd: IReg, rs1: IReg, imm: i64) {
+        self.emit(Instr::AluImm { op: AluOp::Xor, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 << imm`
+    pub fn slli(&mut self, rd: IReg, rs1: IReg, imm: i64) {
+        self.emit(Instr::AluImm { op: AluOp::Sll, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 >> imm` (logical)
+    pub fn srli(&mut self, rd: IReg, rs1: IReg, imm: i64) {
+        self.emit(Instr::AluImm { op: AluOp::Srl, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 >> imm` (arithmetic)
+    pub fn srai(&mut self, rd: IReg, rs1: IReg, imm: i64) {
+        self.emit(Instr::AluImm { op: AluOp::Sra, rd, rs1, imm });
+    }
+
+    /// `rd = (rs1 < imm) ? 1 : 0` (signed)
+    pub fn slti(&mut self, rd: IReg, rs1: IReg, imm: i64) {
+        self.emit(Instr::AluImm { op: AluOp::Slt, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 % imm` (signed)
+    pub fn remi(&mut self, rd: IReg, rs1: IReg, imm: i64) {
+        self.emit(Instr::AluImm { op: AluOp::Rem, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 / imm` (signed)
+    pub fn divi(&mut self, rd: IReg, rs1: IReg, imm: i64) {
+        self.emit(Instr::AluImm { op: AluOp::Div, rd, rs1, imm });
+    }
+
+    // ---- moves and immediates --------------------------------------------
+
+    /// `rd = imm`
+    pub fn li(&mut self, rd: IReg, imm: i64) {
+        self.emit(Instr::Li { rd, imm });
+    }
+
+    /// `rd = <instruction index of label>`; pair with [`jr`](Asm::jr) for
+    /// computed jumps.
+    pub fn li_label(&mut self, rd: IReg, label: impl Into<String>) {
+        let idx = self.code.len();
+        self.emit(Instr::Li { rd, imm: 0 });
+        self.fixups.push(Fixup::LiIndex {
+            instr: idx,
+            label: label.into(),
+        });
+    }
+
+    /// `rd = rs`
+    pub fn mv(&mut self, rd: IReg, rs: IReg) {
+        self.emit(Instr::Mv { rd, rs });
+    }
+
+    /// `rd = val` (floating point immediate)
+    pub fn fli(&mut self, rd: FReg, val: f64) {
+        self.emit(Instr::LiF { rd, val });
+    }
+
+    /// `rd = rs` (floating point move)
+    pub fn fmv(&mut self, rd: FReg, rs: FReg) {
+        self.emit(Instr::MvF { rd, rs });
+    }
+
+    // ---- memory ------------------------------------------------------------
+
+    /// Load byte (zero-extended): `rd = mem[base+offset]`
+    pub fn lb(&mut self, rd: IReg, base: IReg, offset: i64) {
+        self.emit(Instr::Load { rd, base, offset, width: MemWidth::B });
+    }
+
+    /// Load half-word (zero-extended).
+    pub fn lh(&mut self, rd: IReg, base: IReg, offset: i64) {
+        self.emit(Instr::Load { rd, base, offset, width: MemWidth::H });
+    }
+
+    /// Load word (zero-extended).
+    pub fn lw(&mut self, rd: IReg, base: IReg, offset: i64) {
+        self.emit(Instr::Load { rd, base, offset, width: MemWidth::W });
+    }
+
+    /// Load double-word.
+    pub fn ld(&mut self, rd: IReg, base: IReg, offset: i64) {
+        self.emit(Instr::Load { rd, base, offset, width: MemWidth::D });
+    }
+
+    /// Store byte.
+    pub fn sb(&mut self, rs: IReg, base: IReg, offset: i64) {
+        self.emit(Instr::Store { rs, base, offset, width: MemWidth::B });
+    }
+
+    /// Store half-word.
+    pub fn sh(&mut self, rs: IReg, base: IReg, offset: i64) {
+        self.emit(Instr::Store { rs, base, offset, width: MemWidth::H });
+    }
+
+    /// Store word.
+    pub fn sw(&mut self, rs: IReg, base: IReg, offset: i64) {
+        self.emit(Instr::Store { rs, base, offset, width: MemWidth::W });
+    }
+
+    /// Store double-word.
+    pub fn sd(&mut self, rs: IReg, base: IReg, offset: i64) {
+        self.emit(Instr::Store { rs, base, offset, width: MemWidth::D });
+    }
+
+    /// Load double (floating point).
+    pub fn fld(&mut self, rd: FReg, base: IReg, offset: i64) {
+        self.emit(Instr::LoadF { rd, base, offset });
+    }
+
+    /// Store double (floating point).
+    pub fn fsd(&mut self, rs: FReg, base: IReg, offset: i64) {
+        self.emit(Instr::StoreF { rs, base, offset });
+    }
+
+    // ---- floating point ----------------------------------------------------
+
+    /// `rd = rs1 + rs2`
+    pub fn fadd(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::Fpu { op: FpuOp::Add, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 - rs2`
+    pub fn fsub(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::Fpu { op: FpuOp::Sub, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 * rs2`
+    pub fn fmul(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::Fpu { op: FpuOp::Mul, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 / rs2`
+    pub fn fdiv(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::Fpu { op: FpuOp::Div, rd, rs1, rs2 });
+    }
+
+    /// `rd = sqrt(|rs|)`
+    pub fn fsqrt(&mut self, rd: FReg, rs: FReg) {
+        self.emit(Instr::Fpu { op: FpuOp::Sqrt, rd, rs1: rs, rs2: rs });
+    }
+
+    /// `rd = min(rs1, rs2)`
+    pub fn fmin(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::Fpu { op: FpuOp::Min, rd, rs1, rs2 });
+    }
+
+    /// `rd = max(rs1, rs2)`
+    pub fn fmax(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::Fpu { op: FpuOp::Max, rd, rs1, rs2 });
+    }
+
+    /// `rd = |rs|`
+    pub fn fabs(&mut self, rd: FReg, rs: FReg) {
+        self.emit(Instr::Fpu { op: FpuOp::Abs, rd, rs1: rs, rs2: rs });
+    }
+
+    /// `rd = -rs`
+    pub fn fneg(&mut self, rd: FReg, rs: FReg) {
+        self.emit(Instr::Fpu { op: FpuOp::Neg, rd, rs1: rs, rs2: rs });
+    }
+
+    /// `rd = (rs1 == rs2) ? 1 : 0`
+    pub fn feq(&mut self, rd: IReg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::FpuCmp { cond: FpCond::Eq, rd, rs1, rs2 });
+    }
+
+    /// `rd = (rs1 < rs2) ? 1 : 0`
+    pub fn flt(&mut self, rd: IReg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::FpuCmp { cond: FpCond::Lt, rd, rs1, rs2 });
+    }
+
+    /// `rd = (rs1 <= rs2) ? 1 : 0`
+    pub fn fle(&mut self, rd: IReg, rs1: FReg, rs2: FReg) {
+        self.emit(Instr::FpuCmp { cond: FpCond::Le, rd, rs1, rs2 });
+    }
+
+    /// Convert signed integer to double.
+    pub fn itof(&mut self, rd: FReg, rs: IReg) {
+        self.emit(Instr::ItoF { rd, rs });
+    }
+
+    /// Convert double to signed integer (truncating).
+    pub fn ftoi(&mut self, rd: IReg, rs: FReg) {
+        self.emit(Instr::FtoI { rd, rs });
+    }
+
+    // ---- control flow --------------------------------------------------------
+
+    /// Branch to `label` if `rs1 == rs2`.
+    pub fn beq(&mut self, rs1: IReg, rs2: IReg, label: impl Into<String>) {
+        self.emit_target(Instr::Branch { cond: Cond::Eq, rs1, rs2, target: 0 }, label);
+    }
+
+    /// Branch to `label` if `rs1 != rs2`.
+    pub fn bne(&mut self, rs1: IReg, rs2: IReg, label: impl Into<String>) {
+        self.emit_target(Instr::Branch { cond: Cond::Ne, rs1, rs2, target: 0 }, label);
+    }
+
+    /// Branch to `label` if `rs1 < rs2` (signed).
+    pub fn blt(&mut self, rs1: IReg, rs2: IReg, label: impl Into<String>) {
+        self.emit_target(Instr::Branch { cond: Cond::Lt, rs1, rs2, target: 0 }, label);
+    }
+
+    /// Branch to `label` if `rs1 >= rs2` (signed).
+    pub fn bge(&mut self, rs1: IReg, rs2: IReg, label: impl Into<String>) {
+        self.emit_target(Instr::Branch { cond: Cond::Ge, rs1, rs2, target: 0 }, label);
+    }
+
+    /// Branch to `label` if `rs1 < rs2` (unsigned).
+    pub fn bltu(&mut self, rs1: IReg, rs2: IReg, label: impl Into<String>) {
+        self.emit_target(Instr::Branch { cond: Cond::Ltu, rs1, rs2, target: 0 }, label);
+    }
+
+    /// Branch to `label` if `rs1 >= rs2` (unsigned).
+    pub fn bgeu(&mut self, rs1: IReg, rs2: IReg, label: impl Into<String>) {
+        self.emit_target(Instr::Branch { cond: Cond::Geu, rs1, rs2, target: 0 }, label);
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn j(&mut self, label: impl Into<String>) {
+        self.emit_target(Instr::Jump { target: 0 }, label);
+    }
+
+    /// Indirect jump; `rs` holds a target instruction index (see
+    /// [`li_label`](Asm::li_label)).
+    pub fn jr(&mut self, rs: IReg) {
+        self.emit(Instr::JumpInd { rs });
+    }
+
+    /// Call the function at `label`.
+    pub fn call(&mut self, label: impl Into<String>) {
+        self.emit_target(Instr::Call { target: 0 }, label);
+    }
+
+    /// Return to the caller.
+    pub fn ret(&mut self) {
+        self.emit(Instr::Ret);
+    }
+
+    /// No-operation.
+    pub fn nop(&mut self) {
+        self.emit(Instr::Nop);
+    }
+
+    /// Stop execution.
+    pub fn halt(&mut self) {
+        self.emit(Instr::Halt);
+    }
+
+    // ---- assembly ------------------------------------------------------------
+
+    /// Resolves all label references and produces a validated [`Program`]
+    /// with the given data segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UndefinedLabel`] if a referenced label was never
+    /// defined, [`AsmError::EmptyProgram`] for an empty program, or
+    /// [`AsmError::DataOutOfRange`] for an invalid data initializer.
+    pub fn assemble(mut self, data: DataBuilder) -> Result<Program, AsmError> {
+        for fixup in &self.fixups {
+            match fixup {
+                Fixup::Target { instr, label } => {
+                    let &target = self.labels.get(label).ok_or_else(|| {
+                        AsmError::UndefinedLabel { label: label.clone() }
+                    })?;
+                    match &mut self.code[*instr] {
+                        Instr::Branch { target: t, .. }
+                        | Instr::Jump { target: t }
+                        | Instr::Call { target: t } => *t = target,
+                        other => unreachable!("target fixup on {other:?}"),
+                    }
+                }
+                Fixup::LiIndex { instr, label } => {
+                    let &target = self.labels.get(label).ok_or_else(|| {
+                        AsmError::UndefinedLabel { label: label.clone() }
+                    })?;
+                    match &mut self.code[*instr] {
+                        Instr::Li { imm, .. } => *imm = target as i64,
+                        other => unreachable!("li fixup on {other:?}"),
+                    }
+                }
+            }
+        }
+        Program::from_parts(self.code, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::regs::*;
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        a.j("end"); // forward reference
+        a.label("mid");
+        a.nop();
+        a.label("end");
+        a.beq(ZERO, ZERO, "mid"); // backward reference
+        a.halt();
+        let p = a.assemble(DataBuilder::new()).unwrap();
+        assert_eq!(p.code()[0], Instr::Jump { target: 2 });
+        match p.code()[2] {
+            Instr::Branch { target, .. } => assert_eq!(target, 1),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Asm::new();
+        a.j("nowhere");
+        a.halt();
+        assert_eq!(
+            a.assemble(DataBuilder::new()),
+            Err(AsmError::UndefinedLabel {
+                label: "nowhere".into()
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.nop();
+        a.label("x");
+    }
+
+    #[test]
+    fn li_label_resolves_to_instruction_index() {
+        let mut a = Asm::new();
+        a.li_label(T0, "dest");
+        a.jr(T0);
+        a.nop();
+        a.label("dest");
+        a.halt();
+        let p = a.assemble(DataBuilder::new()).unwrap();
+        assert_eq!(p.code()[0], Instr::Li { rd: T0, imm: 3 });
+    }
+
+    #[test]
+    fn register_constants_are_distinct() {
+        let all = [
+            ZERO, T0, T1, T2, T3, T4, T5, T6, T7, S0, S1, S2, S3, S4, S5, S6, S7, A0, A1, A2,
+            A3, A4, A5, A6, A7, V0, V1, G0, G1, G2, G3, SP,
+        ];
+        let mut nums: Vec<u8> = all.iter().map(|r| r.num()).collect();
+        nums.sort_unstable();
+        nums.dedup();
+        assert_eq!(nums.len(), 32);
+    }
+
+    #[test]
+    fn every_emitter_produces_one_instruction() {
+        let mut a = Asm::new();
+        a.add(T0, T1, T2);
+        a.addi(T0, T1, 5);
+        a.mul(T0, T1, T2);
+        a.ld(T0, SP, 8);
+        a.sd(T0, SP, 8);
+        a.fld(FT0, SP, 0);
+        a.fsd(FT0, SP, 0);
+        a.fadd(FT0, FT1, FT2);
+        a.fsqrt(FT0, FT1);
+        a.feq(T0, FT0, FT1);
+        a.itof(FT0, T0);
+        a.ftoi(T0, FT0);
+        a.nop();
+        a.halt();
+        assert_eq!(a.here(), 14);
+    }
+}

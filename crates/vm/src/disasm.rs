@@ -1,0 +1,220 @@
+//! Disassembly: human-readable renderings of instructions and programs.
+
+use std::fmt;
+
+use crate::isa::{AluOp, Cond, FpCond, FpuOp, Instr, MemWidth};
+use crate::program::Program;
+
+fn alu_mnemonic(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::Div => "div",
+        AluOp::Rem => "rem",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Sll => "sll",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+    }
+}
+
+fn fpu_mnemonic(op: FpuOp) -> &'static str {
+    match op {
+        FpuOp::Add => "fadd",
+        FpuOp::Sub => "fsub",
+        FpuOp::Mul => "fmul",
+        FpuOp::Div => "fdiv",
+        FpuOp::Sqrt => "fsqrt",
+        FpuOp::Min => "fmin",
+        FpuOp::Max => "fmax",
+        FpuOp::Abs => "fabs",
+        FpuOp::Neg => "fneg",
+    }
+}
+
+fn cond_mnemonic(cond: Cond) -> &'static str {
+    match cond {
+        Cond::Eq => "beq",
+        Cond::Ne => "bne",
+        Cond::Lt => "blt",
+        Cond::Ge => "bge",
+        Cond::Ltu => "bltu",
+        Cond::Geu => "bgeu",
+    }
+}
+
+fn width_suffix(width: MemWidth) -> &'static str {
+    match width {
+        MemWidth::B => "b",
+        MemWidth::H => "h",
+        MemWidth::W => "w",
+        MemWidth::D => "d",
+    }
+}
+
+impl fmt::Display for Instr {
+    /// Renders the instruction in an assembler-like syntax; branch and
+    /// jump targets print as instruction indices (`@42`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", alu_mnemonic(op))
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                write!(f, "{}i {rd}, {rs1}, {imm}", alu_mnemonic(op))
+            }
+            Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Instr::LiF { rd, val } => write!(f, "fli {rd}, {val}"),
+            Instr::Mv { rd, rs } => write!(f, "mv {rd}, {rs}"),
+            Instr::MvF { rd, rs } => write!(f, "fmv {rd}, {rs}"),
+            Instr::Load {
+                rd,
+                base,
+                offset,
+                width,
+            } => write!(f, "l{} {rd}, {offset}({base})", width_suffix(width)),
+            Instr::Store {
+                rs,
+                base,
+                offset,
+                width,
+            } => write!(f, "s{} {rs}, {offset}({base})", width_suffix(width)),
+            Instr::LoadF { rd, base, offset } => write!(f, "fld {rd}, {offset}({base})"),
+            Instr::StoreF { rs, base, offset } => write!(f, "fsd {rs}, {offset}({base})"),
+            Instr::Fpu { op, rd, rs1, rs2 } => {
+                if op.is_unary() {
+                    write!(f, "{} {rd}, {rs1}", fpu_mnemonic(op))
+                } else {
+                    write!(f, "{} {rd}, {rs1}, {rs2}", fpu_mnemonic(op))
+                }
+            }
+            Instr::FpuCmp { cond, rd, rs1, rs2 } => {
+                let m = match cond {
+                    FpCond::Eq => "feq",
+                    FpCond::Lt => "flt",
+                    FpCond::Le => "fle",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}")
+            }
+            Instr::ItoF { rd, rs } => write!(f, "itof {rd}, {rs}"),
+            Instr::FtoI { rd, rs } => write!(f, "ftoi {rd}, {rs}"),
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => write!(f, "{} {rs1}, {rs2}, @{target}", cond_mnemonic(cond)),
+            Instr::Jump { target } => write!(f, "j @{target}"),
+            Instr::JumpInd { rs } => write!(f, "jr {rs}"),
+            Instr::Call { target } => write!(f, "call @{target}"),
+            Instr::Ret => write!(f, "ret"),
+            Instr::Nop => write!(f, "nop"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+impl Program {
+    /// Disassembles the whole program, one indexed instruction per line.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use phaselab_vm::{regs::*, Asm, DataBuilder};
+    ///
+    /// let mut asm = Asm::new();
+    /// asm.li(T0, 5);
+    /// asm.halt();
+    /// let program = asm.assemble(DataBuilder::new()).unwrap();
+    /// let text = program.disasm();
+    /// assert!(text.contains("0  li r1, 5"));
+    /// assert!(text.contains("1  halt"));
+    /// ```
+    pub fn disasm(&self) -> String {
+        let width = self.len().saturating_sub(1).to_string().len().max(1);
+        self.code()
+            .iter()
+            .enumerate()
+            .map(|(i, instr)| format!("{i:>width$}  {instr}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::asm::regs::*;
+    use crate::asm::Asm;
+    use crate::program::DataBuilder;
+
+    #[test]
+    fn every_instruction_form_renders() {
+        let mut a = Asm::new();
+        a.add(T0, T1, T2);
+        a.addi(T0, T1, -5);
+        a.li(T0, 9);
+        a.fli(FT0, 1.5);
+        a.mv(T0, T1);
+        a.fmv(FT0, FT1);
+        a.lb(T0, SP, 3);
+        a.sd(T0, SP, -8);
+        a.fld(FT0, SP, 0);
+        a.fsd(FT0, SP, 0);
+        a.fadd(FT0, FT1, FT2);
+        a.fsqrt(FT0, FT1);
+        a.flt(T0, FT0, FT1);
+        a.itof(FT0, T0);
+        a.ftoi(T0, FT0);
+        a.label("x");
+        a.beq(T0, T1, "x");
+        a.j("x");
+        a.jr(T0);
+        a.call("x");
+        a.ret();
+        a.nop();
+        a.halt();
+        let p = a.assemble(DataBuilder::new()).unwrap();
+        let text = p.disasm();
+        for needle in [
+            "add r1, r2, r3",
+            "addi r1, r2, -5",
+            "li r1, 9",
+            "fli f0, 1.5",
+            "mv r1, r2",
+            "fmv f0, f1",
+            "lb r1, 3(r31)",
+            "sd r1, -8(r31)",
+            "fld f0, 0(r31)",
+            "fadd f0, f1, f2",
+            "fsqrt f0, f1",
+            "flt r1, f0, f1",
+            "itof f0, r1",
+            "ftoi r1, f0",
+            "beq r1, r2, @15",
+            "j @15",
+            "jr r1",
+            "call @15",
+            "ret",
+            "nop",
+            "halt",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn disasm_lines_match_program_length() {
+        let mut a = Asm::new();
+        for _ in 0..12 {
+            a.nop();
+        }
+        a.halt();
+        let p = a.assemble(DataBuilder::new()).unwrap();
+        assert_eq!(p.disasm().lines().count(), 13);
+    }
+}

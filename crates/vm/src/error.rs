@@ -1,0 +1,126 @@
+//! Error types for assembly and execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A referenced label was never defined.
+    UndefinedLabel {
+        /// The missing label.
+        label: String,
+    },
+    /// A label was defined more than once.
+    DuplicateLabel {
+        /// The duplicated label.
+        label: String,
+    },
+    /// The program has no instructions.
+    EmptyProgram,
+    /// A data initializer extends past the configured memory size.
+    DataOutOfRange {
+        /// Start address of the offending initializer.
+        addr: u64,
+        /// Length of the initializer in bytes.
+        len: usize,
+        /// Configured memory size.
+        mem_size: usize,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel { label } => write!(f, "undefined label `{label}`"),
+            AsmError::DuplicateLabel { label } => write!(f, "duplicate label `{label}`"),
+            AsmError::EmptyProgram => write!(f, "program has no instructions"),
+            AsmError::DataOutOfRange {
+                addr,
+                len,
+                mem_size,
+            } => write!(
+                f,
+                "data initializer at {addr:#x}+{len} exceeds memory size {mem_size}"
+            ),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// An error produced while executing a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// A memory access fell outside the data segment.
+    MemOutOfBounds {
+        /// Program counter (instruction index) of the faulting access.
+        pc: u32,
+        /// Faulting byte address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// The program counter left the code segment without halting.
+    PcOutOfRange {
+        /// The out-of-range instruction index.
+        pc: u32,
+    },
+    /// The call stack grew past [`CALL_STACK_LIMIT`](crate::CALL_STACK_LIMIT).
+    CallStackOverflow,
+    /// `ret` executed with an empty call stack.
+    CallStackUnderflow {
+        /// Program counter of the faulting return.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::MemOutOfBounds { pc, addr, size } => {
+                write!(
+                    f,
+                    "memory access of {size} bytes at {addr:#x} out of bounds (pc {pc})"
+                )
+            }
+            VmError::PcOutOfRange { pc } => write!(f, "program counter {pc} out of range"),
+            VmError::CallStackOverflow => write!(f, "call stack overflow"),
+            VmError::CallStackUnderflow { pc } => {
+                write!(f, "return with empty call stack (pc {pc})")
+            }
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            AsmError::UndefinedLabel {
+                label: "loop".into()
+            }
+            .to_string(),
+            "undefined label `loop`"
+        );
+        assert!(VmError::MemOutOfBounds {
+            pc: 3,
+            addr: 0x100,
+            size: 8
+        }
+        .to_string()
+        .contains("0x100"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<AsmError>();
+        assert_err::<VmError>();
+    }
+}

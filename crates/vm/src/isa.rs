@@ -1,0 +1,596 @@
+//! The mini-ISA: registers, operations and the [`Instr`] enum.
+
+use phaselab_trace::{ArchReg, InstClass};
+
+/// Byte address of the first instruction; instruction `i` lives at
+/// `CODE_BASE + 4 * i`. A non-zero base keeps instruction and data
+/// addresses visually distinct in traces.
+pub const CODE_BASE: u64 = 0x0040_0000;
+
+/// An integer register, `r0`–`r31`. `r0` always reads as zero and ignores
+/// writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IReg(u8);
+
+impl IReg {
+    /// Creates an integer register id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub const fn new(n: u8) -> Self {
+        assert!(n < 32, "integer register id out of range");
+        IReg(n)
+    }
+
+    /// The register number, `0..32`.
+    #[inline]
+    pub const fn num(self) -> u8 {
+        self.0
+    }
+
+    /// The unified architectural register id used in trace records.
+    #[inline]
+    pub fn arch(self) -> ArchReg {
+        ArchReg::int(self.0)
+    }
+
+    /// Returns `true` for the hardwired zero register `r0`.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for IReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floating-point register, `f0`–`f31` (IEEE 754 double precision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Creates a floating-point register id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub const fn new(n: u8) -> Self {
+        assert!(n < 32, "fp register id out of range");
+        FReg(n)
+    }
+
+    /// The register number, `0..32`.
+    #[inline]
+    pub const fn num(self) -> u8 {
+        self.0
+    }
+
+    /// The unified architectural register id used in trace records.
+    #[inline]
+    pub fn arch(self) -> ArchReg {
+        ArchReg::fp(self.0)
+    }
+}
+
+impl std::fmt::Display for FReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low 64 bits).
+    Mul,
+    /// Signed division. Division by zero yields `-1` (all ones), as on
+    /// RISC-V; there is no trap.
+    Div,
+    /// Signed remainder. Remainder by zero yields the dividend.
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (amount masked to 6 bits).
+    Sll,
+    /// Logical shift right (amount masked to 6 bits).
+    Srl,
+    /// Arithmetic shift right (amount masked to 6 bits).
+    Sra,
+    /// Set if less-than, signed (result 0 or 1).
+    Slt,
+    /// Set if less-than, unsigned (result 0 or 1).
+    Sltu,
+}
+
+impl AluOp {
+    /// The instruction-mix class of this operation.
+    pub fn class(self) -> InstClass {
+        match self {
+            AluOp::Add | AluOp::Sub => InstClass::IntAdd,
+            AluOp::Mul => InstClass::IntMul,
+            AluOp::Div | AluOp::Rem => InstClass::IntDiv,
+            AluOp::And | AluOp::Or | AluOp::Xor => InstClass::Logical,
+            AluOp::Sll | AluOp::Srl | AluOp::Sra => InstClass::Shift,
+            AluOp::Slt | AluOp::Sltu => InstClass::Compare,
+        }
+    }
+
+    /// Applies the operation to two 64-bit values.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                let (a, b) = (a as i64, b as i64);
+                if b == 0 {
+                    u64::MAX
+                } else {
+                    a.wrapping_div(b) as u64
+                }
+            }
+            AluOp::Rem => {
+                let (a, b) = (a as i64, b as i64);
+                if b == 0 {
+                    a as u64
+                } else {
+                    a.wrapping_rem(b) as u64
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl((b & 63) as u32),
+            AluOp::Srl => a.wrapping_shr((b & 63) as u32),
+            AluOp::Sra => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+            AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+            AluOp::Sltu => (a < b) as u64,
+        }
+    }
+}
+
+/// Floating-point ALU operations. Unary operations (`Sqrt`, `Abs`, `Neg`)
+/// ignore their second operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpuOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Square root (unary).
+    Sqrt,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Absolute value (unary).
+    Abs,
+    /// Negation (unary).
+    Neg,
+}
+
+impl FpuOp {
+    /// The instruction-mix class of this operation.
+    pub fn class(self) -> InstClass {
+        match self {
+            FpuOp::Add | FpuOp::Sub => InstClass::FpAdd,
+            FpuOp::Mul => InstClass::FpMul,
+            FpuOp::Div => InstClass::FpDiv,
+            FpuOp::Sqrt | FpuOp::Min | FpuOp::Max | FpuOp::Abs | FpuOp::Neg => InstClass::FpOther,
+        }
+    }
+
+    /// Returns `true` for unary operations.
+    pub fn is_unary(self) -> bool {
+        matches!(self, FpuOp::Sqrt | FpuOp::Abs | FpuOp::Neg)
+    }
+
+    /// Applies the operation.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            FpuOp::Add => a + b,
+            FpuOp::Sub => a - b,
+            FpuOp::Mul => a * b,
+            FpuOp::Div => a / b,
+            FpuOp::Sqrt => a.abs().sqrt(),
+            FpuOp::Min => a.min(b),
+            FpuOp::Max => a.max(b),
+            FpuOp::Abs => a.abs(),
+            FpuOp::Neg => -a,
+        }
+    }
+}
+
+/// Conditions for integer conditional branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than, signed.
+    Lt,
+    /// Greater or equal, signed.
+    Ge,
+    /// Less than, unsigned.
+    Ltu,
+    /// Greater or equal, unsigned.
+    Geu,
+}
+
+impl Cond {
+    /// Evaluates the condition on two 64-bit values.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => (a as i64) < (b as i64),
+            Cond::Ge => (a as i64) >= (b as i64),
+            Cond::Ltu => a < b,
+            Cond::Geu => a >= b,
+        }
+    }
+}
+
+/// Conditions for floating-point comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpCond {
+    /// Equal.
+    Eq,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+}
+
+impl FpCond {
+    /// Evaluates the condition. Comparisons with NaN are `false`.
+    pub fn eval(self, a: f64, b: f64) -> bool {
+        match self {
+            FpCond::Eq => a == b,
+            FpCond::Lt => a < b,
+            FpCond::Le => a <= b,
+        }
+    }
+}
+
+/// Memory access widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 1 byte.
+    B,
+    /// 2 bytes.
+    H,
+    /// 4 bytes.
+    W,
+    /// 8 bytes.
+    D,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u8 {
+        match self {
+            MemWidth::B => 1,
+            MemWidth::H => 2,
+            MemWidth::W => 4,
+            MemWidth::D => 8,
+        }
+    }
+}
+
+/// One machine instruction. Branch/jump/call targets are instruction
+/// indices into the program's code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// Three-register integer ALU operation.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: IReg,
+        /// First source.
+        rs1: IReg,
+        /// Second source.
+        rs2: IReg,
+    },
+    /// Register-immediate integer ALU operation.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: IReg,
+        /// Source.
+        rs1: IReg,
+        /// Immediate operand.
+        imm: i64,
+    },
+    /// Load immediate into an integer register.
+    Li {
+        /// Destination.
+        rd: IReg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// Load an immediate double into a floating-point register.
+    LiF {
+        /// Destination.
+        rd: FReg,
+        /// Immediate value.
+        val: f64,
+    },
+    /// Integer register move.
+    Mv {
+        /// Destination.
+        rd: IReg,
+        /// Source.
+        rs: IReg,
+    },
+    /// Floating-point register move.
+    MvF {
+        /// Destination.
+        rd: FReg,
+        /// Source.
+        rs: FReg,
+    },
+    /// Integer load (`rd = mem[rs(base) + offset]`), zero-extended.
+    Load {
+        /// Destination.
+        rd: IReg,
+        /// Base address register.
+        base: IReg,
+        /// Byte offset.
+        offset: i64,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// Integer store (`mem[base + offset] = rs`, low `width` bytes).
+    Store {
+        /// Value register.
+        rs: IReg,
+        /// Base address register.
+        base: IReg,
+        /// Byte offset.
+        offset: i64,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// Floating-point load (8 bytes).
+    LoadF {
+        /// Destination.
+        rd: FReg,
+        /// Base address register.
+        base: IReg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Floating-point store (8 bytes).
+    StoreF {
+        /// Value register.
+        rs: FReg,
+        /// Base address register.
+        base: IReg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Three-register floating-point operation.
+    Fpu {
+        /// Operation.
+        op: FpuOp,
+        /// Destination.
+        rd: FReg,
+        /// First source.
+        rs1: FReg,
+        /// Second source (ignored by unary operations).
+        rs2: FReg,
+    },
+    /// Floating-point comparison into an integer register (0 or 1).
+    FpuCmp {
+        /// Condition.
+        cond: FpCond,
+        /// Integer destination.
+        rd: IReg,
+        /// First source.
+        rs1: FReg,
+        /// Second source.
+        rs2: FReg,
+    },
+    /// Convert integer (signed) to double.
+    ItoF {
+        /// Destination.
+        rd: FReg,
+        /// Source.
+        rs: IReg,
+    },
+    /// Convert double to integer (truncating; saturates at the i64 range).
+    FtoI {
+        /// Destination.
+        rd: IReg,
+        /// Source.
+        rs: FReg,
+    },
+    /// Conditional branch.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// First compared register.
+        rs1: IReg,
+        /// Second compared register.
+        rs2: IReg,
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Unconditional indirect jump; `rs` holds the target instruction
+    /// index.
+    JumpInd {
+        /// Register holding the target instruction index.
+        rs: IReg,
+    },
+    /// Direct call; pushes the return address onto the call stack.
+    Call {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Return; pops the call stack.
+    Ret,
+    /// No-operation.
+    Nop,
+    /// Stop execution.
+    Halt,
+}
+
+impl Instr {
+    /// The instruction-mix class of this instruction.
+    pub fn class(&self) -> InstClass {
+        match self {
+            Instr::Alu { op, .. } | Instr::AluImm { op, .. } => op.class(),
+            Instr::Li { .. } | Instr::LiF { .. } | Instr::Mv { .. } | Instr::MvF { .. } => {
+                InstClass::Mov
+            }
+            Instr::Load { .. } | Instr::LoadF { .. } => InstClass::MemRead,
+            Instr::Store { .. } | Instr::StoreF { .. } => InstClass::MemWrite,
+            Instr::Fpu { op, .. } => op.class(),
+            Instr::FpuCmp { .. } => InstClass::Compare,
+            Instr::ItoF { .. } | Instr::FtoI { .. } => InstClass::Convert,
+            Instr::Branch { .. } => InstClass::CondBranch,
+            Instr::Jump { .. } | Instr::JumpInd { .. } => InstClass::Jump,
+            Instr::Call { .. } => InstClass::Call,
+            Instr::Ret => InstClass::Ret,
+            Instr::Nop => InstClass::Nop,
+            Instr::Halt => InstClass::Other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u64::MAX);
+        assert_eq!(AluOp::Mul.apply(3, 7), 21);
+        assert_eq!(AluOp::Div.apply(7, 2), 3);
+        assert_eq!(AluOp::Div.apply((-7i64) as u64, 2), (-3i64) as u64);
+        assert_eq!(AluOp::Div.apply(7, 0), u64::MAX);
+        assert_eq!(AluOp::Rem.apply(7, 0), 7);
+        assert_eq!(AluOp::Rem.apply(7, 3), 1);
+        assert_eq!(AluOp::Sll.apply(1, 8), 256);
+        assert_eq!(AluOp::Srl.apply(u64::MAX, 63), 1);
+        assert_eq!(AluOp::Sra.apply((-8i64) as u64, 1), (-4i64) as u64);
+        assert_eq!(AluOp::Slt.apply((-1i64) as u64, 0), 1);
+        assert_eq!(AluOp::Sltu.apply(u64::MAX, 0), 0);
+    }
+
+    #[test]
+    fn shift_amount_masked() {
+        assert_eq!(AluOp::Sll.apply(1, 64), 1);
+        assert_eq!(AluOp::Sll.apply(1, 65), 2);
+    }
+
+    #[test]
+    fn fpu_semantics() {
+        assert_eq!(FpuOp::Add.apply(1.5, 2.5), 4.0);
+        assert_eq!(FpuOp::Sqrt.apply(9.0, 0.0), 3.0);
+        assert_eq!(FpuOp::Sqrt.apply(-9.0, 0.0), 3.0);
+        assert_eq!(FpuOp::Min.apply(1.0, 2.0), 1.0);
+        assert_eq!(FpuOp::Abs.apply(-3.0, 0.0), 3.0);
+        assert_eq!(FpuOp::Neg.apply(3.0, 0.0), -3.0);
+        assert!(FpuOp::is_unary(FpuOp::Sqrt));
+        assert!(!FpuOp::is_unary(FpuOp::Add));
+    }
+
+    #[test]
+    fn cond_semantics() {
+        assert!(Cond::Eq.eval(5, 5));
+        assert!(Cond::Ne.eval(5, 6));
+        assert!(Cond::Lt.eval((-1i64) as u64, 0));
+        assert!(!Cond::Ltu.eval((-1i64) as u64, 0));
+        assert!(Cond::Ge.eval(0, (-1i64) as u64));
+        assert!(Cond::Geu.eval(u64::MAX, 0));
+    }
+
+    #[test]
+    fn fp_cond_nan_is_false() {
+        assert!(!FpCond::Eq.eval(f64::NAN, f64::NAN));
+        assert!(!FpCond::Lt.eval(f64::NAN, 1.0));
+        assert!(FpCond::Le.eval(1.0, 1.0));
+    }
+
+    #[test]
+    fn mem_width_bytes() {
+        assert_eq!(MemWidth::B.bytes(), 1);
+        assert_eq!(MemWidth::H.bytes(), 2);
+        assert_eq!(MemWidth::W.bytes(), 4);
+        assert_eq!(MemWidth::D.bytes(), 8);
+    }
+
+    #[test]
+    fn instruction_classes() {
+        use InstClass::*;
+        let r = IReg::new(1);
+        let f = FReg::new(1);
+        assert_eq!(
+            Instr::Alu {
+                op: AluOp::Mul,
+                rd: r,
+                rs1: r,
+                rs2: r
+            }
+            .class(),
+            IntMul
+        );
+        assert_eq!(
+            Instr::Load {
+                rd: r,
+                base: r,
+                offset: 0,
+                width: MemWidth::D
+            }
+            .class(),
+            MemRead
+        );
+        assert_eq!(
+            Instr::StoreF {
+                rs: f,
+                base: r,
+                offset: 0
+            }
+            .class(),
+            MemWrite
+        );
+        assert_eq!(Instr::Ret.class(), Ret);
+        assert_eq!(Instr::Halt.class(), Other);
+        assert_eq!(Instr::JumpInd { rs: r }.class(), Jump);
+        assert_eq!(Instr::ItoF { rd: f, rs: r }.class(), Convert);
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(IReg::new(31).to_string(), "r31");
+        assert_eq!(FReg::new(0).to_string(), "f0");
+    }
+}

@@ -1,0 +1,61 @@
+//! A register-machine mini-ISA, assembler DSL and instrumenting
+//! interpreter: `phaselab`'s substitute for Pin-based dynamic binary
+//! instrumentation.
+//!
+//! The ISPASS 2008 methodology this project reproduces consumes nothing
+//! but the *dynamic instruction stream* of a workload: instruction
+//! classes, register operands, memory addresses and branch outcomes. This
+//! crate provides exactly that stream for programs written in a small
+//! RISC-style instruction set:
+//!
+//! * [`Instr`] — the instruction set (integer/float ALU, loads/stores,
+//!   branches, calls, indirect jumps),
+//! * [`Asm`] — a label-based assembler DSL for writing workloads in Rust,
+//! * [`DataBuilder`] / [`Program`] — data segment layout and a validated,
+//!   executable program,
+//! * [`Vm`] — the interpreter; every executed instruction is reported to a
+//!   [`TraceSink`](phaselab_trace::TraceSink) as an
+//!   [`InstRecord`](phaselab_trace::InstRecord), exactly like a Pin
+//!   analysis routine would observe it.
+//!
+//! # Examples
+//!
+//! Sum the integers 0..10 and observe the dynamic instruction count:
+//!
+//! ```
+//! use phaselab_trace::CountingSink;
+//! use phaselab_vm::{regs::*, Asm, DataBuilder, Vm};
+//!
+//! let mut asm = Asm::new();
+//! asm.li(T0, 0); // sum
+//! asm.li(T1, 0); // i
+//! asm.li(T2, 10);
+//! asm.label("loop");
+//! asm.add(T0, T0, T1);
+//! asm.addi(T1, T1, 1);
+//! asm.blt(T1, T2, "loop");
+//! asm.halt();
+//!
+//! let program = asm.assemble(DataBuilder::new()).unwrap();
+//! let mut vm = Vm::new(&program);
+//! let mut sink = CountingSink::new();
+//! let outcome = vm.run(&mut sink, 1_000_000).unwrap();
+//! assert!(outcome.halted);
+//! assert_eq!(vm.reg(T0), 45);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod disasm;
+mod error;
+mod isa;
+mod machine;
+mod program;
+
+pub use asm::{regs, Asm};
+pub use error::{AsmError, VmError};
+pub use isa::{AluOp, Cond, FReg, FpCond, FpuOp, IReg, Instr, MemWidth, CODE_BASE};
+pub use machine::{RunOutcome, Vm, CALL_STACK_LIMIT};
+pub use program::{DataBuilder, Program};

@@ -1,0 +1,704 @@
+//! The instrumenting interpreter.
+
+use phaselab_trace::{ArchReg, BranchInfo, InstRecord, MemAccess, RegReads, TraceSink};
+
+use crate::error::VmError;
+use crate::isa::{FReg, IReg, Instr, MemWidth, CODE_BASE};
+use crate::program::Program;
+
+/// Maximum call-stack depth before execution aborts with
+/// [`VmError::CallStackOverflow`].
+pub const CALL_STACK_LIMIT: usize = 1 << 16;
+
+/// The result of a [`Vm::run`] that did not fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Number of instructions executed (including the final `halt`).
+    pub instructions: u64,
+    /// `true` if the program executed `halt`; `false` if the instruction
+    /// budget was exhausted first.
+    pub halted: bool,
+}
+
+/// An interpreter for one [`Program`], reporting every executed
+/// instruction to a [`TraceSink`].
+///
+/// The observation a sink receives is exactly what a Pin analysis routine
+/// would see: program counter, instruction class, register operands,
+/// effective memory address and branch outcome — nothing
+/// microarchitecture-dependent.
+///
+/// # Examples
+///
+/// ```
+/// use phaselab_trace::VecSink;
+/// use phaselab_vm::{regs::*, Asm, DataBuilder, Vm};
+///
+/// let mut asm = Asm::new();
+/// asm.li(T0, 7);
+/// asm.halt();
+/// let program = asm.assemble(DataBuilder::new()).unwrap();
+///
+/// let mut vm = Vm::new(&program);
+/// let mut sink = VecSink::new();
+/// let outcome = vm.run(&mut sink, 100).unwrap();
+/// assert!(outcome.halted);
+/// assert_eq!(outcome.instructions, 2);
+/// assert_eq!(vm.reg(T0), 7);
+/// ```
+#[derive(Debug)]
+pub struct Vm<'p> {
+    program: &'p Program,
+    regs: [u64; 32],
+    fregs: [f64; 32],
+    pc: u32,
+    call_stack: Vec<u32>,
+    mem: Vec<u8>,
+    executed: u64,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM with freshly initialized registers and memory for
+    /// `program`.
+    pub fn new(program: &'p Program) -> Self {
+        let mut mem = vec![0u8; program.mem_size()];
+        for (addr, bytes) in program.inits() {
+            mem[*addr as usize..*addr as usize + bytes.len()].copy_from_slice(bytes);
+        }
+        Vm {
+            program,
+            regs: [0; 32],
+            fregs: [0.0; 32],
+            pc: 0,
+            call_stack: Vec::new(),
+            mem,
+            executed: 0,
+        }
+    }
+
+    /// Current value of an integer register.
+    #[inline]
+    pub fn reg(&self, r: IReg) -> u64 {
+        self.regs[r.num() as usize]
+    }
+
+    /// Current value of a floating-point register.
+    #[inline]
+    pub fn freg(&self, r: FReg) -> f64 {
+        self.fregs[r.num() as usize]
+    }
+
+    /// Sets an integer register (writes to `r0` are ignored).
+    #[inline]
+    pub fn set_reg(&mut self, r: IReg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.num() as usize] = v;
+        }
+    }
+
+    /// Sets a floating-point register.
+    #[inline]
+    pub fn set_freg(&mut self, r: FReg, v: f64) {
+        self.fregs[r.num() as usize] = v;
+    }
+
+    /// Total instructions executed by this VM so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Reads `len` bytes of data memory starting at `addr` (for tests and
+    /// result extraction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn mem_slice(&self, addr: u64, len: usize) -> &[u8] {
+        &self.mem[addr as usize..addr as usize + len]
+    }
+
+    /// Reads a 64-bit little-endian integer from data memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn mem_u64(&self, addr: u64) -> u64 {
+        let b: [u8; 8] = self.mem_slice(addr, 8).try_into().expect("8 bytes");
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a double from data memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn mem_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.mem_u64(addr))
+    }
+
+    #[inline]
+    fn load(&self, pc: u32, addr: u64, width: MemWidth) -> Result<u64, VmError> {
+        let size = width.bytes() as usize;
+        let a = addr as usize;
+        let end = a.checked_add(size).ok_or(VmError::MemOutOfBounds {
+            pc,
+            addr,
+            size: width.bytes(),
+        })?;
+        if end > self.mem.len() {
+            return Err(VmError::MemOutOfBounds {
+                pc,
+                addr,
+                size: width.bytes(),
+            });
+        }
+        let bytes = &self.mem[a..end];
+        Ok(match width {
+            MemWidth::B => bytes[0] as u64,
+            MemWidth::H => u16::from_le_bytes(bytes.try_into().expect("2 bytes")) as u64,
+            MemWidth::W => u32::from_le_bytes(bytes.try_into().expect("4 bytes")) as u64,
+            MemWidth::D => u64::from_le_bytes(bytes.try_into().expect("8 bytes")),
+        })
+    }
+
+    #[inline]
+    fn store(&mut self, pc: u32, addr: u64, value: u64, width: MemWidth) -> Result<(), VmError> {
+        let size = width.bytes() as usize;
+        let a = addr as usize;
+        let end = a.checked_add(size).ok_or(VmError::MemOutOfBounds {
+            pc,
+            addr,
+            size: width.bytes(),
+        })?;
+        if end > self.mem.len() {
+            return Err(VmError::MemOutOfBounds {
+                pc,
+                addr,
+                size: width.bytes(),
+            });
+        }
+        self.mem[a..end].copy_from_slice(&value.to_le_bytes()[..size]);
+        Ok(())
+    }
+
+    /// Runs until `halt`, a fault, or `max_instructions` executed
+    /// instructions, reporting each instruction to `sink`.
+    ///
+    /// Calling `run` again resumes from the current machine state (e.g.
+    /// after an instruction-budget pause).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] if the program faults; machine state up to the
+    /// faulting instruction is preserved and the faulting instruction is
+    /// not reported to the sink.
+    pub fn run<S: TraceSink>(
+        &mut self,
+        sink: &mut S,
+        max_instructions: u64,
+    ) -> Result<RunOutcome, VmError> {
+        let code = self.program.code();
+        let mut count = 0u64;
+        let mut halted = false;
+
+        while count < max_instructions {
+            let pc = self.pc;
+            let Some(&instr) = code.get(pc as usize) else {
+                return Err(VmError::PcOutOfRange { pc });
+            };
+            let byte_pc = CODE_BASE + 4 * pc as u64;
+            let mut next_pc = pc + 1;
+
+            let mut reads = RegReads::EMPTY;
+            let mut write: Option<ArchReg> = None;
+            let mut mem: Option<MemAccess> = None;
+            let mut branch: Option<BranchInfo> = None;
+
+            match instr {
+                Instr::Alu { op, rd, rs1, rs2 } => {
+                    let v = op.apply(self.reg(rs1), self.reg(rs2));
+                    self.set_reg(rd, v);
+                    reads.push(rs1.arch());
+                    reads.push(rs2.arch());
+                    if !rd.is_zero() {
+                        write = Some(rd.arch());
+                    }
+                }
+                Instr::AluImm { op, rd, rs1, imm } => {
+                    let v = op.apply(self.reg(rs1), imm as u64);
+                    self.set_reg(rd, v);
+                    reads.push(rs1.arch());
+                    if !rd.is_zero() {
+                        write = Some(rd.arch());
+                    }
+                }
+                Instr::Li { rd, imm } => {
+                    self.set_reg(rd, imm as u64);
+                    if !rd.is_zero() {
+                        write = Some(rd.arch());
+                    }
+                }
+                Instr::LiF { rd, val } => {
+                    self.set_freg(rd, val);
+                    write = Some(rd.arch());
+                }
+                Instr::Mv { rd, rs } => {
+                    self.set_reg(rd, self.reg(rs));
+                    reads.push(rs.arch());
+                    if !rd.is_zero() {
+                        write = Some(rd.arch());
+                    }
+                }
+                Instr::MvF { rd, rs } => {
+                    self.set_freg(rd, self.freg(rs));
+                    reads.push(rs.arch());
+                    write = Some(rd.arch());
+                }
+                Instr::Load {
+                    rd,
+                    base,
+                    offset,
+                    width,
+                } => {
+                    let addr = self.reg(base).wrapping_add(offset as u64);
+                    let v = self.load(pc, addr, width)?;
+                    self.set_reg(rd, v);
+                    reads.push(base.arch());
+                    if !rd.is_zero() {
+                        write = Some(rd.arch());
+                    }
+                    mem = Some(MemAccess {
+                        addr,
+                        size: width.bytes(),
+                        is_store: false,
+                    });
+                }
+                Instr::Store {
+                    rs,
+                    base,
+                    offset,
+                    width,
+                } => {
+                    let addr = self.reg(base).wrapping_add(offset as u64);
+                    self.store(pc, addr, self.reg(rs), width)?;
+                    reads.push(rs.arch());
+                    reads.push(base.arch());
+                    mem = Some(MemAccess {
+                        addr,
+                        size: width.bytes(),
+                        is_store: true,
+                    });
+                }
+                Instr::LoadF { rd, base, offset } => {
+                    let addr = self.reg(base).wrapping_add(offset as u64);
+                    let bits = self.load(pc, addr, MemWidth::D)?;
+                    self.set_freg(rd, f64::from_bits(bits));
+                    reads.push(base.arch());
+                    write = Some(rd.arch());
+                    mem = Some(MemAccess {
+                        addr,
+                        size: 8,
+                        is_store: false,
+                    });
+                }
+                Instr::StoreF { rs, base, offset } => {
+                    let addr = self.reg(base).wrapping_add(offset as u64);
+                    self.store(pc, addr, self.freg(rs).to_bits(), MemWidth::D)?;
+                    reads.push(rs.arch());
+                    reads.push(base.arch());
+                    mem = Some(MemAccess {
+                        addr,
+                        size: 8,
+                        is_store: true,
+                    });
+                }
+                Instr::Fpu { op, rd, rs1, rs2 } => {
+                    let v = op.apply(self.freg(rs1), self.freg(rs2));
+                    self.set_freg(rd, v);
+                    reads.push(rs1.arch());
+                    if !op.is_unary() {
+                        reads.push(rs2.arch());
+                    }
+                    write = Some(rd.arch());
+                }
+                Instr::FpuCmp { cond, rd, rs1, rs2 } => {
+                    let v = cond.eval(self.freg(rs1), self.freg(rs2)) as u64;
+                    self.set_reg(rd, v);
+                    reads.push(rs1.arch());
+                    reads.push(rs2.arch());
+                    if !rd.is_zero() {
+                        write = Some(rd.arch());
+                    }
+                }
+                Instr::ItoF { rd, rs } => {
+                    self.set_freg(rd, self.reg(rs) as i64 as f64);
+                    reads.push(rs.arch());
+                    write = Some(rd.arch());
+                }
+                Instr::FtoI { rd, rs } => {
+                    let v = self.freg(rs);
+                    let clamped = if v.is_nan() {
+                        0
+                    } else {
+                        v as i64 // saturating float-to-int cast in Rust
+                    };
+                    self.set_reg(rd, clamped as u64);
+                    reads.push(rs.arch());
+                    if !rd.is_zero() {
+                        write = Some(rd.arch());
+                    }
+                }
+                Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
+                    let taken = cond.eval(self.reg(rs1), self.reg(rs2));
+                    if taken {
+                        next_pc = target;
+                    }
+                    reads.push(rs1.arch());
+                    reads.push(rs2.arch());
+                    branch = Some(BranchInfo {
+                        taken,
+                        target: CODE_BASE + 4 * target as u64,
+                        conditional: true,
+                    });
+                }
+                Instr::Jump { target } => {
+                    next_pc = target;
+                    branch = Some(BranchInfo {
+                        taken: true,
+                        target: CODE_BASE + 4 * target as u64,
+                        conditional: false,
+                    });
+                }
+                Instr::JumpInd { rs } => {
+                    let target = self.reg(rs) as u32;
+                    next_pc = target;
+                    reads.push(rs.arch());
+                    branch = Some(BranchInfo {
+                        taken: true,
+                        target: CODE_BASE + 4 * target as u64,
+                        conditional: false,
+                    });
+                }
+                Instr::Call { target } => {
+                    if self.call_stack.len() >= CALL_STACK_LIMIT {
+                        return Err(VmError::CallStackOverflow);
+                    }
+                    self.call_stack.push(pc + 1);
+                    next_pc = target;
+                    branch = Some(BranchInfo {
+                        taken: true,
+                        target: CODE_BASE + 4 * target as u64,
+                        conditional: false,
+                    });
+                }
+                Instr::Ret => {
+                    let Some(ra) = self.call_stack.pop() else {
+                        return Err(VmError::CallStackUnderflow { pc });
+                    };
+                    next_pc = ra;
+                    branch = Some(BranchInfo {
+                        taken: true,
+                        target: CODE_BASE + 4 * ra as u64,
+                        conditional: false,
+                    });
+                }
+                Instr::Nop => {}
+                Instr::Halt => {
+                    halted = true;
+                }
+            }
+
+            let record = InstRecord {
+                pc: byte_pc,
+                class: instr.class(),
+                reads,
+                write,
+                mem,
+                branch,
+            };
+            sink.observe(&record);
+            count += 1;
+            self.pc = next_pc;
+            if halted {
+                break;
+            }
+        }
+
+        self.executed += count;
+        Ok(RunOutcome {
+            instructions: count,
+            halted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::regs::*;
+    use crate::asm::Asm;
+    use crate::program::DataBuilder;
+    use phaselab_trace::{ClassHistogram, CountingSink, InstClass, VecSink};
+
+    fn run_program(asm: Asm, data: DataBuilder) -> (Program, Vec<InstRecord>) {
+        let program = asm.assemble(data).unwrap();
+        let mut sink = VecSink::new();
+        {
+            let mut vm = Vm::new(&program);
+            vm.run(&mut sink, 1_000_000).unwrap();
+        }
+        (program, sink.into_records())
+    }
+
+    #[test]
+    fn arithmetic_loop_computes_sum() {
+        let mut a = Asm::new();
+        a.li(T0, 0);
+        a.li(T1, 1);
+        a.li(T2, 101);
+        a.label("loop");
+        a.add(T0, T0, T1);
+        a.addi(T1, T1, 1);
+        a.blt(T1, T2, "loop");
+        a.halt();
+        let program = a.assemble(DataBuilder::new()).unwrap();
+        let mut vm = Vm::new(&program);
+        vm.run(&mut CountingSink::new(), 10_000).unwrap();
+        assert_eq!(vm.reg(T0), 5050);
+    }
+
+    #[test]
+    fn zero_register_is_hardwired() {
+        let mut a = Asm::new();
+        a.li(ZERO, 42);
+        a.addi(T0, ZERO, 1);
+        a.halt();
+        let program = a.assemble(DataBuilder::new()).unwrap();
+        let mut vm = Vm::new(&program);
+        vm.run(&mut CountingSink::new(), 100).unwrap();
+        assert_eq!(vm.reg(ZERO), 0);
+        assert_eq!(vm.reg(T0), 1);
+    }
+
+    #[test]
+    fn memory_roundtrip_all_widths() {
+        let mut data = DataBuilder::new();
+        let buf = data.alloc_bytes(64);
+        let mut a = Asm::new();
+        a.li(T0, buf as i64);
+        a.li(T1, 0x1122_3344_5566_7788);
+        a.sd(T1, T0, 0);
+        a.sw(T1, T0, 8);
+        a.sh(T1, T0, 16);
+        a.sb(T1, T0, 24);
+        a.ld(T2, T0, 0);
+        a.lw(T3, T0, 8);
+        a.lh(T4, T0, 16);
+        a.lb(T5, T0, 24);
+        a.halt();
+        let program = a.assemble(data).unwrap();
+        let mut vm = Vm::new(&program);
+        vm.run(&mut CountingSink::new(), 100).unwrap();
+        assert_eq!(vm.reg(T2), 0x1122_3344_5566_7788);
+        assert_eq!(vm.reg(T3), 0x5566_7788);
+        assert_eq!(vm.reg(T4), 0x7788);
+        assert_eq!(vm.reg(T5), 0x88);
+    }
+
+    #[test]
+    fn float_pipeline() {
+        let mut data = DataBuilder::new();
+        let buf = data.alloc_f64(2);
+        data.init_f64(buf, &[3.0, 4.0]);
+        let mut a = Asm::new();
+        a.li(T0, buf as i64);
+        a.fld(FT0, T0, 0);
+        a.fld(FT1, T0, 8);
+        a.fmul(FT0, FT0, FT0); // 9
+        a.fmul(FT1, FT1, FT1); // 16
+        a.fadd(FT2, FT0, FT1); // 25
+        a.fsqrt(FT3, FT2); // 5
+        a.fsd(FT3, T0, 0);
+        a.halt();
+        let program = a.assemble(data).unwrap();
+        let mut vm = Vm::new(&program);
+        vm.run(&mut CountingSink::new(), 100).unwrap();
+        assert_eq!(vm.mem_f64(buf), 5.0);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let mut a = Asm::new();
+        a.li(A0, 20);
+        a.call("double");
+        a.mv(S0, V0);
+        a.halt();
+        a.label("double");
+        a.add(V0, A0, A0);
+        a.ret();
+        let program = a.assemble(DataBuilder::new()).unwrap();
+        let mut vm = Vm::new(&program);
+        let out = vm.run(&mut CountingSink::new(), 100).unwrap();
+        assert!(out.halted);
+        assert_eq!(vm.reg(S0), 40);
+    }
+
+    #[test]
+    fn indirect_jump_via_li_label() {
+        let mut a = Asm::new();
+        a.li_label(T0, "target");
+        a.jr(T0);
+        a.li(S0, 111); // skipped
+        a.halt();
+        a.label("target");
+        a.li(S0, 222);
+        a.halt();
+        let program = a.assemble(DataBuilder::new()).unwrap();
+        let mut vm = Vm::new(&program);
+        vm.run(&mut CountingSink::new(), 100).unwrap();
+        assert_eq!(vm.reg(S0), 222);
+    }
+
+    #[test]
+    fn branch_records_taken_and_not_taken() {
+        let mut a = Asm::new();
+        a.li(T0, 1);
+        a.li(T1, 2);
+        a.beq(T0, T1, "skip"); // not taken
+        a.bne(T0, T1, "skip"); // taken
+        a.nop();
+        a.label("skip");
+        a.halt();
+        let (_, records) = run_program(a, DataBuilder::new());
+        let branches: Vec<BranchInfo> = records.iter().filter_map(|r| r.branch).collect();
+        assert_eq!(branches.len(), 2);
+        assert!(!branches[0].taken);
+        assert!(branches[1].taken);
+        assert!(branches[0].conditional);
+    }
+
+    #[test]
+    fn record_pcs_and_classes() {
+        let mut a = Asm::new();
+        a.li(T0, 1);
+        a.nop();
+        a.halt();
+        let (_, records) = run_program(a, DataBuilder::new());
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].pc, CODE_BASE);
+        assert_eq!(records[1].pc, CODE_BASE + 4);
+        assert_eq!(records[0].class, InstClass::Mov);
+        assert_eq!(records[1].class, InstClass::Nop);
+        assert_eq!(records[2].class, InstClass::Other);
+    }
+
+    #[test]
+    fn mem_records_carry_addresses() {
+        let mut data = DataBuilder::new();
+        let buf = data.alloc_u64(1);
+        let mut a = Asm::new();
+        a.li(T0, buf as i64);
+        a.li(T1, 5);
+        a.sd(T1, T0, 0);
+        a.ld(T2, T0, 0);
+        a.halt();
+        let (_, records) = run_program(a, data);
+        let mems: Vec<MemAccess> = records.iter().filter_map(|r| r.mem).collect();
+        assert_eq!(mems.len(), 2);
+        assert!(mems[0].is_store);
+        assert!(!mems[1].is_store);
+        assert_eq!(mems[0].addr, buf);
+        assert_eq!(mems[0].size, 8);
+    }
+
+    #[test]
+    fn out_of_bounds_load_faults() {
+        let mut a = Asm::new();
+        a.li(T0, 1 << 40);
+        a.ld(T1, T0, 0);
+        a.halt();
+        let program = a.assemble(DataBuilder::new()).unwrap();
+        let mut vm = Vm::new(&program);
+        let err = vm.run(&mut CountingSink::new(), 100).unwrap_err();
+        assert!(matches!(err, VmError::MemOutOfBounds { pc: 1, .. }));
+    }
+
+    #[test]
+    fn ret_without_call_faults() {
+        let mut a = Asm::new();
+        a.ret();
+        let program = a.assemble(DataBuilder::new()).unwrap();
+        let mut vm = Vm::new(&program);
+        let err = vm.run(&mut CountingSink::new(), 100).unwrap_err();
+        assert_eq!(err, VmError::CallStackUnderflow { pc: 0 });
+    }
+
+    #[test]
+    fn budget_pauses_and_resumes() {
+        let mut a = Asm::new();
+        a.li(T0, 0);
+        a.label("spin");
+        a.addi(T0, T0, 1);
+        a.j("spin");
+        let program = a.assemble(DataBuilder::new()).unwrap();
+        let mut vm = Vm::new(&program);
+        let out = vm.run(&mut CountingSink::new(), 100).unwrap();
+        assert!(!out.halted);
+        assert_eq!(out.instructions, 100);
+        let out2 = vm.run(&mut CountingSink::new(), 50).unwrap();
+        assert_eq!(out2.instructions, 50);
+        assert_eq!(vm.executed(), 150);
+    }
+
+    #[test]
+    fn instruction_mix_reaches_histogram() {
+        let mut data = DataBuilder::new();
+        let buf = data.alloc_u64(1);
+        let mut a = Asm::new();
+        a.li(T0, buf as i64);
+        a.sd(ZERO, T0, 0);
+        a.ld(T1, T0, 0);
+        a.mul(T2, T1, T1);
+        a.halt();
+        let program = a.assemble(data).unwrap();
+        let mut hist = ClassHistogram::new();
+        Vm::new(&program).run(&mut hist, 100).unwrap();
+        assert_eq!(hist.count_of(InstClass::MemRead), 1);
+        assert_eq!(hist.count_of(InstClass::MemWrite), 1);
+        assert_eq!(hist.count_of(InstClass::IntMul), 1);
+    }
+
+    #[test]
+    fn ftoi_saturates_and_handles_nan() {
+        let mut a = Asm::new();
+        a.fli(FT0, 1e300);
+        a.ftoi(T0, FT0);
+        a.fli(FT1, f64::NAN);
+        a.ftoi(T1, FT1);
+        a.fli(FT2, -2.9);
+        a.ftoi(T2, FT2);
+        a.halt();
+        let program = a.assemble(DataBuilder::new()).unwrap();
+        let mut vm = Vm::new(&program);
+        vm.run(&mut CountingSink::new(), 100).unwrap();
+        assert_eq!(vm.reg(T0), i64::MAX as u64);
+        assert_eq!(vm.reg(T1), 0);
+        assert_eq!(vm.reg(T2) as i64, -2);
+    }
+
+    #[test]
+    fn fp_reads_unary_vs_binary() {
+        let mut a = Asm::new();
+        a.fsqrt(FT0, FT1);
+        a.fadd(FT0, FT1, FT2);
+        a.halt();
+        let (_, records) = run_program(a, DataBuilder::new());
+        assert_eq!(records[0].reads.len(), 1);
+        assert_eq!(records[1].reads.len(), 2);
+    }
+}

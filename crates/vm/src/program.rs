@@ -1,0 +1,264 @@
+//! Executable programs and data-segment layout.
+
+use crate::error::AsmError;
+use crate::isa::Instr;
+
+/// Default data-segment alignment for [`DataBuilder`] allocations.
+const DEFAULT_ALIGN: u64 = 8;
+
+/// Incrementally lays out a program's data segment: bump allocation plus
+/// initializer contents.
+///
+/// # Examples
+///
+/// ```
+/// use phaselab_vm::DataBuilder;
+///
+/// let mut data = DataBuilder::new();
+/// let table = data.alloc_u64(4);
+/// data.init_u64(table, &[1, 2, 3, 4]);
+/// let floats = data.alloc_f64(2);
+/// data.init_f64(floats, &[0.5, 1.5]);
+/// assert!(floats > table);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DataBuilder {
+    cursor: u64,
+    inits: Vec<(u64, Vec<u8>)>,
+}
+
+impl DataBuilder {
+    /// Creates an empty data segment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates `bytes` bytes, 8-byte aligned, and returns the address.
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        self.alloc_aligned(bytes, DEFAULT_ALIGN)
+    }
+
+    /// Allocates `bytes` bytes at the given power-of-two alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc_aligned(&mut self, bytes: u64, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let addr = (self.cursor + align - 1) & !(align - 1);
+        self.cursor = addr + bytes;
+        addr
+    }
+
+    /// Allocates an array of `n` 64-bit integers and returns its address.
+    pub fn alloc_u64(&mut self, n: u64) -> u64 {
+        self.alloc(n * 8)
+    }
+
+    /// Allocates an array of `n` doubles and returns its address.
+    pub fn alloc_f64(&mut self, n: u64) -> u64 {
+        self.alloc(n * 8)
+    }
+
+    /// Allocates an array of `n` bytes and returns its address.
+    pub fn alloc_bytes(&mut self, n: u64) -> u64 {
+        self.alloc(n)
+    }
+
+    /// Records raw initializer bytes at `addr`.
+    pub fn init_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        self.inits.push((addr, bytes.to_vec()));
+    }
+
+    /// Records 64-bit little-endian integer initializers at `addr`.
+    pub fn init_u64(&mut self, addr: u64, values: &[u64]) {
+        let mut bytes = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.inits.push((addr, bytes));
+    }
+
+    /// Records double initializers at `addr`.
+    pub fn init_f64(&mut self, addr: u64, values: &[f64]) {
+        let mut bytes = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        self.inits.push((addr, bytes));
+    }
+
+    /// Total bytes allocated so far.
+    pub fn size(&self) -> u64 {
+        self.cursor
+    }
+
+    /// The recorded initializers (address, bytes).
+    pub fn inits(&self) -> &[(u64, Vec<u8>)] {
+        &self.inits
+    }
+}
+
+/// A validated, executable program: code plus data-segment description.
+///
+/// Create programs with [`Asm::assemble`](crate::Asm::assemble).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    code: Vec<Instr>,
+    mem_size: usize,
+    inits: Vec<(u64, Vec<u8>)>,
+}
+
+impl Program {
+    /// Builds a program from raw parts, validating branch targets and
+    /// initializer ranges.
+    ///
+    /// The memory size is the data segment size rounded up to the next 4 KB
+    /// page, with one guard page of slack so that small positive offsets
+    /// past the last allocation do not immediately fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::EmptyProgram`] for an empty instruction list and
+    /// [`AsmError::DataOutOfRange`] when an initializer exceeds memory.
+    pub fn from_parts(code: Vec<Instr>, data: DataBuilder) -> Result<Self, AsmError> {
+        if code.is_empty() {
+            return Err(AsmError::EmptyProgram);
+        }
+        let mem_size = ((data.size() as usize + 4095) & !4095) + 4096;
+        for (addr, bytes) in data.inits() {
+            let end = *addr as usize + bytes.len();
+            if end > mem_size {
+                return Err(AsmError::DataOutOfRange {
+                    addr: *addr,
+                    len: bytes.len(),
+                    mem_size,
+                });
+            }
+        }
+        // Branch targets are produced by the assembler and always resolve
+        // within the code; debug-check anyway.
+        for instr in &code {
+            let target = match instr {
+                Instr::Branch { target, .. }
+                | Instr::Jump { target }
+                | Instr::Call { target } => Some(*target),
+                _ => None,
+            };
+            if let Some(t) = target {
+                debug_assert!((t as usize) < code.len(), "target {t} out of code range");
+            }
+        }
+        Ok(Program {
+            code,
+            mem_size,
+            inits: data.inits,
+        })
+    }
+
+    /// The instruction sequence.
+    #[inline]
+    pub fn code(&self) -> &[Instr] {
+        &self.code
+    }
+
+    /// Size of the data segment in bytes.
+    pub fn mem_size(&self) -> usize {
+        self.mem_size
+    }
+
+    /// The data initializers (address, bytes).
+    pub fn inits(&self) -> &[(u64, Vec<u8>)] {
+        &self.inits
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Returns `true` if the program has no instructions (never true for a
+    /// validated program).
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut d = DataBuilder::new();
+        let a = d.alloc_bytes(3);
+        let b = d.alloc_u64(2);
+        let c = d.alloc_f64(1);
+        assert_eq!(a % 8, 0);
+        assert_eq!(b % 8, 0);
+        assert!(b >= a + 3);
+        assert!(c >= b + 16);
+    }
+
+    #[test]
+    fn alloc_aligned_respects_alignment() {
+        let mut d = DataBuilder::new();
+        d.alloc_bytes(1);
+        let a = d.alloc_aligned(10, 64);
+        assert_eq!(a % 64, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn alloc_aligned_rejects_non_power_of_two() {
+        let mut d = DataBuilder::new();
+        let _ = d.alloc_aligned(8, 3);
+    }
+
+    #[test]
+    fn initializers_encode_little_endian() {
+        let mut d = DataBuilder::new();
+        let a = d.alloc_u64(1);
+        d.init_u64(a, &[0x0102_0304_0506_0708]);
+        assert_eq!(
+            d.inits()[0].1,
+            vec![0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]
+        );
+    }
+
+    #[test]
+    fn f64_initializer_roundtrips() {
+        let mut d = DataBuilder::new();
+        let a = d.alloc_f64(1);
+        d.init_f64(a, &[2.5]);
+        let bytes: [u8; 8] = d.inits()[0].1.clone().try_into().unwrap();
+        assert_eq!(f64::from_bits(u64::from_le_bytes(bytes)), 2.5);
+    }
+
+    #[test]
+    fn program_rejects_empty_code() {
+        assert_eq!(
+            Program::from_parts(vec![], DataBuilder::new()),
+            Err(AsmError::EmptyProgram)
+        );
+    }
+
+    #[test]
+    fn program_mem_size_is_paged_with_guard() {
+        let mut d = DataBuilder::new();
+        d.alloc_bytes(1);
+        let p = Program::from_parts(vec![Instr::Halt], d).unwrap();
+        assert_eq!(p.mem_size(), 8192);
+        let p0 = Program::from_parts(vec![Instr::Halt], DataBuilder::new()).unwrap();
+        assert_eq!(p0.mem_size(), 4096);
+    }
+
+    #[test]
+    fn program_rejects_out_of_range_init() {
+        let mut d = DataBuilder::new();
+        // Init far past the allocated segment.
+        d.init_u64(1 << 20, &[1]);
+        let err = Program::from_parts(vec![Instr::Halt], d).unwrap_err();
+        assert!(matches!(err, AsmError::DataOutOfRange { .. }));
+    }
+}

@@ -1,0 +1,195 @@
+//! Program-building context shared by all kernels.
+
+use phaselab_vm::{Asm, DataBuilder, Program};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Workload size class.
+///
+/// Benchmarks scale their iteration counts by [`Scale::factor`]; data-set
+/// sizes are fixed per benchmark so that scaling changes execution length
+/// without changing per-interval behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// A few tens of thousands of instructions — unit tests.
+    Tiny,
+    /// A few million instructions — integration tests, quick studies.
+    Small,
+    /// Tens of millions of instructions — the full reproduction study.
+    Full,
+}
+
+impl Scale {
+    /// Multiplier applied to each benchmark's base iteration count.
+    pub fn factor(self) -> u64 {
+        match self {
+            Scale::Tiny => 1,
+            Scale::Small => 8,
+            Scale::Full => 64,
+        }
+    }
+}
+
+/// The context threaded through kernel emitters: an assembler, a data
+/// segment, a deterministic RNG for input data, and a fresh-label counter.
+///
+/// # Examples
+///
+/// ```
+/// use phaselab_workloads::Builder;
+/// use phaselab_vm::regs::*;
+///
+/// let mut b = Builder::new(42);
+/// let loop_top = b.fresh("loop");
+/// b.asm.li(T0, 10);
+/// b.asm.label(&loop_top);
+/// b.asm.addi(T0, T0, -1);
+/// b.asm.bne(T0, ZERO, &loop_top);
+/// let program = b.finish().unwrap(); // appends the final `halt`
+/// assert_eq!(program.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct Builder {
+    /// The assembler receiving emitted code.
+    pub asm: Asm,
+    /// The data segment under construction.
+    pub data: DataBuilder,
+    /// Deterministic RNG for synthetic input data.
+    pub rng: StdRng,
+    label_counter: u32,
+}
+
+impl Builder {
+    /// Creates a builder whose RNG is seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Builder {
+            asm: Asm::new(),
+            data: DataBuilder::new(),
+            rng: StdRng::seed_from_u64(seed),
+            label_counter: 0,
+        }
+    }
+
+    /// Returns a unique label with the given prefix; kernels use this so
+    /// that multiple instantiations never collide.
+    pub fn fresh(&mut self, prefix: &str) -> String {
+        let n = self.label_counter;
+        self.label_counter += 1;
+        format!("{prefix}__{n}")
+    }
+
+    /// Allocates and randomly initializes an `f64` array in `(lo, hi)`.
+    pub fn alloc_f64_random(&mut self, n: u64, lo: f64, hi: f64) -> u64 {
+        let addr = self.data.alloc_f64(n);
+        let values: Vec<f64> = (0..n).map(|_| self.rng.random_range(lo..hi)).collect();
+        self.data.init_f64(addr, &values);
+        addr
+    }
+
+    /// Allocates and randomly initializes a `u64` array in `[0, bound)`.
+    pub fn alloc_u64_random(&mut self, n: u64, bound: u64) -> u64 {
+        let addr = self.data.alloc_u64(n);
+        let values: Vec<u64> = (0..n).map(|_| self.rng.random_range(0..bound)).collect();
+        self.data.init_u64(addr, &values);
+        addr
+    }
+
+    /// Allocates and randomly initializes a byte array with values in
+    /// `[0, bound)` (e.g. `bound = 4` for DNA alphabets).
+    pub fn alloc_bytes_random(&mut self, n: u64, bound: u8) -> u64 {
+        let addr = self.data.alloc_bytes(n);
+        let values: Vec<u8> = (0..n).map(|_| self.rng.random_range(0..bound)).collect();
+        self.data.init_bytes(addr, &values);
+        addr
+    }
+
+    /// Allocates a `u64` array holding a random cyclic permutation scaled
+    /// by `stride` bytes: `table[i]` is the byte offset of the next node.
+    /// Used for worst-case pointer chasing.
+    pub fn alloc_pointer_cycle(&mut self, n: u64, stride: u64) -> u64 {
+        let addr = self.data.alloc(n * stride);
+        // Sattolo's algorithm produces a single n-cycle.
+        let mut perm: Vec<u64> = (0..n).collect();
+        for i in (1..n as usize).rev() {
+            let j = self.rng.random_range(0..i);
+            perm.swap(i, j);
+        }
+        // next[perm[i]] = perm[(i + 1) % n], stored at the node itself.
+        for i in 0..n as usize {
+            let from = perm[i];
+            let to = perm[(i + 1) % n as usize];
+            self.data
+                .init_u64(addr + from * stride, &[addr + to * stride]);
+        }
+        addr
+    }
+
+    /// Finalizes the program: appends a terminating `halt` and assembles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly errors (undefined labels, invalid data).
+    pub fn finish(mut self) -> Result<Program, phaselab_vm::AsmError> {
+        self.asm.halt();
+        self.asm.assemble(self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phaselab_trace::CountingSink;
+    use phaselab_vm::{regs::*, Vm};
+
+    #[test]
+    fn scale_factors_are_monotone() {
+        assert!(Scale::Tiny.factor() < Scale::Small.factor());
+        assert!(Scale::Small.factor() < Scale::Full.factor());
+    }
+
+    #[test]
+    fn fresh_labels_are_unique() {
+        let mut b = Builder::new(0);
+        let a = b.fresh("x");
+        let c = b.fresh("x");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn builder_rng_is_deterministic() {
+        let mut b1 = Builder::new(7);
+        let mut b2 = Builder::new(7);
+        let a1 = b1.alloc_u64_random(16, 100);
+        let a2 = b2.alloc_u64_random(16, 100);
+        assert_eq!(a1, a2);
+        assert_eq!(b1.data.inits(), b2.data.inits());
+    }
+
+    #[test]
+    fn pointer_cycle_visits_every_node() {
+        let mut b = Builder::new(3);
+        let n = 64u64;
+        let base = b.alloc_pointer_cycle(n, 64);
+        b.asm.li(T0, base as i64);
+        b.asm.li(T1, n as i64);
+        let l = b.fresh("chase");
+        b.asm.label(&l);
+        b.asm.ld(T0, T0, 0);
+        b.asm.addi(T1, T1, -1);
+        b.asm.bne(T1, ZERO, &l);
+        let program = b.finish().unwrap();
+        let mut vm = Vm::new(&program);
+        vm.run(&mut CountingSink::new(), 10_000).unwrap();
+        // A single cycle of length n returns to the start after n hops.
+        assert_eq!(vm.reg(T0), base);
+    }
+
+    #[test]
+    fn random_arrays_respect_bounds() {
+        let mut b = Builder::new(11);
+        b.alloc_bytes_random(256, 4);
+        for (_, bytes) in b.data.inits() {
+            assert!(bytes.iter().all(|&x| x < 4));
+        }
+    }
+}

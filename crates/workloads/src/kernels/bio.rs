@@ -1,0 +1,381 @@
+//! Bioinformatics kernels: sequence alignment, k-mer analysis, profile
+//! HMMs, genome rearrangement.
+//!
+//! These are the behaviors that make BioPerf stand out in the paper:
+//! byte-granular dynamic programming with branchy max-selection, rolling
+//! hashes with scattered table updates, and permutation analysis — dense
+//! integer computation over small footprints with hard-to-predict
+//! branches.
+
+use phaselab_vm::regs::*;
+
+use crate::build::Builder;
+
+/// Smith-Waterman-style local alignment of a `qlen`-byte query against a
+/// `dlen`-byte database sequence, `repeats` times, using a rolling
+/// DP row. Byte loads of both sequences, match/mismatch branch, and a
+/// three-way branchy max per cell (blast, fasta, clustalw, t-coffee).
+pub fn smith_waterman(b: &mut Builder, qlen: u64, dlen: u64, repeats: u64) {
+    let query = b.alloc_bytes_random(qlen, 4);
+    let dbase = b.alloc_bytes_random(dlen, 4);
+    // prev and cur DP rows of (dlen + 1) u64 cells.
+    let prev = b.data.alloc_u64(dlen + 1);
+    let cur = b.data.alloc_u64(dlen + 1);
+
+    let rep = b.fresh("sw_rep");
+    let il = b.fresh("sw_i");
+    let jl = b.fresh("sw_j");
+    let mismatch = b.fresh("sw_mm");
+    let scored = b.fresh("sw_sc");
+    let no_up = b.fresh("sw_nu");
+    let no_left = b.fresh("sw_nl");
+    let no_zero = b.fresh("sw_nz");
+    let zl = b.fresh("sw_z");
+    let swl = b.fresh("sw_swap");
+
+    b.asm.li(S0, repeats as i64);
+    b.asm.label(&rep);
+    // zero both rows
+    b.asm.li(T0, prev as i64);
+    b.asm.li(T1, ((dlen + 1) * 2) as i64);
+    b.asm.label(&zl);
+    b.asm.sd(ZERO, T0, 0);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, -1);
+    b.asm.bne(T1, ZERO, &zl);
+
+    b.asm.li(S1, 0); // i: query position
+    b.asm.li(G0, prev as i64);
+    b.asm.li(G1, cur as i64);
+    b.asm.label(&il);
+    b.asm.addi(T0, S1, query as i64);
+    b.asm.lb(S4, T0, 0); // q[i]
+    b.asm.li(S2, 0); // j: database position
+    b.asm.mv(T0, G0); // prev row walker (&prev[j])
+    b.asm.mv(T1, G1); // cur row walker (&cur[j])
+    b.asm.sd(ZERO, T1, 0); // cur[0] = 0
+    b.asm.li(T2, dbase as i64);
+    b.asm.label(&jl);
+    b.asm.lb(T3, T2, 0); // d[j]
+    // score = (q[i] == d[j]) ? +2 : -1
+    b.asm.li(T4, -1);
+    b.asm.bne(S4, T3, &mismatch);
+    b.asm.li(T4, 2);
+    b.asm.label(&mismatch);
+    b.asm.ld(T5, T0, 0); // prev[j] (diagonal)
+    b.asm.add(T4, T4, T5); // diag + score
+    b.asm.label(&scored);
+    // up = prev[j+1] - 1
+    b.asm.ld(T5, T0, 8);
+    b.asm.addi(T5, T5, -1);
+    b.asm.bge(T4, T5, &no_up);
+    b.asm.mv(T4, T5);
+    b.asm.label(&no_up);
+    // left = cur[j] - 1
+    b.asm.ld(T5, T1, 0);
+    b.asm.addi(T5, T5, -1);
+    b.asm.bge(T4, T5, &no_left);
+    b.asm.mv(T4, T5);
+    b.asm.label(&no_left);
+    // floor at zero (local alignment)
+    b.asm.bge(T4, ZERO, &no_zero);
+    b.asm.li(T4, 0);
+    b.asm.label(&no_zero);
+    b.asm.sd(T4, T1, 8); // cur[j+1] = H
+    // track global best in S5
+    b.asm.bge(S5, T4, format!("{no_zero}_nb"));
+    b.asm.mv(S5, T4);
+    b.asm.label(format!("{no_zero}_nb"));
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, 8);
+    b.asm.addi(T2, T2, 1);
+    b.asm.addi(S2, S2, 1);
+    b.asm.slti(T6, S2, dlen as i64);
+    b.asm.bne(T6, ZERO, &jl);
+    b.asm.label(&swl);
+    // swap prev/cur rows
+    b.asm.mv(T6, G0);
+    b.asm.mv(G0, G1);
+    b.asm.mv(G1, T6);
+    b.asm.addi(S1, S1, 1);
+    b.asm.slti(T6, S1, qlen as i64);
+    b.asm.bne(T6, ZERO, &il);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &rep);
+}
+
+/// Rolling-hash k-mer counting over a `seqlen`-byte sequence into a
+/// `2^table_bits`-entry count table, `repeats` times. Unit-stride byte
+/// loads feed shift/mask hashing; counts update with read-modify-write
+/// at hash-scattered addresses (blast seeding, glimmer, predator).
+pub fn kmer_count(b: &mut Builder, seqlen: u64, k: u32, table_bits: u32, repeats: u64) {
+    let seq = b.alloc_bytes_random(seqlen, 4);
+    let table = b.data.alloc_u64(1 << table_bits);
+    let mask = ((1u64 << (2 * k)).wrapping_sub(1)) as i64;
+    let tmask = ((1u64 << table_bits) - 1) as i64;
+
+    let rep = b.fresh("km_rep");
+    let lp = b.fresh("km");
+
+    b.asm.li(S0, repeats as i64);
+    b.asm.label(&rep);
+    b.asm.li(T0, seq as i64);
+    b.asm.li(S1, seqlen as i64);
+    b.asm.li(S2, 0); // rolling hash
+    b.asm.label(&lp);
+    b.asm.lb(T1, T0, 0);
+    b.asm.slli(S2, S2, 2);
+    b.asm.or(S2, S2, T1);
+    b.asm.andi(S2, S2, mask);
+    // table[mix(h) & tmask] += 1
+    b.asm.muli(T2, S2, 0x9E3779B1);
+    b.asm.srli(T2, T2, 16);
+    b.asm.xor(T2, T2, S2);
+    b.asm.andi(T2, T2, tmask);
+    b.asm.slli(T2, T2, 3);
+    b.asm.addi(T2, T2, table as i64);
+    b.asm.ld(T3, T2, 0);
+    b.asm.addi(T3, T3, 1);
+    b.asm.sd(T3, T2, 0);
+    b.asm.addi(T0, T0, 1);
+    b.asm.addi(S1, S1, -1);
+    b.asm.bne(S1, ZERO, &lp);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &rep);
+}
+
+/// Integer Viterbi decoding over a profile of `nstates` states and a
+/// `seqlen`-symbol observation sequence: per (t, s), a branchy max over
+/// all predecessor states of `v[p] + trans[p][s]`, plus an emission
+/// lookup. The hmmer inner loop — shared, deliberately, between BioPerf
+/// `hmmer` and SPECint2006 `hmmer`.
+pub fn viterbi_int(b: &mut Builder, nstates: u64, seqlen: u64, repeats: u64) {
+    let obs = b.alloc_bytes_random(seqlen, 8);
+    let trans = b.alloc_u64_random(nstates * nstates, 16);
+    let emit = b.alloc_u64_random(nstates * 8, 16);
+    let v0 = b.data.alloc_u64(nstates);
+    let v1 = b.data.alloc_u64(nstates);
+
+    let rep = b.fresh("vit_rep");
+    let tl = b.fresh("vit_t");
+    let sl = b.fresh("vit_s");
+    let pl = b.fresh("vit_p");
+    let nomax = b.fresh("vit_nm");
+    let zl = b.fresh("vit_z");
+
+    b.asm.li(S0, repeats as i64);
+    b.asm.label(&rep);
+    // zero v0
+    b.asm.li(T0, v0 as i64);
+    b.asm.li(T1, nstates as i64);
+    b.asm.label(&zl);
+    b.asm.sd(ZERO, T0, 0);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, -1);
+    b.asm.bne(T1, ZERO, &zl);
+
+    b.asm.li(G0, v0 as i64);
+    b.asm.li(G1, v1 as i64);
+    b.asm.li(S1, 0); // t
+    b.asm.label(&tl);
+    b.asm.addi(T0, S1, obs as i64);
+    b.asm.lb(G2, T0, 0); // observation symbol
+    b.asm.li(S2, 0); // s: destination state
+    b.asm.label(&sl);
+    b.asm.li(S5, i64::MIN); // running max
+    b.asm.li(S3, 0); // p: predecessor state
+    b.asm.mv(T0, G0); // &v[p]
+    b.asm.muli(T1, S2, 8);
+    b.asm.addi(T1, T1, trans as i64); // &trans[p][s], row stride nstates*8
+    b.asm.label(&pl);
+    b.asm.ld(T2, T0, 0);
+    b.asm.ld(T3, T1, 0);
+    b.asm.add(T2, T2, T3);
+    b.asm.bge(S5, T2, &nomax);
+    b.asm.mv(S5, T2);
+    b.asm.label(&nomax);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, (nstates * 8) as i64);
+    b.asm.addi(S3, S3, 1);
+    b.asm.slti(T6, S3, nstates as i64);
+    b.asm.bne(T6, ZERO, &pl);
+    // add emission score emit[s][obs]
+    b.asm.muli(T2, S2, 64);
+    b.asm.muli(T3, G2, 8);
+    b.asm.add(T2, T2, T3);
+    b.asm.addi(T2, T2, emit as i64);
+    b.asm.ld(T3, T2, 0);
+    b.asm.add(S5, S5, T3);
+    b.asm.muli(T2, S2, 8);
+    b.asm.add(T2, T2, G1);
+    b.asm.sd(S5, T2, 0); // v'[s]
+    b.asm.addi(S2, S2, 1);
+    b.asm.slti(T6, S2, nstates as i64);
+    b.asm.bne(T6, ZERO, &sl);
+    // swap rows
+    b.asm.mv(T6, G0);
+    b.asm.mv(G0, G1);
+    b.asm.mv(G1, T6);
+    b.asm.addi(S1, S1, 1);
+    b.asm.slti(T6, S1, seqlen as i64);
+    b.asm.bne(T6, ZERO, &tl);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &rep);
+}
+
+/// Genome-rearrangement analysis on a permutation of `n` elements,
+/// `iters` iterations: reverse a random segment (paired loads/stores
+/// walking inward), then count breakpoints (adjacent-pair comparisons
+/// with data-dependent branches). The grappa signature: integer-dense,
+/// multiply-rich index arithmetic over a small footprint.
+pub fn permutation_ops(b: &mut Builder, n: u64, iters: u64) {
+    let perm_init: Vec<u64> = {
+        let mut p: Vec<u64> = (0..n).collect();
+        use rand::seq::SliceRandom;
+        p.shuffle(&mut b.rng);
+        p
+    };
+    let perm = b.data.alloc_u64(n);
+    b.data.init_u64(perm, &perm_init);
+
+    let it = b.fresh("pm_it");
+    let revl = b.fresh("pm_rev");
+    let revdone = b.fresh("pm_revd");
+    let bpl = b.fresh("pm_bp");
+    let nobp = b.fresh("pm_nobp");
+
+    b.asm.li(S0, iters as i64);
+    b.asm.li(S1, 0x1234_5678); // LCG state
+    b.asm.li(G3, 0); // breakpoint accumulator
+    b.asm.label(&it);
+    // pick i = rand % (n-8), j = i + 1 + rand % 7
+    b.asm.li(T4, 6364136223846793005_i64);
+    b.asm.mul(S1, S1, T4);
+    b.asm.addi(S1, S1, 1442695040888963407_i64);
+    b.asm.srli(T0, S1, 33);
+    b.asm.remi(T0, T0, (n - 16) as i64); // i
+    b.asm.mul(S1, S1, T4);
+    b.asm.addi(S1, S1, 1442695040888963407_i64);
+    b.asm.srli(T1, S1, 33);
+    b.asm.remi(T1, T1, 14);
+    b.asm.addi(T1, T1, 1);
+    b.asm.add(T1, T0, T1); // j > i
+    // reverse perm[i..=j]
+    b.asm.muli(T0, T0, 8);
+    b.asm.addi(T0, T0, perm as i64);
+    b.asm.muli(T1, T1, 8);
+    b.asm.addi(T1, T1, perm as i64);
+    b.asm.label(&revl);
+    b.asm.bge(T0, T1, &revdone);
+    b.asm.ld(T2, T0, 0);
+    b.asm.ld(T3, T1, 0);
+    b.asm.sd(T3, T0, 0);
+    b.asm.sd(T2, T1, 0);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, -8);
+    b.asm.j(&revl);
+    b.asm.label(&revdone);
+    // count breakpoints: |perm[k+1] - perm[k]| != 1
+    b.asm.li(T0, perm as i64);
+    b.asm.li(S2, (n - 1) as i64);
+    b.asm.label(&bpl);
+    b.asm.ld(T2, T0, 0);
+    b.asm.ld(T3, T0, 8);
+    b.asm.sub(T2, T3, T2);
+    b.asm.srai(T3, T2, 63);
+    b.asm.xor(T2, T2, T3);
+    b.asm.sub(T2, T2, T3); // |delta|
+    b.asm.li(T3, 1);
+    b.asm.beq(T2, T3, &nobp);
+    b.asm.addi(G3, G3, 1);
+    b.asm.label(&nobp);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(S2, S2, -1);
+    b.asm.bne(S2, ZERO, &bpl);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &it);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phaselab_trace::{ClassHistogram, CountingSink, InstClass, TraceSink};
+    use phaselab_vm::Vm;
+
+    fn run(b: Builder, max: u64) -> ClassHistogram {
+        let program = b.finish().expect("assembles");
+        let mut hist = ClassHistogram::new();
+        let mut vm = Vm::new(&program);
+        let out = vm.run(&mut hist, max).expect("runs");
+        assert!(out.halted, "kernel did not halt");
+        hist.finish();
+        hist
+    }
+
+    #[test]
+    fn smith_waterman_is_branchy_integer_code() {
+        let mut b = Builder::new(31);
+        smith_waterman(&mut b, 16, 64, 2);
+        let hist = run(b, 500_000);
+        assert!(hist.fraction_of(InstClass::CondBranch) > 0.15);
+        assert_eq!(hist.count_of(InstClass::FpAdd), 0);
+        assert!(hist.fraction_of(InstClass::MemRead) > 0.1);
+    }
+
+    #[test]
+    fn smith_waterman_best_score_is_sane() {
+        let mut b = Builder::new(32);
+        smith_waterman(&mut b, 8, 32, 1);
+        let program = b.finish().unwrap();
+        let mut vm = Vm::new(&program);
+        vm.run(&mut CountingSink::new(), 500_000).unwrap();
+        // Best local alignment score is at most 2 * qlen.
+        let best = vm.reg(S5) as i64;
+        assert!((0..=16).contains(&best), "best {best}");
+    }
+
+    #[test]
+    fn kmer_count_total_equals_symbols_processed() {
+        let mut b = Builder::new(33);
+        kmer_count(&mut b, 200, 8, 10, 1);
+        let program = b.finish().unwrap();
+        let mut vm = Vm::new(&program);
+        vm.run(&mut CountingSink::new(), 100_000).unwrap();
+        // Table starts right after the 200-byte sequence (8-aligned).
+        let table0 = 200u64;
+        let total: u64 = (0..1024u64).map(|i| vm.mem_u64(table0 + i * 8)).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn viterbi_runs_and_is_integer_dp() {
+        let mut b = Builder::new(34);
+        viterbi_int(&mut b, 8, 32, 2);
+        let hist = run(b, 500_000);
+        assert!(hist.fraction_of(InstClass::IntAdd) > 0.1);
+        assert!(hist.fraction_of(InstClass::CondBranch) > 0.1);
+        assert_eq!(hist.count_of(InstClass::FpMul), 0);
+    }
+
+    #[test]
+    fn permutation_stays_a_permutation() {
+        let mut b = Builder::new(35);
+        let n = 64u64;
+        permutation_ops(&mut b, n, 20);
+        let program = b.finish().unwrap();
+        let mut vm = Vm::new(&program);
+        vm.run(&mut CountingSink::new(), 1_000_000).unwrap();
+        let mut seen: Vec<u64> = (0..n).map(|i| vm.mem_u64(i * 8)).collect();
+        seen.sort_unstable();
+        let expect: Vec<u64> = (0..n).collect();
+        assert_eq!(seen, expect, "reversals must preserve the permutation");
+    }
+
+    #[test]
+    fn permutation_ops_are_multiply_rich() {
+        let mut b = Builder::new(36);
+        permutation_ops(&mut b, 64, 50);
+        let hist = run(b, 1_000_000);
+        assert!(hist.count_of(InstClass::IntMul) >= 100);
+    }
+}

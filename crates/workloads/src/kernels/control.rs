@@ -1,0 +1,377 @@
+//! Control-flow-intensive kernels: interpreters, sorting, hash tables,
+//! search, recursion.
+
+use phaselab_vm::regs::*;
+
+use crate::build::Builder;
+
+/// A table-driven state machine with computed dispatch: per input byte,
+/// the next state comes from a transition-table load and the action is
+/// reached through an indirect jump (`jr`) into a four-way jump table.
+/// The interpreter/parser signature of gcc, perlbench and xalancbmk.
+pub fn state_machine(b: &mut Builder, input_len: u64, nstates: u64, repeats: u64) {
+    let input = b.alloc_bytes_random(input_len, 255);
+    let trans = b.alloc_u64_random(nstates * 256, nstates);
+    let jumptab = b.data.alloc_u64(4);
+
+    let setup_done = b.fresh("sm_setup");
+    let rep = b.fresh("sm_rep");
+    let lp = b.fresh("sm");
+    let next = b.fresh("sm_next");
+    let act = [
+        b.fresh("sm_act0"),
+        b.fresh("sm_act1"),
+        b.fresh("sm_act2"),
+        b.fresh("sm_act3"),
+    ];
+
+    // Fill the jump table at run time with the actions' code indices.
+    for (i, a) in act.iter().enumerate() {
+        b.asm.li_label(T0, a.clone());
+        b.asm.li(T1, jumptab as i64 + (i as i64) * 8);
+        b.asm.sd(T0, T1, 0);
+    }
+    b.asm.j(&setup_done);
+    // The four actions: small distinct integer transformations of G2.
+    b.asm.label(&act[0]);
+    b.asm.addi(G2, G2, 1);
+    b.asm.j(&next);
+    b.asm.label(&act[1]);
+    b.asm.xori(G2, G2, 0x55);
+    b.asm.j(&next);
+    b.asm.label(&act[2]);
+    b.asm.slli(G2, G2, 1);
+    b.asm.j(&next);
+    b.asm.label(&act[3]);
+    b.asm.muli(G2, G2, 31);
+    b.asm.j(&next);
+    b.asm.label(&setup_done);
+
+    b.asm.li(S0, repeats as i64);
+    b.asm.label(&rep);
+    b.asm.li(T0, input as i64);
+    b.asm.li(S1, input_len as i64);
+    b.asm.li(S2, 0); // state
+    b.asm.label(&lp);
+    b.asm.lb(T1, T0, 0); // input symbol
+    // next state = trans[state * 256 + symbol]
+    b.asm.muli(T2, S2, 256 * 8);
+    b.asm.muli(T3, T1, 8);
+    b.asm.add(T2, T2, T3);
+    b.asm.addi(T2, T2, trans as i64);
+    b.asm.ld(S2, T2, 0);
+    // dispatch action (state & 3) through the jump table
+    b.asm.andi(T3, S2, 3);
+    b.asm.slli(T3, T3, 3);
+    b.asm.addi(T3, T3, jumptab as i64);
+    b.asm.ld(T3, T3, 0);
+    b.asm.jr(T3);
+    b.asm.label(&next);
+    b.asm.addi(T0, T0, 1);
+    b.asm.addi(S1, S1, -1);
+    b.asm.bne(S1, ZERO, &lp);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &rep);
+}
+
+/// Shellsort of `n` 64-bit keys, `repeats` times. Each repeat first
+/// re-copies the unsorted source (a streaming phase), then sorts with
+/// gap-strided insertion passes full of data-dependent branches — the
+/// compress/sort signature of bzip2 and twolf placement loops.
+pub fn shellsort(b: &mut Builder, n: u64, repeats: u64) {
+    let src = b.alloc_u64_random(n, u64::MAX / 2);
+    let work = b.data.alloc_u64(n);
+    let gaps: Vec<u64> = [701u64, 301, 132, 57, 23, 10, 4, 1]
+        .into_iter()
+        .filter(|&g| g < n)
+        .collect();
+
+    let rep = b.fresh("ss_rep");
+    let cpy = b.fresh("ss_cpy");
+
+    b.asm.li(S0, repeats as i64);
+    b.asm.label(&rep);
+    // copy src -> work
+    b.asm.li(T0, src as i64);
+    b.asm.li(T1, work as i64);
+    b.asm.li(T2, n as i64);
+    b.asm.label(&cpy);
+    b.asm.ld(T3, T0, 0);
+    b.asm.sd(T3, T1, 0);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, 8);
+    b.asm.addi(T2, T2, -1);
+    b.asm.bne(T2, ZERO, &cpy);
+    // gap passes
+    for &gap in &gaps {
+        let outer = b.fresh("ss_o");
+        let inner = b.fresh("ss_i");
+        let done = b.fresh("ss_d");
+        let gb = (gap * 8) as i64;
+        b.asm.li(S1, gap as i64); // i
+        b.asm.label(&outer);
+        // key = work[i]
+        b.asm.muli(T0, S1, 8);
+        b.asm.addi(T0, T0, work as i64);
+        b.asm.ld(S4, T0, 0); // key
+        b.asm.mv(T1, T0); // j pointer
+        b.asm.label(&inner);
+        // stop when j < gap or work[j - gap] <= key
+        b.asm.addi(T2, T1, -(gb) - (work as i64));
+        b.asm.blt(T2, ZERO, &done);
+        b.asm.ld(T3, T1, -gb);
+        b.asm.bge(S4, T3, &done);
+        b.asm.sd(T3, T1, 0);
+        b.asm.addi(T1, T1, -gb);
+        b.asm.j(&inner);
+        b.asm.label(&done);
+        b.asm.sd(S4, T1, 0);
+        b.asm.addi(S1, S1, 1);
+        b.asm.slti(T6, S1, n as i64);
+        b.asm.bne(T6, ZERO, &outer);
+    }
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &rep);
+}
+
+/// Open-addressing hash table: `nops` insert-or-bump operations with
+/// linear probing into a `2^table_bits`-slot table of (key, count) pairs.
+/// Scattered loads, unpredictable hit/miss/collision branches — the
+/// symbol-table signature of gcc, gap, vortex and perl.
+pub fn hash_table(b: &mut Builder, nops: u64, table_bits: u32, repeats: u64) {
+    // Slots: 16 bytes each (key, count); key 0 means empty.
+    let slots = 1u64 << table_bits;
+    let table = b.data.alloc(slots * 16);
+    let tmask = ((slots - 1) * 16) as i64;
+
+    let rep = b.fresh("ht_rep");
+    let lp = b.fresh("ht");
+    let probe = b.fresh("ht_probe");
+    let hit = b.fresh("ht_hit");
+    let insert = b.fresh("ht_ins");
+    let donel = b.fresh("ht_done");
+    let zl = b.fresh("ht_zero");
+
+    b.asm.li(S0, repeats as i64);
+    b.asm.label(&rep);
+    // clear table
+    b.asm.li(T0, table as i64);
+    b.asm.li(T1, (slots * 2) as i64);
+    b.asm.label(&zl);
+    b.asm.sd(ZERO, T0, 0);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, -1);
+    b.asm.bne(T1, ZERO, &zl);
+    b.asm.li(S1, nops as i64);
+    b.asm.li(S2, 0x243F6A88); // LCG
+    b.asm.label(&lp);
+    // key = 1 + (lcg() % (nops / 2)): repeated keys force hit paths
+    b.asm.li(T4, 6364136223846793005_i64);
+    b.asm.mul(S2, S2, T4);
+    b.asm.addi(S2, S2, 1442695040888963407_i64);
+    b.asm.srli(T0, S2, 33);
+    b.asm.remi(T0, T0, (nops / 2).max(1) as i64);
+    b.asm.addi(T0, T0, 1); // key, nonzero
+    // slot = mix(key) & mask (byte offset, 16-aligned)
+    b.asm.muli(T1, T0, 0x9E3779B1);
+    b.asm.srli(T2, T1, 17);
+    b.asm.xor(T1, T1, T2);
+    b.asm.andi(T1, T1, tmask >> 4 << 4);
+    b.asm.andi(T1, T1, !15);
+    b.asm.addi(T1, T1, table as i64);
+    b.asm.label(&probe);
+    b.asm.ld(T2, T1, 0); // slot key
+    b.asm.beq(T2, ZERO, &insert);
+    b.asm.beq(T2, T0, &hit);
+    // collision: advance with wraparound
+    b.asm.addi(T1, T1, 16);
+    b.asm.addi(T3, T1, -(table as i64));
+    b.asm.slti(T6, T3, (slots * 16) as i64);
+    b.asm.bne(T6, ZERO, &probe);
+    b.asm.li(T1, table as i64);
+    b.asm.j(&probe);
+    b.asm.label(&hit);
+    b.asm.ld(T2, T1, 8);
+    b.asm.addi(T2, T2, 1);
+    b.asm.sd(T2, T1, 8);
+    b.asm.j(&donel);
+    b.asm.label(&insert);
+    b.asm.sd(T0, T1, 0);
+    b.asm.li(T2, 1);
+    b.asm.sd(T2, T1, 8);
+    b.asm.label(&donel);
+    b.asm.addi(S1, S1, -1);
+    b.asm.bne(S1, ZERO, &lp);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &rep);
+}
+
+/// Binary search of `lookups` random keys in a sorted array of `n` keys.
+/// Log-depth chains of data-dependent branches over strided, shrinking
+/// ranges — decision-heavy search (astar's open list, vortex, dealII
+/// maps).
+pub fn binary_search(b: &mut Builder, n: u64, lookups: u64) {
+    let sorted: Vec<u64> = (0..n).map(|i| i * 37 + 5).collect();
+    let arr = b.data.alloc_u64(n);
+    b.data.init_u64(arr, &sorted);
+
+    let lp = b.fresh("bs");
+    let search = b.fresh("bs_s");
+    let go_left = b.fresh("bs_l");
+    let donel = b.fresh("bs_d");
+
+    b.asm.li(S0, lookups as i64);
+    b.asm.li(S1, 0xB7E15162); // LCG
+    b.asm.li(G3, 0); // found counter
+    b.asm.label(&lp);
+    b.asm.li(T4, 6364136223846793005_i64);
+    b.asm.mul(S1, S1, T4);
+    b.asm.addi(S1, S1, 1442695040888963407_i64);
+    b.asm.srli(T0, S1, 33);
+    b.asm.remi(T0, T0, (n * 37) as i64); // probe key
+    b.asm.li(T1, 0); // lo
+    b.asm.li(T2, n as i64); // hi
+    b.asm.label(&search);
+    b.asm.bge(T1, T2, &donel);
+    b.asm.add(T3, T1, T2);
+    b.asm.srli(T3, T3, 1); // mid
+    b.asm.muli(T5, T3, 8);
+    b.asm.addi(T5, T5, arr as i64);
+    b.asm.ld(T5, T5, 0); // a[mid]
+    b.asm.bge(T5, T0, &go_left);
+    b.asm.addi(T1, T3, 1);
+    b.asm.j(&search);
+    b.asm.label(&go_left);
+    b.asm.mv(T2, T3);
+    b.asm.j(&search);
+    b.asm.label(&donel);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &lp);
+}
+
+/// A recursive Fibonacci-style call tree of the given `depth`, `repeats`
+/// times, with callee state spilled to a software stack. Produces the
+/// call/return activity and return-address stack depth of recursive
+/// search codes (crafty, sjeng, gobmk's reading).
+pub fn call_tree(b: &mut Builder, depth: u64, repeats: u64) {
+    // Software stack: 16 bytes per frame, worst case `depth` frames.
+    let stack = b.data.alloc((depth + 4) * 16);
+    let stack_top = stack + (depth + 4) * 16;
+
+    let f = b.fresh("ct_f");
+    let recurse = b.fresh("ct_rec");
+    let rep = b.fresh("ct_rep");
+    let skip = b.fresh("ct_skip");
+
+    b.asm.j(&skip);
+    // fn f(A0) -> V0
+    b.asm.label(&f);
+    b.asm.slti(T0, A0, 2);
+    b.asm.beq(T0, ZERO, &recurse);
+    b.asm.li(V0, 1);
+    b.asm.ret();
+    b.asm.label(&recurse);
+    b.asm.addi(SP, SP, -16);
+    b.asm.sd(A0, SP, 0);
+    b.asm.addi(A0, A0, -1);
+    b.asm.call(&f);
+    b.asm.sd(V0, SP, 8);
+    b.asm.ld(A0, SP, 0);
+    b.asm.addi(A0, A0, -2);
+    b.asm.call(&f);
+    b.asm.ld(T1, SP, 8);
+    b.asm.add(V0, V0, T1);
+    b.asm.addi(SP, SP, 16);
+    b.asm.ret();
+    b.asm.label(&skip);
+
+    b.asm.li(S0, repeats as i64);
+    b.asm.label(&rep);
+    b.asm.li(SP, stack_top as i64);
+    b.asm.li(A0, depth as i64);
+    b.asm.call(&f);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &rep);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phaselab_trace::{ClassHistogram, CountingSink, InstClass, TraceSink};
+    use phaselab_vm::Vm;
+
+    fn run(b: Builder, max: u64) -> ClassHistogram {
+        let program = b.finish().expect("assembles");
+        let mut hist = ClassHistogram::new();
+        let mut vm = Vm::new(&program);
+        let out = vm.run(&mut hist, max).expect("runs");
+        assert!(out.halted, "kernel did not halt");
+        hist.finish();
+        hist
+    }
+
+    #[test]
+    fn state_machine_uses_indirect_jumps() {
+        let mut b = Builder::new(41);
+        state_machine(&mut b, 300, 16, 2);
+        let hist = run(b, 200_000);
+        // One indirect jump per symbol, plus one direct jump per action.
+        assert!(hist.count_of(InstClass::Jump) >= 2 * 300 * 2);
+        assert!(hist.fraction_of(InstClass::MemRead) > 0.1);
+    }
+
+    #[test]
+    fn shellsort_actually_sorts() {
+        let mut b = Builder::new(42);
+        let n = 128u64;
+        shellsort(&mut b, n, 1);
+        let program = b.finish().unwrap();
+        let mut vm = Vm::new(&program);
+        let out = vm.run(&mut CountingSink::new(), 5_000_000).unwrap();
+        assert!(out.halted);
+        let work0 = n * 8;
+        let vals: Vec<u64> = (0..n).map(|i| vm.mem_u64(work0 + i * 8)).collect();
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]), "not sorted");
+    }
+
+    #[test]
+    fn hash_table_counts_match_ops() {
+        let mut b = Builder::new(43);
+        hash_table(&mut b, 200, 8, 1);
+        let program = b.finish().unwrap();
+        let mut vm = Vm::new(&program);
+        let out = vm.run(&mut CountingSink::new(), 2_000_000).unwrap();
+        assert!(out.halted);
+        // Sum of all slot counts equals the number of operations.
+        let total: u64 = (0..256u64).map(|i| vm.mem_u64(i * 16 + 8)).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn binary_search_halts_and_branches_hard() {
+        let mut b = Builder::new(44);
+        binary_search(&mut b, 1024, 500);
+        let hist = run(b, 1_000_000);
+        assert!(hist.fraction_of(InstClass::CondBranch) > 0.15);
+    }
+
+    #[test]
+    fn call_tree_computes_fibonacci() {
+        let mut b = Builder::new(45);
+        call_tree(&mut b, 12, 1);
+        let program = b.finish().unwrap();
+        let mut vm = Vm::new(&program);
+        let out = vm.run(&mut CountingSink::new(), 1_000_000).unwrap();
+        assert!(out.halted);
+        assert_eq!(vm.reg(V0), 233); // fib(12) with fib(0)=fib(1)=1
+    }
+
+    #[test]
+    fn call_tree_generates_calls_and_rets() {
+        let mut b = Builder::new(46);
+        call_tree(&mut b, 10, 2);
+        let hist = run(b, 1_000_000);
+        assert!(hist.count_of(InstClass::Call) > 100);
+        assert_eq!(hist.count_of(InstClass::Call), hist.count_of(InstClass::Ret));
+    }
+}

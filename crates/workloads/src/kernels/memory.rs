@@ -1,0 +1,241 @@
+//! Memory-behavior kernels: pointer chasing, graph relaxation, streaming
+//! copies, random updates.
+
+use phaselab_vm::regs::*;
+
+use crate::build::Builder;
+
+/// Serial pointer chase through a random cyclic list of `nodes` nodes
+/// (one node per 64-byte block), for `steps` dependent loads. The
+/// lowest-ILP, cache-hostile signature of mcf and omnetpp.
+pub fn pointer_chase(b: &mut Builder, nodes: u64, steps: u64) {
+    let base = b.alloc_pointer_cycle(nodes, 64);
+    let lp = b.fresh("pc");
+
+    b.asm.li(T0, base as i64);
+    b.asm.li(T1, steps as i64);
+    b.asm.label(&lp);
+    b.asm.ld(T0, T0, 0);
+    b.asm.addi(T1, T1, -1);
+    b.asm.bne(T1, ZERO, &lp);
+}
+
+/// Bellman-Ford-style relaxation sweeps over a random graph in CSR-like
+/// form (`nodes` nodes, `deg` out-edges each): per edge, gather the
+/// neighbor's distance, compare, and conditionally update. Irregular
+/// gathers plus unpredictable update branches (mcf's network simplex,
+/// astar).
+pub fn graph_relax(b: &mut Builder, nodes: u64, deg: u64, sweeps: u64) {
+    let adj = b.alloc_u64_random(nodes * deg, nodes);
+    let wts = b.alloc_u64_random(nodes * deg, 100);
+    let dist = b.data.alloc_u64(nodes);
+    // dist[i] = large, dist[0] = 0
+    let mut init = vec![1u64 << 40; nodes as usize];
+    init[0] = 0;
+    b.data.init_u64(dist, &init);
+
+    let sweep = b.fresh("gr_sweep");
+    let nl = b.fresh("gr_n");
+    let el = b.fresh("gr_e");
+    let noup = b.fresh("gr_noup");
+
+    b.asm.li(S0, sweeps as i64);
+    b.asm.label(&sweep);
+    b.asm.li(S1, 0); // node
+    b.asm.li(T0, adj as i64);
+    b.asm.li(T1, wts as i64);
+    b.asm.label(&nl);
+    // du = dist[u]
+    b.asm.muli(T2, S1, 8);
+    b.asm.addi(T2, T2, dist as i64);
+    b.asm.ld(S4, T2, 0);
+    b.asm.li(S2, deg as i64);
+    b.asm.label(&el);
+    b.asm.ld(T3, T0, 0); // neighbor id
+    b.asm.slli(T3, T3, 3);
+    b.asm.addi(T3, T3, dist as i64);
+    b.asm.ld(T4, T3, 0); // dist[v]
+    b.asm.ld(T5, T1, 0); // weight
+    b.asm.add(T5, S4, T5); // du + w
+    b.asm.bge(T5, T4, &noup);
+    b.asm.sd(T5, T3, 0); // relax
+    b.asm.label(&noup);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, 8);
+    b.asm.addi(S2, S2, -1);
+    b.asm.bne(S2, ZERO, &el);
+    b.asm.addi(S1, S1, 1);
+    b.asm.slti(T6, S1, nodes as i64);
+    b.asm.bne(T6, ZERO, &nl);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &sweep);
+}
+
+/// Streaming 8-byte copy of `words` words, `repeats` times — pure
+/// bandwidth phase (bzip2 block moves, the copy phases of codecs).
+pub fn mem_copy(b: &mut Builder, words: u64, repeats: u64) {
+    let src = b.alloc_u64_random(words, u64::MAX);
+    let dst = b.data.alloc_u64(words);
+    let rep = b.fresh("cp_rep");
+    let lp = b.fresh("cp");
+
+    b.asm.li(S0, repeats as i64);
+    b.asm.label(&rep);
+    b.asm.li(T0, src as i64);
+    b.asm.li(T1, dst as i64);
+    b.asm.li(T2, words as i64);
+    b.asm.label(&lp);
+    b.asm.ld(T3, T0, 0);
+    b.asm.sd(T3, T1, 0);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, 8);
+    b.asm.addi(T2, T2, -1);
+    b.asm.bne(T2, ZERO, &lp);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &rep);
+}
+
+/// GUPS-style random update: `ops` read-xor-write operations at
+/// LCG-random locations in a `2^table_bits`-word table. Maximal data
+/// footprint per instruction, no locality (the access pattern of
+/// libquantum's amplitude flips at scale, hash-join-like phases).
+pub fn random_update(b: &mut Builder, table_bits: u32, ops: u64) {
+    let words = 1u64 << table_bits;
+    let table = b.alloc_u64_random(words, u64::MAX);
+    let tmask = ((words - 1) * 8) as i64;
+    let lp = b.fresh("ru");
+
+    b.asm.li(S0, ops as i64);
+    b.asm.li(S1, 0x9E3779B9);
+    b.asm.li(T4, 6364136223846793005_i64);
+    b.asm.label(&lp);
+    b.asm.mul(S1, S1, T4);
+    b.asm.addi(S1, S1, 1442695040888963407_i64);
+    b.asm.srli(T0, S1, 30);
+    b.asm.andi(T0, T0, tmask & !7);
+    b.asm.addi(T0, T0, table as i64);
+    b.asm.ld(T1, T0, 0);
+    b.asm.xor(T1, T1, S1);
+    b.asm.sd(T1, T0, 0);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &lp);
+}
+
+/// Quantum-register streaming (libquantum's signature): sweep a large
+/// amplitude array applying a conditional phase flip — a load, a bit
+/// test on the index, and a conditional store — with perfect spatial
+/// locality and an easily predicted branch.
+pub fn quantum_sweep(b: &mut Builder, words: u64, target_bit: u32, sweeps: u64) {
+    let amps = b.alloc_u64_random(words, u64::MAX);
+    let sweep = b.fresh("qs_sweep");
+    let lp = b.fresh("qs");
+    let noflip = b.fresh("qs_nf");
+
+    b.asm.li(S0, sweeps as i64);
+    b.asm.label(&sweep);
+    b.asm.li(T0, amps as i64);
+    b.asm.li(S1, 0); // index
+    b.asm.label(&lp);
+    // flip when index has the target bit set
+    b.asm.srli(T2, S1, target_bit as i64);
+    b.asm.andi(T2, T2, 1);
+    b.asm.beq(T2, ZERO, &noflip);
+    b.asm.ld(T1, T0, 0);
+    b.asm.xori(T1, T1, i64::MIN); // flip the sign bit
+    b.asm.sd(T1, T0, 0);
+    b.asm.label(&noflip);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(S1, S1, 1);
+    b.asm.slti(T6, S1, words as i64);
+    b.asm.bne(T6, ZERO, &lp);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &sweep);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phaselab_trace::{ClassHistogram, CountingSink, InstClass, TraceSink};
+    use phaselab_vm::Vm;
+
+    fn run(b: Builder, max: u64) -> ClassHistogram {
+        let program = b.finish().expect("assembles");
+        let mut hist = ClassHistogram::new();
+        let mut vm = Vm::new(&program);
+        let out = vm.run(&mut hist, max).expect("runs");
+        assert!(out.halted, "kernel did not halt");
+        hist.finish();
+        hist
+    }
+
+    #[test]
+    fn pointer_chase_is_load_dominated() {
+        let mut b = Builder::new(51);
+        pointer_chase(&mut b, 128, 1000);
+        let hist = run(b, 100_000);
+        assert!(hist.fraction_of(InstClass::MemRead) > 0.3);
+        assert_eq!(hist.count_of(InstClass::MemWrite), 0);
+    }
+
+    #[test]
+    fn graph_relax_distances_decrease_monotonically() {
+        let mut b = Builder::new(52);
+        graph_relax(&mut b, 64, 4, 3);
+        let program = b.finish().unwrap();
+        let mut vm = Vm::new(&program);
+        let out = vm.run(&mut CountingSink::new(), 1_000_000).unwrap();
+        assert!(out.halted);
+        // dist array sits after adj (64*4 u64) and wts (64*4 u64).
+        let dist0 = (64 * 4 * 8 * 2) as u64;
+        assert_eq!(vm.mem_u64(dist0), 0, "source distance stays 0");
+        // No distance may exceed the initial infinity.
+        for i in 0..64u64 {
+            assert!(vm.mem_u64(dist0 + i * 8) <= 1 << 40);
+        }
+    }
+
+    #[test]
+    fn mem_copy_copies() {
+        let mut b = Builder::new(53);
+        mem_copy(&mut b, 64, 2);
+        let program = b.finish().unwrap();
+        let mut vm = Vm::new(&program);
+        vm.run(&mut CountingSink::new(), 100_000).unwrap();
+        for i in 0..64u64 {
+            assert_eq!(vm.mem_u64(i * 8), vm.mem_u64(64 * 8 + i * 8));
+        }
+    }
+
+    #[test]
+    fn random_update_touches_many_blocks() {
+        let mut b = Builder::new(54);
+        random_update(&mut b, 12, 2000);
+        let hist = run(b, 100_000);
+        assert!(hist.fraction_of(InstClass::MemWrite) > 0.05);
+        assert!(hist.fraction_of(InstClass::IntMul) > 0.05);
+    }
+
+    #[test]
+    fn quantum_sweep_flips_exactly_half() {
+        let mut b = Builder::new(55);
+        quantum_sweep(&mut b, 64, 2, 1);
+        let program = b.finish().unwrap();
+        // Snapshot initial amplitudes by replaying the RNG.
+        let mut b2 = Builder::new(55);
+        let _ = b2.alloc_u64_random(64, u64::MAX);
+        let inits = b2.data.inits()[0].1.clone();
+        let mut vm = Vm::new(&program);
+        vm.run(&mut CountingSink::new(), 100_000).unwrap();
+        let mut flipped = 0;
+        for i in 0..64usize {
+            let before = u64::from_le_bytes(inits[i * 8..i * 8 + 8].try_into().unwrap());
+            let after = vm.mem_u64((i * 8) as u64);
+            if after == before ^ (1 << 63) {
+                flipped += 1;
+            } else {
+                assert_eq!(after, before);
+            }
+        }
+        assert_eq!(flipped, 32);
+    }
+}

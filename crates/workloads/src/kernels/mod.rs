@@ -1,0 +1,26 @@
+//! The kernel library: reusable code emitters that benchmarks compose.
+//!
+//! Every kernel is a function that appends assembly (and allocates and
+//! initializes the data it operates on) to a [`Builder`](crate::Builder).
+//! Kernels are inline code — they fall through to whatever is emitted
+//! next — and clobber registers freely; benchmarks re-seed their loop
+//! state per phase.
+//!
+//! Kernels are grouped by behavioral domain:
+//!
+//! * [`numeric`] — floating-point streaming, dense/sparse linear algebra,
+//!   stencils, n-body, butterfly passes, Monte Carlo,
+//! * [`media`] — DCT, motion-estimation SAD, FIR filters, entropy packing,
+//!   color conversion,
+//! * [`bio`] — dynamic-programming sequence alignment, k-mer hashing,
+//!   integer Viterbi, permutation/breakpoint analysis,
+//! * [`control`] — table-driven state machines, sorting, hash tables,
+//!   binary search, recursive call trees,
+//! * [`memory`] — pointer chasing, graph relaxation, streaming copies,
+//!   random updates.
+
+pub mod bio;
+pub mod control;
+pub mod media;
+pub mod memory;
+pub mod numeric;

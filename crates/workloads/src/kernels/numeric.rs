@@ -1,0 +1,679 @@
+//! Floating-point and numeric kernels.
+
+use phaselab_vm::regs::*;
+
+use crate::build::Builder;
+
+/// STREAM-style triad: `a[i] = b[i] + s * c[i]` over `n` doubles,
+/// `repeats` times. Unit-stride loads/stores, abundant ILP, trivially
+/// predictable branches — the signature of streaming floating-point codes
+/// (swim, bwaves, lbm).
+pub fn stream_triad(b: &mut Builder, n: u64, repeats: u64) {
+    let dst = b.data.alloc_f64(n);
+    let src1 = b.alloc_f64_random(n, 0.0, 1.0);
+    let src2 = b.alloc_f64_random(n, 0.0, 1.0);
+    let rep = b.fresh("triad_rep");
+    let lp = b.fresh("triad");
+
+    b.asm.li(S0, repeats as i64);
+    b.asm.fli(FS0, 3.0);
+    b.asm.label(&rep);
+    b.asm.li(T0, dst as i64);
+    b.asm.li(T1, src1 as i64);
+    b.asm.li(T2, src2 as i64);
+    b.asm.li(T3, n as i64);
+    b.asm.label(&lp);
+    b.asm.fld(FT0, T1, 0);
+    b.asm.fld(FT1, T2, 0);
+    b.asm.fmul(FT1, FT1, FS0);
+    b.asm.fadd(FT0, FT0, FT1);
+    b.asm.fsd(FT0, T0, 0);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, 8);
+    b.asm.addi(T2, T2, 8);
+    b.asm.addi(T3, T3, -1);
+    b.asm.bne(T3, ZERO, &lp);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &rep);
+}
+
+/// Naive dense matrix multiply `C += A * B` on `dim × dim` doubles,
+/// `repeats` times. The inner product walks `A` unit-stride and `B` with a
+/// `dim * 8`-byte stride — the mixed-stride signature of dense linear
+/// algebra (galgel, gamess, facerec's projections).
+pub fn dense_mm(b: &mut Builder, dim: u64, repeats: u64) {
+    let a = b.alloc_f64_random(dim * dim, 0.0, 1.0);
+    let bm = b.alloc_f64_random(dim * dim, 0.0, 1.0);
+    let c = b.data.alloc_f64(dim * dim);
+    let rep = b.fresh("mm_rep");
+    let il = b.fresh("mm_i");
+    let jl = b.fresh("mm_j");
+    let kl = b.fresh("mm_k");
+    let row_bytes = (dim * 8) as i64;
+
+    b.asm.li(S0, repeats as i64);
+    b.asm.label(&rep);
+    b.asm.li(S1, 0); // i
+    b.asm.label(&il);
+    b.asm.li(S2, 0); // j
+    b.asm.label(&jl);
+    b.asm.fli(FT0, 0.0);
+    b.asm.li(S3, 0); // k
+    b.asm.muli(T0, S1, row_bytes);
+    b.asm.addi(T0, T0, a as i64); // &A[i][0]
+    b.asm.muli(T1, S2, 8);
+    b.asm.addi(T1, T1, bm as i64); // &B[0][j]
+    b.asm.label(&kl);
+    b.asm.fld(FT1, T0, 0);
+    b.asm.fld(FT2, T1, 0);
+    b.asm.fmul(FT1, FT1, FT2);
+    b.asm.fadd(FT0, FT0, FT1);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, row_bytes);
+    b.asm.addi(S3, S3, 1);
+    b.asm.slti(T6, S3, dim as i64);
+    b.asm.bne(T6, ZERO, &kl);
+    // C[i][j] += acc
+    b.asm.muli(T2, S1, row_bytes);
+    b.asm.muli(T3, S2, 8);
+    b.asm.add(T2, T2, T3);
+    b.asm.addi(T2, T2, c as i64);
+    b.asm.fld(FT3, T2, 0);
+    b.asm.fadd(FT3, FT3, FT0);
+    b.asm.fsd(FT3, T2, 0);
+    b.asm.addi(S2, S2, 1);
+    b.asm.slti(T6, S2, dim as i64);
+    b.asm.bne(T6, ZERO, &jl);
+    b.asm.addi(S1, S1, 1);
+    b.asm.slti(T6, S1, dim as i64);
+    b.asm.bne(T6, ZERO, &il);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &rep);
+}
+
+/// Five-point Jacobi stencil over a `w × h` grid of doubles, `sweeps`
+/// sweeps, ping-ponging between two grids. The classic structured-grid
+/// signature (mgrid, zeusmp, leslie3d, GemsFDTD).
+pub fn stencil5(b: &mut Builder, w: u64, h: u64, sweeps: u64) {
+    let g0 = b.alloc_f64_random(w * h, 0.0, 1.0);
+    let g1 = b.data.alloc_f64(w * h);
+    let row = (w * 8) as i64;
+    let sweep = b.fresh("st_sweep");
+    let yl = b.fresh("st_y");
+    let xl = b.fresh("st_x");
+
+    b.asm.li(S0, sweeps as i64);
+    b.asm.li(G0, g0 as i64); // src
+    b.asm.li(G1, g1 as i64); // dst
+    b.asm.fli(FS0, 0.25);
+    b.asm.label(&sweep);
+    b.asm.li(S1, 1); // y
+    b.asm.label(&yl);
+    b.asm.li(S2, 1); // x
+    // T0 = src + y*row + 8, T1 = dst + y*row + 8
+    b.asm.muli(T0, S1, row);
+    b.asm.add(T1, T0, G1);
+    b.asm.add(T0, T0, G0);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, 8);
+    b.asm.label(&xl);
+    b.asm.fld(FT0, T0, -8); // left
+    b.asm.fld(FT1, T0, 8); // right
+    b.asm.fld(FT2, T0, -row); // up
+    b.asm.fld(FT3, T0, row); // down
+    b.asm.fadd(FT0, FT0, FT1);
+    b.asm.fadd(FT2, FT2, FT3);
+    b.asm.fadd(FT0, FT0, FT2);
+    b.asm.fmul(FT0, FT0, FS0);
+    b.asm.fsd(FT0, T1, 0);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, 8);
+    b.asm.addi(S2, S2, 1);
+    b.asm.slti(T6, S2, (w - 1) as i64);
+    b.asm.bne(T6, ZERO, &xl);
+    b.asm.addi(S1, S1, 1);
+    b.asm.slti(T6, S1, (h - 1) as i64);
+    b.asm.bne(T6, ZERO, &yl);
+    // swap src/dst
+    b.asm.mv(T6, G0);
+    b.asm.mv(G0, G1);
+    b.asm.mv(G1, T6);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &sweep);
+}
+
+/// Nine-point (box) stencil over a `w × h` grid of doubles, `sweeps`
+/// sweeps. Twice the loads and adds per cell of [`stencil5`], with
+/// corner accesses that straddle rows — the wider-halo signature of
+/// higher-order finite-difference codes (GemsFDTD, bwaves).
+pub fn stencil9(b: &mut Builder, w: u64, h: u64, sweeps: u64) {
+    let g0 = b.alloc_f64_random(w * h, 0.0, 1.0);
+    let g1 = b.data.alloc_f64(w * h);
+    let row = (w * 8) as i64;
+    let sweep = b.fresh("s9_sweep");
+    let yl = b.fresh("s9_y");
+    let xl = b.fresh("s9_x");
+
+    b.asm.li(S0, sweeps as i64);
+    b.asm.li(G0, g0 as i64);
+    b.asm.li(G1, g1 as i64);
+    b.asm.fli(FS0, 0.125);
+    b.asm.label(&sweep);
+    b.asm.li(S1, 1);
+    b.asm.label(&yl);
+    b.asm.li(S2, 1);
+    b.asm.muli(T0, S1, row);
+    b.asm.add(T1, T0, G1);
+    b.asm.add(T0, T0, G0);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, 8);
+    b.asm.label(&xl);
+    b.asm.fld(FT0, T0, -8);
+    b.asm.fld(FT1, T0, 8);
+    b.asm.fld(FT2, T0, -row);
+    b.asm.fld(FT3, T0, row);
+    b.asm.fadd(FT0, FT0, FT1);
+    b.asm.fadd(FT2, FT2, FT3);
+    b.asm.fld(FT4, T0, -row - 8);
+    b.asm.fld(FT5, T0, -row + 8);
+    b.asm.fld(FT6, T0, row - 8);
+    b.asm.fld(FT7, T0, row + 8);
+    b.asm.fadd(FT4, FT4, FT5);
+    b.asm.fadd(FT6, FT6, FT7);
+    b.asm.fadd(FT0, FT0, FT2);
+    b.asm.fadd(FT4, FT4, FT6);
+    b.asm.fadd(FT0, FT0, FT4);
+    b.asm.fmul(FT0, FT0, FS0);
+    b.asm.fsd(FT0, T1, 0);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, 8);
+    b.asm.addi(S2, S2, 1);
+    b.asm.slti(T6, S2, (w - 1) as i64);
+    b.asm.bne(T6, ZERO, &xl);
+    b.asm.addi(S1, S1, 1);
+    b.asm.slti(T6, S1, (h - 1) as i64);
+    b.asm.bne(T6, ZERO, &yl);
+    b.asm.mv(T6, G0);
+    b.asm.mv(G0, G1);
+    b.asm.mv(G1, T6);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &sweep);
+}
+
+/// Damped five-point stencil: like [`stencil5`] but each update blends
+/// the neighbor average with the old value through a divide —
+/// `new = (avg + d·old) / (1 + d)` — giving the divide-laden update of
+/// implicit solvers (cactusADM, zeusmp's source steps).
+pub fn stencil5_damped(b: &mut Builder, w: u64, h: u64, sweeps: u64) {
+    let g0 = b.alloc_f64_random(w * h, 0.0, 1.0);
+    let g1 = b.data.alloc_f64(w * h);
+    let row = (w * 8) as i64;
+    let sweep = b.fresh("sd_sweep");
+    let yl = b.fresh("sd_y");
+    let xl = b.fresh("sd_x");
+
+    b.asm.li(S0, sweeps as i64);
+    b.asm.li(G0, g0 as i64);
+    b.asm.li(G1, g1 as i64);
+    b.asm.fli(FS0, 0.25);
+    b.asm.fli(FS1, 0.6); // damping d
+    b.asm.fli(FS2, 1.6); // 1 + d
+    b.asm.label(&sweep);
+    b.asm.li(S1, 1);
+    b.asm.label(&yl);
+    b.asm.li(S2, 1);
+    b.asm.muli(T0, S1, row);
+    b.asm.add(T1, T0, G1);
+    b.asm.add(T0, T0, G0);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, 8);
+    b.asm.label(&xl);
+    b.asm.fld(FT0, T0, -8);
+    b.asm.fld(FT1, T0, 8);
+    b.asm.fld(FT2, T0, -row);
+    b.asm.fld(FT3, T0, row);
+    b.asm.fadd(FT0, FT0, FT1);
+    b.asm.fadd(FT2, FT2, FT3);
+    b.asm.fadd(FT0, FT0, FT2);
+    b.asm.fmul(FT0, FT0, FS0); // avg
+    b.asm.fld(FT4, T0, 0);
+    b.asm.fmul(FT4, FT4, FS1);
+    b.asm.fadd(FT0, FT0, FT4);
+    b.asm.fdiv(FT0, FT0, FS2);
+    b.asm.fsd(FT0, T1, 0);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, 8);
+    b.asm.addi(S2, S2, 1);
+    b.asm.slti(T6, S2, (w - 1) as i64);
+    b.asm.bne(T6, ZERO, &xl);
+    b.asm.addi(S1, S1, 1);
+    b.asm.slti(T6, S1, (h - 1) as i64);
+    b.asm.bne(T6, ZERO, &yl);
+    b.asm.mv(T6, G0);
+    b.asm.mv(G0, G1);
+    b.asm.mv(G1, T6);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &sweep);
+}
+
+/// Sparse matrix-vector product in CSR-like form with a fixed `nnz`
+/// nonzeros per row: `y[r] = Σ val[r][e] * x[col[r][e]]`, `repeats`
+/// times. The gather through `col` produces the scattered global load
+/// strides of sparse solvers (soplex, equake-like codes).
+pub fn sparse_mv(b: &mut Builder, rows: u64, nnz: u64, repeats: u64) {
+    let cols = rows; // square
+    let colidx = b.alloc_u64_random(rows * nnz, cols);
+    let vals = b.alloc_f64_random(rows * nnz, -1.0, 1.0);
+    let x = b.alloc_f64_random(cols, 0.0, 1.0);
+    let y = b.data.alloc_f64(rows);
+    let rep = b.fresh("spmv_rep");
+    let rl = b.fresh("spmv_r");
+    let el = b.fresh("spmv_e");
+
+    b.asm.li(S0, repeats as i64);
+    b.asm.label(&rep);
+    b.asm.li(S1, 0); // row
+    b.asm.li(T0, colidx as i64);
+    b.asm.li(T1, vals as i64);
+    b.asm.li(T2, y as i64);
+    b.asm.label(&rl);
+    b.asm.fli(FT0, 0.0);
+    b.asm.li(S2, nnz as i64);
+    b.asm.label(&el);
+    b.asm.ld(T3, T0, 0); // column index
+    b.asm.slli(T3, T3, 3);
+    b.asm.addi(T3, T3, x as i64);
+    b.asm.fld(FT1, T3, 0); // x[col] gather
+    b.asm.fld(FT2, T1, 0); // val
+    b.asm.fmul(FT1, FT1, FT2);
+    b.asm.fadd(FT0, FT0, FT1);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, 8);
+    b.asm.addi(S2, S2, -1);
+    b.asm.bne(S2, ZERO, &el);
+    b.asm.fsd(FT0, T2, 0);
+    b.asm.addi(T2, T2, 8);
+    b.asm.addi(S1, S1, 1);
+    b.asm.slti(T6, S1, rows as i64);
+    b.asm.bne(T6, ZERO, &rl);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &rep);
+}
+
+/// All-pairs n-body force accumulation over `n` particles for `steps`
+/// steps, with the reciprocal-square-root inner loop (divide + square
+/// root) characteristic of molecular dynamics (namd, gromacs, ammp).
+pub fn nbody(b: &mut Builder, n: u64, steps: u64) {
+    let px = b.alloc_f64_random(n, -1.0, 1.0);
+    let py = b.alloc_f64_random(n, -1.0, 1.0);
+    let fx = b.data.alloc_f64(n);
+    let step = b.fresh("nb_step");
+    let il = b.fresh("nb_i");
+    let jl = b.fresh("nb_j");
+
+    b.asm.li(S0, steps as i64);
+    b.asm.fli(FS0, 1e-4); // softening
+    b.asm.fli(FS1, 1.0);
+    b.asm.label(&step);
+    b.asm.li(S1, 0); // i
+    b.asm.label(&il);
+    b.asm.muli(T0, S1, 8);
+    b.asm.addi(T1, T0, px as i64);
+    b.asm.fld(FS2, T1, 0); // x[i]
+    b.asm.addi(T1, T0, py as i64);
+    b.asm.fld(FS3, T1, 0); // y[i]
+    b.asm.fli(FS4, 0.0); // force accumulator
+    b.asm.li(S2, 0); // j
+    b.asm.li(T2, px as i64);
+    b.asm.li(T3, py as i64);
+    b.asm.label(&jl);
+    b.asm.fld(FT0, T2, 0);
+    b.asm.fld(FT1, T3, 0);
+    b.asm.fsub(FT0, FT0, FS2); // dx
+    b.asm.fsub(FT1, FT1, FS3); // dy
+    b.asm.fmul(FT2, FT0, FT0);
+    b.asm.fmul(FT3, FT1, FT1);
+    b.asm.fadd(FT2, FT2, FT3);
+    b.asm.fadd(FT2, FT2, FS0); // r^2 + eps
+    b.asm.fsqrt(FT3, FT2);
+    b.asm.fmul(FT3, FT3, FT2); // r^3
+    b.asm.fdiv(FT4, FS1, FT3); // 1/r^3
+    b.asm.fmul(FT4, FT4, FT0);
+    b.asm.fadd(FS4, FS4, FT4);
+    b.asm.addi(T2, T2, 8);
+    b.asm.addi(T3, T3, 8);
+    b.asm.addi(S2, S2, 1);
+    b.asm.slti(T6, S2, n as i64);
+    b.asm.bne(T6, ZERO, &jl);
+    b.asm.addi(T1, T0, fx as i64);
+    b.asm.fsd(FS4, T1, 0);
+    b.asm.addi(S1, S1, 1);
+    b.asm.slti(T6, S1, n as i64);
+    b.asm.bne(T6, ZERO, &il);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &step);
+}
+
+/// Power iteration `x ← A·x / ‖A·x‖` on a `dim × dim` matrix for `iters`
+/// iterations — dense mat-vec plus a normalization with square root and
+/// divides. The eigen-analysis signature of face recognition (facerec,
+/// BMW face).
+pub fn power_iteration(b: &mut Builder, dim: u64, iters: u64) {
+    let a = b.alloc_f64_random(dim * dim, 0.0, 1.0);
+    let x = b.alloc_f64_random(dim, 0.1, 1.0);
+    let y = b.data.alloc_f64(dim);
+    let row = (dim * 8) as i64;
+    let it = b.fresh("pi_it");
+    let rl = b.fresh("pi_r");
+    let cl = b.fresh("pi_c");
+    let nl = b.fresh("pi_n");
+    let dl = b.fresh("pi_d");
+
+    b.asm.li(S0, iters as i64);
+    b.asm.label(&it);
+    // y = A x
+    b.asm.li(S1, 0);
+    b.asm.label(&rl);
+    b.asm.muli(T0, S1, row);
+    b.asm.addi(T0, T0, a as i64);
+    b.asm.li(T1, x as i64);
+    b.asm.fli(FT0, 0.0);
+    b.asm.li(S2, dim as i64);
+    b.asm.label(&cl);
+    b.asm.fld(FT1, T0, 0);
+    b.asm.fld(FT2, T1, 0);
+    b.asm.fmul(FT1, FT1, FT2);
+    b.asm.fadd(FT0, FT0, FT1);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, 8);
+    b.asm.addi(S2, S2, -1);
+    b.asm.bne(S2, ZERO, &cl);
+    b.asm.muli(T2, S1, 8);
+    b.asm.addi(T2, T2, y as i64);
+    b.asm.fsd(FT0, T2, 0);
+    b.asm.addi(S1, S1, 1);
+    b.asm.slti(T6, S1, dim as i64);
+    b.asm.bne(T6, ZERO, &rl);
+    // norm = sqrt(sum y^2)
+    b.asm.fli(FS0, 0.0);
+    b.asm.li(T0, y as i64);
+    b.asm.li(S2, dim as i64);
+    b.asm.label(&nl);
+    b.asm.fld(FT0, T0, 0);
+    b.asm.fmul(FT0, FT0, FT0);
+    b.asm.fadd(FS0, FS0, FT0);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(S2, S2, -1);
+    b.asm.bne(S2, ZERO, &nl);
+    b.asm.fsqrt(FS0, FS0);
+    b.asm.fli(FT3, 1e-30);
+    b.asm.fadd(FS0, FS0, FT3);
+    // x = y / norm
+    b.asm.li(T0, y as i64);
+    b.asm.li(T1, x as i64);
+    b.asm.li(S2, dim as i64);
+    b.asm.label(&dl);
+    b.asm.fld(FT0, T0, 0);
+    b.asm.fdiv(FT0, FT0, FS0);
+    b.asm.fsd(FT0, T1, 0);
+    b.asm.addi(T0, T0, 8);
+    b.asm.addi(T1, T1, 8);
+    b.asm.addi(S2, S2, -1);
+    b.asm.bne(S2, ZERO, &dl);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &it);
+}
+
+/// FFT-style butterfly passes over `2^log2n` complex-free doubles,
+/// `repeats` times: `log2n` passes whose access stride doubles each pass,
+/// mixing unit and power-of-two strides with balanced fp add/mul —
+/// the spectral-method signature (fma3d, wupwise, lucas, tonto).
+pub fn butterfly_passes(b: &mut Builder, log2n: u32, repeats: u64) {
+    let n = 1u64 << log2n;
+    let buf = b.alloc_f64_random(n, -1.0, 1.0);
+    let rep = b.fresh("bf_rep");
+    let pass = b.fresh("bf_pass");
+    let inner = b.fresh("bf_in");
+
+    b.asm.li(S0, repeats as i64);
+    b.asm.fli(FS0, std::f64::consts::FRAC_1_SQRT_2);
+    b.asm.label(&rep);
+    b.asm.li(S1, 8); // stride bytes, doubles each pass
+    b.asm.li(S4, (n * 8) as i64);
+    b.asm.label(&pass);
+    b.asm.li(T0, buf as i64); // first element
+    b.asm.add(T1, T0, S1); // partner
+    b.asm.li(S2, (n / 2) as i64); // butterflies per pass
+    b.asm.label(&inner);
+    b.asm.fld(FT0, T0, 0);
+    b.asm.fld(FT1, T1, 0);
+    b.asm.fadd(FT2, FT0, FT1);
+    b.asm.fsub(FT3, FT0, FT1);
+    b.asm.fmul(FT3, FT3, FS0);
+    b.asm.fsd(FT2, T0, 0);
+    b.asm.fsd(FT3, T1, 0);
+    // advance: step by 2*stride, wrap modulo buffer length
+    b.asm.slli(T2, S1, 1);
+    b.asm.add(T0, T0, T2);
+    b.asm.add(T1, T1, T2);
+    // wrap both pointers if past the end
+    b.asm.addi(T4, T0, -(buf as i64));
+    b.asm.blt(T4, S4, format!("{inner}_nw"));
+    b.asm.sub(T0, T0, S4);
+    b.asm.sub(T1, T1, S4);
+    b.asm.label(format!("{inner}_nw"));
+    b.asm.addi(S2, S2, -1);
+    b.asm.bne(S2, ZERO, &inner);
+    b.asm.slli(S1, S1, 1); // double the stride
+    b.asm.slti(T6, S1, (n * 8 / 2) as i64);
+    b.asm.bne(T6, ZERO, &pass);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &rep);
+}
+
+/// Monte Carlo π-style sampling: an in-register LCG produces point
+/// coordinates, converted to floating point, squared and compared against
+/// the unit circle with a data-dependent branch. High integer-multiply
+/// and convert content with a ~21 % unpredictable branch (milc-like
+/// acceptance loops, sixtrack particle tracking).
+pub fn montecarlo(b: &mut Builder, samples: u64) {
+    let lp = b.fresh("mc");
+    let skip = b.fresh("mc_skip");
+
+    b.asm.li(S0, samples as i64);
+    b.asm.li(S1, 0x2545F491_i64); // LCG state
+    b.asm.li(S2, 0); // accepted count
+    b.asm.li(T4, 6364136223846793005_i64);
+    b.asm.li(T5, 1442695040888963407_i64);
+    b.asm.fli(FS0, 1.0 / 2147483648.0);
+    b.asm.fli(FS1, 1.0);
+    b.asm.label(&lp);
+    // u = next31(), v = next31()
+    b.asm.mul(S1, S1, T4);
+    b.asm.add(S1, S1, T5);
+    b.asm.srli(T0, S1, 33);
+    b.asm.mul(S1, S1, T4);
+    b.asm.add(S1, S1, T5);
+    b.asm.srli(T1, S1, 33);
+    b.asm.itof(FT0, T0);
+    b.asm.itof(FT1, T1);
+    b.asm.fmul(FT0, FT0, FS0);
+    b.asm.fmul(FT1, FT1, FS0);
+    b.asm.fmul(FT0, FT0, FT0);
+    b.asm.fmul(FT1, FT1, FT1);
+    b.asm.fadd(FT0, FT0, FT1);
+    b.asm.fle(T2, FT0, FS1);
+    b.asm.beq(T2, ZERO, &skip);
+    b.asm.addi(S2, S2, 1);
+    b.asm.label(&skip);
+    b.asm.addi(S0, S0, -1);
+    b.asm.bne(S0, ZERO, &lp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phaselab_trace::{ClassHistogram, CountingSink, InstClass, TraceSink};
+    use phaselab_vm::Vm;
+
+    fn run(b: Builder, max: u64) -> (ClassHistogram, bool) {
+        let program = b.finish().expect("assembles");
+        let mut hist = ClassHistogram::new();
+        let mut vm = Vm::new(&program);
+        let out = vm.run(&mut hist, max).expect("runs");
+        hist.finish();
+        (hist, out.halted)
+    }
+
+    #[test]
+    fn stream_triad_runs_and_is_fp_heavy() {
+        let mut b = Builder::new(1);
+        stream_triad(&mut b, 64, 3);
+        let (hist, halted) = run(b, 100_000);
+        assert!(halted);
+        assert!(hist.fraction_of(InstClass::FpAdd) > 0.05);
+        assert!(hist.fraction_of(InstClass::MemRead) > 0.1);
+    }
+
+    #[test]
+    fn stream_triad_computes_correct_values() {
+        let mut b = Builder::new(2);
+        // Layout: dst at 0, src1 after, src2 after; recover via data size.
+        stream_triad(&mut b, 4, 1);
+        let program = b.finish().unwrap();
+        let mut vm = Vm::new(&program);
+        vm.run(&mut CountingSink::new(), 10_000).unwrap();
+        // dst = src1 + 3 * src2 for each element.
+        for i in 0..4u64 {
+            let dst = vm.mem_f64(i * 8);
+            let s1 = vm.mem_f64(32 + i * 8);
+            let s2 = vm.mem_f64(64 + i * 8);
+            assert!((dst - (s1 + 3.0 * s2)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dense_mm_is_correct_for_identity() {
+        let mut b = Builder::new(3);
+        dense_mm(&mut b, 4, 1);
+        let program = b.finish().unwrap();
+        let mut vm = Vm::new(&program);
+        vm.run(&mut CountingSink::new(), 100_000).unwrap();
+        // C (at offset 2*dim*dim*8) = A * B computed in Rust.
+        let dim = 4usize;
+        let at = |base: u64, i: usize| -> f64 { vm.mem_f64(base + (i as u64) * 8) };
+        let a0 = 0u64;
+        let b0 = (dim * dim * 8) as u64;
+        let c0 = 2 * (dim * dim * 8) as u64;
+        for i in 0..dim {
+            for j in 0..dim {
+                let mut acc = 0.0;
+                for k in 0..dim {
+                    acc += at(a0, i * dim + k) * at(b0, k * dim + j);
+                }
+                let got = at(c0, i * dim + j);
+                assert!((got - acc).abs() < 1e-9, "C[{i}][{j}] {got} vs {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_preserves_range() {
+        let mut b = Builder::new(4);
+        stencil5(&mut b, 16, 16, 4);
+        let program = b.finish().unwrap();
+        let mut vm = Vm::new(&program);
+        let out = vm.run(&mut CountingSink::new(), 1_000_000).unwrap();
+        assert!(out.halted);
+        // Jacobi averaging keeps interior values inside [0, 1].
+        for i in 0..256u64 {
+            let v = vm.mem_f64(i * 8);
+            assert!((0.0..=1.0).contains(&v), "grid value {v}");
+        }
+    }
+
+    #[test]
+    fn stencil9_preserves_range() {
+        let mut b = Builder::new(104);
+        stencil9(&mut b, 12, 12, 3);
+        let program = b.finish().unwrap();
+        let mut vm = Vm::new(&program);
+        let out = vm.run(&mut CountingSink::new(), 1_000_000).unwrap();
+        assert!(out.halted);
+        for i in 0..144u64 {
+            let v = vm.mem_f64(i * 8);
+            assert!((0.0..=1.0).contains(&v), "grid value {v}");
+        }
+    }
+
+    #[test]
+    fn stencil_flavors_have_distinct_mixes() {
+        let run_hist = |emit: fn(&mut Builder)| {
+            let mut b = Builder::new(105);
+            emit(&mut b);
+            run(b, 1_000_000).0
+        };
+        let five = run_hist(|b| stencil5(b, 20, 20, 3));
+        let nine = run_hist(|b| stencil9(b, 20, 20, 3));
+        let damped = run_hist(|b| stencil5_damped(b, 20, 20, 3));
+        // Nine-point has a higher load share than five-point.
+        assert!(nine.fraction_of(InstClass::MemRead) > five.fraction_of(InstClass::MemRead));
+        // The damped flavor divides; the others never do.
+        assert_eq!(five.count_of(InstClass::FpDiv), 0);
+        assert!(damped.count_of(InstClass::FpDiv) > 0);
+    }
+
+    #[test]
+    fn sparse_mv_runs() {
+        let mut b = Builder::new(5);
+        sparse_mv(&mut b, 32, 8, 2);
+        let (hist, halted) = run(b, 100_000);
+        assert!(halted);
+        assert!(hist.fraction_of(InstClass::MemRead) > 0.2);
+    }
+
+    #[test]
+    fn nbody_uses_sqrt_and_div() {
+        let mut b = Builder::new(6);
+        nbody(&mut b, 16, 2);
+        let (hist, halted) = run(b, 100_000);
+        assert!(halted);
+        assert!(hist.count_of(InstClass::FpOther) >= 16 * 16 * 2); // sqrt
+        assert!(hist.count_of(InstClass::FpDiv) >= 16 * 16 * 2);
+    }
+
+    #[test]
+    fn power_iteration_converges_to_unit_vector() {
+        let mut b = Builder::new(7);
+        power_iteration(&mut b, 8, 10);
+        let program = b.finish().unwrap();
+        let mut vm = Vm::new(&program);
+        vm.run(&mut CountingSink::new(), 1_000_000).unwrap();
+        // x (after A at 8*8 doubles) should have unit norm.
+        let x0 = 8 * 8 * 8u64;
+        let norm: f64 = (0..8u64).map(|i| vm.mem_f64(x0 + i * 8).powi(2)).sum();
+        assert!((norm.sqrt() - 1.0).abs() < 1e-6, "norm {}", norm.sqrt());
+    }
+
+    #[test]
+    fn butterfly_passes_halt() {
+        let mut b = Builder::new(8);
+        butterfly_passes(&mut b, 6, 2);
+        let (hist, halted) = run(b, 200_000);
+        assert!(halted);
+        assert!(hist.fraction_of(InstClass::FpAdd) > 0.05);
+        assert!(hist.fraction_of(InstClass::Shift) > 0.02);
+    }
+
+    #[test]
+    fn montecarlo_acceptance_is_plausible() {
+        let mut b = Builder::new(9);
+        montecarlo(&mut b, 2000);
+        let program = b.finish().unwrap();
+        let mut vm = Vm::new(&program);
+        vm.run(&mut CountingSink::new(), 100_000).unwrap();
+        // S2 counts points inside the quarter circle: ~ pi/4 of samples.
+        let frac = vm.reg(phaselab_vm::regs::S2) as f64 / 2000.0;
+        assert!((frac - std::f64::consts::FRAC_PI_4).abs() < 0.05, "{frac}");
+    }
+}

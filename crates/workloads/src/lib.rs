@@ -1,0 +1,54 @@
+//! Synthetic benchmark suites for `phaselab`: the stand-in for SPEC
+//! CPU2000/CPU2006, BioPerf, BioMetricsWorkload and MediaBench II.
+//!
+//! The ISPASS 2008 study characterizes 77 benchmarks from five suites. The
+//! real binaries (and their reference inputs) cannot be redistributed or
+//! executed here, so this crate provides 77 *synthetic* benchmarks written
+//! in the `phaselab-vm` assembler DSL. Each benchmark is a multi-phase
+//! program composed from a library of ~25 hand-written [`kernels`]
+//! (dynamic-programming string matching, k-mer hashing, stencils, DCT,
+//! motion-estimation SAD, sparse solvers, pointer chasing, table-driven
+//! state machines, …) with benchmark-specific parameters, data sizes and
+//! random seeds.
+//!
+//! The characterization methodology never inspects *what* a benchmark
+//! computes — only the statistical structure of its dynamic instruction
+//! stream. The suites are therefore designed so that the *inter-suite*
+//! relationships reported by the paper emerge from real executed code:
+//!
+//! * the SPEC suites span many behaviors (from streaming floating-point
+//!   stencils to branchy integer search),
+//! * the domain-specific suites are narrow,
+//! * BioPerf's byte-granular dynamic programming and k-mer hashing
+//!   behaviors appear nowhere else (its hallmark uniqueness), except that
+//!   BioPerf `hmmer` and SPECint2006 `hmmer` share kernels — a cluster
+//!   overlap the paper explicitly observes,
+//! * MediaBench II's DCT/SAD/entropy kernels overlap SPECint2006
+//!   `h264ref`, and BioMetricsWorkload `face` overlaps SPECfp2000
+//!   `facerec` — two more overlaps visible in the paper's mixed clusters.
+//!
+//! # Examples
+//!
+//! ```
+//! use phaselab_workloads::{catalog, Scale, Suite};
+//!
+//! let all = catalog();
+//! assert_eq!(all.len(), 77);
+//! let bioperf: Vec<_> = all.iter().filter(|b| b.suite() == Suite::BioPerf).collect();
+//! assert_eq!(bioperf.len(), 10);
+//!
+//! // Build one benchmark's program at test scale and inspect it.
+//! let program = bioperf[0].build(Scale::Tiny, 0);
+//! assert!(program.len() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+pub mod kernels;
+mod registry;
+mod suites;
+
+pub use build::{Builder, Scale};
+pub use registry::{catalog, Benchmark, Suite};

@@ -1,0 +1,227 @@
+//! The benchmark catalog: suites, benchmarks, inputs.
+
+use phaselab_vm::Program;
+
+use crate::build::Scale;
+use crate::suites;
+
+/// The five benchmark suites of the study. The SPEC CPU suites are split
+/// into their integer and floating-point halves, as the paper reports
+/// them, giving seven reporting groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Suite {
+    /// SPEC CPU2000 integer (12 benchmarks).
+    SpecInt2000,
+    /// SPEC CPU2000 floating point (14 benchmarks).
+    SpecFp2000,
+    /// SPEC CPU2006 integer (12 benchmarks).
+    SpecInt2006,
+    /// SPEC CPU2006 floating point (17 benchmarks).
+    SpecFp2006,
+    /// BioPerf bioinformatics suite (10 benchmarks).
+    BioPerf,
+    /// BioMetricsWorkload (5 benchmarks).
+    Bmw,
+    /// MediaBench II (7 benchmarks).
+    MediaBench2,
+}
+
+impl Suite {
+    /// All suites, in the paper's reporting order.
+    pub const ALL: [Suite; 7] = [
+        Suite::BioPerf,
+        Suite::Bmw,
+        Suite::SpecInt2000,
+        Suite::SpecFp2000,
+        Suite::SpecInt2006,
+        Suite::SpecFp2006,
+        Suite::MediaBench2,
+    ];
+
+    /// Full display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::SpecInt2000 => "SPECint2000",
+            Suite::SpecFp2000 => "SPECfp2000",
+            Suite::SpecInt2006 => "SPECint2006",
+            Suite::SpecFp2006 => "SPECfp2006",
+            Suite::BioPerf => "BioPerf",
+            Suite::Bmw => "BioMetricsWorkload",
+            Suite::MediaBench2 => "MediaBench II",
+        }
+    }
+
+    /// Short label used in tables and figures (e.g. `"BMW"`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Suite::SpecInt2000 => "int2000",
+            Suite::SpecFp2000 => "fp2000",
+            Suite::SpecInt2006 => "int2006",
+            Suite::SpecFp2006 => "fp2006",
+            Suite::BioPerf => "BioPerf",
+            Suite::Bmw => "BMW",
+            Suite::MediaBench2 => "MediaBenchII",
+        }
+    }
+
+    /// Returns `true` for the general-purpose (SPEC CPU) suites.
+    pub fn is_general_purpose(self) -> bool {
+        matches!(
+            self,
+            Suite::SpecInt2000 | Suite::SpecFp2000 | Suite::SpecInt2006 | Suite::SpecFp2006
+        )
+    }
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A builder for one benchmark input.
+pub(crate) struct Input {
+    pub(crate) name: &'static str,
+    pub(crate) build: Box<dyn Fn(Scale, u64) -> Program + Send + Sync>,
+}
+
+/// One synthetic benchmark: a name, its suite, and one or more inputs.
+pub struct Benchmark {
+    pub(crate) name: &'static str,
+    pub(crate) suite: Suite,
+    pub(crate) inputs: Vec<Input>,
+}
+
+impl Benchmark {
+    /// The benchmark's name (matching the paper's Table 3 where the
+    /// original has one).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The suite the benchmark belongs to.
+    pub fn suite(&self) -> Suite {
+        self.suite
+    }
+
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Names of the inputs.
+    pub fn input_names(&self) -> Vec<&'static str> {
+        self.inputs.iter().map(|i| i.name).collect()
+    }
+
+    /// Builds the program for the given input at the given scale.
+    ///
+    /// Builds are deterministic: the data RNG is seeded from the benchmark
+    /// and input names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range.
+    pub fn build(&self, scale: Scale, input: usize) -> Program {
+        let inp = &self.inputs[input];
+        let seed = fnv64(self.name) ^ fnv64(inp.name).rotate_left(17);
+        (inp.build)(scale, seed)
+    }
+}
+
+impl std::fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Benchmark")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .field("inputs", &self.input_names())
+            .finish()
+    }
+}
+
+/// FNV-1a hash of a string, used to derive stable per-benchmark seeds.
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The full 77-benchmark catalog, in stable order (suite by suite).
+///
+/// # Examples
+///
+/// ```
+/// let all = phaselab_workloads::catalog();
+/// assert_eq!(all.len(), 77);
+/// ```
+pub fn catalog() -> Vec<Benchmark> {
+    let mut all = Vec::with_capacity(77);
+    all.extend(suites::bioperf::benchmarks());
+    all.extend(suites::bmw::benchmarks());
+    all.extend(suites::specint2000::benchmarks());
+    all.extend(suites::specfp2000::benchmarks());
+    all.extend(suites::specint2006::benchmarks());
+    all.extend(suites::specfp2006::benchmarks());
+    all.extend(suites::mediabench2::benchmarks());
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_77_benchmarks_with_paper_suite_sizes() {
+        let all = catalog();
+        assert_eq!(all.len(), 77);
+        let count = |s: Suite| all.iter().filter(|b| b.suite() == s).count();
+        assert_eq!(count(Suite::SpecInt2000), 12);
+        assert_eq!(count(Suite::SpecFp2000), 14);
+        assert_eq!(count(Suite::SpecInt2006), 12);
+        assert_eq!(count(Suite::SpecFp2006), 17);
+        assert_eq!(count(Suite::BioPerf), 10);
+        assert_eq!(count(Suite::Bmw), 5);
+        assert_eq!(count(Suite::MediaBench2), 7);
+    }
+
+    #[test]
+    fn benchmark_names_are_unique_within_suite() {
+        let all = catalog();
+        let mut keys: Vec<(Suite, &str)> = all.iter().map(|b| (b.suite(), b.name())).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), all.len());
+    }
+
+    #[test]
+    fn every_benchmark_has_at_least_one_input() {
+        for b in catalog() {
+            assert!(b.num_inputs() >= 1, "{} has no inputs", b.name());
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let all = catalog();
+        let p1 = all[0].build(crate::Scale::Tiny, 0);
+        let p2 = all[0].build(crate::Scale::Tiny, 0);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn fnv_distinguishes_names() {
+        assert_ne!(fnv64("gcc"), fnv64("mcf"));
+        assert_ne!(fnv64(""), fnv64("a"));
+    }
+
+    #[test]
+    fn suite_metadata() {
+        assert!(Suite::SpecInt2006.is_general_purpose());
+        assert!(!Suite::BioPerf.is_general_purpose());
+        assert_eq!(Suite::ALL.len(), 7);
+        assert_eq!(Suite::Bmw.short_name(), "BMW");
+    }
+}

@@ -1,0 +1,171 @@
+//! BioPerf: ten bioinformatics benchmarks.
+//!
+//! BioPerf is the paper's uniqueness champion (~65 % of its execution is
+//! observed in no other suite). Its benchmarks therefore lean on the
+//! bio-specific kernels — byte-granular dynamic programming, k-mer
+//! hashing, integer Viterbi and permutation analysis — with only two
+//! deliberate overlaps: `hmmer` shares its Viterbi core with SPECint2006
+//! `hmmer`, and small service phases (copies, searches) resemble
+//! general-purpose code.
+
+use crate::kernels::{bio, control, memory};
+use crate::registry::{Benchmark, Suite};
+
+use super::{bench, input, program};
+
+/// The BioPerf benchmarks.
+pub(crate) fn benchmarks() -> Vec<Benchmark> {
+    let s = Suite::BioPerf;
+    vec![
+        bench(
+            "blast",
+            s,
+            vec![input("swissprot", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Database load, then k-mer seeding and banded
+                    // extension around hits. The copy phase is ordinary
+                    // streaming code shared with the rest of the world;
+                    // the DP phases are BioPerf's unique behavior.
+                    memory::mem_copy(b, 2500, f);
+                    bio::kmer_count(b, 4000, 11, 16, f);
+                    bio::smith_waterman(b, 40, 80, f);
+                    bio::kmer_count(b, 2500, 11, 16, f);
+                    bio::smith_waterman(b, 24, 64, f);
+                })
+            })],
+        ),
+        bench(
+            "ce",
+            s,
+            vec![input("1hba", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Structure alignment: distance-matrix DP plus
+                    // combinatorial extension over fragment pairs.
+                    bio::smith_waterman(b, 48, 64, f);
+                    bio::permutation_ops(b, 192, 12 * f);
+                    bio::smith_waterman(b, 32, 48, f);
+                })
+            })],
+        ),
+        bench(
+            "clustalw",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Pairwise alignment, then profile alignment sweeps.
+                    bio::smith_waterman(b, 36, 72, f);
+                    bio::smith_waterman(b, 64, 48, f);
+                    bio::viterbi_int(b, 10, 24, f);
+                    control::call_tree(b, 12, f);
+                })
+            })],
+        ),
+        bench(
+            "fasta",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Hashed k-tuple lookup dominates; the paper finds
+                    // fasta's phases largely benchmark-specific.
+                    bio::kmer_count(b, 5000, 6, 12, 2 * f);
+                    bio::smith_waterman(b, 20, 100, f);
+                    control::binary_search(b, 2048, 150 * f);
+                })
+            })],
+        ),
+        bench(
+            "glimmer",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Interpolated Markov model scoring: k-mer context
+                    // statistics feeding integer Viterbi decoding.
+                    bio::kmer_count(b, 3000, 8, 14, f);
+                    bio::viterbi_int(b, 12, 28, f);
+                    bio::kmer_count(b, 2000, 10, 14, f);
+                })
+            })],
+        ),
+        bench(
+            "grappa",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Breakpoint-distance analysis on gene orders: the
+                    // paper singles out grappa's multiply-rich,
+                    // small-stride unique behavior.
+                    bio::permutation_ops(b, 320, 30 * f);
+                    bio::permutation_ops(b, 96, 60 * f);
+                })
+            })],
+        ),
+        bench(
+            "hmmer",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Profile-HMM search. The Viterbi core is shared with
+                    // SPECint2006 hmmer (the paper's mixed cluster), but
+                    // the BioPerf version spends most of its time in a
+                    // differently-shaped model (more states, longer
+                    // sequence) plus a postprocessing alignment the SPEC
+                    // version lacks.
+                    bio::viterbi_int(b, 16, 40, f);
+                    bio::smith_waterman(b, 28, 56, f);
+                    bio::viterbi_int(b, 12, 30, f);
+                })
+            })],
+        ),
+        bench(
+            "phylip",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Phylogeny: tree-topology permutations and
+                    // likelihood-ish integer DP over sites.
+                    bio::permutation_ops(b, 256, 18 * f);
+                    bio::viterbi_int(b, 8, 60, f);
+                    bio::permutation_ops(b, 128, 20 * f);
+                })
+            })],
+        ),
+        bench(
+            "predator",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Protein structure prediction: heavy k-mer/context
+                    // table work over a large table, with alignment.
+                    bio::kmer_count(b, 3500, 12, 17, f);
+                    bio::smith_waterman(b, 32, 64, f);
+                    memory::mem_copy(b, 1500, f);
+                })
+            })],
+        ),
+        bench(
+            "tcoffee",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Consistency-based multiple alignment: pairwise DP
+                    // plus a library-merge phase with pointer/recursion
+                    // structure.
+                    bio::smith_waterman(b, 44, 66, f);
+                    control::call_tree(b, 13, 2 * f);
+                    bio::smith_waterman(b, 30, 60, f);
+                    memory::mem_copy(b, 2048, f);
+                })
+            })],
+        ),
+    ]
+}

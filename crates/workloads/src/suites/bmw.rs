@@ -1,0 +1,90 @@
+//! BioMetricsWorkload (BMW): five biometric recognition benchmarks.
+//!
+//! Signal-processing front-ends (filters, transforms) feeding
+//! linear-algebra matchers — a narrow slice of the workload space, per
+//! the paper, with a deliberate overlap between `face` and SPECfp2000
+//! `facerec` (both eigen-projection codes) and between `speak`/`hand` and
+//! SPECfp2006 `sphinx3` (GMM-style scoring).
+
+use crate::kernels::{control, media, memory, numeric};
+use crate::registry::{Benchmark, Suite};
+
+use super::{bench, input, program};
+
+/// The BMW benchmarks (s100-style single input each).
+pub(crate) fn benchmarks() -> Vec<Benchmark> {
+    let s = Suite::Bmw;
+    vec![
+        bench(
+            "face",
+            s,
+            vec![input("s100", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Eigenface projection: the same power-iteration
+                    // shapes as SPECfp2000 facerec (56- and 40-wide),
+                    // producing the paper's face/facerec mixed cluster.
+                    numeric::power_iteration(b, 56, 2 * f);
+                    numeric::dense_mm(b, 16, f);
+                    numeric::power_iteration(b, 40, 2 * f);
+                })
+            })],
+        ),
+        bench(
+            "finger",
+            s,
+            vec![input("s100", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Ridge enhancement (facerec's filter shape) then
+                    // minutiae matching over a CIF-sized map (MediaBench
+                    // II's SAD shape).
+                    media::fir_filter(b, 256, 16, f);
+                    media::sad_search(b, 176, 144, f, 2);
+                    control::binary_search(b, 2048, 300 * f);
+                })
+            })],
+        ),
+        bench(
+            "gait",
+            s,
+            vec![input("s100", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Silhouette filtering and cadence spectra.
+                    media::fir_filter(b, 280, 12, f);
+                    media::dct8x8(b, 3, f);
+                    memory::mem_copy(b, 3000, f);
+                })
+            })],
+        ),
+        bench(
+            "hand",
+            s,
+            vec![input("s100", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Geometry features + small projection matcher; the
+                    // filterbank matches sphinx3's front-end (the paper's
+                    // hand/voice/sphinx suite-crossing cluster).
+                    media::fir_filter(b, 300, 20, f);
+                    numeric::power_iteration(b, 32, 2 * f);
+                })
+            })],
+        ),
+        bench(
+            "speak",
+            s,
+            vec![input("s100", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // MFCC-style filterbank then GMM scoring — exactly
+                    // sphinx3's two kernels (the cross-suite overlap the
+                    // paper observes for sphinx/hand/voice).
+                    media::fir_filter(b, 300, 20, f);
+                    numeric::dense_mm(b, 14, 2 * f);
+                })
+            })],
+        ),
+    ]
+}

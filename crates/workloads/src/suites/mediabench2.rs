@@ -1,0 +1,133 @@
+//! MediaBench II: seven video/image codec benchmarks.
+//!
+//! A deliberately narrow suite — every benchmark is some mix of motion
+//! estimation (SAD), block transforms (DCT/wavelet-ish filters), entropy
+//! coding and pixel conversion, which is exactly why the paper finds
+//! MediaBench II covering few clusters and offering little unique
+//! behavior. The h264 benchmark shares kernels with SPECint2006 h264ref.
+
+use crate::kernels::{control, media};
+use crate::registry::{Benchmark, Suite};
+
+use super::{bench, input, program};
+
+/// The MediaBench II benchmarks.
+pub(crate) fn benchmarks() -> Vec<Benchmark> {
+    let s = Suite::MediaBench2;
+    vec![
+        bench(
+            "h263",
+            s,
+            vec![input("enc", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    media::sad_search(b, 176, 144, f, 2);
+                    media::dct8x8(b, 4, f);
+                    media::huffman_pack(b, 1800, f);
+                })
+            })],
+        ),
+        bench(
+            "h264",
+            s,
+            vec![input("enc", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Same kernels as SPECint2006 h264ref (the paper's
+                    // h264ref/h264 mixed cluster), with encoder-grade
+                    // search range.
+                    media::sad_search(b, 176, 144, f, 3);
+                    media::dct8x8(b, 4, f);
+                    media::huffman_pack(b, 2200, f);
+                })
+            })],
+        ),
+        bench(
+            "jpeg2000",
+            s,
+            vec![input("enc", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Wavelet lifting (filter passes, the same shape as
+                    // BMW gait's silhouette filter) + arithmetic-ish
+                    // entropy packing.
+                    media::fir_filter(b, 280, 12, 2 * f);
+                    media::huffman_pack(b, 2400, f);
+                })
+            })],
+        ),
+        bench(
+            "jpeg",
+            s,
+            vec![
+                input("enc", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        media::color_convert(b, 1200, f);
+                        media::dct8x8(b, 5, f);
+                        media::huffman_pack(b, 1600, f);
+                    })
+                }),
+                input("dec", |scale, seed| {
+                    let f = scale.factor();
+                    // Decoding inverts the pipeline: entropy decode
+                    // (table-driven state machine), inverse transform,
+                    // pixel conversion.
+                    program(seed, |b| {
+                        control::state_machine(b, 1400, 16, f);
+                        media::dct8x8(b, 4, f);
+                        media::color_convert(b, 1500, f);
+                    })
+                }),
+            ],
+        ),
+        bench(
+            "mpeg2",
+            s,
+            vec![
+                input("enc", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        media::sad_search(b, 176, 144, f, 2);
+                        media::dct8x8(b, 4, f);
+                        media::color_convert(b, 900, f);
+                    })
+                }),
+                input("dec", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        control::state_machine(b, 1100, 16, f);
+                        media::dct8x8(b, 3, f);
+                        media::color_convert(b, 1200, f);
+                    })
+                }),
+            ],
+        ),
+        bench(
+            "mpeg4",
+            s,
+            vec![input("enc", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    media::sad_search(b, 176, 144, f, 3);
+                    media::dct8x8(b, 3, f);
+                    media::huffman_pack(b, 1400, f);
+                    media::color_convert(b, 600, f);
+                })
+            })],
+        ),
+        bench(
+            "mpeg4-mmx",
+            s,
+            vec![input("enc", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // The hand-vectorized variant spends nearly all of
+                    // its time in wide SAD.
+                    media::sad_search(b, 176, 144, 2 * f, 3);
+                    media::color_convert(b, 700, f);
+                })
+            })],
+        ),
+    ]
+}

@@ -1,0 +1,108 @@
+//! The seven suite modules and shared construction helpers.
+//!
+//! Each module defines its suite's benchmarks by composing kernels into
+//! multi-phase programs. Phase iteration counts are sized so one benchmark
+//! executes roughly 100–250 K instructions at [`Scale::Tiny`] and 64× that
+//! at [`Scale::Full`], giving each phase tens of characterization
+//! intervals in a full study.
+
+use phaselab_vm::Program;
+
+use crate::build::{Builder, Scale};
+use crate::registry::{Benchmark, Input, Suite};
+
+pub(crate) mod bioperf;
+pub(crate) mod bmw;
+pub(crate) mod mediabench2;
+pub(crate) mod specfp2000;
+pub(crate) mod specfp2006;
+pub(crate) mod specint2000;
+pub(crate) mod specint2006;
+
+/// Creates a benchmark from its parts.
+pub(crate) fn bench(name: &'static str, suite: Suite, inputs: Vec<Input>) -> Benchmark {
+    Benchmark {
+        name,
+        suite,
+        inputs,
+    }
+}
+
+/// Creates an input from a builder closure. The closure receives the
+/// scale and a stable seed derived from the benchmark and input names.
+pub(crate) fn input<F>(name: &'static str, f: F) -> Input
+where
+    F: Fn(Scale, u64) -> Program + Send + Sync + 'static,
+{
+    Input {
+        name,
+        build: Box::new(f),
+    }
+}
+
+/// Builds a program from a closure that emits kernels into a fresh
+/// [`Builder`]; appends the final `halt` and assembles.
+///
+/// # Panics
+///
+/// Panics if the emitted program fails to assemble — benchmark definitions
+/// are static, so this is a programming error caught by the suite tests.
+pub(crate) fn program(seed: u64, emit: impl FnOnce(&mut Builder)) -> Program {
+    let mut b = Builder::new(seed);
+    emit(&mut b);
+    b.finish().expect("suite benchmark assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{catalog, Scale};
+    use phaselab_trace::CountingSink;
+    use phaselab_vm::Vm;
+
+    /// Every benchmark input must assemble, run to completion at Tiny
+    /// scale within a generous budget, and execute a non-trivial number
+    /// of instructions.
+    #[test]
+    fn every_benchmark_runs_to_completion_at_tiny_scale() {
+        for bench in catalog() {
+            for input in 0..bench.num_inputs() {
+                let program = bench.build(Scale::Tiny, input);
+                let mut vm = Vm::new(&program);
+                let mut sink = CountingSink::new();
+                let out = vm
+                    .run(&mut sink, 30_000_000)
+                    .unwrap_or_else(|e| panic!("{}[{input}] faulted: {e}", bench.name()));
+                assert!(
+                    out.halted,
+                    "{}[{input}] did not halt within budget",
+                    bench.name()
+                );
+                assert!(
+                    out.instructions > 20_000,
+                    "{}[{input}] too short: {}",
+                    bench.name(),
+                    out.instructions
+                );
+            }
+        }
+    }
+
+    /// Scaling up must increase execution length substantially.
+    #[test]
+    fn small_scale_runs_longer_than_tiny() {
+        let all = catalog();
+        let b = &all[0];
+        let run_len = |scale| {
+            let program = b.build(scale, 0);
+            let mut vm = Vm::new(&program);
+            let mut sink = CountingSink::new();
+            vm.run(&mut sink, 100_000_000).unwrap().instructions
+        };
+        let tiny = run_len(Scale::Tiny);
+        let small = run_len(Scale::Small);
+        assert!(
+            small > tiny * 4,
+            "scaling failed: tiny={tiny} small={small}"
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! SPEC CPU2000 floating point: fourteen benchmarks.
+//!
+//! Structured grids, spectral methods, particle codes and dense linear
+//! algebra — plus mesa's pixel pipeline, which keeps one foot in the
+//! media world. Grid and matrix sizes are deliberately spread (tiny
+//! high-reuse grids up to wide streaming ones) so the suite exhibits the
+//! diversity the paper measures for SPECfp; the 2006 floating-point
+//! suite uses different stencil flavors and size regimes, keeping
+//! cross-generation overlap limited.
+
+use crate::kernels::{control, media, numeric};
+use crate::registry::{Benchmark, Suite};
+
+use super::{bench, input, program};
+
+/// The SPECfp2000 benchmarks.
+pub(crate) fn benchmarks() -> Vec<Benchmark> {
+    let s = Suite::SpecFp2000;
+    vec![
+        bench(
+            "ammp",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    numeric::nbody(b, 52, f);
+                    numeric::sparse_mv(b, 448, 9, f);
+                })
+            })],
+        ),
+        bench(
+            "applu",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Small, reuse-heavy SSOR grid plus dense pivots.
+                    numeric::stencil5(b, 24, 24, 12 * f);
+                    numeric::dense_mm(b, 14, f);
+                })
+            })],
+        ),
+        bench(
+            "apsi",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Pollutant transport: wide shallow grid + spectral
+                    // step; the paper sees apsi spread over many phases.
+                    numeric::stencil5(b, 72, 24, 2 * f);
+                    numeric::butterfly_passes(b, 9, f);
+                    numeric::stream_triad(b, 1000, 2 * f);
+                })
+            })],
+        ),
+        bench(
+            "art",
+            s,
+            vec![
+                input("ref-110", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        // Adaptive resonance network: repeated mat-vec
+                        // scans over a big weight set.
+                        numeric::dense_mm(b, 17, f);
+                        numeric::stream_triad(b, 2600, 2 * f);
+                    })
+                }),
+                input("ref-470", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        numeric::dense_mm(b, 17, 2 * f);
+                        numeric::stream_triad(b, 1800, 2 * f);
+                    })
+                }),
+            ],
+        ),
+        bench(
+            "equake",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    numeric::sparse_mv(b, 640, 7, f);
+                    numeric::stencil5(b, 36, 36, 2 * f);
+                })
+            })],
+        ),
+        bench(
+            "facerec",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Eigenface projections — the behavior BMW `face`
+                    // shares (the paper's cross-suite cluster).
+                    numeric::power_iteration(b, 56, 2 * f);
+                    media::fir_filter(b, 256, 16, f);
+                    numeric::power_iteration(b, 40, 2 * f);
+                })
+            })],
+        ),
+        bench(
+            "fma3d",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    numeric::stencil5(b, 52, 52, 2 * f);
+                    numeric::sparse_mv(b, 512, 6, f);
+                    numeric::stream_triad(b, 800, f);
+                })
+            })],
+        ),
+        bench(
+            "galgel",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    numeric::dense_mm(b, 18, f);
+                    numeric::power_iteration(b, 44, 2 * f);
+                })
+            })],
+        ),
+        bench(
+            "lucas",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Lucas-Lehmer primality: FFT-based squaring.
+                    numeric::butterfly_passes(b, 10, f);
+                    numeric::stream_triad(b, 1200, f);
+                    numeric::butterfly_passes(b, 9, f);
+                })
+            })],
+        ),
+        bench(
+            "mesa",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // 3-D rendering: transform (small dense ops) plus a
+                    // pixel pipeline of integer conversions.
+                    numeric::dense_mm(b, 12, f);
+                    media::color_convert(b, 1200, f);
+                })
+            })],
+        ),
+        bench(
+            "mgrid",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Multigrid: sweeps over several grid resolutions.
+                    numeric::stencil5(b, 64, 64, f);
+                    numeric::stencil5(b, 32, 32, 4 * f);
+                    numeric::stencil5(b, 16, 16, 16 * f);
+                })
+            })],
+        ),
+        bench(
+            "sixtrack",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Particle tracking around an accelerator lattice.
+                    numeric::montecarlo(b, 1600 * f);
+                    numeric::nbody(b, 40, f);
+                })
+            })],
+        ),
+        bench(
+            "swim",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Shallow water: wide streaming grid.
+                    numeric::stencil5(b, 96, 40, 2 * f);
+                    numeric::stream_triad(b, 2000, 2 * f);
+                })
+            })],
+        ),
+        bench(
+            "wupwise",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Lattice QCD: small dense blocks + spectral steps.
+                    numeric::dense_mm(b, 16, f);
+                    numeric::butterfly_passes(b, 9, f);
+                    control::binary_search(b, 1024, 120 * f);
+                })
+            })],
+        ),
+    ]
+}

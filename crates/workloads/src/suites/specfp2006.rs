@@ -1,0 +1,243 @@
+//! SPEC CPU2006 floating point: seventeen benchmarks.
+//!
+//! The largest and (per the paper) most behavior-diverse suite. Where
+//! SPECfp2000 leans on plain five-point Jacobi sweeps, the 2006 codes use
+//! higher-order (nine-point) and implicit (damped, divide-laden) stencil
+//! flavors, bigger dense blocks and deeper spectral transforms — keeping
+//! the two floating-point generations behaviorally distinct, as the
+//! paper's uniqueness numbers require.
+
+use crate::kernels::{control, media, numeric};
+use crate::registry::{Benchmark, Suite};
+
+use super::{bench, input, program};
+
+/// The SPECfp2006 benchmarks.
+pub(crate) fn benchmarks() -> Vec<Benchmark> {
+    let s = Suite::SpecFp2006;
+    vec![
+        bench(
+            "bwaves",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Blast waves: wide higher-order grid; one dominant
+                    // phase at ~78% plus a secondary one in the paper.
+                    numeric::stencil9(b, 80, 40, 2 * f);
+                    numeric::stream_triad(b, 2400, f);
+                })
+            })],
+        ),
+        bench(
+            "cactusADM",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Numerical relativity: one monolithic implicit-update
+                    // phase (99.5% of cactusADM sits in a single cluster
+                    // in the paper).
+                    numeric::stencil5_damped(b, 60, 60, 4 * f);
+                })
+            })],
+        ),
+        bench(
+            "calculix",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // FEM: assembly (sparse) + dense element matrices +
+                    // solver sweeps; three prominent phases in the paper.
+                    numeric::sparse_mv(b, 576, 7, f);
+                    numeric::dense_mm(b, 22, f);
+                    numeric::stencil9(b, 32, 32, 2 * f);
+                })
+            })],
+        ),
+        bench(
+            "dealII",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Adaptive FEM: sparse algebra + lots of map/search
+                    // bookkeeping.
+                    numeric::sparse_mv(b, 512, 12, f);
+                    control::binary_search(b, 4096, 250 * f);
+                    numeric::dense_mm(b, 20, f);
+                })
+            })],
+        ),
+        bench(
+            "gamess",
+            s,
+            vec![input("cytosine", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Quantum chemistry: integral evaluation (dense) +
+                    // SCF iterations.
+                    numeric::dense_mm(b, 24, f);
+                    numeric::nbody(b, 44, f);
+                })
+            })],
+        ),
+        bench(
+            "GemsFDTD",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    numeric::stencil9(b, 52, 52, 2 * f);
+                    numeric::butterfly_passes(b, 10, f);
+                })
+            })],
+        ),
+        bench(
+            "gromacs",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    numeric::nbody(b, 56, f);
+                    numeric::stream_triad(b, 1400, f);
+                })
+            })],
+        ),
+        bench(
+            "lbm",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Lattice Boltzmann: one pure streaming phase (99.9%
+                    // in a single cluster in the paper).
+                    numeric::stream_triad(b, 3200, 2 * f);
+                    numeric::stencil5(b, 48, 48, f);
+                })
+            })],
+        ),
+        bench(
+            "leslie3d",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Turbulence: nearly all time in tall higher-order
+                    // grid sweeps (99.99% suite-specific cluster with
+                    // GemsFDTD/zeusmp in the paper).
+                    numeric::stencil9(b, 44, 88, 3 * f);
+                })
+            })],
+        ),
+        bench(
+            "milc",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Lattice QCD: su3 block algebra + Monte Carlo
+                    // acceptance.
+                    numeric::montecarlo(b, 1400 * f);
+                    numeric::sparse_mv(b, 512, 6, f);
+                    numeric::stream_triad(b, 1000, f);
+                })
+            })],
+        ),
+        bench(
+            "namd",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Molecular dynamics: the dominant pairlist force
+                    // loop (68.7% one cluster in the paper).
+                    numeric::nbody(b, 64, f);
+                    numeric::stream_triad(b, 900, f);
+                })
+            })],
+        ),
+        bench(
+            "povray",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Ray tracing: fp intersection math + scene-tree
+                    // search; branchy for an fp code.
+                    numeric::montecarlo(b, 1300 * f);
+                    numeric::nbody(b, 36, f);
+                    control::binary_search(b, 2048, 220 * f);
+                })
+            })],
+        ),
+        bench(
+            "soplex",
+            s,
+            vec![input("pds-50", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Simplex LP: sparse pricing + ratio tests.
+                    numeric::sparse_mv(b, 768, 8, f);
+                    control::binary_search(b, 4096, 200 * f);
+                    numeric::sparse_mv(b, 384, 12, f);
+                })
+            })],
+        ),
+        bench(
+            "sphinx3",
+            s,
+            vec![input("an4", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Speech recognition: GMM scoring (dense mat-vec) +
+                    // filterbank front-end; shares its shape with BMW
+                    // speak/hand (the paper's cross-suite cluster).
+                    numeric::dense_mm(b, 14, 2 * f);
+                    media::fir_filter(b, 300, 20, f);
+                })
+            })],
+        ),
+        bench(
+            "tonto",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    numeric::dense_mm(b, 21, f);
+                    numeric::butterfly_passes(b, 10, f);
+                    numeric::nbody(b, 32, f);
+                })
+            })],
+        ),
+        bench(
+            "wrf",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Weather: many physics phases over different grids —
+                    // wrf appears in more clusters than any other fp2006
+                    // benchmark in the paper.
+                    numeric::stencil5(b, 44, 44, f);
+                    numeric::stencil9(b, 28, 28, 2 * f);
+                    numeric::butterfly_passes(b, 8, f);
+                    numeric::stream_triad(b, 1100, f);
+                    numeric::montecarlo(b, 500 * f);
+                })
+            })],
+        ),
+        bench(
+            "zeusmp",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    numeric::stencil5_damped(b, 50, 50, 2 * f);
+                    numeric::stream_triad(b, 800, f);
+                })
+            })],
+        ),
+    ]
+}

@@ -1,0 +1,226 @@
+//! SPEC CPU2000 integer: twelve benchmarks.
+//!
+//! Branchy, pointer- and table-driven integer codes spanning compression,
+//! compilation, interpretation, placement and combinatorial search.
+
+use crate::kernels::{bio, control, media, memory, numeric};
+use crate::registry::{Benchmark, Suite};
+
+use super::{bench, input, program};
+
+/// The SPECint2000 benchmarks.
+pub(crate) fn benchmarks() -> Vec<Benchmark> {
+    let s = Suite::SpecInt2000;
+    vec![
+        bench(
+            "bzip2",
+            s,
+            vec![
+                input("source", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        memory::mem_copy(b, 4096, f);
+                        control::shellsort(b, 1024, f);
+                        media::huffman_pack(b, 2800, f);
+                    })
+                }),
+                input("graphic", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        memory::mem_copy(b, 6000, f);
+                        control::shellsort(b, 1536, f);
+                        media::huffman_pack(b, 1800, f);
+                    })
+                }),
+            ],
+        ),
+        bench(
+            "crafty",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Game-tree search: recursion, move tables,
+                    // evaluation bit-twiddling.
+                    control::call_tree(b, 15, f);
+                    control::binary_search(b, 4096, 300 * f);
+                    media::huffman_pack(b, 1200, f); // bitboard shifts
+                })
+            })],
+        ),
+        bench(
+            "eon",
+            s,
+            vec![
+                input("cook", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        // Probabilistic ray tracing: fp sampling despite
+                        // the integer suite, plus geometry search.
+                        numeric::montecarlo(b, 1800 * f);
+                        numeric::nbody(b, 32, f);
+                        control::binary_search(b, 1024, 200 * f);
+                    })
+                }),
+                input("rushmeier", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        numeric::montecarlo(b, 1200 * f);
+                        numeric::nbody(b, 40, f);
+                        control::binary_search(b, 2048, 150 * f);
+                    })
+                }),
+            ],
+        ),
+        bench(
+            "gap",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Computational group theory: big-integer-ish tables
+                    // and permutation arithmetic.
+                    control::hash_table(b, 1500, 10, f);
+                    bio::permutation_ops(b, 200, 14 * f);
+                })
+            })],
+        ),
+        bench(
+            "gcc",
+            s,
+            vec![
+                input("166", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        control::state_machine(b, 2500, 24, f);
+                        control::hash_table(b, 1500, 11, f);
+                        memory::graph_relax(b, 768, 4, f);
+                        memory::mem_copy(b, 1500, f);
+                    })
+                }),
+                input("200", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        control::state_machine(b, 1800, 32, f);
+                        control::hash_table(b, 2200, 12, f);
+                        memory::graph_relax(b, 512, 6, f);
+                    })
+                }),
+            ],
+        ),
+        bench(
+            "gzip",
+            s,
+            vec![
+                input("source", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        control::hash_table(b, 1400, 10, f);
+                        media::huffman_pack(b, 2600, f);
+                        memory::mem_copy(b, 2000, f);
+                    })
+                }),
+                input("log", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        control::hash_table(b, 900, 9, f);
+                        media::huffman_pack(b, 3600, f);
+                    })
+                }),
+            ],
+        ),
+        bench(
+            "mcf",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Network simplex: pointer chasing over a big graph.
+                    memory::pointer_chase(b, 16384, 12_000 * f);
+                    memory::graph_relax(b, 1024, 4, f);
+                })
+            })],
+        ),
+        bench(
+            "parser",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    control::state_machine(b, 2200, 20, f);
+                    control::binary_search(b, 2048, 250 * f);
+                    control::hash_table(b, 900, 9, f);
+                })
+            })],
+        ),
+        bench(
+            "perlbmk",
+            s,
+            vec![
+                input("diffmail", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        control::state_machine(b, 2600, 28, f);
+                        control::hash_table(b, 1100, 10, f);
+                        control::call_tree(b, 13, f);
+                    })
+                }),
+                input("splitmail", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        control::state_machine(b, 3400, 28, f);
+                        control::hash_table(b, 700, 9, f);
+                    })
+                }),
+            ],
+        ),
+        bench(
+            "twolf",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Placement/routing: simulated annealing moves.
+                    numeric::montecarlo(b, 1500 * f);
+                    control::shellsort(b, 768, f);
+                    memory::graph_relax(b, 640, 4, f);
+                })
+            })],
+        ),
+        bench(
+            "vortex",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // OO database: index lookups and record moves.
+                    control::hash_table(b, 1600, 11, f);
+                    control::binary_search(b, 8192, 280 * f);
+                    memory::mem_copy(b, 2500, f);
+                })
+            })],
+        ),
+        bench(
+            "vpr",
+            s,
+            vec![
+                input("place", |scale, seed| {
+                    let f = scale.factor();
+                    // Placement: annealing moves dominate.
+                    program(seed, |b| {
+                        numeric::montecarlo(b, 2200 * f);
+                        control::shellsort(b, 640, f);
+                    })
+                }),
+                input("route", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        memory::graph_relax(b, 1024, 4, f);
+                        numeric::montecarlo(b, 1200 * f);
+                        control::binary_search(b, 2048, 200 * f);
+                    })
+                }),
+            ],
+        ),
+    ]
+}

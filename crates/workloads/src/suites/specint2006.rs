@@ -1,0 +1,260 @@
+//! SPEC CPU2006 integer: twelve benchmarks.
+//!
+//! The 2006 integer suite widens its predecessor's behavior range:
+//! deeper pointer chasing (mcf, omnetpp, xalancbmk), video encoding
+//! (h264ref — deliberately sharing kernels with MediaBench II), profile
+//! HMMs (hmmer — sharing its core with BioPerf), and quantum simulation
+//! streaming (libquantum).
+
+use crate::kernels::{bio, control, media, memory};
+use crate::registry::{Benchmark, Suite};
+
+use super::{bench, input, program};
+
+/// The SPECint2006 benchmarks.
+pub(crate) fn benchmarks() -> Vec<Benchmark> {
+    let s = Suite::SpecInt2006;
+    vec![
+        bench(
+            "astar",
+            s,
+            vec![
+                input("BigLakes", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        // Pathfinding: open-list search + grid relaxation.
+                        // The paper splits astar across two prominent
+                        // phases with very different branch
+                        // predictability.
+                        memory::graph_relax(b, 1024, 4, f);
+                        control::binary_search(b, 8192, 350 * f);
+                        memory::pointer_chase(b, 8192, 8_000 * f);
+                    })
+                }),
+                input("rivers", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        memory::graph_relax(b, 1536, 3, f);
+                        control::binary_search(b, 4096, 300 * f);
+                        memory::pointer_chase(b, 12288, 6_000 * f);
+                    })
+                }),
+            ],
+        ),
+        bench(
+            "bzip2",
+            s,
+            vec![
+                input("chicken", |scale, seed| {
+                    let f = scale.factor();
+                    // Same program as SPECint2000 bzip2, newer inputs:
+                    // the kernels and block sizes match so the two
+                    // generations co-cluster, as in the paper.
+                    program(seed, |b| {
+                        memory::mem_copy(b, 4500, f);
+                        control::shellsort(b, 1024, f);
+                        media::huffman_pack(b, 2800, f);
+                    })
+                }),
+                input("liberty", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        memory::mem_copy(b, 6000, f);
+                        control::shellsort(b, 1536, f);
+                        media::huffman_pack(b, 1800, f);
+                    })
+                }),
+            ],
+        ),
+        bench(
+            "gcc",
+            s,
+            vec![
+                input("166", |scale, seed| {
+                    let f = scale.factor();
+                    // The 166 input matches SPECint2000 gcc's shape; the
+                    // s04 input exercises the larger 2006 code base.
+                    program(seed, |b| {
+                        control::state_machine(b, 2500, 24, f);
+                        control::hash_table(b, 1500, 11, f);
+                        memory::graph_relax(b, 768, 4, f);
+                        memory::mem_copy(b, 1200, f);
+                    })
+                }),
+                input("s04", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        control::state_machine(b, 2000, 48, f);
+                        control::hash_table(b, 2600, 13, f);
+                        memory::graph_relax(b, 640, 8, f);
+                    })
+                }),
+            ],
+        ),
+        bench(
+            "gobmk",
+            s,
+            vec![
+                input("13x13", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        // Go: pattern matching + life-and-death reading.
+                        control::call_tree(b, 14, f);
+                        control::state_machine(b, 2000, 36, f);
+                        control::binary_search(b, 4096, 250 * f);
+                    })
+                }),
+                input("nngs", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        control::call_tree(b, 15, f);
+                        control::state_machine(b, 1400, 36, f);
+                        control::binary_search(b, 4096, 180 * f);
+                    })
+                }),
+            ],
+        ),
+        bench(
+            "h264ref",
+            s,
+            vec![
+                input("foreman", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        // Video encoding: the same SAD/DCT/entropy kernels
+                        // as MediaBench II h264 — the paper's h264ref/h264
+                        // mixed cluster.
+                        media::sad_search(b, 176, 144, f, 3);
+                        media::dct8x8(b, 5, f);
+                        media::huffman_pack(b, 2000, f);
+                    })
+                }),
+                input("sss", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        media::sad_search(b, 176, 144, f, 4);
+                        media::dct8x8(b, 3, f);
+                        media::huffman_pack(b, 2600, f);
+                    })
+                }),
+            ],
+        ),
+        bench(
+            "hmmer",
+            s,
+            vec![
+                input("retro", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        // Profile-HMM search: the Viterbi core shared
+                        // with BioPerf hmmer, but spending nearly all of
+                        // its time there (the paper: 68% of SPEC hmmer
+                        // matches a small slice of the BioPerf version).
+                        bio::viterbi_int(b, 16, 40, 3 * f);
+                        memory::mem_copy(b, 1000, f);
+                    })
+                }),
+                input("nph3", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        bio::viterbi_int(b, 16, 56, 2 * f);
+                        memory::mem_copy(b, 800, f);
+                    })
+                }),
+            ],
+        ),
+        bench(
+            "libquantum",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Quantum register simulation: long perfectly-
+                    // predictable streaming sweeps (two prominent phases
+                    // in the paper) plus Toffoli-gate scatter.
+                    memory::quantum_sweep(b, 12288, 3, 2 * f);
+                    memory::random_update(b, 15, 4000 * f);
+                    memory::quantum_sweep(b, 12288, 9, 2 * f);
+                })
+            })],
+        ),
+        bench(
+            "mcf",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Same solver as SPECint2000 mcf on a same-shape
+                    // network (the paper's mcf/mcf overlap).
+                    memory::pointer_chase(b, 16384, 13_000 * f);
+                    memory::graph_relax(b, 1024, 4, f);
+                })
+            })],
+        ),
+        bench(
+            "omnetpp",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Discrete-event simulation: heap/event-list pointer
+                    // work; the paper shows omnetpp 95% in one cluster.
+                    memory::pointer_chase(b, 12288, 10_000 * f);
+                    control::hash_table(b, 1200, 11, f);
+                    control::call_tree(b, 12, f);
+                })
+            })],
+        ),
+        bench(
+            "perlbench",
+            s,
+            vec![
+                input("checkspam", |scale, seed| {
+                    let f = scale.factor();
+                    // The interpreter core matches perlbmk (SPECint2000);
+                    // only the scripts differ.
+                    program(seed, |b| {
+                        control::state_machine(b, 2600, 28, f);
+                        control::hash_table(b, 1100, 10, f);
+                        control::call_tree(b, 13, f);
+                    })
+                }),
+                input("diffmail", |scale, seed| {
+                    let f = scale.factor();
+                    program(seed, |b| {
+                        control::state_machine(b, 2400, 40, f);
+                        control::hash_table(b, 1000, 10, f);
+                        control::call_tree(b, 14, f);
+                    })
+                }),
+            ],
+        ),
+        bench(
+            "sjeng",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // Chess: deep recursive search with hash probing; the
+                    // paper shows sjeng 99.8% benchmark-specific.
+                    control::call_tree(b, 16, f);
+                    control::hash_table(b, 1600, 12, f);
+                    media::huffman_pack(b, 1400, f); // bitboard shifts
+                })
+            })],
+        ),
+        bench(
+            "xalancbmk",
+            s,
+            vec![input("ref", |scale, seed| {
+                let f = scale.factor();
+                program(seed, |b| {
+                    // XSLT: tree walks + dispatch-heavy template matching.
+                    control::state_machine(b, 2600, 48, f);
+                    memory::pointer_chase(b, 6144, 7_000 * f);
+                    control::hash_table(b, 1100, 11, f);
+                })
+            })],
+        ),
+    ]
+}

@@ -1,0 +1,101 @@
+//! Characterize *your own* workload: write a program in the assembler
+//! DSL, measure its 69 characteristics, and find the bundled benchmark
+//! it behaves most like.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use phaselab::stats::{distance, normalize_columns, Matrix};
+use phaselab::vm::{regs::*, Asm, DataBuilder};
+use phaselab::{catalog, characterize_program, Scale};
+
+/// A hand-written workload: a histogram over random bytes followed by a
+/// prefix-sum — table updates then streaming arithmetic.
+fn build_custom() -> phaselab::Program {
+    let mut data = DataBuilder::new();
+    let input = data.alloc_bytes(40_000);
+    // Pseudo-random input, generated at build time.
+    let bytes: Vec<u8> = (0..40_000u64)
+        .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+        .collect();
+    data.init_bytes(input, &bytes);
+    let hist = data.alloc_u64(256);
+
+    let mut asm = Asm::new();
+    // Phase 1: histogram.
+    asm.li(T0, input as i64);
+    asm.li(T1, 40_000);
+    asm.label("hist");
+    asm.lb(T2, T0, 0);
+    asm.slli(T2, T2, 3);
+    asm.addi(T2, T2, hist as i64);
+    asm.ld(T3, T2, 0);
+    asm.addi(T3, T3, 1);
+    asm.sd(T3, T2, 0);
+    asm.addi(T0, T0, 1);
+    asm.addi(T1, T1, -1);
+    asm.bne(T1, ZERO, "hist");
+    // Phase 2: prefix sum over the histogram, repeated to give the phase
+    // some weight.
+    asm.li(S0, 200);
+    asm.label("rep");
+    asm.li(T0, hist as i64);
+    asm.li(T1, 255);
+    asm.label("scan");
+    asm.ld(T2, T0, 0);
+    asm.ld(T3, T0, 8);
+    asm.add(T3, T3, T2);
+    asm.sd(T3, T0, 8);
+    asm.addi(T0, T0, 8);
+    asm.addi(T1, T1, -1);
+    asm.bne(T1, ZERO, "scan");
+    asm.addi(S0, S0, -1);
+    asm.bne(S0, ZERO, "rep");
+    asm.halt();
+    asm.assemble(data).expect("assembles")
+}
+
+fn main() {
+    let program = build_custom();
+    let (mine, instrs) = characterize_program(&program, 50_000, 100_000_000);
+    println!("custom workload: {instrs} instructions, {} intervals", mine.len());
+
+    // Aggregate the custom workload to one mean vector, then compare
+    // against the mean vector of every bundled benchmark.
+    let mean = |rows: &[phaselab::FeatureVector]| -> Vec<f64> {
+        let mut m = vec![0.0; phaselab::NUM_FEATURES];
+        for fv in rows {
+            for (a, b) in m.iter_mut().zip(fv.as_slice()) {
+                *a += b;
+            }
+        }
+        m.iter_mut().for_each(|v| *v /= rows.len() as f64);
+        m
+    };
+    let my_mean = mean(&mine);
+
+    println!("characterizing the catalog at Tiny scale (77 benchmarks)…");
+    let mut names = Vec::new();
+    let mut rows = vec![my_mean];
+    for bench in catalog() {
+        let p = bench.build(Scale::Tiny, 0);
+        let (ivs, _) = characterize_program(&p, 20_000, 50_000_000);
+        names.push(format!("{} [{}]", bench.name(), bench.suite().short_name()));
+        rows.push(mean(&ivs));
+    }
+
+    // Normalize jointly so distances are comparable, then rank.
+    let matrix = Matrix::from_rows(&rows);
+    let (normed, _) = normalize_columns(&matrix);
+    let mut ranked: Vec<(usize, f64)> = (1..normed.rows())
+        .map(|r| (r - 1, distance(normed.row(0), normed.row(r))))
+        .collect();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+
+    println!("\nnearest bundled benchmarks (normalized 69-D distance):");
+    for (bench, dist) in ranked.iter().take(5) {
+        println!("  {:<26} {:.3}", names[*bench], dist);
+    }
+    println!("\n(histogram + prefix-sum behaves like the table-driven integer codes)");
+}

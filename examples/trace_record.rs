@@ -1,0 +1,64 @@
+//! Record once, analyze many times: serialize a benchmark's dynamic
+//! instruction trace to disk, then replay it into two different analyses
+//! without re-executing the program.
+//!
+//! ```sh
+//! cargo run --release --example trace_record
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use phaselab::mica::{AggregateCharacterizer, IntervalCharacterizer};
+use phaselab::trace::{replay, TraceWriter};
+use phaselab::vm::Vm;
+use phaselab::{catalog, Scale, Suite};
+
+fn main() -> std::io::Result<()> {
+    let all = catalog();
+    let bench = all
+        .iter()
+        .find(|b| b.suite() == Suite::MediaBench2 && b.name() == "jpeg")
+        .expect("jpeg in catalog");
+    let program = bench.build(Scale::Tiny, 0);
+
+    // 1. Execute once, recording the trace.
+    let path = std::env::temp_dir().join("phaselab_jpeg.trace");
+    let mut writer = TraceWriter::new(BufWriter::new(File::create(&path)?));
+    let outcome = Vm::new(&program)
+        .run(&mut writer, u64::MAX)
+        .expect("benchmark runs");
+    writer.into_inner()?;
+    let size = std::fs::metadata(&path)?.len();
+    println!(
+        "recorded {} instructions of {} to {} ({:.1} bytes/instruction)",
+        outcome.instructions,
+        bench.name(),
+        path.display(),
+        size as f64 / outcome.instructions as f64
+    );
+
+    // 2. Replay into an aggregate analysis…
+    let mut agg = AggregateCharacterizer::new();
+    replay(BufReader::new(File::open(&path)?), &mut agg)?;
+    let fv = agg.finish_features();
+    println!(
+        "aggregate: {:.1}% loads, {:.1}% fp multiplies",
+        fv[0] * 100.0,
+        fv[15] * 100.0
+    );
+
+    // 3. …and again into a phase-level analysis, with a different
+    //    interval length each time — no re-execution needed.
+    for interval in [10_000u64, 25_000] {
+        let mut chr = IntervalCharacterizer::new(interval).keep_tail(true);
+        replay(BufReader::new(File::open(&path)?), &mut chr)?;
+        println!(
+            "phase view at {interval}-instruction intervals: {} intervals",
+            chr.features().len()
+        );
+    }
+
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

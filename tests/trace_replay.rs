@@ -1,0 +1,45 @@
+//! Record/replay: a serialized trace must characterize identically to a
+//! live execution — the "run once, analyze many times" workflow.
+
+use phaselab::mica::IntervalCharacterizer;
+use phaselab::trace::{replay, TeeSink, TraceSink, TraceWriter};
+use phaselab::vm::Vm;
+use phaselab::{catalog, Scale};
+
+#[test]
+fn replayed_trace_characterizes_identically() {
+    let bench = &catalog()[2];
+    let program = bench.build(Scale::Tiny, 0);
+
+    // Live: characterize while recording the trace.
+    let mut tee = TeeSink::new(
+        IntervalCharacterizer::new(10_000).keep_tail(true),
+        TraceWriter::new(Vec::new()),
+    );
+    Vm::new(&program).run(&mut tee, u64::MAX).expect("runs");
+    tee.finish();
+    let (mut live, writer) = tee.into_inner();
+    live.finish();
+    let live_features = live.into_features();
+    let bytes = writer.into_inner().expect("trace flushes");
+    assert!(!bytes.is_empty());
+
+    // Replayed: feed the recorded trace into a fresh characterizer.
+    let mut replayed = IntervalCharacterizer::new(10_000).keep_tail(true);
+    let n = replay(&bytes[..], &mut replayed).expect("replay");
+    assert!(n > 10_000, "trace too short: {n}");
+    assert_eq!(replayed.into_features(), live_features);
+}
+
+#[test]
+fn trace_size_is_bounded_per_instruction() {
+    let bench = &catalog()[0];
+    let program = bench.build(Scale::Tiny, 0);
+    let mut writer = TraceWriter::new(Vec::new());
+    let out = Vm::new(&program).run(&mut writer, 200_000).expect("runs");
+    let n = out.instructions;
+    let bytes = writer.into_inner().unwrap();
+    // Worst-case record: 2 + 8 + 3 + 1 + 9 + 8 = 31 bytes.
+    assert!(bytes.len() as u64 <= 4 + 31 * n);
+    assert!(bytes.len() as u64 >= 10 * n, "suspiciously small trace");
+}

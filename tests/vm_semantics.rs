@@ -1,0 +1,168 @@
+//! Exhaustive execution-level checks of the assembler surface: every
+//! emitter form produces the arithmetic the mnemonic promises.
+
+use phaselab::trace::CountingSink;
+use phaselab::vm::{regs::*, Asm, DataBuilder, Vm};
+
+fn run(asm: Asm) -> Vm<'static> {
+    // Leak the program so the VM can borrow it for the test's duration.
+    let program = Box::leak(Box::new(asm.assemble(DataBuilder::new()).unwrap()));
+    let mut vm = Vm::new(program);
+    vm.run(&mut CountingSink::new(), 10_000).unwrap();
+    vm
+}
+
+#[test]
+fn immediate_alu_forms() {
+    let mut a = Asm::new();
+    a.li(T0, 100);
+    a.addi(S0, T0, -30); // 70
+    a.muli(S1, T0, 3); // 300
+    a.andi(S2, T0, 0b1100100 & 0xF0); // 100 & 0x60 = 96... keep simple: 100 & 0xF0
+    a.andi(S2, T0, 0xF0); // 100 & 240 = 96
+    a.ori(S3, T0, 0b11); // 103
+    a.xori(S4, T0, 0xFF); // 100 ^ 255 = 155
+    a.slli(S5, T0, 2); // 400
+    a.srli(S6, T0, 2); // 25
+    a.srai(S7, T0, 1); // 50
+    a.slti(V0, T0, 101); // 1
+    a.remi(V1, T0, 7); // 2
+    a.divi(G0, T0, 7); // 14
+    a.halt();
+    let vm = run(a);
+    assert_eq!(vm.reg(S0), 70);
+    assert_eq!(vm.reg(S1), 300);
+    assert_eq!(vm.reg(S2), 96);
+    assert_eq!(vm.reg(S3), 103);
+    assert_eq!(vm.reg(S4), 155);
+    assert_eq!(vm.reg(S5), 400);
+    assert_eq!(vm.reg(S6), 25);
+    assert_eq!(vm.reg(S7), 50);
+    assert_eq!(vm.reg(V0), 1);
+    assert_eq!(vm.reg(V1), 2);
+    assert_eq!(vm.reg(G0), 14);
+}
+
+#[test]
+fn negative_immediates_shift_arithmetically() {
+    let mut a = Asm::new();
+    a.li(T0, -64);
+    a.srai(S0, T0, 3); // -8
+    a.srli(S1, T0, 60); // logical: high bits of two's complement
+    a.halt();
+    let vm = run(a);
+    assert_eq!(vm.reg(S0) as i64, -8);
+    assert_eq!(vm.reg(S1), (-64i64 as u64) >> 60);
+}
+
+#[test]
+fn three_register_alu_forms() {
+    let mut a = Asm::new();
+    a.li(T0, 36);
+    a.li(T1, 5);
+    a.add(S0, T0, T1);
+    a.sub(S1, T0, T1);
+    a.mul(S2, T0, T1);
+    a.div(S3, T0, T1);
+    a.rem(S4, T0, T1);
+    a.and(S5, T0, T1);
+    a.or(S6, T0, T1);
+    a.xor(S7, T0, T1);
+    a.sll(V0, T1, T1); // 5 << 5 = 160
+    a.srl(V1, T0, T1); // 36 >> 5 = 1
+    a.sra(G0, T0, T1);
+    a.slt(G1, T1, T0); // 1
+    a.sltu(G2, T0, T1); // 0
+    a.halt();
+    let vm = run(a);
+    assert_eq!(vm.reg(S0), 41);
+    assert_eq!(vm.reg(S1), 31);
+    assert_eq!(vm.reg(S2), 180);
+    assert_eq!(vm.reg(S3), 7);
+    assert_eq!(vm.reg(S4), 1);
+    assert_eq!(vm.reg(S5), 36 & 5);
+    assert_eq!(vm.reg(S6), 36 | 5);
+    assert_eq!(vm.reg(S7), 36 ^ 5);
+    assert_eq!(vm.reg(V0), 160);
+    assert_eq!(vm.reg(V1), 1);
+    assert_eq!(vm.reg(G0), 1);
+    assert_eq!(vm.reg(G1), 1);
+    assert_eq!(vm.reg(G2), 0);
+}
+
+#[test]
+fn fp_forms_and_comparisons() {
+    let mut a = Asm::new();
+    a.fli(FT0, 9.0);
+    a.fli(FT1, 2.0);
+    a.fsub(FS0, FT0, FT1); // 7
+    a.fdiv(FS1, FT0, FT1); // 4.5
+    a.fmin(FS2, FT0, FT1); // 2
+    a.fmax(FS3, FT0, FT1); // 9
+    a.fneg(FS4, FT0); // -9
+    a.fabs(FS5, FS4); // 9
+    a.feq(S0, FT0, FT0); // 1
+    a.fle(S1, FT1, FT0); // 1
+    a.flt(S2, FT0, FT1); // 0
+    a.fmv(FS6, FT1);
+    a.halt();
+    let vm = run(a);
+    assert_eq!(vm.freg(FS0), 7.0);
+    assert_eq!(vm.freg(FS1), 4.5);
+    assert_eq!(vm.freg(FS2), 2.0);
+    assert_eq!(vm.freg(FS3), 9.0);
+    assert_eq!(vm.freg(FS4), -9.0);
+    assert_eq!(vm.freg(FS5), 9.0);
+    assert_eq!(vm.reg(S0), 1);
+    assert_eq!(vm.reg(S1), 1);
+    assert_eq!(vm.reg(S2), 0);
+    assert_eq!(vm.freg(FS6), 2.0);
+}
+
+#[test]
+fn unsigned_branches_differ_from_signed() {
+    let mut a = Asm::new();
+    a.li(T0, -1); // u64::MAX unsigned
+    a.li(T1, 1);
+    a.li(S0, 0);
+    a.li(S1, 0);
+    a.blt(T0, T1, "signed_lt"); // taken: -1 < 1 signed
+    a.j("after_signed");
+    a.label("signed_lt");
+    a.li(S0, 1);
+    a.label("after_signed");
+    a.bltu(T0, T1, "unsigned_lt"); // not taken: MAX > 1 unsigned
+    a.j("end");
+    a.label("unsigned_lt");
+    a.li(S1, 1);
+    a.label("end");
+    a.bgeu(T0, T1, "geu_ok"); // taken
+    a.halt();
+    a.label("geu_ok");
+    a.li(S2, 1);
+    a.halt();
+    let vm = run(a);
+    assert_eq!(vm.reg(S0), 1, "signed blt");
+    assert_eq!(vm.reg(S1), 0, "unsigned bltu");
+    assert_eq!(vm.reg(S2), 1, "unsigned bgeu");
+}
+
+#[test]
+fn half_and_word_memory_forms() {
+    let mut a = Asm::new();
+    let mut data = DataBuilder::new();
+    let buf = data.alloc_bytes(32);
+    a.li(T0, buf as i64);
+    a.li(T1, 0xABCD);
+    a.sh(T1, T0, 0);
+    a.lh(S0, T0, 0);
+    a.li(T1, 0x1234_5678);
+    a.sw(T1, T0, 8);
+    a.lw(S1, T0, 8);
+    a.halt();
+    let program = Box::leak(Box::new(a.assemble(data).unwrap()));
+    let mut vm = Vm::new(program);
+    vm.run(&mut CountingSink::new(), 1000).unwrap();
+    assert_eq!(vm.reg(S0), 0xABCD);
+    assert_eq!(vm.reg(S1), 0x1234_5678);
+}

@@ -1,0 +1,165 @@
+//! Behavioral-design checks on the synthetic suites: the properties
+//! DESIGN.md claims for each suite must hold in the measured instruction
+//! streams, not just by intent.
+
+use phaselab::mica::{feature_index, AggregateCharacterizer};
+use phaselab::vm::Vm;
+use phaselab::{catalog, characterize_program, Benchmark, Scale, Suite};
+
+fn aggregate(bench: &Benchmark) -> phaselab::FeatureVector {
+    let program = bench.build(Scale::Tiny, 0);
+    let mut agg = AggregateCharacterizer::new();
+    Vm::new(&program).run(&mut agg, u64::MAX).expect("runs");
+    agg.finish_features()
+}
+
+fn fp_fraction(fv: &phaselab::FeatureVector) -> f64 {
+    ["mix_fp_add", "mix_fp_mul", "mix_fp_div", "mix_fp_other", "mix_convert"]
+        .iter()
+        .map(|n| fv[feature_index(n).unwrap()])
+        .sum()
+}
+
+#[test]
+fn bioperf_is_integer_dominated() {
+    let all = catalog();
+    for bench in all.iter().filter(|b| b.suite() == Suite::BioPerf) {
+        let fv = aggregate(bench);
+        let fp = fp_fraction(&fv);
+        assert!(
+            fp < 0.02,
+            "{} should be integer code, fp fraction {fp:.3}",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn specfp_suites_are_floating_point_heavy() {
+    let all = catalog();
+    for suite in [Suite::SpecFp2000, Suite::SpecFp2006] {
+        let mut fractions = Vec::new();
+        for bench in all.iter().filter(|b| b.suite() == suite) {
+            let fv = aggregate(bench);
+            let fp = fp_fraction(&fv);
+            assert!(
+                fp > 0.05,
+                "{} [{}] fp fraction only {fp:.3}",
+                bench.name(),
+                suite.short_name()
+            );
+            fractions.push(fp);
+        }
+        let mean: f64 = fractions.iter().sum::<f64>() / fractions.len() as f64;
+        assert!(mean > 0.2, "{suite:?} mean fp fraction {mean:.3}");
+    }
+}
+
+#[test]
+fn libquantum_streaming_is_perfectly_predictable() {
+    let all = catalog();
+    let bench = all
+        .iter()
+        .find(|b| b.suite() == Suite::SpecInt2006 && b.name() == "libquantum")
+        .unwrap();
+    let fv = aggregate(bench);
+    // The long flip runs exceed any 12-bit history at their boundaries,
+    // so a small residual miss rate remains even for streaming code.
+    let miss = fv[feature_index("ppm_gag_hist12").unwrap()];
+    assert!(miss < 0.05, "libquantum GAg-12 miss rate {miss:.3}");
+    let taken = fv[feature_index("branch_taken_rate").unwrap()];
+    assert!(taken > 0.7, "streaming loops are taken-dominated: {taken:.3}");
+}
+
+#[test]
+fn mcf_pointer_chase_has_low_ilp_phase() {
+    let all = catalog();
+    let bench = all
+        .iter()
+        .find(|b| b.suite() == Suite::SpecInt2000 && b.name() == "mcf")
+        .unwrap();
+    let program = bench.build(Scale::Tiny, 0);
+    let (intervals, _) = characterize_program(&program, 20_000, u64::MAX);
+    let ilp = feature_index("ilp_win256").unwrap();
+    let min_ilp = intervals
+        .iter()
+        .map(|fv| fv[ilp])
+        .fold(f64::INFINITY, f64::min);
+    // The pointer-chase phase is a serial dependence chain: even a
+    // 256-entry window cannot extract more than ~3 IPC from its
+    // 3-instruction loop.
+    assert!(min_ilp < 3.5, "mcf min ILP {min_ilp:.2}");
+    let max_ilp = intervals
+        .iter()
+        .map(|fv| fv[ilp])
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        max_ilp > min_ilp * 2.0,
+        "mcf should also have a higher-ILP relaxation phase ({min_ilp:.2}..{max_ilp:.2})"
+    );
+}
+
+#[test]
+fn media_suite_carries_entropy_coding_signature() {
+    let all = catalog();
+    for bench in all.iter().filter(|b| b.suite() == Suite::MediaBench2) {
+        let fv = aggregate(bench);
+        let shift = fv[feature_index("mix_shift").unwrap()];
+        let logical = fv[feature_index("mix_logical").unwrap()];
+        let fp = fp_fraction(&fv);
+        assert!(
+            shift + logical > 0.02 || fp > 0.1,
+            "{}: neither bit-twiddling ({:.3}) nor transform fp ({fp:.3})",
+            bench.name(),
+            shift + logical
+        );
+    }
+}
+
+#[test]
+fn smith_waterman_benchmarks_have_hard_branches() {
+    // Alignment DP has data-dependent three-way max selection: its
+    // branches must be distinctly harder than a streaming fp code's.
+    let all = catalog();
+    let ppm = feature_index("ppm_pap_hist8").unwrap();
+    let blast = aggregate(
+        all.iter()
+            .find(|b| b.suite() == Suite::BioPerf && b.name() == "blast")
+            .unwrap(),
+    );
+    let lbm = aggregate(
+        all.iter()
+            .find(|b| b.suite() == Suite::SpecFp2006 && b.name() == "lbm")
+            .unwrap(),
+    );
+    assert!(
+        blast[ppm] > lbm[ppm] + 0.05,
+        "blast miss {:.3} vs lbm {:.3}",
+        blast[ppm],
+        lbm[ppm]
+    );
+}
+
+#[test]
+fn footprints_span_orders_of_magnitude_across_suites() {
+    // mcf's pointer chase touches thousands of blocks per interval;
+    // grappa's permutations live in a few hundred bytes.
+    let all = catalog();
+    let fp_idx = feature_index("footprint_data_64b_blocks").unwrap();
+    let mcf = aggregate(
+        all.iter()
+            .find(|b| b.suite() == Suite::SpecInt2000 && b.name() == "mcf")
+            .unwrap(),
+    );
+    let grappa = aggregate(
+        all.iter()
+            .find(|b| b.suite() == Suite::BioPerf && b.name() == "grappa")
+            .unwrap(),
+    );
+    assert!(
+        mcf[fp_idx] > grappa[fp_idx] * 20.0,
+        "mcf footprint {} vs grappa {}",
+        mcf[fp_idx],
+        grappa[fp_idx]
+    );
+}
