@@ -44,7 +44,13 @@ fn benches(c: &mut Criterion) {
         let axes: Vec<KiviatAxisSpec> = r
             .kiviat_axes(&r.prominent[0])
             .into_iter()
-            .map(|a| KiviatAxisSpec::new(a.name.to_string(), a.normalized_value(), a.normalized_rings()))
+            .map(|a| {
+                KiviatAxisSpec::new(
+                    a.name.to_string(),
+                    a.normalized_value(),
+                    a.normalized_rings(),
+                )
+            })
             .collect();
         b.iter(|| {
             let plot = KiviatPlot::new("phase").with_axes(axes.clone());

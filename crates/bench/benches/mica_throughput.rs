@@ -6,10 +6,12 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use phaselab_mica::{
-    Analyzer, BranchAnalyzer, FeatureVector, FootprintAnalyzer, IlpAnalyzer,
-    IntervalCharacterizer, MixAnalyzer, RegTrafficAnalyzer, StrideAnalyzer,
+    Analyzer, BranchAnalyzer, FeatureVector, FootprintAnalyzer, IlpAnalyzer, IntervalCharacterizer,
+    MixAnalyzer, RegTrafficAnalyzer, StrideAnalyzer,
 };
-use phaselab_trace::{ArchReg, BranchInfo, CountingSink, InstClass, InstRecord, MemAccess, TraceSink};
+use phaselab_trace::{
+    ArchReg, BranchInfo, CountingSink, InstClass, InstRecord, MemAccess, TraceSink,
+};
 use phaselab_vm::Vm;
 use phaselab_workloads::kernels::numeric;
 use phaselab_workloads::Builder;

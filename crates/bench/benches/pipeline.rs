@@ -30,7 +30,9 @@ fn benches(c: &mut Criterion) {
         x ^= x << 17;
         (x >> 11) as f64 / (1u64 << 53) as f64
     };
-    let rows: Vec<Vec<f64>> = (0..100).map(|_| (0..69).map(|_| next()).collect()).collect();
+    let rows: Vec<Vec<f64>> = (0..100)
+        .map(|_| (0..69).map(|_| next()).collect())
+        .collect();
     let phases = Matrix::from_rows(&rows);
     let fitness = DistanceCorrelationFitness::new(&phases, 1.0);
     let mut mask = vec![false; 69];

@@ -32,7 +32,9 @@ fn bench_kernel(c: &mut Criterion, name: &str, emit: impl FnOnce(&mut Builder)) 
 
 fn benches(c: &mut Criterion) {
     bench_kernel(c, "stream_triad", |b| numeric::stream_triad(b, 1024, 20));
-    bench_kernel(c, "pointer_chase", |b| memory::pointer_chase(b, 4096, 200_000));
+    bench_kernel(c, "pointer_chase", |b| {
+        memory::pointer_chase(b, 4096, 200_000)
+    });
     bench_kernel(c, "smith_waterman", |b| bio::smith_waterman(b, 48, 96, 10));
     bench_kernel(c, "hash_table", |b| control::hash_table(b, 4000, 12, 5));
     bench_kernel(c, "nbody", |b| numeric::nbody(b, 48, 10));

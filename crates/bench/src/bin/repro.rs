@@ -183,7 +183,10 @@ fn table1() {
             ]
         })
         .collect();
-    println!("{}", format_table(&["category", "#", "characteristics"], &rows));
+    println!(
+        "{}",
+        format_table(&["category", "#", "characteristics"], &rows)
+    );
     println!("total: {NUM_FEATURES} characteristics (paper: 69)");
 }
 
@@ -203,7 +206,10 @@ fn table2(r: &StudyResult) {
             ]
         })
         .collect();
-    println!("{}", format_table(&["#", "characteristic", "category"], &rows));
+    println!(
+        "{}",
+        format_table(&["#", "characteristic", "category"], &rows)
+    );
     println!(
         "distance correlation of the reduced space: {:.3} (paper: ~0.83 with 12)",
         r.ga_fitness
@@ -234,14 +240,14 @@ fn table3(r: &StudyResult) {
         .collect();
     println!(
         "{}",
-        format_table(&["suite", "benchmark", "inputs", "intervals", "instructions"], &rows)
+        format_table(
+            &["suite", "benchmark", "inputs", "intervals", "instructions"],
+            &rows
+        )
     );
-    let totals: (usize, u64) = r
-        .benchmarks
-        .iter()
-        .fold((0, 0), |(iv, ins), b| {
-            (iv + b.total_intervals(), ins + b.total_instructions)
-        });
+    let totals: (usize, u64) = r.benchmarks.iter().fold((0, 0), |(iv, ins), b| {
+        (iv + b.total_intervals(), ins + b.total_instructions)
+    });
     println!(
         "total: {} benchmarks, {} intervals, {} instructions",
         r.benchmarks.len(),
@@ -269,7 +275,8 @@ fn fig1(r: &StudyResult) {
         return;
     }
     let rep_matrix = r.features.select_rows(&rep_rows);
-    let fitness = DistanceCorrelationFitness::new(&rep_matrix, r.config.pca_sd_threshold);
+    let fitness = DistanceCorrelationFitness::new(&rep_matrix, r.config.pca_sd_threshold)
+        .with_threads(r.config.threads);
     let score = |mask: &[bool]| fitness.score(mask);
 
     let max_k = 20.min(NUM_FEATURES);
@@ -277,7 +284,8 @@ fn fig1(r: &StudyResult) {
     let mut greedy_pts = Vec::new();
     let mut rows = Vec::new();
     for k in 1..=max_k {
-        let ga = select_features(NUM_FEATURES, k, &score, &GaConfig::study(r.config.seed + k as u64));
+        let ga_cfg = GaConfig::study(r.config.seed + k as u64).with_threads(r.config.threads);
+        let ga = select_features(NUM_FEATURES, k, &score, &ga_cfg);
         let (_, greedy_fit) = greedy_select(NUM_FEATURES, k, &score);
         ga_pts.push((k as f64, ga.fitness));
         greedy_pts.push((k as f64, greedy_fit));
@@ -289,12 +297,18 @@ fn fig1(r: &StudyResult) {
     }
     println!(
         "{}",
-        format_table(&["#characteristics", "GA correlation", "greedy correlation"], &rows)
+        format_table(
+            &["#characteristics", "GA correlation", "greedy correlation"],
+            &rows
+        )
     );
     println!(
         "{}",
         ascii_curve(
-            &[("GA".into(), ga_pts.clone()), ("greedy".into(), greedy_pts.clone())],
+            &[
+                ("GA".into(), ga_pts.clone()),
+                ("greedy".into(), greedy_pts.clone())
+            ],
             48,
             12,
         )
@@ -326,12 +340,23 @@ fn fig23(r: &StudyResult) {
             .kiviat_axes(phase)
             .into_iter()
             .map(|a| {
-                KiviatAxisSpec::new(a.name.to_string(), a.normalized_value(), a.normalized_rings())
+                KiviatAxisSpec::new(
+                    a.name.to_string(),
+                    a.normalized_value(),
+                    a.normalized_rings(),
+                )
             })
             .collect();
-        let title = format!("phase {idx:03} ({}, weight {:.2}%)", phase.kind, phase.weight * 100.0);
+        let title = format!(
+            "phase {idx:03} ({}, weight {:.2}%)",
+            phase.kind,
+            phase.weight * 100.0
+        );
         let kiviat = KiviatPlot::new(&title).with_axes(axes);
-        write_artifact(&format!("fig23_phase{idx:03}_kiviat.svg"), &kiviat.to_svg(320.0));
+        write_artifact(
+            &format!("fig23_phase{idx:03}_kiviat.svg"),
+            &kiviat.to_svg(320.0),
+        );
 
         let slices: Vec<(String, f64)> = phase
             .composition
@@ -345,7 +370,12 @@ fn fig23(r: &StudyResult) {
                 )
             })
             .collect();
-        let rest: f64 = phase.composition.iter().skip(9).map(|s| s.cluster_share).sum();
+        let rest: f64 = phase
+            .composition
+            .iter()
+            .skip(9)
+            .map(|s| s.cluster_share)
+            .sum();
         let mut slices = slices;
         if rest > 0.0 {
             slices.push(("other".into(), rest));
@@ -397,7 +427,11 @@ fn fig23(r: &StudyResult) {
     }
     write_artifact("fig23_index.html", &html);
     let path = write_artifact("fig23_phases.txt", &listing);
-    println!("\nper-phase listing and {} kiviat/pie SVG pairs written under {}", r.prominent.len(), path.parent().unwrap().display());
+    println!(
+        "\nper-phase listing and {} kiviat/pie SVG pairs written under {}",
+        r.prominent.len(),
+        path.parent().unwrap().display()
+    );
 
     // Print the five heaviest phases inline for a quick look.
     println!("\nfive heaviest phases:");
@@ -415,7 +449,10 @@ fn fig4(r: &StudyResult) {
         .map(|c| (c.suite.short_name().to_string(), c.clusters_touched as f64))
         .collect();
     println!("{}", ascii_bar_chart(&bars, 40));
-    println!("(of {} non-empty clusters)", cov.first().map(|c| c.total_clusters).unwrap_or(0));
+    println!(
+        "(of {} non-empty clusters)",
+        cov.first().map(|c| c.total_clusters).unwrap_or(0)
+    );
     let chart = BarChart::new(
         "Figure 4: workload-space coverage per suite",
         "#clusters",
@@ -457,7 +494,12 @@ fn fig5(r: &StudyResult) {
     println!(
         "\n{}",
         format_table(
-            &["suite", "clusters to 80%", "clusters to 90%", "clusters touched"],
+            &[
+                "suite",
+                "clusters to 80%",
+                "clusters to 90%",
+                "clusters touched"
+            ],
             &rows
         )
     );
@@ -547,7 +589,13 @@ fn motivation(r: &StudyResult) {
     println!(
         "{}",
         format_table(
-            &["benchmark", "aggregate mean", "interval min", "interval max", "spread"],
+            &[
+                "benchmark",
+                "aggregate mean",
+                "interval min",
+                "interval max",
+                "spread"
+            ],
             &table
         )
     );
@@ -577,7 +625,12 @@ fn implications(r: &StudyResult) {
     println!(
         "{}",
         format_table(
-            &["suite", "points for 80%", "points for 90%", "points for 95%"],
+            &[
+                "suite",
+                "points for 80%",
+                "points for 90%",
+                "points for 95%"
+            ],
             &rows
         )
     );
@@ -622,14 +675,24 @@ fn benchmarks_report(r: &StudyResult) {
     println!(
         "{}",
         format_table(
-            &["benchmark", "clusters", "benchmark-specific", "suite-specific"],
+            &[
+                "benchmark",
+                "clusters",
+                "benchmark-specific",
+                "suite-specific"
+            ],
             &rows
         )
     );
     let mut buf = Vec::new();
     phaselab_core::write_csv(
         &mut buf,
-        &["benchmark", "clusters", "benchmark_specific", "suite_specific"],
+        &[
+            "benchmark",
+            "clusters",
+            "benchmark_specific",
+            "suite_specific",
+        ],
         &rows,
     )
     .expect("csv");
@@ -657,9 +720,10 @@ fn simpoints(r: &StudyResult) {
     ];
     let mut rows = Vec::new();
     for (suite, name) in picks {
-        let Some(bench) = catalog.iter().find(|b| {
-            b.suite().short_name() == suite && b.name() == name
-        }) else {
+        let Some(bench) = catalog
+            .iter()
+            .find(|b| b.suite().short_name() == suite && b.name() == name)
+        else {
             continue;
         };
         let program = bench.build(r.config.scale, 0);
@@ -672,7 +736,10 @@ fn simpoints(r: &StudyResult) {
             continue;
         }
         let timeline = phaselab_core::PhaseTimeline {
-            clusters: features.iter().map(|f| r.classify(f.as_slice()).0).collect(),
+            clusters: features
+                .iter()
+                .map(|f| r.classify(f.as_slice()).0)
+                .collect(),
         };
         let points = phaselab_core::simulation_points(&timeline, &features);
         let err = phaselab_core::reconstruction_error(&points, &features, mix_range.clone());
@@ -688,7 +755,14 @@ fn simpoints(r: &StudyResult) {
     println!(
         "{}",
         format_table(
-            &["benchmark", "intervals", "sim points", "reduction", "mix MAE", "phase timeline"],
+            &[
+                "benchmark",
+                "intervals",
+                "sim points",
+                "reduction",
+                "mix MAE",
+                "phase timeline"
+            ],
             &rows
         )
     );
@@ -732,7 +806,13 @@ fn similarity(r: &StudyResult) {
     // Heatmap in dendrogram order.
     let labels: Vec<String> = order
         .iter()
-        .map(|&i| format!("{} [{}]", r.benchmarks[i].name, r.benchmarks[i].suite.short_name()))
+        .map(|&i| {
+            format!(
+                "{} [{}]",
+                r.benchmarks[i].name,
+                r.benchmarks[i].suite.short_name()
+            )
+        })
         .collect();
     let values: Vec<Vec<f64>> = order
         .iter()
@@ -762,14 +842,25 @@ fn similarity(r: &StudyResult) {
         .take(8)
         .map(|&(i, j, d)| {
             vec![
-                format!("{} [{}]", r.benchmarks[i].name, r.benchmarks[i].suite.short_name()),
-                format!("{} [{}]", r.benchmarks[j].name, r.benchmarks[j].suite.short_name()),
+                format!(
+                    "{} [{}]",
+                    r.benchmarks[i].name,
+                    r.benchmarks[i].suite.short_name()
+                ),
+                format!(
+                    "{} [{}]",
+                    r.benchmarks[j].name,
+                    r.benchmarks[j].suite.short_name()
+                ),
                 format!("{d:.2}"),
             ]
         })
         .collect();
     println!("closest cross-suite benchmark pairs:");
-    println!("{}", format_table(&["benchmark", "benchmark", "distance"], &rows));
+    println!(
+        "{}",
+        format_table(&["benchmark", "benchmark", "distance"], &rows)
+    );
 
     // Dendrogram cut: how many benchmark families exist at half the
     // median pair distance?
@@ -852,10 +943,7 @@ fn drift(r: &StudyResult) {
     }
     println!(
         "{}",
-        format_table(
-            &["pair", "distance", "vs mean cross-suite distance"],
-            &rows
-        )
+        format_table(&["pair", "distance", "vs mean cross-suite distance"], &rows)
     );
     println!(
         "(carried-over benchmarks drift far less than the typical distance\n\
@@ -877,7 +965,8 @@ fn ablation_k(r: &StudyResult) {
             &KmeansConfig::new(k)
                 .with_restarts(r.config.kmeans_restarts)
                 .with_max_iters(r.config.kmeans_max_iters)
-                .with_seed(r.config.seed ^ 0xAB1E),
+                .with_seed(r.config.seed ^ 0xAB1E)
+                .with_threads(r.config.threads),
         );
         // Coverage of the n_prominent heaviest clusters, and their mean
         // within-cluster variance.

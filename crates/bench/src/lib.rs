@@ -31,7 +31,10 @@ mod tests {
 
     #[test]
     fn artifacts_round_trip() {
-        std::env::set_var("PHASELAB_OUT", std::env::temp_dir().join("phaselab-test-out"));
+        std::env::set_var(
+            "PHASELAB_OUT",
+            std::env::temp_dir().join("phaselab-test-out"),
+        );
         let p = write_artifact("probe.txt", "hello");
         assert_eq!(std::fs::read_to_string(p).unwrap(), "hello");
         std::env::remove_var("PHASELAB_OUT");

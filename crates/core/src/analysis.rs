@@ -291,8 +291,8 @@ mod tests {
                 .iter()
                 .filter(|s| r.benchmarks[s.bench].suite == u.suite)
                 .collect();
-            let mean: f64 = members.iter().map(|s| s.suite_specific).sum::<f64>()
-                / members.len() as f64;
+            let mean: f64 =
+                members.iter().map(|s| s.suite_specific).sum::<f64>() / members.len() as f64;
             assert!(
                 (mean - u.unique_fraction).abs() < 1e-9,
                 "{:?}: {} vs {}",

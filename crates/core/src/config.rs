@@ -56,7 +56,9 @@ pub struct StudyConfig {
     /// Instruction budget per benchmark execution (a safety net; all
     /// bundled benchmarks halt well before it).
     pub max_instructions_per_run: u64,
-    /// Worker threads for the characterization step (0 = all cores).
+    /// Worker threads for every parallel stage — benchmark
+    /// characterization, k-means clustering, and GA fitness evaluation
+    /// (0 = all cores). Results are identical for every value.
     pub threads: usize,
     /// Master seed; every stochastic stage derives its own seed from it.
     pub seed: u64,

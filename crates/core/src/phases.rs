@@ -111,7 +111,11 @@ impl KiviatAxis {
                 0.5
             }
         };
-        [norm(self.mean - self.sd), norm(self.mean), norm(self.mean + self.sd)]
+        [
+            norm(self.mean - self.sd),
+            norm(self.mean),
+            norm(self.mean + self.sd),
+        ]
     }
 }
 

@@ -1,10 +1,11 @@
 //! Steps 2–5: the study pipeline.
 
-use std::sync::Mutex;
-
 use phaselab_ga::{select_features, DistanceCorrelationFitness};
 use phaselab_mica::{feature_names, NUM_FEATURES};
-use phaselab_stats::{distance_sq, kmeans, normalize_columns, Clustering, ColumnStats, KmeansConfig, Matrix, Pca};
+use phaselab_par::{effective_threads, parallel_map};
+use phaselab_stats::{
+    distance_sq, kmeans, normalize_columns, Clustering, ColumnStats, KmeansConfig, Matrix, Pca,
+};
 use phaselab_workloads::{catalog, Suite};
 
 use crate::characterize::{characterize_benchmark, BenchCharacterization};
@@ -202,7 +203,12 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResult {
         .iter()
         .map(|b| b.intervals_per_input.clone())
         .collect();
-    let sampled = sample_with_policy(&available, cfg.samples_per_benchmark, cfg.sampling, cfg.seed);
+    let sampled = sample_with_policy(
+        &available,
+        cfg.samples_per_benchmark,
+        cfg.sampling,
+        cfg.seed,
+    );
     assert!(!sampled.is_empty(), "no intervals were sampled");
 
     let mut rows = Vec::with_capacity(sampled.len());
@@ -230,7 +236,8 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResult {
         &KmeansConfig::new(k)
             .with_restarts(cfg.kmeans_restarts)
             .with_max_iters(cfg.kmeans_max_iters)
-            .with_seed(cfg.seed ^ 0xC1u64),
+            .with_seed(cfg.seed ^ 0xC1u64)
+            .with_threads(cfg.threads),
     );
 
     let (prominent, prominent_coverage) =
@@ -241,9 +248,11 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResult {
     let rep_rows: Vec<usize> = prominent.iter().map(|p| p.representative_row).collect();
     let (key_characteristics, ga_fitness) = if rep_rows.len() >= 3 {
         let rep_matrix = features.select_rows(&rep_rows);
-        let fitness = DistanceCorrelationFitness::new(&rep_matrix, cfg.pca_sd_threshold);
+        let fitness = DistanceCorrelationFitness::new(&rep_matrix, cfg.pca_sd_threshold)
+            .with_threads(cfg.threads);
         let mut ga_cfg = cfg.ga.clone();
         ga_cfg.seed ^= cfg.seed;
+        ga_cfg.threads = cfg.threads;
         let score = |mask: &[bool]| fitness.score(mask);
         let result = select_features(NUM_FEATURES, cfg.n_key_characteristics, &score, &ga_cfg);
         let selected: Vec<usize> = (0..NUM_FEATURES).filter(|&i| result.genome[i]).collect();
@@ -272,47 +281,13 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResult {
     }
 }
 
-/// Characterizes all benchmarks using a simple work-stealing thread pool.
+/// Characterizes all benchmarks on the shared work-stealing executor.
 fn characterize_all(
     benches: &[phaselab_workloads::Benchmark],
     cfg: &StudyConfig,
 ) -> Vec<BenchCharacterization> {
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        cfg.threads
-    }
-    .min(benches.len())
-    .max(1);
-
-    let next = Mutex::new(0usize);
-    let results: Vec<Mutex<Option<BenchCharacterization>>> =
-        (0..benches.len()).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let idx = {
-                    let mut n = next.lock().expect("queue lock");
-                    let idx = *n;
-                    *n += 1;
-                    idx
-                };
-                if idx >= benches.len() {
-                    break;
-                }
-                let c = characterize_benchmark(&benches[idx], cfg);
-                *results[idx].lock().expect("result lock") = Some(c);
-            });
-        }
-    });
-
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("result lock").expect("worker completed"))
-        .collect()
+    let threads = effective_threads(cfg.threads);
+    parallel_map(benches, threads, |b| characterize_benchmark(b, cfg))
 }
 
 /// Ranks clusters by weight, keeps the top `n_prominent`, and describes
@@ -326,7 +301,11 @@ fn prominent_phases(
 ) -> (Vec<ProminentPhase>, f64) {
     let total = sampled.len() as f64;
     let mut order: Vec<usize> = (0..clustering.k()).collect();
-    order.sort_by(|&a, &b| clustering.sizes[b].cmp(&clustering.sizes[a]).then(a.cmp(&b)));
+    order.sort_by(|&a, &b| {
+        clustering.sizes[b]
+            .cmp(&clustering.sizes[a])
+            .then(a.cmp(&b))
+    });
 
     // Per-benchmark sampled totals for benchmark_fraction.
     let mut bench_totals = vec![0usize; benchmarks.len()];
@@ -416,10 +395,7 @@ mod tests {
         assert!(r.variance_explained > 0.5);
         assert!(!r.prominent.is_empty());
         assert!(r.prominent_coverage > 0.0 && r.prominent_coverage <= 1.0 + 1e-9);
-        assert_eq!(
-            r.key_characteristics.len(),
-            r.config.n_key_characteristics
-        );
+        assert_eq!(r.key_characteristics.len(), r.config.n_key_characteristics);
         assert!(r.ga_fitness > 0.0, "GA fitness {}", r.ga_fitness);
     }
 

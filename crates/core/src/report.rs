@@ -89,7 +89,11 @@ pub fn write_csv<W: Write>(
     writeln!(
         writer,
         "{}",
-        headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(",")
     )?;
     for row in rows {
         writeln!(
@@ -132,10 +136,7 @@ mod tests {
     fn csv_escapes_quotes() {
         let mut buf = Vec::new();
         write_csv(&mut buf, &["x"], &[vec!["say \"hi\"".into()]]).unwrap();
-        assert_eq!(
-            String::from_utf8(buf).unwrap(),
-            "x\n\"say \"\"hi\"\"\"\n"
-        );
+        assert_eq!(String::from_utf8(buf).unwrap(), "x\n\"say \"\"hi\"\"\"\n");
     }
 
     #[test]

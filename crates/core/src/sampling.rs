@@ -25,7 +25,8 @@ pub fn sample_intervals(
 ) -> Vec<SampledInterval> {
     let mut out = Vec::with_capacity(available.len() * samples_per_benchmark);
     for (bench, inputs) in available.iter().enumerate() {
-        let mut rng = StdRng::seed_from_u64(seed ^ (bench as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (bench as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut pool: Vec<(usize, usize)> = inputs
             .iter()
             .enumerate()
@@ -81,8 +82,8 @@ pub fn sample_with_policy(
             for (bench, inputs) in available.iter().enumerate() {
                 // Round to the nearest share; at least 1 for non-empty
                 // benchmarks so nothing disappears entirely.
-                let share = (budget as f64 * totals[bench] as f64 / grand_total as f64)
-                    .round() as usize;
+                let share =
+                    (budget as f64 * totals[bench] as f64 / grand_total as f64).round() as usize;
                 let share = if totals[bench] > 0 { share.max(1) } else { 0 };
                 if share == 0 {
                     continue;

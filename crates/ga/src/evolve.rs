@@ -1,5 +1,12 @@
 //! The multi-population genetic algorithm.
+//!
+//! Fitness evaluation — by far the dominant cost — is batched and runs on
+//! the shared `phaselab-par` executor: each generation first breeds every
+//! child with the sequential RNG stream, then scores the whole brood in
+//! parallel. Scoring never touches the RNG, so the evolution trajectory
+//! (and therefore the result) is bit-identical for every thread count.
 
+use phaselab_par::{effective_threads, parallel_map};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -26,6 +33,9 @@ pub struct GaConfig {
     pub migration_interval: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for fitness evaluation (0 = all cores). Results
+    /// never depend on this.
+    pub threads: usize,
 }
 
 impl GaConfig {
@@ -41,6 +51,7 @@ impl GaConfig {
             crossover_rate: 0.6,
             migration_interval: 8,
             seed,
+            threads: 1,
         }
     }
 
@@ -55,7 +66,14 @@ impl GaConfig {
             crossover_rate: 0.6,
             migration_interval: 4,
             seed,
+            threads: 1,
         }
+    }
+
+    /// Sets the worker thread count (0 = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -78,6 +96,10 @@ pub struct GaResult {
 /// mutation and crossover preserve that invariant (offspring are
 /// repaired).
 ///
+/// Fitness calls are batched per generation and evaluated on up to
+/// `cfg.threads` workers (0 = all cores); breeding stays sequential, so
+/// the outcome is identical for every thread count.
+///
 /// # Panics
 ///
 /// Panics if `k` is zero or exceeds `num_genes`, or if the configuration
@@ -85,7 +107,7 @@ pub struct GaResult {
 pub fn select_features(
     num_genes: usize,
     k: usize,
-    fitness: &dyn Fn(&[bool]) -> f64,
+    fitness: &(dyn Fn(&[bool]) -> f64 + Sync),
     cfg: &GaConfig,
 ) -> GaResult {
     assert!(k > 0 && k <= num_genes, "k out of range");
@@ -94,26 +116,20 @@ pub fn select_features(
         "degenerate GA configuration"
     );
 
+    let threads = effective_threads(cfg.threads);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut evaluations = 0usize;
 
-    let score =
-        |genome: &[bool], evals: &mut usize| -> f64 {
-            *evals += 1;
-            fitness(genome)
-        };
-
-    // Initialize populations with random k-masks.
+    // Initialize populations with random k-masks: breed every genome
+    // first (sequential RNG), then score the whole batch in parallel.
+    let init_masks: Vec<Vec<bool>> = (0..cfg.populations * cfg.population_size)
+        .map(|_| random_mask(num_genes, k, &mut rng))
+        .collect();
+    let init_scores = parallel_map(&init_masks, threads, |g| fitness(g));
+    evaluations += init_masks.len();
+    let mut scored = init_masks.into_iter().zip(init_scores);
     let mut pops: Vec<Vec<(Vec<bool>, f64)>> = (0..cfg.populations)
-        .map(|_| {
-            (0..cfg.population_size)
-                .map(|_| {
-                    let g = random_mask(num_genes, k, &mut rng);
-                    let f = score(&g, &mut evaluations);
-                    (g, f)
-                })
-                .collect()
-        })
+        .map(|_| scored.by_ref().take(cfg.population_size).collect())
         .collect();
 
     let mut best: (Vec<bool>, f64) = pops
@@ -127,13 +143,21 @@ pub fn select_features(
     let mut generation = 0usize;
     while generation < cfg.max_generations && stale < cfg.patience {
         generation += 1;
+
+        // Breed the next generation of every population with the
+        // sequential RNG stream, deferring all fitness evaluations.
+        let mut elites: Vec<(Vec<bool>, f64)> = Vec::with_capacity(cfg.populations);
+        let mut brood: Vec<Vec<bool>> =
+            Vec::with_capacity(cfg.populations * (cfg.population_size - 1));
         for pop in &mut pops {
             pop.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fitness"));
             let elite = pop[0].clone();
-            let parents: Vec<Vec<bool>> =
-                pop.iter().take(pop.len() / 2).map(|(g, _)| g.clone()).collect();
-            let mut next = vec![elite];
-            while next.len() < cfg.population_size {
+            let parents: Vec<Vec<bool>> = pop
+                .iter()
+                .take(pop.len() / 2)
+                .map(|(g, _)| g.clone())
+                .collect();
+            for _ in 1..cfg.population_size {
                 let a = &parents[rng.random_range(0..parents.len())];
                 let mut child = if rng.random_range(0.0..1.0) < cfg.crossover_rate {
                     let b = &parents[rng.random_range(0..parents.len())];
@@ -142,9 +166,19 @@ pub fn select_features(
                     a.clone()
                 };
                 mutate(&mut child, cfg.mutation_rate, &mut rng);
-                let f = score(&child, &mut evaluations);
-                next.push((child, f));
+                brood.push(child);
             }
+            elites.push(elite);
+        }
+
+        // Score the whole brood in one parallel batch, then reassemble
+        // the populations in breeding order.
+        let brood_scores = parallel_map(&brood, threads, |g| fitness(g));
+        evaluations += brood.len();
+        let mut scored_children = brood.into_iter().zip(brood_scores);
+        for (pop, elite) in pops.iter_mut().zip(elites) {
+            let mut next = vec![elite];
+            next.extend(scored_children.by_ref().take(cfg.population_size - 1));
             *pop = next;
         }
 
@@ -243,8 +277,7 @@ fn repair(genome: &mut [bool], k: usize, rng: &mut StdRng) {
         match count.cmp(&k) {
             std::cmp::Ordering::Equal => return,
             std::cmp::Ordering::Less => {
-                let candidates: Vec<usize> =
-                    (0..genome.len()).filter(|&i| !genome[i]).collect();
+                let candidates: Vec<usize> = (0..genome.len()).filter(|&i| !genome[i]).collect();
                 let pick = candidates[rng.random_range(0..candidates.len())];
                 genome[pick] = true;
             }
@@ -270,7 +303,10 @@ mod tests {
         // Fitness strongly rewards genes 2, 5, 7.
         let target = [2usize, 5, 7];
         let fitness = move |mask: &[bool]| {
-            target.iter().map(|&t| if mask[t] { 10.0 } else { 0.0 }).sum::<f64>()
+            target
+                .iter()
+                .map(|&t| if mask[t] { 10.0 } else { 0.0 })
+                .sum::<f64>()
                 - count(mask) as f64 * 0.01
         };
         let r = select_features(12, 3, &fitness, &GaConfig::study(3));
@@ -300,6 +336,24 @@ mod tests {
         let b = select_features(20, 6, &fitness, &GaConfig::fast(9));
         assert_eq!(a.genome, b.genome);
         assert_eq!(a.fitness, b.fitness);
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let fitness = |mask: &[bool]| {
+            mask.iter()
+                .enumerate()
+                .map(|(i, &g)| if g { ((i * i) as f64).cos() } else { 0.0 })
+                .sum()
+        };
+        let base = select_features(16, 5, &fitness, &GaConfig::fast(4).with_threads(1));
+        for threads in [2, 4, 0] {
+            let other = select_features(16, 5, &fitness, &GaConfig::fast(4).with_threads(threads));
+            assert_eq!(base.genome, other.genome);
+            assert_eq!(base.fitness.to_bits(), other.fitness.to_bits());
+            assert_eq!(base.evaluations, other.evaluations);
+            assert_eq!(base.generations, other.generations);
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The paper's distance-correlation fitness function.
 
+use phaselab_par::{effective_threads, parallel_chunks};
 use phaselab_stats::{distance, pearson, rescaled_pca_space, Matrix};
 
 /// Fitness of a characteristic mask: the Pearson correlation coefficient
@@ -35,6 +36,7 @@ pub struct DistanceCorrelationFitness {
     phases: Matrix,
     sd_threshold: f64,
     full_distances: Vec<f64>,
+    threads: usize,
 }
 
 impl DistanceCorrelationFitness {
@@ -51,12 +53,22 @@ impl DistanceCorrelationFitness {
             "need at least 3 phases for a distance correlation"
         );
         let full_space = rescaled_pca_space(phases, sd_threshold);
-        let full_distances = pairwise_distances(&full_space);
+        let full_distances = pairwise_distances(&full_space, 1);
         DistanceCorrelationFitness {
             phases: phases.clone(),
             sd_threshold,
             full_distances,
+            threads: 1,
         }
+    }
+
+    /// Sets the worker thread count for the distance kernel (0 = all
+    /// cores). Scores are identical for every value; small problems run
+    /// serially regardless, so a fitness shared by already-parallel GA
+    /// workers does not oversubscribe the machine.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Number of characteristics.
@@ -80,22 +92,54 @@ impl DistanceCorrelationFitness {
         }
         let reduced = self.phases.select_columns(&selected);
         let reduced_space = rescaled_pca_space(&reduced, self.sd_threshold);
-        let reduced_distances = pairwise_distances(&reduced_space);
+        let reduced_distances = pairwise_distances(&reduced_space, self.threads);
         pearson(&self.full_distances, &reduced_distances)
     }
 }
 
+/// Below this many distance components (pairs × dimensionality) the
+/// kernel stays serial: thread handoff would cost more than the math,
+/// and fitness functions already scored on parallel GA workers should
+/// not fan out again.
+const PAIRWISE_PAR_THRESHOLD: usize = 1 << 16;
+
+/// Rows per parallel chunk of the pairwise kernel. Fixed so the output
+/// layout is a pure function of the input size.
+const PAIRWISE_ROW_CHUNK: usize = 16;
+
 /// The upper-triangle pairwise distances of the rows of `m`, in a fixed
-/// (row-major) order.
-fn pairwise_distances(m: &Matrix) -> Vec<f64> {
+/// (row-major) order: `(0,1), (0,2), …, (1,2), …`.
+///
+/// Row blocks are computed on up to `threads` workers (0 = all cores)
+/// and concatenated in block order, reproducing the serial layout
+/// exactly for any thread count.
+pub(crate) fn pairwise_distances(m: &Matrix, threads: usize) -> Vec<f64> {
     let n = m.rows();
-    let mut out = Vec::with_capacity(n * (n - 1) / 2);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            out.push(distance(m.row(i), m.row(j)));
-        }
+    if n < 2 {
+        return Vec::new();
     }
-    out
+    let work = n * (n - 1) / 2 * m.cols().max(1);
+    let threads = if work < PAIRWISE_PAR_THRESHOLD {
+        1
+    } else {
+        effective_threads(threads)
+    };
+    let row_block = |rows: std::ops::Range<usize>| -> Vec<f64> {
+        let mut out = Vec::new();
+        for i in rows {
+            for j in (i + 1)..n {
+                out.push(distance(m.row(i), m.row(j)));
+            }
+        }
+        out
+    };
+    if threads <= 1 {
+        return row_block(0..n);
+    }
+    parallel_chunks(n, PAIRWISE_ROW_CHUNK, threads, row_block)
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 #[cfg(test)]
@@ -170,6 +214,28 @@ mod tests {
         let fit = DistanceCorrelationFitness::new(&m, 0.5);
         let half = fit.score(&[true, true, true, false, false, false]);
         assert!(half > 0.95, "duplicated-column half mask {half}");
+    }
+
+    #[test]
+    fn pairwise_kernel_identical_across_thread_counts() {
+        // Large enough to clear the parallel threshold.
+        let m = random_phases(120, 24, 9);
+        let serial = pairwise_distances(&m, 1);
+        assert_eq!(serial.len(), 120 * 119 / 2);
+        for threads in [2, 4, 0] {
+            let par = pairwise_distances(&m, threads);
+            let same = serial
+                .iter()
+                .zip(&par)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same && serial.len() == par.len(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn pairwise_kernel_handles_tiny_inputs() {
+        assert!(pairwise_distances(&Matrix::zeros(1, 3), 4).is_empty());
+        assert_eq!(pairwise_distances(&Matrix::zeros(2, 3), 4), vec![0.0]);
     }
 
     #[test]

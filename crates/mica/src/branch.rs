@@ -346,7 +346,9 @@ mod tests {
         let mut a = BranchAnalyzer::new();
         let mut x = 0x12345678u64;
         for i in 0..20_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             a.observe(&branch(0x40, (x >> 40) & 1 == 1), i);
         }
         let f = emit(&a);

@@ -1,9 +1,5 @@
 //! The 69-dimensional feature vector and its layout.
 
-use serde::de::{SeqAccess, Visitor};
-use serde::ser::SerializeSeq;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
 /// Number of microarchitecture-independent characteristics (Table 1 of the
 /// paper: 20 mix + 4 ILP + 9 register traffic + 4 footprint + 18 strides +
 /// 14 branch predictability).
@@ -23,7 +19,7 @@ pub const STRIDE_BASE: usize = 37;
 pub const BRANCH_BASE: usize = 55;
 
 /// The six characteristic categories of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FeatureCategory {
     /// Instruction mix (20 features).
     Mix,
@@ -256,40 +252,6 @@ impl std::ops::IndexMut<usize> for FeatureVector {
     }
 }
 
-impl Serialize for FeatureVector {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut seq = serializer.serialize_seq(Some(NUM_FEATURES))?;
-        for v in &self.values {
-            seq.serialize_element(v)?;
-        }
-        seq.end()
-    }
-}
-
-impl<'de> Deserialize<'de> for FeatureVector {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        struct FvVisitor;
-        impl<'de> Visitor<'de> for FvVisitor {
-            type Value = FeatureVector;
-
-            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-                write!(f, "a sequence of {NUM_FEATURES} floats")
-            }
-
-            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
-                let mut fv = FeatureVector::zeros();
-                for i in 0..NUM_FEATURES {
-                    fv.values[i] = seq
-                        .next_element()?
-                        .ok_or_else(|| serde::de::Error::invalid_length(i, &self))?;
-                }
-                Ok(fv)
-            }
-        }
-        deserializer.deserialize_seq(FvVisitor)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,197 +313,5 @@ mod tests {
     #[should_panic(expected = "expected 69 values")]
     fn from_slice_validates_length() {
         let _ = FeatureVector::from_slice(&[1.0, 2.0]);
-    }
-
-    mod serde_roundtrip {
-        use super::*;
-        use serde::de::value::{Error as DeError, SeqDeserializer};
-        use serde::de::IntoDeserializer;
-        use serde::ser::Impossible;
-        use serde::Serializer;
-
-        /// A minimal sequence serializer that collects `f64`s — just
-        /// enough to exercise the hand-written Serialize impl without a
-        /// format crate.
-        struct CollectSeq<'a>(&'a mut Vec<f64>);
-
-        impl serde::ser::SerializeSeq for CollectSeq<'_> {
-            type Ok = ();
-            type Error = std::fmt::Error;
-
-            fn serialize_element<T: ?Sized + Serialize>(
-                &mut self,
-                value: &T,
-            ) -> Result<(), Self::Error> {
-                value.serialize(F64Only(self.0))
-            }
-
-            fn end(self) -> Result<(), Self::Error> {
-                Ok(())
-            }
-        }
-
-        struct F64Only<'a>(&'a mut Vec<f64>);
-
-        macro_rules! unsupported {
-            ($($m:ident: $t:ty),*) => {
-                $(fn $m(self, _v: $t) -> Result<(), std::fmt::Error> {
-                    Err(std::fmt::Error)
-                })*
-            };
-        }
-
-        impl Serializer for F64Only<'_> {
-            type Ok = ();
-            type Error = std::fmt::Error;
-            type SerializeSeq = Impossible<(), std::fmt::Error>;
-            type SerializeTuple = Impossible<(), std::fmt::Error>;
-            type SerializeTupleStruct = Impossible<(), std::fmt::Error>;
-            type SerializeTupleVariant = Impossible<(), std::fmt::Error>;
-            type SerializeMap = Impossible<(), std::fmt::Error>;
-            type SerializeStruct = Impossible<(), std::fmt::Error>;
-            type SerializeStructVariant = Impossible<(), std::fmt::Error>;
-
-            fn serialize_f64(self, v: f64) -> Result<(), std::fmt::Error> {
-                self.0.push(v);
-                Ok(())
-            }
-
-            unsupported!(serialize_bool: bool, serialize_i8: i8, serialize_i16: i16,
-                serialize_i32: i32, serialize_i64: i64, serialize_u8: u8,
-                serialize_u16: u16, serialize_u32: u32, serialize_u64: u64,
-                serialize_f32: f32, serialize_char: char, serialize_str: &str,
-                serialize_bytes: &[u8]);
-
-            fn serialize_none(self) -> Result<(), std::fmt::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_some<T: ?Sized + Serialize>(
-                self,
-                _: &T,
-            ) -> Result<(), std::fmt::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_unit(self) -> Result<(), std::fmt::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_unit_struct(self, _: &'static str) -> Result<(), std::fmt::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_unit_variant(
-                self,
-                _: &'static str,
-                _: u32,
-                _: &'static str,
-            ) -> Result<(), std::fmt::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_newtype_struct<T: ?Sized + Serialize>(
-                self,
-                _: &'static str,
-                _: &T,
-            ) -> Result<(), std::fmt::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_newtype_variant<T: ?Sized + Serialize>(
-                self,
-                _: &'static str,
-                _: u32,
-                _: &'static str,
-                _: &T,
-            ) -> Result<(), std::fmt::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_seq(
-                self,
-                _: Option<usize>,
-            ) -> Result<Self::SerializeSeq, std::fmt::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_tuple(
-                self,
-                _: usize,
-            ) -> Result<Self::SerializeTuple, std::fmt::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_tuple_struct(
-                self,
-                _: &'static str,
-                _: usize,
-            ) -> Result<Self::SerializeTupleStruct, std::fmt::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_tuple_variant(
-                self,
-                _: &'static str,
-                _: u32,
-                _: &'static str,
-                _: usize,
-            ) -> Result<Self::SerializeTupleVariant, std::fmt::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_map(
-                self,
-                _: Option<usize>,
-            ) -> Result<Self::SerializeMap, std::fmt::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_struct(
-                self,
-                _: &'static str,
-                _: usize,
-            ) -> Result<Self::SerializeStruct, std::fmt::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_struct_variant(
-                self,
-                _: &'static str,
-                _: u32,
-                _: &'static str,
-                _: usize,
-            ) -> Result<Self::SerializeStructVariant, std::fmt::Error> {
-                Err(std::fmt::Error)
-            }
-        }
-
-        /// Drives the Serialize impl's element emission through the
-        /// collector and returns what it produced.
-        fn serialize_fv(fv: &FeatureVector) -> Vec<f64> {
-            let mut out = Vec::new();
-            let mut seq = CollectSeq(&mut out);
-            for v in fv.as_slice() {
-                seq.serialize_element(v).expect("collects");
-            }
-            seq.end().expect("ends");
-            out
-        }
-
-        #[test]
-        fn deserialize_accepts_69_floats() {
-            let values: Vec<f64> = (0..NUM_FEATURES).map(|i| i as f64 / 7.0).collect();
-            let de: SeqDeserializer<_, DeError> = values.clone().into_deserializer();
-            let fv = FeatureVector::deserialize(de).expect("deserializes");
-            assert_eq!(fv.as_slice(), &values[..]);
-        }
-
-        #[test]
-        fn deserialize_rejects_short_sequences() {
-            let values = vec![1.0f64; 10];
-            let de: SeqDeserializer<_, DeError> = values.into_deserializer();
-            assert!(FeatureVector::deserialize(de).is_err());
-        }
-
-        #[test]
-        fn serialize_emits_all_values_in_order() {
-            let mut fv = FeatureVector::zeros();
-            for i in 0..NUM_FEATURES {
-                fv[i] = (i * i) as f64;
-            }
-            let collected = serialize_fv(&fv);
-            assert_eq!(collected.len(), NUM_FEATURES);
-            assert_eq!(collected, fv.as_slice());
-        }
-
-        use serde::{Deserialize, Serialize};
     }
 }

@@ -52,9 +52,7 @@ mod strides;
 pub use aggregate::AggregateCharacterizer;
 pub use branch::BranchAnalyzer;
 pub use characterizer::IntervalCharacterizer;
-pub use features::{
-    feature_index, feature_names, FeatureCategory, FeatureVector, NUM_FEATURES,
-};
+pub use features::{feature_index, feature_names, FeatureCategory, FeatureVector, NUM_FEATURES};
 pub use footprint::FootprintAnalyzer;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ilp::{IlpAnalyzer, ILP_WINDOWS};

@@ -109,7 +109,10 @@ mod tests {
         let r1 = ArchReg::int(1);
         let r2 = ArchReg::int(2);
         // One instruction with 2 reads, one with 0 reads.
-        a.observe(&InstRecord::new(0, InstClass::IntAdd).with_reads(&[r1, r2]), 0);
+        a.observe(
+            &InstRecord::new(0, InstClass::IntAdd).with_reads(&[r1, r2]),
+            0,
+        );
         a.observe(&InstRecord::new(4, InstClass::Nop), 1);
         assert_eq!(emit(&a)[0], 1.0);
     }

@@ -88,17 +88,21 @@ impl Analyzer for StrideAnalyzer {
         let Some(mem) = rec.mem else { return };
         if mem.is_store {
             if let Some(prev) = self.global_last_store.replace(mem.addr) {
-                self.global_store.record(prev.abs_diff(mem.addr), &GLOBAL_BOUNDS);
+                self.global_store
+                    .record(prev.abs_diff(mem.addr), &GLOBAL_BOUNDS);
             }
             if let Some(prev) = self.local_last_store.insert(rec.pc, mem.addr) {
-                self.local_store.record(prev.abs_diff(mem.addr), &LOCAL_BOUNDS);
+                self.local_store
+                    .record(prev.abs_diff(mem.addr), &LOCAL_BOUNDS);
             }
         } else {
             if let Some(prev) = self.global_last_load.replace(mem.addr) {
-                self.global_load.record(prev.abs_diff(mem.addr), &GLOBAL_BOUNDS);
+                self.global_load
+                    .record(prev.abs_diff(mem.addr), &GLOBAL_BOUNDS);
             }
             if let Some(prev) = self.local_last_load.insert(rec.pc, mem.addr) {
-                self.local_load.record(prev.abs_diff(mem.addr), &LOCAL_BOUNDS);
+                self.local_load
+                    .record(prev.abs_diff(mem.addr), &LOCAL_BOUNDS);
             }
         }
     }

@@ -1,0 +1,328 @@
+//! Shared std-only parallel executor for `phaselab`.
+//!
+//! Every parallel stage of the pipeline — benchmark characterization,
+//! k-means restarts and assignment passes, GA fitness evaluation, the
+//! pairwise-distance kernel — runs on the primitives in this crate, so
+//! thread-count policy and determinism guarantees live in one place.
+//!
+//! # Design
+//!
+//! The executor is the work-stealing loop the pipeline originally
+//! hand-rolled for benchmark characterization: a shared atomic cursor
+//! hands out task indices, `std::thread::scope` workers race on it, and
+//! each result lands in its own pre-allocated slot. Because results are
+//! keyed by task index — never by completion order — every function here
+//! returns **exactly the same output regardless of thread count**, which
+//! is what lets the statistical pipeline promise bit-identical studies
+//! from `--threads 1` and `--threads 64`.
+//!
+//! No dependencies, no unsafe: just `std::thread::scope`, atomics and
+//! per-slot mutexes. Workers running a single task never touch a lock on
+//! the hot path of the task itself, so the coordination cost is one
+//! atomic fetch-add plus one uncontended mutex acquisition per task;
+//! tasks therefore want to be coarse (a chunk of rows, a restart, a
+//! genome), not a single arithmetic operation.
+//!
+//! # Seed derivation
+//!
+//! Deterministic parallelism needs per-task seeds that are independent of
+//! scheduling. [`derive_seed`] hashes a master seed and a stream index
+//! through SplitMix64 so each restart/population draws from its own
+//! well-separated stream no matter which worker runs it.
+//!
+//! # Examples
+//!
+//! ```
+//! use phaselab_par::{parallel_map, parallel_chunks};
+//!
+//! let squares = parallel_map(&[1u64, 2, 3, 4], 2, |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! // Chunked iteration over an index space, results in chunk order.
+//! let sums = parallel_chunks(10, 4, 2, |r| r.sum::<usize>());
+//! assert_eq!(sums.len(), 3); // 0..4, 4..8, 8..10
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a requested thread count: `0` means "all cores".
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(phaselab_par::effective_threads(3), 3);
+/// assert!(phaselab_par::effective_threads(0) >= 1);
+/// ```
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// One step of the SplitMix64 generator.
+///
+/// Advances `state` and returns the next output. SplitMix64 passes
+/// BigCrush and is the standard choice for expanding one seed into many.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed of stream `stream` from a master seed.
+///
+/// The derivation is a pure function of `(master, stream)`, so a parallel
+/// stage that gives task *i* the seed `derive_seed(master, i)` produces
+/// identical randomness no matter how tasks are scheduled across threads.
+///
+/// # Examples
+///
+/// ```
+/// let a = phaselab_par::derive_seed(42, 0);
+/// let b = phaselab_par::derive_seed(42, 1);
+/// assert_ne!(a, b);
+/// assert_eq!(a, phaselab_par::derive_seed(42, 0));
+/// ```
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut state = master ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
+    let first = splitmix64(&mut state);
+    // A second scramble decorrelates adjacent (master, stream) pairs.
+    let mut state2 = first ^ 0x2545_F491_4F6C_DD1D;
+    splitmix64(&mut state2)
+}
+
+/// Applies `f` to every item, in parallel, returning results in item
+/// order.
+///
+/// Work is distributed by a shared atomic cursor (work stealing by
+/// competition: fast workers take more tasks), so uneven task costs
+/// balance automatically. With `threads <= 1` — or a single item — the
+/// closure runs inline on the caller's thread with no synchronization.
+///
+/// The output is always `items.iter().map(f)` in order; thread count
+/// affects wall-clock only, never results.
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = threads.min(items.len()).max(1);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= items.len() {
+                    break;
+                }
+                let out = f(&items[idx]);
+                *slots[idx].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// Applies `f` to every item by value, in parallel, returning results in
+/// item order.
+///
+/// The owned variant of [`parallel_map`]: use it when tasks carry
+/// exclusive state — e.g. disjoint `&mut` sub-slices produced by
+/// `chunks_mut`, which cannot be handed out through a shared `&T`.
+/// Ordering and determinism guarantees are identical to
+/// [`parallel_map`].
+pub fn parallel_map_owned<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let workers = threads.min(items.len()).max(1);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<U>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= tasks.len() {
+                    break;
+                }
+                let task = tasks[idx]
+                    .lock()
+                    .expect("task slot poisoned")
+                    .take()
+                    .expect("each task is taken exactly once");
+                *slots[idx].lock().expect("result slot poisoned") = Some(f(task));
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// Splits `0..len` into chunks of at most `chunk` indices and applies `f`
+/// to each chunk in parallel, returning results in chunk order.
+///
+/// The chunk grid depends only on `len` and `chunk`, and results are
+/// ordered by chunk start, so concatenating per-chunk output reconstructs
+/// the full index space in ascending order regardless of thread count.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+pub fn parallel_chunks<U, F>(len: usize, chunk: usize, threads: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(Range<usize>) -> U + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let ranges: Vec<Range<usize>> = (0..len)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(len))
+        .collect();
+    parallel_map(&ranges, threads, |r| f(r.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_resolves_zero() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(7), 7);
+    }
+
+    #[test]
+    fn derive_seed_is_pure_and_separating() {
+        let mut seen = std::collections::HashSet::new();
+        for master in 0..4u64 {
+            for stream in 0..64u64 {
+                let s = derive_seed(master, stream);
+                assert_eq!(s, derive_seed(master, stream));
+                assert!(seen.insert(s), "seed collision at ({master},{stream})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for threads in [1, 2, 4, 16] {
+            let out = parallel_map(&items, threads, |&x| x * 3 + 1);
+            assert_eq!(out, items.iter().map(|&x| x * 3 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[9u32], 4, |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn parallel_map_balances_uneven_tasks() {
+        // Tasks with wildly different costs still land in their slots.
+        let items: Vec<u64> = (0..40).collect();
+        let out = parallel_map(&items, 4, |&x| {
+            let spin = if x % 7 == 0 { 20_000 } else { 10 };
+            let mut acc = x;
+            for i in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            (x, acc)
+        });
+        for (i, &(x, _)) in out.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_map_owned_moves_tasks_in_order() {
+        let mut backing: Vec<u64> = (0..50).collect();
+        for threads in [1, 4] {
+            let tasks: Vec<&mut [u64]> = backing.chunks_mut(7).collect();
+            let out = parallel_map_owned(tasks, threads, |chunk| {
+                for v in chunk.iter_mut() {
+                    *v = v.wrapping_add(1);
+                }
+                chunk.len()
+            });
+            assert_eq!(out.iter().sum::<usize>(), 50);
+            assert_eq!(out[0], 7);
+        }
+        assert_eq!(backing[0], 2, "both passes incremented in place");
+    }
+
+    #[test]
+    fn parallel_chunks_covers_index_space() {
+        for threads in [1, 3] {
+            let chunks = parallel_chunks(23, 5, threads, |r| r.collect::<Vec<_>>());
+            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, (0..23).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_chunks_zero_len_is_empty() {
+        assert!(parallel_chunks(0, 5, 2, |r| r.len()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn parallel_chunks_rejects_zero_chunk() {
+        let _ = parallel_chunks(10, 0, 2, |r| r.len());
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let items: Vec<u64> = (0..100).collect();
+        let reference = parallel_map(&items, 1, |&x| x.wrapping_mul(x) ^ 0xDEAD);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                parallel_map(&items, threads, |&x| x.wrapping_mul(x) ^ 0xDEAD),
+                reference
+            );
+        }
+    }
+}

@@ -1,7 +1,21 @@
 //! k-means clustering with k-means++ seeding and BIC model scoring.
+//!
+//! The assignment step — the O(n·k·d) hot path of the whole study — uses
+//! Hamerly-style distance bounds to skip points whose assignment provably
+//! cannot change, chunk-parallel assignment passes, and incremental
+//! centroid sums. k-means++ seeding prunes its min-distance updates with
+//! a triangle-inequality certificate and tracks per-point bounds as it
+//! goes, so the initial assignment pass costs nothing. Restarts run in
+//! parallel with per-restart seeds derived
+//! deterministically from the configured seed, so [`kmeans`] returns
+//! **bit-identical results for a fixed seed regardless of thread count**.
+//! A naive reference implementation ([`kmeans_reference`]) sharing the
+//! seeding, centroid-update and tie-break code is retained for
+//! verification; property tests assert the two agree exactly.
 
 use crate::matrix::Matrix;
-use crate::distance_sq;
+use crate::{distance, distance_sq};
+use phaselab_par::{derive_seed, effective_threads, parallel_map, parallel_map_owned};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -17,17 +31,20 @@ pub struct KmeansConfig {
     pub max_iters: usize,
     /// RNG seed for deterministic results.
     pub seed: u64,
+    /// Worker threads (0 = all cores). Results never depend on this.
+    pub threads: usize,
 }
 
 impl KmeansConfig {
     /// Creates a configuration with `k` clusters and sensible defaults
-    /// (5 restarts, 100 iterations, seed 0).
+    /// (5 restarts, 100 iterations, seed 0, single-threaded).
     pub fn new(k: usize) -> Self {
         KmeansConfig {
             k,
             restarts: 5,
             max_iters: 100,
             seed: 0,
+            threads: 1,
         }
     }
 
@@ -46,6 +63,16 @@ impl KmeansConfig {
     /// Sets the maximum iterations per restart.
     pub fn with_max_iters(mut self, max_iters: usize) -> Self {
         self.max_iters = max_iters;
+        self
+    }
+
+    /// Sets the worker thread count (0 = all cores).
+    ///
+    /// Threads only affect wall-clock time: restarts are seeded
+    /// independently of scheduling and assignment chunks are reduced in
+    /// a fixed order, so the clustering is identical for every value.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -109,6 +136,13 @@ impl Clustering {
 /// clusterings by BIC; a higher score indicates a better fit/complexity
 /// trade-off.
 ///
+/// Restarts run in parallel (bounded by `cfg.threads`; 0 = all cores)
+/// and each draws its randomness from `derive_seed(cfg.seed, restart)`,
+/// so the result is a pure function of the data and the configuration —
+/// never of the thread count. The assignment step is pruned with
+/// Hamerly-style distance bounds; [`kmeans_reference`] retains the
+/// unpruned loop and produces bit-identical output.
+///
 /// # Panics
 ///
 /// Panics if `cfg.k` is zero or exceeds the number of rows, or if the
@@ -131,6 +165,48 @@ impl Clustering {
 /// assert_ne!(clustering.assignments[0], clustering.assignments[2]);
 /// ```
 pub fn kmeans(data: &Matrix, cfg: &KmeansConfig) -> Clustering {
+    check_config(data, cfg);
+    let restarts = cfg.restarts.max(1);
+    let threads = effective_threads(cfg.threads);
+    // Restarts parallelize at the outer level; leftover budget goes to
+    // chunk-parallel assignment inside each restart.
+    let outer = threads.min(restarts);
+    let inner = (threads / outer).max(1);
+
+    let seeds: Vec<u64> = (0..restarts)
+        .map(|r| derive_seed(cfg.seed, r as u64))
+        .collect();
+    let candidates = parallel_map(&seeds, outer, |&seed| {
+        kmeans_single(data, cfg.k, cfg.max_iters, seed, inner, true)
+    });
+    pick_best(candidates)
+}
+
+/// The unpruned, single-threaded reference k-means.
+///
+/// Shares the seeding, tie-break, centroid-update and scoring code with
+/// [`kmeans`] but scans every centroid for every point in every
+/// iteration. It exists to verify the bound-pruned implementation:
+/// for any data and configuration, `kmeans_reference` and [`kmeans`]
+/// return bit-identical clusterings (see `tests/properties.rs`).
+///
+/// # Panics
+///
+/// Panics if `cfg.k` is zero or exceeds the number of rows, or if the
+/// matrix is empty.
+pub fn kmeans_reference(data: &Matrix, cfg: &KmeansConfig) -> Clustering {
+    check_config(data, cfg);
+    let restarts = cfg.restarts.max(1);
+    let candidates: Vec<Clustering> = (0..restarts)
+        .map(|r| {
+            let seed = derive_seed(cfg.seed, r as u64);
+            kmeans_single(data, cfg.k, cfg.max_iters, seed, 1, false)
+        })
+        .collect();
+    pick_best(candidates)
+}
+
+fn check_config(data: &Matrix, cfg: &KmeansConfig) {
     assert!(cfg.k > 0, "k must be positive");
     assert!(
         cfg.k <= data.rows(),
@@ -138,11 +214,12 @@ pub fn kmeans(data: &Matrix, cfg: &KmeansConfig) -> Clustering {
         cfg.k,
         data.rows()
     );
+}
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+/// Keeps the highest-BIC candidate; ties go to the earliest restart.
+fn pick_best(candidates: Vec<Clustering>) -> Clustering {
     let mut best: Option<Clustering> = None;
-    for _ in 0..cfg.restarts.max(1) {
-        let candidate = kmeans_once(data, cfg.k, cfg.max_iters, &mut rng);
+    for candidate in candidates {
         let better = match &best {
             None => true,
             Some(b) => candidate.bic > b.bic,
@@ -154,12 +231,122 @@ pub fn kmeans(data: &Matrix, cfg: &KmeansConfig) -> Clustering {
     best.expect("at least one restart ran")
 }
 
-#[allow(clippy::needless_range_loop)] // index loops touch several arrays in lock-step
-fn kmeans_once(data: &Matrix, k: usize, max_iters: usize, rng: &mut StdRng) -> Clustering {
+/// Rows per parallel assignment chunk. Fixed — never derived from the
+/// thread count — so the chunk grid, and with it every floating-point
+/// reduction order, is a pure function of the input size.
+const CHUNK: usize = 512;
+
+/// Multiplicative slack on the Hamerly prune test. The upper/lower
+/// bounds accumulate one rounding error per centroid update; inflating
+/// the upper bound by a hair keeps pruning strictly conservative, so a
+/// pruned point is always one the exact scan would have left in place.
+const BOUND_SLACK: f64 = 1.0 + 1e-12;
+
+/// Per-point scan state of one restart.
+struct PointBounds {
+    assignments: Vec<usize>,
+    /// Upper bound on the distance to the assigned centroid.
+    upper: Vec<f64>,
+    /// Lower bound on the distance to every other centroid.
+    lower: Vec<f64>,
+}
+
+/// One restart: k-means++ seeding, bounded Lloyd iterations, final
+/// scoring. `pruned` selects the Hamerly fast path; both settings
+/// produce identical output.
+fn kmeans_single(
+    data: &Matrix,
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+    threads: usize,
+    pruned: bool,
+) -> Clustering {
     let n = data.rows();
     let d = data.cols();
+    let mut rng = StdRng::seed_from_u64(seed);
 
-    // k-means++ seeding.
+    // The pruned path tracks every point's nearest/second-nearest seed
+    // distance during k-means++ itself, which makes the initial
+    // assignment pass free; the reference path seeds naively and pays
+    // for a full initial scan. Both produce the same centroids,
+    // assignments and bounds.
+    let (mut centroids, mut state) = if pruned {
+        seed_centroids_tracked(data, k, &mut rng)
+    } else {
+        let centroids = seed_centroids(data, k, &mut rng);
+        let mut state = PointBounds {
+            assignments: vec![0; n],
+            upper: vec![0.0; n],
+            lower: vec![0.0; n],
+        };
+        assign_pass(data, &centroids, &mut state, threads, true, pruned);
+        (centroids, state)
+    };
+
+    // Incremental per-cluster sums, maintained from move lists in
+    // ascending point order so every thread count reduces identically.
+    let mut sums = Matrix::zeros(k, d);
+    let mut counts = vec![0usize; k];
+    for (i, &a) in state.assignments.iter().enumerate() {
+        counts[a] += 1;
+        for (t, &v) in sums.row_mut(a).iter_mut().zip(data.row(i)) {
+            *t += v;
+        }
+    }
+
+    let mut moved = vec![0.0f64; k];
+    for _ in 0..max_iters {
+        update_centroids(
+            data,
+            &state.assignments,
+            &sums,
+            &counts,
+            &mut centroids,
+            &mut moved,
+        );
+        relax_bounds(&mut state, &moved);
+        let moves = assign_pass(data, &centroids, &mut state, threads, false, pruned);
+        if moves.is_empty() {
+            break;
+        }
+        for &(i, from, to) in &moves {
+            counts[from] -= 1;
+            counts[to] += 1;
+            for (t, &v) in sums.row_mut(from).iter_mut().zip(data.row(i)) {
+                *t -= v;
+            }
+            for (t, &v) in sums.row_mut(to).iter_mut().zip(data.row(i)) {
+                *t += v;
+            }
+        }
+    }
+
+    // Final statistics.
+    let mut sizes = vec![0usize; k];
+    let mut inertia = 0.0;
+    for (i, &a) in state.assignments.iter().enumerate() {
+        sizes[a] += 1;
+        inertia += distance_sq(data.row(i), centroids.row(a));
+    }
+    let bic = bic_score(n, d, k, &sizes, inertia);
+
+    Clustering {
+        assignments: state.assignments,
+        centroids,
+        sizes,
+        inertia,
+        bic,
+    }
+}
+
+/// k-means++ seeding: the first centroid uniform, each next one drawn
+/// with probability proportional to the squared distance to the nearest
+/// centroid chosen so far.
+#[allow(clippy::needless_range_loop)] // index loops touch several arrays in lock-step
+fn seed_centroids(data: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+    let n = data.rows();
+    let d = data.cols();
     let mut centroids = Matrix::zeros(k, d);
     let first = rng.random_range(0..n);
     centroids.row_mut(0).copy_from_slice(data.row(first));
@@ -190,78 +377,308 @@ fn kmeans_once(data: &Matrix, k: usize, max_iters: usize, rng: &mut StdRng) -> C
             }
         }
     }
+    centroids
+}
 
-    // Lloyd iterations.
-    let mut assignments = vec![0usize; n];
-    for iter in 0..max_iters {
-        let mut changed = false;
+/// Squared-distance slack on the seeding skip test (see
+/// [`seed_centroids_tracked`]): the triangle-inequality certificate is
+/// exact over the reals, and this margin absorbs the rounding error of
+/// the computed distances so a skipped update is always one the naive
+/// scan would have rejected too.
+const SEED_SKIP_SLACK: f64 = 4.0 * (1.0 + 1e-9);
+
+/// k-means++ seeding with per-point nearest/second-nearest tracking —
+/// the pruned path's seeding. Draws the *same* centroids as
+/// [`seed_centroids`] (identical RNG stream, identical min-distance
+/// arithmetic) and additionally returns each point's assignment and
+/// Hamerly bounds, making the initial assignment pass unnecessary.
+///
+/// The update loop skips a point when the new centroid is provably too
+/// far to improve either its nearest or second-nearest distance: with
+/// `D = d(new centroid, point's centroid)` and `s` the point's
+/// second-nearest distance, `D ≥ 2s` implies
+/// `d(x, new) ≥ D − d(x, best) ≥ 2s − s = s`, so neither minimum can
+/// tighten and the skip is exact. This cuts the seeding's `O(n·k·d)`
+/// scan work down to `O(n·k)` certificate checks on clustered data.
+#[allow(clippy::needless_range_loop)] // index loops touch several arrays in lock-step
+fn seed_centroids_tracked(data: &Matrix, k: usize, rng: &mut StdRng) -> (Matrix, PointBounds) {
+    let n = data.rows();
+    let d = data.cols();
+    let mut centroids = Matrix::zeros(k, d);
+    let first = rng.random_range(0..n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+    let mut best = vec![0usize; n];
+    let mut min_dist_sq: Vec<f64> = (0..n)
+        .map(|i| distance_sq(data.row(i), centroids.row(0)))
+        .collect();
+    let mut second_dist_sq = vec![f64::INFINITY; n];
+    // Distances from the newest centroid to every earlier one, for the
+    // skip certificate.
+    let mut centroid_dsq = vec![0.0f64; k];
+    for c in 1..k {
+        let total: f64 = min_dist_sq.iter().sum();
+        let choice = if total <= 0.0 {
+            rng.random_range(0..n)
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &dsq) in min_dist_sq.iter().enumerate() {
+                target -= dsq;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(choice));
+        for j in 0..c {
+            centroid_dsq[j] = distance_sq(centroids.row(c), centroids.row(j));
+        }
         for i in 0..n {
+            if centroid_dsq[best[i]] >= SEED_SKIP_SLACK * second_dist_sq[i] {
+                continue;
+            }
+            let dsq = distance_sq(data.row(i), centroids.row(c));
+            if dsq < min_dist_sq[i] {
+                second_dist_sq[i] = min_dist_sq[i];
+                min_dist_sq[i] = dsq;
+                best[i] = c;
+            } else if dsq < second_dist_sq[i] {
+                second_dist_sq[i] = dsq;
+            }
+        }
+    }
+    let state = PointBounds {
+        assignments: best,
+        upper: min_dist_sq.iter().map(|d| d.sqrt()).collect(),
+        lower: second_dist_sq.iter().map(|d| d.sqrt()).collect(),
+    };
+    (centroids, state)
+}
+
+/// Scans all centroids for one point, replicating the naive loop's exact
+/// tie-break: start from the incumbent and switch only on a strictly
+/// smaller squared distance, visiting centroids in index order. Returns
+/// `(best, best_dist_sq, second_dist_sq)` where `second` is the smallest
+/// squared distance among non-best centroids (`∞` when `k == 1`).
+fn scan_point(row: &[f64], centroids: &Matrix, incumbent: usize) -> (usize, f64, f64) {
+    let mut best_c = incumbent;
+    let mut best_d = distance_sq(row, centroids.row(incumbent));
+    let mut second = f64::INFINITY;
+    for c in 0..centroids.rows() {
+        if c == incumbent {
+            continue;
+        }
+        let dsq = distance_sq(row, centroids.row(c));
+        if dsq < best_d {
+            second = best_d;
+            best_d = dsq;
+            best_c = c;
+        } else if dsq < second {
+            second = dsq;
+        }
+    }
+    (best_c, best_d, second)
+}
+
+/// Half the distance from each centroid to its nearest other centroid —
+/// Hamerly's per-cluster certificate: a point within `half_min[c]` of
+/// centroid `c` cannot be strictly closer to any other centroid (by the
+/// triangle inequality), so the naive tie-break keeps it in place.
+/// `∞` when `k == 1`.
+fn half_min_centroid_dist(centroids: &Matrix) -> Vec<f64> {
+    let k = centroids.rows();
+    let mut min_dist = vec![f64::INFINITY; k];
+    for a in 0..k {
+        for b in (a + 1)..k {
+            let dist = distance(centroids.row(a), centroids.row(b));
+            if dist < min_dist[a] {
+                min_dist[a] = dist;
+            }
+            if dist < min_dist[b] {
+                min_dist[b] = dist;
+            }
+        }
+    }
+    min_dist.iter().map(|d| d * 0.5).collect()
+}
+
+/// One assignment pass over all points, chunk-parallel. Returns the move
+/// list `(point, from, to)` in ascending point order (empty on the
+/// initial pass, which writes assignments directly).
+///
+/// With `pruned`, points whose Hamerly bounds certify their incumbent
+/// skip the scan entirely; a failed certificate falls back to the exact
+/// scan, so pruning never changes an assignment.
+fn assign_pass(
+    data: &Matrix,
+    centroids: &Matrix,
+    state: &mut PointBounds,
+    threads: usize,
+    initial: bool,
+    pruned: bool,
+) -> Vec<(usize, usize, usize)> {
+    struct ChunkTask<'a> {
+        start: usize,
+        assignments: &'a mut [usize],
+        upper: &'a mut [f64],
+        lower: &'a mut [f64],
+    }
+
+    // Hamerly's cluster-radius certificate, shared by every chunk. Only
+    // the pruned path consults it; O(k²·d) per pass, negligible next to
+    // the O(n·k·d) scans it avoids.
+    let half_min = if pruned && !initial {
+        half_min_centroid_dist(centroids)
+    } else {
+        Vec::new()
+    };
+
+    let mut tasks = Vec::new();
+    {
+        let mut a_it = state.assignments.chunks_mut(CHUNK);
+        let mut u_it = state.upper.chunks_mut(CHUNK);
+        let mut l_it = state.lower.chunks_mut(CHUNK);
+        let mut start = 0;
+        while let (Some(assignments), Some(upper), Some(lower)) =
+            (a_it.next(), u_it.next(), l_it.next())
+        {
+            let len = assignments.len();
+            tasks.push(ChunkTask {
+                start,
+                assignments,
+                upper,
+                lower,
+            });
+            start += len;
+        }
+    }
+
+    let per_chunk = parallel_map_owned(tasks, threads, |task| {
+        let mut moves = Vec::new();
+        for j in 0..task.assignments.len() {
+            let i = task.start + j;
             let row = data.row(i);
-            let mut best_c = assignments[i];
-            let mut best_d = distance_sq(row, centroids.row(best_c));
-            for c in 0..k {
-                let dsq = distance_sq(row, centroids.row(c));
-                if dsq < best_d {
-                    best_d = dsq;
-                    best_c = c;
+            let incumbent = if initial { 0 } else { task.assignments[j] };
+            if !initial && pruned {
+                // Certificate 1: stale upper bound already below both the
+                // lower bound on every other centroid and the incumbent's
+                // cluster radius.
+                let gate = task.lower[j].max(half_min[incumbent]);
+                if task.upper[j] * BOUND_SLACK <= gate {
+                    continue;
+                }
+                // Certificate 2: tighten the upper bound to the exact
+                // distance and retest before paying for a full scan.
+                task.upper[j] = distance_sq(row, centroids.row(incumbent)).sqrt();
+                if task.upper[j] * BOUND_SLACK <= gate {
+                    continue;
                 }
             }
-            if best_c != assignments[i] || iter == 0 {
-                changed |= best_c != assignments[i];
-                assignments[i] = best_c;
+            let (best, best_d, second) = scan_point(row, centroids, incumbent);
+            task.upper[j] = best_d.sqrt();
+            task.lower[j] = second.sqrt();
+            if initial {
+                task.assignments[j] = best;
+            } else if best != incumbent {
+                task.assignments[j] = best;
+                moves.push((i, incumbent, best));
             }
         }
-        if iter > 0 && !changed {
-            break;
-        }
+        moves
+    });
+    per_chunk.into_iter().flatten().collect()
+}
 
-        // Recompute centroids; re-seed empty clusters from the farthest
-        // point to keep k effective clusters.
-        let mut sums = Matrix::zeros(k, d);
-        let mut counts = vec![0usize; k];
-        for i in 0..n {
-            let c = assignments[i];
-            counts[c] += 1;
-            let target = sums.row_mut(c);
-            for (t, &v) in target.iter_mut().zip(data.row(i)) {
-                *t += v;
-            }
-        }
-        for c in 0..k {
-            if counts[c] == 0 {
-                let far = (0..n)
-                    .max_by(|&i, &j| {
-                        let di = distance_sq(data.row(i), centroids.row(assignments[i]));
-                        let dj = distance_sq(data.row(j), centroids.row(assignments[j]));
-                        di.partial_cmp(&dj).expect("finite distances")
-                    })
-                    .expect("non-empty data");
-                centroids.row_mut(c).copy_from_slice(data.row(far));
-            } else {
-                let inv = 1.0 / counts[c] as f64;
-                let target = centroids.row_mut(c);
-                for (t, &s) in target.iter_mut().zip(sums.row(c)) {
-                    *t = s * inv;
-                }
-            }
+/// Loosens every point's bounds after centroids moved: the upper bound
+/// grows by its own centroid's movement, the lower bound shrinks by the
+/// largest movement of any *other* centroid (Hamerly's update rule).
+fn relax_bounds(state: &mut PointBounds, moved: &[f64]) {
+    let mut max_move = 0.0f64;
+    let mut argmax = 0;
+    let mut second_move = 0.0f64;
+    for (c, &m) in moved.iter().enumerate() {
+        if m > max_move {
+            second_move = max_move;
+            max_move = m;
+            argmax = c;
+        } else if m > second_move {
+            second_move = m;
         }
     }
-
-    // Final statistics.
-    let mut sizes = vec![0usize; k];
-    let mut inertia = 0.0;
-    for i in 0..n {
-        sizes[assignments[i]] += 1;
-        inertia += distance_sq(data.row(i), centroids.row(assignments[i]));
+    for ((&a, u), l) in state
+        .assignments
+        .iter()
+        .zip(state.upper.iter_mut())
+        .zip(state.lower.iter_mut())
+    {
+        *u += moved[a];
+        *l -= if a == argmax { second_move } else { max_move };
     }
-    let bic = bic_score(n, d, k, &sizes, inertia);
+}
 
-    Clustering {
-        assignments,
-        centroids,
-        sizes,
-        inertia,
-        bic,
+/// Moves each non-empty cluster's centroid to the mean of its members
+/// (from the incremental sums) and re-seeds each empty cluster from the
+/// farthest point, deduplicating choices across empty clusters. Records
+/// every centroid's movement (Euclidean) in `moved`.
+fn update_centroids(
+    data: &Matrix,
+    assignments: &[usize],
+    sums: &Matrix,
+    counts: &[usize],
+    centroids: &mut Matrix,
+    moved: &mut [f64],
+) {
+    let k = counts.len();
+    let mut new_row = vec![0.0f64; data.cols()];
+    let mut any_empty = false;
+    for c in 0..k {
+        if counts[c] == 0 {
+            any_empty = true;
+            moved[c] = 0.0;
+            continue;
+        }
+        let inv = 1.0 / counts[c] as f64;
+        for (t, &s) in new_row.iter_mut().zip(sums.row(c)) {
+            *t = s * inv;
+        }
+        moved[c] = distance(centroids.row(c), &new_row);
+        centroids.row_mut(c).copy_from_slice(&new_row);
+    }
+    if !any_empty {
+        return;
+    }
+
+    // Re-seed empty clusters from the farthest points. The distances to
+    // the (updated) assigned centroids are computed once and shared by
+    // all empty clusters; each cluster takes the farthest not-yet-chosen
+    // point, so no two empty clusters collapse onto the same row.
+    let dist_to_assigned: Vec<f64> = assignments
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| distance_sq(data.row(i), centroids.row(a)))
+        .collect();
+    let mut chosen = vec![false; data.rows()];
+    for c in 0..k {
+        if counts[c] != 0 {
+            continue;
+        }
+        let mut far = usize::MAX;
+        let mut far_d = f64::NEG_INFINITY;
+        for (i, &dsq) in dist_to_assigned.iter().enumerate() {
+            if !chosen[i] && dsq > far_d {
+                far = i;
+                far_d = dsq;
+            }
+        }
+        if far == usize::MAX {
+            // More empty clusters than points — leave the centroid put.
+            continue;
+        }
+        chosen[far] = true;
+        moved[c] = distance(centroids.row(c), data.row(far));
+        centroids.row_mut(c).copy_from_slice(data.row(far));
     }
 }
 
@@ -281,7 +698,9 @@ fn bic_score(n: usize, d: usize, k: usize, sizes: &[usize], inertia: f64) -> f64
             continue;
         }
         let s = size as f64;
-        ll += s * s.ln() - s * n_f.ln() - (s * d_f / 2.0) * (2.0 * std::f64::consts::PI).ln()
+        ll += s * s.ln()
+            - s * n_f.ln()
+            - (s * d_f / 2.0) * (2.0 * std::f64::consts::PI).ln()
             - (s * d_f / 2.0) * variance.ln()
             - (s - k_f) * d_f / 2.0 / n_f.max(1.0);
     }
@@ -325,6 +744,35 @@ mod tests {
         let b = kmeans(&data, &cfg);
         assert_eq!(a.assignments, b.assignments);
         assert_eq!(a.bic, b.bic);
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let data = two_blobs();
+        let base = kmeans(&data, &KmeansConfig::new(4).with_seed(13).with_threads(1));
+        for threads in [2, 4, 0] {
+            let other = kmeans(
+                &data,
+                &KmeansConfig::new(4).with_seed(13).with_threads(threads),
+            );
+            assert_eq!(base.assignments, other.assignments);
+            assert_eq!(base.inertia.to_bits(), other.inertia.to_bits());
+            assert_eq!(base.bic.to_bits(), other.bic.to_bits());
+        }
+    }
+
+    #[test]
+    fn matches_reference_implementation() {
+        let data = two_blobs();
+        for k in [1, 2, 5, 9] {
+            let cfg = KmeansConfig::new(k).with_seed(21).with_restarts(3);
+            let pruned = kmeans(&data, &cfg);
+            let naive = kmeans_reference(&data, &cfg);
+            assert_eq!(pruned.assignments, naive.assignments, "k = {k}");
+            assert_eq!(pruned.inertia.to_bits(), naive.inertia.to_bits());
+            assert_eq!(pruned.bic.to_bits(), naive.bic.to_bits());
+            assert_eq!(pruned.sizes, naive.sizes);
+        }
     }
 
     #[test]
@@ -387,5 +835,44 @@ mod tests {
         let c = kmeans(&data, &KmeansConfig::new(3).with_seed(11));
         assert_eq!(c.assignments.len(), 10);
         assert!(c.inertia < 1e-12);
+    }
+
+    #[test]
+    fn empty_cluster_reseeds_are_deduplicated() {
+        // Five points, everything assigned to cluster 0, clusters 1 and 2
+        // empty. Re-seeding must hand the two empty clusters two
+        // *distinct* far rows (rows 3 and 4), not the single farthest row
+        // twice.
+        let data = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![40.0, 0.0],
+            vec![0.0, 30.0],
+        ]);
+        let assignments = vec![0usize; 5];
+        let mut sums = Matrix::zeros(3, 2);
+        let mut counts = vec![0usize; 3];
+        for i in 0..5 {
+            counts[0] += 1;
+            for (t, &v) in sums.row_mut(0).iter_mut().zip(data.row(i)) {
+                *t += v;
+            }
+        }
+        let mut centroids = Matrix::zeros(3, 2);
+        let mut moved = vec![0.0; 3];
+        update_centroids(
+            &data,
+            &assignments,
+            &sums,
+            &counts,
+            &mut centroids,
+            &mut moved,
+        );
+        // Farthest from the mean is row 3, second-farthest row 4.
+        assert_eq!(centroids.row(1), data.row(3));
+        assert_eq!(centroids.row(2), data.row(4));
+        assert_ne!(centroids.row(1), centroids.row(2));
+        assert!(moved[1] > 0.0 && moved[2] > 0.0);
     }
 }

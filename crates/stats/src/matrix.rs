@@ -1,7 +1,5 @@
 //! A dense row-major matrix of `f64`.
 
-use serde::{Deserialize, Serialize};
-
 /// A dense row-major matrix of `f64` values.
 ///
 /// The data-set matrices of the characterization methodology are
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.cols(), 2);
 /// assert_eq!(m.get(1, 0), 3.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

@@ -1,7 +1,6 @@
 //! Column-wise z-score normalization.
 
 use crate::matrix::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// Per-column mean and standard deviation, as computed by
 /// [`normalize_columns`].
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// Zero-variance columns record a standard deviation of `0.0`; they are
 /// mapped to all-zero columns by the normalization (rather than dividing by
 /// zero), which drops them from any subsequent distance or PCA computation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnStats {
     /// Column means.
     pub means: Vec<f64>,

@@ -1,7 +1,5 @@
 //! The per-instruction observation record and its component types.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of architectural registers visible to analysis tools.
 ///
 /// The `phaselab` machine model has 32 integer registers (ids `0..32`) and
@@ -31,7 +29,7 @@ pub const NUM_INST_CLASSES: usize = 20;
 /// let f = ArchReg::fp(5);
 /// assert_eq!(f.index(), 37);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ArchReg(u8);
 
 impl ArchReg {
@@ -93,7 +91,7 @@ impl std::fmt::Display for ArchReg {
 /// instructions are classified as memory accesses regardless of the
 /// register file they target, matching the MICA convention of counting
 /// "percentage memory reads / memory writes" as top-level mix categories.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum InstClass {
     /// Memory read (integer or floating-point load).
@@ -222,7 +220,7 @@ impl std::fmt::Display for InstClass {
 ///
 /// Stored inline to keep [`InstRecord`] allocation-free on the hot
 /// observation path.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RegReads {
     regs: [u8; 3],
     len: u8,
@@ -297,7 +295,7 @@ impl FromIterator<ArchReg> for RegReads {
 }
 
 /// One memory access performed by an instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemAccess {
     /// Byte address of the access.
     pub addr: u64,
@@ -308,7 +306,7 @@ pub struct MemAccess {
 }
 
 /// Outcome of a control-transfer instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BranchInfo {
     /// `true` if the branch/jump was taken. Unconditional transfers are
     /// always taken.
@@ -340,7 +338,7 @@ pub struct BranchInfo {
 /// assert_eq!(rec.pc, 0x40);
 /// assert!(rec.mem.is_some());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InstRecord {
     /// Program counter (byte address of the instruction).
     pub pc: u64,

@@ -64,7 +64,13 @@ impl PieChart {
             }
             // Legend entry.
             let ly = 22.0 + i as f64 * size * 0.085;
-            c.rect(size * 1.02, ly - size * 0.03, size * 0.04, size * 0.04, color);
+            c.rect(
+                size * 1.02,
+                ly - size * 0.03,
+                size * 0.04,
+                size * 0.04,
+                color,
+            );
             c.text(
                 size * 1.08,
                 ly,
@@ -130,7 +136,13 @@ impl BarChart {
             let x = left + plot_w * (i as f64 + 0.15) / n;
             let h = (bottom - top) * v / max;
             c.rect(x, bottom - h, bw, h, PALETTE[i % PALETTE.len()]);
-            c.text(x + bw / 2.0, bottom - h - 3.0, 8.0, "middle", &format!("{v:.3}"));
+            c.text(
+                x + bw / 2.0,
+                bottom - h - 3.0,
+                8.0,
+                "middle",
+                &format!("{v:.3}"),
+            );
             c.text(x + bw / 2.0, bottom + 12.0, 8.0, "middle", label);
         }
         c.finish()
@@ -198,7 +210,13 @@ impl LineChart {
         c.text(left - 4.0, top + 4.0, 8.0, "end", &format!("{ymax:.2}"));
         c.text(left, bottom + 12.0, 8.0, "middle", &format!("{xmin:.0}"));
         c.text(right, bottom + 12.0, 8.0, "middle", &format!("{xmax:.0}"));
-        c.text((left + right) / 2.0, bottom + 22.0, 9.0, "middle", &self.x_label);
+        c.text(
+            (left + right) / 2.0,
+            bottom + 22.0,
+            9.0,
+            "middle",
+            &self.x_label,
+        );
         c.text(14.0, (top + bottom) / 2.0, 9.0, "middle", &self.y_label);
         for (i, (label, pts)) in self.series.iter().enumerate() {
             let color = PALETTE[i % PALETTE.len()];
@@ -224,10 +242,7 @@ mod tests {
 
     #[test]
     fn pie_fractions_in_legend() {
-        let pie = PieChart::new(
-            "p",
-            vec![("a".into(), 3.0), ("b".into(), 1.0)],
-        );
+        let pie = PieChart::new("p", vec![("a".into(), 3.0), ("b".into(), 1.0)]);
         let svg = pie.to_svg(120.0);
         assert!(svg.contains("a (75%)"));
         assert!(svg.contains("b (25%)"));

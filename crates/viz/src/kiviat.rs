@@ -70,7 +70,8 @@ impl KiviatPlot {
         let n = self.axes.len();
 
         let point = |axis: usize, r: f64| -> (f64, f64) {
-            let angle = std::f64::consts::TAU * axis as f64 / n as f64 - std::f64::consts::FRAC_PI_2;
+            let angle =
+                std::f64::consts::TAU * axis as f64 / n as f64 - std::f64::consts::FRAC_PI_2;
             (cx + radius * r * angle.cos(), cy + radius * r * angle.sin())
         };
 

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use crate::error::AsmError;
-use crate::isa::{AluOp, Cond, FpCond, FpuOp, FReg, IReg, Instr, MemWidth};
+use crate::isa::{AluOp, Cond, FReg, FpCond, FpuOp, IReg, Instr, MemWidth};
 use crate::program::{DataBuilder, Program};
 
 /// Conventional register names for hand-written assembly.
@@ -160,124 +160,244 @@ impl Asm {
 
     /// `rd = rs1 + rs2`
     pub fn add(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
-        self.emit(Instr::Alu { op: AluOp::Add, rd, rs1, rs2 });
+        self.emit(Instr::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 - rs2`
     pub fn sub(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
-        self.emit(Instr::Alu { op: AluOp::Sub, rd, rs1, rs2 });
+        self.emit(Instr::Alu {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 * rs2` (low 64 bits)
     pub fn mul(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
-        self.emit(Instr::Alu { op: AluOp::Mul, rd, rs1, rs2 });
+        self.emit(Instr::Alu {
+            op: AluOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 / rs2` (signed; x/0 = all-ones)
     pub fn div(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
-        self.emit(Instr::Alu { op: AluOp::Div, rd, rs1, rs2 });
+        self.emit(Instr::Alu {
+            op: AluOp::Div,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 % rs2` (signed; x%0 = x)
     pub fn rem(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
-        self.emit(Instr::Alu { op: AluOp::Rem, rd, rs1, rs2 });
+        self.emit(Instr::Alu {
+            op: AluOp::Rem,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 & rs2`
     pub fn and(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
-        self.emit(Instr::Alu { op: AluOp::And, rd, rs1, rs2 });
+        self.emit(Instr::Alu {
+            op: AluOp::And,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 | rs2`
     pub fn or(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
-        self.emit(Instr::Alu { op: AluOp::Or, rd, rs1, rs2 });
+        self.emit(Instr::Alu {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 ^ rs2`
     pub fn xor(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
-        self.emit(Instr::Alu { op: AluOp::Xor, rd, rs1, rs2 });
+        self.emit(Instr::Alu {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 << rs2`
     pub fn sll(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
-        self.emit(Instr::Alu { op: AluOp::Sll, rd, rs1, rs2 });
+        self.emit(Instr::Alu {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 >> rs2` (logical)
     pub fn srl(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
-        self.emit(Instr::Alu { op: AluOp::Srl, rd, rs1, rs2 });
+        self.emit(Instr::Alu {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 >> rs2` (arithmetic)
     pub fn sra(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
-        self.emit(Instr::Alu { op: AluOp::Sra, rd, rs1, rs2 });
+        self.emit(Instr::Alu {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = (rs1 < rs2) ? 1 : 0` (signed)
     pub fn slt(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
-        self.emit(Instr::Alu { op: AluOp::Slt, rd, rs1, rs2 });
+        self.emit(Instr::Alu {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = (rs1 < rs2) ? 1 : 0` (unsigned)
     pub fn sltu(&mut self, rd: IReg, rs1: IReg, rs2: IReg) {
-        self.emit(Instr::Alu { op: AluOp::Sltu, rd, rs1, rs2 });
+        self.emit(Instr::Alu {
+            op: AluOp::Sltu,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     // ---- integer ALU, immediate ------------------------------------------
 
     /// `rd = rs1 + imm`
     pub fn addi(&mut self, rd: IReg, rs1: IReg, imm: i64) {
-        self.emit(Instr::AluImm { op: AluOp::Add, rd, rs1, imm });
+        self.emit(Instr::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 * imm`
     pub fn muli(&mut self, rd: IReg, rs1: IReg, imm: i64) {
-        self.emit(Instr::AluImm { op: AluOp::Mul, rd, rs1, imm });
+        self.emit(Instr::AluImm {
+            op: AluOp::Mul,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 & imm`
     pub fn andi(&mut self, rd: IReg, rs1: IReg, imm: i64) {
-        self.emit(Instr::AluImm { op: AluOp::And, rd, rs1, imm });
+        self.emit(Instr::AluImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 | imm`
     pub fn ori(&mut self, rd: IReg, rs1: IReg, imm: i64) {
-        self.emit(Instr::AluImm { op: AluOp::Or, rd, rs1, imm });
+        self.emit(Instr::AluImm {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 ^ imm`
     pub fn xori(&mut self, rd: IReg, rs1: IReg, imm: i64) {
-        self.emit(Instr::AluImm { op: AluOp::Xor, rd, rs1, imm });
+        self.emit(Instr::AluImm {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 << imm`
     pub fn slli(&mut self, rd: IReg, rs1: IReg, imm: i64) {
-        self.emit(Instr::AluImm { op: AluOp::Sll, rd, rs1, imm });
+        self.emit(Instr::AluImm {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 >> imm` (logical)
     pub fn srli(&mut self, rd: IReg, rs1: IReg, imm: i64) {
-        self.emit(Instr::AluImm { op: AluOp::Srl, rd, rs1, imm });
+        self.emit(Instr::AluImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 >> imm` (arithmetic)
     pub fn srai(&mut self, rd: IReg, rs1: IReg, imm: i64) {
-        self.emit(Instr::AluImm { op: AluOp::Sra, rd, rs1, imm });
+        self.emit(Instr::AluImm {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = (rs1 < imm) ? 1 : 0` (signed)
     pub fn slti(&mut self, rd: IReg, rs1: IReg, imm: i64) {
-        self.emit(Instr::AluImm { op: AluOp::Slt, rd, rs1, imm });
+        self.emit(Instr::AluImm {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 % imm` (signed)
     pub fn remi(&mut self, rd: IReg, rs1: IReg, imm: i64) {
-        self.emit(Instr::AluImm { op: AluOp::Rem, rd, rs1, imm });
+        self.emit(Instr::AluImm {
+            op: AluOp::Rem,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 / imm` (signed)
     pub fn divi(&mut self, rd: IReg, rs1: IReg, imm: i64) {
-        self.emit(Instr::AluImm { op: AluOp::Div, rd, rs1, imm });
+        self.emit(Instr::AluImm {
+            op: AluOp::Div,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     // ---- moves and immediates --------------------------------------------
@@ -317,42 +437,82 @@ impl Asm {
 
     /// Load byte (zero-extended): `rd = mem[base+offset]`
     pub fn lb(&mut self, rd: IReg, base: IReg, offset: i64) {
-        self.emit(Instr::Load { rd, base, offset, width: MemWidth::B });
+        self.emit(Instr::Load {
+            rd,
+            base,
+            offset,
+            width: MemWidth::B,
+        });
     }
 
     /// Load half-word (zero-extended).
     pub fn lh(&mut self, rd: IReg, base: IReg, offset: i64) {
-        self.emit(Instr::Load { rd, base, offset, width: MemWidth::H });
+        self.emit(Instr::Load {
+            rd,
+            base,
+            offset,
+            width: MemWidth::H,
+        });
     }
 
     /// Load word (zero-extended).
     pub fn lw(&mut self, rd: IReg, base: IReg, offset: i64) {
-        self.emit(Instr::Load { rd, base, offset, width: MemWidth::W });
+        self.emit(Instr::Load {
+            rd,
+            base,
+            offset,
+            width: MemWidth::W,
+        });
     }
 
     /// Load double-word.
     pub fn ld(&mut self, rd: IReg, base: IReg, offset: i64) {
-        self.emit(Instr::Load { rd, base, offset, width: MemWidth::D });
+        self.emit(Instr::Load {
+            rd,
+            base,
+            offset,
+            width: MemWidth::D,
+        });
     }
 
     /// Store byte.
     pub fn sb(&mut self, rs: IReg, base: IReg, offset: i64) {
-        self.emit(Instr::Store { rs, base, offset, width: MemWidth::B });
+        self.emit(Instr::Store {
+            rs,
+            base,
+            offset,
+            width: MemWidth::B,
+        });
     }
 
     /// Store half-word.
     pub fn sh(&mut self, rs: IReg, base: IReg, offset: i64) {
-        self.emit(Instr::Store { rs, base, offset, width: MemWidth::H });
+        self.emit(Instr::Store {
+            rs,
+            base,
+            offset,
+            width: MemWidth::H,
+        });
     }
 
     /// Store word.
     pub fn sw(&mut self, rs: IReg, base: IReg, offset: i64) {
-        self.emit(Instr::Store { rs, base, offset, width: MemWidth::W });
+        self.emit(Instr::Store {
+            rs,
+            base,
+            offset,
+            width: MemWidth::W,
+        });
     }
 
     /// Store double-word.
     pub fn sd(&mut self, rs: IReg, base: IReg, offset: i64) {
-        self.emit(Instr::Store { rs, base, offset, width: MemWidth::D });
+        self.emit(Instr::Store {
+            rs,
+            base,
+            offset,
+            width: MemWidth::D,
+        });
     }
 
     /// Load double (floating point).
@@ -369,62 +529,122 @@ impl Asm {
 
     /// `rd = rs1 + rs2`
     pub fn fadd(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
-        self.emit(Instr::Fpu { op: FpuOp::Add, rd, rs1, rs2 });
+        self.emit(Instr::Fpu {
+            op: FpuOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 - rs2`
     pub fn fsub(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
-        self.emit(Instr::Fpu { op: FpuOp::Sub, rd, rs1, rs2 });
+        self.emit(Instr::Fpu {
+            op: FpuOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 * rs2`
     pub fn fmul(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
-        self.emit(Instr::Fpu { op: FpuOp::Mul, rd, rs1, rs2 });
+        self.emit(Instr::Fpu {
+            op: FpuOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 / rs2`
     pub fn fdiv(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
-        self.emit(Instr::Fpu { op: FpuOp::Div, rd, rs1, rs2 });
+        self.emit(Instr::Fpu {
+            op: FpuOp::Div,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = sqrt(|rs|)`
     pub fn fsqrt(&mut self, rd: FReg, rs: FReg) {
-        self.emit(Instr::Fpu { op: FpuOp::Sqrt, rd, rs1: rs, rs2: rs });
+        self.emit(Instr::Fpu {
+            op: FpuOp::Sqrt,
+            rd,
+            rs1: rs,
+            rs2: rs,
+        });
     }
 
     /// `rd = min(rs1, rs2)`
     pub fn fmin(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
-        self.emit(Instr::Fpu { op: FpuOp::Min, rd, rs1, rs2 });
+        self.emit(Instr::Fpu {
+            op: FpuOp::Min,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = max(rs1, rs2)`
     pub fn fmax(&mut self, rd: FReg, rs1: FReg, rs2: FReg) {
-        self.emit(Instr::Fpu { op: FpuOp::Max, rd, rs1, rs2 });
+        self.emit(Instr::Fpu {
+            op: FpuOp::Max,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = |rs|`
     pub fn fabs(&mut self, rd: FReg, rs: FReg) {
-        self.emit(Instr::Fpu { op: FpuOp::Abs, rd, rs1: rs, rs2: rs });
+        self.emit(Instr::Fpu {
+            op: FpuOp::Abs,
+            rd,
+            rs1: rs,
+            rs2: rs,
+        });
     }
 
     /// `rd = -rs`
     pub fn fneg(&mut self, rd: FReg, rs: FReg) {
-        self.emit(Instr::Fpu { op: FpuOp::Neg, rd, rs1: rs, rs2: rs });
+        self.emit(Instr::Fpu {
+            op: FpuOp::Neg,
+            rd,
+            rs1: rs,
+            rs2: rs,
+        });
     }
 
     /// `rd = (rs1 == rs2) ? 1 : 0`
     pub fn feq(&mut self, rd: IReg, rs1: FReg, rs2: FReg) {
-        self.emit(Instr::FpuCmp { cond: FpCond::Eq, rd, rs1, rs2 });
+        self.emit(Instr::FpuCmp {
+            cond: FpCond::Eq,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = (rs1 < rs2) ? 1 : 0`
     pub fn flt(&mut self, rd: IReg, rs1: FReg, rs2: FReg) {
-        self.emit(Instr::FpuCmp { cond: FpCond::Lt, rd, rs1, rs2 });
+        self.emit(Instr::FpuCmp {
+            cond: FpCond::Lt,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = (rs1 <= rs2) ? 1 : 0`
     pub fn fle(&mut self, rd: IReg, rs1: FReg, rs2: FReg) {
-        self.emit(Instr::FpuCmp { cond: FpCond::Le, rd, rs1, rs2 });
+        self.emit(Instr::FpuCmp {
+            cond: FpCond::Le,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// Convert signed integer to double.
@@ -441,32 +661,80 @@ impl Asm {
 
     /// Branch to `label` if `rs1 == rs2`.
     pub fn beq(&mut self, rs1: IReg, rs2: IReg, label: impl Into<String>) {
-        self.emit_target(Instr::Branch { cond: Cond::Eq, rs1, rs2, target: 0 }, label);
+        self.emit_target(
+            Instr::Branch {
+                cond: Cond::Eq,
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        );
     }
 
     /// Branch to `label` if `rs1 != rs2`.
     pub fn bne(&mut self, rs1: IReg, rs2: IReg, label: impl Into<String>) {
-        self.emit_target(Instr::Branch { cond: Cond::Ne, rs1, rs2, target: 0 }, label);
+        self.emit_target(
+            Instr::Branch {
+                cond: Cond::Ne,
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        );
     }
 
     /// Branch to `label` if `rs1 < rs2` (signed).
     pub fn blt(&mut self, rs1: IReg, rs2: IReg, label: impl Into<String>) {
-        self.emit_target(Instr::Branch { cond: Cond::Lt, rs1, rs2, target: 0 }, label);
+        self.emit_target(
+            Instr::Branch {
+                cond: Cond::Lt,
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        );
     }
 
     /// Branch to `label` if `rs1 >= rs2` (signed).
     pub fn bge(&mut self, rs1: IReg, rs2: IReg, label: impl Into<String>) {
-        self.emit_target(Instr::Branch { cond: Cond::Ge, rs1, rs2, target: 0 }, label);
+        self.emit_target(
+            Instr::Branch {
+                cond: Cond::Ge,
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        );
     }
 
     /// Branch to `label` if `rs1 < rs2` (unsigned).
     pub fn bltu(&mut self, rs1: IReg, rs2: IReg, label: impl Into<String>) {
-        self.emit_target(Instr::Branch { cond: Cond::Ltu, rs1, rs2, target: 0 }, label);
+        self.emit_target(
+            Instr::Branch {
+                cond: Cond::Ltu,
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        );
     }
 
     /// Branch to `label` if `rs1 >= rs2` (unsigned).
     pub fn bgeu(&mut self, rs1: IReg, rs2: IReg, label: impl Into<String>) {
-        self.emit_target(Instr::Branch { cond: Cond::Geu, rs1, rs2, target: 0 }, label);
+        self.emit_target(
+            Instr::Branch {
+                cond: Cond::Geu,
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        );
     }
 
     /// Unconditional jump to `label`.
@@ -514,9 +782,12 @@ impl Asm {
         for fixup in &self.fixups {
             match fixup {
                 Fixup::Target { instr, label } => {
-                    let &target = self.labels.get(label).ok_or_else(|| {
-                        AsmError::UndefinedLabel { label: label.clone() }
-                    })?;
+                    let &target =
+                        self.labels
+                            .get(label)
+                            .ok_or_else(|| AsmError::UndefinedLabel {
+                                label: label.clone(),
+                            })?;
                     match &mut self.code[*instr] {
                         Instr::Branch { target: t, .. }
                         | Instr::Jump { target: t }
@@ -525,9 +796,12 @@ impl Asm {
                     }
                 }
                 Fixup::LiIndex { instr, label } => {
-                    let &target = self.labels.get(label).ok_or_else(|| {
-                        AsmError::UndefinedLabel { label: label.clone() }
-                    })?;
+                    let &target =
+                        self.labels
+                            .get(label)
+                            .ok_or_else(|| AsmError::UndefinedLabel {
+                                label: label.clone(),
+                            })?;
                     match &mut self.code[*instr] {
                         Instr::Li { imm, .. } => *imm = target as i64,
                         other => unreachable!("li fixup on {other:?}"),
@@ -598,8 +872,8 @@ mod tests {
     #[test]
     fn register_constants_are_distinct() {
         let all = [
-            ZERO, T0, T1, T2, T3, T4, T5, T6, T7, S0, S1, S2, S3, S4, S5, S6, S7, A0, A1, A2,
-            A3, A4, A5, A6, A7, V0, V1, G0, G1, G2, G3, SP,
+            ZERO, T0, T1, T2, T3, T4, T5, T6, T7, S0, S1, S2, S3, S4, S5, S6, S7, A0, A1, A2, A3,
+            A4, A5, A6, A7, V0, V1, G0, G1, G2, G3, SP,
         ];
         let mut nums: Vec<u8> = all.iter().map(|r| r.num()).collect();
         nums.sort_unstable();

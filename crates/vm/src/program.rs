@@ -140,9 +140,9 @@ impl Program {
         // within the code; debug-check anyway.
         for instr in &code {
             let target = match instr {
-                Instr::Branch { target, .. }
-                | Instr::Jump { target }
-                | Instr::Call { target } => Some(*target),
+                Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Call { target } => {
+                    Some(*target)
+                }
                 _ => None,
             };
             if let Some(t) = target {

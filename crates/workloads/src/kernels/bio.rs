@@ -57,7 +57,7 @@ pub fn smith_waterman(b: &mut Builder, qlen: u64, dlen: u64, repeats: u64) {
     b.asm.li(T2, dbase as i64);
     b.asm.label(&jl);
     b.asm.lb(T3, T2, 0); // d[j]
-    // score = (q[i] == d[j]) ? +2 : -1
+                         // score = (q[i] == d[j]) ? +2 : -1
     b.asm.li(T4, -1);
     b.asm.bne(S4, T3, &mismatch);
     b.asm.li(T4, 2);
@@ -82,7 +82,7 @@ pub fn smith_waterman(b: &mut Builder, qlen: u64, dlen: u64, repeats: u64) {
     b.asm.li(T4, 0);
     b.asm.label(&no_zero);
     b.asm.sd(T4, T1, 8); // cur[j+1] = H
-    // track global best in S5
+                         // track global best in S5
     b.asm.bge(S5, T4, format!("{no_zero}_nb"));
     b.asm.mv(S5, T4);
     b.asm.label(format!("{no_zero}_nb"));
@@ -260,7 +260,7 @@ pub fn permutation_ops(b: &mut Builder, n: u64, iters: u64) {
     b.asm.remi(T1, T1, 14);
     b.asm.addi(T1, T1, 1);
     b.asm.add(T1, T0, T1); // j > i
-    // reverse perm[i..=j]
+                           // reverse perm[i..=j]
     b.asm.muli(T0, T0, 8);
     b.asm.addi(T0, T0, perm as i64);
     b.asm.muli(T1, T1, 8);

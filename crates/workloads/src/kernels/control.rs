@@ -54,7 +54,7 @@ pub fn state_machine(b: &mut Builder, input_len: u64, nstates: u64, repeats: u64
     b.asm.li(S2, 0); // state
     b.asm.label(&lp);
     b.asm.lb(T1, T0, 0); // input symbol
-    // next state = trans[state * 256 + symbol]
+                         // next state = trans[state * 256 + symbol]
     b.asm.muli(T2, S2, 256 * 8);
     b.asm.muli(T3, T1, 8);
     b.asm.add(T2, T2, T3);
@@ -172,7 +172,7 @@ pub fn hash_table(b: &mut Builder, nops: u64, table_bits: u32, repeats: u64) {
     b.asm.srli(T0, S2, 33);
     b.asm.remi(T0, T0, (nops / 2).max(1) as i64);
     b.asm.addi(T0, T0, 1); // key, nonzero
-    // slot = mix(key) & mask (byte offset, 16-aligned)
+                           // slot = mix(key) & mask (byte offset, 16-aligned)
     b.asm.muli(T1, T0, 0x9E3779B1);
     b.asm.srli(T2, T1, 17);
     b.asm.xor(T1, T1, T2);
@@ -372,6 +372,9 @@ mod tests {
         call_tree(&mut b, 10, 2);
         let hist = run(b, 1_000_000);
         assert!(hist.count_of(InstClass::Call) > 100);
-        assert_eq!(hist.count_of(InstClass::Call), hist.count_of(InstClass::Ret));
+        assert_eq!(
+            hist.count_of(InstClass::Call),
+            hist.count_of(InstClass::Ret)
+        );
     }
 }

@@ -16,8 +16,7 @@ pub fn dct8x8(b: &mut Builder, nblocks: u64, repeats: u64) {
         for x in 0..8 {
             let c = if u == 0 { (0.5f64).sqrt() } else { 1.0 };
             basis.push(
-                0.5 * c
-                    * ((std::f64::consts::PI * (2.0 * x as f64 + 1.0) * u as f64) / 16.0).cos(),
+                0.5 * c * ((std::f64::consts::PI * (2.0 * x as f64 + 1.0) * u as f64) / 16.0).cos(),
             );
         }
     }
@@ -305,7 +304,7 @@ pub fn color_convert(b: &mut Builder, npix: u64, repeats: u64) {
     b.asm.lb(T2, T0, 0); // y
     b.asm.lb(T3, T0, 1); // u
     b.asm.lb(T4, T0, 2); // v
-    // r = y + ((359 * (v - 128)) >> 8)
+                         // r = y + ((359 * (v - 128)) >> 8)
     b.asm.addi(T4, T4, -128);
     b.asm.muli(T5, T4, 359);
     b.asm.srai(T5, T5, 8);

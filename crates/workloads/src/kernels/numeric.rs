@@ -110,7 +110,7 @@ pub fn stencil5(b: &mut Builder, w: u64, h: u64, sweeps: u64) {
     b.asm.li(S1, 1); // y
     b.asm.label(&yl);
     b.asm.li(S2, 1); // x
-    // T0 = src + y*row + 8, T1 = dst + y*row + 8
+                     // T0 = src + y*row + 8, T1 = dst + y*row + 8
     b.asm.muli(T0, S1, row);
     b.asm.add(T1, T0, G1);
     b.asm.add(T0, T0, G0);

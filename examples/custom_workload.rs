@@ -59,7 +59,10 @@ fn build_custom() -> phaselab::Program {
 fn main() {
     let program = build_custom();
     let (mine, instrs) = characterize_program(&program, 50_000, 100_000_000);
-    println!("custom workload: {instrs} instructions, {} intervals", mine.len());
+    println!(
+        "custom workload: {instrs} instructions, {} intervals",
+        mine.len()
+    );
 
     // Aggregate the custom workload to one mean vector, then compare
     // against the mean vector of every bundled benchmark.

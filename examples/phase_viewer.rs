@@ -54,7 +54,13 @@ fn main() {
         let axes: Vec<KiviatAxisSpec> = result
             .kiviat_axes(phase)
             .into_iter()
-            .map(|a| KiviatAxisSpec::new(a.name.to_string(), a.normalized_value(), a.normalized_rings()))
+            .map(|a| {
+                KiviatAxisSpec::new(
+                    a.name.to_string(),
+                    a.normalized_value(),
+                    a.normalized_rings(),
+                )
+            })
             .collect();
         let kiviat = KiviatPlot::new(format!("phase {idx}")).with_axes(axes);
         let kiviat_path = format!("phase_{idx}_kiviat.svg");
@@ -87,8 +93,8 @@ fn main() {
             "\nfound the paper's face/facerec cross-suite cluster (weight {:.1}%)",
             p.weight * 100.0
         ),
-        None => println!(
-            "\n(no face/facerec mixed cluster among the prominent phases at this scale)"
-        ),
+        None => {
+            println!("\n(no face/facerec mixed cluster among the prominent phases at this scale)")
+        }
     }
 }

@@ -28,12 +28,21 @@ fn main() {
     println!("static instructions: {}", program.len());
 
     let (intervals, instructions) = characterize_program(&program, 50_000, 1_000_000_000);
-    println!("dynamic instructions: {instructions}, intervals: {}", intervals.len());
+    println!(
+        "dynamic instructions: {instructions}, intervals: {}",
+        intervals.len()
+    );
 
     // Print a few headline characteristics for each interval: the
     // time-varying behavior the paper's methodology is built around.
     let names = feature_names();
-    let picks = ["mix_mem_read", "mix_int_add", "mix_cond_branch", "ilp_win64", "ppm_gag_hist8"];
+    let picks = [
+        "mix_mem_read",
+        "mix_int_add",
+        "mix_cond_branch",
+        "ilp_win64",
+        "ppm_gag_hist8",
+    ];
     print!("{:>9}", "interval");
     for p in picks {
         print!("  {p:>16}");

@@ -36,7 +36,11 @@ fn main() {
     match command {
         "list" => list(),
         "info" => info(&resolve(rest)),
-        "disasm" => disasm(&resolve(rest), parse_scale(rest), parse_u64(rest, "--input", 0) as usize),
+        "disasm" => disasm(
+            &resolve(rest),
+            parse_scale(rest),
+            parse_u64(rest, "--input", 0) as usize,
+        ),
         "characterize" => characterize(
             &resolve(rest),
             parse_scale(rest),
@@ -112,7 +116,10 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 /// Resolves `<suite>/<name>` or a bare unambiguous name.
 fn resolve(args: &[String]) -> Benchmark {
-    let Some(spec) = args.iter().find(|a| !a.starts_with("--") && a.contains(|c: char| c.is_alphabetic())) else {
+    let Some(spec) = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.contains(|c: char| c.is_alphabetic()))
+    else {
         eprintln!("missing benchmark argument");
         usage_and_exit();
     };

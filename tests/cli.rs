@@ -52,7 +52,9 @@ fn ambiguous_bare_name_is_rejected_with_candidates() {
 fn unknown_benchmark_fails_cleanly() {
     let out = phaselab(&["info", "nosuch/bench"]);
     assert!(!out.status.success());
-    assert!(String::from_utf8(out.stderr).unwrap().contains("no benchmark"));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("no benchmark"));
 }
 
 #[test]
@@ -70,7 +72,10 @@ fn characterize_emits_csv_with_selected_features() {
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     let mut lines = text.lines();
-    assert_eq!(lines.next().unwrap(), "interval,mix_mem_read,branch_taken_rate");
+    assert_eq!(
+        lines.next().unwrap(),
+        "interval,mix_mem_read,branch_taken_rate"
+    );
     let first = lines.next().expect("at least one interval");
     assert_eq!(first.split(',').count(), 3);
     // Every data cell parses as a number.

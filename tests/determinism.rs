@@ -33,7 +33,10 @@ fn full_study_is_deterministic_across_thread_counts() {
     let serial = run_study(&cfg);
     cfg.threads = 4;
     let parallel = run_study(&cfg);
-    assert_eq!(serial.clustering.assignments, parallel.clustering.assignments);
+    assert_eq!(
+        serial.clustering.assignments,
+        parallel.clustering.assignments
+    );
     assert_eq!(serial.key_characteristics, parallel.key_characteristics);
     assert_eq!(serial.ga_fitness, parallel.ga_fitness);
     assert_eq!(serial.features, parallel.features);
@@ -49,8 +52,14 @@ fn different_seeds_change_sampling_but_not_characterization() {
     // Same benchmarks, same interval counts (characterization is
     // seed-independent)…
     assert_eq!(
-        a.benchmarks.iter().map(|x| x.total_intervals()).collect::<Vec<_>>(),
-        b.benchmarks.iter().map(|x| x.total_intervals()).collect::<Vec<_>>(),
+        a.benchmarks
+            .iter()
+            .map(|x| x.total_intervals())
+            .collect::<Vec<_>>(),
+        b.benchmarks
+            .iter()
+            .map(|x| x.total_intervals())
+            .collect::<Vec<_>>(),
     );
     // …but a different interval sample.
     assert_ne!(a.sampled, b.sampled);

@@ -38,8 +38,7 @@ fn study_internal_consistency() {
         assert!(p.cluster < r.clustering.k());
         assert!(p.representative_row < r.sampled.len());
         assert_eq!(
-            r.clustering.assignments[p.representative_row],
-            p.cluster,
+            r.clustering.assignments[p.representative_row], p.cluster,
             "representative must live in its own cluster"
         );
     }

@@ -145,6 +145,10 @@ fn full_catalog_shapes_hold() {
         Suite::SpecFp2006,
         Suite::MediaBench2,
     ] {
-        assert!(bio > of(other), "BioPerf {bio} should exceed {other:?} {}", of(other));
+        assert!(
+            bio > of(other),
+            "BioPerf {bio} should exceed {other:?} {}",
+            of(other)
+        );
     }
 }

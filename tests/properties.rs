@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use phaselab::mica::{IntervalCharacterizer, NUM_FEATURES};
 use phaselab::stats::{
-    jacobi_eigen, kmeans, normalize_columns, pearson, KmeansConfig, Matrix, Pca,
+    jacobi_eigen, kmeans, kmeans_reference, normalize_columns, pearson, KmeansConfig, Matrix, Pca,
 };
 use phaselab::trace::TraceSink;
 use phaselab::vm::{regs::*, Asm, DataBuilder, Vm};
@@ -119,6 +119,41 @@ proptest! {
         prop_assert!(c.assignments.iter().all(|&a| a < k));
         prop_assert_eq!(c.sizes.iter().sum::<usize>(), n);
         prop_assert!(c.inertia >= 0.0);
+    }
+
+    /// The bound-pruned, parallel k-means is bit-identical to the naive
+    /// full-scan reference — same assignments, same inertia and BIC down
+    /// to the last bit — for any thread count.
+    #[test]
+    fn kmeans_pruned_matches_naive_reference(
+        n in 5usize..60,
+        cols in 1usize..6,
+        k in 1usize..8,
+        restarts in 1usize..3,
+        seed in 0u64..1_000,
+    ) {
+        // Deterministic pseudo-random matrix derived from the seed.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 20.0 - 10.0
+        };
+        let rows: Vec<Vec<f64>> = (0..n).map(|_| (0..cols).map(|_| next()).collect()).collect();
+        let m = Matrix::from_rows(&rows);
+        let k = k.min(n);
+        let base = KmeansConfig::new(k)
+            .with_restarts(restarts)
+            .with_max_iters(30)
+            .with_seed(seed);
+        let reference = kmeans_reference(&m, &base);
+        for threads in [1usize, 2, 4] {
+            let pruned = kmeans(&m, &base.clone().with_threads(threads));
+            prop_assert_eq!(&pruned.assignments, &reference.assignments, "threads = {}", threads);
+            prop_assert_eq!(pruned.inertia.to_bits(), reference.inertia.to_bits(), "threads = {}", threads);
+            prop_assert_eq!(pruned.bic.to_bits(), reference.bic.to_bits(), "threads = {}", threads);
+        }
     }
 
     /// Normalization then Pearson self-correlation is exactly 1 for any

@@ -14,10 +14,16 @@ fn aggregate(bench: &Benchmark) -> phaselab::FeatureVector {
 }
 
 fn fp_fraction(fv: &phaselab::FeatureVector) -> f64 {
-    ["mix_fp_add", "mix_fp_mul", "mix_fp_div", "mix_fp_other", "mix_convert"]
-        .iter()
-        .map(|n| fv[feature_index(n).unwrap()])
-        .sum()
+    [
+        "mix_fp_add",
+        "mix_fp_mul",
+        "mix_fp_div",
+        "mix_fp_other",
+        "mix_convert",
+    ]
+    .iter()
+    .map(|n| fv[feature_index(n).unwrap()])
+    .sum()
 }
 
 #[test]
@@ -68,7 +74,10 @@ fn libquantum_streaming_is_perfectly_predictable() {
     let miss = fv[feature_index("ppm_gag_hist12").unwrap()];
     assert!(miss < 0.05, "libquantum GAg-12 miss rate {miss:.3}");
     let taken = fv[feature_index("branch_taken_rate").unwrap()];
-    assert!(taken > 0.7, "streaming loops are taken-dominated: {taken:.3}");
+    assert!(
+        taken > 0.7,
+        "streaming loops are taken-dominated: {taken:.3}"
+    );
 }
 
 #[test]
