@@ -22,7 +22,7 @@ fn shared_study() -> &'static StudyResult {
         cfg.k = 32;
         cfg.n_prominent = 16;
         cfg.suites = Some(vec![Suite::BioPerf, Suite::Bmw, Suite::MediaBench2]);
-        phaselab_core::run_study(&cfg)
+        phaselab_core::run_study(&cfg).expect("smoke study")
     })
 }
 

@@ -18,7 +18,7 @@ fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
     group.bench_function("characterize_one_benchmark_tiny", |b| {
-        b.iter(|| black_box(characterize_program(&program, 20_000, u64::MAX)))
+        b.iter(|| black_box(characterize_program(&program, 20_000, u64::MAX).expect("runs")))
     });
 
     // One GA fitness evaluation at study shape (100 phases × 69
@@ -46,7 +46,9 @@ fn benches(c: &mut Criterion) {
     // A complete reduced study over one domain-specific suite.
     let mut cfg = StudyConfig::smoke();
     cfg.suites = Some(vec![Suite::Bmw]);
-    group.bench_function("smoke_study_bmw", |b| b.iter(|| black_box(run_study(&cfg))));
+    group.bench_function("smoke_study_bmw", |b| {
+        b.iter(|| black_box(run_study(&cfg).expect("smoke study")))
+    });
     group.finish();
 }
 

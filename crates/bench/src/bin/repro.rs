@@ -31,10 +31,17 @@
 //!   --k N                     clusters              (default: 300)
 //!   --seed N                  master seed           (default: 0)
 //!   --threads N               worker threads        (default: all cores)
+//!   --help                    print usage and exit
 //! ```
 //!
 //! Text output goes to stdout; SVG/CSV artifacts go to
 //! `target/experiments` (override with `PHASELAB_OUT`).
+//!
+//! Exit codes: `0` on success, `1` when the study itself fails (a
+//! runtime error), `2` for usage errors — unknown flags, bad values,
+//! unknown experiments. Diagnostics are one line on stderr. Benchmarks
+//! quarantined by the study are reported as warnings; the experiments
+//! run over the survivors.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -42,7 +49,7 @@ use std::time::Instant;
 use phaselab_bench::write_artifact;
 use phaselab_core::{
     coverage, diversity, format_table, run_study, uniqueness, SamplingPolicy, StudyConfig,
-    StudyResult,
+    StudyError, StudyResult,
 };
 use phaselab_ga::{greedy_select, select_features, DistanceCorrelationFitness, GaConfig};
 use phaselab_mica::{feature_names, FeatureCategory, NUM_FEATURES};
@@ -52,18 +59,97 @@ use phaselab_viz::{
 };
 use phaselab_workloads::Scale;
 
+/// Exit code for usage errors (bad flags, bad values, unknown
+/// experiments): the caller got the invocation wrong.
+const EXIT_USAGE: i32 = 2;
+/// Exit code for runtime errors (the study itself failed): the
+/// invocation was fine, the run was not.
+const EXIT_RUNTIME: i32 = 1;
+
+/// Every experiment the binary knows, validated before any work runs.
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig23",
+    "fig4",
+    "fig5",
+    "fig6",
+    "motivation",
+    "implications",
+    "simpoints",
+    "benchmarks",
+    "drift",
+    "similarity",
+    "ablation-k",
+    "ablation-interval",
+    "ablation-sampling",
+    "all",
+];
+
+const USAGE: &str = "usage: repro [options] <experiment>
+
+experiments:
+  table1             the 69 characteristics by category (Table 1)
+  table2             GA-selected key characteristics (Table 2)
+  table3             benchmarks and interval counts (Table 3)
+  fig1               GA correlation vs #characteristics (Figure 1)
+  fig23              kiviat + pie plots of the prominent phases (Figures 2-3)
+  fig4               workload-space coverage per suite (Figure 4)
+  fig5               cumulative coverage per suite (Figure 5)
+  fig6               unique-behavior fraction per suite (Figure 6)
+  motivation         aggregate vs phase-level characterization (2.1)
+  implications       simulation-point counts per suite (5.3)
+  simpoints          per-benchmark SimPoint accuracy (related work)
+  benchmarks         per-benchmark coverage and specificity
+  drift              CPU2000 -> CPU2006 benchmark drift
+  similarity         benchmark-similarity heatmap + dendrogram cut
+  ablation-k         coverage/variability trade-off across k (2.6)
+  ablation-interval  interval-granularity sensitivity (2.9)
+  ablation-sampling  equal-weight vs proportional sampling (2.4)
+  all                everything above, sharing one study run (default)
+
+options:
+  --scale tiny|small|full   workload scale        (default: full)
+  --interval N              interval length       (default: 100000)
+  --samples N               samples per benchmark (default: 200)
+  --k N                     clusters              (default: 300)
+  --seed N                  master seed           (default: 0)
+  --threads N               worker threads        (default: all cores)
+  --help                    print this help and exit
+
+exit codes: 0 success, 1 study/runtime error, 2 usage error";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cfg, command) = parse_args(&args);
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let (cfg, command) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("repro: {msg} (try `repro --help`)");
+            std::process::exit(EXIT_USAGE);
+        }
+    };
+    if let Err(e) = run_experiment(&cfg, &command) {
+        eprintln!("repro: {e}");
+        std::process::exit(EXIT_RUNTIME);
+    }
+}
 
-    let needs_study = !matches!(command.as_str(), "table1");
-    let study = if needs_study {
+fn run_experiment(cfg: &StudyConfig, command: &str) -> Result<(), StudyError> {
+    let study = if command == "table1" {
+        None
+    } else {
         eprintln!(
             "[repro] running study: scale={:?} interval={} samples={} k={}",
             cfg.scale, cfg.interval_len, cfg.samples_per_benchmark, cfg.k
         );
         let t = Instant::now();
-        let r = run_study(&cfg);
+        let r = run_study(cfg)?;
         eprintln!(
             "[repro] study done in {:.1}s: {} benchmarks, {} sampled intervals, {} PCs ({:.1}% var), {} prominent phases covering {:.1}%",
             t.elapsed().as_secs_f64(),
@@ -74,12 +160,11 @@ fn main() {
             r.prominent.len(),
             r.prominent_coverage * 100.0
         );
+        warn_quarantined(&r.quarantined);
         Some(r)
-    } else {
-        None
     };
 
-    match command.as_str() {
+    match command {
         "table1" => table1(),
         "table2" => table2(study.as_ref().unwrap()),
         "table3" => table3(study.as_ref().unwrap()),
@@ -95,8 +180,8 @@ fn main() {
         "drift" => drift(study.as_ref().unwrap()),
         "similarity" => similarity(study.as_ref().unwrap()),
         "ablation-k" => ablation_k(study.as_ref().unwrap()),
-        "ablation-interval" => ablation_interval(study.as_ref().unwrap(), &cfg),
-        "ablation-sampling" => ablation_sampling(study.as_ref().unwrap(), &cfg),
+        "ablation-interval" => ablation_interval(study.as_ref().unwrap(), cfg)?,
+        "ablation-sampling" => ablation_sampling(study.as_ref().unwrap(), cfg)?,
         "all" => {
             let r = study.as_ref().unwrap();
             table1();
@@ -114,58 +199,89 @@ fn main() {
             drift(r);
             similarity(r);
             ablation_k(r);
-            ablation_interval(r, &cfg);
-            ablation_sampling(r, &cfg);
+            ablation_interval(r, cfg)?;
+            ablation_sampling(r, cfg)?;
         }
-        other => {
-            eprintln!("unknown experiment `{other}`; see the module docs");
-            std::process::exit(2);
-        }
+        other => unreachable!("experiment `{other}` validated at parse time"),
+    }
+    Ok(())
+}
+
+/// One warning line per quarantined benchmark; the study itself carried
+/// on over the survivors.
+fn warn_quarantined(quarantined: &[phaselab_core::QuarantinedBenchmark]) {
+    for q in quarantined {
+        eprintln!("[repro] warning: quarantined {q}");
     }
 }
 
-fn parse_args(args: &[String]) -> (StudyConfig, String) {
+fn parse_args(args: &[String]) -> Result<(StudyConfig, String), String> {
     let mut cfg = StudyConfig::paper_scaled();
-    let mut command = String::from("all");
+    let mut command: Option<String> = None;
     let mut i = 0;
+    let value = |args: &[String], i: usize| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("missing value for `{}`", args[i]))
+    };
+    fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+        v.parse()
+            .map_err(|_| format!("bad value `{v}` for `{flag}`"))
+    }
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
+                let v = value(args, i)?;
                 i += 1;
-                cfg.scale = match args[i].as_str() {
+                cfg.scale = match v.as_str() {
                     "tiny" => Scale::Tiny,
                     "small" => Scale::Small,
                     "full" => Scale::Full,
-                    s => panic!("bad scale `{s}`"),
+                    s => return Err(format!("bad scale `{s}` (expected tiny|small|full)")),
                 };
             }
             "--interval" => {
+                let v = value(args, i)?;
                 i += 1;
-                cfg.interval_len = args[i].parse().expect("interval");
+                cfg.interval_len = parse_num("--interval", &v)?;
             }
             "--samples" => {
+                let v = value(args, i)?;
                 i += 1;
-                cfg.samples_per_benchmark = args[i].parse().expect("samples");
+                cfg.samples_per_benchmark = parse_num("--samples", &v)?;
             }
             "--k" => {
+                let v = value(args, i)?;
                 i += 1;
-                cfg.k = args[i].parse().expect("k");
+                cfg.k = parse_num("--k", &v)?;
                 cfg.n_prominent = cfg.n_prominent.min(cfg.k);
             }
             "--seed" => {
+                let v = value(args, i)?;
                 i += 1;
-                cfg.seed = args[i].parse().expect("seed");
+                cfg.seed = parse_num("--seed", &v)?;
             }
             "--threads" => {
+                let v = value(args, i)?;
                 i += 1;
-                cfg.threads = args[i].parse().expect("threads");
+                cfg.threads = parse_num("--threads", &v)?;
             }
-            flag if flag.starts_with("--") => panic!("unknown flag `{flag}`"),
-            cmd => command = cmd.to_string(),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            cmd => {
+                if let Some(first) = &command {
+                    return Err(format!(
+                        "unexpected argument `{cmd}` (experiment `{first}` already given)"
+                    ));
+                }
+                if !EXPERIMENTS.contains(&cmd) {
+                    return Err(format!("unknown experiment `{cmd}`"));
+                }
+                command = Some(cmd.to_string());
+            }
         }
         i += 1;
     }
-    (cfg, command)
+    Ok((cfg, command.unwrap_or_else(|| "all".to_string())))
 }
 
 /// Table 1: the characteristic categories and counts.
@@ -727,11 +843,17 @@ fn simpoints(r: &StudyResult) {
             continue;
         };
         let program = bench.build(r.config.scale, 0);
-        let (features, _) = phaselab_core::characterize_program(
+        let (features, _) = match phaselab_core::characterize_program(
             &program,
             r.config.interval_len,
             r.config.max_instructions_per_run,
-        );
+        ) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("[repro] warning: skipping {name} [{suite}]: {e}");
+                continue;
+            }
+        };
         if features.is_empty() {
             continue;
         }
@@ -1009,7 +1131,7 @@ fn ablation_k(r: &StudyResult) {
 }
 
 /// Ablation A2 (§2.9): interval-granularity sensitivity.
-fn ablation_interval(r: &StudyResult, cfg: &StudyConfig) {
+fn ablation_interval(r: &StudyResult, cfg: &StudyConfig) -> Result<(), StudyError> {
     println!("\n== Ablation: interval granularity (§2.9) ==\n");
     let mut rows = Vec::new();
     let intervals = [
@@ -1024,7 +1146,7 @@ fn ablation_interval(r: &StudyResult, cfg: &StudyConfig) {
         } else {
             let mut c = cfg.clone();
             c.interval_len = interval;
-            result = run_study(&c);
+            result = run_study(&c)?;
             &result
         };
         let uniq = uniqueness(res);
@@ -1055,14 +1177,15 @@ fn ablation_interval(r: &StudyResult, cfg: &StudyConfig) {
         )
     );
     println!("(expected: conclusions stable across granularities, finer intervals → more phases)");
+    Ok(())
 }
 
 /// Ablation A3 (§2.4): sampling policy.
-fn ablation_sampling(r: &StudyResult, cfg: &StudyConfig) {
+fn ablation_sampling(r: &StudyResult, cfg: &StudyConfig) -> Result<(), StudyError> {
     println!("\n== Ablation: equal-weight vs proportional sampling (§2.4) ==\n");
     let mut c = cfg.clone();
     c.sampling = SamplingPolicy::Proportional;
-    let prop = run_study(&c);
+    let prop = run_study(&c)?;
 
     let mut rows = Vec::new();
     let equal_cov = coverage(r);
@@ -1100,4 +1223,5 @@ fn ablation_sampling(r: &StudyResult, cfg: &StudyConfig) {
         )
     );
     println!("(proportional sampling over-weights long-running benchmarks; the paper's equal-weight choice avoids this)");
+    Ok(())
 }

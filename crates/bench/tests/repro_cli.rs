@@ -1,0 +1,89 @@
+//! Exit-code and diagnostic contract of the `repro` binary.
+//!
+//! Usage errors (bad flags, bad values, unknown experiments) must exit
+//! with code 2 and a one-line stderr diagnostic *without* running a
+//! study; `--help` succeeds. Keeping these argument-parsing paths fast
+//! is what makes them testable here — none of them characterizes a
+//! single benchmark.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+fn stderr_line(out: &Output) -> String {
+    let text = String::from_utf8_lossy(&out.stderr);
+    let mut lines = text.lines();
+    let first = lines.next().unwrap_or_default().to_string();
+    assert_eq!(lines.next(), None, "expected a one-line diagnostic");
+    first
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    let out = repro(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("usage: repro"));
+    assert!(text.contains("exit codes"));
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = repro(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(line.contains("unknown flag `--frobnicate`"), "{line}");
+}
+
+#[test]
+fn bad_flag_value_is_a_usage_error() {
+    let out = repro(&["--interval", "ten", "table1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(line.contains("bad value `ten` for `--interval`"), "{line}");
+}
+
+#[test]
+fn missing_flag_value_is_a_usage_error() {
+    let out = repro(&["--seed"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(line.contains("missing value for `--seed`"), "{line}");
+}
+
+#[test]
+fn bad_scale_is_a_usage_error() {
+    let out = repro(&["--scale", "huge"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(line.contains("bad scale `huge`"), "{line}");
+}
+
+#[test]
+fn unknown_experiment_is_a_usage_error() {
+    let out = repro(&["table9"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(line.contains("unknown experiment `table9`"), "{line}");
+}
+
+#[test]
+fn second_experiment_is_a_usage_error() {
+    let out = repro(&["table1", "fig4"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(line.contains("unexpected argument `fig4`"), "{line}");
+}
+
+#[test]
+fn table1_runs_without_a_study_and_succeeds() {
+    let out = repro(&["table1"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Table 1"));
+}

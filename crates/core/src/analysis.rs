@@ -209,7 +209,7 @@ mod tests {
     fn result_two_suites() -> StudyResult {
         let mut cfg = StudyConfig::smoke();
         cfg.suites = Some(vec![Suite::BioPerf, Suite::MediaBench2]);
-        run_study(&cfg)
+        run_study(&cfg).expect("smoke study")
     }
 
     #[test]
@@ -256,7 +256,7 @@ mod tests {
     fn single_suite_study_is_fully_unique() {
         let mut cfg = StudyConfig::smoke();
         cfg.suites = Some(vec![Suite::Bmw]);
-        let r = run_study(&cfg);
+        let r = run_study(&cfg).expect("smoke study");
         let u = uniqueness(&r);
         assert_eq!(u.len(), 1);
         assert!((u[0].unique_fraction - 1.0).abs() < 1e-12);

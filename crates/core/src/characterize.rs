@@ -2,10 +2,11 @@
 
 use phaselab_mica::{FeatureVector, IntervalCharacterizer};
 use phaselab_trace::TraceSink as _;
-use phaselab_vm::{Program, Vm};
+use phaselab_vm::{Program, Vm, VmError};
 use phaselab_workloads::Benchmark;
 
 use crate::config::StudyConfig;
+use crate::error::QuarantinedBenchmark;
 
 /// The characterization of one benchmark across all of its inputs.
 #[derive(Debug, Clone)]
@@ -30,45 +31,62 @@ impl BenchCharacterization {
 /// execution is shorter than one interval — then the single partial
 /// interval is kept so no benchmark characterizes to nothing.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the program faults: the bundled workloads are validated not
-/// to, so a fault indicates a bug, not an input condition.
+/// Returns the [`VmError`] if the program faults. The bundled workloads
+/// are validated not to fault, but the study pipeline treats a fault as
+/// an input condition: the owning benchmark is quarantined and the study
+/// continues (see [`run_study`](crate::run_study)).
 pub fn characterize_program(
     program: &Program,
     interval_len: u64,
     max_instructions: u64,
-) -> (Vec<FeatureVector>, u64) {
+) -> Result<(Vec<FeatureVector>, u64), VmError> {
     let mut chr = IntervalCharacterizer::new(interval_len).keep_tail(true);
     let mut vm = Vm::new(program);
-    let outcome = vm
-        .run(&mut chr, max_instructions)
-        .expect("workload execution faulted");
+    let outcome = vm.run(&mut chr, max_instructions)?;
     chr.finish();
     let mut features = chr.into_features();
     let full = (outcome.instructions / interval_len) as usize;
     if full >= 1 && features.len() > full {
         features.truncate(full); // drop the partial tail
     }
-    (features, outcome.instructions)
+    Ok((features, outcome.instructions))
 }
 
 /// Characterizes every input of a benchmark at the study's scale and
 /// interval length.
-pub fn characterize_benchmark(bench: &Benchmark, cfg: &StudyConfig) -> BenchCharacterization {
+///
+/// # Errors
+///
+/// Returns a [`QuarantinedBenchmark`] record — naming the faulting input
+/// and the VM fault — if any input faults. Quarantine is all-or-nothing:
+/// inputs characterized before the fault are discarded so a benchmark
+/// never enters the data set partially.
+pub fn characterize_benchmark(
+    bench: &Benchmark,
+    cfg: &StudyConfig,
+) -> Result<BenchCharacterization, QuarantinedBenchmark> {
     let mut per_input = Vec::with_capacity(bench.num_inputs());
     let mut total_instructions = 0;
     for input in 0..bench.num_inputs() {
         let program = bench.build(cfg.scale, input);
         let (features, instrs) =
-            characterize_program(&program, cfg.interval_len, cfg.max_instructions_per_run);
+            characterize_program(&program, cfg.interval_len, cfg.max_instructions_per_run)
+                .map_err(|error| QuarantinedBenchmark {
+                    name: bench.name().to_string(),
+                    suite: bench.suite(),
+                    input,
+                    input_name: bench.input_names()[input].to_string(),
+                    error,
+                })?;
         total_instructions += instrs;
         per_input.push(features);
     }
-    BenchCharacterization {
+    Ok(BenchCharacterization {
         per_input,
         total_instructions,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -81,7 +99,7 @@ mod tests {
         let all = catalog();
         let program = all[0].build(Scale::Tiny, 0);
         // Interval far longer than the whole Tiny run.
-        let (features, instrs) = characterize_program(&program, 1 << 40, 1 << 41);
+        let (features, instrs) = characterize_program(&program, 1 << 40, 1 << 41).expect("runs");
         assert_eq!(features.len(), 1);
         assert!(instrs > 0);
     }
@@ -91,7 +109,7 @@ mod tests {
         let all = catalog();
         let program = all[0].build(Scale::Tiny, 0);
         let interval = 10_000;
-        let (features, instrs) = characterize_program(&program, interval, 1 << 40);
+        let (features, instrs) = characterize_program(&program, interval, 1 << 40).expect("runs");
         assert_eq!(features.len() as u64, instrs / interval);
     }
 
@@ -105,7 +123,7 @@ mod tests {
             .expect("bzip2 with two inputs");
         let mut cfg = StudyConfig::smoke();
         cfg.interval_len = 10_000;
-        let c = characterize_benchmark(bzip2, &cfg);
+        let c = characterize_benchmark(bzip2, &cfg).expect("no faults");
         assert_eq!(c.per_input.len(), 2);
         assert!(c.total_intervals() >= 2);
         assert!(c.total_instructions > 20_000);
@@ -115,8 +133,20 @@ mod tests {
     fn characterization_is_deterministic() {
         let all = catalog();
         let program = all[3].build(Scale::Tiny, 0);
-        let (a, _) = characterize_program(&program, 15_000, 1 << 40);
-        let (b, _) = characterize_program(&program, 15_000, 1 << 40);
+        let (a, _) = characterize_program(&program, 15_000, 1 << 40).expect("runs");
+        let (b, _) = characterize_program(&program, 15_000, 1 << 40).expect("runs");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faulting_program_reports_the_vm_error() {
+        use phaselab_vm::{regs::*, Asm, DataBuilder};
+        let mut asm = Asm::new();
+        asm.li(T0, 1 << 40); // far outside any data segment
+        asm.ld(T1, T0, 0);
+        asm.halt();
+        let program = asm.assemble(DataBuilder::new()).expect("assembles");
+        let err = characterize_program(&program, 1_000, 1 << 20).expect_err("faults");
+        assert!(err.is_memory_fault(), "unexpected fault {err}");
     }
 }

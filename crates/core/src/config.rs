@@ -1,7 +1,10 @@
 //! Study configuration.
 
 use phaselab_ga::GaConfig;
+use phaselab_mica::NUM_FEATURES;
 use phaselab_workloads::{Scale, Suite};
+
+use crate::error::ConfigError;
 
 /// How intervals are sampled from the characterized executions (§2.4 of
 /// the paper discusses this as an experimental design choice).
@@ -113,27 +116,43 @@ impl StudyConfig {
 
     /// Validates internal consistency.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on contradictory settings (e.g. more prominent phases than
-    /// clusters).
-    pub fn validate(&self) {
-        assert!(self.interval_len > 0, "interval length must be positive");
-        assert!(self.samples_per_benchmark > 0, "need at least one sample");
-        assert!(self.k > 0, "need at least one cluster");
-        assert!(
-            self.n_prominent <= self.k,
-            "cannot keep more prominent phases ({}) than clusters ({})",
-            self.n_prominent,
-            self.k
-        );
-        assert!(
-            self.n_key_characteristics >= 1,
-            "need at least one key characteristic"
-        );
-        if let Some(suites) = &self.suites {
-            assert!(!suites.is_empty(), "empty suite filter");
+    /// Returns a [`ConfigError`] describing the first contradictory
+    /// setting (e.g. more prominent phases than clusters, or an invalid
+    /// GA sub-configuration).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.interval_len == 0 {
+            return Err(ConfigError::ZeroIntervalLength);
         }
+        if self.samples_per_benchmark == 0 {
+            return Err(ConfigError::ZeroSamples);
+        }
+        if self.k == 0 {
+            return Err(ConfigError::ZeroClusters);
+        }
+        if self.n_prominent > self.k {
+            return Err(ConfigError::ProminentExceedsClusters {
+                n_prominent: self.n_prominent,
+                k: self.k,
+            });
+        }
+        if self.n_key_characteristics == 0 {
+            return Err(ConfigError::ZeroKeyCharacteristics);
+        }
+        if self.n_key_characteristics > NUM_FEATURES {
+            return Err(ConfigError::TooManyKeyCharacteristics {
+                requested: self.n_key_characteristics,
+                available: NUM_FEATURES,
+            });
+        }
+        if let Some(suites) = &self.suites {
+            if suites.is_empty() {
+                return Err(ConfigError::EmptySuiteFilter);
+            }
+        }
+        self.ga.validate()?;
+        Ok(())
     }
 }
 
@@ -143,8 +162,8 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        StudyConfig::paper_scaled().validate();
-        StudyConfig::smoke().validate();
+        assert_eq!(StudyConfig::paper_scaled().validate(), Ok(()));
+        assert_eq!(StudyConfig::smoke().validate(), Ok(()));
     }
 
     #[test]
@@ -157,10 +176,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "prominent")]
     fn validate_rejects_prominent_above_k() {
         let mut cfg = StudyConfig::smoke();
         cfg.n_prominent = cfg.k + 1;
-        cfg.validate();
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ProminentExceedsClusters {
+                n_prominent: cfg.n_prominent,
+                k: cfg.k,
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_each_degenerate_setting() {
+        let mut cfg = StudyConfig::smoke();
+        cfg.interval_len = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroIntervalLength));
+
+        let mut cfg = StudyConfig::smoke();
+        cfg.samples_per_benchmark = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroSamples));
+
+        let mut cfg = StudyConfig::smoke();
+        cfg.k = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroClusters));
+
+        let mut cfg = StudyConfig::smoke();
+        cfg.n_key_characteristics = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroKeyCharacteristics));
+
+        let mut cfg = StudyConfig::smoke();
+        cfg.n_key_characteristics = NUM_FEATURES + 1;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::TooManyKeyCharacteristics {
+                requested: NUM_FEATURES + 1,
+                available: NUM_FEATURES,
+            })
+        );
+
+        let mut cfg = StudyConfig::smoke();
+        cfg.suites = Some(vec![]);
+        assert_eq!(cfg.validate(), Err(ConfigError::EmptySuiteFilter));
+
+        let mut cfg = StudyConfig::smoke();
+        cfg.ga.populations = 0;
+        assert!(matches!(cfg.validate(), Err(ConfigError::Ga(_))));
     }
 }

@@ -1,0 +1,276 @@
+//! Typed errors for the study pipeline.
+//!
+//! The pipeline distinguishes three failure domains, mirroring its
+//! stages:
+//!
+//! * [`ConfigError`] — the study was mis-configured; nothing ran.
+//! * Characterization faults — a workload faulted in the VM. A single
+//!   faulting benchmark does **not** fail the study: it is quarantined
+//!   (see [`QuarantinedBenchmark`] and
+//!   [`StudyResult::quarantined`](crate::StudyResult::quarantined)) and
+//!   the study completes on the survivors. Only when *every* selected
+//!   benchmark faults does the study fail with
+//!   [`StudyError::Characterization`].
+//! * [`AnalysisError`] — the surviving data set is too degenerate to
+//!   analyze.
+
+use std::error::Error;
+use std::fmt;
+
+use phaselab_ga::GaConfigError;
+use phaselab_vm::VmError;
+use phaselab_workloads::Suite;
+
+/// An invalid [`StudyConfig`](crate::StudyConfig).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `interval_len` is zero.
+    ZeroIntervalLength,
+    /// `samples_per_benchmark` is zero.
+    ZeroSamples,
+    /// `k` is zero.
+    ZeroClusters,
+    /// More prominent phases requested than clusters exist.
+    ProminentExceedsClusters {
+        /// Requested number of prominent phases.
+        n_prominent: usize,
+        /// Configured number of clusters.
+        k: usize,
+    },
+    /// `n_key_characteristics` is zero.
+    ZeroKeyCharacteristics,
+    /// `n_key_characteristics` exceeds the number of measured
+    /// characteristics.
+    TooManyKeyCharacteristics {
+        /// Requested number of key characteristics.
+        requested: usize,
+        /// Number of characteristics the suite measures.
+        available: usize,
+    },
+    /// `suites` is `Some` but lists no suites.
+    EmptySuiteFilter,
+    /// The genetic-algorithm sub-configuration is invalid.
+    Ga(GaConfigError),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroIntervalLength => write!(f, "interval length must be positive"),
+            ConfigError::ZeroSamples => write!(f, "need at least one sample per benchmark"),
+            ConfigError::ZeroClusters => write!(f, "need at least one cluster"),
+            ConfigError::ProminentExceedsClusters { n_prominent, k } => write!(
+                f,
+                "cannot keep more prominent phases ({n_prominent}) than clusters ({k})"
+            ),
+            ConfigError::ZeroKeyCharacteristics => {
+                write!(f, "need at least one key characteristic")
+            }
+            ConfigError::TooManyKeyCharacteristics {
+                requested,
+                available,
+            } => write!(
+                f,
+                "cannot select {requested} key characteristics from {available} measured ones"
+            ),
+            ConfigError::EmptySuiteFilter => write!(f, "empty suite filter"),
+            ConfigError::Ga(e) => write!(f, "invalid GA configuration: {e}"),
+        }
+    }
+}
+
+impl Error for ConfigError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConfigError::Ga(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GaConfigError> for ConfigError {
+    fn from(e: GaConfigError) -> Self {
+        ConfigError::Ga(e)
+    }
+}
+
+/// A benchmark excluded from a study because one of its inputs faulted
+/// in the VM.
+///
+/// Quarantine is all-or-nothing per benchmark: a fault in any input
+/// removes the whole benchmark from the data set, so the equal-weight
+/// sampling never sees a partially characterized benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedBenchmark {
+    /// The benchmark's name.
+    pub name: String,
+    /// The suite it belongs to.
+    pub suite: Suite,
+    /// Index of the faulting input.
+    pub input: usize,
+    /// Name of the faulting input.
+    pub input_name: String,
+    /// The VM fault.
+    pub error: VmError,
+}
+
+impl fmt::Display for QuarantinedBenchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] input `{}` faulted: {}",
+            self.name,
+            self.suite.short_name(),
+            self.input_name,
+            self.error
+        )
+    }
+}
+
+impl Error for QuarantinedBenchmark {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// The surviving data set is too degenerate to analyze.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The study was asked to run over an empty benchmark list.
+    NoBenchmarksSelected,
+    /// Sampling produced no intervals (every surviving benchmark
+    /// characterized to nothing).
+    NoIntervalsSampled,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::NoBenchmarksSelected => {
+                write!(f, "no benchmarks selected for the study")
+            }
+            AnalysisError::NoIntervalsSampled => write!(f, "no intervals were sampled"),
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+/// A study that could not produce a result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StudyError {
+    /// The configuration is invalid (see [`ConfigError`]).
+    Config(ConfigError),
+    /// Every selected benchmark faulted during characterization; the
+    /// quarantine list holds one record per benchmark.
+    Characterization {
+        /// The fault of every selected benchmark, in selection order.
+        quarantined: Vec<QuarantinedBenchmark>,
+    },
+    /// The surviving data set could not be analyzed.
+    Analysis(AnalysisError),
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::Config(e) => write!(f, "invalid study configuration: {e}"),
+            StudyError::Characterization { quarantined } => {
+                write!(
+                    f,
+                    "all {} selected benchmarks faulted (first: {})",
+                    quarantined.len(),
+                    quarantined
+                        .first()
+                        .map(|q| q.to_string())
+                        .unwrap_or_else(|| "none".into())
+                )
+            }
+            StudyError::Analysis(e) => write!(f, "analysis failed: {e}"),
+        }
+    }
+}
+
+impl Error for StudyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StudyError::Config(e) => Some(e),
+            StudyError::Characterization { quarantined } => {
+                quarantined.first().map(|q| q as &(dyn Error + 'static))
+            }
+            StudyError::Analysis(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for StudyError {
+    fn from(e: ConfigError) -> Self {
+        StudyError::Config(e)
+    }
+}
+
+impl From<AnalysisError> for StudyError {
+    fn from(e: AnalysisError) -> Self {
+        StudyError::Analysis(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_one_line() {
+        let q = QuarantinedBenchmark {
+            name: "gcc".into(),
+            suite: Suite::SpecInt2000,
+            input: 1,
+            input_name: "200".into(),
+            error: VmError::PcOutOfRange { pc: 99 },
+        };
+        for msg in [
+            ConfigError::ZeroClusters.to_string(),
+            ConfigError::ProminentExceedsClusters {
+                n_prominent: 5,
+                k: 3,
+            }
+            .to_string(),
+            q.to_string(),
+            StudyError::Characterization {
+                quarantined: vec![q.clone()],
+            }
+            .to_string(),
+            StudyError::Analysis(AnalysisError::NoIntervalsSampled).to_string(),
+        ] {
+            assert!(!msg.is_empty());
+            assert!(!msg.contains('\n'), "multi-line: {msg}");
+        }
+    }
+
+    #[test]
+    fn error_sources_chain_to_the_vm_fault() {
+        let q = QuarantinedBenchmark {
+            name: "mcf".into(),
+            suite: Suite::SpecInt2006,
+            input: 0,
+            input_name: "ref".into(),
+            error: VmError::CallStackOverflow,
+        };
+        let e = StudyError::Characterization {
+            quarantined: vec![q],
+        };
+        let source = e.source().expect("has source");
+        let vm = source.source().expect("chains to VmError");
+        assert_eq!(vm.to_string(), VmError::CallStackOverflow.to_string());
+    }
+
+    #[test]
+    fn conversions_wrap_variants() {
+        let e: StudyError = ConfigError::ZeroSamples.into();
+        assert!(matches!(e, StudyError::Config(ConfigError::ZeroSamples)));
+        let e: StudyError = AnalysisError::NoBenchmarksSelected.into();
+        assert!(matches!(e, StudyError::Analysis(_)));
+        let e: ConfigError = GaConfigError::NoPopulations.into();
+        assert!(matches!(e, ConfigError::Ga(GaConfigError::NoPopulations)));
+    }
+}

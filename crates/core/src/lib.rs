@@ -20,6 +20,15 @@
 //!    curves and [`uniqueness`] fractions — the paper's Figures 4, 5
 //!    and 6.
 //!
+//! # Error model
+//!
+//! [`run_study`] returns `Result<StudyResult, StudyError>`. Invalid
+//! configurations fail fast with [`ConfigError`]; a *faulting workload*
+//! does not fail the study — the benchmark is quarantined into
+//! [`StudyResult::quarantined`] and the study completes on the
+//! survivors. Only when every selected benchmark faults (or the
+//! surviving data set is degenerate) does the study return an error.
+//!
 //! # Examples
 //!
 //! A smoke-scale study over two suites:
@@ -30,7 +39,7 @@
 //!
 //! let mut cfg = StudyConfig::smoke();
 //! cfg.suites = Some(vec![Suite::BioPerf, Suite::MediaBench2]);
-//! let result = run_study(&cfg);
+//! let result = run_study(&cfg).expect("valid config, bundled workloads never fault");
 //! println!("{} prominent phases", result.prominent.len());
 //! ```
 
@@ -40,6 +49,7 @@
 mod analysis;
 mod characterize;
 mod config;
+mod error;
 mod phases;
 mod pipeline;
 mod report;
@@ -53,8 +63,9 @@ pub use analysis::{
 };
 pub use characterize::{characterize_benchmark, characterize_program, BenchCharacterization};
 pub use config::{SamplingPolicy, StudyConfig};
+pub use error::{AnalysisError, ConfigError, QuarantinedBenchmark, StudyError};
 pub use phases::{KiviatAxis, PhaseKind, PhaseShare, ProminentPhase};
-pub use pipeline::{run_study, BenchmarkRun, SampledInterval, StudyResult};
+pub use pipeline::{run_study, run_study_with, BenchmarkRun, SampledInterval, StudyResult};
 pub use report::{format_table, write_csv};
 pub use sampling::{sample_intervals, sample_with_policy};
 pub use simpoints::{reconstruction_error, simulation_points, weighted_estimate, SimPoint};

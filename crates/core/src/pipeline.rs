@@ -10,6 +10,7 @@ use phaselab_workloads::{catalog, Suite};
 
 use crate::characterize::{characterize_benchmark, BenchCharacterization};
 use crate::config::StudyConfig;
+use crate::error::{AnalysisError, QuarantinedBenchmark, StudyError};
 use crate::phases::{KiviatAxis, PhaseKind, PhaseShare, ProminentPhase};
 use crate::sampling::sample_with_policy;
 
@@ -53,8 +54,13 @@ pub struct SampledInterval {
 pub struct StudyResult {
     /// The configuration the study ran with.
     pub config: StudyConfig,
-    /// Characterized benchmarks, in catalog order (filtered by suite).
+    /// Characterized benchmarks, in catalog order (filtered by suite),
+    /// excluding quarantined ones.
     pub benchmarks: Vec<BenchmarkRun>,
+    /// Benchmarks excluded because a workload input faulted, in
+    /// selection order, each with the fault that removed it. Empty in a
+    /// healthy study.
+    pub quarantined: Vec<QuarantinedBenchmark>,
     /// The sampled intervals, one per data-matrix row.
     pub sampled: Vec<SampledInterval>,
     /// Raw 69-characteristic features of the sampled intervals.
@@ -97,24 +103,28 @@ impl StudyResult {
 
     /// Kiviat axes for one prominent phase: the phase representative's
     /// key-characteristic values against population statistics.
+    ///
+    /// The mean and standard deviation come from [`ColumnStats::of`] —
+    /// the same sample statistics (`/(n-1)`) the pipeline's
+    /// normalization and PCA report — so the kiviat `sd` rings match the
+    /// normalization scale of the rest of the study.
     pub fn kiviat_axes(&self, phase: &ProminentPhase) -> Vec<KiviatAxis> {
         let names = feature_names();
         let rep = self.features.row(phase.representative_row);
+        let stats = ColumnStats::of(&self.features);
         self.key_characteristics
             .iter()
             .map(|&feat| {
                 let col = self.features.column(feat);
-                let n = col.len() as f64;
-                let mean = col.iter().sum::<f64>() / n;
-                let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
                 let min = col.iter().cloned().fold(f64::INFINITY, f64::min);
                 let max = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let (mean, sd) = stats.column(feat);
                 KiviatAxis {
                     feature: feat,
                     name: names[feat],
                     min,
                     mean,
-                    sd: var.sqrt(),
+                    sd,
                     max,
                     value: rep[feat],
                 }
@@ -163,16 +173,21 @@ impl StudyResult {
     }
 }
 
-/// Runs the full methodology pipeline.
+/// Runs the full methodology pipeline over the (suite-filtered) catalog.
 ///
-/// # Panics
+/// A faulting benchmark does not abort the study: it is quarantined —
+/// recorded in [`StudyResult::quarantined`] with its fault — and the
+/// study completes on the survivors, producing exactly the result a
+/// study over the surviving benchmarks alone would produce.
 ///
-/// Panics if the configuration is invalid (see
-/// [`StudyConfig::validate`]) or a workload faults.
-pub fn run_study(cfg: &StudyConfig) -> StudyResult {
-    cfg.validate();
-
-    // Step 1: characterize all benchmarks (in parallel).
+/// # Errors
+///
+/// Returns [`StudyError::Config`] for an invalid configuration,
+/// [`StudyError::Characterization`] when *every* selected benchmark
+/// faults, and [`StudyError::Analysis`] when the surviving data set is
+/// too degenerate to analyze.
+pub fn run_study(cfg: &StudyConfig) -> Result<StudyResult, StudyError> {
+    cfg.validate()?;
     let benches: Vec<_> = catalog()
         .into_iter()
         .filter(|b| {
@@ -182,13 +197,48 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResult {
                 .unwrap_or(true)
         })
         .collect();
-    assert!(!benches.is_empty(), "suite filter selected no benchmarks");
+    run_study_with(cfg, &benches)
+}
 
-    let characterizations = characterize_all(&benches, cfg);
+/// Runs the full methodology pipeline over an explicit benchmark list
+/// (ignoring `cfg.suites`), with the same quarantine semantics as
+/// [`run_study`].
+///
+/// This is the injection point for custom workloads built with
+/// [`Benchmark::custom`](phaselab_workloads::Benchmark::custom).
+///
+/// # Errors
+///
+/// As [`run_study`]; additionally returns
+/// [`AnalysisError::NoBenchmarksSelected`] when `benches` is empty.
+pub fn run_study_with(
+    cfg: &StudyConfig,
+    benches: &[phaselab_workloads::Benchmark],
+) -> Result<StudyResult, StudyError> {
+    cfg.validate()?;
+    if benches.is_empty() {
+        return Err(AnalysisError::NoBenchmarksSelected.into());
+    }
 
-    let benchmarks: Vec<BenchmarkRun> = benches
+    // Step 1: characterize all benchmarks (in parallel). Results come
+    // back keyed by benchmark index, so the survivor/quarantine split is
+    // identical for every thread count.
+    let outcomes = characterize_all(benches, cfg);
+    let mut quarantined = Vec::new();
+    let mut survivors: Vec<(&phaselab_workloads::Benchmark, BenchCharacterization)> =
+        Vec::with_capacity(benches.len());
+    for (bench, outcome) in benches.iter().zip(outcomes) {
+        match outcome {
+            Ok(c) => survivors.push((bench, c)),
+            Err(fault) => quarantined.push(fault),
+        }
+    }
+    if survivors.is_empty() {
+        return Err(StudyError::Characterization { quarantined });
+    }
+
+    let benchmarks: Vec<BenchmarkRun> = survivors
         .iter()
-        .zip(&characterizations)
         .map(|(b, c)| BenchmarkRun {
             name: b.name().to_string(),
             suite: b.suite(),
@@ -197,8 +247,12 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResult {
             total_instructions: c.total_instructions,
         })
         .collect();
+    let characterizations: Vec<BenchCharacterization> =
+        survivors.into_iter().map(|(_, c)| c).collect();
 
-    // Step 2: equal-weight interval sampling.
+    // Step 2: equal-weight interval sampling. Benchmark indices are
+    // compacted over the survivors, so a study with a quarantined
+    // benchmark draws exactly as a study never given it.
     let available: Vec<Vec<usize>> = benchmarks
         .iter()
         .map(|b| b.intervals_per_input.clone())
@@ -209,7 +263,9 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResult {
         cfg.sampling,
         cfg.seed,
     );
-    assert!(!sampled.is_empty(), "no intervals were sampled");
+    if sampled.is_empty() {
+        return Err(AnalysisError::NoIntervalsSampled.into());
+    }
 
     let mut rows = Vec::with_capacity(sampled.len());
     for s in &sampled {
@@ -262,9 +318,10 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResult {
         ((0..cfg.n_key_characteristics).collect(), 0.0)
     };
 
-    StudyResult {
+    Ok(StudyResult {
         config: cfg.clone(),
         benchmarks,
+        quarantined,
         sampled,
         features,
         space,
@@ -278,14 +335,18 @@ pub fn run_study(cfg: &StudyConfig) -> StudyResult {
         feature_norm,
         pca,
         score_norm,
-    }
+    })
 }
 
 /// Characterizes all benchmarks on the shared work-stealing executor.
+///
+/// Per-benchmark `Result`s ride across the executor in index-keyed
+/// slots, so the outcome vector — including which benchmarks fault — is
+/// identical for every thread count.
 fn characterize_all(
     benches: &[phaselab_workloads::Benchmark],
     cfg: &StudyConfig,
-) -> Vec<BenchCharacterization> {
+) -> Vec<Result<BenchCharacterization, QuarantinedBenchmark>> {
     let threads = effective_threads(cfg.threads);
     parallel_map(benches, threads, |b| characterize_benchmark(b, cfg))
 }
@@ -381,13 +442,14 @@ mod tests {
         let mut cfg = StudyConfig::smoke();
         cfg.suites = Some(vec![Suite::Bmw, Suite::MediaBench2]);
         cfg.threads = 2;
-        run_study(&cfg)
+        run_study(&cfg).expect("smoke study")
     }
 
     #[test]
     fn smoke_study_end_to_end() {
         let r = smoke_result();
         assert_eq!(r.benchmarks.len(), 12); // 5 BMW + 7 MediaBench II
+        assert!(r.quarantined.is_empty(), "bundled workloads never fault");
         assert_eq!(r.sampled.len(), 12 * r.config.samples_per_benchmark);
         assert_eq!(r.features.rows(), r.sampled.len());
         assert_eq!(r.features.cols(), NUM_FEATURES);
@@ -437,17 +499,38 @@ mod tests {
     fn study_is_deterministic() {
         let mut cfg = StudyConfig::smoke();
         cfg.suites = Some(vec![Suite::Bmw]);
-        let a = run_study(&cfg);
-        let b = run_study(&cfg);
+        let a = run_study(&cfg).expect("study");
+        let b = run_study(&cfg).expect("study");
         assert_eq!(a.clustering.assignments, b.clustering.assignments);
         assert_eq!(a.key_characteristics, b.key_characteristics);
     }
 
     #[test]
-    #[should_panic(expected = "empty suite filter")]
-    fn empty_filter_panics() {
+    fn empty_filter_is_a_config_error() {
         let mut cfg = StudyConfig::smoke();
         cfg.suites = Some(vec![]);
-        let _ = run_study(&cfg);
+        assert!(matches!(
+            run_study(&cfg),
+            Err(StudyError::Config(crate::ConfigError::EmptySuiteFilter))
+        ));
+    }
+
+    #[test]
+    fn empty_benchmark_list_is_an_analysis_error() {
+        let cfg = StudyConfig::smoke();
+        assert!(matches!(
+            run_study_with(&cfg, &[]),
+            Err(StudyError::Analysis(AnalysisError::NoBenchmarksSelected))
+        ));
+    }
+
+    #[test]
+    fn invalid_config_fails_before_any_characterization() {
+        let mut cfg = StudyConfig::smoke();
+        cfg.k = 0;
+        assert!(matches!(
+            run_study(&cfg),
+            Err(StudyError::Config(crate::ConfigError::ZeroClusters))
+        ));
     }
 }

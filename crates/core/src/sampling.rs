@@ -39,9 +39,13 @@ pub fn sample_intervals(
         if pool.len() >= samples_per_benchmark {
             pool.truncate(samples_per_benchmark);
         } else {
-            let deficit = samples_per_benchmark - pool.len();
+            // Top-up draws index into the original pool only: drawing
+            // from the growing pool would make already-duplicated
+            // intervals ever more likely to be duplicated again.
+            let base = pool.len();
+            let deficit = samples_per_benchmark - base;
             for _ in 0..deficit {
-                let pick = pool[rng.random_range(0..pool.len())];
+                let pick = pool[rng.random_range(0..base)];
                 pool.push(pick);
             }
         }
@@ -60,7 +64,10 @@ pub fn sample_intervals(
 /// [`sample_intervals`]. [`SamplingPolicy::Proportional`] draws the same
 /// *total* number of intervals, but allocates them to benchmarks in
 /// proportion to their characterized interval counts — the bias the
-/// paper's equal-weight policy is designed to avoid (ablation A3).
+/// paper's equal-weight policy is designed to avoid (ablation A3). The
+/// allocation uses the largest-remainder method, so the total is exactly
+/// `samples_per_benchmark * available.len()` whenever any benchmark has
+/// intervals.
 pub fn sample_with_policy(
     available: &[Vec<usize>],
     samples_per_benchmark: usize,
@@ -78,13 +85,10 @@ pub fn sample_with_policy(
                 return Vec::new();
             }
             let budget = samples_per_benchmark * available.len();
+            let shares = largest_remainder_shares(&totals, grand_total, budget);
             let mut out = Vec::with_capacity(budget);
             for (bench, inputs) in available.iter().enumerate() {
-                // Round to the nearest share; at least 1 for non-empty
-                // benchmarks so nothing disappears entirely.
-                let share =
-                    (budget as f64 * totals[bench] as f64 / grand_total as f64).round() as usize;
-                let share = if totals[bench] > 0 { share.max(1) } else { 0 };
+                let share = shares[bench];
                 if share == 0 {
                     continue;
                 }
@@ -98,6 +102,56 @@ pub fn sample_with_policy(
             out
         }
     }
+}
+
+/// Allocates `budget` samples to benchmarks in proportion to `totals`
+/// by the largest-remainder (Hamilton) method, so the shares sum to
+/// exactly `budget` — independent per-benchmark rounding can drift by
+/// up to one sample per benchmark.
+///
+/// Every benchmark with a non-zero interval count is guaranteed at
+/// least one sample when the budget allows it (a unit is taken from the
+/// largest share), so nothing disappears from the study entirely. All
+/// tie-breaks are by benchmark index, keeping the allocation
+/// deterministic.
+fn largest_remainder_shares(totals: &[usize], grand_total: usize, budget: usize) -> Vec<usize> {
+    let mut shares = vec![0usize; totals.len()];
+    let mut remainders: Vec<(usize, f64)> = Vec::new();
+    let mut assigned = 0usize;
+    for (bench, &total) in totals.iter().enumerate() {
+        if total == 0 {
+            continue;
+        }
+        let exact = budget as f64 * total as f64 / grand_total as f64;
+        let floor = exact.floor() as usize;
+        shares[bench] = floor;
+        assigned += floor;
+        remainders.push((bench, exact - floor as f64));
+    }
+    remainders.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite remainders")
+            .then(a.0.cmp(&b.0))
+    });
+    for &(bench, _) in remainders.iter().take(budget.saturating_sub(assigned)) {
+        shares[bench] += 1;
+    }
+    // Nothing disappears: give shut-out non-empty benchmarks one sample
+    // from the current largest share, preserving the exact total.
+    for bench in 0..totals.len() {
+        if totals[bench] == 0 || shares[bench] > 0 {
+            continue;
+        }
+        let donor = (0..shares.len()).max_by_key(|&i| (shares[i], usize::MAX - i));
+        match donor {
+            Some(d) if shares[d] > 1 => {
+                shares[d] -= 1;
+                shares[bench] = 1;
+            }
+            _ => break, // budget too small for everyone; leave the rest at 0
+        }
+    }
+    shares
 }
 
 #[cfg(test)]
@@ -179,6 +233,52 @@ mod tests {
         let sampled = sample_with_policy(&available, 6, SamplingPolicy::Proportional, 7);
         for b in 0..3 {
             assert!(sampled.iter().any(|s| s.bench == b));
+        }
+    }
+
+    #[test]
+    fn topup_draws_are_uniform_over_the_original_pool() {
+        // With the growing-pool bug, top-up duplication is a Pólya urn:
+        // early duplicates snowball and the split between the two
+        // intervals is wildly variable. Unbiased top-up draws are
+        // Binomial(100, 1/2), so each interval lands well inside
+        // [30, 72] with overwhelming probability.
+        for seed in 0..20 {
+            let sampled = sample_intervals(&[vec![2]], 102, seed);
+            assert_eq!(sampled.len(), 102);
+            let n0 = sampled.iter().filter(|s| s.interval == 0).count();
+            assert!(
+                (30..=72).contains(&n0),
+                "seed {seed}: interval 0 drawn {n0}/102 times"
+            );
+        }
+    }
+
+    #[test]
+    fn proportional_totals_are_exact_under_adversarial_rounding() {
+        // Independent rounding would give 2 + 1 + 1 + 1 = 5 samples on a
+        // budget of 4; largest-remainder allocation stays exact.
+        let available = vec![vec![3], vec![1], vec![1], vec![1]];
+        let sampled = sample_with_policy(&available, 1, SamplingPolicy::Proportional, 9);
+        assert_eq!(sampled.len(), 4, "total must equal the budget");
+        for b in 0..4 {
+            assert!(
+                sampled.iter().any(|s| s.bench == b),
+                "benchmark {b} disappeared"
+            );
+        }
+    }
+
+    #[test]
+    fn proportional_allocation_is_exact_across_shapes() {
+        for (available, spb) in [
+            (vec![vec![7], vec![13], vec![17], vec![23], vec![100]], 10),
+            (vec![vec![1], vec![1], vec![1000]], 5),
+            (vec![vec![0], vec![9], vec![9]], 4),
+        ] {
+            let n = available.len();
+            let sampled = sample_with_policy(&available, spb, SamplingPolicy::Proportional, 11);
+            assert_eq!(sampled.len(), spb * n, "budget drifted for {available:?}");
         }
     }
 

@@ -86,23 +86,36 @@ impl PhaseTimeline {
 /// Characterizes one benchmark input at the study's interval length and
 /// classifies every interval against the study's clustering.
 ///
+/// # Errors
+///
+/// Returns a [`QuarantinedBenchmark`](crate::QuarantinedBenchmark)
+/// record if the workload faults.
+///
 /// # Panics
 ///
-/// Panics if the workload faults or `input` is out of range.
+/// Panics if `input` is out of range for the benchmark.
 pub fn phase_timeline(
     result: &StudyResult,
     bench: &Benchmark,
     input: usize,
     cfg: &StudyConfig,
-) -> PhaseTimeline {
+) -> Result<PhaseTimeline, crate::QuarantinedBenchmark> {
     let program = bench.build(cfg.scale, input);
     let (features, _) =
-        characterize_program(&program, cfg.interval_len, cfg.max_instructions_per_run);
+        characterize_program(&program, cfg.interval_len, cfg.max_instructions_per_run).map_err(
+            |error| crate::QuarantinedBenchmark {
+                name: bench.name().to_string(),
+                suite: bench.suite(),
+                input,
+                input_name: bench.input_names()[input].to_string(),
+                error,
+            },
+        )?;
     let clusters = features
         .iter()
         .map(|fv| result.classify(fv.as_slice()).0)
         .collect();
-    PhaseTimeline { clusters }
+    Ok(PhaseTimeline { clusters })
 }
 
 #[cfg(test)]
@@ -114,7 +127,7 @@ mod tests {
     fn study_and_catalog() -> (StudyResult, Vec<Benchmark>) {
         let mut cfg = StudyConfig::smoke();
         cfg.suites = Some(vec![Suite::Bmw, Suite::MediaBench2]);
-        (run_study(&cfg), catalog())
+        (run_study(&cfg).expect("smoke study"), catalog())
     }
 
     #[test]
@@ -124,7 +137,7 @@ mod tests {
             .iter()
             .find(|b| b.suite() == Suite::MediaBench2 && b.name() == "jpeg")
             .unwrap();
-        let t = phase_timeline(&r, bench, 0, &r.config.clone());
+        let t = phase_timeline(&r, bench, 0, &r.config.clone()).expect("no fault");
         assert!(!t.is_empty());
         // Runs re-assemble into the timeline.
         let total: usize = t.runs().iter().map(|&(_, n)| n).sum();
@@ -144,7 +157,7 @@ mod tests {
             .iter()
             .find(|b| b.suite() == Suite::MediaBench2 && b.name() == "jpeg")
             .unwrap();
-        let t = phase_timeline(&r, bench, 0, &r.config.clone());
+        let t = phase_timeline(&r, bench, 0, &r.config.clone()).expect("no fault");
         assert!(
             t.distinct_phases().len() >= 2,
             "expected multiple phases, got {}",

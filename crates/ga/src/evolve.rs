@@ -75,7 +75,77 @@ impl GaConfig {
         self.threads = threads;
         self
     }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GaConfigError`] describing the first contradictory
+    /// setting: no populations, fewer than two genomes per population, a
+    /// rate outside `[0, 1]`, or a zero migration interval.
+    pub fn validate(&self) -> Result<(), GaConfigError> {
+        if self.populations == 0 {
+            return Err(GaConfigError::NoPopulations);
+        }
+        if self.population_size < 2 {
+            return Err(GaConfigError::PopulationTooSmall {
+                population_size: self.population_size,
+            });
+        }
+        for (name, rate) in [
+            ("mutation_rate", self.mutation_rate),
+            ("crossover_rate", self.crossover_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(GaConfigError::RateOutOfRange { name, rate });
+            }
+        }
+        if self.migration_interval == 0 {
+            return Err(GaConfigError::ZeroMigrationInterval);
+        }
+        Ok(())
+    }
 }
+
+/// An invalid [`GaConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GaConfigError {
+    /// `populations` is zero.
+    NoPopulations,
+    /// `population_size` is below two (selection needs parents).
+    PopulationTooSmall {
+        /// The configured population size.
+        population_size: usize,
+    },
+    /// A probability parameter lies outside `[0, 1]`.
+    RateOutOfRange {
+        /// Name of the offending field.
+        name: &'static str,
+        /// Its value.
+        rate: f64,
+    },
+    /// `migration_interval` is zero.
+    ZeroMigrationInterval,
+}
+
+impl std::fmt::Display for GaConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GaConfigError::NoPopulations => write!(f, "need at least one population"),
+            GaConfigError::PopulationTooSmall { population_size } => {
+                write!(f, "population size {population_size} below minimum of 2")
+            }
+            GaConfigError::RateOutOfRange { name, rate } => {
+                write!(f, "{name} {rate} outside [0, 1]")
+            }
+            GaConfigError::ZeroMigrationInterval => {
+                write!(f, "migration interval must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GaConfigError {}
 
 /// The outcome of a GA run.
 #[derive(Debug, Clone, PartialEq)]
@@ -370,6 +440,37 @@ mod tests {
     fn rejects_bad_k() {
         let fitness = |_: &[bool]| 0.0;
         let _ = select_features(5, 6, &fitness, &GaConfig::fast(0));
+    }
+
+    #[test]
+    fn validate_accepts_presets_and_rejects_degenerate_configs() {
+        assert_eq!(GaConfig::study(0).validate(), Ok(()));
+        assert_eq!(GaConfig::fast(0).validate(), Ok(()));
+
+        let mut cfg = GaConfig::fast(0);
+        cfg.populations = 0;
+        assert_eq!(cfg.validate(), Err(GaConfigError::NoPopulations));
+
+        let mut cfg = GaConfig::fast(0);
+        cfg.population_size = 1;
+        assert_eq!(
+            cfg.validate(),
+            Err(GaConfigError::PopulationTooSmall { population_size: 1 })
+        );
+
+        let mut cfg = GaConfig::fast(0);
+        cfg.mutation_rate = 1.5;
+        assert!(matches!(
+            cfg.validate(),
+            Err(GaConfigError::RateOutOfRange {
+                name: "mutation_rate",
+                ..
+            })
+        ));
+
+        let mut cfg = GaConfig::fast(0);
+        cfg.migration_interval = 0;
+        assert_eq!(cfg.validate(), Err(GaConfigError::ZeroMigrationInterval));
     }
 
     #[test]

@@ -36,6 +36,6 @@ mod evolve;
 mod fitness;
 mod greedy;
 
-pub use evolve::{select_features, GaConfig, GaResult};
+pub use evolve::{select_features, GaConfig, GaConfigError, GaResult};
 pub use fitness::DistanceCorrelationFitness;
 pub use greedy::greedy_select;

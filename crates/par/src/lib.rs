@@ -199,6 +199,34 @@ where
         .collect()
 }
 
+/// Applies a fallible `f` to every item, in parallel, returning either
+/// all results in item order or the error of the *lowest-indexed*
+/// failing item.
+///
+/// Every task still runs to completion — there is no early abort, so
+/// side effects are identical across thread counts — but the error
+/// reported is always the one `items.iter().map(f)` would hit first.
+/// That keeps fallible stages exactly as deterministic as
+/// [`parallel_map`]: thread count never changes *which* error surfaces.
+///
+/// # Errors
+///
+/// Returns the `Err` of the lowest-indexed item for which `f` fails.
+pub fn try_parallel_map<T, U, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(&T) -> Result<U, E> + Sync,
+{
+    let outcomes = parallel_map(items, threads, f);
+    let mut out = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        out.push(outcome?);
+    }
+    Ok(out)
+}
+
 /// Splits `0..len` into chunks of at most `chunk` indices and applies `f`
 /// to each chunk in parallel, returning results in chunk order.
 ///
@@ -312,6 +340,25 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn parallel_chunks_rejects_zero_chunk() {
         let _ = parallel_chunks(10, 0, 2, |r| r.len());
+    }
+
+    #[test]
+    fn try_parallel_map_collects_or_reports_first_error() {
+        let items: Vec<u64> = (0..64).collect();
+        for threads in [1, 2, 8] {
+            let ok: Result<Vec<u64>, String> = try_parallel_map(&items, threads, |&x| Ok(x + 1));
+            assert_eq!(ok.expect("no failures"), (1..=64).collect::<Vec<_>>());
+            // Two failing items: the lower index always wins, no matter
+            // which worker reaches it first.
+            let err: Result<Vec<u64>, u64> = try_parallel_map(&items, threads, |&x| {
+                if x == 9 || x == 40 {
+                    Err(x)
+                } else {
+                    Ok(x)
+                }
+            });
+            assert_eq!(err.expect_err("has failures"), 9);
+        }
     }
 
     #[test]

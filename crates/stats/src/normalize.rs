@@ -39,6 +39,15 @@ impl ColumnStats {
         ColumnStats { means, stds }
     }
 
+    /// The `(mean, standard deviation)` of column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn column(&self, col: usize) -> (f64, f64) {
+        (self.means[col], self.stds[col])
+    }
+
     /// Applies this normalization to a matrix with the same column layout.
     ///
     /// # Panics
@@ -108,6 +117,14 @@ mod tests {
         assert_eq!(stats.stds[0], 0.0);
         assert!(n.column(0).iter().all(|&v| v == 0.0));
         assert!(n.column(1).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn column_accessor_matches_fields() {
+        let m = Matrix::from_rows(&[vec![1.0, 7.0], vec![3.0, 7.0]]);
+        let stats = ColumnStats::of(&m);
+        assert_eq!(stats.column(0), (stats.means[0], stats.stds[0]));
+        assert_eq!(stats.column(1), (7.0, 0.0));
     }
 
     #[test]

@@ -75,6 +75,25 @@ pub enum VmError {
     },
 }
 
+impl VmError {
+    /// The program counter at which the fault occurred, when the fault
+    /// is attributable to one instruction ([`VmError::CallStackOverflow`]
+    /// reports the depth limit, not a location, and returns `None`).
+    pub fn pc(&self) -> Option<u32> {
+        match *self {
+            VmError::MemOutOfBounds { pc, .. }
+            | VmError::PcOutOfRange { pc }
+            | VmError::CallStackUnderflow { pc } => Some(pc),
+            VmError::CallStackOverflow => None,
+        }
+    }
+
+    /// `true` when the fault is a data-memory access violation.
+    pub fn is_memory_fault(&self) -> bool {
+        matches!(self, VmError::MemOutOfBounds { .. })
+    }
+}
+
 impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -115,6 +134,28 @@ mod tests {
         }
         .to_string()
         .contains("0x100"));
+    }
+
+    #[test]
+    fn fault_pc_is_reported_where_attributable() {
+        assert_eq!(
+            VmError::MemOutOfBounds {
+                pc: 3,
+                addr: 0x100,
+                size: 8
+            }
+            .pc(),
+            Some(3)
+        );
+        assert_eq!(VmError::CallStackUnderflow { pc: 12 }.pc(), Some(12));
+        assert_eq!(VmError::CallStackOverflow.pc(), None);
+        assert!(VmError::MemOutOfBounds {
+            pc: 0,
+            addr: 1,
+            size: 1
+        }
+        .is_memory_fault());
+        assert!(!VmError::PcOutOfRange { pc: 0 }.is_memory_fault());
     }
 
     #[test]

@@ -51,4 +51,4 @@ mod registry;
 mod suites;
 
 pub use build::{Builder, Scale};
-pub use registry::{catalog, Benchmark, Suite};
+pub use registry::{catalog, Benchmark, InputBuilder, Suite};

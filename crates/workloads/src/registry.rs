@@ -79,10 +79,14 @@ impl std::fmt::Display for Suite {
     }
 }
 
+/// A program builder for one benchmark input: maps `(scale, data seed)`
+/// to an assembled [`Program`].
+pub type InputBuilder = Box<dyn Fn(Scale, u64) -> Program + Send + Sync>;
+
 /// A builder for one benchmark input.
 pub(crate) struct Input {
     pub(crate) name: &'static str,
-    pub(crate) build: Box<dyn Fn(Scale, u64) -> Program + Send + Sync>,
+    pub(crate) build: InputBuilder,
 }
 
 /// One synthetic benchmark: a name, its suite, and one or more inputs.
@@ -93,6 +97,35 @@ pub struct Benchmark {
 }
 
 impl Benchmark {
+    /// Builds a custom benchmark outside the bundled catalog: a name, a
+    /// suite to report it under, and one `(input name, program builder)`
+    /// pair per input. The builder receives the scale and the derived
+    /// deterministic data seed, exactly like catalog benchmarks.
+    ///
+    /// This is how a study injects synthetic workloads — including
+    /// deliberately faulting ones, for exercising the pipeline's
+    /// quarantine path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty: a benchmark with no inputs cannot be
+    /// characterized.
+    pub fn custom(
+        name: &'static str,
+        suite: Suite,
+        inputs: Vec<(&'static str, InputBuilder)>,
+    ) -> Self {
+        assert!(!inputs.is_empty(), "a benchmark needs at least one input");
+        Benchmark {
+            name,
+            suite,
+            inputs: inputs
+                .into_iter()
+                .map(|(name, build)| Input { name, build })
+                .collect(),
+        }
+    }
+
     /// The benchmark's name (matching the paper's Table 3 where the
     /// original has one).
     pub fn name(&self) -> &'static str {
@@ -209,6 +242,38 @@ mod tests {
         let p1 = all[0].build(crate::Scale::Tiny, 0);
         let p2 = all[0].build(crate::Scale::Tiny, 0);
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn custom_benchmark_builds_like_catalog_ones() {
+        use phaselab_vm::{regs::*, Asm, DataBuilder};
+        let b = Benchmark::custom(
+            "toy",
+            Suite::Bmw,
+            vec![(
+                "only",
+                Box::new(|_scale, seed| {
+                    // The derived data seed reaches the builder.
+                    assert_ne!(seed, 0);
+                    let mut asm = Asm::new();
+                    asm.li(T0, 1);
+                    asm.halt();
+                    asm.assemble(DataBuilder::new()).expect("assembles")
+                }),
+            )],
+        );
+        assert_eq!(b.name(), "toy");
+        assert_eq!(b.suite(), Suite::Bmw);
+        assert_eq!(b.input_names(), vec!["only"]);
+        let p1 = b.build(Scale::Tiny, 0);
+        let p2 = b.build(Scale::Tiny, 0);
+        assert_eq!(p1, p2, "custom builds are deterministic");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn custom_benchmark_rejects_empty_inputs() {
+        let _ = Benchmark::custom("empty", Suite::Bmw, Vec::new());
     }
 
     #[test]

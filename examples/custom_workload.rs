@@ -58,7 +58,8 @@ fn build_custom() -> phaselab::Program {
 
 fn main() {
     let program = build_custom();
-    let (mine, instrs) = characterize_program(&program, 50_000, 100_000_000);
+    let (mine, instrs) =
+        characterize_program(&program, 50_000, 100_000_000).expect("workload never faults");
     println!(
         "custom workload: {instrs} instructions, {} intervals",
         mine.len()
@@ -83,7 +84,7 @@ fn main() {
     let mut rows = vec![my_mean];
     for bench in catalog() {
         let p = bench.build(Scale::Tiny, 0);
-        let (ivs, _) = characterize_program(&p, 20_000, 50_000_000);
+        let (ivs, _) = characterize_program(&p, 20_000, 50_000_000).expect("workload never faults");
         names.push(format!("{} [{}]", bench.name(), bench.suite().short_name()));
         rows.push(mean(&ivs));
     }

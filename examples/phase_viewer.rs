@@ -22,7 +22,7 @@ fn main() {
     cfg.suites = Some(vec![Suite::SpecFp2000, Suite::Bmw]);
 
     println!("running study over SPECfp2000 + BioMetricsWorkload…");
-    let result = run_study(&cfg);
+    let result = run_study(&cfg).expect("valid config, bundled workloads never fault");
 
     println!(
         "key characteristics selected by the GA (fitness {:.3}):",

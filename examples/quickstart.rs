@@ -27,7 +27,8 @@ fn main() {
     let program = blast.build(Scale::Small, 0);
     println!("static instructions: {}", program.len());
 
-    let (intervals, instructions) = characterize_program(&program, 50_000, 1_000_000_000);
+    let (intervals, instructions) = characterize_program(&program, 50_000, 1_000_000_000)
+        .expect("bundled workloads never fault");
     println!(
         "dynamic instructions: {instructions}, intervals: {}",
         intervals.len()

@@ -21,7 +21,7 @@ fn main() {
     cfg.suites = Some(vec![Suite::BioPerf, Suite::SpecInt2006, Suite::MediaBench2]);
 
     println!("running study over BioPerf, SPECint2006, MediaBench II…");
-    let result = run_study(&cfg);
+    let result = run_study(&cfg).expect("valid config, bundled workloads never fault");
     println!(
         "{} sampled intervals → {} PCs ({:.1}% variance) → {} clusters",
         result.sampled.len(),

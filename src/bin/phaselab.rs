@@ -211,7 +211,8 @@ fn characterize(
     features: Option<Vec<usize>>,
 ) {
     let program = b.build(scale, input);
-    let (intervals, instructions) = characterize_program(&program, interval, u64::MAX);
+    let (intervals, instructions) =
+        characterize_program(&program, interval, u64::MAX).expect("bundled workloads never fault");
     eprintln!(
         "{}: {} instructions, {} intervals of {}",
         b.name(),

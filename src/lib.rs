@@ -30,7 +30,8 @@
 //!
 //! let bench = &catalog()[0];
 //! let program = bench.build(Scale::Tiny, 0);
-//! let (intervals, instructions) = characterize_program(&program, 20_000, 10_000_000);
+//! let (intervals, instructions) =
+//!     characterize_program(&program, 20_000, 10_000_000).expect("bundled workloads never fault");
 //! println!("{}: {} intervals over {} instructions",
 //!          bench.name(), intervals.len(), instructions);
 //! assert!(!intervals.is_empty());
@@ -43,11 +44,16 @@
 //!
 //! let mut cfg = StudyConfig::smoke();
 //! cfg.suites = Some(vec![Suite::BioPerf, Suite::MediaBench2]);
-//! let result = run_study(&cfg);
+//! let result = run_study(&cfg).expect("valid config, bundled workloads never fault");
 //! for c in coverage(&result) {
 //!     println!("{}: {}/{} clusters", c.suite, c.clusters_touched, c.total_clusters);
 //! }
 //! ```
+//!
+//! [`run_study`] returns a [`StudyError`] for invalid configurations; a
+//! *faulting* workload is quarantined into
+//! [`StudyResult::quarantined`] and the study completes over the
+//! survivors.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,8 +68,9 @@ pub use phaselab_vm as vm;
 pub use phaselab_workloads as workloads;
 
 pub use phaselab_core::{
-    characterize_benchmark, characterize_program, coverage, diversity, run_study, uniqueness,
-    ProminentPhase, StudyConfig, StudyResult,
+    characterize_benchmark, characterize_program, coverage, diversity, run_study, run_study_with,
+    uniqueness, AnalysisError, ConfigError, ProminentPhase, QuarantinedBenchmark, StudyConfig,
+    StudyError, StudyResult,
 };
 pub use phaselab_mica::{feature_names, FeatureVector, IntervalCharacterizer, NUM_FEATURES};
 pub use phaselab_trace::{InstClass, InstRecord, TraceSink};

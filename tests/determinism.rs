@@ -17,8 +17,8 @@ fn program_builds_are_bit_identical() {
 fn characterization_is_bit_identical() {
     let all = catalog();
     let program = all[5].build(Scale::Tiny, 0);
-    let (a, ia) = characterize_program(&program, 10_000, 1 << 40);
-    let (b, ib) = characterize_program(&program, 10_000, 1 << 40);
+    let (a, ia) = characterize_program(&program, 10_000, 1 << 40).expect("runs");
+    let (b, ib) = characterize_program(&program, 10_000, 1 << 40).expect("runs");
     assert_eq!(ia, ib);
     assert_eq!(a, b);
 }
@@ -30,9 +30,9 @@ fn full_study_is_deterministic_across_thread_counts() {
     let mut cfg = StudyConfig::smoke();
     cfg.suites = Some(vec![Suite::Bmw, Suite::MediaBench2]);
     cfg.threads = 1;
-    let serial = run_study(&cfg);
+    let serial = run_study(&cfg).expect("study runs");
     cfg.threads = 4;
-    let parallel = run_study(&cfg);
+    let parallel = run_study(&cfg).expect("study runs");
     assert_eq!(
         serial.clustering.assignments,
         parallel.clustering.assignments
@@ -46,9 +46,9 @@ fn full_study_is_deterministic_across_thread_counts() {
 fn different_seeds_change_sampling_but_not_characterization() {
     let mut cfg = StudyConfig::smoke();
     cfg.suites = Some(vec![Suite::Bmw]);
-    let a = run_study(&cfg);
+    let a = run_study(&cfg).expect("study runs");
     cfg.seed = 1234;
-    let b = run_study(&cfg);
+    let b = run_study(&cfg).expect("study runs");
     // Same benchmarks, same interval counts (characterization is
     // seed-independent)…
     assert_eq!(

@@ -7,7 +7,7 @@ use phaselab::{run_study, StudyConfig, Suite, NUM_FEATURES};
 fn study() -> phaselab::StudyResult {
     let mut cfg = StudyConfig::smoke();
     cfg.suites = Some(vec![Suite::BioPerf, Suite::Bmw, Suite::MediaBench2]);
-    run_study(&cfg)
+    run_study(&cfg).expect("valid smoke study")
 }
 
 #[test]

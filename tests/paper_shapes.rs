@@ -22,7 +22,7 @@ fn shape_config() -> StudyConfig {
 fn domain_specific_suites_are_narrower_than_general_purpose() {
     let mut cfg = shape_config();
     cfg.suites = Some(vec![Suite::SpecInt2006, Suite::MediaBench2, Suite::Bmw]);
-    let r = run_study(&cfg);
+    let r = run_study(&cfg).expect("study runs");
     let cov = coverage(&r);
     let touched = |s: Suite| {
         cov.iter()
@@ -47,7 +47,7 @@ fn domain_specific_suites_are_narrower_than_general_purpose() {
 fn bioperf_has_the_largest_unique_fraction() {
     let mut cfg = shape_config();
     cfg.suites = Some(vec![Suite::BioPerf, Suite::Bmw, Suite::MediaBench2]);
-    let r = run_study(&cfg);
+    let r = run_study(&cfg).expect("study runs");
     let uniq = uniqueness(&r);
     let of = |s: Suite| {
         uniq.iter()
@@ -73,7 +73,7 @@ fn bioperf_has_the_largest_unique_fraction() {
 fn domain_specific_suites_need_fewer_clusters_for_coverage() {
     let mut cfg = shape_config();
     cfg.suites = Some(vec![Suite::SpecInt2000, Suite::MediaBench2]);
-    let r = run_study(&cfg);
+    let r = run_study(&cfg).expect("study runs");
     let div = diversity(&r);
     let to80 = |s: Suite| {
         div.iter()
@@ -101,7 +101,7 @@ fn full_catalog_shapes_hold() {
     cfg.samples_per_benchmark = 50;
     cfg.k = 150;
     cfg.n_prominent = 60;
-    let r = run_study(&cfg);
+    let r = run_study(&cfg).expect("study runs");
 
     let cov = coverage(&r);
     let touched = |s: Suite| {

@@ -1,0 +1,132 @@
+//! Fault isolation: a faulting benchmark is quarantined, the study
+//! completes over the survivors, and the survivors' results are
+//! bit-identical to a study that was never given the faulting benchmark
+//! — across thread counts.
+
+use phaselab::workloads::Suite;
+use phaselab::{
+    run_study_with, Asm, Benchmark, DataBuilder, Program, Scale, StudyConfig, StudyError,
+};
+
+/// A program that loads from far outside any data segment: the VM
+/// reports a memory fault on the second instruction.
+fn faulting_program() -> Program {
+    use phaselab::vm::regs::*;
+    let mut asm = Asm::new();
+    asm.li(T0, 1 << 40);
+    asm.ld(T1, T0, 0);
+    asm.halt();
+    asm.assemble(DataBuilder::new()).expect("assembles")
+}
+
+fn faulting_benchmark(name: &'static str) -> Benchmark {
+    Benchmark::custom(
+        name,
+        Suite::Bmw,
+        vec![(
+            "bad",
+            Box::new(|_scale: Scale, _seed: u64| faulting_program()),
+        )],
+    )
+}
+
+fn healthy_benches() -> Vec<Benchmark> {
+    phaselab::catalog()
+        .into_iter()
+        .filter(|b| matches!(b.suite(), Suite::Bmw | Suite::MediaBench2))
+        .collect()
+}
+
+fn smoke_cfg(threads: usize) -> StudyConfig {
+    let mut cfg = StudyConfig::smoke();
+    cfg.threads = threads;
+    cfg
+}
+
+#[test]
+fn faulting_benchmark_is_quarantined_and_study_completes() {
+    let cfg = smoke_cfg(1);
+    let mut benches = healthy_benches();
+    let n_healthy = benches.len();
+    benches.insert(3, faulting_benchmark("saboteur"));
+
+    let r = run_study_with(&cfg, &benches).expect("study completes on survivors");
+    assert_eq!(r.benchmarks.len(), n_healthy);
+    assert!(r.benchmarks.iter().all(|b| b.name != "saboteur"));
+    assert_eq!(r.quarantined.len(), 1);
+    let q = &r.quarantined[0];
+    assert_eq!(q.name, "saboteur");
+    assert_eq!(q.suite, Suite::Bmw);
+    assert_eq!(q.input_name, "bad");
+    assert!(q.error.is_memory_fault(), "unexpected fault {}", q.error);
+    // The record renders as one line naming benchmark, input and fault.
+    let line = q.to_string();
+    assert!(line.contains("saboteur") && line.contains("bad"), "{line}");
+    assert!(!line.contains('\n'));
+}
+
+#[test]
+fn quarantine_leaves_survivor_results_untouched() {
+    // The acceptance bar: a study with a quarantined benchmark produces
+    // *identical* results to a study never given that benchmark. The
+    // faulting benchmark is inserted mid-list so any index-shift bug in
+    // survivor compaction would change downstream sampling seeds.
+    for threads in [1, 4] {
+        let cfg = smoke_cfg(threads);
+        let clean = run_study_with(&cfg, &healthy_benches()).expect("clean study");
+
+        let mut benches = healthy_benches();
+        benches.insert(2, faulting_benchmark("saboteur"));
+        let with_fault = run_study_with(&cfg, &benches).expect("study completes");
+
+        assert_eq!(with_fault.sampled, clean.sampled);
+        assert_eq!(with_fault.features, clean.features);
+        assert_eq!(
+            with_fault.clustering.assignments,
+            clean.clustering.assignments
+        );
+        assert_eq!(with_fault.key_characteristics, clean.key_characteristics);
+        assert_eq!(
+            with_fault
+                .benchmarks
+                .iter()
+                .map(|b| b.name.clone())
+                .collect::<Vec<_>>(),
+            clean
+                .benchmarks
+                .iter()
+                .map(|b| b.name.clone())
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn all_benchmarks_faulting_is_a_study_error() {
+    let cfg = smoke_cfg(2);
+    let benches = vec![faulting_benchmark("bad1"), faulting_benchmark("bad2")];
+    match run_study_with(&cfg, &benches) {
+        Err(StudyError::Characterization { quarantined }) => {
+            assert_eq!(quarantined.len(), 2);
+            assert_eq!(quarantined[0].name, "bad1");
+            assert_eq!(quarantined[1].name, "bad2");
+        }
+        other => panic!("expected Characterization error, got {other:?}"),
+    }
+}
+
+#[test]
+fn quarantine_order_is_deterministic_across_thread_counts() {
+    let mut benches = healthy_benches();
+    benches.insert(0, faulting_benchmark("first"));
+    benches.push(faulting_benchmark("last"));
+
+    let reference = run_study_with(&smoke_cfg(1), &benches).expect("study completes");
+    for threads in [2, 4] {
+        let r = run_study_with(&smoke_cfg(threads), &benches).expect("study completes");
+        let names: Vec<_> = r.quarantined.iter().map(|q| q.name.clone()).collect();
+        assert_eq!(names, vec!["first", "last"]);
+        assert_eq!(r.sampled, reference.sampled);
+        assert_eq!(r.clustering.assignments, reference.clustering.assignments);
+    }
+}

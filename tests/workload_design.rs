@@ -88,7 +88,8 @@ fn mcf_pointer_chase_has_low_ilp_phase() {
         .find(|b| b.suite() == Suite::SpecInt2000 && b.name() == "mcf")
         .unwrap();
     let program = bench.build(Scale::Tiny, 0);
-    let (intervals, _) = characterize_program(&program, 20_000, u64::MAX);
+    let (intervals, _) =
+        characterize_program(&program, 20_000, u64::MAX).expect("workloads never fault");
     let ilp = feature_index("ilp_win256").unwrap();
     let min_ilp = intervals
         .iter()
