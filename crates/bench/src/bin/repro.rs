@@ -31,6 +31,9 @@
 //!   --k N                     clusters              (default: 300)
 //!   --seed N                  master seed           (default: 0)
 //!   --threads N               worker threads        (default: all cores)
+//!   --checkpoint-dir DIR      persist/reuse study checkpoints in DIR
+//!   --resume                  resume from --checkpoint-dir (must exist)
+//!   --max-inst-per-bench N    quarantine benchmarks exceeding N instructions
 //!   --help                    print usage and exit
 //! ```
 //!
@@ -39,17 +42,24 @@
 //!
 //! Exit codes: `0` on success, `1` when the study itself fails (a
 //! runtime error), `2` for usage errors — unknown flags, bad values,
-//! unknown experiments. Diagnostics are one line on stderr. Benchmarks
-//! quarantined by the study are reported as warnings; the experiments
-//! run over the survivors.
+//! unknown experiments — and `130` when interrupted (Ctrl-C).
+//! Diagnostics are one line on stderr. Benchmarks quarantined by the
+//! study are reported as warnings; the experiments run over the
+//! survivors.
+//!
+//! With `--checkpoint-dir`, every completed benchmark characterization
+//! and k-means restart is persisted as it finishes; an interrupted run
+//! re-invoked with `--resume` reloads them and produces a bit-identical
+//! result.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::time::Instant;
 
 use phaselab_bench::write_artifact;
 use phaselab_core::{
-    coverage, diversity, format_table, run_study, uniqueness, SamplingPolicy, StudyConfig,
-    StudyError, StudyResult,
+    coverage, diversity, format_table, run_study_resumable, uniqueness, CancelToken,
+    CheckpointStore, SamplingPolicy, StudyConfig, StudyError, StudyResult,
 };
 use phaselab_ga::{greedy_select, select_features, DistanceCorrelationFitness, GaConfig};
 use phaselab_mica::{feature_names, FeatureCategory, NUM_FEATURES};
@@ -65,6 +75,64 @@ const EXIT_USAGE: i32 = 2;
 /// Exit code for runtime errors (the study itself failed): the
 /// invocation was fine, the run was not.
 const EXIT_RUNTIME: i32 = 1;
+/// Exit code when the run was interrupted (Ctrl-C), matching the shell
+/// convention of 128 + SIGINT.
+const EXIT_INTERRUPTED: i32 = 130;
+
+/// Ctrl-C handling: the signal handler only flips an atomic flag; a
+/// watcher thread turns the flag into a [`CancelToken`] trip, which the
+/// pipeline observes at its next check.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+    const SIGINT: i32 = 2;
+
+    extern "C" fn on_sigint(_sig: i32) {
+        // Async-signal-safe: a single atomic store, nothing else.
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn interrupted() -> bool {
+        INTERRUPTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    pub fn install() {}
+    pub fn interrupted() -> bool {
+        false
+    }
+}
+
+/// Installs the Ctrl-C handler and a watcher thread that trips `token`
+/// once the signal arrives.
+fn install_interrupt_handler(token: &CancelToken) {
+    sigint::install();
+    let token = token.clone();
+    std::thread::spawn(move || loop {
+        if sigint::interrupted() {
+            eprintln!(
+                "[repro] interrupt received; finishing in-flight work and flushing checkpoints"
+            );
+            token.cancel();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+}
 
 /// Every experiment the binary knows, validated before any work runs.
 const EXPERIMENTS: &[&str] = &[
@@ -117,9 +185,12 @@ options:
   --k N                     clusters              (default: 300)
   --seed N                  master seed           (default: 0)
   --threads N               worker threads        (default: all cores)
+  --checkpoint-dir DIR      persist/reuse study checkpoints in DIR
+  --resume                  resume from --checkpoint-dir (must exist)
+  --max-inst-per-bench N    quarantine benchmarks exceeding N instructions
   --help                    print this help and exit
 
-exit codes: 0 success, 1 study/runtime error, 2 usage error";
+exit codes: 0 success, 1 study/runtime error, 2 usage error, 130 interrupted";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -127,20 +198,52 @@ fn main() {
         println!("{USAGE}");
         return;
     }
-    let (cfg, command) = match parse_args(&args) {
+    let (cfg, command, checkpoint_dir) = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("repro: {msg} (try `repro --help`)");
             std::process::exit(EXIT_USAGE);
         }
     };
-    if let Err(e) = run_experiment(&cfg, &command) {
-        eprintln!("repro: {e}");
-        std::process::exit(EXIT_RUNTIME);
+    let store = match checkpoint_dir {
+        Some(dir) => match CheckpointStore::open(&dir) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("repro: cannot open checkpoint dir `{}`: {e}", dir.display());
+                std::process::exit(EXIT_RUNTIME);
+            }
+        },
+        None => None,
+    };
+    let token = CancelToken::new();
+    install_interrupt_handler(&token);
+    match run_experiment(&cfg, &command, store.as_ref(), &token) {
+        Ok(()) => {}
+        Err(StudyError::Cancelled) => {
+            match &store {
+                Some(s) => eprintln!(
+                    "repro: interrupted; resume with `--checkpoint-dir {} --resume`",
+                    s.dir().display()
+                ),
+                None => eprintln!(
+                    "repro: interrupted (re-run with --checkpoint-dir to make runs resumable)"
+                ),
+            }
+            std::process::exit(EXIT_INTERRUPTED);
+        }
+        Err(e) => {
+            eprintln!("repro: {e}");
+            std::process::exit(EXIT_RUNTIME);
+        }
     }
 }
 
-fn run_experiment(cfg: &StudyConfig, command: &str) -> Result<(), StudyError> {
+fn run_experiment(
+    cfg: &StudyConfig,
+    command: &str,
+    store: Option<&CheckpointStore>,
+    token: &CancelToken,
+) -> Result<(), StudyError> {
     let study = if command == "table1" {
         None
     } else {
@@ -149,7 +252,7 @@ fn run_experiment(cfg: &StudyConfig, command: &str) -> Result<(), StudyError> {
             cfg.scale, cfg.interval_len, cfg.samples_per_benchmark, cfg.k
         );
         let t = Instant::now();
-        let r = run_study(cfg)?;
+        let r = run_study_resumable(cfg, store, Some(token))?;
         eprintln!(
             "[repro] study done in {:.1}s: {} benchmarks, {} sampled intervals, {} PCs ({:.1}% var), {} prominent phases covering {:.1}%",
             t.elapsed().as_secs_f64(),
@@ -180,8 +283,8 @@ fn run_experiment(cfg: &StudyConfig, command: &str) -> Result<(), StudyError> {
         "drift" => drift(study.as_ref().unwrap()),
         "similarity" => similarity(study.as_ref().unwrap()),
         "ablation-k" => ablation_k(study.as_ref().unwrap()),
-        "ablation-interval" => ablation_interval(study.as_ref().unwrap(), cfg)?,
-        "ablation-sampling" => ablation_sampling(study.as_ref().unwrap(), cfg)?,
+        "ablation-interval" => ablation_interval(study.as_ref().unwrap(), cfg, store, token)?,
+        "ablation-sampling" => ablation_sampling(study.as_ref().unwrap(), cfg, store, token)?,
         "all" => {
             let r = study.as_ref().unwrap();
             table1();
@@ -199,8 +302,8 @@ fn run_experiment(cfg: &StudyConfig, command: &str) -> Result<(), StudyError> {
             drift(r);
             similarity(r);
             ablation_k(r);
-            ablation_interval(r, cfg)?;
-            ablation_sampling(r, cfg)?;
+            ablation_interval(r, cfg, store, token)?;
+            ablation_sampling(r, cfg, store, token)?;
         }
         other => unreachable!("experiment `{other}` validated at parse time"),
     }
@@ -215,9 +318,13 @@ fn warn_quarantined(quarantined: &[phaselab_core::QuarantinedBenchmark]) {
     }
 }
 
-fn parse_args(args: &[String]) -> Result<(StudyConfig, String), String> {
+fn parse_args(
+    args: &[String],
+) -> Result<(StudyConfig, String, Option<std::path::PathBuf>), String> {
     let mut cfg = StudyConfig::paper_scaled();
     let mut command: Option<String> = None;
+    let mut checkpoint_dir: Option<std::path::PathBuf> = None;
+    let mut resume = false;
     let mut i = 0;
     let value = |args: &[String], i: usize| -> Result<String, String> {
         args.get(i + 1)
@@ -266,6 +373,23 @@ fn parse_args(args: &[String]) -> Result<(StudyConfig, String), String> {
                 i += 1;
                 cfg.threads = parse_num("--threads", &v)?;
             }
+            "--checkpoint-dir" => {
+                let v = value(args, i)?;
+                i += 1;
+                checkpoint_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--resume" => resume = true,
+            "--max-inst-per-bench" => {
+                let v = value(args, i)?;
+                i += 1;
+                let budget: u64 = parse_num("--max-inst-per-bench", &v)?;
+                if budget == 0 {
+                    return Err(
+                        "bad value `0` for `--max-inst-per-bench` (must be positive)".to_string(),
+                    );
+                }
+                cfg.max_inst_per_bench = Some(budget);
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             cmd => {
                 if let Some(first) = &command {
@@ -281,7 +405,22 @@ fn parse_args(args: &[String]) -> Result<(StudyConfig, String), String> {
         }
         i += 1;
     }
-    Ok((cfg, command.unwrap_or_else(|| "all".to_string())))
+    if resume {
+        let Some(dir) = &checkpoint_dir else {
+            return Err("`--resume` requires `--checkpoint-dir`".to_string());
+        };
+        if !Path::new(dir).is_dir() {
+            return Err(format!(
+                "`--resume` given but checkpoint dir `{}` does not exist",
+                dir.display()
+            ));
+        }
+    }
+    Ok((
+        cfg,
+        command.unwrap_or_else(|| "all".to_string()),
+        checkpoint_dir,
+    ))
 }
 
 /// Table 1: the characteristic categories and counts.
@@ -1131,7 +1270,12 @@ fn ablation_k(r: &StudyResult) {
 }
 
 /// Ablation A2 (§2.9): interval-granularity sensitivity.
-fn ablation_interval(r: &StudyResult, cfg: &StudyConfig) -> Result<(), StudyError> {
+fn ablation_interval(
+    r: &StudyResult,
+    cfg: &StudyConfig,
+    store: Option<&CheckpointStore>,
+    token: &CancelToken,
+) -> Result<(), StudyError> {
     println!("\n== Ablation: interval granularity (§2.9) ==\n");
     let mut rows = Vec::new();
     let intervals = [
@@ -1146,7 +1290,7 @@ fn ablation_interval(r: &StudyResult, cfg: &StudyConfig) -> Result<(), StudyErro
         } else {
             let mut c = cfg.clone();
             c.interval_len = interval;
-            result = run_study(&c)?;
+            result = run_study_resumable(&c, store, Some(token))?;
             &result
         };
         let uniq = uniqueness(res);
@@ -1181,11 +1325,16 @@ fn ablation_interval(r: &StudyResult, cfg: &StudyConfig) -> Result<(), StudyErro
 }
 
 /// Ablation A3 (§2.4): sampling policy.
-fn ablation_sampling(r: &StudyResult, cfg: &StudyConfig) -> Result<(), StudyError> {
+fn ablation_sampling(
+    r: &StudyResult,
+    cfg: &StudyConfig,
+    store: Option<&CheckpointStore>,
+    token: &CancelToken,
+) -> Result<(), StudyError> {
     println!("\n== Ablation: equal-weight vs proportional sampling (§2.4) ==\n");
     let mut c = cfg.clone();
     c.sampling = SamplingPolicy::Proportional;
-    let prop = run_study(&c)?;
+    let prop = run_study_resumable(&c, store, Some(token))?;
 
     let mut rows = Vec::new();
     let equal_cov = coverage(r);

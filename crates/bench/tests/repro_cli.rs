@@ -87,3 +87,69 @@ fn table1_runs_without_a_study_and_succeeds() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Table 1"));
 }
+
+#[test]
+fn help_lists_the_checkpoint_flags() {
+    let out = repro(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "--checkpoint-dir",
+        "--resume",
+        "--max-inst-per-bench",
+        "130 interrupted",
+    ] {
+        assert!(text.contains(needle), "help missing `{needle}`");
+    }
+}
+
+#[test]
+fn resume_without_checkpoint_dir_is_a_usage_error() {
+    let out = repro(&["--resume", "table1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(
+        line.contains("`--resume` requires `--checkpoint-dir`"),
+        "{line}"
+    );
+}
+
+#[test]
+fn resume_with_missing_dir_is_a_usage_error() {
+    let dir = std::env::temp_dir().join(format!(
+        "phaselab-no-such-checkpoint-dir-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = repro(&[
+        "--checkpoint-dir",
+        dir.to_str().unwrap(),
+        "--resume",
+        "table1",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(line.contains("does not exist"), "{line}");
+}
+
+#[test]
+fn zero_bench_budget_is_a_usage_error() {
+    let out = repro(&["--max-inst-per-bench", "0", "table1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(
+        line.contains("bad value `0` for `--max-inst-per-bench`"),
+        "{line}"
+    );
+}
+
+#[test]
+fn non_numeric_bench_budget_is_a_usage_error() {
+    let out = repro(&["--max-inst-per-bench", "lots", "table1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(
+        line.contains("bad value `lots` for `--max-inst-per-bench`"),
+        "{line}"
+    );
+}

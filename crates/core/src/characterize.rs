@@ -1,12 +1,29 @@
 //! Step 1: interval characterization of benchmark executions.
 
 use phaselab_mica::{FeatureVector, IntervalCharacterizer};
+use phaselab_par::CancelToken;
 use phaselab_trace::TraceSink as _;
 use phaselab_vm::{Program, Vm, VmError};
 use phaselab_workloads::Benchmark;
 
 use crate::config::StudyConfig;
-use crate::error::QuarantinedBenchmark;
+use crate::error::{QuarantineCause, QuarantinedBenchmark};
+
+/// VM slice length, in instructions, between watchdog and cancellation
+/// checks. Pause/resume is bit-transparent, so slicing never changes a
+/// characterization; it only bounds how stale a cancel check can be.
+const WATCHDOG_SLICE: u64 = 1 << 20;
+
+/// Why [`characterize_benchmark_watched`] produced no characterization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BenchFailure {
+    /// The benchmark faulted or ran away; the record says which and
+    /// where.
+    Quarantined(QuarantinedBenchmark),
+    /// The cancel token tripped mid-characterization; partial work was
+    /// discarded.
+    Cancelled,
+}
 
 /// The characterization of one benchmark across all of its inputs.
 #[derive(Debug, Clone)]
@@ -67,20 +84,87 @@ pub fn characterize_benchmark(
     bench: &Benchmark,
     cfg: &StudyConfig,
 ) -> Result<BenchCharacterization, QuarantinedBenchmark> {
+    match characterize_benchmark_watched(bench, cfg, None) {
+        Ok(c) => Ok(c),
+        Err(BenchFailure::Quarantined(q)) => Err(q),
+        Err(BenchFailure::Cancelled) => {
+            unreachable!("characterization without a token cannot be cancelled")
+        }
+    }
+}
+
+/// [`characterize_benchmark`] under the runaway watchdog and cooperative
+/// cancellation.
+///
+/// Execution runs in [`WATCHDOG_SLICE`]-instruction slices; between
+/// slices the cancel token is polled and the per-benchmark budget
+/// (`cfg.max_inst_per_bench`, spanning all inputs) is enforced. VM
+/// pause/resume is exact, so a watched characterization is bit-identical
+/// to an unwatched one whenever neither trips.
+///
+/// # Errors
+///
+/// [`BenchFailure::Quarantined`] if an input faults
+/// ([`QuarantineCause::Fault`]) or the benchmark exhausts its budget
+/// without halting ([`QuarantineCause::Runaway`]);
+/// [`BenchFailure::Cancelled`] if `cancel` trips first. Partially
+/// characterized inputs are discarded in every failure case.
+pub fn characterize_benchmark_watched(
+    bench: &Benchmark,
+    cfg: &StudyConfig,
+    cancel: Option<&CancelToken>,
+) -> Result<BenchCharacterization, BenchFailure> {
+    let quarantine = |input: usize, cause: QuarantineCause| {
+        BenchFailure::Quarantined(QuarantinedBenchmark {
+            name: bench.name().to_string(),
+            suite: bench.suite(),
+            input,
+            input_name: bench.input_names()[input].to_string(),
+            cause,
+        })
+    };
     let mut per_input = Vec::with_capacity(bench.num_inputs());
     let mut total_instructions = 0;
+    let mut budget_left = cfg.max_inst_per_bench;
     for input in 0..bench.num_inputs() {
         let program = bench.build(cfg.scale, input);
-        let (features, instrs) =
-            characterize_program(&program, cfg.interval_len, cfg.max_instructions_per_run)
-                .map_err(|error| QuarantinedBenchmark {
-                    name: bench.name().to_string(),
-                    suite: bench.suite(),
-                    input,
-                    input_name: bench.input_names()[input].to_string(),
-                    error,
-                })?;
-        total_instructions += instrs;
+        let mut chr = IntervalCharacterizer::new(cfg.interval_len).keep_tail(true);
+        let mut vm = Vm::new(&program);
+        let mut executed = 0u64;
+        loop {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return Err(BenchFailure::Cancelled);
+            }
+            if budget_left == Some(0) {
+                // Budget spent and the program still hasn't halted.
+                let budget = cfg.max_inst_per_bench.expect("budget was armed");
+                return Err(quarantine(input, QuarantineCause::Runaway { budget }));
+            }
+            let run_left = cfg.max_instructions_per_run - executed;
+            if run_left == 0 {
+                break; // per-run cap: silent truncation, as unwatched
+            }
+            let slice = WATCHDOG_SLICE
+                .min(run_left)
+                .min(budget_left.unwrap_or(u64::MAX));
+            let outcome = vm
+                .run(&mut chr, slice)
+                .map_err(|e| quarantine(input, QuarantineCause::Fault(e)))?;
+            executed += outcome.instructions;
+            if let Some(b) = &mut budget_left {
+                *b -= outcome.instructions;
+            }
+            if outcome.halted {
+                break;
+            }
+        }
+        chr.finish();
+        let mut features = chr.into_features();
+        let full = (executed / cfg.interval_len) as usize;
+        if full >= 1 && features.len() > full {
+            features.truncate(full); // drop the partial tail
+        }
+        total_instructions += executed;
         per_input.push(features);
     }
     Ok(BenchCharacterization {
@@ -136,6 +220,92 @@ mod tests {
         let (a, _) = characterize_program(&program, 15_000, 1 << 40).expect("runs");
         let (b, _) = characterize_program(&program, 15_000, 1 << 40).expect("runs");
         assert_eq!(a, b);
+    }
+
+    fn spinning_benchmark() -> Benchmark {
+        use phaselab_vm::{regs::*, Asm, DataBuilder};
+        Benchmark::custom(
+            "spin",
+            phaselab_workloads::Suite::Bmw,
+            vec![(
+                "forever",
+                Box::new(|_, _| {
+                    let mut asm = Asm::new();
+                    asm.li(T0, 0);
+                    asm.label("spin");
+                    asm.addi(T0, T0, 1);
+                    asm.j("spin");
+                    asm.assemble(DataBuilder::new()).expect("assembles")
+                }),
+            )],
+        )
+    }
+
+    #[test]
+    fn watchdog_quarantines_a_runaway_benchmark() {
+        let mut cfg = StudyConfig::smoke();
+        cfg.max_inst_per_bench = Some(100_000);
+        let err = characterize_benchmark_watched(&spinning_benchmark(), &cfg, None)
+            .expect_err("never halts");
+        let BenchFailure::Quarantined(q) = err else {
+            panic!("expected quarantine, got {err:?}");
+        };
+        assert!(q.is_runaway());
+        assert_eq!(q.name, "spin");
+        assert_eq!(q.cause, QuarantineCause::Runaway { budget: 100_000 });
+    }
+
+    #[test]
+    fn watchdog_budget_disabled_defers_to_run_cap() {
+        // Without a per-benchmark budget the spinner is silently
+        // truncated at the per-run cap, exactly as before the watchdog.
+        let mut cfg = StudyConfig::smoke();
+        cfg.max_instructions_per_run = 60_000;
+        cfg.interval_len = 10_000;
+        let c = characterize_benchmark_watched(&spinning_benchmark(), &cfg, None)
+            .expect("truncated, not failed");
+        assert_eq!(c.total_instructions, 60_000);
+        assert_eq!(c.per_input[0].len(), 6);
+    }
+
+    #[test]
+    fn watched_characterization_matches_unwatched_bit_exactly() {
+        let all = catalog();
+        let bench = &all[5];
+        let mut cfg = StudyConfig::smoke();
+        cfg.interval_len = 10_000;
+        let unwatched = characterize_benchmark(bench, &cfg).expect("healthy");
+        // A generous budget (all Tiny benchmarks halt well within it)
+        // must not perturb a single bit.
+        cfg.max_inst_per_bench = Some(40_000_000);
+        let watched =
+            characterize_benchmark_watched(bench, &cfg, None).expect("budget not exceeded");
+        assert_eq!(watched.total_instructions, unwatched.total_instructions);
+        assert_eq!(watched.per_input, unwatched.per_input);
+    }
+
+    #[test]
+    fn benchmark_halting_exactly_at_budget_survives() {
+        let all = catalog();
+        let bench = &all[0];
+        let cfg = StudyConfig::smoke();
+        let exact = characterize_benchmark(bench, &cfg).expect("healthy");
+        let mut cfg2 = cfg.clone();
+        cfg2.max_inst_per_bench = Some(exact.total_instructions);
+        let c = characterize_benchmark_watched(bench, &cfg2, None)
+            .expect("halting on the last budgeted instruction is not runaway");
+        assert_eq!(c.total_instructions, exact.total_instructions);
+    }
+
+    #[test]
+    fn cancelled_token_stops_characterization() {
+        let token = CancelToken::new();
+        token.cancel();
+        let all = catalog();
+        let cfg = StudyConfig::smoke();
+        let err = characterize_benchmark_watched(&all[0], &cfg, Some(&token))
+            .expect_err("token already tripped");
+        assert_eq!(err, BenchFailure::Cancelled);
     }
 
     #[test]

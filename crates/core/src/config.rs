@@ -59,6 +59,14 @@ pub struct StudyConfig {
     /// Instruction budget per benchmark execution (a safety net; all
     /// bundled benchmarks halt well before it).
     pub max_instructions_per_run: u64,
+    /// Runaway watchdog: total instruction budget across all inputs of
+    /// one benchmark. A benchmark that exhausts it without halting is
+    /// quarantined with
+    /// [`QuarantineCause::Runaway`](crate::QuarantineCause::Runaway)
+    /// instead of wedging the study. `None` (the default) disables the
+    /// watchdog; unlike `max_instructions_per_run`, which silently
+    /// truncates, exceeding this budget is treated as a failure.
+    pub max_inst_per_bench: Option<u64>,
     /// Worker threads for every parallel stage — benchmark
     /// characterization, k-means clustering, and GA fitness evaluation
     /// (0 = all cores). Results are identical for every value.
@@ -87,6 +95,7 @@ impl StudyConfig {
             n_key_characteristics: 12,
             suites: None,
             max_instructions_per_run: 500_000_000,
+            max_inst_per_bench: None,
             threads: 0,
             seed: 0,
         }
@@ -109,6 +118,7 @@ impl StudyConfig {
             n_key_characteristics: 6,
             suites: None,
             max_instructions_per_run: 50_000_000,
+            max_inst_per_bench: None,
             threads: 0,
             seed: 0,
         }
@@ -150,6 +160,9 @@ impl StudyConfig {
             if suites.is_empty() {
                 return Err(ConfigError::EmptySuiteFilter);
             }
+        }
+        if self.max_inst_per_bench == Some(0) {
+            return Err(ConfigError::ZeroBenchBudget);
         }
         self.ga.validate()?;
         Ok(())
@@ -219,6 +232,14 @@ mod tests {
         let mut cfg = StudyConfig::smoke();
         cfg.suites = Some(vec![]);
         assert_eq!(cfg.validate(), Err(ConfigError::EmptySuiteFilter));
+
+        let mut cfg = StudyConfig::smoke();
+        cfg.max_inst_per_bench = Some(0);
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroBenchBudget));
+
+        let mut cfg = StudyConfig::smoke();
+        cfg.max_inst_per_bench = Some(1);
+        assert_eq!(cfg.validate(), Ok(()));
 
         let mut cfg = StudyConfig::smoke();
         cfg.ga.populations = 0;

@@ -49,6 +49,9 @@ pub enum ConfigError {
     },
     /// `suites` is `Some` but lists no suites.
     EmptySuiteFilter,
+    /// `max_inst_per_bench` is `Some(0)`: a zero-instruction watchdog
+    /// budget would quarantine every benchmark.
+    ZeroBenchBudget,
     /// The genetic-algorithm sub-configuration is invalid.
     Ga(GaConfigError),
 }
@@ -74,6 +77,9 @@ impl fmt::Display for ConfigError {
                 "cannot select {requested} key characteristics from {available} measured ones"
             ),
             ConfigError::EmptySuiteFilter => write!(f, "empty suite filter"),
+            ConfigError::ZeroBenchBudget => {
+                write!(f, "per-benchmark instruction budget must be positive")
+            }
             ConfigError::Ga(e) => write!(f, "invalid GA configuration: {e}"),
         }
     }
@@ -94,8 +100,33 @@ impl From<GaConfigError> for ConfigError {
     }
 }
 
+/// Why a benchmark was removed from a study.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuarantineCause {
+    /// One of the benchmark's inputs faulted in the VM.
+    Fault(VmError),
+    /// The benchmark blew through its per-benchmark instruction budget
+    /// (`max_inst_per_bench`) without halting — the watchdog treats it
+    /// as runaway.
+    Runaway {
+        /// The exceeded budget, in instructions.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for QuarantineCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantineCause::Fault(e) => write!(f, "faulted: {e}"),
+            QuarantineCause::Runaway { budget } => {
+                write!(f, "ran away: exceeded the {budget}-instruction budget")
+            }
+        }
+    }
+}
+
 /// A benchmark excluded from a study because one of its inputs faulted
-/// in the VM.
+/// in the VM or exceeded the runaway watchdog's instruction budget.
 ///
 /// Quarantine is all-or-nothing per benchmark: a fault in any input
 /// removes the whole benchmark from the data set, so the equal-weight
@@ -106,30 +137,48 @@ pub struct QuarantinedBenchmark {
     pub name: String,
     /// The suite it belongs to.
     pub suite: Suite,
-    /// Index of the faulting input.
+    /// Index of the offending input.
     pub input: usize,
-    /// Name of the faulting input.
+    /// Name of the offending input.
     pub input_name: String,
-    /// The VM fault.
-    pub error: VmError,
+    /// Why the benchmark was quarantined.
+    pub cause: QuarantineCause,
+}
+
+impl QuarantinedBenchmark {
+    /// The VM fault, when the cause was a fault.
+    pub fn vm_error(&self) -> Option<&VmError> {
+        match &self.cause {
+            QuarantineCause::Fault(e) => Some(e),
+            QuarantineCause::Runaway { .. } => None,
+        }
+    }
+
+    /// Whether the benchmark was quarantined by the runaway watchdog.
+    pub fn is_runaway(&self) -> bool {
+        matches!(self.cause, QuarantineCause::Runaway { .. })
+    }
 }
 
 impl fmt::Display for QuarantinedBenchmark {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} [{}] input `{}` faulted: {}",
+            "{} [{}] input `{}` {}",
             self.name,
             self.suite.short_name(),
             self.input_name,
-            self.error
+            self.cause
         )
     }
 }
 
 impl Error for QuarantinedBenchmark {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
-        Some(&self.error)
+        match &self.cause {
+            QuarantineCause::Fault(e) => Some(e),
+            QuarantineCause::Runaway { .. } => None,
+        }
     }
 }
 
@@ -169,6 +218,11 @@ pub enum StudyError {
     },
     /// The surviving data set could not be analyzed.
     Analysis(AnalysisError),
+    /// The study was cancelled (Ctrl-C or a tripped
+    /// [`CancelToken`](phaselab_par::CancelToken)) before it could
+    /// finish. Checkpointed progress, if a store was attached, survives
+    /// for a later resume.
+    Cancelled,
 }
 
 impl fmt::Display for StudyError {
@@ -178,7 +232,7 @@ impl fmt::Display for StudyError {
             StudyError::Characterization { quarantined } => {
                 write!(
                     f,
-                    "all {} selected benchmarks faulted (first: {})",
+                    "all {} selected benchmarks were quarantined (first: {})",
                     quarantined.len(),
                     quarantined
                         .first()
@@ -187,6 +241,7 @@ impl fmt::Display for StudyError {
                 )
             }
             StudyError::Analysis(e) => write!(f, "analysis failed: {e}"),
+            StudyError::Cancelled => write!(f, "study cancelled before completion"),
         }
     }
 }
@@ -199,6 +254,7 @@ impl Error for StudyError {
                 quarantined.first().map(|q| q as &(dyn Error + 'static))
             }
             StudyError::Analysis(e) => Some(e),
+            StudyError::Cancelled => None,
         }
     }
 }
@@ -226,7 +282,14 @@ mod tests {
             suite: Suite::SpecInt2000,
             input: 1,
             input_name: "200".into(),
-            error: VmError::PcOutOfRange { pc: 99 },
+            cause: QuarantineCause::Fault(VmError::PcOutOfRange { pc: 99 }),
+        };
+        let runaway = QuarantinedBenchmark {
+            name: "perl".into(),
+            suite: Suite::SpecInt2006,
+            input: 0,
+            input_name: "ref".into(),
+            cause: QuarantineCause::Runaway { budget: 1_000_000 },
         };
         for msg in [
             ConfigError::ZeroClusters.to_string(),
@@ -236,15 +299,18 @@ mod tests {
             }
             .to_string(),
             q.to_string(),
+            runaway.to_string(),
             StudyError::Characterization {
                 quarantined: vec![q.clone()],
             }
             .to_string(),
             StudyError::Analysis(AnalysisError::NoIntervalsSampled).to_string(),
+            StudyError::Cancelled.to_string(),
         ] {
             assert!(!msg.is_empty());
             assert!(!msg.contains('\n'), "multi-line: {msg}");
         }
+        assert!(runaway.to_string().contains("1000000-instruction budget"));
     }
 
     #[test]
@@ -254,14 +320,31 @@ mod tests {
             suite: Suite::SpecInt2006,
             input: 0,
             input_name: "ref".into(),
-            error: VmError::CallStackOverflow,
+            cause: QuarantineCause::Fault(VmError::CallStackOverflow),
         };
+        assert_eq!(q.vm_error(), Some(&VmError::CallStackOverflow));
+        assert!(!q.is_runaway());
         let e = StudyError::Characterization {
             quarantined: vec![q],
         };
         let source = e.source().expect("has source");
         let vm = source.source().expect("chains to VmError");
         assert_eq!(vm.to_string(), VmError::CallStackOverflow.to_string());
+    }
+
+    #[test]
+    fn runaway_quarantine_has_no_vm_source() {
+        let q = QuarantinedBenchmark {
+            name: "spin".into(),
+            suite: Suite::Bmw,
+            input: 0,
+            input_name: "default".into(),
+            cause: QuarantineCause::Runaway { budget: 42 },
+        };
+        assert!(q.is_runaway());
+        assert_eq!(q.vm_error(), None);
+        assert!(q.source().is_none());
+        assert!(StudyError::Cancelled.source().is_none());
     }
 
     #[test]

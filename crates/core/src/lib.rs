@@ -48,6 +48,7 @@
 
 mod analysis;
 mod characterize;
+mod checkpoint;
 mod config;
 mod error;
 mod phases;
@@ -61,11 +62,25 @@ pub use analysis::{
     benchmark_stats, coverage, diversity, uniqueness, BenchmarkStats, SuiteCoverage, SuiteCurve,
     SuiteUniqueness,
 };
-pub use characterize::{characterize_benchmark, characterize_program, BenchCharacterization};
+pub use characterize::{
+    characterize_benchmark, characterize_benchmark_watched, characterize_program,
+    BenchCharacterization, BenchFailure,
+};
+pub use checkpoint::{
+    characterization_fingerprint, clustering_fingerprint, BenchOutcome, CheckpointError,
+    CheckpointStore,
+};
 pub use config::{SamplingPolicy, StudyConfig};
-pub use error::{AnalysisError, ConfigError, QuarantinedBenchmark, StudyError};
+pub use error::{AnalysisError, ConfigError, QuarantineCause, QuarantinedBenchmark, StudyError};
 pub use phases::{KiviatAxis, PhaseKind, PhaseShare, ProminentPhase};
-pub use pipeline::{run_study, run_study_with, BenchmarkRun, SampledInterval, StudyResult};
+pub use pipeline::{
+    run_study, run_study_resumable, run_study_with, run_study_with_resumable, BenchmarkRun,
+    SampledInterval, StudyResult,
+};
+
+// Cancellation primitives, re-exported so pipeline callers need not
+// depend on `phaselab-par` directly.
+pub use phaselab_par::{CancelToken, Cancelled};
 pub use report::{format_table, write_csv};
 pub use sampling::{sample_intervals, sample_with_policy};
 pub use simpoints::{reconstruction_error, simulation_points, weighted_estimate, SimPoint};

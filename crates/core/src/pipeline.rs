@@ -2,13 +2,17 @@
 
 use phaselab_ga::{select_features, DistanceCorrelationFitness};
 use phaselab_mica::{feature_names, NUM_FEATURES};
-use phaselab_par::{effective_threads, parallel_map};
+use phaselab_par::{effective_threads, parallel_map_cancellable, CancelToken};
 use phaselab_stats::{
-    distance_sq, kmeans, normalize_columns, Clustering, ColumnStats, KmeansConfig, Matrix, Pca,
+    distance_sq, kmeans_restart, normalize_columns, pick_best_clustering, Clustering, ColumnStats,
+    KmeansConfig, Matrix, Pca,
 };
-use phaselab_workloads::{catalog, Suite};
+use phaselab_workloads::{catalog, Benchmark, Suite};
 
-use crate::characterize::{characterize_benchmark, BenchCharacterization};
+use crate::characterize::{characterize_benchmark_watched, BenchCharacterization, BenchFailure};
+use crate::checkpoint::{
+    characterization_fingerprint, clustering_fingerprint, BenchOutcome, CheckpointStore,
+};
 use crate::config::StudyConfig;
 use crate::error::{AnalysisError, QuarantinedBenchmark, StudyError};
 use crate::phases::{KiviatAxis, PhaseKind, PhaseShare, ProminentPhase};
@@ -187,6 +191,34 @@ impl StudyResult {
 /// faults, and [`StudyError::Analysis`] when the surviving data set is
 /// too degenerate to analyze.
 pub fn run_study(cfg: &StudyConfig) -> Result<StudyResult, StudyError> {
+    run_study_resumable(cfg, None, None)
+}
+
+/// [`run_study`] with crash-safe checkpointing and cooperative
+/// cancellation.
+///
+/// With a `store`, every benchmark characterization and every completed
+/// k-means restart is persisted as it finishes and reloaded on the next
+/// run with a compatible configuration, so an interrupted study resumes
+/// where it stopped. Resume is **bit-identical**: the result equals an
+/// uninterrupted run's at every thread count. Unusable checkpoints
+/// (corrupt, truncated, stale version, wrong fingerprint) are skipped
+/// with a one-line warning and recomputed — they never fail the study.
+///
+/// With a `cancel` token, tripping the token stops the study at the next
+/// check (between VM slices during characterization, between k-means
+/// restarts, between stages) and returns [`StudyError::Cancelled`];
+/// work completed before the trip is already in the store.
+///
+/// # Errors
+///
+/// As [`run_study`], plus [`StudyError::Cancelled`] when `cancel` trips
+/// before the study completes.
+pub fn run_study_resumable(
+    cfg: &StudyConfig,
+    store: Option<&CheckpointStore>,
+    cancel: Option<&CancelToken>,
+) -> Result<StudyResult, StudyError> {
     cfg.validate()?;
     let benches: Vec<_> = catalog()
         .into_iter()
@@ -197,7 +229,7 @@ pub fn run_study(cfg: &StudyConfig) -> Result<StudyResult, StudyError> {
                 .unwrap_or(true)
         })
         .collect();
-    run_study_with(cfg, &benches)
+    run_study_with_resumable(cfg, &benches, store, cancel)
 }
 
 /// Runs the full methodology pipeline over an explicit benchmark list
@@ -211,26 +243,50 @@ pub fn run_study(cfg: &StudyConfig) -> Result<StudyResult, StudyError> {
 ///
 /// As [`run_study`]; additionally returns
 /// [`AnalysisError::NoBenchmarksSelected`] when `benches` is empty.
-pub fn run_study_with(
+pub fn run_study_with(cfg: &StudyConfig, benches: &[Benchmark]) -> Result<StudyResult, StudyError> {
+    run_study_with_resumable(cfg, benches, None, None)
+}
+
+/// [`run_study_with`] with checkpointing and cancellation — the explicit
+/// benchmark-list twin of [`run_study_resumable`], with the same
+/// semantics and error contract.
+///
+/// # Errors
+///
+/// As [`run_study_with`], plus [`StudyError::Cancelled`] when `cancel`
+/// trips before the study completes.
+pub fn run_study_with_resumable(
     cfg: &StudyConfig,
-    benches: &[phaselab_workloads::Benchmark],
+    benches: &[Benchmark],
+    store: Option<&CheckpointStore>,
+    cancel: Option<&CancelToken>,
 ) -> Result<StudyResult, StudyError> {
     cfg.validate()?;
     if benches.is_empty() {
         return Err(AnalysisError::NoBenchmarksSelected.into());
     }
+    // One token always exists; an internal never-tripped token makes the
+    // uncancellable path identical code to the cancellable one.
+    let own_token;
+    let token = match cancel {
+        Some(t) => t,
+        None => {
+            own_token = CancelToken::new();
+            &own_token
+        }
+    };
 
-    // Step 1: characterize all benchmarks (in parallel). Results come
-    // back keyed by benchmark index, so the survivor/quarantine split is
-    // identical for every thread count.
-    let outcomes = characterize_all(benches, cfg);
+    // Step 1: characterize all benchmarks (in parallel), reloading any
+    // checkpointed outcome and persisting fresh ones. Results come back
+    // keyed by benchmark index, so the survivor/quarantine split is
+    // identical for every thread count and for resumed vs. fresh runs.
+    let outcomes = characterize_all(benches, cfg, store, token)?;
     let mut quarantined = Vec::new();
-    let mut survivors: Vec<(&phaselab_workloads::Benchmark, BenchCharacterization)> =
-        Vec::with_capacity(benches.len());
+    let mut survivors: Vec<(&Benchmark, BenchCharacterization)> = Vec::with_capacity(benches.len());
     for (bench, outcome) in benches.iter().zip(outcomes) {
         match outcome {
-            Ok(c) => survivors.push((bench, c)),
-            Err(fault) => quarantined.push(fault),
+            BenchOutcome::Characterized(c) => survivors.push((bench, c)),
+            BenchOutcome::Quarantined(q) => quarantined.push(q),
         }
     }
     if survivors.is_empty() {
@@ -286,21 +342,26 @@ pub fn run_study_with(
     let (space, score_norm) = normalize_columns(&scores);
 
     // Step 4: k-means with BIC-scored restarts; rank clusters by weight.
+    // Each completed restart is checkpointed and reloadable.
+    if token.is_cancelled() {
+        return Err(StudyError::Cancelled);
+    }
     let k = cfg.k.min(space.rows());
-    let clustering = kmeans(
-        &space,
-        &KmeansConfig::new(k)
-            .with_restarts(cfg.kmeans_restarts)
-            .with_max_iters(cfg.kmeans_max_iters)
-            .with_seed(cfg.seed ^ 0xC1u64)
-            .with_threads(cfg.threads),
-    );
+    let kcfg = KmeansConfig::new(k)
+        .with_restarts(cfg.kmeans_restarts)
+        .with_max_iters(cfg.kmeans_max_iters)
+        .with_seed(cfg.seed ^ 0xC1u64)
+        .with_threads(cfg.threads);
+    let clustering = cluster_resumable(&space, &kcfg, store, token)?;
 
     let (prominent, prominent_coverage) =
         prominent_phases(&clustering, &space, &sampled, &benchmarks, cfg);
 
     // Step 5: GA key-characteristic selection over the prominent phase
     // representatives, in the raw characteristic space.
+    if token.is_cancelled() {
+        return Err(StudyError::Cancelled);
+    }
     let rep_rows: Vec<usize> = prominent.iter().map(|p| p.representative_row).collect();
     let (key_characteristics, ga_fitness) = if rep_rows.len() >= 3 {
         let rep_matrix = features.select_rows(&rep_rows);
@@ -338,17 +399,92 @@ pub fn run_study_with(
     })
 }
 
-/// Characterizes all benchmarks on the shared work-stealing executor.
+/// Characterizes all benchmarks on the shared work-stealing executor,
+/// loading checkpointed outcomes and storing fresh ones.
 ///
-/// Per-benchmark `Result`s ride across the executor in index-keyed
+/// Per-benchmark outcomes ride across the executor in index-keyed
 /// slots, so the outcome vector — including which benchmarks fault — is
-/// identical for every thread count.
+/// identical for every thread count; and because each checkpoint is the
+/// exact bits of the computed outcome, loaded and recomputed benchmarks
+/// are indistinguishable downstream.
 fn characterize_all(
-    benches: &[phaselab_workloads::Benchmark],
+    benches: &[Benchmark],
     cfg: &StudyConfig,
-) -> Vec<Result<BenchCharacterization, QuarantinedBenchmark>> {
+    store: Option<&CheckpointStore>,
+    token: &CancelToken,
+) -> Result<Vec<BenchOutcome>, StudyError> {
     let threads = effective_threads(cfg.threads);
-    parallel_map(benches, threads, |b| characterize_benchmark(b, cfg))
+    let fingerprint = characterization_fingerprint(cfg);
+    let outcomes = parallel_map_cancellable(benches, threads, token, |b| {
+        if let Some(s) = store {
+            if let Some(o) = s.load_benchmark(fingerprint, b.suite(), b.name()) {
+                if outcome_matches(&o, b) {
+                    return Ok(o);
+                }
+            }
+        }
+        let outcome = match characterize_benchmark_watched(b, cfg, Some(token)) {
+            Ok(c) => BenchOutcome::Characterized(c),
+            Err(BenchFailure::Quarantined(q)) => BenchOutcome::Quarantined(q),
+            Err(BenchFailure::Cancelled) => return Err(()),
+        };
+        if let Some(s) = store {
+            s.store_benchmark(fingerprint, b.suite(), b.name(), &outcome);
+        }
+        Ok(outcome)
+    })
+    .map_err(|_| StudyError::Cancelled)?;
+    outcomes
+        .into_iter()
+        .collect::<Result<Vec<_>, ()>>()
+        .map_err(|()| StudyError::Cancelled)
+}
+
+/// Whether a loaded checkpoint plausibly belongs to this benchmark.
+/// Guards against sanitized-filename collisions and workload-definition
+/// drift; a mismatch means "recompute", never "trust".
+fn outcome_matches(outcome: &BenchOutcome, bench: &Benchmark) -> bool {
+    match outcome {
+        BenchOutcome::Characterized(c) => c.per_input.len() == bench.num_inputs(),
+        BenchOutcome::Quarantined(q) => {
+            q.name == bench.name() && q.suite == bench.suite() && q.input < bench.num_inputs()
+        }
+    }
+}
+
+/// Multi-restart k-means with per-restart checkpointing: exactly
+/// [`kmeans`](phaselab_stats::kmeans) — same seeds, same outer/inner
+/// thread split, same highest-BIC/earliest-restart selection — except
+/// each restart is reloaded from the store when present and persisted
+/// when computed.
+fn cluster_resumable(
+    space: &Matrix,
+    kcfg: &KmeansConfig,
+    store: Option<&CheckpointStore>,
+    token: &CancelToken,
+) -> Result<Clustering, StudyError> {
+    let restarts = kcfg.restarts.max(1);
+    let threads = effective_threads(kcfg.threads);
+    let outer = threads.min(restarts);
+    let inner = (threads / outer).max(1);
+    let fingerprint = store.map(|_| clustering_fingerprint(kcfg, space));
+    let indices: Vec<usize> = (0..restarts).collect();
+    let candidates = parallel_map_cancellable(&indices, outer, token, |&r| {
+        if let (Some(s), Some(fp)) = (store, fingerprint) {
+            if let Some(c) = s.load_clustering(fp, r) {
+                if c.assignments.len() == space.rows() && c.centroids.rows() == kcfg.k {
+                    return c;
+                }
+            }
+        }
+        let c = kmeans_restart(space, kcfg, r, inner);
+        if let (Some(s), Some(fp)) = (store, fingerprint) {
+            s.store_clustering(fp, r, &c);
+        }
+        c
+    })
+    .map_err(|_| StudyError::Cancelled)?;
+    Ok(pick_best_clustering(candidates).expect("at least one restart ran"))
 }
 
 /// Ranks clusters by weight, keeps the top `n_prominent`, and describes

@@ -108,7 +108,7 @@ pub fn phase_timeline(
                 suite: bench.suite(),
                 input,
                 input_name: bench.input_names()[input].to_string(),
-                error,
+                cause: crate::QuarantineCause::Fault(error),
             },
         )?;
     let clusters = features

@@ -46,9 +46,183 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fmt;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A parallel stage was cancelled before every task completed.
+///
+/// Returned by [`parallel_map_cancellable`] and
+/// [`try_parallel_map_cancellable`] when their [`CancelToken`] fired
+/// early enough that at least one task never ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parallel stage cancelled before completion")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[derive(Debug)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    /// Remaining task completions before auto-cancel; `u64::MAX` means
+    /// "no countdown armed".
+    countdown: AtomicU64,
+}
+
+/// A cooperative cancellation flag shared between a controller (e.g. a
+/// Ctrl-C handler) and the executor's workers.
+///
+/// Cancellation is *cooperative*: workers check the token before
+/// claiming each task, so tasks already in flight run to completion and
+/// their results stay valid — nothing is torn down mid-task. Clones
+/// share one flag.
+///
+/// [`CancelToken::after`] arms a deterministic countdown: the token
+/// cancels itself once the executor has completed that many tasks,
+/// which gives tests a scheduling-independent way to interrupt a stage
+/// "after N benchmarks".
+///
+/// # Examples
+///
+/// ```
+/// use phaselab_par::{parallel_map_cancellable, CancelToken};
+///
+/// let token = CancelToken::new();
+/// let out = parallel_map_cancellable(&[1u64, 2, 3], 2, &token, |&x| x * x);
+/// assert_eq!(out.unwrap(), vec![1, 4, 9]);
+///
+/// let token = CancelToken::new();
+/// token.cancel();
+/// assert!(parallel_map_cancellable(&[1u64, 2, 3], 2, &token, |&x| x).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl CancelToken {
+    /// Creates a token that never fires on its own; only [`cancel`]
+    /// (from any clone, any thread) trips it.
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                countdown: AtomicU64::new(u64::MAX),
+            }),
+        }
+    }
+
+    /// Creates a token that cancels itself after `tasks` task
+    /// completions across all cancellable stages it is passed to.
+    ///
+    /// With `tasks == 0` the token starts out cancelled. Because
+    /// in-flight tasks always finish, up to `workers - 1` additional
+    /// tasks may still complete after the countdown trips.
+    pub fn after(tasks: u64) -> Self {
+        let token = CancelToken::new();
+        if tasks == 0 {
+            token.cancel();
+        } else {
+            token.inner.countdown.store(tasks, Ordering::SeqCst);
+        }
+        token
+    }
+
+    /// Trips the token. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Records one task completion, tripping the token when an armed
+    /// [`after`](CancelToken::after) countdown reaches zero.
+    fn task_completed(&self) {
+        let hit_zero = self
+            .inner
+            .countdown
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |c| {
+                if c == u64::MAX || c == 0 {
+                    None
+                } else {
+                    Some(c - 1)
+                }
+            });
+        if hit_zero == Ok(1) {
+            self.cancel();
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+/// The shared work-stealing core: runs `run(0..n)` on up to `threads`
+/// workers, each result keyed by its task index. Returns `None` iff the
+/// token cancelled before every slot was filled (the partial results are
+/// dropped); with `token: None` the result is always `Some`.
+fn run_tasks<U, F>(n: usize, threads: usize, token: Option<&CancelToken>, run: F) -> Option<Vec<U>>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = threads.min(n).max(1);
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for idx in 0..n {
+            if token.is_some_and(|t| t.is_cancelled()) {
+                return None;
+            }
+            out.push(run(idx));
+            if let Some(t) = token {
+                t.task_completed();
+            }
+        }
+        return Some(out);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if token.is_some_and(|t| t.is_cancelled()) {
+                    break;
+                }
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let out = run(idx);
+                *slots[idx].lock().expect("result slot poisoned") = Some(out);
+                if let Some(t) = token {
+                    t.task_completed();
+                }
+            });
+        }
+    });
+
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        out.push(slot.into_inner().expect("result slot poisoned")?);
+    }
+    Some(out)
+}
 
 /// Resolves a requested thread count: `0` means "all cores".
 ///
@@ -118,35 +292,38 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let workers = threads.min(items.len()).max(1);
-    if workers <= 1 {
-        return items.iter().map(f).collect();
-    }
+    run_tasks(items.len(), threads, None, |idx| f(&items[idx]))
+        .expect("uncancellable stage always completes")
+}
 
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= items.len() {
-                    break;
-                }
-                let out = f(&items[idx]);
-                *slots[idx].lock().expect("result slot poisoned") = Some(out);
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker filled every slot")
-        })
-        .collect()
+/// [`parallel_map`] with cooperative cancellation.
+///
+/// Workers check `token` before claiming each task; tasks already in
+/// flight finish and the stage returns `Err(Cancelled)` only if at
+/// least one task never ran. If the token trips after the last task was
+/// claimed, the complete result vector is still returned — a late
+/// cancel never discards finished work.
+///
+/// On success the output is exactly [`parallel_map`]'s: results in item
+/// order, bit-identical across thread counts.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the token fired before every task
+/// completed. Partial results are dropped; durable side effects of the
+/// tasks that did run (e.g. checkpoint writes) are the caller's to keep.
+pub fn parallel_map_cancellable<T, U, F>(
+    items: &[T],
+    threads: usize,
+    token: &CancelToken,
+    f: F,
+) -> Result<Vec<U>, Cancelled>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    run_tasks(items.len(), threads, Some(token), |idx| f(&items[idx])).ok_or(Cancelled)
 }
 
 /// Applies `f` to every item by value, in parallel, returning results in
@@ -168,35 +345,16 @@ where
         return items.into_iter().map(f).collect();
     }
 
-    let cursor = AtomicUsize::new(0);
     let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let slots: Vec<Mutex<Option<U>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= tasks.len() {
-                    break;
-                }
-                let task = tasks[idx]
-                    .lock()
-                    .expect("task slot poisoned")
-                    .take()
-                    .expect("each task is taken exactly once");
-                *slots[idx].lock().expect("result slot poisoned") = Some(f(task));
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker filled every slot")
-        })
-        .collect()
+    run_tasks(tasks.len(), workers, None, |idx| {
+        let task = tasks[idx]
+            .lock()
+            .expect("task slot poisoned")
+            .take()
+            .expect("each task is taken exactly once");
+        f(task)
+    })
+    .expect("uncancellable stage always completes")
 }
 
 /// Applies a fallible `f` to every item, in parallel, returning either
@@ -225,6 +383,40 @@ where
         out.push(outcome?);
     }
     Ok(out)
+}
+
+/// [`try_parallel_map`] with cooperative cancellation.
+///
+/// The outer `Result` reports cancellation; the inner one carries the
+/// first (lowest-indexed) task error, exactly as [`try_parallel_map`]
+/// would. Like [`parallel_map_cancellable`], a token that trips after
+/// every task was claimed does not discard the finished results.
+///
+/// # Errors
+///
+/// Outer [`Cancelled`] when the token fired before every task
+/// completed; inner `E` of the lowest-indexed failing item otherwise.
+pub fn try_parallel_map_cancellable<T, U, E, F>(
+    items: &[T],
+    threads: usize,
+    token: &CancelToken,
+    f: F,
+) -> Result<Result<Vec<U>, E>, Cancelled>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(&T) -> Result<U, E> + Sync,
+{
+    let outcomes = parallel_map_cancellable(items, threads, token, f)?;
+    let mut out = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        match outcome {
+            Ok(v) => out.push(v),
+            Err(e) => return Ok(Err(e)),
+        }
+    }
+    Ok(Ok(out))
 }
 
 /// Splits `0..len` into chunks of at most `chunk` indices and applies `f`
@@ -358,6 +550,102 @@ mod tests {
                 }
             });
             assert_eq!(err.expect_err("has failures"), 9);
+        }
+    }
+
+    #[test]
+    fn cancellable_map_completes_with_untripped_token() {
+        let items: Vec<u64> = (0..97).collect();
+        for threads in [1, 2, 8] {
+            let token = CancelToken::new();
+            let out = parallel_map_cancellable(&items, threads, &token, |&x| x + 1)
+                .expect("untripped token never cancels");
+            assert_eq!(out, (1..=97).collect::<Vec<_>>());
+            assert!(!token.is_cancelled());
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_skips_all_work() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<u64> = (0..64).collect();
+        for threads in [1, 4] {
+            let ran = AtomicUsize::new(0);
+            let token = CancelToken::new();
+            token.cancel();
+            let out = parallel_map_cancellable(&items, threads, &token, |&x| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                x
+            });
+            assert_eq!(out, Err(Cancelled));
+            assert_eq!(ran.load(Ordering::SeqCst), 0, "no task should start");
+        }
+    }
+
+    #[test]
+    fn countdown_token_cancels_after_n_completions() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1usize, 2, 4] {
+            let token = CancelToken::after(5);
+            let out = parallel_map_cancellable(&items, threads, &token, |&x| x);
+            assert_eq!(out, Err(Cancelled), "5 of 100 tasks cannot finish the map");
+            assert!(token.is_cancelled());
+        }
+        // A countdown larger than the task count never trips.
+        let token = CancelToken::after(1_000);
+        assert!(parallel_map_cancellable(&items, 4, &token, |&x| x).is_ok());
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn after_zero_starts_cancelled() {
+        let token = CancelToken::after(0);
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_visible_through_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        clone.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn try_cancellable_reports_first_error_or_cancellation() {
+        let items: Vec<u64> = (0..64).collect();
+        for threads in [1, 2, 8] {
+            let token = CancelToken::new();
+            let err: Result<Result<Vec<u64>, u64>, Cancelled> =
+                try_parallel_map_cancellable(&items, threads, &token, |&x| {
+                    if x == 9 || x == 40 {
+                        Err(x)
+                    } else {
+                        Ok(x)
+                    }
+                });
+            assert_eq!(err.expect("not cancelled").expect_err("has failures"), 9);
+
+            let token = CancelToken::after(0);
+            let cancelled: Result<Result<Vec<u64>, u64>, Cancelled> =
+                try_parallel_map_cancellable(&items, threads, &token, |&x| Ok(x));
+            assert_eq!(cancelled, Err(Cancelled));
+        }
+    }
+
+    #[test]
+    fn cancellable_results_identical_across_thread_counts() {
+        let items: Vec<u64> = (0..100).collect();
+        let reference = parallel_map_cancellable(&items, 1, &CancelToken::new(), |&x| {
+            x.wrapping_mul(7) ^ 0xA5
+        })
+        .expect("complete");
+        for threads in [2, 3, 8] {
+            let out = parallel_map_cancellable(&items, threads, &CancelToken::new(), |&x| {
+                x.wrapping_mul(7) ^ 0xA5
+            })
+            .expect("complete");
+            assert_eq!(out, reference);
         }
     }
 

@@ -173,13 +173,60 @@ pub fn kmeans(data: &Matrix, cfg: &KmeansConfig) -> Clustering {
     let outer = threads.min(restarts);
     let inner = (threads / outer).max(1);
 
-    let seeds: Vec<u64> = (0..restarts)
-        .map(|r| derive_seed(cfg.seed, r as u64))
-        .collect();
-    let candidates = parallel_map(&seeds, outer, |&seed| {
-        kmeans_single(data, cfg.k, cfg.max_iters, seed, inner, true)
-    });
-    pick_best(candidates)
+    let indices: Vec<usize> = (0..restarts).collect();
+    let candidates = parallel_map(&indices, outer, |&r| kmeans_restart(data, cfg, r, inner));
+    pick_best_clustering(candidates).expect("at least one restart ran")
+}
+
+/// Runs restart `restart` of the multi-restart [`kmeans`] in isolation.
+///
+/// The restart's randomness comes from `derive_seed(cfg.seed, restart)`
+/// — exactly the stream [`kmeans`] would hand it — so computing restarts
+/// one at a time (e.g. to checkpoint each as it completes) and selecting
+/// with [`pick_best_clustering`] reproduces [`kmeans`] bit-for-bit.
+/// `threads` bounds the restart-internal chunk parallelism (0 = all
+/// cores); it never affects the result.
+///
+/// # Panics
+///
+/// Panics if `cfg.k` is zero or exceeds the number of rows, or if the
+/// matrix is empty.
+pub fn kmeans_restart(
+    data: &Matrix,
+    cfg: &KmeansConfig,
+    restart: usize,
+    threads: usize,
+) -> Clustering {
+    check_config(data, cfg);
+    let seed = derive_seed(cfg.seed, restart as u64);
+    kmeans_single(
+        data,
+        cfg.k,
+        cfg.max_iters,
+        seed,
+        effective_threads(threads),
+        true,
+    )
+}
+
+/// Keeps the highest-BIC candidate; ties go to the earliest restart.
+///
+/// This is [`kmeans`]'s selection rule, exposed so callers driving
+/// restarts through [`kmeans_restart`] can finish the job identically.
+/// Returns `None` for an empty candidate list. Candidates must be in
+/// restart order for the tie-break to match [`kmeans`].
+pub fn pick_best_clustering(candidates: Vec<Clustering>) -> Option<Clustering> {
+    let mut best: Option<Clustering> = None;
+    for candidate in candidates {
+        let better = match &best {
+            None => true,
+            Some(b) => candidate.bic > b.bic,
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best
 }
 
 /// The unpruned, single-threaded reference k-means.
@@ -216,19 +263,8 @@ fn check_config(data: &Matrix, cfg: &KmeansConfig) {
     );
 }
 
-/// Keeps the highest-BIC candidate; ties go to the earliest restart.
 fn pick_best(candidates: Vec<Clustering>) -> Clustering {
-    let mut best: Option<Clustering> = None;
-    for candidate in candidates {
-        let better = match &best {
-            None => true,
-            Some(b) => candidate.bic > b.bic,
-        };
-        if better {
-            best = Some(candidate);
-        }
-    }
-    best.expect("at least one restart ran")
+    pick_best_clustering(candidates).expect("at least one restart ran")
 }
 
 /// Rows per parallel assignment chunk. Fixed — never derived from the

@@ -46,7 +46,9 @@ mod pca;
 pub use correlation::{pearson, spearman};
 pub use eigen::{jacobi_eigen, EigenDecomposition};
 pub use hierarchical::{hierarchical_cluster, Dendrogram, Merge};
-pub use kmeans::{kmeans, kmeans_reference, Clustering, KmeansConfig};
+pub use kmeans::{
+    kmeans, kmeans_reference, kmeans_restart, pick_best_clustering, Clustering, KmeansConfig,
+};
 pub use matrix::Matrix;
 pub use normalize::{normalize_columns, ColumnStats};
 pub use pca::{rescaled_pca_space, Pca};

@@ -34,5 +34,5 @@ pub use record::{
     ArchReg, BranchInfo, InstClass, InstRecord, MemAccess, RegReads, NUM_ARCH_REGS,
     NUM_INST_CLASSES,
 };
-pub use serialize::{replay, TraceWriter};
+pub use serialize::{replay, ReplayError, TraceWriter};
 pub use sink::{ClassHistogram, CountingSink, TeeSink, TraceSink, VecSink};

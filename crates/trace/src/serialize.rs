@@ -6,6 +6,7 @@
 //! little-endian framing (magic, version, record stream with presence
 //! flags); it is not a stable interchange format.
 
+use std::fmt;
 use std::io::{self, Read, Write};
 
 use crate::record::{ArchReg, BranchInfo, InstClass, InstRecord, MemAccess, RegReads};
@@ -131,35 +132,159 @@ impl<W: Write> TraceSink for TraceWriter<W> {
     }
 }
 
-fn arch_reg(idx: u8) -> io::Result<ArchReg> {
+/// A structurally invalid or unreadable trace stream.
+///
+/// Every variant that concerns the record stream carries the byte
+/// offset of the *frame* (record) where the problem was detected, so a
+/// corrupted trace file can be reported — and inspected with a hex
+/// editor — without guesswork.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The underlying reader failed.
+    Io {
+        /// Byte offset of the frame being read when the reader failed.
+        offset: u64,
+        /// The reader's error.
+        source: io::Error,
+    },
+    /// The stream does not start with the `PLT1` magic.
+    BadMagic,
+    /// The stream ended in the middle of a frame.
+    Truncated {
+        /// Byte offset of the frame that was cut short.
+        offset: u64,
+    },
+    /// A frame header names an instruction class that does not exist.
+    BadClassIndex {
+        /// Byte offset of the offending frame.
+        offset: u64,
+        /// The out-of-range class index.
+        value: u8,
+    },
+    /// A frame names an architectural register that does not exist.
+    BadRegisterIndex {
+        /// Byte offset of the offending frame.
+        offset: u64,
+        /// The out-of-range register index.
+        value: u8,
+    },
+}
+
+impl ReplayError {
+    /// Byte offset of the frame where the error was detected, when the
+    /// error is tied to a frame (everything except [`BadMagic`]).
+    ///
+    /// [`BadMagic`]: ReplayError::BadMagic
+    pub fn offset(&self) -> Option<u64> {
+        match self {
+            ReplayError::Io { offset, .. }
+            | ReplayError::Truncated { offset }
+            | ReplayError::BadClassIndex { offset, .. }
+            | ReplayError::BadRegisterIndex { offset, .. } => Some(*offset),
+            ReplayError::BadMagic => None,
+        }
+    }
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Io { offset, source } => {
+                write!(
+                    f,
+                    "I/O error reading trace frame at byte {offset}: {source}"
+                )
+            }
+            ReplayError::BadMagic => write!(f, "not a phaselab trace (bad magic)"),
+            ReplayError::Truncated { offset } => {
+                write!(f, "trace truncated inside the frame at byte {offset}")
+            }
+            ReplayError::BadClassIndex { offset, value } => {
+                write!(f, "bad class index {value} in trace frame at byte {offset}")
+            }
+            ReplayError::BadRegisterIndex { offset, value } => write!(
+                f,
+                "bad register index {value} in trace frame at byte {offset}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ReplayError> for io::Error {
+    fn from(e: ReplayError) -> Self {
+        let kind = match &e {
+            ReplayError::Io { source, .. } => source.kind(),
+            ReplayError::Truncated { .. } => io::ErrorKind::UnexpectedEof,
+            _ => io::ErrorKind::InvalidData,
+        };
+        io::Error::new(kind, e.to_string())
+    }
+}
+
+/// A reader that tracks how many bytes it has consumed, so errors can
+/// point at the offending frame.
+struct CountingReader<R> {
+    inner: R,
+    offset: u64,
+}
+
+impl<R: Read> CountingReader<R> {
+    /// Fills `buf` completely, or reports a clean end-of-stream
+    /// (`Ok(false)`) when the stream ends *before* the first byte.
+    /// `frame` is the byte offset of the frame being decoded, used for
+    /// error attribution.
+    fn read_or_eof(&mut self, buf: &mut [u8], frame: u64) -> Result<bool, ReplayError> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.inner.read(&mut buf[filled..]) {
+                Ok(0) if filled == 0 => return Ok(false),
+                Ok(0) => return Err(ReplayError::Truncated { offset: frame }),
+                Ok(n) => {
+                    filled += n;
+                    self.offset += n as u64;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    return Err(ReplayError::Io {
+                        offset: frame,
+                        source: e,
+                    })
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Fills `buf` completely; end-of-stream anywhere is a truncation.
+    fn read_all(&mut self, buf: &mut [u8], frame: u64) -> Result<(), ReplayError> {
+        if self.read_or_eof(buf, frame)? {
+            Ok(())
+        } else {
+            Err(ReplayError::Truncated { offset: frame })
+        }
+    }
+}
+
+fn arch_reg(idx: u8, frame: u64) -> Result<ArchReg, ReplayError> {
     if idx < 32 {
         Ok(ArchReg::int(idx))
     } else if idx < 64 {
         Ok(ArchReg::fp(idx - 32))
     } else {
-        Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("register index {idx} out of range"),
-        ))
+        Err(ReplayError::BadRegisterIndex {
+            offset: frame,
+            value: idx,
+        })
     }
-}
-
-fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        let n = r.read(&mut buf[filled..])?;
-        if n == 0 {
-            if filled == 0 {
-                return Ok(false);
-            }
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "truncated trace record",
-            ));
-        }
-        filled += n;
-    }
-    Ok(true)
 }
 
 /// Replays a serialized trace into `sink`, returning the number of
@@ -167,53 +292,60 @@ fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
 ///
 /// # Errors
 ///
-/// Returns an error for I/O failures, a bad magic header, or malformed
-/// records.
-pub fn replay<R: Read, S: TraceSink>(mut reader: R, sink: &mut S) -> io::Result<u64> {
+/// Returns a [`ReplayError`] for I/O failures, a bad magic header, or a
+/// malformed record; every frame-level variant carries the byte offset
+/// of the frame where decoding stopped. Records already delivered to
+/// `sink` before the error stay delivered.
+pub fn replay<R: Read, S: TraceSink>(reader: R, sink: &mut S) -> Result<u64, ReplayError> {
+    let mut reader = CountingReader {
+        inner: reader,
+        offset: 0,
+    };
     let mut magic = [0u8; 4];
-    if !read_exact_or_eof(&mut reader, &mut magic)? {
+    if !reader.read_or_eof(&mut magic, 0)? {
         sink.finish();
         return Ok(0); // empty trace
     }
     if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a phaselab trace (bad magic)",
-        ));
+        return Err(ReplayError::BadMagic);
     }
 
     let mut count = 0;
     loop {
+        let frame = reader.offset;
         let mut head = [0u8; 2];
-        if !read_exact_or_eof(&mut reader, &mut head)? {
+        if !reader.read_or_eof(&mut head, frame)? {
             break;
         }
         let [flags, class_idx] = head;
         let class = *InstClass::ALL
             .get(class_idx as usize)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad class index"))?;
+            .ok_or(ReplayError::BadClassIndex {
+                offset: frame,
+                value: class_idx,
+            })?;
         let mut pc = [0u8; 8];
-        read_exact_or_eof(&mut reader, &mut pc)?;
+        reader.read_all(&mut pc, frame)?;
         let mut rec = InstRecord::new(u64::from_le_bytes(pc), class);
 
         let n_reads = (flags & 0b11) as usize;
         let mut reads = RegReads::new();
         for _ in 0..n_reads {
             let mut b = [0u8; 1];
-            read_exact_or_eof(&mut reader, &mut b)?;
-            reads.push(arch_reg(b[0])?);
+            reader.read_all(&mut b, frame)?;
+            reads.push(arch_reg(b[0], frame)?);
         }
         rec.reads = reads;
         if flags & HAS_WRITE != 0 {
             let mut b = [0u8; 1];
-            read_exact_or_eof(&mut reader, &mut b)?;
-            rec.write = Some(arch_reg(b[0])?);
+            reader.read_all(&mut b, frame)?;
+            rec.write = Some(arch_reg(b[0], frame)?);
         }
         if flags & HAS_MEM != 0 {
             let mut addr = [0u8; 8];
-            read_exact_or_eof(&mut reader, &mut addr)?;
+            reader.read_all(&mut addr, frame)?;
             let mut size = [0u8; 1];
-            read_exact_or_eof(&mut reader, &mut size)?;
+            reader.read_all(&mut size, frame)?;
             rec.mem = Some(MemAccess {
                 addr: u64::from_le_bytes(addr),
                 size: size[0],
@@ -222,7 +354,7 @@ pub fn replay<R: Read, S: TraceSink>(mut reader: R, sink: &mut S) -> io::Result<
         }
         if flags & HAS_BRANCH != 0 {
             let mut target = [0u8; 8];
-            read_exact_or_eof(&mut reader, &mut target)?;
+            reader.read_all(&mut target, frame)?;
             rec.branch = Some(BranchInfo {
                 taken: flags & BRANCH_TAKEN != 0,
                 target: u64::from_le_bytes(target),
@@ -295,11 +427,12 @@ mod tests {
     fn bad_magic_rejected() {
         let mut sink = VecSink::new();
         let err = replay(&b"NOPE"[..], &mut sink).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, ReplayError::BadMagic));
+        assert_eq!(err.offset(), None);
     }
 
     #[test]
-    fn truncated_trace_rejected() {
+    fn truncated_trace_reports_frame_offset() {
         let records = rich_records();
         let mut writer = TraceWriter::new(Vec::new());
         for r in &records {
@@ -308,7 +441,58 @@ mod tests {
         let bytes = writer.into_inner().unwrap();
         let mut sink = VecSink::new();
         let err = replay(&bytes[..bytes.len() - 3], &mut sink).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        let ReplayError::Truncated { offset } = err else {
+            panic!("expected Truncated, got {err:?}");
+        };
+        // The cut hits the last record; its frame starts inside the
+        // stream, after the 4-byte magic.
+        assert!(offset >= 4 && offset < bytes.len() as u64);
+        // The four intact records were still delivered.
+        assert_eq!(sink.records().len(), records.len() - 1);
+    }
+
+    #[test]
+    fn bad_class_index_reports_frame_offset() {
+        let mut writer = TraceWriter::new(Vec::new());
+        writer.observe(&InstRecord::new(0x40, InstClass::Nop));
+        let mut bytes = writer.into_inner().unwrap();
+        bytes[5] = 0xFF; // class byte of the first (only) record
+        let mut sink = VecSink::new();
+        let err = replay(&bytes[..], &mut sink).unwrap_err();
+        assert!(matches!(
+            err,
+            ReplayError::BadClassIndex {
+                offset: 4,
+                value: 0xFF
+            }
+        ));
+    }
+
+    #[test]
+    fn bad_register_index_reports_frame_offset() {
+        let mut writer = TraceWriter::new(Vec::new());
+        writer.observe(&InstRecord::new(0x40, InstClass::IntAdd).with_reads(&[ArchReg::int(1)]));
+        let mut bytes = writer.into_inner().unwrap();
+        let reg_byte = bytes.len() - 1;
+        bytes[reg_byte] = 200; // register indices stop at 63
+        let mut sink = VecSink::new();
+        let err = replay(&bytes[..], &mut sink).unwrap_err();
+        assert!(matches!(
+            err,
+            ReplayError::BadRegisterIndex {
+                offset: 4,
+                value: 200
+            }
+        ));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn replay_error_converts_to_io_error() {
+        let e: io::Error = ReplayError::Truncated { offset: 17 }.into();
+        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+        let e: io::Error = ReplayError::BadMagic.into();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub struct Vm<'p> {
     call_stack: Vec<u32>,
     mem: Vec<u8>,
     executed: u64,
+    halted: bool,
 }
 
 impl<'p> Vm<'p> {
@@ -73,6 +74,7 @@ impl<'p> Vm<'p> {
             call_stack: Vec::new(),
             mem,
             executed: 0,
+            halted: false,
         }
     }
 
@@ -105,6 +107,15 @@ impl<'p> Vm<'p> {
     /// Total instructions executed by this VM so far.
     pub fn executed(&self) -> u64 {
         self.executed
+    }
+
+    /// Whether this VM has executed `halt`.
+    ///
+    /// A halted VM stays halted: further [`run`](Vm::run) calls are
+    /// no-ops, so budget-sliced callers can keep resuming safely without
+    /// running off the end of the program.
+    pub fn has_halted(&self) -> bool {
+        self.halted
     }
 
     /// Reads `len` bytes of data memory starting at `addr` (for tests and
@@ -185,7 +196,8 @@ impl<'p> Vm<'p> {
     /// instructions, reporting each instruction to `sink`.
     ///
     /// Calling `run` again resumes from the current machine state (e.g.
-    /// after an instruction-budget pause).
+    /// after an instruction-budget pause). Once the program has halted,
+    /// further calls execute nothing and report `halted: true`.
     ///
     /// # Errors
     ///
@@ -197,6 +209,12 @@ impl<'p> Vm<'p> {
         sink: &mut S,
         max_instructions: u64,
     ) -> Result<RunOutcome, VmError> {
+        if self.halted {
+            return Ok(RunOutcome {
+                instructions: 0,
+                halted: true,
+            });
+        }
         let code = self.program.code();
         let mut count = 0u64;
         let mut halted = false;
@@ -430,6 +448,7 @@ impl<'p> Vm<'p> {
         }
 
         self.executed += count;
+        self.halted = halted;
         Ok(RunOutcome {
             instructions: count,
             halted,
@@ -653,6 +672,29 @@ mod tests {
         let out2 = vm.run(&mut CountingSink::new(), 50).unwrap();
         assert_eq!(out2.instructions, 50);
         assert_eq!(vm.executed(), 150);
+    }
+
+    #[test]
+    fn run_after_halt_is_a_no_op() {
+        let mut a = Asm::new();
+        a.li(T0, 7);
+        a.halt();
+        a.li(T0, 999); // must never execute
+        let program = a.assemble(DataBuilder::new()).unwrap();
+        let mut vm = Vm::new(&program);
+        let out = vm.run(&mut CountingSink::new(), 100).unwrap();
+        assert!(out.halted);
+        assert!(vm.has_halted());
+        let again = vm.run(&mut CountingSink::new(), 100).unwrap();
+        assert_eq!(
+            again,
+            RunOutcome {
+                instructions: 0,
+                halted: true
+            }
+        );
+        assert_eq!(vm.reg(T0), 7);
+        assert_eq!(vm.executed(), 2);
     }
 
     #[test]

@@ -58,7 +58,11 @@ fn faulting_benchmark_is_quarantined_and_study_completes() {
     assert_eq!(q.name, "saboteur");
     assert_eq!(q.suite, Suite::Bmw);
     assert_eq!(q.input_name, "bad");
-    assert!(q.error.is_memory_fault(), "unexpected fault {}", q.error);
+    assert!(
+        matches!(&q.cause, phaselab::QuarantineCause::Fault(e) if e.is_memory_fault()),
+        "unexpected cause {:?}",
+        q.cause
+    );
     // The record renders as one line naming benchmark, input and fault.
     let line = q.to_string();
     assert!(line.contains("saboteur") && line.contains("bad"), "{line}");
@@ -113,6 +117,71 @@ fn all_benchmarks_faulting_is_a_study_error() {
         }
         other => panic!("expected Characterization error, got {other:?}"),
     }
+}
+
+/// A program that never halts: the runaway watchdog's prey.
+fn spinning_benchmark(name: &'static str) -> Benchmark {
+    Benchmark::custom(
+        name,
+        Suite::Bmw,
+        vec![(
+            "forever",
+            Box::new(|_scale: Scale, _seed: u64| {
+                use phaselab::vm::regs::*;
+                let mut asm = Asm::new();
+                asm.li(T0, 0);
+                asm.label("spin");
+                asm.addi(T0, T0, 1);
+                asm.j("spin");
+                asm.assemble(DataBuilder::new()).expect("assembles")
+            }),
+        )],
+    )
+}
+
+#[test]
+fn runaway_benchmark_is_quarantined_and_survivors_are_bit_identical() {
+    // Healthy Tiny benchmarks finish in well under 40M instructions; an
+    // infinite loop blows through any budget. With the watchdog armed,
+    // the spinner is quarantined as Runaway and the survivors' results
+    // are bit-identical to a clean study under the same budget.
+    let budget = 40_000_000;
+    for threads in [1, 4] {
+        let mut cfg = smoke_cfg(threads);
+        cfg.max_inst_per_bench = Some(budget);
+        let clean = run_study_with(&cfg, &healthy_benches()).expect("clean study");
+
+        let mut benches = healthy_benches();
+        benches.insert(4, spinning_benchmark("spinner"));
+        let r = run_study_with(&cfg, &benches).expect("study completes on survivors");
+
+        assert_eq!(r.quarantined.len(), 1);
+        let q = &r.quarantined[0];
+        assert_eq!(q.name, "spinner");
+        assert!(q.is_runaway());
+        assert_eq!(q.cause, phaselab::QuarantineCause::Runaway { budget });
+        assert!(q.to_string().contains("ran away"), "{q}");
+
+        assert_eq!(r.sampled, clean.sampled);
+        assert_eq!(r.features, clean.features);
+        assert_eq!(r.clustering.assignments, clean.clustering.assignments);
+        assert_eq!(r.key_characteristics, clean.key_characteristics);
+    }
+}
+
+#[test]
+fn unarmed_watchdog_never_quarantines_healthy_benchmarks() {
+    // Arming a generous budget must not perturb a single bit of a study
+    // over healthy benchmarks, and leaving it unarmed must match too.
+    let cfg = smoke_cfg(2);
+    let unarmed = run_study_with(&cfg, &healthy_benches()).expect("study");
+    let mut armed_cfg = smoke_cfg(2);
+    armed_cfg.max_inst_per_bench = Some(1 << 40);
+    let armed = run_study_with(&armed_cfg, &healthy_benches()).expect("study");
+    assert!(armed.quarantined.is_empty());
+    assert_eq!(armed.sampled, unarmed.sampled);
+    assert_eq!(armed.features, unarmed.features);
+    assert_eq!(armed.clustering.assignments, unarmed.clustering.assignments);
 }
 
 #[test]

@@ -2,9 +2,82 @@
 //! live execution — the "run once, analyze many times" workflow.
 
 use phaselab::mica::IntervalCharacterizer;
-use phaselab::trace::{replay, TeeSink, TraceSink, TraceWriter};
+use phaselab::trace::{replay, ReplayError, TeeSink, TraceSink, TraceWriter};
 use phaselab::vm::Vm;
 use phaselab::{catalog, Scale};
+
+/// A recorded trace of one Tiny benchmark execution.
+fn recorded_trace() -> Vec<u8> {
+    let bench = &catalog()[1];
+    let program = bench.build(Scale::Tiny, 0);
+    let mut writer = TraceWriter::new(Vec::new());
+    Vm::new(&program).run(&mut writer, 100_000).expect("runs");
+    writer.finish();
+    writer.into_inner().expect("trace flushes")
+}
+
+/// Deterministic splitmix64 for reproducible corruption positions.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn bit_flipped_traces_never_panic_and_errors_locate_the_frame() {
+    // Fuzz-style robustness: flip one bit anywhere in a recorded trace
+    // and replay. Replay must either succeed (the flip may land in a
+    // value byte and produce a different but well-formed trace) or
+    // return a typed ReplayError whose offset, when present, lies within
+    // the stream — never panic, never loop.
+    let pristine = recorded_trace();
+    let mut state = 0x5EED_u64;
+    for _ in 0..300 {
+        let bit = (splitmix(&mut state) as usize) % (pristine.len() * 8);
+        let mut damaged = pristine.clone();
+        damaged[bit / 8] ^= 1 << (bit % 8);
+        let mut sink = IntervalCharacterizer::new(10_000).keep_tail(true);
+        match replay(&damaged[..], &mut sink) {
+            Ok(_) => {}
+            Err(e) => {
+                if let Some(offset) = e.offset() {
+                    assert!(
+                        offset <= damaged.len() as u64,
+                        "offset {offset} beyond stream of {} bytes ({e})",
+                        damaged.len()
+                    );
+                } else {
+                    assert!(matches!(e, ReplayError::BadMagic), "offsetless error: {e}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_traces_report_the_cut_frame() {
+    // Cut the trace at every prefix of the first few records and at a
+    // sweep of positions beyond: replay must fail with Truncated (or
+    // succeed at exact record boundaries), and the reported frame offset
+    // must be at or before the cut.
+    let pristine = recorded_trace();
+    let cuts: Vec<usize> = (0..64)
+        .chain((64..pristine.len()).step_by(pristine.len() / 97 + 1))
+        .collect();
+    for cut in cuts {
+        let mut sink = IntervalCharacterizer::new(10_000).keep_tail(true);
+        match replay(&pristine[..cut], &mut sink) {
+            Ok(_) => {}
+            Err(ReplayError::BadMagic) => assert!(cut < 4, "bad magic after header at cut {cut}"),
+            Err(e) => {
+                let offset = e.offset().expect("post-magic errors carry an offset");
+                assert!(offset <= cut as u64, "offset {offset} past cut {cut} ({e})");
+            }
+        }
+    }
+}
 
 #[test]
 fn replayed_trace_characterizes_identically() {
