@@ -38,7 +38,7 @@ fn benches(c: &mut Criterion) {
             for p in &r.prominent {
                 black_box(r.kiviat_axes(p));
             }
-        })
+        });
     });
     group.bench_function("fig23_kiviat_svg_render", |b| {
         let axes: Vec<KiviatAxisSpec> = r
@@ -55,7 +55,7 @@ fn benches(c: &mut Criterion) {
         b.iter(|| {
             let plot = KiviatPlot::new("phase").with_axes(axes.clone());
             black_box(plot.to_svg(320.0))
-        })
+        });
     });
     group.bench_function("fig4_bar_svg_render", |b| {
         let bars: Vec<(String, f64)> = coverage(r)
@@ -65,7 +65,7 @@ fn benches(c: &mut Criterion) {
         b.iter(|| {
             let chart = BarChart::new("fig4", "clusters", bars.clone());
             black_box(chart.to_svg(560.0, 320.0))
-        })
+        });
     });
     group.bench_function("fig5_line_svg_render", |b| {
         let series: Vec<(String, Vec<(f64, f64)>)> = diversity(r)
@@ -84,7 +84,7 @@ fn benches(c: &mut Criterion) {
         b.iter(|| {
             let chart = LineChart::new("fig5", "clusters", "coverage", series.clone());
             black_box(chart.to_svg(620.0, 360.0))
-        })
+        });
     });
     group.bench_function("fig23_pie_svg_render", |b| {
         let slices: Vec<(String, f64)> = r.prominent[0]
@@ -95,7 +95,7 @@ fn benches(c: &mut Criterion) {
         b.iter(|| {
             let pie = PieChart::new("phase", slices.clone());
             black_box(pie.to_svg(200.0))
-        })
+        });
     });
     group.finish();
 }

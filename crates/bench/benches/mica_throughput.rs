@@ -103,7 +103,7 @@ fn bench_vm_vs_characterized(c: &mut Criterion) {
             let mut sink = CountingSink::new();
             Vm::new(&program).run(&mut sink, u64::MAX).expect("runs");
             black_box(sink.count())
-        })
+        });
     });
     group.bench_function("vm_plus_mica", |bench| {
         bench.iter(|| {
@@ -111,7 +111,7 @@ fn bench_vm_vs_characterized(c: &mut Criterion) {
             Vm::new(&program).run(&mut chr, u64::MAX).expect("runs");
             chr.finish();
             black_box(chr.into_features().len())
-        })
+        });
     });
     group.finish();
 }

@@ -18,7 +18,7 @@ fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
     group.bench_function("characterize_one_benchmark_tiny", |b| {
-        b.iter(|| black_box(characterize_program(&program, 20_000, u64::MAX).expect("runs")))
+        b.iter(|| black_box(characterize_program(&program, 20_000, u64::MAX).expect("runs")));
     });
 
     // One GA fitness evaluation at study shape (100 phases × 69
@@ -40,14 +40,14 @@ fn benches(c: &mut Criterion) {
         *m = true;
     }
     group.bench_function("ga_fitness_eval_100x69_k12", |b| {
-        b.iter(|| black_box(fitness.score(&mask)))
+        b.iter(|| black_box(fitness.score(&mask)));
     });
 
     // A complete reduced study over one domain-specific suite.
     let mut cfg = StudyConfig::smoke();
     cfg.suites = Some(vec![Suite::Bmw]);
     group.bench_function("smoke_study_bmw", |b| {
-        b.iter(|| black_box(run_study(&cfg).expect("smoke study")))
+        b.iter(|| black_box(run_study(&cfg).expect("smoke study")));
     });
     group.finish();
 }

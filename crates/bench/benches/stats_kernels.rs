@@ -58,7 +58,7 @@ fn benches(c: &mut Criterion) {
     let m = random_matrix(200, 69, 1);
     let cov = m.covariance();
     c.bench_function("jacobi_eigen_69x69", |b| {
-        b.iter(|| black_box(jacobi_eigen(&cov)))
+        b.iter(|| black_box(jacobi_eigen(&cov)));
     });
 
     // PCA fit on a study-sized sample block.
@@ -69,7 +69,7 @@ fn benches(c: &mut Criterion) {
     // evaluation (prominent-phase sized).
     let phases = random_matrix(100, 12, 3);
     c.bench_function("rescaled_pca_space_100x12", |b| {
-        b.iter(|| black_box(rescaled_pca_space(&phases, 1.0)))
+        b.iter(|| black_box(rescaled_pca_space(&phases, 1.0)));
     });
 
     // k-means at a reduced study shape.
@@ -78,7 +78,7 @@ fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("kmeans");
     group.sample_size(10);
     group.bench_function("kmeans_1500x14_k50", |b| {
-        b.iter(|| black_box(kmeans(&space, &cfg)))
+        b.iter(|| black_box(kmeans(&space, &cfg)));
     });
     group.finish();
 
@@ -101,10 +101,10 @@ fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("kmeans_study_shape");
     group.sample_size(10);
     group.bench_function(&format!("kmeans_{rows}x{cols}_k{k}"), |b| {
-        b.iter(|| black_box(kmeans(&study, &study_cfg)))
+        b.iter(|| black_box(kmeans(&study, &study_cfg)));
     });
     group.bench_function(&format!("kmeans_reference_{rows}x{cols}_k{k}"), |b| {
-        b.iter(|| black_box(kmeans_reference(&study, &study_cfg)))
+        b.iter(|| black_box(kmeans_reference(&study, &study_cfg)));
     });
     group.finish();
 
@@ -122,13 +122,13 @@ fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("ga_generation");
     group.sample_size(10);
     group.bench_function("ga_select_100x69_k12", |b| {
-        b.iter(|| black_box(select_features(69, 12, &ga_score, &ga_cfg)))
+        b.iter(|| black_box(select_features(69, 12, &ga_score, &ga_cfg)));
     });
     group.finish();
 
     // Normalization + correlation micro-kernels.
     c.bench_function("normalize_2000x69", |b| {
-        b.iter(|| black_box(normalize_columns(&data)))
+        b.iter(|| black_box(normalize_columns(&data)));
     });
     let x: Vec<f64> = (0..4950).map(|i| (i as f64).sin()).collect();
     let y: Vec<f64> = (0..4950).map(|i| (i as f64).cos()).collect();

@@ -25,7 +25,7 @@ fn bench_kernel(c: &mut Criterion, name: &str, emit: impl FnOnce(&mut Builder)) 
     group.throughput(Throughput::Elements(instructions));
     group.sample_size(20);
     group.bench_function(name, |bench| {
-        bench.iter(|| black_box(run_instructions(&program, u64::MAX)))
+        bench.iter(|| black_box(run_instructions(&program, u64::MAX)));
     });
     group.finish();
 }
@@ -33,7 +33,7 @@ fn bench_kernel(c: &mut Criterion, name: &str, emit: impl FnOnce(&mut Builder)) 
 fn benches(c: &mut Criterion) {
     bench_kernel(c, "stream_triad", |b| numeric::stream_triad(b, 1024, 20));
     bench_kernel(c, "pointer_chase", |b| {
-        memory::pointer_chase(b, 4096, 200_000)
+        memory::pointer_chase(b, 4096, 200_000);
     });
     bench_kernel(c, "smith_waterman", |b| bio::smith_waterman(b, 48, 96, 10));
     bench_kernel(c, "hash_table", |b| control::hash_table(b, 4000, 12, 5));

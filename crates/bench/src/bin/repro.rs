@@ -34,8 +34,14 @@
 //!   --checkpoint-dir DIR      persist/reuse study checkpoints in DIR
 //!   --resume                  resume from --checkpoint-dir (must exist)
 //!   --max-inst-per-bench N    quarantine benchmarks exceeding N instructions
+//!   --verify-only             statically verify every registry program, run nothing
 //!   --help                    print usage and exit
 //! ```
+//!
+//! `--verify-only` is a lint mode: it builds every registry program at
+//! the requested `--scale`, runs `Program::verify_all` on each, prints
+//! one line per finding, and exits `1` when anything fails — without
+//! executing a single instruction.
 //!
 //! Text output goes to stdout; SVG/CSV artifacts go to
 //! `target/experiments` (override with `PHASELAB_OUT`).
@@ -53,6 +59,7 @@
 //! result.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
@@ -188,6 +195,7 @@ options:
   --checkpoint-dir DIR      persist/reuse study checkpoints in DIR
   --resume                  resume from --checkpoint-dir (must exist)
   --max-inst-per-bench N    quarantine benchmarks exceeding N instructions
+  --verify-only             statically verify every registry program, run nothing
   --help                    print this help and exit
 
 exit codes: 0 success, 1 study/runtime error, 2 usage error, 130 interrupted";
@@ -205,6 +213,9 @@ fn main() {
             std::process::exit(EXIT_USAGE);
         }
     };
+    if command == "--verify-only" {
+        std::process::exit(verify_only(cfg.scale));
+    }
     let store = match checkpoint_dir {
         Some(dir) => match CheckpointStore::open(&dir) {
             Ok(s) => Some(s),
@@ -310,6 +321,36 @@ fn run_experiment(
     Ok(())
 }
 
+/// `--verify-only`: build every registry program at the requested scale
+/// and run the static verifier over each, executing nothing. One stdout
+/// line per finding; the exit code says whether the registry is clean.
+fn verify_only(scale: Scale) -> i32 {
+    let mut findings = 0usize;
+    let mut programs = 0usize;
+    for bench in phaselab_workloads::catalog() {
+        for input in 0..bench.num_inputs() {
+            let program = bench.build(scale, input);
+            programs += 1;
+            for err in program.verify_all() {
+                findings += 1;
+                println!(
+                    "{} [{}] input `{}`: {err}",
+                    bench.name(),
+                    bench.suite().short_name(),
+                    bench.input_names()[input]
+                );
+            }
+        }
+    }
+    if findings == 0 {
+        println!("all clean: {programs} programs verified");
+        0
+    } else {
+        eprintln!("repro: {findings} static-verification findings across {programs} programs");
+        EXIT_RUNTIME
+    }
+}
+
 /// One warning line per quarantined benchmark; the study itself carried
 /// on over the survivors.
 fn warn_quarantined(quarantined: &[phaselab_core::QuarantinedBenchmark]) {
@@ -379,6 +420,16 @@ fn parse_args(
                 checkpoint_dir = Some(std::path::PathBuf::from(v));
             }
             "--resume" => resume = true,
+            // Occupies the experiment slot: the lint mode runs instead
+            // of (never alongside) an experiment.
+            "--verify-only" => {
+                if let Some(first) = &command {
+                    return Err(format!(
+                        "`--verify-only` cannot be combined with experiment `{first}`"
+                    ));
+                }
+                command = Some("--verify-only".to_string());
+            }
             "--max-inst-per-bench" => {
                 let v = value(args, i)?;
                 i += 1;
@@ -393,9 +444,11 @@ fn parse_args(
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             cmd => {
                 if let Some(first) = &command {
-                    return Err(format!(
-                        "unexpected argument `{cmd}` (experiment `{first}` already given)"
-                    ));
+                    return Err(if first == "--verify-only" {
+                        format!("`--verify-only` cannot be combined with experiment `{cmd}`")
+                    } else {
+                        format!("unexpected argument `{cmd}` (experiment `{first}` already given)")
+                    });
                 }
                 if !EXPERIMENTS.contains(&cmd) {
                     return Err(format!("unknown experiment `{cmd}`"));
@@ -638,11 +691,12 @@ fn fig23(r: &StudyResult) {
         let pie = PieChart::new(&title, slices);
         write_artifact(&format!("fig23_phase{idx:03}_pie.svg"), &pie.to_svg(200.0));
 
-        listing.push_str(&format!(
+        let _ = write!(
+            listing,
             "phase {idx:03}  weight {:6.2}%  {:<19}  ",
             phase.weight * 100.0,
             phase.kind.name()
-        ));
+        );
         let comp: Vec<String> = phase
             .composition
             .iter()
@@ -660,7 +714,7 @@ fn fig23(r: &StudyResult) {
             .collect();
         listing.push_str(&comp.join(", "));
         if phase.composition.len() > 4 {
-            listing.push_str(&format!(", … +{}", phase.composition.len() - 4));
+            let _ = write!(listing, ", … +{}", phase.composition.len() - 4);
         }
         listing.push('\n');
     }
@@ -672,12 +726,13 @@ fn fig23(r: &StudyResult) {
          <h1>Figures 2\u{2013}3: the prominent phases</h1>\n",
     );
     for (kind, phases) in &by_kind {
-        html.push_str(&format!("<h2>{kind} ({} clusters)</h2>\n", phases.len()));
+        let _ = writeln!(html, "<h2>{kind} ({} clusters)</h2>", phases.len());
         for &idx in phases {
-            html.push_str(&format!(
+            let _ = writeln!(
+                html,
                 "<div class=\"phase\"><img src=\"fig23_phase{idx:03}_kiviat.svg\" width=\"240\">\
-                 <br><img src=\"fig23_phase{idx:03}_pie.svg\" width=\"240\"></div>\n"
-            ));
+                 <br><img src=\"fig23_phase{idx:03}_pie.svg\" width=\"240\"></div>"
+            );
         }
     }
     write_artifact("fig23_index.html", &html);
@@ -706,7 +761,7 @@ fn fig4(r: &StudyResult) {
     println!("{}", ascii_bar_chart(&bars, 40));
     println!(
         "(of {} non-empty clusters)",
-        cov.first().map(|c| c.total_clusters).unwrap_or(0)
+        cov.first().map_or(0, |c| c.total_clusters)
     );
     let chart = BarChart::new(
         "Figure 4: workload-space coverage per suite",
@@ -813,8 +868,8 @@ fn motivation(r: &StudyResult) {
             continue;
         }
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         rows.push(Row {
             name: bench.name.clone(),
             suite: bench.suite.short_name(),
@@ -865,7 +920,11 @@ fn motivation(r: &StudyResult) {
 fn implications(r: &StudyResult) {
     println!("\n== Implications (§5.3): simulation points per suite ==\n");
     let curves = diversity(r);
-    let total_intervals: usize = r.benchmarks.iter().map(|b| b.total_intervals()).sum();
+    let total_intervals: usize = r
+        .benchmarks
+        .iter()
+        .map(phaselab_core::BenchmarkRun::total_intervals)
+        .sum();
     let rows: Vec<Vec<String>> = curves
         .iter()
         .map(|c| {
@@ -1131,7 +1190,7 @@ fn similarity(r: &StudyResult) {
         ds[ds.len() / 2]
     };
     let cut = dendro.cut(median / 2.0);
-    let families = cut.iter().max().map(|m| m + 1).unwrap_or(0);
+    let families = cut.iter().max().map_or(0, |m| m + 1);
     println!("dendrogram cut at half the median distance: {families} benchmark families");
 }
 
@@ -1297,8 +1356,7 @@ fn ablation_interval(
         let bio = uniq
             .iter()
             .find(|u| u.suite == phaselab_workloads::Suite::BioPerf)
-            .map(|u| u.unique_fraction)
-            .unwrap_or(f64::NAN);
+            .map_or(f64::NAN, |u| u.unique_fraction);
         rows.push(vec![
             interval.to_string(),
             res.pcs_retained.to_string(),

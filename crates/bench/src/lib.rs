@@ -12,8 +12,7 @@ use std::path::{Path, PathBuf};
 /// relative to the workspace; override with the `PHASELAB_OUT` variable.
 pub fn output_dir() -> PathBuf {
     let dir = std::env::var_os("PHASELAB_OUT")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| Path::new("target").join("experiments"));
+        .map_or_else(|| Path::new("target").join("experiments"), PathBuf::from);
     std::fs::create_dir_all(&dir).expect("create experiment output dir");
     dir
 }

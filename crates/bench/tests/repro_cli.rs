@@ -133,6 +133,45 @@ fn resume_with_missing_dir_is_a_usage_error() {
 }
 
 #[test]
+fn verify_only_sweeps_the_registry_clean() {
+    let out = repro(&["--verify-only", "--scale", "tiny"]);
+    assert_eq!(out.status.code(), Some(0), "registry must verify clean");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("all clean"), "{text}");
+    assert!(text.contains("programs verified"), "{text}");
+}
+
+#[test]
+fn verify_only_rejects_an_experiment_argument() {
+    let out = repro(&["--verify-only", "table1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(
+        line.contains("`--verify-only` cannot be combined with experiment `table1`"),
+        "{line}"
+    );
+}
+
+#[test]
+fn verify_only_after_an_experiment_is_also_rejected() {
+    let out = repro(&["table1", "--verify-only"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(
+        line.contains("`--verify-only` cannot be combined with experiment `table1`"),
+        "{line}"
+    );
+}
+
+#[test]
+fn help_lists_verify_only() {
+    let out = repro(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("--verify-only"), "help missing --verify-only");
+}
+
+#[test]
 fn zero_bench_budget_is_a_usage_error() {
     let out = repro(&["--max-inst-per-bench", "0", "table1"]);
     assert_eq!(out.status.code(), Some(2));

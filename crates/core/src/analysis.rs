@@ -37,8 +37,7 @@ impl SuiteCurve {
         self.cumulative
             .iter()
             .position(|&c| c >= fraction)
-            .map(|p| p + 1)
-            .unwrap_or(self.cumulative.len())
+            .map_or(self.cumulative.len(), |p| p + 1)
     }
 }
 

@@ -104,9 +104,10 @@ pub fn characterize_benchmark(
 ///
 /// # Errors
 ///
-/// [`BenchFailure::Quarantined`] if an input faults
-/// ([`QuarantineCause::Fault`]) or the benchmark exhausts its budget
-/// without halting ([`QuarantineCause::Runaway`]);
+/// [`BenchFailure::Quarantined`] if an input fails the static
+/// pre-flight verification ([`QuarantineCause::StaticallyInvalid`] —
+/// the program is never run), faults ([`QuarantineCause::Fault`]), or
+/// exhausts its budget without halting ([`QuarantineCause::Runaway`]);
 /// [`BenchFailure::Cancelled`] if `cancel` trips first. Partially
 /// characterized inputs are discarded in every failure case.
 pub fn characterize_benchmark_watched(
@@ -127,7 +128,15 @@ pub fn characterize_benchmark_watched(
     let mut total_instructions = 0;
     let mut budget_left = cfg.max_inst_per_bench;
     for input in 0..bench.num_inputs() {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(BenchFailure::Cancelled);
+        }
         let program = bench.build(cfg.scale, input);
+        // Static pre-flight: reject ill-formed programs before spending
+        // a single cycle (or watchdog budget) running them.
+        if let Err(e) = program.verify() {
+            return Err(quarantine(input, QuarantineCause::StaticallyInvalid(e)));
+        }
         let mut chr = IntervalCharacterizer::new(cfg.interval_len).keep_tail(true);
         let mut vm = Vm::new(&program);
         let mut executed = 0u64;
@@ -230,11 +239,17 @@ mod tests {
             vec![(
                 "forever",
                 Box::new(|_, _| {
+                    // The halt is statically reachable (so the program
+                    // passes pre-flight verification) but dynamically
+                    // never taken: T0 starts at 1 and only grows.
                     let mut asm = Asm::new();
-                    asm.li(T0, 0);
+                    asm.li(T0, 1);
                     asm.label("spin");
+                    asm.beq(T0, ZERO, "done");
                     asm.addi(T0, T0, 1);
                     asm.j("spin");
+                    asm.label("done");
+                    asm.halt();
                     asm.assemble(DataBuilder::new()).expect("assembles")
                 }),
             )],
@@ -306,6 +321,40 @@ mod tests {
         let err = characterize_benchmark_watched(&all[0], &cfg, Some(&token))
             .expect_err("token already tripped");
         assert_eq!(err, BenchFailure::Cancelled);
+    }
+
+    #[test]
+    fn statically_invalid_benchmark_is_quarantined_without_running() {
+        use phaselab_vm::{regs::*, Asm, DataBuilder, VerifyError};
+        // A genuinely halt-free loop: rejected by the pre-flight
+        // verifier, so not a single instruction executes and the
+        // watchdog budget is never consulted.
+        let bench = Benchmark::custom(
+            "haltless",
+            phaselab_workloads::Suite::Bmw,
+            vec![(
+                "default",
+                Box::new(|_, _| {
+                    let mut asm = Asm::new();
+                    asm.li(T0, 0);
+                    asm.label("spin");
+                    asm.addi(T0, T0, 1);
+                    asm.j("spin");
+                    asm.assemble(DataBuilder::new()).expect("assembles")
+                }),
+            )],
+        );
+        let cfg = StudyConfig::smoke();
+        let err = characterize_benchmark_watched(&bench, &cfg, None).expect_err("rejected");
+        let BenchFailure::Quarantined(q) = err else {
+            panic!("expected quarantine, got {err:?}");
+        };
+        assert_eq!(q.name, "haltless");
+        assert!(!q.is_runaway());
+        let verr = q.verify_error().expect("static cause");
+        assert!(matches!(verr, VerifyError::NoHaltReachable { .. }));
+        // The diagnostic carries a pc and the entry disassembly.
+        assert!(q.to_string().contains("statically invalid: pc 0"));
     }
 
     #[test]

@@ -50,7 +50,7 @@ use std::sync::OnceLock;
 
 use phaselab_mica::{FeatureVector, NUM_FEATURES};
 use phaselab_stats::{Clustering, KmeansConfig, Matrix};
-use phaselab_vm::VmError;
+use phaselab_vm::{VerifyError, VmError};
 use phaselab_workloads::{Scale, Suite};
 
 use crate::characterize::BenchCharacterization;
@@ -60,7 +60,7 @@ use crate::error::{QuarantineCause, QuarantinedBenchmark};
 const MAGIC: &[u8; 4] = b"PLCK";
 /// Bumped whenever the payload encodings change; older files are
 /// skipped (and rewritten), never misread.
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const KIND_BENCH: u8 = 1;
 const KIND_CLUSTERING: u8 = 2;
 /// Frame bytes before the payload: magic, version, kind, fingerprint,
@@ -407,6 +407,118 @@ fn decode_vm_error(dec: &mut Dec) -> Result<VmError, CheckpointError> {
     })
 }
 
+fn encode_verify_error(e: &VerifyError, enc: &mut Enc) {
+    match e {
+        VerifyError::InvalidTarget {
+            pc,
+            instr,
+            target,
+            code_len,
+        } => {
+            enc.u8(0);
+            enc.u32(*pc);
+            enc.str(instr);
+            enc.u32(*target);
+            enc.u32(*code_len);
+        }
+        VerifyError::NoIndirectTargets { pc, instr } => {
+            enc.u8(1);
+            enc.u32(*pc);
+            enc.str(instr);
+        }
+        VerifyError::FallsOffEnd { pc, instr } => {
+            enc.u8(2);
+            enc.u32(*pc);
+            enc.str(instr);
+        }
+        VerifyError::OutOfBoundsAccess {
+            pc,
+            instr,
+            addr,
+            size,
+            mem_size,
+        } => {
+            enc.u8(3);
+            enc.u32(*pc);
+            enc.str(instr);
+            enc.u64(*addr);
+            enc.u8(*size);
+            enc.u64(*mem_size);
+        }
+        VerifyError::UninitRead { pc, instr, reg } => {
+            enc.u8(4);
+            enc.u32(*pc);
+            enc.str(instr);
+            enc.str(reg);
+        }
+        VerifyError::Unreachable { pc, instr } => {
+            enc.u8(5);
+            enc.u32(*pc);
+            enc.str(instr);
+        }
+        VerifyError::NoHaltReachable { pc, instr } => {
+            enc.u8(6);
+            enc.u32(*pc);
+            enc.str(instr);
+        }
+        VerifyError::RetWithoutCall { pc, instr } => {
+            enc.u8(7);
+            enc.u32(*pc);
+            enc.str(instr);
+        }
+        VerifyError::CallDepthExceeded {
+            pc,
+            instr,
+            depth,
+            limit,
+        } => {
+            enc.u8(8);
+            enc.u32(*pc);
+            enc.str(instr);
+            enc.u64(*depth);
+            enc.u64(*limit);
+        }
+    }
+}
+
+fn decode_verify_error(dec: &mut Dec) -> Result<VerifyError, CheckpointError> {
+    let tag = dec.u8()?;
+    let pc = dec.u32()?;
+    let instr = dec.str()?;
+    Ok(match tag {
+        0 => VerifyError::InvalidTarget {
+            pc,
+            instr,
+            target: dec.u32()?,
+            code_len: dec.u32()?,
+        },
+        1 => VerifyError::NoIndirectTargets { pc, instr },
+        2 => VerifyError::FallsOffEnd { pc, instr },
+        3 => VerifyError::OutOfBoundsAccess {
+            pc,
+            instr,
+            addr: dec.u64()?,
+            size: dec.u8()?,
+            mem_size: dec.u64()?,
+        },
+        4 => VerifyError::UninitRead {
+            pc,
+            instr,
+            reg: dec.str()?,
+        },
+        5 => VerifyError::Unreachable { pc, instr },
+        6 => VerifyError::NoHaltReachable { pc, instr },
+        7 => VerifyError::RetWithoutCall { pc, instr },
+        8 => VerifyError::CallDepthExceeded {
+            pc,
+            instr,
+            depth: dec.u64()?,
+            limit: dec.u64()?,
+        },
+        _ => return Err(CheckpointError::Malformed("unknown verify error tag")),
+    })
+}
+
 fn encode_bench_outcome(outcome: &BenchOutcome) -> Result<Vec<u8>, CheckpointError> {
     let mut enc = Enc::new();
     match outcome {
@@ -443,6 +555,10 @@ fn encode_bench_outcome(outcome: &BenchOutcome) -> Result<Vec<u8>, CheckpointErr
                     enc.u8(1);
                     enc.u64(*budget);
                 }
+                QuarantineCause::StaticallyInvalid(e) => {
+                    enc.u8(2);
+                    encode_verify_error(e, &mut enc);
+                }
             }
         }
     }
@@ -460,7 +576,7 @@ fn decode_bench_outcome(payload: &[u8]) -> Result<BenchOutcome, CheckpointError>
                 let mut features = Vec::with_capacity(n_intervals);
                 let mut values = [0.0f64; NUM_FEATURES];
                 for _ in 0..n_intervals {
-                    for v in values.iter_mut() {
+                    for v in &mut values {
                         *v = dec.f64()?;
                         if v.is_nan() {
                             return Err(CheckpointError::Malformed(
@@ -486,6 +602,7 @@ fn decode_bench_outcome(payload: &[u8]) -> Result<BenchOutcome, CheckpointError>
             let cause = match dec.u8()? {
                 0 => QuarantineCause::Fault(decode_vm_error(&mut dec)?),
                 1 => QuarantineCause::Runaway { budget: dec.u64()? },
+                2 => QuarantineCause::StaticallyInvalid(decode_verify_error(&mut dec)?),
                 _ => return Err(CheckpointError::Malformed("unknown quarantine cause tag")),
             };
             BenchOutcome::Quarantined(QuarantinedBenchmark {
@@ -679,7 +796,7 @@ impl CheckpointStore {
             .join(format!("restart-{restart}.ckpt"))
     }
 
-    fn write(&self, path: &Path, kind: u8, fingerprint: u64, payload: &[u8]) {
+    fn write(path: &Path, kind: u8, fingerprint: u64, payload: &[u8]) {
         let result: io::Result<()> = (|| {
             let parent = path.parent().expect("checkpoint paths have a parent");
             fs::create_dir_all(parent)?;
@@ -695,7 +812,7 @@ impl CheckpointStore {
         }
     }
 
-    fn read(&self, path: &Path, kind: u8, fingerprint: u64) -> Option<Vec<u8>> {
+    fn read(path: &Path, kind: u8, fingerprint: u64) -> Option<Vec<u8>> {
         let bytes = match fs::read(path) {
             Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
@@ -726,7 +843,7 @@ impl CheckpointStore {
     ) {
         let path = self.benchmark_path(fingerprint, suite, name);
         match encode_bench_outcome(outcome) {
-            Ok(payload) => self.write(&path, KIND_BENCH, fingerprint, &payload),
+            Ok(payload) => Self::write(&path, KIND_BENCH, fingerprint, &payload),
             Err(e) => warn_skip(&path, &e),
         }
     }
@@ -740,7 +857,7 @@ impl CheckpointStore {
         name: &str,
     ) -> Option<BenchOutcome> {
         let path = self.benchmark_path(fingerprint, suite, name);
-        let payload = self.read(&path, KIND_BENCH, fingerprint)?;
+        let payload = Self::read(&path, KIND_BENCH, fingerprint)?;
         match decode_bench_outcome(&payload) {
             Ok(outcome) => Some(outcome),
             Err(e) => {
@@ -755,7 +872,7 @@ impl CheckpointStore {
     pub fn store_clustering(&self, fingerprint: u64, restart: usize, clustering: &Clustering) {
         let path = self.clustering_path(fingerprint, restart);
         match encode_clustering(clustering) {
-            Ok(payload) => self.write(&path, KIND_CLUSTERING, fingerprint, &payload),
+            Ok(payload) => Self::write(&path, KIND_CLUSTERING, fingerprint, &payload),
             Err(e) => warn_skip(&path, &e),
         }
     }
@@ -764,7 +881,7 @@ impl CheckpointStore {
     /// unusable (warned, never fatal).
     pub fn load_clustering(&self, fingerprint: u64, restart: usize) -> Option<Clustering> {
         let path = self.clustering_path(fingerprint, restart);
-        let payload = self.read(&path, KIND_CLUSTERING, fingerprint)?;
+        let payload = Self::read(&path, KIND_CLUSTERING, fingerprint)?;
         match decode_clustering(&payload) {
             Ok(c) => Some(c),
             Err(e) => {
@@ -864,6 +981,84 @@ mod tests {
             let mut dec = Dec::new(&enc.buf);
             assert_eq!(decode_vm_error(&mut dec).expect("decodes"), err);
         }
+    }
+
+    #[test]
+    fn verify_error_cause_roundtrips_every_variant() {
+        let variants = [
+            VerifyError::InvalidTarget {
+                pc: 3,
+                instr: "j @99".into(),
+                target: 99,
+                code_len: 10,
+            },
+            VerifyError::NoIndirectTargets {
+                pc: 1,
+                instr: "jr r5".into(),
+            },
+            VerifyError::FallsOffEnd {
+                pc: 9,
+                instr: "nop".into(),
+            },
+            VerifyError::OutOfBoundsAccess {
+                pc: 4,
+                instr: "ld r1, 0(r2)".into(),
+                addr: 1 << 40,
+                size: 8,
+                mem_size: 4096,
+            },
+            VerifyError::UninitRead {
+                pc: 0,
+                instr: "mv r1, r2".into(),
+                reg: "r2".into(),
+            },
+            VerifyError::Unreachable {
+                pc: 7,
+                instr: "halt".into(),
+            },
+            VerifyError::NoHaltReachable {
+                pc: 0,
+                instr: "li r1, 0".into(),
+            },
+            VerifyError::RetWithoutCall {
+                pc: 2,
+                instr: "ret".into(),
+            },
+            VerifyError::CallDepthExceeded {
+                pc: 1,
+                instr: "call @8".into(),
+                depth: 65537,
+                limit: 65536,
+            },
+        ];
+        for err in variants {
+            let mut enc = Enc::new();
+            encode_verify_error(&err, &mut enc);
+            let mut dec = Dec::new(&enc.buf);
+            assert_eq!(decode_verify_error(&mut dec).expect("decodes"), err);
+        }
+    }
+
+    #[test]
+    fn statically_invalid_quarantine_roundtrips_through_the_store() {
+        let store = temp_store("static-invalid-roundtrip");
+        let q = QuarantinedBenchmark {
+            name: "bad-static".into(),
+            suite: Suite::Bmw,
+            input: 0,
+            input_name: "default".into(),
+            cause: QuarantineCause::StaticallyInvalid(VerifyError::NoHaltReachable {
+                pc: 0,
+                instr: "li r1, 0".into(),
+            }),
+        };
+        store.store_benchmark(7, q.suite, &q.name, &BenchOutcome::Quarantined(q.clone()));
+        let loaded = store.load_benchmark(7, q.suite, &q.name).expect("present");
+        let BenchOutcome::Quarantined(l) = loaded else {
+            panic!("wrong variant");
+        };
+        assert_eq!(l, q);
+        let _ = fs::remove_dir_all(store.dir());
     }
 
     #[test]

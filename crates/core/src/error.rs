@@ -18,7 +18,7 @@ use std::error::Error;
 use std::fmt;
 
 use phaselab_ga::GaConfigError;
-use phaselab_vm::VmError;
+use phaselab_vm::{VerifyError, VmError};
 use phaselab_workloads::Suite;
 
 /// An invalid [`StudyConfig`](crate::StudyConfig).
@@ -112,6 +112,10 @@ pub enum QuarantineCause {
         /// The exceeded budget, in instructions.
         budget: u64,
     },
+    /// One of the benchmark's inputs failed the static pre-flight
+    /// verification ([`Program::verify`](phaselab_vm::Program::verify))
+    /// and was never run.
+    StaticallyInvalid(VerifyError),
 }
 
 impl fmt::Display for QuarantineCause {
@@ -121,6 +125,7 @@ impl fmt::Display for QuarantineCause {
             QuarantineCause::Runaway { budget } => {
                 write!(f, "ran away: exceeded the {budget}-instruction budget")
             }
+            QuarantineCause::StaticallyInvalid(e) => write!(f, "statically invalid: {e}"),
         }
     }
 }
@@ -150,13 +155,22 @@ impl QuarantinedBenchmark {
     pub fn vm_error(&self) -> Option<&VmError> {
         match &self.cause {
             QuarantineCause::Fault(e) => Some(e),
-            QuarantineCause::Runaway { .. } => None,
+            _ => None,
         }
     }
 
     /// Whether the benchmark was quarantined by the runaway watchdog.
     pub fn is_runaway(&self) -> bool {
         matches!(self.cause, QuarantineCause::Runaway { .. })
+    }
+
+    /// The static-verification failure, when the cause was the
+    /// pre-flight verifier.
+    pub fn verify_error(&self) -> Option<&VerifyError> {
+        match &self.cause {
+            QuarantineCause::StaticallyInvalid(e) => Some(e),
+            _ => None,
+        }
     }
 }
 
@@ -178,6 +192,7 @@ impl Error for QuarantinedBenchmark {
         match &self.cause {
             QuarantineCause::Fault(e) => Some(e),
             QuarantineCause::Runaway { .. } => None,
+            QuarantineCause::StaticallyInvalid(e) => Some(e),
         }
     }
 }
@@ -236,8 +251,7 @@ impl fmt::Display for StudyError {
                     quarantined.len(),
                     quarantined
                         .first()
-                        .map(|q| q.to_string())
-                        .unwrap_or_else(|| "none".into())
+                        .map_or_else(|| "none".into(), std::string::ToString::to_string)
                 )
             }
             StudyError::Analysis(e) => write!(f, "analysis failed: {e}"),
@@ -345,6 +359,31 @@ mod tests {
         assert_eq!(q.vm_error(), None);
         assert!(q.source().is_none());
         assert!(StudyError::Cancelled.source().is_none());
+    }
+
+    #[test]
+    fn statically_invalid_quarantine_chains_to_the_verify_error() {
+        let verr = VerifyError::InvalidTarget {
+            pc: 4,
+            instr: "j @99".into(),
+            target: 99,
+            code_len: 10,
+        };
+        let q = QuarantinedBenchmark {
+            name: "bad".into(),
+            suite: Suite::Bmw,
+            input: 0,
+            input_name: "default".into(),
+            cause: QuarantineCause::StaticallyInvalid(verr.clone()),
+        };
+        assert_eq!(q.verify_error(), Some(&verr));
+        assert_eq!(q.vm_error(), None);
+        assert!(!q.is_runaway());
+        let msg = q.to_string();
+        assert!(msg.contains("statically invalid: pc 4"), "{msg}");
+        assert!(!msg.contains('\n'), "multi-line: {msg}");
+        let source = q.source().expect("has source");
+        assert_eq!(source.to_string(), verr.to_string());
     }
 
     #[test]

@@ -120,8 +120,8 @@ impl StudyResult {
             .iter()
             .map(|&feat| {
                 let col = self.features.column(feat);
-                let min = col.iter().cloned().fold(f64::INFINITY, f64::min);
-                let max = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let min = col.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                 let (mean, sd) = stats.column(feat);
                 KiviatAxis {
                     feature: feat,
@@ -222,12 +222,7 @@ pub fn run_study_resumable(
     cfg.validate()?;
     let benches: Vec<_> = catalog()
         .into_iter()
-        .filter(|b| {
-            cfg.suites
-                .as_ref()
-                .map(|s| s.contains(&b.suite()))
-                .unwrap_or(true)
-        })
+        .filter(|b| cfg.suites.as_ref().is_none_or(|s| s.contains(&b.suite())))
         .collect();
     run_study_with_resumable(cfg, &benches, store, cancel)
 }
@@ -268,12 +263,11 @@ pub fn run_study_with_resumable(
     // One token always exists; an internal never-tripped token makes the
     // uncancellable path identical code to the cancellable one.
     let own_token;
-    let token = match cancel {
-        Some(t) => t,
-        None => {
-            own_token = CancelToken::new();
-            &own_token
-        }
+    let token = if let Some(t) = cancel {
+        t
+    } else {
+        own_token = CancelToken::new();
+        &own_token
     };
 
     // Step 1: characterize all benchmarks (in parallel), reloading any
@@ -298,7 +292,11 @@ pub fn run_study_with_resumable(
         .map(|(b, c)| BenchmarkRun {
             name: b.name().to_string(),
             suite: b.suite(),
-            input_names: b.input_names().iter().map(|s| s.to_string()).collect(),
+            input_names: b
+                .input_names()
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             intervals_per_input: c.per_input.iter().map(Vec::len).collect(),
             total_instructions: c.total_instructions,
         })

@@ -45,7 +45,10 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
         out.push('\n');
     };
-    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let header_cells: Vec<String> = headers
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     emit_row(&mut out, &header_cells);
     let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
     out.extend(std::iter::repeat_n('-', rule));

@@ -130,7 +130,7 @@ impl PpmPredictor {
                         predictions[i] = Some(predict_taken);
                     }
                 }
-                if predictions.iter().all(|p| p.is_some()) {
+                if predictions.iter().all(std::option::Option::is_some) {
                     break;
                 }
             }

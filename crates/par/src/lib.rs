@@ -184,7 +184,7 @@ where
     if workers <= 1 {
         let mut out = Vec::with_capacity(n);
         for idx in 0..n {
-            if token.is_some_and(|t| t.is_cancelled()) {
+            if token.is_some_and(CancelToken::is_cancelled) {
                 return None;
             }
             out.push(run(idx));
@@ -201,7 +201,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                if token.is_some_and(|t| t.is_cancelled()) {
+                if token.is_some_and(CancelToken::is_cancelled) {
                     break;
                 }
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
@@ -234,9 +234,7 @@ where
 /// ```
 pub fn effective_threads(requested: usize) -> usize {
     if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
     } else {
         requested
     }
@@ -517,7 +515,7 @@ mod tests {
     #[test]
     fn parallel_chunks_covers_index_space() {
         for threads in [1, 3] {
-            let chunks = parallel_chunks(23, 5, threads, |r| r.collect::<Vec<_>>());
+            let chunks = parallel_chunks(23, 5, threads, std::iter::Iterator::collect::<Vec<_>>);
             let flat: Vec<usize> = chunks.into_iter().flatten().collect();
             assert_eq!(flat, (0..23).collect::<Vec<_>>());
         }

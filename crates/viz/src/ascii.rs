@@ -1,5 +1,7 @@
 //! Terminal renderings: horizontal bar charts and curve plots.
 
+use std::fmt::Write;
+
 /// Renders labeled values as a horizontal ASCII bar chart.
 ///
 /// # Examples
@@ -22,11 +24,12 @@ pub fn ascii_bar_chart(bars: &[(String, f64)], width: usize) -> String {
         } else {
             0
         };
-        out.push_str(&format!(
-            "{label:<label_w$}  {}{} {v:.3}\n",
+        let _ = writeln!(
+            out,
+            "{label:<label_w$}  {}{} {v:.3}",
             "█".repeat(filled),
             " ".repeat(width - filled.min(width)),
-        ));
+        );
     }
     out.pop();
     out
@@ -77,20 +80,20 @@ pub fn ascii_curve(series: &[(String, Vec<(f64, f64)>)], width: usize, height: u
         }
     }
     let mut out = String::new();
-    out.push_str(&format!("{ymax:.2} ┐\n"));
+    let _ = writeln!(out, "{ymax:.2} ┐");
     for row in &grid {
         out.push_str("     │");
         out.extend(row.iter());
         out.push('\n');
     }
-    out.push_str(&format!("{ymin:.2} └{}\n", "─".repeat(width)));
-    out.push_str(&format!("      {xmin:<8.1}{:>w$.1}\n", xmax, w = width - 8));
+    let _ = writeln!(out, "{ymin:.2} └{}", "─".repeat(width));
+    let _ = writeln!(out, "      {xmin:<8.1}{xmax:>w$.1}", w = width - 8);
     let legend: Vec<String> = series
         .iter()
         .enumerate()
         .map(|(i, (name, _))| format!("{} {name}", SYMBOLS[i % SYMBOLS.len()]))
         .collect();
-    out.push_str(&format!("      {}", legend.join("   ")));
+    let _ = write!(out, "      {}", legend.join("   "));
     out
 }
 

@@ -1,5 +1,7 @@
 //! Pie, bar and line charts.
 
+use std::fmt::Write;
+
 use crate::svg::SvgCanvas;
 
 /// Color palette shared by the chart types.
@@ -56,7 +58,7 @@ impl PieChart {
                 let (x1, y1) = (cx + r * angle.cos(), cy + r * angle.sin());
                 let end = angle + sweep;
                 let (x2, y2) = (cx + r * end.cos(), cy + r * end.sin());
-                let large = if sweep > std::f64::consts::PI { 1 } else { 0 };
+                let large = i32::from(sweep > std::f64::consts::PI);
                 let d = format!(
                     "M {cx:.2} {cy:.2} L {x1:.2} {y1:.2} A {r:.2} {r:.2} 0 {large} 1 {x2:.2} {y2:.2} Z"
                 );
@@ -211,20 +213,26 @@ impl LineChart {
         c.text(left, bottom + 12.0, 8.0, "middle", &format!("{xmin:.0}"));
         c.text(right, bottom + 12.0, 8.0, "middle", &format!("{xmax:.0}"));
         c.text(
-            (left + right) / 2.0,
+            f64::midpoint(left, right),
             bottom + 22.0,
             9.0,
             "middle",
             &self.x_label,
         );
-        c.text(14.0, (top + bottom) / 2.0, 9.0, "middle", &self.y_label);
+        c.text(
+            14.0,
+            f64::midpoint(top, bottom),
+            9.0,
+            "middle",
+            &self.y_label,
+        );
         for (i, (label, pts)) in self.series.iter().enumerate() {
             let color = PALETTE[i % PALETTE.len()];
             if pts.len() >= 2 {
                 let mut d = String::new();
                 for (j, &(x, y)) in pts.iter().enumerate() {
                     let cmd = if j == 0 { 'M' } else { 'L' };
-                    d.push_str(&format!("{cmd} {:.2} {:.2} ", sx(x), sy(y)));
+                    let _ = write!(d, "{cmd} {:.2} {:.2} ", sx(x), sy(y));
                 }
                 c.path(d.trim_end(), color, "none", 1.4);
             }

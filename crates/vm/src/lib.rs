@@ -52,10 +52,14 @@ mod disasm;
 mod error;
 mod isa;
 mod machine;
+mod parse;
 mod program;
+mod verify;
 
 pub use asm::{regs, Asm};
 pub use error::{AsmError, VmError};
 pub use isa::{AluOp, Cond, FReg, FpCond, FpuOp, IReg, Instr, MemWidth, CODE_BASE};
 pub use machine::{RunOutcome, Vm, CALL_STACK_LIMIT};
+pub use parse::{parse_disasm, DisasmParseError};
 pub use program::{DataBuilder, Program};
+pub use verify::VerifyError;

@@ -136,19 +136,9 @@ impl Program {
                 });
             }
         }
-        // Branch targets are produced by the assembler and always resolve
-        // within the code; debug-check anyway.
-        for instr in &code {
-            let target = match instr {
-                Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Call { target } => {
-                    Some(*target)
-                }
-                _ => None,
-            };
-            if let Some(t) = target {
-                debug_assert!((t as usize) < code.len(), "target {t} out of code range");
-            }
-        }
+        // Branch/jump/call targets are deliberately NOT validated here:
+        // static validation is the job of `Program::verify`, and tests
+        // need to construct deliberately corrupt programs.
         Ok(Program {
             code,
             mem_size,

@@ -1,0 +1,1619 @@
+//! Static verification of [`Program`] bytecode.
+//!
+//! The study pipeline assumes every workload runs to completion before
+//! its intervals can be characterized; a misbehaving program used to be
+//! caught only *after* burning its instruction budget (the PR 3
+//! watchdog) or by faulting mid-run. This module moves that safety net
+//! to load time: [`Program::verify`] builds a control-flow graph over
+//! the bytecode and runs a set of dataflow analyses that reject
+//! ill-formed programs before a single instruction executes.
+//!
+//! # Checks
+//!
+//! * **Targets** — every `branch`/`j`/`call` target must be an existing
+//!   instruction index ([`VerifyError::InvalidTarget`]).
+//! * **Indirect jumps** — a `jr` must have at least one statically
+//!   plausible target: the analysis approximates the target set of every
+//!   indirect jump by the set of all `li` immediates that are valid
+//!   instruction indices (jump tables are materialized through `li`, so
+//!   this set over-approximates every real jump table; see
+//!   [`VerifyError::NoIndirectTargets`]).
+//! * **Static memory ranges** — constant propagation over the integer
+//!   registers; any access whose address is statically known and falls
+//!   outside the data segment is rejected
+//!   ([`VerifyError::OutOfBoundsAccess`]).
+//! * **May-uninitialized reads** — a forward must-initialized bitset
+//!   analysis; reading a register that some path never wrote is a lint
+//!   ([`VerifyError::UninitRead`]; the VM zero-initializes registers, so
+//!   this is a workload-hygiene error rather than a runtime fault).
+//! * **Reachability** — unreachable instructions
+//!   ([`VerifyError::Unreachable`]), executions that can run past the
+//!   last instruction ([`VerifyError::FallsOffEnd`]), and programs with
+//!   no reachable `halt` ([`VerifyError::NoHaltReachable`]).
+//! * **Call-stack discipline** — a `ret` reachable with an empty call
+//!   stack ([`VerifyError::RetWithoutCall`]) and acyclic call chains
+//!   deeper than [`CALL_STACK_LIMIT`]
+//!   ([`VerifyError::CallDepthExceeded`]). Recursive call cycles are
+//!   accepted: their depth is a dynamic property the verifier cannot
+//!   bound.
+//!
+//! # Soundness contract
+//!
+//! For programs inside the verifier's decidable fragment — direct
+//! control flow and memory accesses whose addresses constant-propagate —
+//! acceptance guarantees the absence of the matching [`VmError`]
+//! classes: a verified program cannot raise
+//! [`VmError::PcOutOfRange`](crate::VmError::PcOutOfRange),
+//! [`VmError::CallStackUnderflow`](crate::VmError::CallStackUnderflow),
+//! or a [`VmError::MemOutOfBounds`](crate::VmError::MemOutOfBounds) at a
+//! statically-addressed access. Outside the fragment (indirect jumps,
+//! data-dependent addresses, recursion) the verifier is deliberately
+//! permissive: it never rejects a registry workload for behavior it
+//! cannot decide.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::{FReg, IReg, Instr};
+use crate::machine::CALL_STACK_LIMIT;
+use crate::program::Program;
+
+/// A defect found by static verification. Every variant carries the
+/// program counter and the disassembly of the offending instruction, and
+/// renders as a one-line diagnostic ending in a hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A direct branch, jump or call targets a non-existent instruction.
+    InvalidTarget {
+        /// Instruction index of the offending instruction.
+        pc: u32,
+        /// Disassembly of the offending instruction.
+        instr: String,
+        /// The out-of-range target.
+        target: u32,
+        /// Number of instructions in the program.
+        code_len: u32,
+    },
+    /// An indirect jump has no statically plausible in-range target.
+    NoIndirectTargets {
+        /// Instruction index of the offending instruction.
+        pc: u32,
+        /// Disassembly of the offending instruction.
+        instr: String,
+    },
+    /// Execution can fall past the last instruction without halting.
+    FallsOffEnd {
+        /// Instruction index of the offending instruction.
+        pc: u32,
+        /// Disassembly of the offending instruction.
+        instr: String,
+    },
+    /// A memory access with a statically known address falls outside the
+    /// data segment.
+    OutOfBoundsAccess {
+        /// Instruction index of the offending instruction.
+        pc: u32,
+        /// Disassembly of the offending instruction.
+        instr: String,
+        /// The statically computed byte address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u8,
+        /// Size of the data segment in bytes.
+        mem_size: u64,
+    },
+    /// A register may be read before any instruction wrote it.
+    UninitRead {
+        /// Instruction index of the offending instruction.
+        pc: u32,
+        /// Disassembly of the offending instruction.
+        instr: String,
+        /// The register read before any write (e.g. `"r27"` or `"f3"`).
+        reg: String,
+    },
+    /// An instruction no execution path can reach.
+    Unreachable {
+        /// Instruction index of the offending instruction.
+        pc: u32,
+        /// Disassembly of the offending instruction.
+        instr: String,
+    },
+    /// No `halt` instruction is reachable from the entry point.
+    NoHaltReachable {
+        /// Instruction index of the entry instruction.
+        pc: u32,
+        /// Disassembly of the entry instruction.
+        instr: String,
+    },
+    /// A `ret` can execute with an empty call stack.
+    RetWithoutCall {
+        /// Instruction index of the offending instruction.
+        pc: u32,
+        /// Disassembly of the offending instruction.
+        instr: String,
+    },
+    /// An acyclic chain of calls needs more frames than the call stack
+    /// holds.
+    CallDepthExceeded {
+        /// Instruction index of the call starting the deepest chain.
+        pc: u32,
+        /// Disassembly of that call.
+        instr: String,
+        /// Frames the deepest static chain requires.
+        depth: u64,
+        /// The call-stack limit ([`CALL_STACK_LIMIT`]).
+        limit: u64,
+    },
+}
+
+impl VerifyError {
+    /// The instruction index the diagnostic is anchored to.
+    pub fn pc(&self) -> u32 {
+        match *self {
+            VerifyError::InvalidTarget { pc, .. }
+            | VerifyError::NoIndirectTargets { pc, .. }
+            | VerifyError::FallsOffEnd { pc, .. }
+            | VerifyError::OutOfBoundsAccess { pc, .. }
+            | VerifyError::UninitRead { pc, .. }
+            | VerifyError::Unreachable { pc, .. }
+            | VerifyError::NoHaltReachable { pc, .. }
+            | VerifyError::RetWithoutCall { pc, .. }
+            | VerifyError::CallDepthExceeded { pc, .. } => pc,
+        }
+    }
+
+    /// Disassembly of the instruction the diagnostic is anchored to.
+    pub fn instruction(&self) -> &str {
+        match self {
+            VerifyError::InvalidTarget { instr, .. }
+            | VerifyError::NoIndirectTargets { instr, .. }
+            | VerifyError::FallsOffEnd { instr, .. }
+            | VerifyError::OutOfBoundsAccess { instr, .. }
+            | VerifyError::UninitRead { instr, .. }
+            | VerifyError::Unreachable { instr, .. }
+            | VerifyError::NoHaltReachable { instr, .. }
+            | VerifyError::RetWithoutCall { instr, .. }
+            | VerifyError::CallDepthExceeded { instr, .. } => instr,
+        }
+    }
+
+    /// Sort rank, so findings come out in a stable class order per pc.
+    fn rank(&self) -> u8 {
+        match self {
+            VerifyError::InvalidTarget { .. } => 0,
+            VerifyError::NoIndirectTargets { .. } => 1,
+            VerifyError::NoHaltReachable { .. } => 2,
+            VerifyError::FallsOffEnd { .. } => 3,
+            VerifyError::RetWithoutCall { .. } => 4,
+            VerifyError::CallDepthExceeded { .. } => 5,
+            VerifyError::OutOfBoundsAccess { .. } => 6,
+            VerifyError::UninitRead { .. } => 7,
+            VerifyError::Unreachable { .. } => 8,
+        }
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::InvalidTarget {
+                pc,
+                instr,
+                target,
+                code_len,
+            } => write!(
+                f,
+                "pc {pc}: `{instr}`: target @{target} is outside the {code_len}-instruction code \
+                 (hint: branch, jump and call targets must be existing instruction indices)"
+            ),
+            VerifyError::NoIndirectTargets { pc, instr } => write!(
+                f,
+                "pc {pc}: `{instr}`: indirect jump has no statically plausible in-range target \
+                 (hint: materialize jump-table entries with `li` of valid instruction indices)"
+            ),
+            VerifyError::FallsOffEnd { pc, instr } => write!(
+                f,
+                "pc {pc}: `{instr}`: execution can run past the last instruction \
+                 (hint: terminate every path with `halt` or an unconditional jump)"
+            ),
+            VerifyError::OutOfBoundsAccess {
+                pc,
+                instr,
+                addr,
+                size,
+                mem_size,
+            } => write!(
+                f,
+                "pc {pc}: `{instr}`: {size}-byte access at {addr:#x} exceeds the {mem_size}-byte \
+                 data segment (hint: static addresses must stay inside the data segment)"
+            ),
+            VerifyError::UninitRead { pc, instr, reg } => write!(
+                f,
+                "pc {pc}: `{instr}`: {reg} may be read before any write \
+                 (hint: initialize the register with `li` before its first use)"
+            ),
+            VerifyError::Unreachable { pc, instr } => write!(
+                f,
+                "pc {pc}: `{instr}`: unreachable instruction \
+                 (hint: dead code usually means a mis-wired branch or a missing label)"
+            ),
+            VerifyError::NoHaltReachable { pc, instr } => write!(
+                f,
+                "pc {pc}: `{instr}`: no `halt` is reachable from the entry point \
+                 (hint: the program can never terminate cleanly; add a reachable `halt`)"
+            ),
+            VerifyError::RetWithoutCall { pc, instr } => write!(
+                f,
+                "pc {pc}: `{instr}`: `ret` can execute with an empty call stack \
+                 (hint: `ret` is only valid inside code entered through `call`)"
+            ),
+            VerifyError::CallDepthExceeded {
+                pc,
+                instr,
+                depth,
+                limit,
+            } => write!(
+                f,
+                "pc {pc}: `{instr}`: static call chain needs {depth} frames, over the \
+                 {limit}-frame call-stack limit (hint: flatten nested calls)"
+            ),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Register-file dataflow fact: which registers are definitely
+/// initialized on every path, and which integer registers hold a known
+/// constant. `r0` is pinned to initialized-and-zero.
+#[derive(Clone, PartialEq)]
+struct RegState {
+    init_i: u32,
+    init_f: u32,
+    consts: [Option<u64>; 32],
+}
+
+impl RegState {
+    fn entry() -> Self {
+        let mut consts = [None; 32];
+        consts[0] = Some(0);
+        RegState {
+            init_i: 1,
+            init_f: 0,
+            consts,
+        }
+    }
+
+    /// Must-analysis meet: intersect init sets, keep only agreeing
+    /// constants. Returns `true` if `self` changed.
+    fn meet(&mut self, other: &RegState) -> bool {
+        let mut changed = false;
+        let ii = self.init_i & other.init_i;
+        let fi = self.init_f & other.init_f;
+        if ii != self.init_i || fi != self.init_f {
+            self.init_i = ii;
+            self.init_f = fi;
+            changed = true;
+        }
+        for (a, b) in self.consts.iter_mut().zip(&other.consts) {
+            if a.is_some() && *a != *b {
+                *a = None;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn const_of(&self, r: IReg) -> Option<u64> {
+        self.consts[r.num() as usize]
+    }
+
+    fn int_init(&self, r: IReg) -> bool {
+        self.init_i & (1 << r.num()) != 0
+    }
+
+    fn fp_init(&self, r: FReg) -> bool {
+        self.init_f & (1 << r.num()) != 0
+    }
+
+    fn write_int(&mut self, rd: IReg, value: Option<u64>) {
+        if rd.is_zero() {
+            return; // writes to r0 are ignored, exactly as in the VM
+        }
+        self.init_i |= 1 << rd.num();
+        self.consts[rd.num() as usize] = value;
+    }
+
+    fn write_fp(&mut self, rd: FReg) {
+        self.init_f |= 1 << rd.num();
+    }
+
+    /// Applies one instruction's register effects.
+    fn transfer(&mut self, instr: &Instr) {
+        match *instr {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let v = match (self.const_of(rs1), self.const_of(rs2)) {
+                    (Some(a), Some(b)) => Some(op.apply(a, b)),
+                    _ => None,
+                };
+                self.write_int(rd, v);
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let v = self.const_of(rs1).map(|a| op.apply(a, imm as u64));
+                self.write_int(rd, v);
+            }
+            Instr::Li { rd, imm } => self.write_int(rd, Some(imm as u64)),
+            Instr::Mv { rd, rs } => {
+                let v = self.const_of(rs);
+                self.write_int(rd, v);
+            }
+            Instr::Load { rd, .. } | Instr::FpuCmp { rd, .. } | Instr::FtoI { rd, .. } => {
+                self.write_int(rd, None);
+            }
+            Instr::LiF { rd, .. }
+            | Instr::MvF { rd, .. }
+            | Instr::LoadF { rd, .. }
+            | Instr::Fpu { rd, .. }
+            | Instr::ItoF { rd, .. } => self.write_fp(rd),
+            _ => {}
+        }
+    }
+}
+
+/// Integer registers an instruction reads. Unary FPU operations do not
+/// read their (ignored) second operand.
+fn int_reads(instr: &Instr) -> Vec<IReg> {
+    match *instr {
+        Instr::Alu { rs1, rs2, .. } | Instr::Branch { rs1, rs2, .. } => vec![rs1, rs2],
+        Instr::AluImm { rs1, .. } => vec![rs1],
+        Instr::Mv { rs, .. } | Instr::ItoF { rs, .. } | Instr::JumpInd { rs } => vec![rs],
+        Instr::Load { base, .. } | Instr::LoadF { base, .. } => vec![base],
+        Instr::Store { rs, base, .. } => vec![rs, base],
+        Instr::StoreF { base, .. } => vec![base],
+        _ => Vec::new(),
+    }
+}
+
+/// Floating-point registers an instruction reads.
+fn fp_reads(instr: &Instr) -> Vec<FReg> {
+    match *instr {
+        Instr::Fpu { op, rs1, rs2, .. } => {
+            if op.is_unary() {
+                vec![rs1]
+            } else {
+                vec![rs1, rs2]
+            }
+        }
+        Instr::FpuCmp { rs1, rs2, .. } => vec![rs1, rs2],
+        Instr::MvF { rs, .. } | Instr::FtoI { rs, .. } => vec![rs],
+        Instr::StoreF { rs, .. } => vec![rs],
+        _ => Vec::new(),
+    }
+}
+
+/// The memory access an instruction performs, as `(base, offset, size)`.
+fn mem_access(instr: &Instr) -> Option<(IReg, i64, u8)> {
+    match *instr {
+        Instr::Load {
+            base,
+            offset,
+            width,
+            ..
+        }
+        | Instr::Store {
+            base,
+            offset,
+            width,
+            ..
+        } => Some((base, offset, width.bytes())),
+        Instr::LoadF { base, offset, .. } | Instr::StoreF { base, offset, .. } => {
+            Some((base, offset, 8))
+        }
+        _ => None,
+    }
+}
+
+/// Whether execution can continue at `pc + 1` after this instruction.
+/// For calls that depends on whether the callee can return, so the
+/// caller passes that in.
+fn falls_through(instr: &Instr, callee_returns: impl Fn(u32) -> bool) -> bool {
+    match *instr {
+        Instr::Jump { .. } | Instr::JumpInd { .. } | Instr::Ret | Instr::Halt => false,
+        Instr::Call { target } => callee_returns(target),
+        _ => true,
+    }
+}
+
+/// The whole-program control-flow analysis: shared by every pass.
+struct Cfg<'a> {
+    code: &'a [Instr],
+    len: u32,
+    /// Statically plausible indirect-jump targets: every `li` immediate
+    /// that is a valid instruction index.
+    jr_targets: Vec<u32>,
+    /// `returns[pc]`: can execution starting at `pc` reach a `ret` of
+    /// the *current* frame (calls must return before their fall-through
+    /// counts)?
+    returns: Vec<bool>,
+}
+
+/// What one intra-frame traversal saw: the frame's reachable `ret`s
+/// and its reachable call sites.
+struct FrameView {
+    rets: Vec<u32>,
+    calls: Vec<(u32, u32)>, // (call pc, target)
+}
+
+/// The integer register an instruction writes, if any.
+fn int_write(instr: &Instr) -> Option<IReg> {
+    match *instr {
+        Instr::Alu { rd, .. }
+        | Instr::AluImm { rd, .. }
+        | Instr::Li { rd, .. }
+        | Instr::Mv { rd, .. }
+        | Instr::Load { rd, .. }
+        | Instr::FpuCmp { rd, .. }
+        | Instr::FtoI { rd, .. } => Some(rd),
+        _ => None,
+    }
+}
+
+/// How many instructions past an `li` the jump-table heuristic scans
+/// for a store of the loaded code index.
+const JR_STORE_WINDOW: usize = 8;
+
+/// Statically plausible indirect-jump targets.
+///
+/// Jump tables in this ISA are materialized by loading a code index
+/// with `li` and storing it to the table (`Asm::li_label` + a store);
+/// the dispatch then loads an entry back and `jr`s through it. So the
+/// primary approximation is: every in-range `li` immediate whose
+/// destination register is stored to memory (before being clobbered,
+/// within a short window). If a program uses some other idiom and that
+/// set comes up empty, fall back to every in-range `li` immediate —
+/// the verifier stays permissive for behavior it cannot decide.
+fn jr_targets(code: &[Instr]) -> Vec<u32> {
+    let len = code.len() as u64;
+    let in_range = |imm: i64| imm >= 0 && (imm as u64) < len;
+    let mut stored: BTreeSet<u32> = BTreeSet::new();
+    for (pc, instr) in code.iter().enumerate() {
+        let Instr::Li { rd, imm } = *instr else {
+            continue;
+        };
+        if rd.is_zero() || !in_range(imm) {
+            continue;
+        }
+        for later in code.iter().skip(pc + 1).take(JR_STORE_WINDOW) {
+            match *later {
+                Instr::Store { rs, .. } if rs == rd => {
+                    stored.insert(imm as u32);
+                    break;
+                }
+                // Control flow or a clobber of `rd` ends the window.
+                Instr::Jump { .. }
+                | Instr::JumpInd { .. }
+                | Instr::Call { .. }
+                | Instr::Ret
+                | Instr::Halt => break,
+                _ if int_write(later) == Some(rd) => break,
+                _ => {}
+            }
+        }
+    }
+    if !stored.is_empty() {
+        return stored.into_iter().collect();
+    }
+    code.iter()
+        .filter_map(|i| match *i {
+            Instr::Li { imm, .. } if in_range(imm) => Some(imm as u32),
+            _ => None,
+        })
+        .collect::<BTreeSet<u32>>()
+        .into_iter()
+        .collect()
+}
+
+impl<'a> Cfg<'a> {
+    fn new(code: &'a [Instr]) -> Self {
+        let len = code.len() as u32;
+        let jr_targets = jr_targets(code);
+        let mut cfg = Cfg {
+            code,
+            len,
+            jr_targets,
+            returns: Vec::new(),
+        };
+        cfg.returns = cfg.compute_returns();
+        cfg
+    }
+
+    /// Backward may-analysis: from which pcs can the current frame's
+    /// `ret` be reached? A call only falls through once its callee can
+    /// itself return, which makes this a whole-program fixpoint.
+    fn compute_returns(&self) -> Vec<bool> {
+        let n = self.len as usize;
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut dep = |on: u32, of: u32| rev[on as usize].push(of);
+        for (pc, instr) in self.code.iter().enumerate() {
+            let pc = pc as u32;
+            let next = pc + 1;
+            match *instr {
+                Instr::Ret | Instr::Halt => {}
+                Instr::Jump { target } => dep(target, pc),
+                Instr::Branch { target, .. } => {
+                    dep(target, pc);
+                    if next < self.len {
+                        dep(next, pc);
+                    }
+                }
+                Instr::JumpInd { .. } => {
+                    for &t in &self.jr_targets {
+                        dep(t, pc);
+                    }
+                }
+                Instr::Call { target } => {
+                    dep(target, pc);
+                    if next < self.len {
+                        dep(next, pc);
+                    }
+                }
+                _ => {
+                    if next < self.len {
+                        dep(next, pc);
+                    }
+                }
+            }
+        }
+        let mut returns = vec![false; n];
+        let mut work: VecDeque<u32> = VecDeque::new();
+        for (pc, instr) in self.code.iter().enumerate() {
+            if matches!(instr, Instr::Ret) {
+                returns[pc] = true;
+                work.push_back(pc as u32);
+            }
+        }
+        let eval = |pc: u32, returns: &[bool]| -> bool {
+            let at = |i: u32| (i < self.len) && returns[i as usize];
+            match self.code[pc as usize] {
+                Instr::Ret => true,
+                Instr::Halt => false,
+                Instr::Jump { target } => at(target),
+                Instr::Branch { target, .. } => at(target) || at(pc + 1),
+                Instr::JumpInd { .. } => self.jr_targets.iter().any(|&t| at(t)),
+                Instr::Call { target } => at(target) && at(pc + 1),
+                _ => at(pc + 1),
+            }
+        };
+        while let Some(done) = work.pop_front() {
+            for &pc in &rev[done as usize] {
+                if !returns[pc as usize] && eval(pc, &returns) {
+                    returns[pc as usize] = true;
+                    work.push_back(pc);
+                }
+            }
+        }
+        returns
+    }
+
+    /// Whole-program forward reachability from `pc 0`, descending into
+    /// callees (a call reaches its target, and its fall-through only if
+    /// the callee can return).
+    fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.len as usize];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let visit = |t: u32, seen: &mut Vec<bool>, stack: &mut Vec<u32>| {
+            if t < self.len && !seen[t as usize] {
+                seen[t as usize] = true;
+                stack.push(t);
+            }
+        };
+        while let Some(pc) = stack.pop() {
+            match self.code[pc as usize] {
+                Instr::Ret | Instr::Halt => {}
+                Instr::Jump { target } => visit(target, &mut seen, &mut stack),
+                Instr::Branch { target, .. } => {
+                    visit(target, &mut seen, &mut stack);
+                    visit(pc + 1, &mut seen, &mut stack);
+                }
+                Instr::JumpInd { .. } => {
+                    for &t in &self.jr_targets {
+                        visit(t, &mut seen, &mut stack);
+                    }
+                }
+                Instr::Call { target } => {
+                    visit(target, &mut seen, &mut stack);
+                    if self.returns[target as usize] {
+                        visit(pc + 1, &mut seen, &mut stack);
+                    }
+                }
+                _ => visit(pc + 1, &mut seen, &mut stack),
+            }
+        }
+        seen
+    }
+
+    /// Intra-frame traversal from `entry`: follows every edge except
+    /// into callees (calls are stepped over when the callee can return)
+    /// and stops at `ret`/`halt`.
+    fn frame_view(&self, entry: u32) -> FrameView {
+        let mut body = vec![false; self.len as usize];
+        let mut rets = Vec::new();
+        let mut calls = Vec::new();
+        let mut stack = vec![entry];
+        body[entry as usize] = true;
+        let visit = |t: u32, body: &mut Vec<bool>, stack: &mut Vec<u32>| {
+            if t < self.len && !body[t as usize] {
+                body[t as usize] = true;
+                stack.push(t);
+            }
+        };
+        while let Some(pc) = stack.pop() {
+            match self.code[pc as usize] {
+                Instr::Ret => rets.push(pc),
+                Instr::Halt => {}
+                Instr::Jump { target } => visit(target, &mut body, &mut stack),
+                Instr::Branch { target, .. } => {
+                    visit(target, &mut body, &mut stack);
+                    visit(pc + 1, &mut body, &mut stack);
+                }
+                Instr::JumpInd { .. } => {
+                    for &t in &self.jr_targets {
+                        visit(t, &mut body, &mut stack);
+                    }
+                }
+                Instr::Call { target } => {
+                    calls.push((pc, target));
+                    if self.returns[target as usize] {
+                        visit(pc + 1, &mut body, &mut stack);
+                    }
+                }
+                _ => visit(pc + 1, &mut body, &mut stack),
+            }
+        }
+        rets.sort_unstable();
+        calls.sort_unstable();
+        FrameView { rets, calls }
+    }
+
+    fn disasm(&self, pc: u32) -> String {
+        self.code[pc as usize].to_string()
+    }
+}
+
+/// Longest acyclic call chain, in frames, starting from the entry
+/// frame. Functions on call cycles (recursion) are skipped: their depth
+/// is a dynamic property. Returns the deepest chain's frame count and
+/// the call site in the entry frame that starts it.
+fn max_static_call_depth(
+    entry_view: &FrameView,
+    views: &BTreeMap<u32, FrameView>,
+) -> Option<(u64, u32)> {
+    // Resolve functions callees-first; anything touching a cycle stays
+    // unresolved and is excluded (never flagged).
+    let mut remaining: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut callers: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for (&f, view) in views {
+        let callees: BTreeSet<u32> = view.calls.iter().map(|&(_, t)| t).collect();
+        remaining.insert(f, callees.len());
+        for t in callees {
+            callers.entry(t).or_default().push(f);
+        }
+    }
+    let mut depth: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut ready: VecDeque<u32> = remaining
+        .iter()
+        .filter(|&(_, &n)| n == 0)
+        .map(|(&f, _)| f)
+        .collect();
+    while let Some(f) = ready.pop_front() {
+        let deepest = views[&f]
+            .calls
+            .iter()
+            .filter_map(|&(_, t)| depth.get(&t))
+            .max()
+            .copied()
+            .unwrap_or(0);
+        depth.insert(f, 1 + deepest);
+        for &caller in callers.get(&f).map_or(&[][..], Vec::as_slice) {
+            let n = remaining.get_mut(&caller).expect("caller is a function");
+            *n -= 1;
+            if *n == 0 {
+                ready.push_back(caller);
+            }
+        }
+    }
+    entry_view
+        .calls
+        .iter()
+        .filter_map(|&(pc, t)| depth.get(&t).map(|&d| (d, pc)))
+        .max()
+}
+
+impl Program {
+    /// Statically verifies the program, returning the first defect.
+    ///
+    /// # Errors
+    ///
+    /// The first [`VerifyError`] of [`Program::verify_all`], if any.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        match self.verify_all().into_iter().next() {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Statically verifies the program, returning every defect found,
+    /// in a stable (pc-major) order.
+    ///
+    /// Structural defects (invalid direct targets, indirect jumps with
+    /// no plausible target) short-circuit the deeper analyses: a CFG
+    /// cannot be built over them.
+    pub fn verify_all(&self) -> Vec<VerifyError> {
+        let code = self.code();
+        let len = code.len() as u32;
+        let mut errors = Vec::new();
+
+        // Pass 1: direct targets must exist. Without this the CFG is
+        // ill-defined, so findings here short-circuit everything else.
+        for (pc, instr) in code.iter().enumerate() {
+            let target = match *instr {
+                Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Call { target } => {
+                    Some(target)
+                }
+                _ => None,
+            };
+            if let Some(target) = target {
+                if target >= len {
+                    errors.push(VerifyError::InvalidTarget {
+                        pc: pc as u32,
+                        instr: instr.to_string(),
+                        target,
+                        code_len: len,
+                    });
+                }
+            }
+        }
+        if !errors.is_empty() {
+            return errors;
+        }
+
+        let cfg = Cfg::new(code);
+
+        // Pass 2: every indirect jump needs at least one plausible
+        // target, or its successor set is empty and the CFG degenerates.
+        if cfg.jr_targets.is_empty() {
+            for (pc, instr) in code.iter().enumerate() {
+                if matches!(instr, Instr::JumpInd { .. }) {
+                    errors.push(VerifyError::NoIndirectTargets {
+                        pc: pc as u32,
+                        instr: instr.to_string(),
+                    });
+                }
+            }
+            if !errors.is_empty() {
+                return errors;
+            }
+        }
+
+        // Pass 3: reachability — unreachable code, running off the end,
+        // and halt-reachability.
+        let reachable = cfg.reachable();
+        for (pc, instr) in code.iter().enumerate() {
+            if !reachable[pc] {
+                errors.push(VerifyError::Unreachable {
+                    pc: pc as u32,
+                    instr: instr.to_string(),
+                });
+            }
+        }
+        let last = len - 1;
+        if reachable[last as usize]
+            && falls_through(&code[last as usize], |t| cfg.returns[t as usize])
+        {
+            errors.push(VerifyError::FallsOffEnd {
+                pc: last,
+                instr: cfg.disasm(last),
+            });
+        }
+        if !code
+            .iter()
+            .enumerate()
+            .any(|(pc, i)| reachable[pc] && matches!(i, Instr::Halt))
+        {
+            errors.push(VerifyError::NoHaltReachable {
+                pc: 0,
+                instr: cfg.disasm(0),
+            });
+        }
+
+        // Pass 4: call-stack discipline. The entry frame's view gives
+        // the `ret`s reachable at depth zero; per-function views give
+        // the call graph for the static depth bound.
+        let entry_view = cfg.frame_view(0);
+        for &pc in &entry_view.rets {
+            errors.push(VerifyError::RetWithoutCall {
+                pc,
+                instr: cfg.disasm(pc),
+            });
+        }
+        let functions: BTreeSet<u32> = code
+            .iter()
+            .filter_map(|i| match *i {
+                Instr::Call { target } => Some(target),
+                _ => None,
+            })
+            .collect();
+        let views: BTreeMap<u32, FrameView> =
+            functions.iter().map(|&f| (f, cfg.frame_view(f))).collect();
+        if let Some((depth, call_pc)) = max_static_call_depth(&entry_view, &views) {
+            if depth > CALL_STACK_LIMIT as u64 {
+                errors.push(VerifyError::CallDepthExceeded {
+                    pc: call_pc,
+                    instr: cfg.disasm(call_pc),
+                    depth,
+                    limit: CALL_STACK_LIMIT as u64,
+                });
+            }
+        }
+
+        // Pass 5: forward dataflow — must-initialized registers and
+        // constant propagation for static memory-range checks.
+        let states = dataflow(&cfg, &views);
+        let mem_size = self.mem_size() as u64;
+        for (pc, instr) in code.iter().enumerate() {
+            if !reachable[pc] {
+                continue;
+            }
+            let Some(state) = &states[pc] else {
+                continue;
+            };
+            for r in int_reads(instr) {
+                if !state.int_init(r) {
+                    errors.push(VerifyError::UninitRead {
+                        pc: pc as u32,
+                        instr: instr.to_string(),
+                        reg: r.to_string(),
+                    });
+                }
+            }
+            for r in fp_reads(instr) {
+                if !state.fp_init(r) {
+                    errors.push(VerifyError::UninitRead {
+                        pc: pc as u32,
+                        instr: instr.to_string(),
+                        reg: r.to_string(),
+                    });
+                }
+            }
+            if let Some((base, offset, size)) = mem_access(instr) {
+                if let Some(b) = state.const_of(base) {
+                    let addr = b.wrapping_add(offset as u64);
+                    let in_range = addr
+                        .checked_add(size as u64)
+                        .is_some_and(|end| end <= mem_size);
+                    if !in_range {
+                        errors.push(VerifyError::OutOfBoundsAccess {
+                            pc: pc as u32,
+                            instr: instr.to_string(),
+                            addr,
+                            size,
+                            mem_size,
+                        });
+                    }
+                }
+            }
+        }
+
+        errors.sort_by_key(|e| (e.pc(), e.rank()));
+        errors
+    }
+}
+
+/// Interprocedural forward dataflow over [`RegState`] with merged
+/// calling contexts: call sites flow into callee entries, and each
+/// reachable `ret` of a callee flows back to the fall-through of every
+/// call site of that callee.
+fn dataflow(cfg: &Cfg<'_>, views: &BTreeMap<u32, FrameView>) -> Vec<Option<RegState>> {
+    let n = cfg.len as usize;
+    // ret pc -> every call-site fall-through it can return to.
+    let mut ret_edges: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    let mut calls_to: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for (pc, instr) in cfg.code.iter().enumerate() {
+        if let Instr::Call { target } = *instr {
+            calls_to.entry(target).or_default().push(pc as u32);
+        }
+    }
+    for (&f, view) in views {
+        for &ret in &view.rets {
+            for &call in calls_to.get(&f).map_or(&[][..], Vec::as_slice) {
+                if call + 1 < cfg.len {
+                    ret_edges.entry(ret).or_default().insert(call + 1);
+                }
+            }
+        }
+    }
+
+    let mut states: Vec<Option<RegState>> = vec![None; n];
+    states[0] = Some(RegState::entry());
+    let mut work: VecDeque<u32> = VecDeque::from([0]);
+    let mut queued = vec![false; n];
+    queued[0] = true;
+    while let Some(pc) = work.pop_front() {
+        queued[pc as usize] = false;
+        let mut out = states[pc as usize].clone().expect("queued pcs have state");
+        out.transfer(&cfg.code[pc as usize]);
+        let mut flow = |t: u32, states: &mut Vec<Option<RegState>>, work: &mut VecDeque<u32>| {
+            if t >= cfg.len {
+                return;
+            }
+            let changed = match &mut states[t as usize] {
+                Some(cur) => cur.meet(&out),
+                slot @ None => {
+                    *slot = Some(out.clone());
+                    true
+                }
+            };
+            if changed && !queued[t as usize] {
+                queued[t as usize] = true;
+                work.push_back(t);
+            }
+        };
+        match cfg.code[pc as usize] {
+            Instr::Halt => {}
+            Instr::Jump { target } => flow(target, &mut states, &mut work),
+            Instr::Branch { target, .. } => {
+                flow(target, &mut states, &mut work);
+                flow(pc + 1, &mut states, &mut work);
+            }
+            Instr::JumpInd { .. } => {
+                for &t in &cfg.jr_targets {
+                    flow(t, &mut states, &mut work);
+                }
+            }
+            Instr::Call { target } => flow(target, &mut states, &mut work),
+            Instr::Ret => {
+                if let Some(targets) = ret_edges.get(&pc) {
+                    for &t in targets {
+                        flow(t, &mut states, &mut work);
+                    }
+                }
+            }
+            _ => flow(pc + 1, &mut states, &mut work),
+        }
+    }
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::regs::*;
+    use crate::asm::Asm;
+    use crate::program::DataBuilder;
+
+    fn assemble(build: impl FnOnce(&mut Asm)) -> Program {
+        let mut asm = Asm::new();
+        build(&mut asm);
+        asm.assemble(DataBuilder::new()).expect("assembles")
+    }
+
+    fn raw(code: Vec<Instr>) -> Program {
+        Program::from_parts(code, DataBuilder::new()).expect("builds")
+    }
+
+    #[test]
+    fn clean_straight_line_program_verifies() {
+        let p = assemble(|a| {
+            a.li(T0, 5);
+            a.addi(T0, T0, 1);
+            a.halt();
+        });
+        assert_eq!(p.verify(), Ok(()));
+        assert!(p.verify_all().is_empty());
+    }
+
+    #[test]
+    fn clean_loop_with_call_verifies() {
+        let p = assemble(|a| {
+            a.li(T0, 4);
+            a.label("loop");
+            a.call("double");
+            a.addi(T0, T0, -1);
+            a.bne(T0, ZERO, "loop");
+            a.halt();
+            a.label("double");
+            a.add(T1, T0, T0);
+            a.ret();
+        });
+        assert_eq!(p.verify(), Ok(()));
+    }
+
+    #[test]
+    fn invalid_jump_target_is_rejected() {
+        let p = raw(vec![Instr::Jump { target: 99 }, Instr::Halt]);
+        let err = p.verify().unwrap_err();
+        assert_eq!(
+            err,
+            VerifyError::InvalidTarget {
+                pc: 0,
+                instr: "j @99".into(),
+                target: 99,
+                code_len: 2,
+            }
+        );
+        assert_eq!(err.pc(), 0);
+        assert_eq!(err.instruction(), "j @99");
+    }
+
+    #[test]
+    fn invalid_call_and_branch_targets_are_rejected() {
+        let p = raw(vec![Instr::Call { target: 7 }, Instr::Halt]);
+        assert!(matches!(
+            p.verify(),
+            Err(VerifyError::InvalidTarget {
+                pc: 0,
+                target: 7,
+                ..
+            })
+        ));
+        let p = raw(vec![
+            Instr::Branch {
+                cond: crate::isa::Cond::Eq,
+                rs1: IReg::new(1),
+                rs2: IReg::new(2),
+                target: 3,
+            },
+            Instr::Halt,
+        ]);
+        assert!(matches!(
+            p.verify(),
+            Err(VerifyError::InvalidTarget {
+                pc: 0,
+                target: 3,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn halt_free_loop_is_rejected_as_non_terminating() {
+        // li; loop: addi; j loop — no halt anywhere.
+        let p = raw(vec![
+            Instr::Li {
+                rd: IReg::new(1),
+                imm: 0,
+            },
+            Instr::AluImm {
+                op: crate::isa::AluOp::Add,
+                rd: IReg::new(1),
+                rs1: IReg::new(1),
+                imm: 1,
+            },
+            Instr::Jump { target: 1 },
+        ]);
+        let errs = p.verify_all();
+        assert!(
+            errs.iter()
+                .any(|e| matches!(e, VerifyError::NoHaltReachable { pc: 0, .. })),
+            "expected NoHaltReachable in {errs:?}"
+        );
+    }
+
+    #[test]
+    fn unreachable_halt_does_not_count_as_termination() {
+        let p = assemble(|a| {
+            a.label("spin");
+            a.j("spin");
+            a.halt(); // never reached
+        });
+        let errs = p.verify_all();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::Unreachable { pc: 1, .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::NoHaltReachable { .. })));
+    }
+
+    #[test]
+    fn falling_off_the_end_is_rejected() {
+        let p = raw(vec![Instr::Li {
+            rd: IReg::new(1),
+            imm: 3,
+        }]);
+        let errs = p.verify_all();
+        assert!(
+            errs.iter()
+                .any(|e| matches!(e, VerifyError::FallsOffEnd { pc: 0, .. })),
+            "expected FallsOffEnd in {errs:?}"
+        );
+    }
+
+    #[test]
+    fn uninitialized_int_read_is_rejected() {
+        let p = assemble(|a| {
+            a.addi(T0, T1, 1); // T1 never written
+            a.halt();
+        });
+        let err = p.verify().unwrap_err();
+        assert_eq!(
+            err,
+            VerifyError::UninitRead {
+                pc: 0,
+                instr: "addi r1, r2, 1".into(),
+                reg: "r2".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn uninitialized_fp_read_is_rejected() {
+        let p = assemble(|a| {
+            a.fadd(FT0, FT1, FT2);
+            a.halt();
+        });
+        let errs = p.verify_all();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::UninitRead { reg, .. } if reg == "f1")));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::UninitRead { reg, .. } if reg == "f2")));
+    }
+
+    #[test]
+    fn uninit_read_on_one_path_is_flagged() {
+        // Only one branch arm initializes T1 before the join reads it.
+        let p = assemble(|a| {
+            a.li(T0, 1);
+            a.beq(T0, ZERO, "skip");
+            a.li(T1, 7);
+            a.label("skip");
+            a.add(T2, T1, T0); // T1 uninit when the branch is taken
+            a.halt();
+        });
+        assert!(matches!(
+            p.verify(),
+            Err(VerifyError::UninitRead { pc: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn reads_after_init_on_all_paths_are_clean() {
+        let p = assemble(|a| {
+            a.li(T0, 1);
+            a.beq(T0, ZERO, "else");
+            a.li(T1, 7);
+            a.j("join");
+            a.label("else");
+            a.li(T1, 9);
+            a.label("join");
+            a.add(T2, T1, T0);
+            a.halt();
+        });
+        assert_eq!(p.verify(), Ok(()));
+    }
+
+    #[test]
+    fn r0_reads_are_always_initialized() {
+        let p = assemble(|a| {
+            a.add(T0, ZERO, ZERO);
+            a.halt();
+        });
+        assert_eq!(p.verify(), Ok(()));
+    }
+
+    #[test]
+    fn static_out_of_bounds_access_is_rejected() {
+        let p = assemble(|a| {
+            a.li(T0, 1 << 40);
+            a.ld(T1, T0, 0);
+            a.halt();
+        });
+        let err = p.verify().unwrap_err();
+        assert_eq!(
+            err,
+            VerifyError::OutOfBoundsAccess {
+                pc: 1,
+                instr: "ld r2, 0(r1)".into(),
+                addr: 1 << 40,
+                size: 8,
+                mem_size: 4096,
+            }
+        );
+    }
+
+    #[test]
+    fn constant_propagation_tracks_arithmetic_addresses() {
+        // The address is computed, not loaded directly: li + slli.
+        let p = assemble(|a| {
+            a.li(T0, 1);
+            a.slli(T0, T0, 40);
+            a.sd(T1, T0, 0);
+            a.halt();
+        });
+        // T1 is also uninitialized; the memory error must still surface.
+        let errs = p.verify_all();
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            VerifyError::OutOfBoundsAccess {
+                pc: 2,
+                addr: 0x100_0000_0000,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn in_range_static_access_is_clean() {
+        let mut asm = Asm::new();
+        let mut data = DataBuilder::new();
+        let addr = data.alloc_u64(4);
+        asm.li(T0, addr as i64);
+        asm.ld(T1, T0, 8);
+        asm.halt();
+        let p = asm.assemble(data).expect("assembles");
+        assert_eq!(p.verify(), Ok(()));
+    }
+
+    #[test]
+    fn unknown_base_is_not_flagged() {
+        let mut asm = Asm::new();
+        let mut data = DataBuilder::new();
+        let addr = data.alloc_u64(2);
+        asm.li(T0, addr as i64);
+        asm.ld(T1, T0, 0); // T1 becomes unknown
+        asm.ld(T2, T1, 0); // dynamic address: not decidable, accepted
+        asm.halt();
+        let p = asm.assemble(data).expect("assembles");
+        assert_eq!(p.verify(), Ok(()));
+    }
+
+    #[test]
+    fn top_level_ret_is_rejected() {
+        let p = raw(vec![Instr::Ret, Instr::Halt]);
+        let errs = p.verify_all();
+        assert!(
+            errs.iter()
+                .any(|e| matches!(e, VerifyError::RetWithoutCall { pc: 0, .. })),
+            "expected RetWithoutCall in {errs:?}"
+        );
+    }
+
+    #[test]
+    fn recursion_is_accepted() {
+        // f calls itself with a dynamic base case; statically unbounded,
+        // so the verifier must not flag its depth.
+        let p = assemble(|a| {
+            a.li(A0, 3);
+            a.call("f");
+            a.halt();
+            a.label("f");
+            a.addi(A0, A0, -1);
+            a.beq(A0, ZERO, "base");
+            a.call("f");
+            a.label("base");
+            a.ret();
+        });
+        assert_eq!(p.verify(), Ok(()));
+    }
+
+    #[test]
+    fn deep_acyclic_call_chain_is_rejected() {
+        // main calls f0; f_i calls f_{i+1}; the chain is one function
+        // longer than the call stack can hold.
+        let n = CALL_STACK_LIMIT as u32 + 1;
+        let mut code = vec![Instr::Call { target: 2 }, Instr::Halt];
+        for i in 0..n {
+            // f_i at pcs [2 + 2i, 3 + 2i]
+            if i + 1 < n {
+                code.push(Instr::Call {
+                    target: 2 + 2 * (i + 1),
+                });
+            } else {
+                code.push(Instr::Nop);
+            }
+            code.push(Instr::Ret);
+        }
+        let p = raw(code);
+        let errs = p.verify_all();
+        let depth_err = errs
+            .iter()
+            .find(|e| matches!(e, VerifyError::CallDepthExceeded { .. }))
+            .expect("deep chain flagged");
+        let VerifyError::CallDepthExceeded {
+            pc, depth, limit, ..
+        } = depth_err
+        else {
+            unreachable!()
+        };
+        assert_eq!(*pc, 0);
+        assert_eq!(*depth, CALL_STACK_LIMIT as u64 + 1);
+        assert_eq!(*limit, CALL_STACK_LIMIT as u64);
+    }
+
+    #[test]
+    fn chain_at_the_limit_is_accepted() {
+        let n = CALL_STACK_LIMIT as u32;
+        let mut code = vec![Instr::Call { target: 2 }, Instr::Halt];
+        for i in 0..n {
+            if i + 1 < n {
+                code.push(Instr::Call {
+                    target: 2 + 2 * (i + 1),
+                });
+            } else {
+                code.push(Instr::Nop);
+            }
+            code.push(Instr::Ret);
+        }
+        let p = raw(code);
+        assert!(!p
+            .verify_all()
+            .iter()
+            .any(|e| matches!(e, VerifyError::CallDepthExceeded { .. })));
+    }
+
+    #[test]
+    fn jump_table_dispatch_is_accepted() {
+        // A jr fed from a memory-resident jump table of li-materialized
+        // targets — the state_machine kernel's shape.
+        let mut asm = Asm::new();
+        let mut data = DataBuilder::new();
+        let table = data.alloc_u64(2);
+        asm.li(T0, table as i64);
+        asm.li_label(T1, "a");
+        asm.sd(T1, T0, 0);
+        asm.li_label(T1, "b");
+        asm.sd(T1, T0, 8);
+        asm.ld(T2, T0, 0);
+        asm.jr(T2);
+        asm.label("a");
+        asm.j("end");
+        asm.label("b");
+        asm.j("end");
+        asm.label("end");
+        asm.halt();
+        let p = asm.assemble(data).expect("assembles");
+        assert_eq!(p.verify(), Ok(()));
+    }
+
+    #[test]
+    fn jr_with_no_plausible_target_is_rejected() {
+        let p = raw(vec![Instr::JumpInd { rs: IReg::new(1) }, Instr::Halt]);
+        assert!(matches!(
+            p.verify(),
+            Err(VerifyError::NoIndirectTargets { pc: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn callee_that_never_returns_blocks_fall_through() {
+        // f never returns (spins); the `halt` after the call is dead.
+        let p = assemble(|a| {
+            a.call("f");
+            a.halt();
+            a.label("f");
+            a.label("spin");
+            a.j("spin");
+        });
+        let errs = p.verify_all();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::Unreachable { pc: 1, .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::NoHaltReachable { .. })));
+    }
+
+    #[test]
+    fn findings_are_sorted_and_complete() {
+        // Two independent defects: uninit read at pc 0, dead code at 3.
+        let p = raw(vec![
+            Instr::Mv {
+                rd: IReg::new(1),
+                rs: IReg::new(2),
+            },
+            Instr::Jump { target: 4 },
+            Instr::Nop,
+            Instr::Nop,
+            Instr::Halt,
+        ]);
+        let errs = p.verify_all();
+        assert_eq!(errs.len(), 3);
+        assert!(matches!(errs[0], VerifyError::UninitRead { pc: 0, .. }));
+        assert!(matches!(errs[1], VerifyError::Unreachable { pc: 2, .. }));
+        assert!(matches!(errs[2], VerifyError::Unreachable { pc: 3, .. }));
+    }
+
+    // ----------------------------------------------------------------
+    // Golden diagnostics: every error class renders pc, the offending
+    // instruction's disassembly, and a one-line hint.
+
+    #[test]
+    fn golden_display_invalid_target() {
+        let e = VerifyError::InvalidTarget {
+            pc: 4,
+            instr: "j @99".into(),
+            target: 99,
+            code_len: 10,
+        };
+        assert_eq!(
+            e.to_string(),
+            "pc 4: `j @99`: target @99 is outside the 10-instruction code \
+             (hint: branch, jump and call targets must be existing instruction indices)"
+        );
+    }
+
+    #[test]
+    fn golden_display_no_indirect_targets() {
+        let e = VerifyError::NoIndirectTargets {
+            pc: 2,
+            instr: "jr r5".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "pc 2: `jr r5`: indirect jump has no statically plausible in-range target \
+             (hint: materialize jump-table entries with `li` of valid instruction indices)"
+        );
+    }
+
+    #[test]
+    fn golden_display_falls_off_end() {
+        let e = VerifyError::FallsOffEnd {
+            pc: 7,
+            instr: "nop".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "pc 7: `nop`: execution can run past the last instruction \
+             (hint: terminate every path with `halt` or an unconditional jump)"
+        );
+    }
+
+    #[test]
+    fn golden_display_out_of_bounds_access() {
+        let e = VerifyError::OutOfBoundsAccess {
+            pc: 3,
+            instr: "ld r2, 0(r1)".into(),
+            addr: 0x100_0000_0000,
+            size: 8,
+            mem_size: 4096,
+        };
+        assert_eq!(
+            e.to_string(),
+            "pc 3: `ld r2, 0(r1)`: 8-byte access at 0x10000000000 exceeds the 4096-byte \
+             data segment (hint: static addresses must stay inside the data segment)"
+        );
+    }
+
+    #[test]
+    fn golden_display_uninit_read() {
+        let e = VerifyError::UninitRead {
+            pc: 0,
+            instr: "addi r1, r2, 1".into(),
+            reg: "r2".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "pc 0: `addi r1, r2, 1`: r2 may be read before any write \
+             (hint: initialize the register with `li` before its first use)"
+        );
+    }
+
+    #[test]
+    fn golden_display_unreachable() {
+        let e = VerifyError::Unreachable {
+            pc: 9,
+            instr: "nop".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "pc 9: `nop`: unreachable instruction \
+             (hint: dead code usually means a mis-wired branch or a missing label)"
+        );
+    }
+
+    #[test]
+    fn golden_display_no_halt_reachable() {
+        let e = VerifyError::NoHaltReachable {
+            pc: 0,
+            instr: "li r1, 0".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "pc 0: `li r1, 0`: no `halt` is reachable from the entry point \
+             (hint: the program can never terminate cleanly; add a reachable `halt`)"
+        );
+    }
+
+    #[test]
+    fn golden_display_ret_without_call() {
+        let e = VerifyError::RetWithoutCall {
+            pc: 5,
+            instr: "ret".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "pc 5: `ret`: `ret` can execute with an empty call stack \
+             (hint: `ret` is only valid inside code entered through `call`)"
+        );
+    }
+
+    #[test]
+    fn golden_display_call_depth_exceeded() {
+        let e = VerifyError::CallDepthExceeded {
+            pc: 1,
+            instr: "call @8".into(),
+            depth: 65537,
+            limit: 65536,
+        };
+        assert_eq!(
+            e.to_string(),
+            "pc 1: `call @8`: static call chain needs 65537 frames, over the \
+             65536-frame call-stack limit (hint: flatten nested calls)"
+        );
+    }
+
+    #[test]
+    fn every_error_renders_pc_instruction_and_hint() {
+        let samples = [
+            VerifyError::InvalidTarget {
+                pc: 1,
+                instr: "j @9".into(),
+                target: 9,
+                code_len: 2,
+            },
+            VerifyError::NoIndirectTargets {
+                pc: 1,
+                instr: "jr r1".into(),
+            },
+            VerifyError::FallsOffEnd {
+                pc: 1,
+                instr: "nop".into(),
+            },
+            VerifyError::OutOfBoundsAccess {
+                pc: 1,
+                instr: "ld r1, 0(r2)".into(),
+                addr: 9999,
+                size: 8,
+                mem_size: 4096,
+            },
+            VerifyError::UninitRead {
+                pc: 1,
+                instr: "mv r1, r2".into(),
+                reg: "r2".into(),
+            },
+            VerifyError::Unreachable {
+                pc: 1,
+                instr: "nop".into(),
+            },
+            VerifyError::NoHaltReachable {
+                pc: 1,
+                instr: "nop".into(),
+            },
+            VerifyError::RetWithoutCall {
+                pc: 1,
+                instr: "ret".into(),
+            },
+            VerifyError::CallDepthExceeded {
+                pc: 1,
+                instr: "call @5".into(),
+                depth: 2,
+                limit: 1,
+            },
+        ];
+        for e in samples {
+            let msg = e.to_string();
+            assert!(msg.starts_with("pc 1: `"), "no pc prefix: {msg}");
+            assert!(
+                msg.contains(&format!("`{}`", e.instruction())),
+                "no disassembly: {msg}"
+            );
+            assert!(msg.contains("(hint: "), "no hint: {msg}");
+            assert!(!msg.contains('\n'), "multi-line: {msg}");
+            assert_eq!(e.pc(), 1);
+        }
+    }
+}

@@ -33,6 +33,8 @@ pub fn smith_waterman(b: &mut Builder, qlen: u64, dlen: u64, repeats: u64) {
     let zl = b.fresh("sw_z");
     let swl = b.fresh("sw_swap");
 
+    // S5 tracks the global best score across all repeats.
+    b.asm.li(S5, 0);
     b.asm.li(S0, repeats as i64);
     b.asm.label(&rep);
     // zero both rows

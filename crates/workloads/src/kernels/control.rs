@@ -25,6 +25,8 @@ pub fn state_machine(b: &mut Builder, input_len: u64, nstates: u64, repeats: u64
         b.fresh("sm_act3"),
     ];
 
+    // G2 accumulates across actions; give it an explicit start value.
+    b.asm.li(G2, 0);
     // Fill the jump table at run time with the actions' code indices.
     for (i, a) in act.iter().enumerate() {
         b.asm.li_label(T0, a.clone());

@@ -1,0 +1,41 @@
+//! Registry-wide static verification sweep: every program every
+//! benchmark can build must pass `Program::verify` clean. This is the
+//! machine-checked invariant the study pipeline's pre-flight relies on.
+
+use phaselab_workloads::{catalog, Scale};
+
+fn sweep(scale: Scale) {
+    let mut findings = Vec::new();
+    let mut programs = 0usize;
+    for bench in catalog() {
+        for input in 0..bench.num_inputs() {
+            let program = bench.build(scale, input);
+            programs += 1;
+            for err in program.verify_all() {
+                findings.push(format!(
+                    "{} [{}] input `{}`: {err}",
+                    bench.name(),
+                    bench.suite().short_name(),
+                    bench.input_names()[input],
+                ));
+            }
+        }
+    }
+    assert!(
+        findings.is_empty(),
+        "{} of {programs} registry programs failed static verification:\n{}",
+        findings.len(),
+        findings.join("\n")
+    );
+    assert!(programs > 77, "sweep covered too few programs");
+}
+
+#[test]
+fn every_registry_program_verifies_clean_at_tiny_scale() {
+    sweep(Scale::Tiny);
+}
+
+#[test]
+fn every_registry_program_verifies_clean_at_full_scale() {
+    sweep(Scale::Full);
+}

@@ -74,7 +74,9 @@ fn main() {
                 *a += b;
             }
         }
-        m.iter_mut().for_each(|v| *v /= rows.len() as f64);
+        for v in &mut m {
+            *v /= rows.len() as f64;
+        }
         m
     };
     let my_mean = mean(&mine);

@@ -94,7 +94,7 @@ fn main() {
             p.weight * 100.0
         ),
         None => {
-            println!("\n(no face/facerec mixed cluster among the prominent phases at this scale)")
+            println!("\n(no face/facerec mixed cluster among the prominent phases at this scale)");
         }
     }
 }

@@ -40,6 +40,8 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `iters` invocations of `routine`.
+    // Named for API parity with the real criterion crate.
+    #[allow(clippy::iter_not_returning_iterator)]
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         let start = Instant::now();
         for _ in 0..self.iters {
@@ -69,7 +71,7 @@ fn run_one(
     f(&mut b);
     let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
     let time = if per_iter >= 1.0 {
-        format!("{:.3} s/iter", per_iter)
+        format!("{per_iter:.3} s/iter")
     } else if per_iter >= 1e-3 {
         format!("{:.3} ms/iter", per_iter * 1e3)
     } else {

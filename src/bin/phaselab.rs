@@ -82,14 +82,12 @@ fn parse_scale(args: &[String]) -> Scale {
 }
 
 fn parse_u64(args: &[String], flag: &str, default: u64) -> u64 {
-    flag_value(args, flag)
-        .map(|v| {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("bad value for {flag}: `{v}`");
-                exit(2);
-            })
+    flag_value(args, flag).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("bad value for {flag}: `{v}`");
+            exit(2);
         })
-        .unwrap_or(default)
+    })
 }
 
 fn parse_features(args: &[String]) -> Option<Vec<usize>> {

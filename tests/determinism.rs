@@ -128,11 +128,11 @@ fn different_seeds_change_sampling_but_not_characterization() {
     assert_eq!(
         a.benchmarks
             .iter()
-            .map(|x| x.total_intervals())
+            .map(phaselab::core::BenchmarkRun::total_intervals)
             .collect::<Vec<_>>(),
         b.benchmarks
             .iter()
-            .map(|x| x.total_intervals())
+            .map(phaselab::core::BenchmarkRun::total_intervals)
             .collect::<Vec<_>>(),
     );
     // …but a different interval sample.

@@ -1,0 +1,36 @@
+//! Disassembler/assembler round-trip over the whole registry: parsing
+//! the disassembly of any buildable program must reproduce its exact
+//! instruction sequence. This pins the two text formats together — a
+//! new instruction cannot ship with a `Display` form the parser does
+//! not understand.
+
+use phaselab::vm::parse_disasm;
+use phaselab::workloads::{catalog, Scale};
+
+#[test]
+fn every_registry_program_round_trips_through_its_disassembly() {
+    let mut programs = 0usize;
+    for bench in catalog() {
+        for input in 0..bench.num_inputs() {
+            let program = bench.build(Scale::Tiny, input);
+            programs += 1;
+            let parsed = parse_disasm(&program.disasm()).unwrap_or_else(|e| {
+                panic!(
+                    "{} [{}] input `{}`: disassembly does not re-parse: {e}",
+                    bench.name(),
+                    bench.suite().short_name(),
+                    bench.input_names()[input]
+                )
+            });
+            assert_eq!(
+                parsed,
+                program.code(),
+                "{} [{}] input `{}`: round-trip changed the instruction sequence",
+                bench.name(),
+                bench.suite().short_name(),
+                bench.input_names()[input]
+            );
+        }
+    }
+    assert!(programs > 77, "round-trip covered too few programs");
+}

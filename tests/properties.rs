@@ -93,7 +93,7 @@ proptest! {
         let mut sym = Matrix::zeros(3, 3);
         for i in 0..3 {
             for j in 0..3 {
-                sym.set(i, j, (a.get(i, j) + a.get(j, i)) / 2.0);
+                sym.set(i, j, f64::midpoint(a.get(i, j), a.get(j, i)));
             }
         }
         let eig = jacobi_eigen(&sym);

@@ -8,15 +8,21 @@ use phaselab::{
     run_study_with, Asm, Benchmark, DataBuilder, Program, Scale, StudyConfig, StudyError,
 };
 
-/// A program that loads from far outside any data segment: the VM
-/// reports a memory fault on the second instruction.
+/// A program that loads from far outside any data segment: the bad
+/// address travels through memory, so the static verifier (which does
+/// not model data) accepts the program and the VM reports a memory
+/// fault at run time — exercising the *dynamic* quarantine path.
 fn faulting_program() -> Program {
     use phaselab::vm::regs::*;
+    let mut data = DataBuilder::new();
+    let cell = data.alloc_u64(1);
+    data.init_u64(cell, &[1 << 40]);
     let mut asm = Asm::new();
-    asm.li(T0, 1 << 40);
+    asm.li(T0, cell as i64);
     asm.ld(T1, T0, 0);
+    asm.ld(T2, T1, 0);
     asm.halt();
-    asm.assemble(DataBuilder::new()).expect("assembles")
+    asm.assemble(data).expect("assembles")
 }
 
 fn faulting_benchmark(name: &'static str) -> Benchmark {
@@ -66,6 +72,42 @@ fn faulting_benchmark_is_quarantined_and_study_completes() {
     // The record renders as one line naming benchmark, input and fault.
     let line = q.to_string();
     assert!(line.contains("saboteur") && line.contains("bad"), "{line}");
+    assert!(!line.contains('\n'));
+}
+
+#[test]
+fn statically_invalid_benchmark_is_quarantined_before_it_runs() {
+    // A statically detectable fault — a constant out-of-range load — is
+    // caught by the pre-flight verifier: the benchmark is quarantined as
+    // StaticallyInvalid (not Fault) and the study completes.
+    let bad = Benchmark::custom(
+        "illformed",
+        Suite::Bmw,
+        vec![(
+            "bad",
+            Box::new(|_scale: Scale, _seed: u64| {
+                use phaselab::vm::regs::*;
+                let mut asm = Asm::new();
+                asm.li(T0, 1 << 40);
+                asm.ld(T1, T0, 0);
+                asm.halt();
+                asm.assemble(DataBuilder::new()).expect("assembles")
+            }),
+        )],
+    );
+    let mut benches = healthy_benches();
+    let n_healthy = benches.len();
+    benches.insert(1, bad);
+
+    let r = run_study_with(&smoke_cfg(2), &benches).expect("study completes on survivors");
+    assert_eq!(r.benchmarks.len(), n_healthy);
+    assert_eq!(r.quarantined.len(), 1);
+    let q = &r.quarantined[0];
+    assert_eq!(q.name, "illformed");
+    let e = q.verify_error().expect("statically invalid cause");
+    assert_eq!(e.pc(), 1);
+    let line = q.to_string();
+    assert!(line.contains("statically invalid: pc 1"), "{line}");
     assert!(!line.contains('\n'));
 }
 
@@ -128,11 +170,16 @@ fn spinning_benchmark(name: &'static str) -> Benchmark {
             "forever",
             Box::new(|_scale: Scale, _seed: u64| {
                 use phaselab::vm::regs::*;
+                // The `halt` is statically reachable (so the verifier
+                // accepts the program) but dynamically never taken.
                 let mut asm = Asm::new();
-                asm.li(T0, 0);
+                asm.li(T0, 1);
                 asm.label("spin");
+                asm.beq(T0, ZERO, "done");
                 asm.addi(T0, T0, 1);
                 asm.j("spin");
+                asm.label("done");
+                asm.halt();
                 asm.assemble(DataBuilder::new()).expect("assembles")
             }),
         )],

@@ -1,0 +1,184 @@
+//! Soundness fuzzing for the static verifier.
+//!
+//! The verifier's contract (crates/vm/src/verify.rs, DESIGN.md §12): a
+//! program it accepts — one built from the *decidable fragment* of
+//! direct control flow, bounded loops, and `li`-materialized memory
+//! addresses — never faults at runtime. This harness generates random
+//! programs from that fragment, applies random single-instruction
+//! mutations (retargeted branches, dropped initializers, stray `ret`s,
+//! deleted `halt`s …), and checks the one-sided property: whenever
+//! `verify_all` comes back empty, the VM must run the program without a
+//! `VmError` inside the instruction budget.
+//!
+//! The single carve-out is [`VmError::CallStackOverflow`]: the verifier
+//! deliberately accepts recursion (its depth is undecidable), and a
+//! mutation that retargets a `call` can manufacture a recursive cycle.
+
+use proptest::prelude::*;
+
+use phaselab::trace::CountingSink;
+use phaselab::vm::{regs::*, AluOp, Asm, DataBuilder, Instr, MemWidth, Program, Vm, VmError};
+
+/// Instruction budget per fuzzed run: generated loops execute a few
+/// thousand instructions; mutations may spin forever, which shows up as
+/// an `Ok` outcome with `halted = false`, not as a fault.
+const BUDGET: u64 = 200_000;
+
+/// Assembles encoded blocks into a program of the decidable fragment:
+/// every branch target is a label, every loop is counted, every memory
+/// base is a constant inside the 4096-byte guard segment, and every
+/// call goes forward to a leaf that returns. Each `u64` encodes one
+/// block: bits 0-1 select the shape, the rest parameterize it.
+fn build(blocks: &[u64]) -> Program {
+    let mut asm = Asm::new();
+    let mut leaves = Vec::new();
+    for (i, &enc) in blocks.iter().enumerate() {
+        let a = (enc >> 2) & 0xFFFF;
+        let b = (enc >> 18) & 0xFFFF;
+        match enc & 3 {
+            // `li`-seeded integer arithmetic.
+            0 => {
+                asm.li(T0, (a % 1_000) as i64);
+                asm.li(T1, (b % 77) as i64 + 1);
+                asm.mul(T2, T0, T1);
+                asm.xor(T3, T2, T0);
+                asm.srli(T4, T3, (b % 13) as i64 + 1);
+            }
+            // A counted loop running `a % 97 + 1` times.
+            1 => {
+                let head = format!("loop{i}");
+                asm.li(S0, (a % 97) as i64 + 1);
+                asm.li(S1, b as i64);
+                asm.label(&head);
+                asm.addi(S1, S1, 3);
+                asm.xori(S1, S1, 0x55);
+                asm.addi(S0, S0, -1);
+                asm.bne(S0, ZERO, &head);
+            }
+            // Store-then-load through a `li`-materialized base address;
+            // base + offset stays under the 4096-byte segment:
+            // 3967 + 63 + 8 = 4038.
+            2 => {
+                asm.li(A0, (a % 3_968) as i64);
+                asm.li(A1, (b % 512) as i64);
+                asm.sd(A1, A0, (b % 64) as i64);
+                asm.ld(A2, A0, (b % 64) as i64);
+            }
+            // A call to a small leaf function emitted after `halt`.
+            3 => {
+                let leaf = format!("leaf{i}");
+                asm.li(A3, (a % 513) as i64);
+                asm.call(&leaf);
+                leaves.push((leaf, b));
+            }
+            _ => unreachable!(),
+        }
+    }
+    asm.halt();
+    for (leaf, b) in leaves {
+        asm.label(&leaf);
+        asm.addi(A4, A3, (b % 7) as i64);
+        asm.ret();
+    }
+    asm.assemble(DataBuilder::new())
+        .expect("fragment assembles")
+}
+
+/// Applies one (possibly identity) mutation to the instruction at
+/// `index % len`, returning the corrupted program.
+fn mutate(program: &Program, kind: u64, index: u64, payload: u64) -> Program {
+    let mut code = program.code().to_vec();
+    let len = code.len();
+    let at = (index % len as u64) as usize;
+    match kind % 8 {
+        0 => {}
+        // Retarget direct control flow — possibly out of range,
+        // possibly into a callee body, possibly into a cycle.
+        1 => {
+            let target = (payload % (len as u64 * 2)) as u32;
+            match &mut code[at] {
+                Instr::Branch { target: t, .. }
+                | Instr::Jump { target: t }
+                | Instr::Call { target: t } => *t = target,
+                other => *other = Instr::Jump { target },
+            }
+        }
+        // A stray return outside any call.
+        2 => code[at] = Instr::Ret,
+        // An early halt (may orphan the tail into unreachable code).
+        3 => code[at] = Instr::Halt,
+        // Delete an instruction — often an initializing `li`.
+        4 => code[at] = Instr::Nop,
+        // A statically out-of-range access through the zero register.
+        5 => {
+            code[at] = Instr::Load {
+                rd: T5,
+                base: ZERO,
+                offset: (payload % (1 << 40)) as i64,
+                width: MemWidth::D,
+            }
+        }
+        // Read a register the fragment never initializes.
+        6 => {
+            code[at] = Instr::Alu {
+                op: AluOp::Add,
+                rd: T5,
+                rs1: G3,
+                rs2: G3,
+            }
+        }
+        // Swap in an unconditional jump to the entry (cheap loop).
+        7 => code[at] = Instr::Jump { target: 0 },
+        _ => unreachable!(),
+    }
+    Program::from_parts(code, DataBuilder::new()).expect("nonempty code")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Accepted ⇒ no runtime fault (modulo recursion overflow).
+    #[test]
+    fn accepted_programs_never_fault(
+        blocks in proptest::collection::vec(0u64..u64::MAX, 6),
+        nblocks in 1usize..7,
+        kind in 0u64..u64::MAX,
+        index in 0u64..u64::MAX,
+        payload in 0u64..u64::MAX,
+    ) {
+        let program = mutate(&build(&blocks[..nblocks.min(6)]), kind, index, payload);
+        if !program.verify_all().is_empty() {
+            return Ok(());
+        }
+        let mut sink = CountingSink::new();
+        let mut vm = Vm::new(&program);
+        match vm.run(&mut sink, BUDGET) {
+            Ok(_) | Err(VmError::CallStackOverflow) => {}
+            Err(e) => prop_assert!(
+                false,
+                "verifier accepted a faulting program: {e}\n{}",
+                program.disasm()
+            ),
+        }
+    }
+
+    /// Un-mutated fragment programs are always accepted and always halt:
+    /// the generator really does stay inside the decidable fragment.
+    #[test]
+    fn fragment_programs_verify_and_halt(
+        blocks in proptest::collection::vec(0u64..u64::MAX, 6),
+        nblocks in 1usize..7,
+    ) {
+        let program = build(&blocks[..nblocks.min(6)]);
+        let findings = program.verify_all();
+        prop_assert!(
+            findings.is_empty(),
+            "fragment program rejected: {}\n{}",
+            findings[0],
+            program.disasm()
+        );
+        let mut sink = CountingSink::new();
+        let out = Vm::new(&program).run(&mut sink, BUDGET).expect("no fault");
+        prop_assert!(out.halted);
+    }
+}

@@ -80,9 +80,9 @@ fn three_register_alu_forms() {
     assert_eq!(vm.reg(S2), 180);
     assert_eq!(vm.reg(S3), 7);
     assert_eq!(vm.reg(S4), 1);
-    assert_eq!(vm.reg(S5), 36 & 5);
-    assert_eq!(vm.reg(S6), 36 | 5);
-    assert_eq!(vm.reg(S7), 36 ^ 5);
+    assert_eq!(vm.reg(S5), 0x24 & 0x5);
+    assert_eq!(vm.reg(S6), 0x24 | 0x5);
+    assert_eq!(vm.reg(S7), 0x24 ^ 0x5);
     assert_eq!(vm.reg(V0), 160);
     assert_eq!(vm.reg(V1), 1);
     assert_eq!(vm.reg(G0), 1);
