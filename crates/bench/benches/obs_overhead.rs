@@ -1,0 +1,92 @@
+//! Observability overhead: instrumented k-means with and without an
+//! installed obs subscriber.
+//!
+//! The hot loops in `phaselab-stats` gate all metric work behind one
+//! relaxed atomic load, so with no subscriber the instrumented kernel
+//! must run at its pre-instrumentation speed (the acceptance bar is a
+//! ≤1% regression on the study shape). This bench measures the same
+//! `kmeans` call twice — before and after `phaselab_obs::install()` —
+//! and prints the relative overhead. It cannot use `bench_function`
+//! for both sides because installation is process-global and
+//! irreversible, so the no-subscriber measurement must come first.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use phaselab_stats::{kmeans, KmeansConfig, Matrix};
+
+/// Points drawn around `centers` well-separated blob centers — the
+/// shape of the study's rescaled PCA space (same generator as the
+/// `stats_kernels` bench, so timings are comparable across benches).
+fn clustered_matrix(rows: usize, cols: usize, centers: usize, seed: u64) -> Matrix {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let center_rows: Vec<Vec<f64>> = (0..centers)
+        .map(|_| (0..cols).map(|_| next() * 10.0).collect())
+        .collect();
+    let rows: Vec<Vec<f64>> = (0..rows)
+        .map(|i| {
+            let c = &center_rows[i % centers];
+            c.iter()
+                .map(|&v| v + (next() + next() + next() - 1.5) * 0.4)
+                .collect()
+        })
+        .collect();
+    Matrix::from_rows(&rows)
+}
+
+/// Minimum wall time over `reps` runs: the least-disturbed measurement.
+fn min_wall_ms(reps: usize, data: &Matrix, cfg: &KmeansConfig) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(kmeans(black_box(data), cfg));
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn benches(c: &mut Criterion) {
+    let (rows, cols, k, restarts, iters, reps) = if c.is_quick() {
+        (1540, 20, 30, 1, 10, 2)
+    } else {
+        (15_400, 20, 300, 5, 40, 5)
+    };
+    let data = clustered_matrix(rows, cols, k, 7);
+    let cfg = KmeansConfig::new(k)
+        .with_restarts(restarts)
+        .with_max_iters(iters)
+        .with_seed(11);
+
+    // Warm-up (untimed), then the no-subscriber side. This must run
+    // before install(): there is no uninstall.
+    assert!(
+        phaselab_obs::registry().is_none(),
+        "obs must not be installed before the absent-side measurement"
+    );
+    black_box(kmeans(&data, &cfg));
+    let absent_ms = min_wall_ms(reps, &data, &cfg);
+
+    let reg = phaselab_obs::install();
+    black_box(kmeans(&data, &cfg));
+    let present_ms = min_wall_ms(reps, &data, &cfg);
+    assert!(
+        reg.counter_value("kmeans.restarts").unwrap_or(0) > 0,
+        "subscriber-present side must actually record metrics"
+    );
+
+    let overhead = (present_ms - absent_ms) / absent_ms * 100.0;
+    println!(
+        "obs_overhead/kmeans_{rows}x{cols}_k{k}  subscriber absent: {absent_ms:.1} ms  \
+         subscriber present: {present_ms:.1} ms  overhead: {overhead:+.2}%  (min of {reps})"
+    );
+}
+
+criterion_group!(obs_overhead, benches);
+criterion_main!(obs_overhead);

@@ -31,9 +31,13 @@
 //!   --k N                     clusters              (default: 300)
 //!   --seed N                  master seed           (default: 0)
 //!   --threads N               worker threads        (default: all cores)
+//!   --suites LIST             restrict the study to these suites (comma-separated)
+//!   --only LIST               restrict the study to these benchmark names
 //!   --checkpoint-dir DIR      persist/reuse study checkpoints in DIR
 //!   --resume                  resume from --checkpoint-dir (must exist)
 //!   --max-inst-per-bench N    quarantine benchmarks exceeding N instructions
+//!   --metrics-out PATH        write the run manifest (JSON) to PATH
+//!   --progress                throttled stage/progress lines on stderr
 //!   --verify-only             statically verify every registry program, run nothing
 //!   --help                    print usage and exit
 //! ```
@@ -57,6 +61,13 @@
 //! and k-means restart is persisted as it finishes; an interrupted run
 //! re-invoked with `--resume` reloads them and produces a bit-identical
 //! result.
+//!
+//! `--metrics-out` installs the `phaselab-obs` subscriber and writes
+//! one deterministic run manifest (counters, per-benchmark events,
+//! k-means pruning stats, GA telemetry, spans) after the run; see
+//! DESIGN.md §13. `--progress` prints a throttled stage/progress line
+//! to stderr. Both are off by default, leaving the output byte-for-byte
+//! what it was without them.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -65,16 +76,18 @@ use std::time::Instant;
 
 use phaselab_bench::write_artifact;
 use phaselab_core::{
-    coverage, diversity, format_table, run_study_resumable, uniqueness, CancelToken,
-    CheckpointStore, SamplingPolicy, StudyConfig, StudyError, StudyResult,
+    characterization_fingerprint, coverage, diversity, format_table, run_study_resumable,
+    run_study_with_resumable, uniqueness, CancelToken, CheckpointStore, SamplingPolicy,
+    StudyConfig, StudyError, StudyResult,
 };
 use phaselab_ga::{greedy_select, select_features, DistanceCorrelationFitness, GaConfig};
 use phaselab_mica::{feature_names, FeatureCategory, NUM_FEATURES};
+use phaselab_obs::Json;
 use phaselab_stats::{kmeans, KmeansConfig};
 use phaselab_viz::{
     ascii_bar_chart, ascii_curve, BarChart, KiviatAxisSpec, KiviatPlot, LineChart, PieChart,
 };
-use phaselab_workloads::Scale;
+use phaselab_workloads::{Scale, Suite};
 
 /// Exit code for usage errors (bad flags, bad values, unknown
 /// experiments): the caller got the invocation wrong.
@@ -192,13 +205,32 @@ options:
   --k N                     clusters              (default: 300)
   --seed N                  master seed           (default: 0)
   --threads N               worker threads        (default: all cores)
+  --suites LIST             restrict the study to these suites (comma-separated:
+                            int2000,fp2000,int2006,fp2006,BioPerf,BMW,MediaBenchII)
+  --only LIST               restrict the study to these benchmark names
+                            (comma-separated; names match across selected suites)
   --checkpoint-dir DIR      persist/reuse study checkpoints in DIR
   --resume                  resume from --checkpoint-dir (must exist)
   --max-inst-per-bench N    quarantine benchmarks exceeding N instructions
+  --metrics-out PATH        write the run manifest (JSON) to PATH
+  --progress                throttled stage/progress lines on stderr
   --verify-only             statically verify every registry program, run nothing
   --help                    print this help and exit
 
 exit codes: 0 success, 1 study/runtime error, 2 usage error, 130 interrupted";
+
+/// Everything `parse_args` extracts from the command line.
+struct Cli {
+    cfg: StudyConfig,
+    command: String,
+    checkpoint_dir: Option<std::path::PathBuf>,
+    /// `--only`: benchmark-name filter over the selected suites.
+    only: Vec<String>,
+    /// `--metrics-out`: run-manifest destination.
+    metrics_out: Option<std::path::PathBuf>,
+    /// `--progress`: throttled stderr stage/progress lines.
+    progress: bool,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -206,18 +238,18 @@ fn main() {
         println!("{USAGE}");
         return;
     }
-    let (cfg, command, checkpoint_dir) = match parse_args(&args) {
+    let cli = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("repro: {msg} (try `repro --help`)");
             std::process::exit(EXIT_USAGE);
         }
     };
-    if command == "--verify-only" {
-        std::process::exit(verify_only(cfg.scale));
+    if cli.command == "--verify-only" {
+        std::process::exit(verify_only(cli.cfg.scale));
     }
-    let store = match checkpoint_dir {
-        Some(dir) => match CheckpointStore::open(&dir) {
+    let store = match &cli.checkpoint_dir {
+        Some(dir) => match CheckpointStore::open(dir) {
             Ok(s) => Some(s),
             Err(e) => {
                 eprintln!("repro: cannot open checkpoint dir `{}`: {e}", dir.display());
@@ -226,10 +258,22 @@ fn main() {
         },
         None => None,
     };
+    if cli.metrics_out.is_some() || cli.progress {
+        phaselab_obs::install();
+    }
+    let progress_stop = cli.progress.then(spawn_progress_reporter);
     let token = CancelToken::new();
     install_interrupt_handler(&token);
-    match run_experiment(&cfg, &command, store.as_ref(), &token) {
-        Ok(()) => {}
+    let outcome = run_experiment(&cli.cfg, &cli.command, &cli.only, store.as_ref(), &token);
+    if let Some(stop) = progress_stop {
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    match outcome {
+        Ok(()) => {
+            if let Some(path) = &cli.metrics_out {
+                write_metrics_manifest(&cli.cfg, &cli.command, path);
+            }
+        }
         Err(StudyError::Cancelled) => {
             match &store {
                 Some(s) => eprintln!(
@@ -249,9 +293,85 @@ fn main() {
     }
 }
 
+/// Renders the run manifest and writes it to `path`. The config section
+/// deliberately excludes the thread count: everything outside the
+/// manifest's `timings` section is identical across thread counts.
+fn write_metrics_manifest(cfg: &StudyConfig, command: &str, path: &Path) {
+    let Some(reg) = phaselab_obs::registry() else {
+        return;
+    };
+    let config = vec![
+        ("experiment".to_string(), Json::Str(command.to_string())),
+        (
+            "fingerprint".to_string(),
+            Json::Str(format!("{:016x}", characterization_fingerprint(cfg))),
+        ),
+        (
+            "scale".to_string(),
+            Json::Str(format!("{:?}", cfg.scale).to_lowercase()),
+        ),
+        ("interval_len".to_string(), Json::U64(cfg.interval_len)),
+        (
+            "samples_per_benchmark".to_string(),
+            Json::U64(cfg.samples_per_benchmark as u64),
+        ),
+        ("k".to_string(), Json::U64(cfg.k as u64)),
+        ("seed".to_string(), Json::U64(cfg.seed)),
+    ];
+    let doc = phaselab_obs::manifest_json(reg, &config, true);
+    match std::fs::write(path, doc) {
+        Ok(()) => eprintln!("[repro] wrote metrics manifest {}", path.display()),
+        Err(e) => {
+            eprintln!(
+                "repro: cannot write metrics manifest `{}`: {e}",
+                path.display()
+            );
+            std::process::exit(EXIT_RUNTIME);
+        }
+    }
+}
+
+/// Spawns the `--progress` reporter: a detached thread that prints a
+/// stage/progress line to stderr whenever it changes (checked twice a
+/// second). Returns the flag that stops it.
+fn spawn_progress_reporter() -> std::sync::Arc<std::sync::atomic::AtomicBool> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let stop = std::sync::Arc::new(AtomicBool::new(false));
+    let stop_seen = std::sync::Arc::clone(&stop);
+    std::thread::spawn(move || {
+        let Some(reg) = phaselab_obs::registry() else {
+            return;
+        };
+        let started = Instant::now();
+        let mut last = String::new();
+        while !stop_seen.load(Ordering::SeqCst) {
+            std::thread::sleep(std::time::Duration::from_millis(500));
+            let stage = reg.stage();
+            if stage.is_empty() || stage == "done" {
+                continue;
+            }
+            let done = reg.counter_value("study.benchmarks.done").unwrap_or(0);
+            let total = reg.counter_value("study.benchmarks.total").unwrap_or(0);
+            let line = if stage == "characterize" && total > 0 && done > 0 {
+                let elapsed = started.elapsed().as_secs_f64();
+                let eta = elapsed * (total.saturating_sub(done)) as f64 / done as f64;
+                format!("[repro] progress: {stage} {done}/{total} benchmarks (eta {eta:.0}s)")
+            } else {
+                format!("[repro] progress: stage {stage}")
+            };
+            if line != last {
+                eprintln!("{line}");
+                last = line;
+            }
+        }
+    });
+    stop
+}
+
 fn run_experiment(
     cfg: &StudyConfig,
     command: &str,
+    only: &[String],
     store: Option<&CheckpointStore>,
     token: &CancelToken,
 ) -> Result<(), StudyError> {
@@ -263,7 +383,7 @@ fn run_experiment(
             cfg.scale, cfg.interval_len, cfg.samples_per_benchmark, cfg.k
         );
         let t = Instant::now();
-        let r = run_study_resumable(cfg, store, Some(token))?;
+        let r = run_filtered_study(cfg, only, store, token)?;
         eprintln!(
             "[repro] study done in {:.1}s: {} benchmarks, {} sampled intervals, {} PCs ({:.1}% var), {} prominent phases covering {:.1}%",
             t.elapsed().as_secs_f64(),
@@ -275,6 +395,9 @@ fn run_experiment(
             r.prominent_coverage * 100.0
         );
         warn_quarantined(&r.quarantined);
+        if let Some(budget) = cfg.max_inst_per_bench {
+            warn_near_budget(&r, budget);
+        }
         Some(r)
     };
 
@@ -294,8 +417,8 @@ fn run_experiment(
         "drift" => drift(study.as_ref().unwrap()),
         "similarity" => similarity(study.as_ref().unwrap()),
         "ablation-k" => ablation_k(study.as_ref().unwrap()),
-        "ablation-interval" => ablation_interval(study.as_ref().unwrap(), cfg, store, token)?,
-        "ablation-sampling" => ablation_sampling(study.as_ref().unwrap(), cfg, store, token)?,
+        "ablation-interval" => ablation_interval(study.as_ref().unwrap(), cfg, only, store, token)?,
+        "ablation-sampling" => ablation_sampling(study.as_ref().unwrap(), cfg, only, store, token)?,
         "all" => {
             let r = study.as_ref().unwrap();
             table1();
@@ -313,8 +436,8 @@ fn run_experiment(
             drift(r);
             similarity(r);
             ablation_k(r);
-            ablation_interval(r, cfg, store, token)?;
-            ablation_sampling(r, cfg, store, token)?;
+            ablation_interval(r, cfg, only, store, token)?;
+            ablation_sampling(r, cfg, only, store, token)?;
         }
         other => unreachable!("experiment `{other}` validated at parse time"),
     }
@@ -359,12 +482,71 @@ fn warn_quarantined(quarantined: &[phaselab_core::QuarantinedBenchmark]) {
     }
 }
 
-fn parse_args(
-    args: &[String],
-) -> Result<(StudyConfig, String, Option<std::path::PathBuf>), String> {
+/// Runs the study over the configured suites, further restricted to the
+/// `--only` benchmark names when given. With an empty filter this is
+/// exactly [`run_study_resumable`]; with a filter it applies the same
+/// suite selection before the name match, so `--only` composes with
+/// `--suites`.
+fn run_filtered_study(
+    cfg: &StudyConfig,
+    only: &[String],
+    store: Option<&CheckpointStore>,
+    token: &CancelToken,
+) -> Result<StudyResult, StudyError> {
+    if only.is_empty() {
+        return run_study_resumable(cfg, store, Some(token));
+    }
+    let benches: Vec<phaselab_workloads::Benchmark> = phaselab_workloads::catalog()
+        .into_iter()
+        .filter(|b| {
+            cfg.suites
+                .as_ref()
+                .is_none_or(|suites| suites.contains(&b.suite()))
+        })
+        .filter(|b| only.iter().any(|name| name == b.name()))
+        .collect();
+    run_study_with_resumable(cfg, &benches, store, Some(token))
+}
+
+/// With the watchdog armed, reports the top-3 benchmarks closest to the
+/// instruction budget, so near-runaway workloads are visible before
+/// they quarantine. Ties break by name for a stable line.
+fn warn_near_budget(r: &StudyResult, budget: u64) {
+    let mut rows: Vec<(f64, String)> = r
+        .benchmarks
+        .iter()
+        .map(|b| {
+            (
+                b.total_instructions as f64 / budget as f64,
+                format!("{} [{}]", b.name, b.suite.short_name()),
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("finite budget fractions")
+            .then_with(|| a.1.cmp(&b.1))
+    });
+    let top: Vec<String> = rows
+        .iter()
+        .take(3)
+        .map(|(frac, name)| format!("{name} {:.1}%", frac * 100.0))
+        .collect();
+    if !top.is_empty() {
+        eprintln!(
+            "[repro] watchdog: closest to the {budget}-instruction budget: {}",
+            top.join(", ")
+        );
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cfg = StudyConfig::paper_scaled();
     let mut command: Option<String> = None;
     let mut checkpoint_dir: Option<std::path::PathBuf> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut metrics_out: Option<std::path::PathBuf> = None;
+    let mut progress = false;
     let mut resume = false;
     let mut i = 0;
     let value = |args: &[String], i: usize| -> Result<String, String> {
@@ -419,6 +601,51 @@ fn parse_args(
                 i += 1;
                 checkpoint_dir = Some(std::path::PathBuf::from(v));
             }
+            "--suites" => {
+                let v = value(args, i)?;
+                i += 1;
+                let mut suites = Vec::new();
+                for name in v.split(',').filter(|s| !s.is_empty()) {
+                    let suite = Suite::ALL
+                        .into_iter()
+                        .find(|s| s.short_name().eq_ignore_ascii_case(name))
+                        .ok_or_else(|| {
+                            format!(
+                                "unknown suite `{name}` (expected int2000|fp2000|int2006|fp2006|BioPerf|BMW|MediaBenchII)"
+                            )
+                        })?;
+                    if !suites.contains(&suite) {
+                        suites.push(suite);
+                    }
+                }
+                if suites.is_empty() {
+                    return Err("empty suite list for `--suites`".to_string());
+                }
+                cfg.suites = Some(suites);
+            }
+            "--only" => {
+                let v = value(args, i)?;
+                i += 1;
+                let catalog = phaselab_workloads::catalog();
+                for name in v.split(',').filter(|s| !s.is_empty()) {
+                    if !catalog.iter().any(|b| b.name() == name) {
+                        return Err(format!("unknown benchmark `{name}` for `--only`"));
+                    }
+                    let owned = name.to_string();
+                    if !only.contains(&owned) {
+                        only.push(owned);
+                    }
+                }
+                if only.is_empty() {
+                    return Err("empty benchmark list for `--only`".to_string());
+                }
+            }
+            "--metrics-out" => {
+                let v = value(args, i)?;
+                i += 1;
+                metrics_out = Some(std::path::PathBuf::from(v));
+            }
+            "--progress" => progress = true,
             "--resume" => resume = true,
             // Occupies the experiment slot: the lint mode runs instead
             // of (never alongside) an experiment.
@@ -469,11 +696,14 @@ fn parse_args(
             ));
         }
     }
-    Ok((
+    Ok(Cli {
         cfg,
-        command.unwrap_or_else(|| "all".to_string()),
+        command: command.unwrap_or_else(|| "all".to_string()),
         checkpoint_dir,
-    ))
+        only,
+        metrics_out,
+        progress,
+    })
 }
 
 /// Table 1: the characteristic categories and counts.
@@ -1332,6 +1562,7 @@ fn ablation_k(r: &StudyResult) {
 fn ablation_interval(
     r: &StudyResult,
     cfg: &StudyConfig,
+    only: &[String],
     store: Option<&CheckpointStore>,
     token: &CancelToken,
 ) -> Result<(), StudyError> {
@@ -1349,7 +1580,7 @@ fn ablation_interval(
         } else {
             let mut c = cfg.clone();
             c.interval_len = interval;
-            result = run_study_resumable(&c, store, Some(token))?;
+            result = run_filtered_study(&c, only, store, token)?;
             &result
         };
         let uniq = uniqueness(res);
@@ -1386,13 +1617,14 @@ fn ablation_interval(
 fn ablation_sampling(
     r: &StudyResult,
     cfg: &StudyConfig,
+    only: &[String],
     store: Option<&CheckpointStore>,
     token: &CancelToken,
 ) -> Result<(), StudyError> {
     println!("\n== Ablation: equal-weight vs proportional sampling (§2.4) ==\n");
     let mut c = cfg.clone();
     c.sampling = SamplingPolicy::Proportional;
-    let prop = run_study_resumable(&c, store, Some(token))?;
+    let prop = run_filtered_study(&c, only, store, token)?;
 
     let mut rows = Vec::new();
     let equal_cov = coverage(r);

@@ -192,3 +192,85 @@ fn non_numeric_bench_budget_is_a_usage_error() {
         "{line}"
     );
 }
+
+#[test]
+fn unknown_suite_is_a_usage_error() {
+    let out = repro(&["--suites", "spec2017", "table3"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(line.contains("unknown suite `spec2017`"), "{line}");
+}
+
+#[test]
+fn unknown_only_benchmark_is_a_usage_error() {
+    let out = repro(&["--only", "face,nosuchbench", "table3"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(
+        line.contains("unknown benchmark `nosuchbench` for `--only`"),
+        "{line}"
+    );
+}
+
+#[test]
+fn missing_metrics_out_value_is_a_usage_error() {
+    let out = repro(&["--metrics-out"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(line.contains("missing value for `--metrics-out`"), "{line}");
+}
+
+#[test]
+fn help_lists_the_observability_flags() {
+    let out = repro(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["--metrics-out", "--progress", "--suites", "--only"] {
+        assert!(text.contains(needle), "help missing `{needle}`");
+    }
+}
+
+#[test]
+fn metrics_out_writes_a_manifest_for_a_tiny_run() {
+    let dir = std::env::temp_dir().join(format!("phaselab-metrics-out-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = dir.join("manifest.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "--scale",
+            "tiny",
+            "--interval",
+            "20000",
+            "--samples",
+            "8",
+            "--k",
+            "12",
+            "--only",
+            "face,finger,jpeg",
+            "--metrics-out",
+            manifest.to_str().unwrap(),
+            "table3",
+        ])
+        .env("PHASELAB_OUT", &dir)
+        .output()
+        .expect("spawn repro");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&manifest).expect("manifest written");
+    assert!(text.starts_with("{\n  \"schema\": 1,"), "{text}");
+    for needle in [
+        "\"config\":",
+        "\"experiment\": \"table3\"",
+        "\"counters\":",
+        "\"study.benchmarks.total\": 3",
+        "\"timings\":",
+    ] {
+        assert!(text.contains(needle), "manifest missing `{needle}`");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -127,6 +127,15 @@ pub fn characterize_benchmark_watched(
     let mut per_input = Vec::with_capacity(bench.num_inputs());
     let mut total_instructions = 0;
     let mut budget_left = cfg.max_inst_per_bench;
+    // Counter handles fetched once per benchmark so the per-slice cost
+    // is two atomic adds; `None` without a subscriber.
+    let vm_counters = phaselab_obs::registry().map(|reg| {
+        use phaselab_obs::Class::Structural;
+        (
+            reg.counter("vm.instructions", Structural),
+            reg.counter("vm.slices", Structural),
+        )
+    });
     for input in 0..bench.num_inputs() {
         if cancel.is_some_and(CancelToken::is_cancelled) {
             return Err(BenchFailure::Cancelled);
@@ -160,6 +169,10 @@ pub fn characterize_benchmark_watched(
                 .run(&mut chr, slice)
                 .map_err(|e| quarantine(input, QuarantineCause::Fault(e)))?;
             executed += outcome.instructions;
+            if let Some((inst, slices)) = &vm_counters {
+                inst.add(outcome.instructions);
+                slices.inc();
+            }
             if let Some(b) = &mut budget_left {
                 *b -= outcome.instructions;
             }

@@ -805,6 +805,7 @@ impl CheckpointStore {
             fs::rename(&tmp, path)
         })();
         if let Err(e) = result {
+            phaselab_obs::counter_add("checkpoint.write_errors", phaselab_obs::Class::Timing, 1);
             eprintln!(
                 "[phaselab] warning: could not write checkpoint {}: {e}",
                 path.display()
@@ -893,6 +894,7 @@ impl CheckpointStore {
 }
 
 fn warn_skip(path: &Path, err: &CheckpointError) {
+    phaselab_obs::counter_add("checkpoint.invalid", phaselab_obs::Class::Timing, 1);
     eprintln!(
         "[phaselab] warning: ignoring checkpoint {}: {err}",
         path.display()

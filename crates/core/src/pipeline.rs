@@ -270,11 +270,22 @@ pub fn run_study_with_resumable(
         &own_token
     };
 
+    let _study_span = phaselab_obs::span!("study");
+    phaselab_obs::counter_add(
+        "study.benchmarks.total",
+        phaselab_obs::Class::Structural,
+        benches.len() as u64,
+    );
+
     // Step 1: characterize all benchmarks (in parallel), reloading any
     // checkpointed outcome and persisting fresh ones. Results come back
     // keyed by benchmark index, so the survivor/quarantine split is
     // identical for every thread count and for resumed vs. fresh runs.
-    let outcomes = characterize_all(benches, cfg, store, token)?;
+    phaselab_obs::set_stage("characterize");
+    let outcomes = {
+        let _span = phaselab_obs::span!("characterize");
+        characterize_all(benches, cfg, store, token)?
+    };
     let mut quarantined = Vec::new();
     let mut survivors: Vec<(&Benchmark, BenchCharacterization)> = Vec::with_capacity(benches.len());
     for (bench, outcome) in benches.iter().zip(outcomes) {
@@ -285,6 +296,21 @@ pub fn run_study_with_resumable(
     }
     if survivors.is_empty() {
         return Err(StudyError::Characterization { quarantined });
+    }
+    if phaselab_obs::enabled() {
+        use phaselab_obs::Class::Structural;
+        phaselab_obs::counter_add(
+            "study.benchmarks.characterized",
+            Structural,
+            survivors.len() as u64,
+        );
+        phaselab_obs::counter_add(
+            "study.benchmarks.quarantined",
+            Structural,
+            quarantined.len() as u64,
+        );
+        let total_inst: u64 = survivors.iter().map(|(_, c)| c.total_instructions).sum();
+        phaselab_obs::counter_add("study.instructions", Structural, total_inst);
     }
 
     let benchmarks: Vec<BenchmarkRun> = survivors
@@ -307,19 +333,28 @@ pub fn run_study_with_resumable(
     // Step 2: equal-weight interval sampling. Benchmark indices are
     // compacted over the survivors, so a study with a quarantined
     // benchmark draws exactly as a study never given it.
+    phaselab_obs::set_stage("sample");
     let available: Vec<Vec<usize>> = benchmarks
         .iter()
         .map(|b| b.intervals_per_input.clone())
         .collect();
-    let sampled = sample_with_policy(
-        &available,
-        cfg.samples_per_benchmark,
-        cfg.sampling,
-        cfg.seed,
-    );
+    let sampled = {
+        let _span = phaselab_obs::span!("sample");
+        sample_with_policy(
+            &available,
+            cfg.samples_per_benchmark,
+            cfg.sampling,
+            cfg.seed,
+        )
+    };
     if sampled.is_empty() {
         return Err(AnalysisError::NoIntervalsSampled.into());
     }
+    phaselab_obs::gauge_set(
+        "sampling.rows",
+        phaselab_obs::Class::Structural,
+        sampled.len() as f64,
+    );
 
     let mut rows = Vec::with_capacity(sampled.len());
     for s in &sampled {
@@ -332,25 +367,46 @@ pub fn run_study_with_resumable(
     let features = Matrix::from_rows(&rows);
 
     // Step 3: normalize -> PCA (retain sd > threshold) -> normalize.
-    let (normed, feature_norm) = normalize_columns(&features);
-    let pca = Pca::fit(&normed);
-    let pcs_retained = pca.count_above(cfg.pca_sd_threshold).max(1);
-    let variance_explained = pca.cumulative_explained(pcs_retained);
-    let scores = pca.transform(&normed, pcs_retained);
-    let (space, score_norm) = normalize_columns(&scores);
+    phaselab_obs::set_stage("pca");
+    let (pca, pcs_retained, variance_explained, space, score_norm, feature_norm) = {
+        let _span = phaselab_obs::span!("pca");
+        let (normed, feature_norm) = normalize_columns(&features);
+        let pca = Pca::fit(&normed);
+        let pcs_retained = pca.count_above(cfg.pca_sd_threshold).max(1);
+        let variance_explained = pca.cumulative_explained(pcs_retained);
+        let scores = pca.transform(&normed, pcs_retained);
+        let (space, score_norm) = normalize_columns(&scores);
+        (
+            pca,
+            pcs_retained,
+            variance_explained,
+            space,
+            score_norm,
+            feature_norm,
+        )
+    };
+    if phaselab_obs::enabled() {
+        use phaselab_obs::Class::Structural;
+        phaselab_obs::gauge_set("pca.pcs_retained", Structural, pcs_retained as f64);
+        phaselab_obs::gauge_set("pca.variance_explained", Structural, variance_explained);
+    }
 
     // Step 4: k-means with BIC-scored restarts; rank clusters by weight.
     // Each completed restart is checkpointed and reloadable.
     if token.is_cancelled() {
         return Err(StudyError::Cancelled);
     }
+    phaselab_obs::set_stage("kmeans");
     let k = cfg.k.min(space.rows());
     let kcfg = KmeansConfig::new(k)
         .with_restarts(cfg.kmeans_restarts)
         .with_max_iters(cfg.kmeans_max_iters)
         .with_seed(cfg.seed ^ 0xC1u64)
         .with_threads(cfg.threads);
-    let clustering = cluster_resumable(&space, &kcfg, store, token)?;
+    let clustering = {
+        let _span = phaselab_obs::span!("kmeans");
+        cluster_resumable(&space, &kcfg, store, token)?
+    };
 
     let (prominent, prominent_coverage) =
         prominent_phases(&clustering, &space, &sampled, &benchmarks, cfg);
@@ -360,6 +416,8 @@ pub fn run_study_with_resumable(
     if token.is_cancelled() {
         return Err(StudyError::Cancelled);
     }
+    phaselab_obs::set_stage("ga");
+    let ga_span = phaselab_obs::span!("ga");
     let rep_rows: Vec<usize> = prominent.iter().map(|p| p.representative_row).collect();
     let (key_characteristics, ga_fitness) = if rep_rows.len() >= 3 {
         let rep_matrix = features.select_rows(&rep_rows);
@@ -376,6 +434,8 @@ pub fn run_study_with_resumable(
         // Degenerate smoke studies: fall back to the first features.
         ((0..cfg.n_key_characteristics).collect(), 0.0)
     };
+    drop(ga_span);
+    phaselab_obs::set_stage("done");
 
     Ok(StudyResult {
         config: cfg.clone(),
@@ -414,13 +474,25 @@ fn characterize_all(
     let threads = effective_threads(cfg.threads);
     let fingerprint = characterization_fingerprint(cfg);
     let outcomes = parallel_map_cancellable(benches, threads, token, |b| {
+        use phaselab_obs::Class::Structural;
+        let obs_on = phaselab_obs::enabled();
         if let Some(s) = store {
             if let Some(o) = s.load_benchmark(fingerprint, b.suite(), b.name()) {
                 if outcome_matches(&o, b) {
+                    if obs_on {
+                        let scope = format!("{}/{}", b.suite().short_name(), b.name());
+                        phaselab_obs::counter_add("checkpoint.bench.hits", Structural, 1);
+                        phaselab_obs::event(&scope, "checkpoint-hit");
+                        record_outcome_obs(&scope, &o, cfg);
+                        phaselab_obs::counter_add("study.benchmarks.done", Structural, 1);
+                    }
                     return Ok(o);
                 }
             }
+            phaselab_obs::counter_add("checkpoint.bench.misses", Structural, 1);
         }
+        let _span = phaselab_obs::span!("characterize.bench");
+        let started = obs_on.then(std::time::Instant::now);
         let outcome = match characterize_benchmark_watched(b, cfg, Some(token)) {
             Ok(c) => BenchOutcome::Characterized(c),
             Err(BenchFailure::Quarantined(q)) => BenchOutcome::Quarantined(q),
@@ -429,6 +501,22 @@ fn characterize_all(
         if let Some(s) = store {
             s.store_benchmark(fingerprint, b.suite(), b.name(), &outcome);
         }
+        if let Some(t0) = started {
+            let scope = format!("{}/{}", b.suite().short_name(), b.name());
+            phaselab_obs::gauge_set(
+                &format!("bench.time_ms[{scope}]"),
+                phaselab_obs::Class::Timing,
+                t0.elapsed().as_secs_f64() * 1e3,
+            );
+            match &outcome {
+                BenchOutcome::Characterized(_) => phaselab_obs::event(&scope, "characterized"),
+                BenchOutcome::Quarantined(q) => {
+                    phaselab_obs::event(&scope, &format!("quarantined: {}", q.cause));
+                }
+            }
+            record_outcome_obs(&scope, &outcome, cfg);
+            phaselab_obs::counter_add("study.benchmarks.done", Structural, 1);
+        }
         Ok(outcome)
     })
     .map_err(|_| StudyError::Cancelled)?;
@@ -436,6 +524,40 @@ fn characterize_all(
         .into_iter()
         .collect::<Result<Vec<_>, ()>>()
         .map_err(|()| StudyError::Cancelled)
+}
+
+/// Publishes one benchmark outcome's structural metrics: instruction
+/// counts (gauge + histogram) and, when the watchdog budget is armed,
+/// the fraction of the budget consumed. Runaway quarantines consumed
+/// the whole budget by definition.
+fn record_outcome_obs(scope: &str, outcome: &BenchOutcome, cfg: &StudyConfig) {
+    use phaselab_obs::Class::Structural;
+    match outcome {
+        BenchOutcome::Characterized(c) => {
+            phaselab_obs::gauge_set(
+                &format!("bench.instructions[{scope}]"),
+                Structural,
+                c.total_instructions as f64,
+            );
+            phaselab_obs::histogram_record("bench.instructions", Structural, c.total_instructions);
+            if let Some(budget) = cfg.max_inst_per_bench {
+                phaselab_obs::gauge_set(
+                    &format!("bench.budget_used_frac[{scope}]"),
+                    Structural,
+                    c.total_instructions as f64 / budget as f64,
+                );
+            }
+        }
+        BenchOutcome::Quarantined(q) => {
+            if q.is_runaway() && cfg.max_inst_per_bench.is_some() {
+                phaselab_obs::gauge_set(
+                    &format!("bench.budget_used_frac[{scope}]"),
+                    Structural,
+                    1.0,
+                );
+            }
+        }
+    }
 }
 
 /// Whether a loaded checkpoint plausibly belongs to this benchmark.
@@ -468,12 +590,15 @@ fn cluster_resumable(
     let fingerprint = store.map(|_| clustering_fingerprint(kcfg, space));
     let indices: Vec<usize> = (0..restarts).collect();
     let candidates = parallel_map_cancellable(&indices, outer, token, |&r| {
+        use phaselab_obs::Class::Structural;
         if let (Some(s), Some(fp)) = (store, fingerprint) {
             if let Some(c) = s.load_clustering(fp, r) {
                 if c.assignments.len() == space.rows() && c.centroids.rows() == kcfg.k {
+                    phaselab_obs::counter_add("checkpoint.clustering.hits", Structural, 1);
                     return c;
                 }
             }
+            phaselab_obs::counter_add("checkpoint.clustering.misses", Structural, 1);
         }
         let c = kmeans_restart(space, kcfg, r, inner);
         if let (Some(s), Some(fp)) = (store, fingerprint) {

@@ -186,6 +186,7 @@ pub fn select_features(
         "degenerate GA configuration"
     );
 
+    let _span = phaselab_obs::span!("ga.select");
     let threads = effective_threads(cfg.threads);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut evaluations = 0usize;
@@ -283,12 +284,29 @@ pub fn select_features(
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fitness"))
             .cloned()
             .expect("non-empty populations");
+        if phaselab_obs::enabled() {
+            use phaselab_obs::Class::Structural;
+            // The sequential sum over populations in breeding order is a
+            // fixed reduction order, so the mean is Structural-class.
+            let (sum, count) = pops
+                .iter()
+                .flatten()
+                .fold((0.0f64, 0u64), |(s, c), (_, f)| (s + f, c + 1));
+            phaselab_obs::series_push("ga.best_fitness", Structural, gen_best.1);
+            phaselab_obs::series_push("ga.mean_fitness", Structural, sum / count as f64);
+        }
         if gen_best.1 > best.1 + 1e-12 {
             best = gen_best;
             stale = 0;
         } else {
             stale += 1;
         }
+    }
+
+    if phaselab_obs::enabled() {
+        use phaselab_obs::Class::Structural;
+        phaselab_obs::counter_add("ga.generations", Structural, generation as u64);
+        phaselab_obs::counter_add("ga.evaluations", Structural, evaluations as u64);
     }
 
     GaResult {

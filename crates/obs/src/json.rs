@@ -1,0 +1,166 @@
+//! A minimal, deterministic JSON value type and pretty-printer.
+//!
+//! The run manifest must be byte-identical given identical recorded
+//! state, so this module avoids anything platform- or locale-dependent:
+//! object keys keep the insertion order chosen by the builder, floats
+//! are rendered through Rust's `Display` for `f64` (shortest exact
+//! round-trip form, never exponent notation for the magnitudes we
+//! produce), and non-finite floats degrade to `null`.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve the key order they were built with;
+/// builders are expected to insert keys in a deterministic order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// The JSON `null` literal. Also the rendering of non-finite floats.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer, rendered without a fractional part.
+    U64(u64),
+    /// A double. `NaN` and infinities render as `null`.
+    F64(f64),
+    /// A string, escaped per RFC 8259 on render.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered list of `(key, value)` pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object entry list.
+    pub fn obj(entries: Vec<(String, Json)>) -> Json {
+        Json::Obj(entries)
+    }
+
+    /// Renders the value as pretty-printed JSON with two-space
+    /// indentation and a trailing newline.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(v) => write_f64(out, *v),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_string(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.render_pretty(), "null\n");
+        assert_eq!(Json::Bool(true).render_pretty(), "true\n");
+        assert_eq!(Json::U64(42).render_pretty(), "42\n");
+        assert_eq!(Json::F64(1.5).render_pretty(), "1.5\n");
+        // Integral floats render without a fraction; this is still
+        // valid JSON and deterministic, which is what we need.
+        assert_eq!(Json::F64(3.0).render_pretty(), "3\n");
+        assert_eq!(Json::F64(f64::NAN).render_pretty(), "null\n");
+        assert_eq!(Json::F64(f64::INFINITY).render_pretty(), "null\n");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd\u{1}".into()).render_pretty(),
+            "\"a\\\"b\\\\c\\nd\\u0001\"\n"
+        );
+    }
+
+    #[test]
+    fn renders_nested_structure() {
+        let doc = Json::Obj(vec![
+            ("empty".into(), Json::Obj(vec![])),
+            ("list".into(), Json::Arr(vec![Json::U64(1), Json::U64(2)])),
+        ]);
+        assert_eq!(
+            doc.render_pretty(),
+            "{\n  \"empty\": {},\n  \"list\": [\n    1,\n    2\n  ]\n}\n"
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! `phaselab-obs`: zero-dependency metrics, span tracing, and
+//! run-manifest export for the phaselab pipeline.
+//!
+//! The crate is built around one process-wide [`Registry`] behind a
+//! `OnceLock`, guarded by a fast-path atomic flag: until [`install`]
+//! is called, every instrumentation entry point reduces to one relaxed
+//! atomic load and a branch, so instrumented code costs near-nothing
+//! in the default (no subscriber) configuration.
+//!
+//! Three recording surfaces:
+//!
+//! * **Metrics** — named [`Counter`]s, [`Gauge`]s, and log-bucketed
+//!   [`Histogram`]s with lock-free increments, plus append-only `f64`
+//!   series and per-scope event logs.
+//! * **Spans** — RAII [`SpanGuard`]s on thread-local stacks (see the
+//!   [`span!`] macro) aggregating call counts, total, and self time
+//!   per `parent/child` path across threads.
+//! * **Manifest** — [`manifest_json`] serializes everything into one
+//!   deterministic JSON document whose structural part is bit-identical
+//!   across thread counts; all wall-clock data lives under the
+//!   trailing `timings` key (see [`structural_prefix`]).
+//!
+//! Example:
+//!
+//! ```
+//! phaselab_obs::install();
+//! {
+//!     let _span = phaselab_obs::span!("demo");
+//!     phaselab_obs::counter_add("demo.items", phaselab_obs::Class::Structural, 3);
+//! }
+//! let reg = phaselab_obs::registry().expect("installed");
+//! assert_eq!(reg.counter_value("demo.items"), Some(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod manifest;
+mod registry;
+mod span;
+
+pub use json::Json;
+pub use manifest::{manifest, manifest_json, structural_prefix};
+pub use registry::{
+    bucket_index, bucket_lower_bound, peak_rss_kb, Class, Counter, Gauge, Histogram,
+    HistogramSnapshot, Registry, SpanAgg, HISTOGRAM_BUCKETS,
+};
+pub use span::SpanGuard;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// Installs the process-wide registry (idempotent) and enables all
+/// instrumentation. Returns the registry.
+pub fn install() -> &'static Registry {
+    let reg = REGISTRY.get_or_init(Registry::new);
+    ENABLED.store(true, Ordering::Release);
+    reg
+}
+
+/// Returns `true` once a subscriber is installed. This is the fast
+/// path every instrumentation site checks first.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Returns the installed registry, or `None` when no subscriber is
+/// installed.
+#[inline]
+pub fn registry() -> Option<&'static Registry> {
+    if enabled() {
+        REGISTRY.get()
+    } else {
+        None
+    }
+}
+
+/// Adds `n` to the named counter. No-op without a subscriber. Hot
+/// loops should accumulate locally and flush once, or hold a
+/// [`Counter`] handle, rather than calling this per iteration.
+#[inline]
+pub fn counter_add(name: &str, class: Class, n: u64) {
+    if let Some(reg) = registry() {
+        reg.counter(name, class).add(n);
+    }
+}
+
+/// Sets the named gauge. No-op without a subscriber.
+#[inline]
+pub fn gauge_set(name: &str, class: Class, v: f64) {
+    if let Some(reg) = registry() {
+        reg.gauge(name, class).set(v);
+    }
+}
+
+/// Records one sample into the named histogram. No-op without a
+/// subscriber.
+#[inline]
+pub fn histogram_record(name: &str, class: Class, v: u64) {
+    if let Some(reg) = registry() {
+        reg.histogram(name, class).record(v);
+    }
+}
+
+/// Appends `v` to the named series. No-op without a subscriber.
+#[inline]
+pub fn series_push(name: &str, class: Class, v: f64) {
+    if let Some(reg) = registry() {
+        reg.series_push(name, class, v);
+    }
+}
+
+/// Records an event under `scope` (callers should gate any `format!`
+/// for `what` behind [`enabled`]). No-op without a subscriber.
+#[inline]
+pub fn event(scope: &str, what: &str) {
+    if let Some(reg) = registry() {
+        reg.event(scope, what);
+    }
+}
+
+/// Marks the start of a pipeline stage (see [`Registry::set_stage`]).
+/// No-op without a subscriber.
+#[inline]
+pub fn set_stage(name: &str) {
+    if let Some(reg) = registry() {
+        reg.set_stage(name);
+    }
+}
+
+/// Opens a timing span: `span!("name")` or `span!("name", index)` for
+/// an indexed label like `kmeans.restart[03]`. Bind the result to a
+/// variable (`let _span = span!(...)`); the span ends when it drops.
+/// Without a subscriber this is one atomic load.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+    ($name:expr, $index:expr) => {
+        $crate::SpanGuard::enter_indexed($name, $index)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// The global registry is process-wide state, so the entire
+    /// enable/install/span/reset lifecycle lives in one test: the
+    /// pre-install assertions must run before any `install()`.
+    #[test]
+    fn global_lifecycle() {
+        // Before install: everything is a no-op.
+        assert!(!enabled());
+        assert!(registry().is_none());
+        counter_add("pre.install", Class::Structural, 1);
+        let inert = span!("pre.install");
+        drop(inert);
+
+        let reg = install();
+        assert!(enabled());
+        assert!(std::ptr::eq(reg, install()), "install is idempotent");
+        assert_eq!(reg.counter_value("pre.install"), None);
+
+        counter_add("post.install", Class::Structural, 2);
+        assert_eq!(reg.counter_value("post.install"), Some(2));
+
+        // Nested spans: child time is subtracted from parent self time
+        // and paths join with '/'.
+        {
+            let _outer = span!("outer");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = span!("inner", 3);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        reg.with_inner(|snap| {
+            let outer = snap.spans.get("outer").expect("outer span");
+            let inner = snap.spans.get("outer/inner[03]").expect("inner span");
+            assert_eq!(outer.count, 1);
+            assert_eq!(inner.count, 1);
+            assert!(outer.total >= inner.total);
+            assert!(
+                outer.self_time
+                    <= outer.total.saturating_sub(inner.total) + Duration::from_millis(1),
+                "inner time must be charged to the parent's child bucket"
+            );
+        });
+
+        // Spans on another thread start their own root path but merge
+        // into the same registry.
+        std::thread::spawn(|| {
+            let _worker = span!("outer");
+        })
+        .join()
+        .unwrap();
+        reg.with_inner(|snap| {
+            assert_eq!(snap.spans.get("outer").expect("merged").count, 2);
+        });
+
+        reg.reset();
+        assert_eq!(reg.counter_value("post.install"), None);
+        assert!(enabled(), "reset clears data, not the installation");
+    }
+}

@@ -1,0 +1,206 @@
+//! Run-manifest export: one deterministic JSON document per study run.
+//!
+//! The manifest splits into a *structural* part and a trailing
+//! `timings` object. The structural part contains only
+//! [`Class::Structural`] metrics plus events and series: for a fixed
+//! config and seed it is byte-identical across thread counts, which is
+//! what the golden tests compare. The `timings` object holds
+//! everything wall-clock or scheduling dependent (spans, per-thread
+//! tallies, RSS) and is always rendered as the **last** top-level key,
+//! so consumers can compare the structural prefix by truncating the
+//! document at `"timings"`.
+
+use crate::json::Json;
+use crate::registry::{Class, Registry};
+
+/// Builds the manifest document. `config` entries are emitted in the
+/// order given (callers must keep that order deterministic and must
+/// not include scheduling-dependent values such as the thread count).
+/// With `include_timings` false the `timings` key is omitted entirely.
+pub fn manifest(reg: &Registry, config: &[(String, Json)], include_timings: bool) -> Json {
+    reg.with_inner(|snap| {
+        let mut doc: Vec<(String, Json)> = vec![
+            ("schema".into(), Json::U64(1)),
+            ("config".into(), Json::Obj(config.to_vec())),
+        ];
+
+        let counters = snap
+            .counters
+            .iter()
+            .filter(|(_, (class, _))| *class == Class::Structural)
+            .map(|(name, (_, v))| (name.clone(), Json::U64(*v)))
+            .collect();
+        doc.push(("counters".into(), Json::Obj(counters)));
+
+        let gauges = snap
+            .gauges
+            .iter()
+            .filter(|(_, (class, _))| *class == Class::Structural)
+            .map(|(name, (_, v))| (name.clone(), Json::F64(*v)))
+            .collect();
+        doc.push(("gauges".into(), Json::Obj(gauges)));
+
+        let histograms = snap
+            .histograms
+            .iter()
+            .filter(|(_, (class, _))| *class == Class::Structural)
+            .map(|(name, (_, h))| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .map(|(i, n)| (i.to_string(), Json::U64(*n)))
+                    .collect();
+                let entry = Json::Obj(vec![
+                    ("count".into(), Json::U64(h.count)),
+                    ("sum".into(), Json::U64(h.sum)),
+                    ("buckets".into(), Json::Obj(buckets)),
+                ]);
+                (name.clone(), entry)
+            })
+            .collect();
+        doc.push(("histograms".into(), Json::Obj(histograms)));
+
+        let series = snap
+            .series
+            .iter()
+            .filter(|(_, (class, _))| *class == Class::Structural)
+            .map(|(name, (_, values))| {
+                (
+                    name.clone(),
+                    Json::Arr(values.iter().map(|v| Json::F64(*v)).collect()),
+                )
+            })
+            .collect();
+        doc.push(("series".into(), Json::Obj(series)));
+
+        let events = snap
+            .events
+            .iter()
+            .map(|(scope, entries)| {
+                (
+                    scope.clone(),
+                    Json::Arr(entries.iter().map(|e| Json::Str(e.clone())).collect()),
+                )
+            })
+            .collect();
+        doc.push(("events".into(), Json::Obj(events)));
+
+        if include_timings {
+            let mut timings: Vec<(String, Json)> = vec![
+                ("stage".into(), Json::Str(snap.stage.clone())),
+                (
+                    "peak_rss_kb".into(),
+                    Json::U64(crate::registry::peak_rss_kb()),
+                ),
+                (
+                    "stage_rss_kb".into(),
+                    Json::Obj(
+                        snap.stage_rss
+                            .iter()
+                            .map(|(stage, kb)| (stage.clone(), Json::U64(*kb)))
+                            .collect(),
+                    ),
+                ),
+            ];
+            let t_counters = snap
+                .counters
+                .iter()
+                .filter(|(_, (class, _))| *class == Class::Timing)
+                .map(|(name, (_, v))| (name.clone(), Json::U64(*v)))
+                .collect();
+            timings.push(("counters".into(), Json::Obj(t_counters)));
+            let t_gauges = snap
+                .gauges
+                .iter()
+                .filter(|(_, (class, _))| *class == Class::Timing)
+                .map(|(name, (_, v))| (name.clone(), Json::F64(*v)))
+                .collect();
+            timings.push(("gauges".into(), Json::Obj(t_gauges)));
+            let spans = snap
+                .spans
+                .iter()
+                .map(|(path, agg)| {
+                    let entry = Json::Obj(vec![
+                        ("calls".into(), Json::U64(agg.count)),
+                        ("total_ms".into(), Json::F64(agg.total.as_secs_f64() * 1e3)),
+                        (
+                            "self_ms".into(),
+                            Json::F64(agg.self_time.as_secs_f64() * 1e3),
+                        ),
+                    ]);
+                    (path.clone(), entry)
+                })
+                .collect();
+            timings.push(("spans".into(), Json::Obj(spans)));
+            doc.push(("timings".into(), Json::Obj(timings)));
+        }
+
+        Json::Obj(doc)
+    })
+}
+
+/// Renders the manifest as pretty-printed JSON text.
+pub fn manifest_json(reg: &Registry, config: &[(String, Json)], include_timings: bool) -> String {
+    manifest(reg, config, include_timings).render_pretty()
+}
+
+/// Returns the structural prefix of a rendered manifest: everything
+/// before the top-level `"timings"` key (the whole document if the key
+/// is absent). Two runs agree structurally iff these prefixes are
+/// byte-identical.
+pub fn structural_prefix(rendered: &str) -> &str {
+    match rendered.find("\n  \"timings\":") {
+        Some(pos) => &rendered[..pos],
+        None => rendered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_part_is_deterministic_and_timings_last() {
+        let build = || {
+            let reg = Registry::new();
+            reg.counter("a.count", Class::Structural).add(7);
+            reg.counter("z.thread", Class::Timing).add(3);
+            reg.gauge("b.gauge", Class::Structural).set(0.5);
+            reg.histogram("c.hist", Class::Structural).record(9);
+            reg.series_push("d.series", Class::Structural, 1.0);
+            reg.event("suite/bench", "characterized");
+            reg.set_stage("one");
+            reg.set_stage("two");
+            reg
+        };
+        let config = vec![("seed".to_string(), Json::U64(42))];
+        let full_a = manifest_json(&build(), &config, true);
+        let full_b = manifest_json(&build(), &config, true);
+        assert_eq!(structural_prefix(&full_a), structural_prefix(&full_b));
+
+        // Timing-class metrics must not leak into the structural part.
+        assert!(!structural_prefix(&full_a).contains("z.thread"));
+        assert!(full_a.contains("z.thread"));
+
+        // `timings` is the last top-level key.
+        let tail = &full_a[full_a.find("\"timings\"").expect("timings key")..];
+        assert!(!tail.contains("\"events\""));
+
+        // Without timings the document has no timings key at all.
+        let structural = manifest_json(&build(), &config, false);
+        assert!(!structural.contains("timings"));
+        assert_eq!(structural_prefix(&structural), structural.as_str());
+    }
+
+    #[test]
+    fn histogram_section_lists_nonempty_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("h", Class::Structural);
+        h.record(0);
+        h.record(1024);
+        let doc = manifest_json(&reg, &[], false);
+        assert!(doc.contains("\"count\": 2"));
+        assert!(doc.contains("\"0\": 1"));
+        assert!(doc.contains("\"11\": 1"));
+    }
+}

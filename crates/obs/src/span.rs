@@ -1,0 +1,86 @@
+//! Hierarchical span timing with thread-local span stacks.
+//!
+//! A [`SpanGuard`] measures the wall time between its creation and
+//! drop. Guards nest per thread: while a guard is alive, guards opened
+//! on the same thread become its children and their elapsed time is
+//! subtracted from the parent's *self* time. On drop, the completed
+//! span is folded into the installed registry's per-path aggregate
+//! (`parent/child` paths), merging across threads.
+//!
+//! When no subscriber is installed the constructor returns an inert
+//! guard after a single relaxed atomic load.
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+struct Frame {
+    path: String,
+    start: Instant,
+    child: Duration,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII guard timing one span. Create with [`SpanGuard::enter`] or
+/// the [`crate::span!`] macro; the span ends when the guard drops.
+#[must_use = "a span guard measures until it is dropped"]
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name`, nested under the innermost span
+    /// already open on this thread (if any).
+    pub fn enter(name: &str) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { active: false };
+        }
+        Self::push(name)
+    }
+
+    /// Opens a span named `name[NN]` (two-digit index). The label is
+    /// only formatted when a subscriber is installed.
+    pub fn enter_indexed(name: &str, index: usize) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { active: false };
+        }
+        Self::push(&format!("{name}[{index:02}]"))
+    }
+
+    fn push(name: &str) -> SpanGuard {
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{}/{name}", parent.path),
+                None => name.to_string(),
+            };
+            stack.push(Frame {
+                path,
+                start: Instant::now(),
+                child: Duration::ZERO,
+            });
+        });
+        SpanGuard { active: true }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let Some(frame) = stack.pop() else { return };
+            let elapsed = frame.start.elapsed();
+            if let Some(parent) = stack.last_mut() {
+                parent.child += elapsed;
+            }
+            if let Some(reg) = crate::registry() {
+                reg.span_record(&frame.path, elapsed, elapsed.saturating_sub(frame.child));
+            }
+        });
+    }
+}

@@ -185,6 +185,7 @@ where
         let mut out = Vec::with_capacity(n);
         for idx in 0..n {
             if token.is_some_and(CancelToken::is_cancelled) {
+                flush_worker_tallies(&[(out.len() as u64, 0)]);
                 return None;
             }
             out.push(run(idx));
@@ -192,36 +193,72 @@ where
                 t.task_completed();
             }
         }
+        flush_worker_tallies(&[(out.len() as u64, 0)]);
         return Some(out);
     }
 
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // (tasks run, empty cursor claims) per worker, written once at exit.
+    let tallies: Vec<Mutex<(u64, u64)>> = (0..workers).map(|_| Mutex::new((0, 0))).collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                if token.is_some_and(CancelToken::is_cancelled) {
-                    break;
+        for tally in &tallies {
+            let (cursor, slots, run) = (&cursor, &slots, &run);
+            scope.spawn(move || {
+                let (mut done, mut wasted) = (0u64, 0u64);
+                loop {
+                    if token.is_some_and(CancelToken::is_cancelled) {
+                        break;
+                    }
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        wasted += 1;
+                        break;
+                    }
+                    let out = run(idx);
+                    *slots[idx].lock().expect("result slot poisoned") = Some(out);
+                    done += 1;
+                    if let Some(t) = token {
+                        t.task_completed();
+                    }
                 }
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
-                    break;
-                }
-                let out = run(idx);
-                *slots[idx].lock().expect("result slot poisoned") = Some(out);
-                if let Some(t) = token {
-                    t.task_completed();
-                }
+                *tally.lock().expect("tally slot poisoned") = (done, wasted);
             });
         }
     });
+
+    let counts: Vec<(u64, u64)> = tallies
+        .into_iter()
+        .map(|t| t.into_inner().expect("tally slot poisoned"))
+        .collect();
+    flush_worker_tallies(&counts);
 
     let mut out = Vec::with_capacity(n);
     for slot in slots {
         out.push(slot.into_inner().expect("result slot poisoned")?);
     }
     Some(out)
+}
+
+/// Accumulates per-worker `(tasks, wasted claims)` tallies into the
+/// observability registry. Worker indices are per-invocation, so the
+/// per-thread counters describe load balance, not OS threads. All of
+/// this is Timing-class: the split depends on scheduling.
+fn flush_worker_tallies(counts: &[(u64, u64)]) {
+    use phaselab_obs::Class;
+    if !phaselab_obs::enabled() {
+        return;
+    }
+    let mut total_done = 0u64;
+    let mut total_wasted = 0u64;
+    for (w, (done, wasted)) in counts.iter().enumerate() {
+        total_done += done;
+        total_wasted += wasted;
+        phaselab_obs::counter_add(&format!("par.thread[{w:02}].tasks"), Class::Timing, *done);
+    }
+    phaselab_obs::counter_add("par.tasks", Class::Timing, total_done);
+    phaselab_obs::counter_add("par.wasted_claims", Class::Timing, total_wasted);
 }
 
 /// Resolves a requested thread count: `0` means "all cores".

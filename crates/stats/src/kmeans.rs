@@ -199,14 +199,47 @@ pub fn kmeans_restart(
 ) -> Clustering {
     check_config(data, cfg);
     let seed = derive_seed(cfg.seed, restart as u64);
-    kmeans_single(
+    let _span = phaselab_obs::span!("kmeans.restart", restart);
+    let (clustering, stats) = kmeans_single(
         data,
         cfg.k,
         cfg.max_iters,
         seed,
         effective_threads(threads),
         true,
-    )
+    );
+    if phaselab_obs::enabled() {
+        flush_restart_stats(restart, &clustering, &stats);
+    }
+    clustering
+}
+
+/// Publishes one restart's tallies. All values are pure functions of
+/// the data, config, and restart index, so they are Structural-class
+/// even though restarts may run on worker threads.
+fn flush_restart_stats(restart: usize, clustering: &Clustering, stats: &RestartStats) {
+    use phaselab_obs::Class::Structural;
+    phaselab_obs::counter_add("kmeans.restarts", Structural, 1);
+    phaselab_obs::counter_add("kmeans.iterations", Structural, stats.iterations);
+    phaselab_obs::counter_add("kmeans.points.pruned", Structural, stats.pruned);
+    phaselab_obs::counter_add("kmeans.points.tightened", Structural, stats.tightened);
+    phaselab_obs::counter_add("kmeans.points.scanned", Structural, stats.scanned);
+    phaselab_obs::counter_add("kmeans.moves", Structural, stats.moves);
+    let tag = format!("kmeans.restart[{restart:02}]");
+    phaselab_obs::gauge_set(
+        &format!("{tag}.iterations"),
+        Structural,
+        stats.iterations as f64,
+    );
+    phaselab_obs::gauge_set(&format!("{tag}.bic"), Structural, clustering.bic);
+    let considered = stats.pruned + stats.tightened + stats.scanned;
+    let skipped = stats.pruned + stats.tightened;
+    let ratio = if considered == 0 {
+        0.0
+    } else {
+        skipped as f64 / considered as f64
+    };
+    phaselab_obs::gauge_set(&format!("{tag}.bound_skip_ratio"), Structural, ratio);
 }
 
 /// Keeps the highest-BIC candidate; ties go to the earliest restart.
@@ -247,7 +280,7 @@ pub fn kmeans_reference(data: &Matrix, cfg: &KmeansConfig) -> Clustering {
     let candidates: Vec<Clustering> = (0..restarts)
         .map(|r| {
             let seed = derive_seed(cfg.seed, r as u64);
-            kmeans_single(data, cfg.k, cfg.max_iters, seed, 1, false)
+            kmeans_single(data, cfg.k, cfg.max_iters, seed, 1, false).0
         })
         .collect();
     pick_best(candidates)
@@ -287,6 +320,23 @@ struct PointBounds {
     lower: Vec<f64>,
 }
 
+/// Deterministic per-restart tallies, published to the observability
+/// registry by [`kmeans_restart`] when a subscriber is installed.
+#[derive(Debug, Default, Clone, Copy)]
+struct RestartStats {
+    /// Lloyd iterations executed (assignment passes after the initial).
+    iterations: u64,
+    /// Point visits resolved by the stale-bound certificate (no scan).
+    pruned: u64,
+    /// Point visits resolved by tightening the upper bound (one
+    /// distance computation instead of a full scan).
+    tightened: u64,
+    /// Point visits that paid for the full centroid scan.
+    scanned: u64,
+    /// Assignment changes applied across all iterations.
+    moves: u64,
+}
+
 /// One restart: k-means++ seeding, bounded Lloyd iterations, final
 /// scoring. `pruned` selects the Hamerly fast path; both settings
 /// produce identical output.
@@ -297,10 +347,11 @@ fn kmeans_single(
     seed: u64,
     threads: usize,
     pruned: bool,
-) -> Clustering {
+) -> (Clustering, RestartStats) {
     let n = data.rows();
     let d = data.cols();
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = RestartStats::default();
 
     // The pruned path tracks every point's nearest/second-nearest seed
     // distance during k-means++ itself, which makes the initial
@@ -316,7 +367,8 @@ fn kmeans_single(
             upper: vec![0.0; n],
             lower: vec![0.0; n],
         };
-        assign_pass(data, &centroids, &mut state, threads, true, pruned);
+        let (_, tally) = assign_pass(data, &centroids, &mut state, threads, true, pruned);
+        stats.absorb(tally);
         (centroids, state)
     };
 
@@ -333,6 +385,7 @@ fn kmeans_single(
 
     let mut moved = vec![0.0f64; k];
     for _ in 0..max_iters {
+        stats.iterations += 1;
         update_centroids(
             data,
             &state.assignments,
@@ -342,7 +395,9 @@ fn kmeans_single(
             &mut moved,
         );
         relax_bounds(&mut state, &moved);
-        let moves = assign_pass(data, &centroids, &mut state, threads, false, pruned);
+        let (moves, tally) = assign_pass(data, &centroids, &mut state, threads, false, pruned);
+        stats.absorb(tally);
+        stats.moves += moves.len() as u64;
         if moves.is_empty() {
             break;
         }
@@ -367,13 +422,32 @@ fn kmeans_single(
     }
     let bic = bic_score(n, d, k, &sizes, inertia);
 
-    Clustering {
-        assignments: state.assignments,
-        centroids,
-        sizes,
-        inertia,
-        bic,
+    (
+        Clustering {
+            assignments: state.assignments,
+            centroids,
+            sizes,
+            inertia,
+            bic,
+        },
+        stats,
+    )
+}
+
+impl RestartStats {
+    fn absorb(&mut self, tally: PassTally) {
+        self.pruned += tally.pruned;
+        self.tightened += tally.tightened;
+        self.scanned += tally.scanned;
     }
+}
+
+/// Per-assignment-pass tallies, summed over chunks.
+#[derive(Debug, Default, Clone, Copy)]
+struct PassTally {
+    pruned: u64,
+    tightened: u64,
+    scanned: u64,
 }
 
 /// k-means++ seeding: the first centroid uniform, each next one drawn
@@ -554,7 +628,7 @@ fn assign_pass(
     threads: usize,
     initial: bool,
     pruned: bool,
-) -> Vec<(usize, usize, usize)> {
+) -> (Vec<(usize, usize, usize)>, PassTally) {
     struct ChunkTask<'a> {
         start: usize,
         assignments: &'a mut [usize],
@@ -593,6 +667,7 @@ fn assign_pass(
 
     let per_chunk = parallel_map_owned(tasks, threads, |task| {
         let mut moves = Vec::new();
+        let mut tally = PassTally::default();
         for j in 0..task.assignments.len() {
             let i = task.start + j;
             let row = data.row(i);
@@ -603,15 +678,18 @@ fn assign_pass(
                 // cluster radius.
                 let gate = task.lower[j].max(half_min[incumbent]);
                 if task.upper[j] * BOUND_SLACK <= gate {
+                    tally.pruned += 1;
                     continue;
                 }
                 // Certificate 2: tighten the upper bound to the exact
                 // distance and retest before paying for a full scan.
                 task.upper[j] = distance_sq(row, centroids.row(incumbent)).sqrt();
                 if task.upper[j] * BOUND_SLACK <= gate {
+                    tally.tightened += 1;
                     continue;
                 }
             }
+            tally.scanned += 1;
             let (best, best_d, second) = scan_point(row, centroids, incumbent);
             task.upper[j] = best_d.sqrt();
             task.lower[j] = second.sqrt();
@@ -622,9 +700,17 @@ fn assign_pass(
                 moves.push((i, incumbent, best));
             }
         }
-        moves
+        (moves, tally)
     });
-    per_chunk.into_iter().flatten().collect()
+    let mut moves = Vec::new();
+    let mut tally = PassTally::default();
+    for (chunk_moves, chunk_tally) in per_chunk {
+        moves.extend(chunk_moves);
+        tally.pruned += chunk_tally.pruned;
+        tally.tightened += chunk_tally.tightened;
+        tally.scanned += chunk_tally.scanned;
+    }
+    (moves, tally)
 }
 
 /// Loosens every point's bounds after centroids moved: the upper bound

@@ -43,6 +43,8 @@ impl Pca {
     ///
     /// Panics if `m` has fewer than two rows.
     pub fn fit(m: &Matrix) -> Self {
+        let _span = phaselab_obs::span!("pca.fit");
+        phaselab_obs::counter_add("pca.fits", phaselab_obs::Class::Structural, 1);
         let cov = m.covariance();
         let eig = jacobi_eigen(&cov);
         let variances = eig

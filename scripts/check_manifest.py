@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validate a phaselab-obs run manifest (`repro --metrics-out`).
+
+Checks the schema version, the presence and types of every required
+section, the config keys the determinism contract promises, and basic
+internal consistency (histogram bucket counts sum to the recorded
+count, span timings are non-negative). With `--emit-bench PATH` it
+also distills the headline performance figures into a one-line JSON
+document suitable for CI tracking.
+
+Exit status: 0 when the manifest validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_CONFIG_KEYS = [
+    "experiment",
+    "fingerprint",
+    "scale",
+    "interval_len",
+    "samples_per_benchmark",
+    "k",
+    "seed",
+]
+
+# Section name -> expected JSON type of its value.
+REQUIRED_SECTIONS = {
+    "config": dict,
+    "counters": dict,
+    "gauges": dict,
+    "histograms": dict,
+    "series": dict,
+    "events": dict,
+}
+
+REQUIRED_TIMING_KEYS = {
+    "stage": str,
+    "peak_rss_kb": int,
+    "stage_rss_kb": dict,
+    "counters": dict,
+    "gauges": dict,
+    "spans": dict,
+}
+
+
+def fail(msg):
+    print(f"check_manifest: FAIL — {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(manifest):
+    if manifest.get("schema") != 1:
+        fail(f"schema must be 1, got {manifest.get('schema')!r}")
+
+    for name, ty in REQUIRED_SECTIONS.items():
+        if not isinstance(manifest.get(name), ty):
+            fail(f"missing or mistyped section `{name}`")
+
+    config = manifest["config"]
+    for key in REQUIRED_CONFIG_KEYS:
+        if key not in config:
+            fail(f"config missing key `{key}`")
+    if "threads" in config:
+        fail("config must not record `threads` (it is not structural)")
+
+    for name, value in manifest["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"counter `{name}` must be a non-negative integer")
+
+    for name, hist in manifest["histograms"].items():
+        for key in ("count", "sum", "buckets"):
+            if key not in hist:
+                fail(f"histogram `{name}` missing `{key}`")
+        total = sum(hist["buckets"].values())
+        if total != hist["count"]:
+            fail(
+                f"histogram `{name}` buckets sum to {total}, "
+                f"count says {hist['count']}"
+            )
+
+    timings = manifest.get("timings")
+    if timings is None:
+        fail("missing `timings` section (manifest written without timings?)")
+    for key, ty in REQUIRED_TIMING_KEYS.items():
+        if not isinstance(timings.get(key), ty):
+            fail(f"timings missing or mistyped key `{key}`")
+    for path, span in timings["spans"].items():
+        for key in ("calls", "total_ms", "self_ms"):
+            if key not in span:
+                fail(f"span `{path}` missing `{key}`")
+        if span["total_ms"] < 0 or span["self_ms"] < 0 or span["calls"] < 1:
+            fail(f"span `{path}` has out-of-range values: {span}")
+        if span["self_ms"] > span["total_ms"] + 1e-9:
+            fail(f"span `{path}` self time exceeds total: {span}")
+
+    # The manifest renders timings last so the structural prefix is a
+    # clean byte-range cut; enforce that ordering contract here too.
+    if list(manifest.keys())[-1] != "timings":
+        fail("`timings` must be the last top-level key")
+
+
+def emit_bench(manifest, path):
+    """Distill kmeans wall time, characterization throughput, and peak
+    RSS into a one-line benchmark JSON document."""
+    spans = manifest["timings"]["spans"]
+    counters = manifest["counters"]
+
+    kmeans_ms = spans.get("study/kmeans", {}).get("total_ms")
+    char_ms = spans.get("study/characterize", {}).get("total_ms")
+    instructions = counters.get("vm.instructions")
+    inst_per_s = None
+    if char_ms and instructions is not None:
+        inst_per_s = instructions / (char_ms / 1e3)
+
+    bench = {
+        "kmeans_wall_ms": kmeans_ms,
+        "characterize_inst_per_s": inst_per_s,
+        "peak_rss_kb": manifest["timings"]["peak_rss_kb"],
+    }
+    for key, value in bench.items():
+        if value is None:
+            fail(f"cannot emit bench figures: `{key}` unavailable")
+    with open(path, "w") as f:
+        f.write(json.dumps(bench) + "\n")
+    print(f"check_manifest: wrote {path}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("manifest", help="path to the run manifest JSON")
+    ap.add_argument(
+        "--emit-bench",
+        metavar="PATH",
+        help="also write a one-line benchmark-figures JSON to PATH",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.manifest) as f:
+            manifest = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read manifest: {e}")
+
+    validate(manifest)
+    if args.emit_bench:
+        emit_bench(manifest, args.emit_bench)
+    print(f"check_manifest: OK — {args.manifest} validates (schema 1)")
+
+
+if __name__ == "__main__":
+    main()

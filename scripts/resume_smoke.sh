@@ -4,6 +4,11 @@
 # disk, then resume and require a clean exit. Exercises the real signal
 # handler, the cooperative-cancellation flush, and the resume reload —
 # the pieces unit tests cannot drive through a live process.
+#
+# The resume runs with `--metrics-out` and the script asserts, from the
+# run manifest's `checkpoint.bench.hits` counter, that the resumed run
+# reloaded exactly the benchmark checkpoints that were on disk when the
+# first run was interrupted — no log grepping involved.
 set -eu
 
 REPRO="${REPRO:-target/release/repro}"
@@ -56,6 +61,28 @@ if ! ls "$CKPT"/c*/*.ckpt >/dev/null 2>&1; then
     exit 1
 fi
 
-echo "resume_smoke: resuming"
-PHASELAB_OUT="$WORK/out2" "$REPRO" --checkpoint-dir "$CKPT" --resume table2
+# Benchmark checkpoints live under c<fingerprint>/bench-*.ckpt (the
+# k<fingerprint>/ dirs hold clustering restarts and must not count).
+HITS_EXPECTED=$(ls "$CKPT"/c*/*.ckpt 2>/dev/null | wc -l | tr -d ' ')
+MANIFEST="$WORK/manifest.json"
+
+echo "resume_smoke: resuming ($HITS_EXPECTED benchmark checkpoints on disk)"
+PHASELAB_OUT="$WORK/out2" "$REPRO" --checkpoint-dir "$CKPT" --resume \
+    --metrics-out "$MANIFEST" table2
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$MANIFEST" "$HITS_EXPECTED" <<'EOF'
+import json, sys
+manifest, expected = json.load(open(sys.argv[1])), int(sys.argv[2])
+hits = manifest["counters"].get("checkpoint.bench.hits", 0)
+if hits != expected:
+    sys.exit(
+        f"resume_smoke: FAIL — manifest records {hits} benchmark "
+        f"checkpoint hits, {expected} checkpoints were on disk"
+    )
+print(f"resume_smoke: manifest confirms {hits} checkpoint hits")
+EOF
+else
+    echo "resume_smoke: python3 unavailable, skipping manifest assertion"
+fi
 echo "resume_smoke: OK"
