@@ -9,9 +9,7 @@ use phaselab_mica::{
     Analyzer, BranchAnalyzer, FeatureVector, FootprintAnalyzer, IlpAnalyzer, IntervalCharacterizer,
     MixAnalyzer, RegTrafficAnalyzer, StrideAnalyzer,
 };
-use phaselab_trace::{
-    ArchReg, BranchInfo, CountingSink, InstClass, InstRecord, MemAccess, TraceSink,
-};
+use phaselab_trace::{ArchReg, BranchInfo, CountingSink, InstClass, InstRecord, MemAccess};
 use phaselab_vm::Vm;
 use phaselab_workloads::kernels::numeric;
 use phaselab_workloads::Builder;

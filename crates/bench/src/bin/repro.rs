@@ -31,6 +31,7 @@
 //!   --k N                     clusters              (default: 300)
 //!   --seed N                  master seed           (default: 0)
 //!   --threads N               worker threads        (default: all cores)
+//!   --engine block|inst       VM execution engine   (default: block)
 //!   --suites LIST             restrict the study to these suites (comma-separated)
 //!   --only LIST               restrict the study to these benchmark names
 //!   --checkpoint-dir DIR      persist/reuse study checkpoints in DIR
@@ -205,6 +206,9 @@ options:
   --k N                     clusters              (default: 300)
   --seed N                  master seed           (default: 0)
   --threads N               worker threads        (default: all cores)
+  --engine block|inst       VM execution engine: block-compiled dispatch or the
+                            per-instruction oracle; results are bit-identical
+                            (default: block)
   --suites LIST             restrict the study to these suites (comma-separated:
                             int2000,fp2000,int2006,fp2006,BioPerf,BMW,MediaBenchII)
   --only LIST               restrict the study to these benchmark names
@@ -293,6 +297,61 @@ fn main() {
     }
 }
 
+/// Measures raw VM dispatch throughput under both engines on one
+/// registry workload (lbm: long unrolled blocks, the shape the block
+/// engine is built for) and records the results as Timing-class
+/// gauges, so `BENCH_obs.json` can carry a same-binary engine speedup.
+/// Both engines run behind a trait-object sink, exactly like the study
+/// pipeline — min-of-5 wall time per engine keeps scheduler noise out
+/// of the numerator and denominator symmetrically.
+fn calibrate_engines(reg: &phaselab_obs::Registry) {
+    use phaselab_trace::{BlockSink, SummarySink, TraceSink};
+    use phaselab_vm::{CompiledProgram, Vm};
+
+    let Some(bench) = phaselab_workloads::catalog()
+        .into_iter()
+        .find(|b| b.name() == "lbm")
+    else {
+        return;
+    };
+    let program = bench.build(phaselab_workloads::Scale::Tiny, 0);
+    let compiled = CompiledProgram::compile(&program);
+
+    let time = |run: &mut dyn FnMut() -> u64| {
+        let mut best = f64::INFINITY;
+        let mut insts = 0;
+        for _ in 0..5 {
+            let t = std::time::Instant::now();
+            insts = std::hint::black_box(run());
+            best = best.min(t.elapsed().as_secs_f64() * 1e9);
+        }
+        best / insts.max(1) as f64
+    };
+    let inst_ns = time(&mut || {
+        let mut vm = Vm::new(&program);
+        let mut obs = SummarySink::new();
+        let mut sink: &mut dyn TraceSink = std::hint::black_box(&mut obs);
+        vm.run(&mut sink, u64::MAX).expect("lbm halts");
+        obs.instructions()
+    });
+    let block_ns = time(&mut || {
+        let mut vm = Vm::new(&program);
+        let mut obs = SummarySink::new();
+        let mut sink: &mut dyn BlockSink = std::hint::black_box(&mut obs);
+        vm.run_blocks(&compiled, &mut sink, u64::MAX)
+            .expect("lbm halts");
+        obs.instructions()
+    });
+
+    use phaselab_obs::Class::Timing;
+    reg.gauge("vm.calibrate.inst_ns_per_inst", Timing)
+        .set(inst_ns);
+    reg.gauge("vm.calibrate.block_ns_per_inst", Timing)
+        .set(block_ns);
+    reg.gauge("vm.calibrate.block_speedup", Timing)
+        .set(inst_ns / block_ns);
+}
+
 /// Renders the run manifest and writes it to `path`. The config section
 /// deliberately excludes the thread count: everything outside the
 /// manifest's `timings` section is identical across thread counts.
@@ -300,6 +359,7 @@ fn write_metrics_manifest(cfg: &StudyConfig, command: &str, path: &Path) {
     let Some(reg) = phaselab_obs::registry() else {
         return;
     };
+    calibrate_engines(reg);
     let config = vec![
         ("experiment".to_string(), Json::Str(command.to_string())),
         (
@@ -309,6 +369,10 @@ fn write_metrics_manifest(cfg: &StudyConfig, command: &str, path: &Path) {
         (
             "scale".to_string(),
             Json::Str(format!("{:?}", cfg.scale).to_lowercase()),
+        ),
+        (
+            "engine".to_string(),
+            Json::Str(cfg.engine.name().to_string()),
         ),
         ("interval_len".to_string(), Json::U64(cfg.interval_len)),
         (
@@ -595,6 +659,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let v = value(args, i)?;
                 i += 1;
                 cfg.threads = parse_num("--threads", &v)?;
+            }
+            "--engine" => {
+                let v = value(args, i)?;
+                i += 1;
+                cfg.engine = phaselab_core::Engine::parse(&v)
+                    .ok_or_else(|| format!("bad engine `{v}` (expected block|inst)"))?;
             }
             "--checkpoint-dir" => {
                 let v = value(args, i)?;

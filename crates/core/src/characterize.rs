@@ -2,11 +2,10 @@
 
 use phaselab_mica::{FeatureVector, IntervalCharacterizer};
 use phaselab_par::CancelToken;
-use phaselab_trace::TraceSink as _;
-use phaselab_vm::{Program, Vm, VmError};
+use phaselab_vm::{CompiledProgram, Program, Vm, VmError};
 use phaselab_workloads::Benchmark;
 
-use crate::config::StudyConfig;
+use crate::config::{Engine, StudyConfig};
 use crate::error::{QuarantineCause, QuarantinedBenchmark};
 
 /// VM slice length, in instructions, between watchdog and cancellation
@@ -59,9 +58,35 @@ pub fn characterize_program(
     interval_len: u64,
     max_instructions: u64,
 ) -> Result<(Vec<FeatureVector>, u64), VmError> {
+    characterize_program_with_engine(program, interval_len, max_instructions, Engine::default())
+}
+
+/// [`characterize_program`] with an explicit execution-engine choice.
+///
+/// Both engines produce bit-identical features and instruction counts
+/// (the differential tests assert this on every registry workload);
+/// [`Engine::Inst`] exists as the reference oracle and for `--engine
+/// inst` debugging runs.
+///
+/// # Errors
+///
+/// Returns the [`VmError`] if the program faults; both engines fault at
+/// the same instruction index with the same error.
+pub fn characterize_program_with_engine(
+    program: &Program,
+    interval_len: u64,
+    max_instructions: u64,
+    engine: Engine,
+) -> Result<(Vec<FeatureVector>, u64), VmError> {
     let mut chr = IntervalCharacterizer::new(interval_len).keep_tail(true);
     let mut vm = Vm::new(program);
-    let outcome = vm.run(&mut chr, max_instructions)?;
+    let outcome = match engine {
+        Engine::Block => {
+            let compiled = CompiledProgram::compile(program);
+            vm.run_blocks(&compiled, &mut chr, max_instructions)?
+        }
+        Engine::Inst => vm.run(&mut chr, max_instructions)?,
+    };
     chr.finish();
     let mut features = chr.into_features();
     let full = (outcome.instructions / interval_len) as usize;
@@ -128,11 +153,16 @@ pub fn characterize_benchmark_watched(
     let mut total_instructions = 0;
     let mut budget_left = cfg.max_inst_per_bench;
     // Counter handles fetched once per benchmark so the per-slice cost
-    // is two atomic adds; `None` without a subscriber.
+    // is three atomic adds; `None` without a subscriber. Instructions and
+    // blocks are counted separately: their ratio is the dispatch
+    // amortization the block engine buys (under the per-instruction
+    // engine every instruction is its own dispatch unit, so the two
+    // counts coincide).
     let vm_counters = phaselab_obs::registry().map(|reg| {
         use phaselab_obs::Class::Structural;
         (
             reg.counter("vm.instructions", Structural),
+            reg.counter("vm.blocks", Structural),
             reg.counter("vm.slices", Structural),
         )
     });
@@ -146,6 +176,9 @@ pub fn characterize_benchmark_watched(
         if let Err(e) = program.verify() {
             return Err(quarantine(input, QuarantineCause::StaticallyInvalid(e)));
         }
+        // Compile once per input; every resume slice reuses the decoded
+        // blocks.
+        let compiled = (cfg.engine == Engine::Block).then(|| CompiledProgram::compile(&program));
         let mut chr = IntervalCharacterizer::new(cfg.interval_len).keep_tail(true);
         let mut vm = Vm::new(&program);
         let mut executed = 0u64;
@@ -165,12 +198,15 @@ pub fn characterize_benchmark_watched(
             let slice = WATCHDOG_SLICE
                 .min(run_left)
                 .min(budget_left.unwrap_or(u64::MAX));
-            let outcome = vm
-                .run(&mut chr, slice)
-                .map_err(|e| quarantine(input, QuarantineCause::Fault(e)))?;
+            let outcome = match &compiled {
+                Some(cp) => vm.run_blocks(cp, &mut chr, slice),
+                None => vm.run(&mut chr, slice),
+            }
+            .map_err(|e| quarantine(input, QuarantineCause::Fault(e)))?;
             executed += outcome.instructions;
-            if let Some((inst, slices)) = &vm_counters {
+            if let Some((inst, blocks, slices)) = &vm_counters {
                 inst.add(outcome.instructions);
+                blocks.add(outcome.blocks);
                 slices.inc();
             }
             if let Some(b) = &mut budget_left {
@@ -368,6 +404,49 @@ mod tests {
         assert!(matches!(verr, VerifyError::NoHaltReachable { .. }));
         // The diagnostic carries a pc and the entry disassembly.
         assert!(q.to_string().contains("statically invalid: pc 0"));
+    }
+
+    #[test]
+    fn engines_characterize_bit_identically() {
+        let all = catalog();
+        for bench in all.iter().take(6) {
+            let program = bench.build(Scale::Tiny, 0);
+            let blk = characterize_program_with_engine(&program, 10_000, 1 << 40, Engine::Block)
+                .expect("runs");
+            let inst = characterize_program_with_engine(&program, 10_000, 1 << 40, Engine::Inst)
+                .expect("runs");
+            assert_eq!(blk, inst, "engine divergence on {}", bench.name());
+        }
+    }
+
+    #[test]
+    fn engine_selection_does_not_change_watched_results() {
+        let all = catalog();
+        let bench = &all[5];
+        let mut cfg = StudyConfig::smoke();
+        cfg.interval_len = 10_000;
+        cfg.max_inst_per_bench = Some(40_000_000);
+        cfg.engine = Engine::Block;
+        let blk = characterize_benchmark_watched(bench, &cfg, None).expect("healthy");
+        cfg.engine = Engine::Inst;
+        let inst = characterize_benchmark_watched(bench, &cfg, None).expect("healthy");
+        assert_eq!(blk.total_instructions, inst.total_instructions);
+        assert_eq!(blk.per_input, inst.per_input);
+    }
+
+    #[test]
+    fn engines_quarantine_runaways_identically() {
+        for engine in [Engine::Block, Engine::Inst] {
+            let mut cfg = StudyConfig::smoke();
+            cfg.max_inst_per_bench = Some(100_000);
+            cfg.engine = engine;
+            let err = characterize_benchmark_watched(&spinning_benchmark(), &cfg, None)
+                .expect_err("never halts");
+            let BenchFailure::Quarantined(q) = err else {
+                panic!("expected quarantine, got {err:?}");
+            };
+            assert_eq!(q.cause, QuarantineCause::Runaway { budget: 100_000 });
+        }
     }
 
     #[test]

@@ -225,7 +225,10 @@ fn scale_code(scale: Scale) -> u64 {
 /// per-run instruction cap, and the watchdog budget.
 ///
 /// Deliberately excludes sampling, clustering, and GA settings — two
-/// studies differing only in those share characterizations.
+/// studies differing only in those share characterizations. The
+/// execution engine is excluded too: both engines are bit-identical, so
+/// a study checkpointed under one engine resumes exactly under the
+/// other.
 pub fn characterization_fingerprint(cfg: &StudyConfig) -> u64 {
     let mut h = Fnv::new();
     h.u64(VERSION as u64)
@@ -1157,6 +1160,14 @@ mod tests {
         assert_eq!(
             characterization_fingerprint(&a),
             characterization_fingerprint(&d)
+        );
+        // Neither does the execution engine: both produce bit-identical
+        // characterizations, so a checkpoint resumes across engines.
+        let mut e = a.clone();
+        e.engine = crate::Engine::Inst;
+        assert_eq!(
+            characterization_fingerprint(&a),
+            characterization_fingerprint(&e)
         );
 
         let m1 = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);

@@ -20,6 +20,45 @@ pub enum SamplingPolicy {
     Proportional,
 }
 
+/// Which VM execution engine drives characterization.
+///
+/// Both engines produce bit-identical observation streams, features,
+/// fault positions and quarantine decisions for every program; the
+/// selector only trades dispatch strategy (and therefore throughput)
+/// against implementation simplicity. Because results are identical, the
+/// engine is **not** part of the checkpoint fingerprint: a study resumed
+/// under the other engine continues bit-exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Basic-block-compiled dispatch with fused block-level observation
+    /// (the default): programs are pre-decoded into straight-line
+    /// superinstructions and budgets are checked once per block.
+    #[default]
+    Block,
+    /// The per-instruction reference interpreter — the differential
+    /// testing oracle.
+    Inst,
+}
+
+impl Engine {
+    /// Parses a CLI engine name (`"block"` or `"inst"`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "block" => Some(Engine::Block),
+            "inst" => Some(Engine::Inst),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of this engine.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Block => "block",
+            Engine::Inst => "inst",
+        }
+    }
+}
+
 /// Configuration of a phase-level workload characterization study.
 ///
 /// The paper's setup uses 100M-instruction intervals, 1,000 sampled
@@ -67,6 +106,9 @@ pub struct StudyConfig {
     /// watchdog; unlike `max_instructions_per_run`, which silently
     /// truncates, exceeding this budget is treated as a failure.
     pub max_inst_per_bench: Option<u64>,
+    /// VM execution engine (default: block-compiled). Results are
+    /// bit-identical for both engines; only throughput differs.
+    pub engine: Engine,
     /// Worker threads for every parallel stage — benchmark
     /// characterization, k-means clustering, and GA fitness evaluation
     /// (0 = all cores). Results are identical for every value.
@@ -96,6 +138,7 @@ impl StudyConfig {
             suites: None,
             max_instructions_per_run: 500_000_000,
             max_inst_per_bench: None,
+            engine: Engine::Block,
             threads: 0,
             seed: 0,
         }
@@ -119,6 +162,7 @@ impl StudyConfig {
             suites: None,
             max_instructions_per_run: 50_000_000,
             max_inst_per_bench: None,
+            engine: Engine::Block,
             threads: 0,
             seed: 0,
         }

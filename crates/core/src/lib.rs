@@ -64,13 +64,13 @@ pub use analysis::{
 };
 pub use characterize::{
     characterize_benchmark, characterize_benchmark_watched, characterize_program,
-    BenchCharacterization, BenchFailure,
+    characterize_program_with_engine, BenchCharacterization, BenchFailure,
 };
 pub use checkpoint::{
     characterization_fingerprint, clustering_fingerprint, BenchOutcome, CheckpointError,
     CheckpointStore,
 };
-pub use config::{SamplingPolicy, StudyConfig};
+pub use config::{Engine, SamplingPolicy, StudyConfig};
 pub use error::{AnalysisError, ConfigError, QuarantineCause, QuarantinedBenchmark, StudyError};
 pub use phases::{KiviatAxis, PhaseKind, PhaseShare, ProminentPhase};
 pub use pipeline::{

@@ -1,0 +1,259 @@
+//! Property-based differential testing of the block engine against the
+//! per-instruction oracle.
+//!
+//! Programs are generated *correct by construction* so they pass the
+//! static verifier (the contract the block engine is specified against:
+//! only verified programs reach either engine in the pipeline), then
+//! both engines run them to completion and every observable is
+//! compared: the instruction-record stream, the outcome, the faulting
+//! error (if any), and final machine state. Fuzzed dimensions:
+//!
+//! * body shape — random straight-line ops, an if/else diamond, an
+//!   optional call/ret pair, and a data-dependent memory walk;
+//! * fault position — the walk can be sized to run off the end of the
+//!   data segment partway through the loop (the address is loop-carried,
+//!   so the verifier cannot constant-fold it and both engines must
+//!   fault at the same dynamic instruction);
+//! * watchdog cutoffs — the block engine is also driven in small
+//!   fixed-budget slices, so pauses land mid-block and resume must be
+//!   exact;
+//! * interval boundaries — both engines feed `IntervalCharacterizer`s
+//!   with a small fuzzed interval length, so blocks straddle interval
+//!   boundaries at every offset; the feature vectors must be
+//!   bit-identical.
+
+use phaselab_mica::IntervalCharacterizer;
+use phaselab_trace::{BlockSink, BlockToInstAdapter, InstRecord, VecSink};
+use phaselab_vm::regs::*;
+use phaselab_vm::Asm;
+use phaselab_vm::{CompiledProgram, DataBuilder, Program, RunOutcome, Vm, VmError};
+use proptest::prelude::*;
+
+/// Builds a verified loop program from fuzz parameters.
+///
+/// Shape: a prologue initializing every register the body reads, then a
+/// counted loop of `iters` iterations whose body is `ops` (each selector
+/// picks one straight-line instruction), an if/else diamond, a memory
+/// walk (`addr = base + i * step`, loop-carried so never statically
+/// resolvable), an optional subroutine call, then `halt`. With `oob`
+/// the step is sized so the walk faults partway through the loop.
+fn gen_program(
+    iters: u64,
+    ops: &[u8],
+    cond_sel: u8,
+    use_call: bool,
+    stride: u64,
+    oob: bool,
+) -> Program {
+    let mut data = DataBuilder::new();
+    let elems = 1 + (iters - 1) * stride;
+    let base = data.alloc_u64(elems);
+    // The VM pads the data segment to a 4 KiB page plus a guard page
+    // (see `Program::from_parts`), so an out-of-bounds walk must step
+    // far enough to clear that padding. Pick the step so the fault
+    // lands at roughly the midpoint iteration — never iteration 0
+    // (`i = 0` reads `base`, always in bounds) and always before the
+    // loop exits.
+    let step = if oob {
+        let mem_size = ((elems * 8 + 4095) & !4095) + 4096;
+        let fault_iter = (iters / 2).max(1);
+        (mem_size - base).div_ceil(fault_iter).next_multiple_of(8)
+    } else {
+        8 * stride
+    };
+
+    let mut a = Asm::new();
+    a.li(T0, 0); // i
+    a.li(T1, iters as i64);
+    a.li(T2, base as i64);
+    a.li(S0, 3);
+    a.li(S1, 5);
+    a.li(S2, 0x5a5a);
+    a.li(S3, 0);
+    a.fli(FT0, 1.5);
+    a.fli(FT1, -0.25);
+    a.label("loop");
+    // Loop-carried address: the verifier cannot constant-fold T0
+    // across the backedge join, so this access is never statically
+    // checked — the OOB variant faults at runtime instead.
+    a.muli(T3, T0, step as i64);
+    a.add(T3, T3, T2);
+    a.sd(S0, T3, 0);
+    for &op in ops {
+        match op % 12 {
+            0 => a.add(S0, S0, T0),
+            1 => a.mul(S1, S1, S0),
+            2 => a.xor(S2, S0, S1),
+            3 => a.addi(S0, S0, 7),
+            4 => a.fadd(FT0, FT0, FT1),
+            5 => a.fmul(FT1, FT0, FT1),
+            6 => a.ld(T4, T3, 0),
+            7 => a.sltu(S3, S0, S1),
+            8 => a.srli(S2, S2, 1),
+            // Div/rem by a possibly-zero register: defined results in
+            // this ISA, NOT faults — both engines must agree on that.
+            9 => a.div(S3, S1, S0),
+            10 => a.rem(S3, S0, S2),
+            _ => a.nop(),
+        }
+    }
+    match cond_sel % 4 {
+        0 => a.beq(S0, S1, "then"),
+        1 => a.bne(S0, S1, "then"),
+        2 => a.blt(S0, S1, "then"),
+        _ => a.bge(S0, S1, "then"),
+    }
+    a.xor(S2, S2, S0);
+    a.j("join");
+    a.label("then");
+    a.add(S2, S2, S1);
+    a.label("join");
+    if use_call {
+        a.call("leaf");
+    }
+    a.addi(T0, T0, 1);
+    a.blt(T0, T1, "loop");
+    a.halt();
+    if use_call {
+        a.label("leaf");
+        a.add(S3, S3, T0);
+        a.ret();
+    }
+    let program = a.assemble(data).expect("assembles");
+    program.verify().expect("generated programs are verified");
+    program
+}
+
+fn run_inst(program: &Program) -> (Result<RunOutcome, VmError>, Vec<InstRecord>, Vm<'_>) {
+    let mut vm = Vm::new(program);
+    let mut sink = VecSink::new();
+    let out = vm.run(&mut sink, u64::MAX);
+    (out, sink.into_records(), vm)
+}
+
+fn run_block(
+    program: &Program,
+    slice: u64,
+) -> (Result<RunOutcome, VmError>, Vec<InstRecord>, Vm<'_>) {
+    let compiled = CompiledProgram::compile(program);
+    let mut vm = Vm::new(program);
+    let mut sink = BlockToInstAdapter::new(VecSink::new());
+    let mut total = RunOutcome {
+        instructions: 0,
+        blocks: 0,
+        halted: false,
+    };
+    // Slice the run like the watchdog does, so cutoffs land mid-block.
+    let out = loop {
+        match vm.run_blocks(&compiled, &mut sink, slice) {
+            Ok(o) => {
+                total.instructions += o.instructions;
+                total.blocks += o.blocks;
+                if o.halted {
+                    total.halted = true;
+                    break Ok(total);
+                }
+            }
+            Err(e) => break Err(e),
+        }
+    };
+    sink.finish();
+    (out, sink.into_inner().into_records(), vm)
+}
+
+/// Asserts every observable of the two engines agrees. Returns the
+/// record stream so callers can make additional assertions.
+fn assert_equivalent(program: &Program, slice: u64) -> Result<Vec<InstRecord>, String> {
+    let (out_i, recs_i, vm_i) = run_inst(program);
+    let (out_b, recs_b, vm_b) = run_block(program, slice);
+    match (&out_i, &out_b) {
+        (Ok(a), Ok(b)) => {
+            prop_assert_eq!(a.instructions, b.instructions);
+            prop_assert!(a.halted && b.halted);
+            // `executed()` excludes a faulting call's instructions, so
+            // it is only comparable between runs that completed (the
+            // sliced block run and the one-shot oracle take different
+            // numbers of calls). On a fault the record streams and the
+            // error's pc pin the fault position instead.
+            prop_assert_eq!(vm_i.executed(), vm_b.executed());
+        }
+        (Err(a), Err(b)) => prop_assert_eq!(a, b),
+        _ => prop_assert!(false, "outcomes diverge: {:?} vs {:?}", out_i, out_b),
+    }
+    prop_assert_eq!(recs_i.len(), recs_b.len());
+    prop_assert_eq!(&recs_i, &recs_b);
+    for r in [T0, T3, S0, S1, S2, S3] {
+        prop_assert_eq!(vm_i.reg(r), vm_b.reg(r));
+    }
+    Ok(recs_i)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn halting_programs_match_oracle(
+        iters in 1u64..40,
+        ops in proptest::collection::vec(0u8..12, 6),
+        cond_sel in 0u8..4,
+        call_sel in 0u8..2,
+        stride in 1u64..4,
+        slice in 1u64..23,
+    ) {
+        let program = gen_program(iters, &ops, cond_sel, call_sel == 1, stride, false);
+        let recs = assert_equivalent(&program, slice)?;
+        prop_assert!(!recs.is_empty());
+    }
+
+    #[test]
+    fn faulting_programs_fault_at_the_same_instruction(
+        iters in 2u64..40,
+        ops in proptest::collection::vec(0u8..12, 4),
+        cond_sel in 0u8..4,
+        call_sel in 0u8..2,
+        stride in 1u64..4,
+        slice in 1u64..23,
+    ) {
+        let program = gen_program(iters, &ops, cond_sel, call_sel == 1, stride, true);
+        let (out, _, _) = run_inst(&program);
+        // The walk is sized to run off the data segment mid-loop.
+        prop_assert!(
+            matches!(out, Err(VmError::MemOutOfBounds { .. })),
+            "expected an OOB fault, got {:?}", out
+        );
+        assert_equivalent(&program, slice)?;
+    }
+
+    #[test]
+    fn characterized_features_are_bit_identical(
+        iters in 1u64..40,
+        ops in proptest::collection::vec(0u8..12, 6),
+        cond_sel in 0u8..4,
+        stride in 1u64..4,
+        // Small prime-ish intervals so block boundaries straddle
+        // interval boundaries at many distinct offsets.
+        interval in 3u64..41,
+    ) {
+        let program = gen_program(iters, &ops, cond_sel, true, stride, false);
+
+        let mut chr_i = IntervalCharacterizer::new(interval).keep_tail(true);
+        let mut vm = Vm::new(&program);
+        vm.run(&mut chr_i, u64::MAX).expect("halts");
+        chr_i.finish();
+
+        let compiled = CompiledProgram::compile(&program);
+        let mut chr_b = IntervalCharacterizer::new(interval).keep_tail(true);
+        let mut vm = Vm::new(&program);
+        vm.run_blocks(&compiled, &mut chr_b, u64::MAX).expect("halts");
+        chr_b.finish();
+
+        let fi = chr_i.into_features();
+        let fb = chr_b.into_features();
+        prop_assert_eq!(fi.len(), fb.len());
+        for (a, b) in fi.iter().zip(&fb) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "feature bits diverge");
+            }
+        }
+    }
+}

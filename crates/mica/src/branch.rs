@@ -201,10 +201,14 @@ impl Default for BranchAnalyzer {
     }
 }
 
-impl Analyzer for BranchAnalyzer {
+impl BranchAnalyzer {
+    /// Observes one branch outcome directly — the block-path equivalent
+    /// of [`Analyzer::observe`], fed from the block-exit
+    /// [`BranchInfo`](phaselab_trace::BranchInfo) without materializing a
+    /// record. Unconditional transfers are excluded, exactly as in the
+    /// per-record path.
     #[inline]
-    fn observe(&mut self, rec: &InstRecord, _index: u64) {
-        let Some(branch) = rec.branch else { return };
+    pub fn observe_branch(&mut self, pc: u64, branch: phaselab_trace::BranchInfo) {
         if !branch.conditional {
             return;
         }
@@ -212,14 +216,14 @@ impl Analyzer for BranchAnalyzer {
         self.branches += 1;
         self.taken += taken as u64;
 
-        if let Some(prev) = self.last_outcome.insert(rec.pc, taken) {
+        if let Some(prev) = self.last_outcome.insert(pc, taken) {
             self.with_history += 1;
             if prev != taken {
                 self.transitions += 1;
             }
         }
 
-        let local = self.local_hist.entry(rec.pc).or_insert(0);
+        let local = self.local_hist.entry(pc).or_insert(0);
         let local_before = *local;
         *local = ((*local << 1) | taken as u64) & ((1 << MAX_HIST) - 1);
         let global_before = self.global_hist;
@@ -231,8 +235,16 @@ impl Analyzer for BranchAnalyzer {
             } else {
                 global_before
             };
-            p.observe(rec.pc, hist, taken);
+            p.observe(pc, hist, taken);
         }
+    }
+}
+
+impl Analyzer for BranchAnalyzer {
+    #[inline]
+    fn observe(&mut self, rec: &InstRecord, _index: u64) {
+        let Some(branch) = rec.branch else { return };
+        self.observe_branch(rec.pc, branch);
     }
 
     fn emit(&self, out: &mut FeatureVector) {

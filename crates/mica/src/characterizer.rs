@@ -1,6 +1,6 @@
 //! The per-interval characterization driver.
 
-use phaselab_trace::{InstRecord, TraceSink};
+use phaselab_trace::{BlockRecord, BlockSink, InstRecord, TraceSink};
 
 use crate::branch::BranchAnalyzer;
 use crate::features::FeatureVector;
@@ -97,6 +97,17 @@ impl IntervalCharacterizer {
         self.features
     }
 
+    /// Flushes the trailing partial interval if `keep_tail` is set.
+    ///
+    /// Both [`TraceSink::finish`] and [`BlockSink::finish`] delegate here;
+    /// the inherent method keeps `chr.finish()` unambiguous for callers
+    /// that use the characterizer through either interface.
+    pub fn finish(&mut self) {
+        if self.keep_tail && self.in_interval > 0 {
+            self.emit_interval();
+        }
+    }
+
     fn emit_interval(&mut self) {
         let mut fv = FeatureVector::zeros();
         self.mix.emit(&mut fv);
@@ -134,9 +145,62 @@ impl TraceSink for IntervalCharacterizer {
     }
 
     fn finish(&mut self) {
-        if self.keep_tail && self.in_interval > 0 {
-            self.emit_interval();
+        IntervalCharacterizer::finish(self);
+    }
+}
+
+impl BlockSink for IntervalCharacterizer {
+    /// Consumes one executed block as a bulk update without materializing
+    /// per-instruction records.
+    ///
+    /// The common case — the whole block lands inside the current interval
+    /// — feeds every analyzer from the block's static data and its dynamic
+    /// batch directly: the class histogram folds into the mix analyzer in
+    /// one step, the contiguous pc span folds into the instruction
+    /// footprint in `O(span/64)` set inserts, ILP and register traffic
+    /// read the static operand lists straight from the templates, strides
+    /// and the data footprint zip the per-execution address batch with the
+    /// static access shapes, and the at-most-one branch outcome goes to
+    /// the branch analyzer once per block. A block that straddles an
+    /// interval boundary falls back to the exact per-record path, so
+    /// intervals split at precisely the same instruction as under the
+    /// per-instruction engine: features are bit-identical between the two
+    /// paths.
+    fn observe_block(&mut self, block: &BlockRecord<'_>) {
+        let n = block.len() as u64;
+        if n == 0 {
+            return;
         }
+        if self.interval_len - self.in_interval >= n {
+            self.mix.observe_bulk(block.class_counts(), n);
+            self.footprint.observe_instr_span(block.insts[0].pc, n);
+            let mut addrs = block.mem_addrs.iter();
+            for (idx, inst) in (self.in_interval..).zip(block.insts) {
+                self.ilp.observe_ops(inst.reads, inst.write, idx);
+                self.reg.observe_ops(inst.reads, inst.write, idx);
+                if let Some(m) = inst.mem {
+                    let addr = *addrs.next().expect("one address per memory access");
+                    self.footprint.observe_data(addr, m.size);
+                    self.strides.observe_access(inst.pc, addr, m.is_store);
+                }
+            }
+            if let Some(branch) = block.branch {
+                self.branch
+                    .observe_branch(block.insts[n as usize - 1].pc, branch);
+            }
+            self.in_interval += n;
+            if self.in_interval == self.interval_len {
+                self.emit_interval();
+            }
+        } else {
+            for rec in block.records() {
+                self.observe(&rec);
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        IntervalCharacterizer::finish(self);
     }
 }
 
@@ -234,5 +298,66 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_interval_rejected() {
         let _ = IntervalCharacterizer::new(0);
+    }
+
+    #[test]
+    fn block_path_is_bit_identical_to_record_path() {
+        use phaselab_trace::{BlockInst, BlockRecord, BlockSink, BlockSummary, MemRef};
+
+        // Build a 7-instruction block (coprime to the interval length, so
+        // repeated blocks straddle every boundary offset) mirroring the
+        // synthetic stream's shapes.
+        let r1 = ArchReg::int(1);
+        let r2 = ArchReg::int(2);
+        let insts = [
+            BlockInst::new(0x40, InstClass::MemRead)
+                .with_reads(&[r1])
+                .with_write(r2)
+                .with_mem(MemRef {
+                    size: 8,
+                    is_store: false,
+                }),
+            BlockInst::new(0x44, InstClass::IntAdd)
+                .with_reads(&[r1, r2])
+                .with_write(r1),
+            BlockInst::new(0x48, InstClass::FpMul),
+            BlockInst::new(0x4c, InstClass::MemWrite)
+                .with_reads(&[r1, r2])
+                .with_mem(MemRef {
+                    size: 4,
+                    is_store: true,
+                }),
+            BlockInst::new(0x50, InstClass::IntMul)
+                .with_reads(&[r2])
+                .with_write(r2),
+            BlockInst::new(0x54, InstClass::Nop),
+            BlockInst::new(0x58, InstClass::CondBranch).with_reads(&[r1, r2]),
+        ];
+        let summary = BlockSummary::of(&insts);
+
+        let mut blk_chr = IntervalCharacterizer::new(25).keep_tail(true);
+        let mut rec_chr = IntervalCharacterizer::new(25).keep_tail(true);
+        for i in 0u64..40 {
+            let addrs = [i * 64, 4096 - i * 32];
+            let branch = Some(BranchInfo {
+                taken: i % 3 != 0,
+                target: 0x40,
+                conditional: true,
+            });
+            let block = BlockRecord::new(&insts, &addrs, &summary, branch);
+            blk_chr.observe_block(&block);
+            for rec in block.records() {
+                rec_chr.observe(&rec);
+            }
+        }
+        blk_chr.finish();
+        rec_chr.finish();
+
+        let blk = blk_chr.into_features();
+        let rec = rec_chr.into_features();
+        assert_eq!(blk.len(), rec.len());
+        for (b, r) in blk.iter().zip(&rec) {
+            assert_eq!(b, r);
+        }
     }
 }

@@ -38,6 +38,40 @@ impl FootprintAnalyzer {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Observes the instruction-stream footprint of `n` consecutive
+    /// 4-byte instructions starting at byte address `base_pc` — the
+    /// block-path equivalent of the per-record `rec.pc` inserts. A
+    /// straight-line block covers a contiguous pc range, so the same set
+    /// of 64-byte blocks and 4 KB pages is inserted with at most
+    /// `n/16 + 1` set operations instead of `n`.
+    #[inline]
+    pub fn observe_instr_span(&mut self, base_pc: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let last_pc = base_pc + 4 * (n - 1);
+        for block in (base_pc >> 6)..=(last_pc >> 6) {
+            self.instr_blocks.insert(block);
+        }
+        for page in (base_pc >> 12)..=(last_pc >> 12) {
+            self.instr_pages.insert(page);
+        }
+    }
+
+    /// Observes one data access — the block-path equivalent of the
+    /// `rec.mem` half of [`Analyzer::observe`].
+    #[inline]
+    pub fn observe_data(&mut self, addr: u64, size: u8) {
+        self.data_blocks.insert(addr >> 6);
+        self.data_pages.insert(addr >> 12);
+        // A wide access may straddle a block boundary.
+        let last = addr + size as u64 - 1;
+        if last >> 6 != addr >> 6 {
+            self.data_blocks.insert(last >> 6);
+            self.data_pages.insert(last >> 12);
+        }
+    }
 }
 
 impl Analyzer for FootprintAnalyzer {
@@ -46,14 +80,7 @@ impl Analyzer for FootprintAnalyzer {
         self.instr_blocks.insert(rec.pc >> 6);
         self.instr_pages.insert(rec.pc >> 12);
         if let Some(mem) = rec.mem {
-            self.data_blocks.insert(mem.addr >> 6);
-            self.data_pages.insert(mem.addr >> 12);
-            // A wide access may straddle a block boundary.
-            let last = mem.addr + mem.size as u64 - 1;
-            if last >> 6 != mem.addr >> 6 {
-                self.data_blocks.insert(last >> 6);
-                self.data_pages.insert(last >> 12);
-            }
+            self.observe_data(mem.addr, mem.size);
         }
     }
 

@@ -1,6 +1,6 @@
 //! Inherent instruction-level parallelism analyzer (4 features).
 
-use phaselab_trace::{InstRecord, NUM_ARCH_REGS};
+use phaselab_trace::{ArchReg, InstRecord, RegReads, NUM_ARCH_REGS};
 
 use crate::features::{FeatureVector, ILP_BASE};
 use crate::Analyzer;
@@ -66,12 +66,12 @@ impl WindowState {
     }
 
     #[inline]
-    fn observe(&mut self, rec: &InstRecord, index: u64) {
+    fn observe(&mut self, reads: RegReads, write: Option<ArchReg>, index: u64) {
         let slot = (index as usize) % self.size;
         // Window constraint: the instruction `size` earlier must have
         // completed before this one can occupy its slot.
         let mut start = self.ring[slot];
-        for r in rec.reads.iter() {
+        for r in reads.iter() {
             let ready = self.reg_ready[r.index()];
             if ready > start {
                 start = ready;
@@ -79,7 +79,7 @@ impl WindowState {
         }
         let completion = start + 1;
         self.ring[slot] = completion;
-        if let Some(w) = rec.write {
+        if let Some(w) = write {
             self.reg_ready[w.index()] = completion;
         }
         if completion > self.horizon {
@@ -107,6 +107,19 @@ impl IlpAnalyzer {
             count: 0,
         }
     }
+
+    /// Observes one instruction given its register operands directly — the
+    /// block-path equivalent of [`Analyzer::observe`], taking the static
+    /// fields a block template already holds so no
+    /// [`InstRecord`] needs to be materialized. The ILP model uses only
+    /// register dependences, so this is the complete input.
+    #[inline]
+    pub fn observe_ops(&mut self, reads: RegReads, write: Option<ArchReg>, index: u64) {
+        for w in &mut self.windows {
+            w.observe(reads, write, index);
+        }
+        self.count += 1;
+    }
 }
 
 impl Default for IlpAnalyzer {
@@ -118,10 +131,7 @@ impl Default for IlpAnalyzer {
 impl Analyzer for IlpAnalyzer {
     #[inline]
     fn observe(&mut self, rec: &InstRecord, index: u64) {
-        for w in &mut self.windows {
-            w.observe(rec, index);
-        }
-        self.count += 1;
+        self.observe_ops(rec.reads, rec.write, index);
     }
 
     fn emit(&self, out: &mut FeatureVector) {

@@ -33,6 +33,21 @@ impl MixAnalyzer {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Folds in a whole block's pre-counted classes at once.
+    ///
+    /// `total` must equal the sum of `counts`. Equivalent to (but much
+    /// cheaper than) calling [`Analyzer::observe`] once per instruction:
+    /// only integer counters are touched, so the bulk path is bit-exactly
+    /// interchangeable with the per-record path.
+    #[inline]
+    pub fn observe_bulk(&mut self, counts: &[u32; NUM_INST_CLASSES], total: u64) {
+        debug_assert_eq!(counts.iter().map(|&c| u64::from(c)).sum::<u64>(), total);
+        for (acc, &c) in self.counts.iter_mut().zip(counts) {
+            *acc += u64::from(c);
+        }
+        self.total += total;
+    }
 }
 
 impl Analyzer for MixAnalyzer {

@@ -1,6 +1,6 @@
 //! Register traffic analyzer (9 features).
 
-use phaselab_trace::{InstRecord, NUM_ARCH_REGS};
+use phaselab_trace::{ArchReg, InstRecord, RegReads, NUM_ARCH_REGS};
 
 use crate::features::{FeatureVector, REG_BASE};
 use crate::Analyzer;
@@ -47,19 +47,15 @@ impl RegTrafficAnalyzer {
             dist_total: 0,
         }
     }
-}
 
-impl Default for RegTrafficAnalyzer {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Analyzer for RegTrafficAnalyzer {
+    /// Observes one instruction given its register operands directly — the
+    /// block-path equivalent of [`Analyzer::observe`]: register traffic
+    /// depends only on the static operand lists, which a block template
+    /// already holds.
     #[inline]
-    fn observe(&mut self, rec: &InstRecord, index: u64) {
+    pub fn observe_ops(&mut self, reads: RegReads, write: Option<ArchReg>, index: u64) {
         self.total_instrs += 1;
-        for r in rec.reads.iter() {
+        for r in reads.iter() {
             self.total_reads += 1;
             let producer = self.last_write[r.index()];
             if producer != u64::MAX {
@@ -72,10 +68,23 @@ impl Analyzer for RegTrafficAnalyzer {
                 }
             }
         }
-        if let Some(w) = rec.write {
+        if let Some(w) = write {
             self.total_writes += 1;
             self.last_write[w.index()] = index;
         }
+    }
+}
+
+impl Default for RegTrafficAnalyzer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Analyzer for RegTrafficAnalyzer {
+    #[inline]
+    fn observe(&mut self, rec: &InstRecord, index: u64) {
+        self.observe_ops(rec.reads, rec.write, index);
     }
 
     fn emit(&self, out: &mut FeatureVector) {

@@ -80,31 +80,37 @@ impl StrideAnalyzer {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Observes one memory access directly — the block-path equivalent of
+    /// [`Analyzer::observe`]: strides depend only on the static
+    /// instruction address (the local-stride key), the effective address,
+    /// and the access direction.
+    #[inline]
+    pub fn observe_access(&mut self, pc: u64, addr: u64, is_store: bool) {
+        if is_store {
+            if let Some(prev) = self.global_last_store.replace(addr) {
+                self.global_store
+                    .record(prev.abs_diff(addr), &GLOBAL_BOUNDS);
+            }
+            if let Some(prev) = self.local_last_store.insert(pc, addr) {
+                self.local_store.record(prev.abs_diff(addr), &LOCAL_BOUNDS);
+            }
+        } else {
+            if let Some(prev) = self.global_last_load.replace(addr) {
+                self.global_load.record(prev.abs_diff(addr), &GLOBAL_BOUNDS);
+            }
+            if let Some(prev) = self.local_last_load.insert(pc, addr) {
+                self.local_load.record(prev.abs_diff(addr), &LOCAL_BOUNDS);
+            }
+        }
+    }
 }
 
 impl Analyzer for StrideAnalyzer {
     #[inline]
     fn observe(&mut self, rec: &InstRecord, _index: u64) {
         let Some(mem) = rec.mem else { return };
-        if mem.is_store {
-            if let Some(prev) = self.global_last_store.replace(mem.addr) {
-                self.global_store
-                    .record(prev.abs_diff(mem.addr), &GLOBAL_BOUNDS);
-            }
-            if let Some(prev) = self.local_last_store.insert(rec.pc, mem.addr) {
-                self.local_store
-                    .record(prev.abs_diff(mem.addr), &LOCAL_BOUNDS);
-            }
-        } else {
-            if let Some(prev) = self.global_last_load.replace(mem.addr) {
-                self.global_load
-                    .record(prev.abs_diff(mem.addr), &GLOBAL_BOUNDS);
-            }
-            if let Some(prev) = self.local_last_load.insert(rec.pc, mem.addr) {
-                self.local_load
-                    .record(prev.abs_diff(mem.addr), &LOCAL_BOUNDS);
-            }
-        }
+        self.observe_access(rec.pc, mem.addr, mem.is_store);
     }
 
     fn emit(&self, out: &mut FeatureVector) {

@@ -1,0 +1,562 @@
+//! Block-level trace consumption: batched observation of straight-line
+//! instruction runs.
+//!
+//! The per-instruction [`TraceSink`] interface reports every dynamic
+//! instruction individually — faithful but expensive at characterization
+//! scale. A block-compiled execution engine instead emits one
+//! [`BlockRecord`] per executed basic-block run: the static per-instruction
+//! templates ([`BlockInst`], pre-decoded once per program), the dynamic
+//! memory-address batch, a precomputed [`BlockSummary`] (per-class
+//! instruction counts, register-traffic and memory-traffic totals), and at
+//! most one branch outcome at the block exit. Aggregate observers like
+//! [`SummarySink`] consume the summary in O(1) per block instead of O(1)
+//! per instruction — that fusion is where the block engine's observation
+//! speedup comes from.
+//!
+//! The information content is identical to the per-instruction stream:
+//! [`BlockRecord::records`] reconstructs the exact [`InstRecord`] sequence,
+//! and [`BlockToInstAdapter`] uses that to drive any legacy [`TraceSink`].
+//! Differential tests rely on this equivalence to hold bit-for-bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use phaselab_trace::{
+//!     ArchReg, BlockInst, BlockRecord, BlockSink, BlockSummary, CountingBlockSink, InstClass,
+//!     RegReads,
+//! };
+//!
+//! let insts = [
+//!     BlockInst::new(0x40, InstClass::IntAdd),
+//!     BlockInst::new(0x44, InstClass::CondBranch),
+//! ];
+//! let summary = BlockSummary::of(&insts);
+//! let rec = BlockRecord::new(&insts, &[], &summary, None);
+//! let mut sink = CountingBlockSink::new();
+//! sink.observe_block(&rec);
+//! assert_eq!(sink.blocks(), 1);
+//! assert_eq!(sink.instructions(), 2);
+//! ```
+
+use crate::record::{
+    ArchReg, BranchInfo, InstClass, InstRecord, MemAccess, RegReads, NUM_INST_CLASSES,
+};
+use crate::sink::TraceSink;
+
+/// The static memory-access shape of one instruction: everything about the
+/// access except the effective address, which is dynamic and carried in the
+/// owning [`BlockRecord`]'s address batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Access size in bytes (1, 2, 4 or 8).
+    pub size: u8,
+    /// `true` for stores, `false` for loads.
+    pub is_store: bool,
+}
+
+/// The static observation template of one instruction inside a basic
+/// block: every field of an [`InstRecord`] that is known at decode time.
+///
+/// A block-compiled engine builds one `BlockInst` per static instruction
+/// when the program is compiled, then reuses the templates for every
+/// dynamic execution of the block. Only effective memory addresses and the
+/// block-exit branch outcome vary per execution; those travel in the
+/// [`BlockRecord`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockInst {
+    /// Program counter (byte address of the instruction).
+    pub pc: u64,
+    /// Behavioral class.
+    pub class: InstClass,
+    /// Registers read (up to three).
+    pub reads: RegReads,
+    /// Destination register, if any.
+    pub write: Option<ArchReg>,
+    /// Memory-access shape, if this instruction accesses memory.
+    pub mem: Option<MemRef>,
+}
+
+impl BlockInst {
+    /// Creates a template with no operands and no memory access.
+    #[inline]
+    pub fn new(pc: u64, class: InstClass) -> Self {
+        BlockInst {
+            pc,
+            class,
+            reads: RegReads::EMPTY,
+            write: None,
+            mem: None,
+        }
+    }
+
+    /// Sets the registers read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regs` has more than three elements.
+    #[inline]
+    pub fn with_reads(mut self, regs: &[ArchReg]) -> Self {
+        self.reads = RegReads::from_slice(regs);
+        self
+    }
+
+    /// Sets the destination register.
+    #[inline]
+    pub fn with_write(mut self, reg: ArchReg) -> Self {
+        self.write = Some(reg);
+        self
+    }
+
+    /// Sets the memory-access shape.
+    #[inline]
+    pub fn with_mem(mut self, mem: MemRef) -> Self {
+        self.mem = Some(mem);
+        self
+    }
+}
+
+/// Precomputed aggregate observation of one straight-line template run:
+/// per-class instruction counts plus register- and memory-traffic totals.
+///
+/// A block-compiled engine computes one summary per *static* block at
+/// program-compile time and reuses it for every dynamic execution, so an
+/// aggregate observer pays O(1) per dispatched block for figures that cost
+/// O(instructions) through the per-instruction interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSummary {
+    /// Instruction count per [`InstClass`].
+    pub class_counts: [u32; NUM_INST_CLASSES],
+    /// Total register reads.
+    pub reg_reads: u32,
+    /// Total register writes.
+    pub reg_writes: u32,
+    /// Total bytes moved by memory accesses.
+    pub mem_bytes: u64,
+}
+
+impl BlockSummary {
+    /// Summarizes a template slice (producers cache this per static block;
+    /// partially executed blocks summarize their executed prefix).
+    pub fn of(insts: &[BlockInst]) -> Self {
+        let mut s = BlockSummary {
+            class_counts: [0; NUM_INST_CLASSES],
+            reg_reads: 0,
+            reg_writes: 0,
+            mem_bytes: 0,
+        };
+        for inst in insts {
+            s.class_counts[inst.class.index()] += 1;
+            s.reg_reads += inst.reads.len() as u32;
+            s.reg_writes += u32::from(inst.write.is_some());
+            if let Some(m) = inst.mem {
+                s.mem_bytes += u64::from(m.size);
+            }
+        }
+        s
+    }
+}
+
+/// One executed straight-line instruction run, observed as a batch.
+///
+/// The record borrows the engine's pre-decoded templates and its per-run
+/// scratch buffers, so emitting a block allocates nothing. Invariants the
+/// producer must uphold (and [`records`](BlockRecord::records) assumes):
+///
+/// * `mem_addrs` holds one effective address per template with a `mem`
+///   shape, in program order;
+/// * `summary` summarizes exactly the instructions in `insts`;
+/// * `branch`, when present, is the outcome of the **last** instruction —
+///   blocks cut short by a budget pause or a fault carry `branch: None`
+///   because their terminator did not execute.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockRecord<'a> {
+    /// Static per-instruction templates, in program order.
+    pub insts: &'a [BlockInst],
+    /// Effective addresses of the block's memory accesses, in program
+    /// order (one entry per template with a `mem` shape).
+    pub mem_addrs: &'a [u64],
+    /// Precomputed aggregates over `insts`.
+    pub summary: &'a BlockSummary,
+    /// Branch outcome at block exit, if the block's terminator executed
+    /// and transfers control.
+    pub branch: Option<BranchInfo>,
+}
+
+impl<'a> BlockRecord<'a> {
+    /// Creates a record over pre-summarized templates.
+    #[inline]
+    pub fn new(
+        insts: &'a [BlockInst],
+        mem_addrs: &'a [u64],
+        summary: &'a BlockSummary,
+        branch: Option<BranchInfo>,
+    ) -> Self {
+        debug_assert_eq!(
+            mem_addrs.len(),
+            insts.iter().filter(|i| i.mem.is_some()).count(),
+            "one effective address per memory template"
+        );
+        debug_assert_eq!(
+            *summary,
+            BlockSummary::of(insts),
+            "summary must describe exactly this template run"
+        );
+        BlockRecord {
+            insts,
+            mem_addrs,
+            summary,
+            branch,
+        }
+    }
+
+    /// Instruction count per [`InstClass`], summed over `insts`.
+    #[inline]
+    pub fn class_counts(&self) -> &[u32; NUM_INST_CLASSES] {
+        &self.summary.class_counts
+    }
+
+    /// Number of instructions in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` if the block is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Total register reads across the block.
+    #[inline]
+    pub fn reg_reads(&self) -> u64 {
+        u64::from(self.summary.reg_reads)
+    }
+
+    /// Total register writes across the block.
+    #[inline]
+    pub fn reg_writes(&self) -> u64 {
+        u64::from(self.summary.reg_writes)
+    }
+
+    /// Reconstructs the per-instruction records of this block, in program
+    /// order — exactly the sequence a per-instruction engine would have
+    /// reported to a [`TraceSink`].
+    pub fn records(&self) -> impl Iterator<Item = InstRecord> + '_ {
+        let last = self.insts.len().wrapping_sub(1);
+        let mut mem_cursor = 0usize;
+        self.insts.iter().enumerate().map(move |(i, inst)| {
+            let mem = inst.mem.map(|m| {
+                let addr = self.mem_addrs[mem_cursor];
+                mem_cursor += 1;
+                MemAccess {
+                    addr,
+                    size: m.size,
+                    is_store: m.is_store,
+                }
+            });
+            InstRecord {
+                pc: inst.pc,
+                class: inst.class,
+                reads: inst.reads,
+                write: inst.write,
+                mem,
+                branch: if i == last { self.branch } else { None },
+            }
+        })
+    }
+}
+
+/// A consumer of block-batched instruction runs.
+///
+/// The block-compiled execution engine calls
+/// [`observe_block`](BlockSink::observe_block) once per executed
+/// straight-line run, in program order. A block that is cut short (by a
+/// budget pause or a fault) is reported as the prefix that actually
+/// executed.
+pub trait BlockSink {
+    /// Observes one executed instruction run.
+    fn observe_block(&mut self, block: &BlockRecord<'_>);
+
+    /// Called once when the traced execution finishes.
+    ///
+    /// The default implementation does nothing.
+    fn finish(&mut self) {}
+}
+
+impl<S: BlockSink + ?Sized> BlockSink for &mut S {
+    #[inline]
+    fn observe_block(&mut self, block: &BlockRecord<'_>) {
+        (**self).observe_block(block);
+    }
+
+    fn finish(&mut self) {
+        (**self).finish();
+    }
+}
+
+/// A block sink that counts dispatched blocks and executed instructions.
+///
+/// The two counts separate dispatch overhead (one per block) from executed
+/// work (one per instruction) — the block-engine analogue of
+/// [`CountingSink`](crate::CountingSink).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingBlockSink {
+    blocks: u64,
+    instructions: u64,
+}
+
+impl CountingBlockSink {
+    /// Creates a sink with zero counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of blocks observed so far.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Number of instructions observed so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+}
+
+impl BlockSink for CountingBlockSink {
+    #[inline]
+    fn observe_block(&mut self, block: &BlockRecord<'_>) {
+        self.blocks += 1;
+        self.instructions += block.len() as u64;
+    }
+}
+
+/// An aggregate observer of the MICA suite-level totals: instruction mix,
+/// register traffic, memory traffic and taken-branch count.
+///
+/// It implements both observation interfaces, and the two paths are
+/// guaranteed to produce identical totals for the same execution — but
+/// their costs differ structurally. Through [`TraceSink`] every field is
+/// accumulated per instruction; through [`BlockSink`] the precomputed
+/// [`BlockSummary`] is folded in with a handful of additions per
+/// *block*. This sink is the benchmark's reference observer for measuring
+/// that fusion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SummarySink {
+    /// Executed instructions per class.
+    pub class_counts: [u64; NUM_INST_CLASSES],
+    /// Total register reads.
+    pub reg_reads: u64,
+    /// Total register writes.
+    pub reg_writes: u64,
+    /// Total memory accesses.
+    pub mem_accesses: u64,
+    /// Total bytes moved by memory accesses.
+    pub mem_bytes: u64,
+    /// Control transfers whose branch was taken.
+    pub taken_branches: u64,
+}
+
+impl SummarySink {
+    /// Creates a sink with zero totals.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total executed instructions (sum over all classes).
+    pub fn instructions(&self) -> u64 {
+        self.class_counts.iter().sum()
+    }
+}
+
+impl TraceSink for SummarySink {
+    #[inline]
+    fn observe(&mut self, rec: &InstRecord) {
+        self.class_counts[rec.class.index()] += 1;
+        self.reg_reads += rec.reads.len() as u64;
+        self.reg_writes += u64::from(rec.write.is_some());
+        if let Some(m) = rec.mem {
+            self.mem_accesses += 1;
+            self.mem_bytes += u64::from(m.size);
+        }
+        if let Some(b) = rec.branch {
+            self.taken_branches += u64::from(b.taken);
+        }
+    }
+}
+
+impl BlockSink for SummarySink {
+    #[inline]
+    fn observe_block(&mut self, block: &BlockRecord<'_>) {
+        let s = block.summary;
+        for (total, &c) in self.class_counts.iter_mut().zip(&s.class_counts) {
+            *total += u64::from(c);
+        }
+        self.reg_reads += u64::from(s.reg_reads);
+        self.reg_writes += u64::from(s.reg_writes);
+        self.mem_accesses += block.mem_addrs.len() as u64;
+        self.mem_bytes += s.mem_bytes;
+        if let Some(b) = block.branch {
+            self.taken_branches += u64::from(b.taken);
+        }
+    }
+}
+
+/// The oracle shim: adapts block records back into per-instruction
+/// records and forwards them to a legacy [`TraceSink`].
+///
+/// This is the bridge the differential tests are built on — for any
+/// execution, driving a sink through this adapter from the block engine
+/// must produce exactly the record sequence the per-instruction
+/// interpreter would have produced.
+///
+/// # Examples
+///
+/// ```
+/// use phaselab_trace::{
+///     BlockInst, BlockRecord, BlockSink, BlockSummary, BlockToInstAdapter, InstClass, VecSink,
+/// };
+///
+/// let insts = [BlockInst::new(0x40, InstClass::Nop)];
+/// let summary = BlockSummary::of(&insts);
+/// let mut shim = BlockToInstAdapter::new(VecSink::new());
+/// shim.observe_block(&BlockRecord::new(&insts, &[], &summary, None));
+/// assert_eq!(shim.into_inner().records().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BlockToInstAdapter<S> {
+    inner: S,
+}
+
+impl<S: TraceSink> BlockToInstAdapter<S> {
+    /// Creates an adapter over a per-instruction sink.
+    pub fn new(inner: S) -> Self {
+        BlockToInstAdapter { inner }
+    }
+
+    /// A shared reference to the wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Consumes the adapter and returns the wrapped sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: TraceSink> BlockSink for BlockToInstAdapter<S> {
+    #[inline]
+    fn observe_block(&mut self, block: &BlockRecord<'_>) {
+        for rec in block.records() {
+            self.inner.observe(&rec);
+        }
+    }
+
+    fn finish(&mut self) {
+        self.inner.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::VecSink;
+
+    fn sample_block() -> ([BlockInst; 3], Vec<u64>) {
+        let insts = [
+            BlockInst::new(0x40, InstClass::MemRead)
+                .with_reads(&[ArchReg::int(2)])
+                .with_write(ArchReg::int(3))
+                .with_mem(MemRef {
+                    size: 8,
+                    is_store: false,
+                }),
+            BlockInst::new(0x44, InstClass::IntAdd)
+                .with_reads(&[ArchReg::int(3), ArchReg::int(4)])
+                .with_write(ArchReg::int(3)),
+            BlockInst::new(0x48, InstClass::CondBranch)
+                .with_reads(&[ArchReg::int(3), ArchReg::int(5)]),
+        ];
+        (insts, vec![0x1000])
+    }
+
+    #[test]
+    fn records_reconstruct_in_order() {
+        let (insts, addrs) = sample_block();
+        let summary = BlockSummary::of(&insts);
+        let branch = BranchInfo {
+            taken: true,
+            target: 0x40,
+            conditional: true,
+        };
+        let block = BlockRecord::new(&insts, &addrs, &summary, Some(branch));
+        let recs: Vec<InstRecord> = block.records().collect();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].mem.unwrap().addr, 0x1000);
+        assert!(!recs[0].mem.unwrap().is_store);
+        assert_eq!(recs[1].mem, None);
+        assert_eq!(recs[0].branch, None);
+        assert_eq!(recs[2].branch, Some(branch));
+        assert_eq!(recs[2].reads.len(), 2);
+    }
+
+    #[test]
+    fn class_counts_sum_to_len() {
+        let (insts, _) = sample_block();
+        let summary = BlockSummary::of(&insts);
+        assert_eq!(
+            summary.class_counts.iter().sum::<u32>() as usize,
+            insts.len()
+        );
+        assert_eq!(summary.class_counts[InstClass::MemRead.index()], 1);
+        assert_eq!(summary.class_counts[InstClass::CondBranch.index()], 1);
+    }
+
+    #[test]
+    fn reg_traffic_summary() {
+        let (insts, addrs) = sample_block();
+        let summary = BlockSummary::of(&insts);
+        let block = BlockRecord::new(&insts, &addrs, &summary, None);
+        assert_eq!(block.reg_reads(), 5);
+        assert_eq!(block.reg_writes(), 2);
+    }
+
+    #[test]
+    fn counting_block_sink_separates_dispatch_from_work() {
+        let (insts, addrs) = sample_block();
+        let summary = BlockSummary::of(&insts);
+        let block = BlockRecord::new(&insts, &addrs, &summary, None);
+        let mut sink = CountingBlockSink::new();
+        sink.observe_block(&block);
+        sink.observe_block(&block);
+        assert_eq!(sink.blocks(), 2);
+        assert_eq!(sink.instructions(), 6);
+    }
+
+    #[test]
+    fn adapter_forwards_every_record() {
+        let (insts, addrs) = sample_block();
+        let summary = BlockSummary::of(&insts);
+        let block = BlockRecord::new(&insts, &addrs, &summary, None);
+        let mut shim = BlockToInstAdapter::new(VecSink::new());
+        shim.observe_block(&block);
+        shim.finish();
+        let recs = shim.into_inner().into_records();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].pc, 0x40);
+        assert_eq!(recs[2].pc, 0x48);
+    }
+
+    #[test]
+    fn sink_usable_through_mut_ref() {
+        fn feed(mut sink: impl BlockSink) {
+            let insts = [BlockInst::new(0, InstClass::Nop)];
+            let summary = BlockSummary::of(&insts);
+            sink.observe_block(&BlockRecord::new(&insts, &[], &summary, None));
+        }
+        let mut s = CountingBlockSink::new();
+        feed(&mut s);
+        assert_eq!(s.blocks(), 1);
+    }
+}

@@ -26,10 +26,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod block;
 mod record;
 mod serialize;
 mod sink;
 
+pub use block::{
+    BlockInst, BlockRecord, BlockSink, BlockSummary, BlockToInstAdapter, CountingBlockSink, MemRef,
+    SummarySink,
+};
 pub use record::{
     ArchReg, BranchInfo, InstClass, InstRecord, MemAccess, RegReads, NUM_ARCH_REGS,
     NUM_INST_CLASSES,

@@ -1,0 +1,1099 @@
+//! Basic-block compilation and the block-dispatch execution engine.
+//!
+//! The per-instruction interpreter ([`Vm::run`]) fetches, bounds-checks,
+//! decodes and budget-checks every dynamic instruction, and materializes
+//! one [`InstRecord`](phaselab_trace::InstRecord) per instruction. At
+//! characterization scale that dispatch overhead dominates. This module
+//! pre-decodes a [`Program`] once into basic-block *superinstructions* —
+//! straight-line arrays of decoded ops with a single terminator — using
+//! the same leader analysis as the static verifier's CFG construction
+//! (`pc 0`, every direct branch/jump/call target, and every instruction
+//! following a control transfer start a block). [`Vm::run_blocks`] then
+//! dispatches whole blocks: fuel/watchdog budgets are checked once per
+//! block, the block body executes with no per-instruction fetch or
+//! bounds checks, and observation is batched into one
+//! [`BlockRecord`] per dispatched block.
+//!
+//! The engine is bit-identical to the oracle interpreter: same register,
+//! memory and call-stack state after any budget, same fault kind at the
+//! same instruction index, and — through
+//! [`BlockRecord::records`] — the exact same observation stream.
+//!
+//! # Examples
+//!
+//! ```
+//! use phaselab_trace::CountingBlockSink;
+//! use phaselab_vm::{regs::*, Asm, CompiledProgram, DataBuilder, Vm};
+//!
+//! let mut asm = Asm::new();
+//! asm.li(T0, 0);
+//! asm.li(T1, 10);
+//! asm.label("loop");
+//! asm.addi(T0, T0, 1);
+//! asm.blt(T0, T1, "loop");
+//! asm.halt();
+//! let program = asm.assemble(DataBuilder::new()).unwrap();
+//!
+//! let compiled = CompiledProgram::compile(&program);
+//! let mut vm = Vm::new(&program);
+//! let mut sink = CountingBlockSink::new();
+//! let outcome = vm.run_blocks(&compiled, &mut sink, u64::MAX).unwrap();
+//! assert!(outcome.halted);
+//! assert_eq!(outcome.instructions, sink.instructions());
+//! assert_eq!(outcome.blocks, sink.blocks());
+//! assert!(outcome.blocks < outcome.instructions);
+//! ```
+
+use phaselab_trace::{
+    ArchReg, BlockInst, BlockRecord, BlockSink, BlockSummary, BranchInfo, MemRef, RegReads,
+};
+
+use crate::error::VmError;
+use crate::isa::{AluOp, Cond, FpCond, FpuOp, Instr, MemWidth, CODE_BASE};
+use crate::machine;
+use crate::machine::{RunOutcome, Vm, CALL_STACK_LIMIT};
+use crate::program::Program;
+
+/// A pre-decoded straight-line operation. Register ids are stored as raw
+/// `u8` indices (already validated to be `< 32` by the [`Instr`]
+/// constructors) so the dispatch loop avoids re-unpacking newtypes.
+/// Control transfers and `halt` never appear here — they are
+/// [`Terminator`]s.
+#[derive(Debug, Clone, Copy)]
+enum BodyOp {
+    Alu {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    AluImm {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        imm: i64,
+    },
+    Li {
+        rd: u8,
+        imm: i64,
+    },
+    LiF {
+        rd: u8,
+        val: f64,
+    },
+    Mv {
+        rd: u8,
+        rs: u8,
+    },
+    MvF {
+        rd: u8,
+        rs: u8,
+    },
+    Load {
+        rd: u8,
+        base: u8,
+        offset: i64,
+        width: MemWidth,
+    },
+    Store {
+        rs: u8,
+        base: u8,
+        offset: i64,
+        width: MemWidth,
+    },
+    LoadF {
+        rd: u8,
+        base: u8,
+        offset: i64,
+    },
+    StoreF {
+        rs: u8,
+        base: u8,
+        offset: i64,
+    },
+    Fpu {
+        op: FpuOp,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    FpuCmp {
+        cond: FpCond,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    ItoF {
+        rd: u8,
+        rs: u8,
+    },
+    FtoI {
+        rd: u8,
+        rs: u8,
+    },
+    Nop,
+}
+
+/// The single control-transfer (or halt) instruction ending a block.
+#[derive(Debug, Clone, Copy)]
+enum Terminator {
+    Branch {
+        cond: Cond,
+        rs1: u8,
+        rs2: u8,
+        target: u32,
+    },
+    Jump {
+        target: u32,
+    },
+    JumpInd {
+        rs: u8,
+    },
+    Call {
+        target: u32,
+    },
+    Ret,
+    Halt,
+}
+
+fn is_terminator(instr: &Instr) -> bool {
+    matches!(
+        instr,
+        Instr::Branch { .. }
+            | Instr::Jump { .. }
+            | Instr::JumpInd { .. }
+            | Instr::Call { .. }
+            | Instr::Ret
+            | Instr::Halt
+    )
+}
+
+/// A [`Program`] pre-decoded into basic-block superinstructions, ready
+/// for [`Vm::run_blocks`].
+///
+/// Compilation is a cheap, purely static pass (three linear sweeps over
+/// the code); compile once per program and reuse the result for every
+/// execution and resume slice. All tables are indexed by instruction
+/// index, so execution can *enter* a block at any pc — indirect jumps may
+/// land mid-block, and a budget pause may stop mid-block — and
+/// `run_end[pc]` always names the end of the remaining straight-line run.
+#[derive(Debug)]
+pub struct CompiledProgram {
+    code_len: u32,
+    /// Exclusive end of the straight-line run starting at each pc.
+    run_end: Vec<u32>,
+    /// Pre-decoded body op per pc (placeholder `Nop` at terminator pcs,
+    /// which the dispatch loop never executes as body).
+    body: Vec<BodyOp>,
+    /// Terminator per pc (`None` for body pcs and for fall-through run
+    /// ends, where the next block's leader cuts the run).
+    term: Vec<Option<Terminator>>,
+    /// Static observation template per pc.
+    templates: Vec<BlockInst>,
+    /// Aggregate summary of the run `[pc, run_end[pc])` (class counts,
+    /// register traffic, memory bytes), cached per pc so a fully executed
+    /// block emits its summary without a rescan.
+    summaries: Vec<BlockSummary>,
+    /// Memory accesses in the longest run, so the dispatch loop can size
+    /// its address scratch buffer once and never grow it mid-run.
+    max_run_mem: u32,
+}
+
+impl CompiledProgram {
+    /// Pre-decodes `program` into basic blocks.
+    pub fn compile(program: &Program) -> Self {
+        let code = program.code();
+        let n = code.len();
+
+        // Leader analysis, as in the verifier's CFG construction: pc 0,
+        // every direct control-transfer target, and every instruction
+        // after a control transfer or halt. (Indirect jumps need no
+        // leaders: every table below is per-pc, so any entry point
+        // resolves to the remaining run.)
+        let mut leader = vec![false; n + 1];
+        leader[n] = true;
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (i, instr) in code.iter().enumerate() {
+            match *instr {
+                Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Call { target } => {
+                    if (target as usize) < n {
+                        leader[target as usize] = true;
+                    }
+                    leader[i + 1] = true;
+                }
+                Instr::JumpInd { .. } | Instr::Ret | Instr::Halt => {
+                    leader[i + 1] = true;
+                }
+                _ => {}
+            }
+        }
+
+        let mut run_end = vec![0u32; n];
+        for i in (0..n).rev() {
+            run_end[i] = if is_terminator(&code[i]) || leader[i + 1] {
+                (i + 1) as u32
+            } else {
+                run_end[i + 1]
+            };
+        }
+
+        let mut body = Vec::with_capacity(n);
+        let mut term = Vec::with_capacity(n);
+        let mut templates = Vec::with_capacity(n);
+        for (i, instr) in code.iter().enumerate() {
+            body.push(body_of(instr));
+            term.push(term_of(instr));
+            templates.push(template_of(i as u32, instr));
+        }
+
+        let empty = BlockSummary::of(&[]);
+        let mut summaries = vec![empty; n];
+        let mut mem_counts = vec![0u32; n];
+        let mut max_run_mem = 0u32;
+        for i in (0..n).rev() {
+            let tail = i + 1 < run_end[i] as usize;
+            let mut s = if tail { summaries[i + 1] } else { empty };
+            let t = &templates[i];
+            s.class_counts[t.class.index()] += 1;
+            s.reg_reads += t.reads.len() as u32;
+            s.reg_writes += u32::from(t.write.is_some());
+            if let Some(m) = t.mem {
+                s.mem_bytes += u64::from(m.size);
+            }
+            summaries[i] = s;
+            let mem =
+                if tail { mem_counts[i + 1] } else { 0 } + u32::from(templates[i].mem.is_some());
+            mem_counts[i] = mem;
+            max_run_mem = max_run_mem.max(mem);
+        }
+
+        CompiledProgram {
+            code_len: n as u32,
+            run_end,
+            body,
+            term,
+            templates,
+            summaries,
+            max_run_mem,
+        }
+    }
+
+    /// Number of instructions in the compiled code.
+    pub fn code_len(&self) -> usize {
+        self.code_len as usize
+    }
+
+    /// Number of canonical basic blocks (the partition of the code into
+    /// maximal straight-line runs, starting from pc 0).
+    pub fn num_blocks(&self) -> usize {
+        let mut count = 0;
+        let mut pc = 0usize;
+        while pc < self.run_end.len() {
+            pc = self.run_end[pc] as usize;
+            count += 1;
+        }
+        count
+    }
+}
+
+/// Builds the static observation template of one instruction, mirroring
+/// exactly the operand fields [`Vm::run`] reports per record.
+fn template_of(index: u32, instr: &Instr) -> BlockInst {
+    let mut t = BlockInst::new(CODE_BASE + 4 * u64::from(index), instr.class());
+    let mut reads = RegReads::EMPTY;
+    let mut write: Option<ArchReg> = None;
+    let mut mem: Option<MemRef> = None;
+    match *instr {
+        Instr::Alu { rd, rs1, rs2, .. } => {
+            reads.push(rs1.arch());
+            reads.push(rs2.arch());
+            if !rd.is_zero() {
+                write = Some(rd.arch());
+            }
+        }
+        Instr::AluImm { rd, rs1, .. } => {
+            reads.push(rs1.arch());
+            if !rd.is_zero() {
+                write = Some(rd.arch());
+            }
+        }
+        Instr::Li { rd, .. } => {
+            if !rd.is_zero() {
+                write = Some(rd.arch());
+            }
+        }
+        Instr::LiF { rd, .. } => {
+            write = Some(rd.arch());
+        }
+        Instr::Mv { rd, rs } => {
+            reads.push(rs.arch());
+            if !rd.is_zero() {
+                write = Some(rd.arch());
+            }
+        }
+        Instr::MvF { rd, rs } => {
+            reads.push(rs.arch());
+            write = Some(rd.arch());
+        }
+        Instr::Load {
+            rd, base, width, ..
+        } => {
+            reads.push(base.arch());
+            if !rd.is_zero() {
+                write = Some(rd.arch());
+            }
+            mem = Some(MemRef {
+                size: width.bytes(),
+                is_store: false,
+            });
+        }
+        Instr::Store {
+            rs, base, width, ..
+        } => {
+            reads.push(rs.arch());
+            reads.push(base.arch());
+            mem = Some(MemRef {
+                size: width.bytes(),
+                is_store: true,
+            });
+        }
+        Instr::LoadF { rd, base, .. } => {
+            reads.push(base.arch());
+            write = Some(rd.arch());
+            mem = Some(MemRef {
+                size: 8,
+                is_store: false,
+            });
+        }
+        Instr::StoreF { rs, base, .. } => {
+            reads.push(rs.arch());
+            reads.push(base.arch());
+            mem = Some(MemRef {
+                size: 8,
+                is_store: true,
+            });
+        }
+        Instr::Fpu { op, rd, rs1, rs2 } => {
+            reads.push(rs1.arch());
+            if !op.is_unary() {
+                reads.push(rs2.arch());
+            }
+            write = Some(rd.arch());
+        }
+        Instr::FpuCmp { rd, rs1, rs2, .. } => {
+            reads.push(rs1.arch());
+            reads.push(rs2.arch());
+            if !rd.is_zero() {
+                write = Some(rd.arch());
+            }
+        }
+        Instr::ItoF { rd, rs } => {
+            reads.push(rs.arch());
+            write = Some(rd.arch());
+        }
+        Instr::FtoI { rd, rs } => {
+            reads.push(rs.arch());
+            if !rd.is_zero() {
+                write = Some(rd.arch());
+            }
+        }
+        Instr::Branch { rs1, rs2, .. } => {
+            reads.push(rs1.arch());
+            reads.push(rs2.arch());
+        }
+        Instr::JumpInd { rs } => {
+            reads.push(rs.arch());
+        }
+        Instr::Jump { .. } | Instr::Call { .. } | Instr::Ret | Instr::Nop | Instr::Halt => {}
+    }
+    t.reads = reads;
+    t.write = write;
+    t.mem = mem;
+    t
+}
+
+fn body_of(instr: &Instr) -> BodyOp {
+    match *instr {
+        Instr::Alu { op, rd, rs1, rs2 } => BodyOp::Alu {
+            op,
+            rd: rd.num(),
+            rs1: rs1.num(),
+            rs2: rs2.num(),
+        },
+        Instr::AluImm { op, rd, rs1, imm } => BodyOp::AluImm {
+            op,
+            rd: rd.num(),
+            rs1: rs1.num(),
+            imm,
+        },
+        Instr::Li { rd, imm } => BodyOp::Li { rd: rd.num(), imm },
+        Instr::LiF { rd, val } => BodyOp::LiF { rd: rd.num(), val },
+        Instr::Mv { rd, rs } => BodyOp::Mv {
+            rd: rd.num(),
+            rs: rs.num(),
+        },
+        Instr::MvF { rd, rs } => BodyOp::MvF {
+            rd: rd.num(),
+            rs: rs.num(),
+        },
+        Instr::Load {
+            rd,
+            base,
+            offset,
+            width,
+        } => BodyOp::Load {
+            rd: rd.num(),
+            base: base.num(),
+            offset,
+            width,
+        },
+        Instr::Store {
+            rs,
+            base,
+            offset,
+            width,
+        } => BodyOp::Store {
+            rs: rs.num(),
+            base: base.num(),
+            offset,
+            width,
+        },
+        Instr::LoadF { rd, base, offset } => BodyOp::LoadF {
+            rd: rd.num(),
+            base: base.num(),
+            offset,
+        },
+        Instr::StoreF { rs, base, offset } => BodyOp::StoreF {
+            rs: rs.num(),
+            base: base.num(),
+            offset,
+        },
+        Instr::Fpu { op, rd, rs1, rs2 } => BodyOp::Fpu {
+            op,
+            rd: rd.num(),
+            rs1: rs1.num(),
+            rs2: rs2.num(),
+        },
+        Instr::FpuCmp { cond, rd, rs1, rs2 } => BodyOp::FpuCmp {
+            cond,
+            rd: rd.num(),
+            rs1: rs1.num(),
+            rs2: rs2.num(),
+        },
+        Instr::ItoF { rd, rs } => BodyOp::ItoF {
+            rd: rd.num(),
+            rs: rs.num(),
+        },
+        Instr::FtoI { rd, rs } => BodyOp::FtoI {
+            rd: rd.num(),
+            rs: rs.num(),
+        },
+        Instr::Nop => BodyOp::Nop,
+        // Terminators never execute as body ops; the placeholder keeps
+        // the table densely indexed by pc.
+        Instr::Branch { .. }
+        | Instr::Jump { .. }
+        | Instr::JumpInd { .. }
+        | Instr::Call { .. }
+        | Instr::Ret
+        | Instr::Halt => BodyOp::Nop,
+    }
+}
+
+fn term_of(instr: &Instr) -> Option<Terminator> {
+    match *instr {
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => Some(Terminator::Branch {
+            cond,
+            rs1: rs1.num(),
+            rs2: rs2.num(),
+            target,
+        }),
+        Instr::Jump { target } => Some(Terminator::Jump { target }),
+        Instr::JumpInd { rs } => Some(Terminator::JumpInd { rs: rs.num() }),
+        Instr::Call { target } => Some(Terminator::Call { target }),
+        Instr::Ret => Some(Terminator::Ret),
+        Instr::Halt => Some(Terminator::Halt),
+        _ => None,
+    }
+}
+
+#[inline]
+fn uncond(target: u32) -> BranchInfo {
+    BranchInfo {
+        taken: true,
+        target: CODE_BASE + 4 * u64::from(target),
+        conditional: false,
+    }
+}
+
+// The executor works on *split borrows* of the VM (`&mut regs`,
+// `&mut fregs`, `&mut mem` taken as disjoint field borrows) rather than
+// `&mut self`. Distinct `&mut` borrows are guaranteed non-aliasing, so
+// the compiler keeps the register file and the memory slice's
+// pointer/length in machine registers across a whole block body instead
+// of conservatively reloading them after every store through `self`.
+
+#[inline]
+fn int(regs: &[u64; 32], r: u8) -> u64 {
+    regs[usize::from(r) & 31]
+}
+
+#[inline]
+fn set_int(regs: &mut [u64; 32], r: u8, v: u64) {
+    if r != 0 {
+        regs[usize::from(r) & 31] = v;
+    }
+}
+
+#[inline]
+fn fp(fregs: &[f64; 32], r: u8) -> f64 {
+    fregs[usize::from(r) & 31]
+}
+
+#[inline]
+fn set_fp(fregs: &mut [f64; 32], r: u8, v: f64) {
+    fregs[usize::from(r) & 31] = v;
+}
+
+#[inline]
+fn exec_body_op(
+    op: &BodyOp,
+    pc: u32,
+    regs: &mut [u64; 32],
+    fregs: &mut [f64; 32],
+    mem: &mut [u8],
+    mem_addrs: &mut Vec<u64>,
+) -> Result<(), VmError> {
+    match *op {
+        BodyOp::Alu { op, rd, rs1, rs2 } => {
+            let v = op.apply(int(regs, rs1), int(regs, rs2));
+            set_int(regs, rd, v);
+        }
+        BodyOp::AluImm { op, rd, rs1, imm } => {
+            let v = op.apply(int(regs, rs1), imm as u64);
+            set_int(regs, rd, v);
+        }
+        BodyOp::Li { rd, imm } => set_int(regs, rd, imm as u64),
+        BodyOp::LiF { rd, val } => set_fp(fregs, rd, val),
+        BodyOp::Mv { rd, rs } => {
+            let v = int(regs, rs);
+            set_int(regs, rd, v);
+        }
+        BodyOp::MvF { rd, rs } => {
+            let v = fp(fregs, rs);
+            set_fp(fregs, rd, v);
+        }
+        BodyOp::Load {
+            rd,
+            base,
+            offset,
+            width,
+        } => {
+            let addr = int(regs, base).wrapping_add(offset as u64);
+            let v = machine::load_from(mem, pc, addr, width)?;
+            set_int(regs, rd, v);
+            mem_addrs.push(addr);
+        }
+        BodyOp::Store {
+            rs,
+            base,
+            offset,
+            width,
+        } => {
+            let addr = int(regs, base).wrapping_add(offset as u64);
+            machine::store_into(mem, pc, addr, int(regs, rs), width)?;
+            mem_addrs.push(addr);
+        }
+        BodyOp::LoadF { rd, base, offset } => {
+            let addr = int(regs, base).wrapping_add(offset as u64);
+            let bits = machine::load8_from(mem, pc, addr)?;
+            set_fp(fregs, rd, f64::from_bits(bits));
+            mem_addrs.push(addr);
+        }
+        BodyOp::StoreF { rs, base, offset } => {
+            let addr = int(regs, base).wrapping_add(offset as u64);
+            machine::store8_into(mem, pc, addr, fp(fregs, rs).to_bits())?;
+            mem_addrs.push(addr);
+        }
+        BodyOp::Fpu { op, rd, rs1, rs2 } => {
+            let v = op.apply(fp(fregs, rs1), fp(fregs, rs2));
+            set_fp(fregs, rd, v);
+        }
+        BodyOp::FpuCmp { cond, rd, rs1, rs2 } => {
+            let v = u64::from(cond.eval(fp(fregs, rs1), fp(fregs, rs2)));
+            set_int(regs, rd, v);
+        }
+        BodyOp::ItoF { rd, rs } => {
+            let v = int(regs, rs) as i64 as f64;
+            set_fp(fregs, rd, v);
+        }
+        BodyOp::FtoI { rd, rs } => {
+            let v = fp(fregs, rs);
+            let clamped = if v.is_nan() {
+                0
+            } else {
+                v as i64 // saturating float-to-int cast, as in the oracle
+            };
+            set_int(regs, rd, clamped as u64);
+        }
+        BodyOp::Nop => {}
+    }
+    Ok(())
+}
+
+/// Executes a block terminator at `pc`; `fallthrough` is `pc + 1`.
+/// Returns `(next_pc, branch_outcome, halted)`.
+#[inline]
+fn exec_terminator(
+    t: Terminator,
+    pc: u32,
+    fallthrough: u32,
+    regs: &[u64; 32],
+    call_stack: &mut Vec<u32>,
+) -> Result<(u32, Option<BranchInfo>, bool), VmError> {
+    match t {
+        Terminator::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
+            let taken = cond.eval(int(regs, rs1), int(regs, rs2));
+            let next = if taken { target } else { fallthrough };
+            Ok((
+                next,
+                Some(BranchInfo {
+                    taken,
+                    target: CODE_BASE + 4 * u64::from(target),
+                    conditional: true,
+                }),
+                false,
+            ))
+        }
+        Terminator::Jump { target } => Ok((target, Some(uncond(target)), false)),
+        Terminator::JumpInd { rs } => {
+            let target = int(regs, rs) as u32;
+            Ok((target, Some(uncond(target)), false))
+        }
+        Terminator::Call { target } => {
+            if call_stack.len() >= CALL_STACK_LIMIT {
+                return Err(VmError::CallStackOverflow);
+            }
+            call_stack.push(pc + 1);
+            Ok((target, Some(uncond(target)), false))
+        }
+        Terminator::Ret => {
+            let Some(ra) = call_stack.pop() else {
+                return Err(VmError::CallStackUnderflow { pc });
+            };
+            Ok((ra, Some(uncond(ra)), false))
+        }
+        Terminator::Halt => Ok((fallthrough, None, true)),
+    }
+}
+
+impl Vm<'_> {
+    /// Runs until `halt`, a fault, or `max_instructions` executed
+    /// instructions, dispatching pre-decoded basic blocks and reporting
+    /// each executed block to `sink`.
+    ///
+    /// This is the block-compiled equivalent of [`Vm::run`]: machine
+    /// state, instruction counts, fault kinds and fault positions are
+    /// bit-identical to the per-instruction interpreter for every program
+    /// and budget, and the reconstructed observation stream
+    /// ([`BlockRecord::records`]) matches the oracle's record-for-record.
+    /// Budget pauses may land mid-block; the executed prefix is reported
+    /// (with `branch: None`, since the terminator did not run) and the
+    /// next call resumes from the interior pc.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compiled` was not compiled from this VM's program (the
+    /// check is a cheap length comparison; compiling from a different
+    /// program of equal length is undetected misuse).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] if the program faults; exactly as in
+    /// [`Vm::run`], machine state up to the faulting instruction is
+    /// preserved, `executed()` does not count this call's instructions,
+    /// and the faulting instruction is not reported to the sink.
+    pub fn run_blocks<S: BlockSink>(
+        &mut self,
+        compiled: &CompiledProgram,
+        sink: &mut S,
+        max_instructions: u64,
+    ) -> Result<RunOutcome, VmError> {
+        assert_eq!(
+            compiled.code_len(),
+            self.program.code().len(),
+            "compiled program does not match this VM's program"
+        );
+        if self.halted {
+            return Ok(RunOutcome {
+                instructions: 0,
+                blocks: 0,
+                halted: true,
+            });
+        }
+        let mut count = 0u64;
+        let mut blocks = 0u64;
+        let mut halted = false;
+        let mut mem_addrs: Vec<u64> = Vec::with_capacity(compiled.max_run_mem as usize);
+
+        // Split the VM into disjoint field borrows once per call; see the
+        // comment above `exec_body_op`.
+        let regs = &mut self.regs;
+        let fregs = &mut self.fregs;
+        let mem = self.mem.as_mut_slice();
+        let call_stack = &mut self.call_stack;
+
+        while count < max_instructions {
+            let start = self.pc;
+            let Some(&run_end) = compiled.run_end.get(start as usize) else {
+                return Err(VmError::PcOutOfRange { pc: start });
+            };
+            let len = u64::from(run_end - start);
+            let remaining = max_instructions - count;
+            let cut = remaining < len;
+            let term_pc = run_end - 1;
+            let term = compiled.term[term_pc as usize];
+            let body_end = if term.is_some() { term_pc } else { run_end };
+            let body_take = if cut {
+                start + remaining as u32
+            } else {
+                body_end
+            };
+
+            mem_addrs.clear();
+            let mut k = 0u32;
+            let mut fault: Option<VmError> = None;
+            for op in &compiled.body[start as usize..body_take as usize] {
+                if let Err(e) = exec_body_op(op, start + k, regs, fregs, mem, &mut mem_addrs) {
+                    fault = Some(e);
+                    break;
+                }
+                k += 1;
+            }
+
+            let mut executed = k;
+            let mut branch: Option<BranchInfo> = None;
+            let mut next_pc = start + k;
+            if fault.is_none() && !cut {
+                if let Some(t) = term {
+                    match exec_terminator(t, term_pc, run_end, regs, call_stack) {
+                        Ok((np, br, h)) => {
+                            next_pc = np;
+                            branch = br;
+                            halted = h;
+                            executed += 1;
+                        }
+                        Err(e) => fault = Some(e),
+                    }
+                } else {
+                    next_pc = run_end;
+                }
+            }
+
+            if executed > 0 {
+                let insts = &compiled.templates[start as usize..(start + executed) as usize];
+                let scratch_summary;
+                let summary = if u64::from(executed) == len {
+                    &compiled.summaries[start as usize]
+                } else {
+                    scratch_summary = BlockSummary::of(insts);
+                    &scratch_summary
+                };
+                sink.observe_block(&BlockRecord::new(insts, &mem_addrs, summary, branch));
+                blocks += 1;
+                count += u64::from(executed);
+            }
+            if let Some(e) = fault {
+                // Exactly the oracle's fault contract: `pc` rests on the
+                // faulting instruction and `executed` is not advanced for
+                // this call.
+                self.pc = start + executed;
+                return Err(e);
+            }
+            self.pc = next_pc;
+            if halted {
+                break;
+            }
+        }
+
+        self.executed += count;
+        self.halted = halted;
+        Ok(RunOutcome {
+            instructions: count,
+            blocks,
+            halted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::regs::*;
+    use crate::asm::Asm;
+    use crate::program::DataBuilder;
+    use phaselab_trace::{BlockToInstAdapter, CountingBlockSink, VecSink};
+
+    fn loop_program() -> Program {
+        let mut a = Asm::new();
+        a.li(T0, 0);
+        a.li(T1, 1);
+        a.li(T2, 101);
+        a.label("loop");
+        a.add(T0, T0, T1);
+        a.addi(T1, T1, 1);
+        a.blt(T1, T2, "loop");
+        a.halt();
+        a.assemble(DataBuilder::new()).unwrap()
+    }
+
+    fn records_inst(
+        program: &Program,
+        budget: u64,
+    ) -> (Result<RunOutcome, VmError>, Vec<phaselab_trace::InstRecord>) {
+        let mut vm = Vm::new(program);
+        let mut sink = VecSink::new();
+        let out = vm.run(&mut sink, budget);
+        (out, sink.into_records())
+    }
+
+    fn records_block(
+        program: &Program,
+        budget: u64,
+    ) -> (Result<RunOutcome, VmError>, Vec<phaselab_trace::InstRecord>) {
+        let compiled = CompiledProgram::compile(program);
+        let mut vm = Vm::new(program);
+        let mut sink = BlockToInstAdapter::new(VecSink::new());
+        let out = vm.run_blocks(&compiled, &mut sink, budget);
+        sink.finish();
+        (out, sink.into_inner().into_records())
+    }
+
+    #[test]
+    fn loop_blocks_partition_the_code() {
+        let program = loop_program();
+        let compiled = CompiledProgram::compile(&program);
+        // Blocks: [li,li,li], [add,addi,blt], [halt].
+        assert_eq!(compiled.num_blocks(), 3);
+        assert_eq!(compiled.code_len(), 7);
+    }
+
+    #[test]
+    fn block_stream_matches_oracle_stream() {
+        let program = loop_program();
+        let (out_i, recs_i) = records_inst(&program, u64::MAX);
+        let (out_b, recs_b) = records_block(&program, u64::MAX);
+        let out_i = out_i.unwrap();
+        let out_b = out_b.unwrap();
+        assert_eq!(out_i.instructions, out_b.instructions);
+        assert_eq!(out_i.halted, out_b.halted);
+        assert!(out_b.blocks < out_b.instructions);
+        assert_eq!(recs_i, recs_b);
+    }
+
+    #[test]
+    fn every_budget_cut_matches_oracle() {
+        let program = loop_program();
+        let (_, full) = records_inst(&program, u64::MAX);
+        for budget in 0..=full.len() as u64 {
+            let (out_i, recs_i) = records_inst(&program, budget);
+            let (out_b, recs_b) = records_block(&program, budget);
+            assert_eq!(out_i.unwrap().instructions, out_b.unwrap().instructions);
+            assert_eq!(recs_i, recs_b, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn mid_block_pause_resumes_bit_exactly() {
+        let program = loop_program();
+        // Pause repeatedly with a budget that is coprime to the block
+        // lengths, so pauses land mid-block.
+        let compiled = CompiledProgram::compile(&program);
+        let mut vm = Vm::new(&program);
+        let mut sink = BlockToInstAdapter::new(VecSink::new());
+        loop {
+            let out = vm.run_blocks(&compiled, &mut sink, 5).unwrap();
+            if out.halted {
+                break;
+            }
+        }
+        let resumed = sink.into_inner().into_records();
+        let (_, oracle) = records_inst(&program, u64::MAX);
+        assert_eq!(resumed, oracle);
+    }
+
+    #[test]
+    fn fault_position_and_state_match_oracle() {
+        let mut data = DataBuilder::new();
+        let buf = data.alloc_u64(1);
+        let mut a = Asm::new();
+        a.li(T0, buf as i64);
+        a.sd(T0, T0, 0);
+        a.li(T1, 1 << 40); // out of any data segment
+        a.ld(T2, T1, 0); // faults at pc 3
+        a.halt();
+        let program = a.assemble(data).unwrap();
+
+        let (out_i, recs_i) = records_inst(&program, u64::MAX);
+        let (out_b, recs_b) = records_block(&program, u64::MAX);
+        let err_i = out_i.unwrap_err();
+        let err_b = out_b.unwrap_err();
+        assert_eq!(err_i, err_b);
+        assert!(matches!(err_b, VmError::MemOutOfBounds { pc: 3, .. }));
+        assert_eq!(recs_i, recs_b);
+
+        // Machine state after the fault is identical too.
+        let compiled = CompiledProgram::compile(&program);
+        let mut vm_i = Vm::new(&program);
+        let mut vm_b = Vm::new(&program);
+        let _ = vm_i.run(&mut phaselab_trace::CountingSink::new(), u64::MAX);
+        let _ = vm_b.run_blocks(&compiled, &mut CountingBlockSink::new(), u64::MAX);
+        assert_eq!(vm_i.executed(), vm_b.executed());
+        assert_eq!(vm_i.reg(T0), vm_b.reg(T0));
+        assert_eq!(vm_i.mem_u64(buf), vm_b.mem_u64(buf));
+    }
+
+    #[test]
+    fn call_ret_and_underflow_match_oracle() {
+        let mut a = Asm::new();
+        a.li(A0, 20);
+        a.call("double");
+        a.mv(S0, V0);
+        a.ret(); // underflows: the call's frame was consumed by `double`
+        a.label("double");
+        a.add(V0, A0, A0);
+        a.ret();
+        let program = a.assemble(DataBuilder::new()).unwrap();
+        let (out_i, recs_i) = records_inst(&program, u64::MAX);
+        let (out_b, recs_b) = records_block(&program, u64::MAX);
+        assert_eq!(out_i.unwrap_err(), out_b.unwrap_err());
+        assert_eq!(recs_i, recs_b);
+    }
+
+    #[test]
+    fn indirect_jump_enters_mid_block() {
+        let mut a = Asm::new();
+        a.li_label(T0, "mid");
+        a.jr(T0);
+        a.li(S0, 1); // block leader (falls after jr)
+        a.label("mid"); // NOT a leader: only reached indirectly
+        a.li(S1, 2);
+        a.halt();
+        let program = a.assemble(DataBuilder::new()).unwrap();
+        let (out_i, recs_i) = records_inst(&program, u64::MAX);
+        let (out_b, recs_b) = records_block(&program, u64::MAX);
+        assert_eq!(out_i.unwrap(), {
+            let mut o = out_b.unwrap();
+            o.blocks = o.instructions; // oracle dispatches per instruction
+            o
+        });
+        assert_eq!(recs_i, recs_b);
+        let mut vm = Vm::new(&program);
+        let compiled = CompiledProgram::compile(&program);
+        vm.run_blocks(&compiled, &mut CountingBlockSink::new(), u64::MAX)
+            .unwrap();
+        assert_eq!(vm.reg(S0), 0);
+        assert_eq!(vm.reg(S1), 2);
+    }
+
+    #[test]
+    fn pc_out_of_range_matches_oracle() {
+        let mut a = Asm::new();
+        a.li(T0, 1_000_000);
+        a.jr(T0); // jumps far outside the code
+        a.halt();
+        let program = a.assemble(DataBuilder::new()).unwrap();
+        let (out_i, recs_i) = records_inst(&program, u64::MAX);
+        let (out_b, recs_b) = records_block(&program, u64::MAX);
+        assert_eq!(out_i.unwrap_err(), out_b.unwrap_err());
+        assert_eq!(recs_i, recs_b);
+    }
+
+    #[test]
+    fn div_by_zero_is_not_a_fault_in_either_engine() {
+        let mut a = Asm::new();
+        a.li(T0, 7);
+        a.li(T1, 0);
+        a.div(T2, T0, T1);
+        a.rem(T3, T0, T1);
+        a.halt();
+        let program = a.assemble(DataBuilder::new()).unwrap();
+        let compiled = CompiledProgram::compile(&program);
+        let mut vm = Vm::new(&program);
+        let out = vm
+            .run_blocks(&compiled, &mut CountingBlockSink::new(), u64::MAX)
+            .unwrap();
+        assert!(out.halted);
+        assert_eq!(vm.reg(T2), u64::MAX);
+        assert_eq!(vm.reg(T3), 7);
+    }
+
+    #[test]
+    fn zero_budget_executes_nothing() {
+        let program = loop_program();
+        let compiled = CompiledProgram::compile(&program);
+        let mut vm = Vm::new(&program);
+        let out = vm
+            .run_blocks(&compiled, &mut CountingBlockSink::new(), 0)
+            .unwrap();
+        assert_eq!(out.instructions, 0);
+        assert_eq!(out.blocks, 0);
+        assert!(!out.halted);
+    }
+
+    #[test]
+    fn run_after_halt_is_a_no_op() {
+        let program = loop_program();
+        let compiled = CompiledProgram::compile(&program);
+        let mut vm = Vm::new(&program);
+        let first = vm
+            .run_blocks(&compiled, &mut CountingBlockSink::new(), u64::MAX)
+            .unwrap();
+        assert!(first.halted);
+        let again = vm
+            .run_blocks(&compiled, &mut CountingBlockSink::new(), u64::MAX)
+            .unwrap();
+        assert_eq!(again.instructions, 0);
+        assert_eq!(again.blocks, 0);
+        assert!(again.halted);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_compiled_program_is_rejected() {
+        let program = loop_program();
+        let mut a = Asm::new();
+        a.halt();
+        let other = a.assemble(DataBuilder::new()).unwrap();
+        let compiled = CompiledProgram::compile(&other);
+        let mut vm = Vm::new(&program);
+        let _ = vm.run_blocks(&compiled, &mut CountingBlockSink::new(), 1);
+    }
+
+    #[test]
+    fn zero_register_stays_hardwired_in_block_engine() {
+        let mut a = Asm::new();
+        a.li(ZERO, 42);
+        a.addi(T0, ZERO, 1);
+        a.halt();
+        let program = a.assemble(DataBuilder::new()).unwrap();
+        let compiled = CompiledProgram::compile(&program);
+        let mut vm = Vm::new(&program);
+        vm.run_blocks(&compiled, &mut CountingBlockSink::new(), 100)
+            .unwrap();
+        assert_eq!(vm.reg(ZERO), 0);
+        assert_eq!(vm.reg(T0), 1);
+    }
+}

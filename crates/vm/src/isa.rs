@@ -128,6 +128,7 @@ impl AluOp {
     }
 
     /// Applies the operation to two 64-bit values.
+    #[inline]
     pub fn apply(self, a: u64, b: u64) -> u64 {
         match self {
             AluOp::Add => a.wrapping_add(b),
@@ -202,6 +203,7 @@ impl FpuOp {
     }
 
     /// Applies the operation.
+    #[inline]
     pub fn apply(self, a: f64, b: f64) -> f64 {
         match self {
             FpuOp::Add => a + b,
@@ -236,6 +238,7 @@ pub enum Cond {
 
 impl Cond {
     /// Evaluates the condition on two 64-bit values.
+    #[inline]
     pub fn eval(self, a: u64, b: u64) -> bool {
         match self {
             Cond::Eq => a == b,
@@ -261,6 +264,7 @@ pub enum FpCond {
 
 impl FpCond {
     /// Evaluates the condition. Comparisons with NaN are `false`.
+    #[inline]
     pub fn eval(self, a: f64, b: f64) -> bool {
         match self {
             FpCond::Eq => a == b,

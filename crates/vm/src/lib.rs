@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod asm;
+mod block;
 mod disasm;
 mod error;
 mod isa;
@@ -57,6 +58,7 @@ mod program;
 mod verify;
 
 pub use asm::{regs, Asm};
+pub use block::CompiledProgram;
 pub use error::{AsmError, VmError};
 pub use isa::{AluOp, Cond, FReg, FpCond, FpuOp, IReg, Instr, MemWidth, CODE_BASE};
 pub use machine::{RunOutcome, Vm, CALL_STACK_LIMIT};

@@ -10,11 +10,102 @@ use crate::program::Program;
 /// [`VmError::CallStackOverflow`].
 pub const CALL_STACK_LIMIT: usize = 1 << 16;
 
-/// The result of a [`Vm::run`] that did not fault.
+// Kept out of line so the load/store hot paths don't carry the error
+// construction in their instruction stream.
+#[cold]
+#[inline(never)]
+pub(crate) fn oob_error(pc: u32, addr: u64, width: MemWidth) -> VmError {
+    VmError::MemOutOfBounds {
+        pc,
+        addr,
+        size: width.bytes(),
+    }
+}
+
+// Free-function memory accessors over a raw byte slice. `Vm::load`/
+// `Vm::store` delegate here; the block engine calls them directly with a
+// split borrow of the VM's memory so the compiler can keep the slice
+// pointer and length in registers across an entire block body (a
+// `&mut self` receiver forces a conservative reload after every store,
+// since a store through `self.mem` could alias `self` itself).
+
+/// Fast path for the 8-byte accesses `LoadF`/`StoreF` always perform: a
+/// single range check and a fixed-width copy instead of the generic
+/// width dispatch. Fault values are identical to
+/// [`load_from`]`(mem, pc, addr, MemWidth::D)`.
+#[inline]
+pub(crate) fn load8_from(mem: &[u8], pc: u32, addr: u64) -> Result<u64, VmError> {
+    match mem.get(addr as usize..).and_then(|s| s.first_chunk::<8>()) {
+        Some(b) => Ok(u64::from_le_bytes(*b)),
+        None => Err(oob_error(pc, addr, MemWidth::D)),
+    }
+}
+
+/// 8-byte store counterpart of [`load8_from`].
+#[inline]
+pub(crate) fn store8_into(mem: &mut [u8], pc: u32, addr: u64, value: u64) -> Result<(), VmError> {
+    match mem
+        .get_mut(addr as usize..)
+        .and_then(|s| s.first_chunk_mut::<8>())
+    {
+        Some(b) => {
+            *b = value.to_le_bytes();
+            Ok(())
+        }
+        None => Err(oob_error(pc, addr, MemWidth::D)),
+    }
+}
+
+#[inline]
+pub(crate) fn load_from(mem: &[u8], pc: u32, addr: u64, width: MemWidth) -> Result<u64, VmError> {
+    let size = width.bytes() as usize;
+    let a = addr as usize;
+    let end = a
+        .checked_add(size)
+        .ok_or_else(|| oob_error(pc, addr, width))?;
+    if end > mem.len() {
+        return Err(oob_error(pc, addr, width));
+    }
+    let bytes = &mem[a..end];
+    Ok(match width {
+        MemWidth::B => bytes[0] as u64,
+        MemWidth::H => u16::from_le_bytes(bytes.try_into().expect("2 bytes")) as u64,
+        MemWidth::W => u32::from_le_bytes(bytes.try_into().expect("4 bytes")) as u64,
+        MemWidth::D => u64::from_le_bytes(bytes.try_into().expect("8 bytes")),
+    })
+}
+
+#[inline]
+pub(crate) fn store_into(
+    mem: &mut [u8],
+    pc: u32,
+    addr: u64,
+    value: u64,
+    width: MemWidth,
+) -> Result<(), VmError> {
+    let size = width.bytes() as usize;
+    let a = addr as usize;
+    let end = a
+        .checked_add(size)
+        .ok_or_else(|| oob_error(pc, addr, width))?;
+    if end > mem.len() {
+        return Err(oob_error(pc, addr, width));
+    }
+    mem[a..end].copy_from_slice(&value.to_le_bytes()[..size]);
+    Ok(())
+}
+
+/// The result of a [`Vm::run`] or [`Vm::run_blocks`] that did not fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOutcome {
     /// Number of instructions executed (including the final `halt`).
     pub instructions: u64,
+    /// Number of dispatch units executed: basic blocks for
+    /// [`Vm::run_blocks`], individual instructions for the
+    /// per-instruction [`Vm::run`] (where every dispatch executes exactly
+    /// one instruction). The ratio `instructions / blocks` measures how
+    /// much dispatch overhead the engine amortizes.
+    pub blocks: u64,
     /// `true` if the program executed `halt`; `false` if the instruction
     /// budget was exhausted first.
     pub halted: bool,
@@ -48,14 +139,14 @@ pub struct RunOutcome {
 /// ```
 #[derive(Debug)]
 pub struct Vm<'p> {
-    program: &'p Program,
-    regs: [u64; 32],
-    fregs: [f64; 32],
-    pc: u32,
-    call_stack: Vec<u32>,
-    mem: Vec<u8>,
-    executed: u64,
-    halted: bool,
+    pub(crate) program: &'p Program,
+    pub(crate) regs: [u64; 32],
+    pub(crate) fregs: [f64; 32],
+    pub(crate) pc: u32,
+    pub(crate) call_stack: Vec<u32>,
+    pub(crate) mem: Vec<u8>,
+    pub(crate) executed: u64,
+    pub(crate) halted: bool,
 }
 
 impl<'p> Vm<'p> {
@@ -147,49 +238,35 @@ impl<'p> Vm<'p> {
         f64::from_bits(self.mem_u64(addr))
     }
 
+    /// Fast path for the 8-byte accesses `LoadF`/`StoreF` always perform:
+    /// a single range check and a fixed-width copy instead of the generic
+    /// width dispatch. Fault values are identical to
+    /// [`load`](Self::load)`(pc, addr, MemWidth::D)`.
     #[inline]
-    fn load(&self, pc: u32, addr: u64, width: MemWidth) -> Result<u64, VmError> {
-        let size = width.bytes() as usize;
-        let a = addr as usize;
-        let end = a.checked_add(size).ok_or(VmError::MemOutOfBounds {
-            pc,
-            addr,
-            size: width.bytes(),
-        })?;
-        if end > self.mem.len() {
-            return Err(VmError::MemOutOfBounds {
-                pc,
-                addr,
-                size: width.bytes(),
-            });
-        }
-        let bytes = &self.mem[a..end];
-        Ok(match width {
-            MemWidth::B => bytes[0] as u64,
-            MemWidth::H => u16::from_le_bytes(bytes.try_into().expect("2 bytes")) as u64,
-            MemWidth::W => u32::from_le_bytes(bytes.try_into().expect("4 bytes")) as u64,
-            MemWidth::D => u64::from_le_bytes(bytes.try_into().expect("8 bytes")),
-        })
+    pub(crate) fn load8(&self, pc: u32, addr: u64) -> Result<u64, VmError> {
+        load8_from(&self.mem, pc, addr)
+    }
+
+    /// 8-byte store counterpart of [`load8`](Self::load8).
+    #[inline]
+    pub(crate) fn store8(&mut self, pc: u32, addr: u64, value: u64) -> Result<(), VmError> {
+        store8_into(&mut self.mem, pc, addr, value)
     }
 
     #[inline]
-    fn store(&mut self, pc: u32, addr: u64, value: u64, width: MemWidth) -> Result<(), VmError> {
-        let size = width.bytes() as usize;
-        let a = addr as usize;
-        let end = a.checked_add(size).ok_or(VmError::MemOutOfBounds {
-            pc,
-            addr,
-            size: width.bytes(),
-        })?;
-        if end > self.mem.len() {
-            return Err(VmError::MemOutOfBounds {
-                pc,
-                addr,
-                size: width.bytes(),
-            });
-        }
-        self.mem[a..end].copy_from_slice(&value.to_le_bytes()[..size]);
-        Ok(())
+    pub(crate) fn load(&self, pc: u32, addr: u64, width: MemWidth) -> Result<u64, VmError> {
+        load_from(&self.mem, pc, addr, width)
+    }
+
+    #[inline]
+    pub(crate) fn store(
+        &mut self,
+        pc: u32,
+        addr: u64,
+        value: u64,
+        width: MemWidth,
+    ) -> Result<(), VmError> {
+        store_into(&mut self.mem, pc, addr, value, width)
     }
 
     /// Runs until `halt`, a fault, or `max_instructions` executed
@@ -212,6 +289,7 @@ impl<'p> Vm<'p> {
         if self.halted {
             return Ok(RunOutcome {
                 instructions: 0,
+                blocks: 0,
                 halted: true,
             });
         }
@@ -309,7 +387,7 @@ impl<'p> Vm<'p> {
                 }
                 Instr::LoadF { rd, base, offset } => {
                     let addr = self.reg(base).wrapping_add(offset as u64);
-                    let bits = self.load(pc, addr, MemWidth::D)?;
+                    let bits = self.load8(pc, addr)?;
                     self.set_freg(rd, f64::from_bits(bits));
                     reads.push(base.arch());
                     write = Some(rd.arch());
@@ -321,7 +399,7 @@ impl<'p> Vm<'p> {
                 }
                 Instr::StoreF { rs, base, offset } => {
                     let addr = self.reg(base).wrapping_add(offset as u64);
-                    self.store(pc, addr, self.freg(rs).to_bits(), MemWidth::D)?;
+                    self.store8(pc, addr, self.freg(rs).to_bits())?;
                     reads.push(rs.arch());
                     reads.push(base.arch());
                     mem = Some(MemAccess {
@@ -451,6 +529,7 @@ impl<'p> Vm<'p> {
         self.halted = halted;
         Ok(RunOutcome {
             instructions: count,
+            blocks: count,
             halted,
         })
     }
@@ -690,6 +769,7 @@ mod tests {
             again,
             RunOutcome {
                 instructions: 0,
+                blocks: 0,
                 halted: true
             }
         );

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Compare two benchmark-figures JSON documents (`BENCH_obs.json`, as
+written by `check_manifest.py --emit-bench`) or two full run manifests
+(`repro --metrics-out`), print per-metric deltas, and exit non-zero on
+any regression beyond the noise band.
+
+For full manifests the same figures `--emit-bench` would distill are
+compared (kmeans wall time, characterization throughput, dispatch
+amortization, peak RSS), so either file kind can sit on either side.
+
+Each metric has a direction: `*_per_s`, `*_per_dispatch`, and
+`*_speedup` are higher-is-better; `*_ms` and `*_kb` are
+lower-is-better. A move in the
+bad direction larger than the noise band is a regression. Wall-clock
+metrics get the wide default band (`--noise`, fractional); metrics
+listed in DETERMINISTIC carry no timing noise, so they use the tight
+`--det-noise` band — if `vm_inst_per_dispatch` drops, the block engine
+genuinely stopped batching, not the CI runner got slow.
+
+Typical usage:
+
+    python3 scripts/bench_compare.py BENCH_obs.json target/BENCH_obs.json
+    python3 scripts/bench_compare.py old-manifest.json new-manifest.json --noise 0.5
+
+Exit status: 0 when no metric regressed beyond its band, 1 otherwise
+(also 1 for unreadable input or no shared metrics).
+"""
+
+import argparse
+import json
+import sys
+
+# Metrics whose values are bit-deterministic for a fixed workload set:
+# compared with --det-noise instead of the wall-clock band.
+DETERMINISTIC = {"vm_inst_per_dispatch"}
+
+HIGHER_BETTER_SUFFIXES = ("_per_s", "_per_dispatch", "_speedup")
+LOWER_BETTER_SUFFIXES = ("_ms", "_kb")
+
+
+def fail(msg):
+    print(f"bench_compare: FAIL — {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def direction(metric):
+    """+1 if higher is better, -1 if lower is better, 0 if unknown."""
+    if metric.endswith(HIGHER_BETTER_SUFFIXES):
+        return 1
+    if metric.endswith(LOWER_BETTER_SUFFIXES):
+        return -1
+    return 0
+
+
+def distill(doc, path):
+    """Return the metric dict of `doc`: either it already is a flat
+    bench-figures document, or it is a full run manifest to distill."""
+    if not isinstance(doc, dict):
+        fail(f"{path}: expected a JSON object")
+    if "timings" in doc and "counters" in doc:  # a full run manifest
+        spans = doc["timings"].get("spans", {})
+        counters = doc.get("counters", {})
+        out = {
+            "kmeans_wall_ms": spans.get("study/kmeans", {}).get("total_ms"),
+            "peak_rss_kb": doc["timings"].get("peak_rss_kb"),
+        }
+        char_ms = spans.get("study/characterize", {}).get("total_ms")
+        instructions = counters.get("vm.instructions")
+        blocks = counters.get("vm.blocks")
+        if char_ms and instructions is not None:
+            out["characterize_inst_per_s"] = instructions / (char_ms / 1e3)
+        if instructions is not None and blocks:
+            out["vm_inst_per_dispatch"] = instructions / blocks
+        gauges = doc["timings"].get("gauges", {})
+        out["vm_block_speedup"] = gauges.get("vm.calibrate.block_speedup")
+        return {k: v for k, v in out.items() if v is not None}
+    flat = {k: v for k, v in doc.items() if isinstance(v, (int, float))}
+    if not flat:
+        fail(f"{path}: no numeric metrics found")
+    return flat
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return distill(json.load(f), path)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="baseline BENCH_obs.json or run manifest")
+    ap.add_argument("candidate", help="candidate BENCH_obs.json or run manifest")
+    ap.add_argument(
+        "--noise",
+        type=float,
+        default=0.35,
+        metavar="FRAC",
+        help="fractional noise band for wall-clock metrics (default: 0.35)",
+    )
+    ap.add_argument(
+        "--det-noise",
+        type=float,
+        default=1e-6,
+        metavar="FRAC",
+        help="fractional band for deterministic metrics (default: 1e-6)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        fail("the two documents share no metrics")
+
+    regressions = []
+    width = max(len(m) for m in shared)
+    print(f"{'metric':<{width}}  {'baseline':>14}  {'candidate':>14}  {'delta':>9}  status")
+    for metric in shared:
+        b, c = base[metric], cand[metric]
+        if b == 0:
+            delta = 0.0 if c == 0 else float("inf")
+        else:
+            delta = (c - b) / abs(b)
+        band = args.det_noise if metric in DETERMINISTIC else args.noise
+        sign = direction(metric)
+        if sign == 0 or abs(delta) <= band:
+            status = "ok"
+        elif delta * sign > 0:
+            status = "improved"
+        else:
+            status = "REGRESSED"
+            regressions.append(metric)
+        print(
+            f"{metric:<{width}}  {b:>14.6g}  {c:>14.6g}  {delta:>+8.1%}  {status}"
+        )
+    for metric in sorted(set(base) - set(cand)):
+        print(f"{metric:<{width}}  {base[metric]:>14.6g}  {'—':>14}  {'':>9}  removed")
+    for metric in sorted(set(cand) - set(base)):
+        print(f"{metric:<{width}}  {'—':>14}  {cand[metric]:>14.6g}  {'':>9}  new")
+
+    if regressions:
+        print(
+            f"bench_compare: FAIL — {len(regressions)} metric(s) regressed "
+            f"beyond the noise band: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print("bench_compare: OK — no regressions beyond the noise band")
+
+
+if __name__ == "__main__":
+    main()

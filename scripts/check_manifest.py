@@ -19,6 +19,7 @@ REQUIRED_CONFIG_KEYS = [
     "experiment",
     "fingerprint",
     "scale",
+    "engine",
     "interval_len",
     "samples_per_benchmark",
     "k",
@@ -110,13 +111,26 @@ def emit_bench(manifest, path):
     kmeans_ms = spans.get("study/kmeans", {}).get("total_ms")
     char_ms = spans.get("study/characterize", {}).get("total_ms")
     instructions = counters.get("vm.instructions")
+    blocks = counters.get("vm.blocks")
     inst_per_s = None
     if char_ms and instructions is not None:
         inst_per_s = instructions / (char_ms / 1e3)
+    # Dispatch amortization: executed instructions per dispatched block.
+    # Fully deterministic (no wall clock), so regressions here mean the
+    # block engine genuinely stopped batching, not that CI was slow.
+    inst_per_dispatch = None
+    if instructions is not None and blocks:
+        inst_per_dispatch = instructions / blocks
+
+    # Same-binary engine speedup, measured by `repro`'s calibration
+    # pass (lbm behind a trait-object sink under both engines).
+    speedup = manifest["timings"]["gauges"].get("vm.calibrate.block_speedup")
 
     bench = {
         "kmeans_wall_ms": kmeans_ms,
         "characterize_inst_per_s": inst_per_s,
+        "vm_inst_per_dispatch": inst_per_dispatch,
+        "vm_block_speedup": speedup,
         "peak_rss_kb": manifest["timings"]["peak_rss_kb"],
     }
     for key, value in bench.items():
