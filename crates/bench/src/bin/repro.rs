@@ -77,9 +77,9 @@ use std::time::Instant;
 
 use phaselab_bench::write_artifact;
 use phaselab_core::{
-    characterization_fingerprint, coverage, diversity, format_table, run_study_resumable,
-    run_study_with_resumable, uniqueness, CancelToken, CheckpointStore, SamplingPolicy,
-    StudyConfig, StudyError, StudyResult,
+    characterization_fingerprint, coverage, diversity, format_table, run_shard, run_shard_with,
+    run_study_resumable, run_study_with_resumable, uniqueness, AnalysisMode, CancelToken,
+    CheckpointStore, SamplingPolicy, StudyConfig, StudyError, StudyResult,
 };
 use phaselab_ga::{greedy_select, select_features, DistanceCorrelationFitness, GaConfig};
 use phaselab_mica::{feature_names, FeatureCategory, NUM_FEATURES};
@@ -177,6 +177,11 @@ const EXPERIMENTS: &[&str] = &[
     "all",
 ];
 
+/// Experiments that read [`StudyResult::features`], the raw
+/// interval-by-feature matrix `--streaming` deliberately does not
+/// retain.
+const STREAMING_INCOMPATIBLE: &[&str] = &["fig1", "fig23", "motivation", "all"];
+
 const USAGE: &str = "usage: repro [options] <experiment>
 
 experiments:
@@ -215,6 +220,21 @@ options:
                             (comma-separated; names match across selected suites)
   --checkpoint-dir DIR      persist/reuse study checkpoints in DIR
   --resume                  resume from --checkpoint-dir (must exist)
+  --streaming               memory-bounded analysis: stream feature rows out of
+                            the checkpoint store instead of materializing the
+                            interval-by-feature matrix (requires
+                            --checkpoint-dir; results are bit-identical, but
+                            fig1/fig23/motivation/all need the matrix and
+                            refuse this mode)
+  --kmeans-batch N          mini-batch k-means, N sampled points per iteration
+                            (approximate; the exact Hamerly solver when omitted)
+  --shard I/N               worker pass of a sharded study: characterize shard
+                            I of N (round-robin by catalog index) into the
+                            checkpoint store and exit; no analysis runs.
+                            Launch one worker per I, then reduce.
+  --reduce N                reduce pass of a sharded study: analyze a store
+                            filled by N shard workers (implies --streaming;
+                            combine with a streaming-capable experiment)
   --max-inst-per-bench N    quarantine benchmarks exceeding N instructions
   --metrics-out PATH        write the run manifest (JSON) to PATH
   --progress                throttled stage/progress lines on stderr
@@ -234,6 +254,9 @@ struct Cli {
     metrics_out: Option<std::path::PathBuf>,
     /// `--progress`: throttled stderr stage/progress lines.
     progress: bool,
+    /// `--shard I/N`: run the worker pass for shard I (N is
+    /// `cfg.shard_total`) instead of an experiment.
+    shard: Option<u32>,
 }
 
 fn main() {
@@ -268,7 +291,14 @@ fn main() {
     let progress_stop = cli.progress.then(spawn_progress_reporter);
     let token = CancelToken::new();
     install_interrupt_handler(&token);
-    let outcome = run_experiment(&cli.cfg, &cli.command, &cli.only, store.as_ref(), &token);
+    let outcome = if let Some(shard_index) = cli.shard {
+        let s = store
+            .as_ref()
+            .expect("parse_args requires --checkpoint-dir for --shard");
+        run_shard_worker(&cli.cfg, shard_index, &cli.only, s, &token)
+    } else {
+        run_experiment(&cli.cfg, &cli.command, &cli.only, store.as_ref(), &token)
+    };
     if let Some(stop) = progress_stop {
         stop.store(true, std::sync::atomic::Ordering::SeqCst);
     }
@@ -546,6 +576,51 @@ fn warn_quarantined(quarantined: &[phaselab_core::QuarantinedBenchmark]) {
     }
 }
 
+/// `--shard I/N`: the worker pass of a sharded study. Characterizes
+/// this shard's benchmarks into the shared store (under the streaming
+/// protocol fingerprint) and reports the tally; the analysis happens
+/// later, in the `--reduce` pass.
+fn run_shard_worker(
+    cfg: &StudyConfig,
+    shard_index: u32,
+    only: &[String],
+    store: &CheckpointStore,
+    token: &CancelToken,
+) -> Result<(), StudyError> {
+    eprintln!(
+        "[repro] shard worker {}/{}: characterizing into {}",
+        shard_index,
+        cfg.shard_total,
+        store.dir().display()
+    );
+    let t = Instant::now();
+    let summary = if only.is_empty() {
+        run_shard(cfg, shard_index, store, Some(token))?
+    } else {
+        let benches: Vec<phaselab_workloads::Benchmark> = phaselab_workloads::catalog()
+            .into_iter()
+            .filter(|b| {
+                cfg.suites
+                    .as_ref()
+                    .is_none_or(|suites| suites.contains(&b.suite()))
+            })
+            .filter(|b| only.iter().any(|name| name == b.name()))
+            .collect();
+        run_shard_with(cfg, &benches, shard_index, store, Some(token))?
+    };
+    eprintln!(
+        "[repro] shard {}/{} done in {:.1}s: {} assigned, {} characterized, {} quarantined",
+        summary.shard_index,
+        summary.shard_total,
+        t.elapsed().as_secs_f64(),
+        summary.assigned,
+        summary.characterized,
+        summary.quarantined.len()
+    );
+    warn_quarantined(&summary.quarantined);
+    Ok(())
+}
+
 /// Runs the study over the configured suites, further restricted to the
 /// `--only` benchmark names when given. With an empty filter this is
 /// exactly [`run_study_resumable`]; with a filter it applies the same
@@ -612,6 +687,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut progress = false;
     let mut resume = false;
+    let mut streaming = false;
+    let mut shard: Option<(u32, u32)> = None;
+    let mut reduce: Option<u32> = None;
     let mut i = 0;
     let value = |args: &[String], i: usize| -> Result<String, String> {
         args.get(i + 1)
@@ -717,6 +795,38 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--progress" => progress = true,
             "--resume" => resume = true,
+            "--streaming" => streaming = true,
+            "--kmeans-batch" => {
+                let v = value(args, i)?;
+                i += 1;
+                let batch: usize = parse_num("--kmeans-batch", &v)?;
+                if batch == 0 {
+                    return Err("bad value `0` for `--kmeans-batch` (must be positive)".to_string());
+                }
+                cfg.kmeans_batch = Some(batch);
+            }
+            "--shard" => {
+                let v = value(args, i)?;
+                i += 1;
+                let (idx, total) = v
+                    .split_once('/')
+                    .ok_or_else(|| format!("bad value `{v}` for `--shard` (expected I/N)"))?;
+                let idx: u32 = parse_num("--shard", idx)?;
+                let total: u32 = parse_num("--shard", total)?;
+                if total == 0 || idx >= total {
+                    return Err(format!("bad shard `{v}` (need 0 <= I < N, N > 0)"));
+                }
+                shard = Some((idx, total));
+            }
+            "--reduce" => {
+                let v = value(args, i)?;
+                i += 1;
+                let total: u32 = parse_num("--reduce", &v)?;
+                if total == 0 {
+                    return Err("bad value `0` for `--reduce` (must be positive)".to_string());
+                }
+                reduce = Some(total);
+            }
             // Occupies the experiment slot: the lint mode runs instead
             // of (never alongside) an experiment.
             "--verify-only" => {
@@ -766,13 +876,66 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             ));
         }
     }
+    if let Some((idx, total)) = shard {
+        if let Some(cmd) = &command {
+            return Err(format!(
+                "`--shard` is the worker pass; it cannot be combined with experiment `{cmd}`"
+            ));
+        }
+        if reduce.is_some() {
+            return Err(
+                "`--shard` and `--reduce` are separate passes; run them as separate invocations"
+                    .to_string(),
+            );
+        }
+        if checkpoint_dir.is_none() {
+            return Err(
+                "`--shard` requires `--checkpoint-dir` (the shared store is the worker's output)"
+                    .to_string(),
+            );
+        }
+        cfg.shard_total = total;
+        // Workers checkpoint under the streaming protocol fingerprint —
+        // the reduce pass is the only consumer of a sharded store.
+        cfg.analysis = AnalysisMode::Streaming;
+        let _ = idx; // carried in Cli::shard
+    }
+    if let Some(total) = reduce {
+        cfg.shard_total = total;
+        streaming = true;
+    }
+    if streaming {
+        cfg.analysis = AnalysisMode::Streaming;
+        if checkpoint_dir.is_none() {
+            return Err(
+                "`--streaming` requires `--checkpoint-dir` (the store is the streamed row source)"
+                    .to_string(),
+            );
+        }
+    }
+    // The worker pass occupies the experiment slot, like --verify-only.
+    let command = if shard.is_some() {
+        "--shard".to_string()
+    } else {
+        command.unwrap_or_else(|| "all".to_string())
+    };
+    if shard.is_none()
+        && cfg.analysis == AnalysisMode::Streaming
+        && STREAMING_INCOMPATIBLE.contains(&command.as_str())
+    {
+        return Err(format!(
+            "experiment `{command}` reads the raw feature matrix, which `--streaming` does not \
+             retain (pick a streaming-capable experiment, e.g. table3 or fig4)"
+        ));
+    }
     Ok(Cli {
         cfg,
-        command: command.unwrap_or_else(|| "all".to_string()),
+        command,
         checkpoint_dir,
         only,
         metrics_out,
         progress,
+        shard: shard.map(|(idx, _)| idx),
     })
 }
 

@@ -274,3 +274,144 @@ fn metrics_out_writes_a_manifest_for_a_tiny_run() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn streaming_without_checkpoint_dir_is_a_usage_error() {
+    let out = repro(&["--streaming", "table3"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(
+        line.contains("`--streaming` requires `--checkpoint-dir`"),
+        "{line}"
+    );
+}
+
+#[test]
+fn streaming_refuses_experiments_that_need_the_feature_matrix() {
+    for exp in ["fig1", "fig23", "motivation", "all"] {
+        let out = repro(&["--streaming", "--checkpoint-dir", "/tmp/unused", exp]);
+        assert_eq!(out.status.code(), Some(2), "experiment {exp}");
+        let line = stderr_line(&out);
+        assert!(line.contains("raw feature matrix"), "{exp}: {line}");
+    }
+}
+
+#[test]
+fn malformed_shard_spec_is_a_usage_error() {
+    for spec in ["3", "a/b", "2/2", "0/0"] {
+        let out = repro(&["--shard", spec, "--checkpoint-dir", "/tmp/unused"]);
+        assert_eq!(out.status.code(), Some(2), "spec {spec}");
+    }
+}
+
+#[test]
+fn shard_cannot_be_combined_with_an_experiment() {
+    let out = repro(&[
+        "--shard",
+        "0/2",
+        "--checkpoint-dir",
+        "/tmp/unused",
+        "table3",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(line.contains("worker pass"), "{line}");
+}
+
+#[test]
+fn shard_requires_a_checkpoint_dir() {
+    let out = repro(&["--shard", "0/2"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(
+        line.contains("`--shard` requires `--checkpoint-dir`"),
+        "{line}"
+    );
+}
+
+#[test]
+fn zero_kmeans_batch_is_a_usage_error() {
+    let out = repro(&["--kmeans-batch", "0", "table3"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(
+        line.contains("bad value `0` for `--kmeans-batch`"),
+        "{line}"
+    );
+}
+
+#[test]
+fn help_lists_the_sharding_flags() {
+    let out = repro(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["--streaming", "--shard I/N", "--reduce N", "--kmeans-batch"] {
+        assert!(text.contains(needle), "help missing `{needle}`");
+    }
+}
+
+/// The full sharded protocol end to end at smoke scale: two workers
+/// fill one store, the reduce pass analyzes it, and the report is
+/// byte-identical to the single-process run's.
+#[test]
+fn shard_workers_plus_reduce_reproduce_the_single_process_report() {
+    let dir = std::env::temp_dir().join(format!("phaselab-shard-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("ckpt");
+    let base = [
+        "--scale",
+        "tiny",
+        "--interval",
+        "20000",
+        "--samples",
+        "8",
+        "--k",
+        "12",
+        "--seed",
+        "0",
+        "--only",
+        "face,finger,jpeg",
+    ];
+    for shard in ["0/2", "1/2"] {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend([
+            "--shard",
+            shard,
+            "--checkpoint-dir",
+            store.to_str().unwrap(),
+        ]);
+        let out = repro(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "worker {shard}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend([
+        "--reduce",
+        "2",
+        "--checkpoint-dir",
+        store.to_str().unwrap(),
+        "table3",
+    ]);
+    let reduced = repro(&args);
+    assert_eq!(
+        reduced.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&reduced.stderr)
+    );
+    let mut args: Vec<&str> = base.to_vec();
+    args.push("table3");
+    let single = repro(&args);
+    assert_eq!(single.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&single.stdout),
+        String::from_utf8_lossy(&reduced.stdout),
+        "reduced report must be byte-identical to the single-process report"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -54,7 +54,7 @@ use phaselab_vm::{VerifyError, VmError};
 use phaselab_workloads::{Scale, Suite};
 
 use crate::characterize::BenchCharacterization;
-use crate::config::StudyConfig;
+use crate::config::{AnalysisMode, StudyConfig};
 use crate::error::{QuarantineCause, QuarantinedBenchmark};
 
 const MAGIC: &[u8; 4] = b"PLCK";
@@ -220,9 +220,25 @@ fn scale_code(scale: Scale) -> u64 {
     }
 }
 
+fn analysis_code(mode: AnalysisMode) -> u64 {
+    match mode {
+        AnalysisMode::InRam => 0,
+        AnalysisMode::Streaming => 1,
+    }
+}
+
 /// Fingerprint of everything that determines a benchmark's
-/// characterization: format version, workload scale, interval length,
-/// per-run instruction cap, and the watchdog budget.
+/// characterization — format version, workload scale, interval length,
+/// per-run instruction cap, and the watchdog budget — plus the run
+/// *protocol*: the analysis mode and the shard topology.
+///
+/// The protocol fields don't change what a benchmark computes, but they
+/// change what a checkpoint is *for*: a streaming reducer consumes the
+/// store as its only source of feature rows, so it must never pick up
+/// outcomes written by an in-RAM run or by workers of a different shard
+/// topology, where coverage assumptions differ. Folding
+/// `analysis`/`shard_total` into the fingerprint makes such mixtures
+/// structurally impossible — a mismatched store just looks empty.
 ///
 /// Deliberately excludes sampling, clustering, and GA settings — two
 /// studies differing only in those share characterizations. The
@@ -239,12 +255,14 @@ pub fn characterization_fingerprint(cfg: &StudyConfig) -> u64 {
         None => h.u64(0),
         Some(b) => h.u64(1).u64(b),
     };
+    h.u64(analysis_code(cfg.analysis))
+        .u64(cfg.shard_total as u64);
     h.0
 }
 
 /// Fingerprint of everything that determines one k-means restart:
-/// format version, k, the iteration cap, the clustering seed, and the
-/// exact bits of the matrix being clustered.
+/// format version, k, the iteration cap, the clustering seed, the
+/// mini-batch setting, and the exact bits of the matrix being clustered.
 ///
 /// Thread and restart counts are excluded — neither changes what
 /// restart `r` computes, so a deeper-restart rerun reuses the restarts
@@ -254,9 +272,12 @@ pub fn clustering_fingerprint(cfg: &KmeansConfig, space: &Matrix) -> u64 {
     h.u64(VERSION as u64)
         .u64(cfg.k as u64)
         .u64(cfg.max_iters as u64)
-        .u64(cfg.seed)
-        .u64(space.rows() as u64)
-        .u64(space.cols() as u64);
+        .u64(cfg.seed);
+    match cfg.batch {
+        None => h.u64(0),
+        Some(b) => h.u64(1).u64(b as u64),
+    };
+    h.u64(space.rows() as u64).u64(space.cols() as u64);
     for row in space.iter_rows() {
         for &v in row {
             h.u64(v.to_bits());

@@ -20,6 +20,29 @@ pub enum SamplingPolicy {
     Proportional,
 }
 
+/// How the analysis stage (normalization, PCA, clustering input) gets at
+/// the sampled feature rows.
+///
+/// Both modes run the same one-pass accumulators over the same rows in
+/// the same order, so for a given configuration they produce
+/// **bit-identical** results; only memory behavior differs. Because a
+/// checkpoint written by one mode carries the features the other would
+/// drop (or vice versa), the mode **is** part of the characterization
+/// fingerprint — a reducer can never mix outcomes across modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalysisMode {
+    /// Materialize the sampled interval-by-feature matrix in RAM (the
+    /// default). Required by the experiments that read raw feature rows
+    /// after the study (kiviat plots, per-feature figures).
+    #[default]
+    InRam,
+    /// Stream rows out of the checkpoint store one benchmark at a time;
+    /// peak analysis memory is O(features²) + O(rows × retained
+    /// components), never O(rows × features). Requires a checkpoint
+    /// store; [`StudyResult::features`](crate::StudyResult) stays empty.
+    Streaming,
+}
+
 /// Which VM execution engine drives characterization.
 ///
 /// Both engines produce bit-identical observation streams, features,
@@ -115,6 +138,18 @@ pub struct StudyConfig {
     pub threads: usize,
     /// Master seed; every stochastic stage derives its own seed from it.
     pub seed: u64,
+    /// Analysis memory mode (default: in-RAM). Results are bit-identical
+    /// for both modes; see [`AnalysisMode`].
+    pub analysis: AnalysisMode,
+    /// Total number of shard workers this study's checkpoint store is
+    /// divided across (default: 1, an unsharded study). Part of the
+    /// checkpoint fingerprint so a reducer only ever consumes outcomes
+    /// produced under the same topology.
+    pub shard_total: u32,
+    /// Mini-batch size for k-means (`None`, the default, keeps the exact
+    /// bounded-Lloyd algorithm). An approximation — see
+    /// [`KmeansConfig::batch`](phaselab_stats::KmeansConfig).
+    pub kmeans_batch: Option<usize>,
 }
 
 impl StudyConfig {
@@ -141,6 +176,9 @@ impl StudyConfig {
             engine: Engine::Block,
             threads: 0,
             seed: 0,
+            analysis: AnalysisMode::InRam,
+            shard_total: 1,
+            kmeans_batch: None,
         }
     }
 
@@ -165,6 +203,9 @@ impl StudyConfig {
             engine: Engine::Block,
             threads: 0,
             seed: 0,
+            analysis: AnalysisMode::InRam,
+            shard_total: 1,
+            kmeans_batch: None,
         }
     }
 
@@ -207,6 +248,12 @@ impl StudyConfig {
         }
         if self.max_inst_per_bench == Some(0) {
             return Err(ConfigError::ZeroBenchBudget);
+        }
+        if self.shard_total == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if self.kmeans_batch == Some(0) {
+            return Err(ConfigError::ZeroKmeansBatch);
         }
         self.ga.validate()?;
         Ok(())
@@ -284,6 +331,14 @@ mod tests {
         let mut cfg = StudyConfig::smoke();
         cfg.max_inst_per_bench = Some(1);
         assert_eq!(cfg.validate(), Ok(()));
+
+        let mut cfg = StudyConfig::smoke();
+        cfg.shard_total = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroShards));
+
+        let mut cfg = StudyConfig::smoke();
+        cfg.kmeans_batch = Some(0);
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroKmeansBatch));
 
         let mut cfg = StudyConfig::smoke();
         cfg.ga.populations = 0;

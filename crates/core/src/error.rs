@@ -52,6 +52,21 @@ pub enum ConfigError {
     /// `max_inst_per_bench` is `Some(0)`: a zero-instruction watchdog
     /// budget would quarantine every benchmark.
     ZeroBenchBudget,
+    /// `shard_total` is zero — a study must have at least one shard.
+    ZeroShards,
+    /// `kmeans_batch` is `Some(0)`: a mini-batch of zero points would
+    /// never move a centroid.
+    ZeroKmeansBatch,
+    /// A shard index at or beyond `shard_total`.
+    ShardIndex {
+        /// The out-of-range worker index.
+        index: u32,
+        /// The configured shard count.
+        total: u32,
+    },
+    /// Streaming analysis (or a shard/reduce run) was requested without
+    /// a checkpoint store to stream from.
+    StreamingNeedsStore,
     /// The genetic-algorithm sub-configuration is invalid.
     Ga(GaConfigError),
 }
@@ -79,6 +94,16 @@ impl fmt::Display for ConfigError {
             ConfigError::EmptySuiteFilter => write!(f, "empty suite filter"),
             ConfigError::ZeroBenchBudget => {
                 write!(f, "per-benchmark instruction budget must be positive")
+            }
+            ConfigError::ZeroShards => write!(f, "shard count must be positive"),
+            ConfigError::ZeroKmeansBatch => {
+                write!(f, "k-means mini-batch size must be positive")
+            }
+            ConfigError::ShardIndex { index, total } => {
+                write!(f, "shard index {index} out of range for {total} shard(s)")
+            }
+            ConfigError::StreamingNeedsStore => {
+                write!(f, "streaming analysis requires a checkpoint store")
             }
             ConfigError::Ga(e) => write!(f, "invalid GA configuration: {e}"),
         }
@@ -205,6 +230,14 @@ pub enum AnalysisError {
     /// Sampling produced no intervals (every surviving benchmark
     /// characterized to nothing).
     NoIntervalsSampled,
+    /// A streamed pass over the checkpoint store recomputed a benchmark
+    /// whose outcome no longer matches what the study's earlier stages
+    /// saw (e.g. the store was tampered with mid-run). Re-running the
+    /// study from a clean store is the only safe recovery.
+    InconsistentCheckpoint {
+        /// The benchmark whose streamed outcome diverged.
+        bench: String,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -214,6 +247,10 @@ impl fmt::Display for AnalysisError {
                 write!(f, "no benchmarks selected for the study")
             }
             AnalysisError::NoIntervalsSampled => write!(f, "no intervals were sampled"),
+            AnalysisError::InconsistentCheckpoint { bench } => write!(
+                f,
+                "checkpoint store became inconsistent mid-study (benchmark `{bench}`)"
+            ),
         }
     }
 }
@@ -320,6 +357,14 @@ mod tests {
             .to_string(),
             StudyError::Analysis(AnalysisError::NoIntervalsSampled).to_string(),
             StudyError::Cancelled.to_string(),
+            ConfigError::ZeroShards.to_string(),
+            ConfigError::ZeroKmeansBatch.to_string(),
+            ConfigError::ShardIndex { index: 3, total: 2 }.to_string(),
+            ConfigError::StreamingNeedsStore.to_string(),
+            AnalysisError::InconsistentCheckpoint {
+                bench: "gcc".into(),
+            }
+            .to_string(),
         ] {
             assert!(!msg.is_empty());
             assert!(!msg.contains('\n'), "multi-line: {msg}");

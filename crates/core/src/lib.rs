@@ -70,12 +70,12 @@ pub use checkpoint::{
     characterization_fingerprint, clustering_fingerprint, BenchOutcome, CheckpointError,
     CheckpointStore,
 };
-pub use config::{Engine, SamplingPolicy, StudyConfig};
+pub use config::{AnalysisMode, Engine, SamplingPolicy, StudyConfig};
 pub use error::{AnalysisError, ConfigError, QuarantineCause, QuarantinedBenchmark, StudyError};
 pub use phases::{KiviatAxis, PhaseKind, PhaseShare, ProminentPhase};
 pub use pipeline::{
-    run_study, run_study_resumable, run_study_with, run_study_with_resumable, BenchmarkRun,
-    SampledInterval, StudyResult,
+    run_shard, run_shard_with, run_study, run_study_resumable, run_study_with,
+    run_study_with_resumable, BenchmarkRun, SampledInterval, ShardSummary, StudyResult,
 };
 
 // Cancellation primitives, re-exported so pipeline callers need not

@@ -1,11 +1,26 @@
 //! Steps 2–5: the study pipeline.
+//!
+//! The analysis stage (normalization → PCA → clustering input) runs in
+//! one of two memory modes (see [`AnalysisMode`]): the default in-RAM
+//! mode materializes the sampled interval-by-feature matrix, while the
+//! streaming mode replays feature rows out of the checkpoint store
+//! through one-pass accumulators and never holds the matrix at all.
+//! Both modes execute the same accumulator arithmetic over the same
+//! rows in the same order, so their results are **bit-identical**.
+//!
+//! On top of the streaming mode sits a multi-process protocol:
+//! [`run_shard`] workers characterize disjoint slices of the benchmark
+//! list into one shared [`CheckpointStore`], and a subsequent streaming
+//! [`run_study_resumable`] call (the *reducer*) finds every outcome
+//! already checkpointed and runs the analysis without executing a
+//! single VM instruction.
 
 use phaselab_ga::{select_features, DistanceCorrelationFitness};
 use phaselab_mica::{feature_names, NUM_FEATURES};
 use phaselab_par::{effective_threads, parallel_map_cancellable, CancelToken};
 use phaselab_stats::{
     distance_sq, kmeans_restart, normalize_columns, pick_best_clustering, Clustering, ColumnStats,
-    KmeansConfig, Matrix, Pca,
+    KmeansConfig, Matrix, Pca, RunningColumnStats, RunningCovariance,
 };
 use phaselab_workloads::{catalog, Benchmark, Suite};
 
@@ -13,8 +28,8 @@ use crate::characterize::{characterize_benchmark_watched, BenchCharacterization,
 use crate::checkpoint::{
     characterization_fingerprint, clustering_fingerprint, BenchOutcome, CheckpointStore,
 };
-use crate::config::StudyConfig;
-use crate::error::{AnalysisError, QuarantinedBenchmark, StudyError};
+use crate::config::{AnalysisMode, StudyConfig};
+use crate::error::{AnalysisError, ConfigError, QuarantinedBenchmark, StudyError};
 use crate::phases::{KiviatAxis, PhaseKind, PhaseShare, ProminentPhase};
 use crate::sampling::sample_with_policy;
 
@@ -68,6 +83,13 @@ pub struct StudyResult {
     /// The sampled intervals, one per data-matrix row.
     pub sampled: Vec<SampledInterval>,
     /// Raw 69-characteristic features of the sampled intervals.
+    ///
+    /// **Empty (zero rows) when the study ran with
+    /// [`AnalysisMode::Streaming`]** — not materializing this matrix is
+    /// the whole point of that mode. Everything derived from it
+    /// ([`space`](Self::space), the clustering, the key
+    /// characteristics) is still present and bit-identical to the
+    /// in-RAM run's.
     pub features: Matrix,
     /// The rescaled PCA space of the sampled intervals (what the
     /// clustering ran on).
@@ -112,7 +134,17 @@ impl StudyResult {
     /// the same sample statistics (`/(n-1)`) the pipeline's
     /// normalization and PCA report — so the kiviat `sd` rings match the
     /// normalization scale of the rest of the study.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the study ran with [`AnalysisMode::Streaming`]: the
+    /// raw feature matrix this reads was deliberately not retained.
     pub fn kiviat_axes(&self, phase: &ProminentPhase) -> Vec<KiviatAxis> {
+        assert_eq!(
+            self.features.rows(),
+            self.sampled.len(),
+            "kiviat axes need the raw feature matrix, which streaming analysis does not retain"
+        );
         let names = feature_names();
         let rep = self.features.row(phase.representative_row);
         let stats = ColumnStats::of(&self.features);
@@ -144,6 +176,9 @@ impl StudyResult {
     /// Projects a raw 69-characteristic feature vector into this study's
     /// rescaled PCA space, using the normalization and PCA fitted on the
     /// study's own data.
+    ///
+    /// Works in every analysis mode — the fitted normalization and PCA
+    /// models are retained even when the raw feature matrix is not.
     ///
     /// # Panics
     ///
@@ -205,6 +240,10 @@ pub fn run_study(cfg: &StudyConfig) -> Result<StudyResult, StudyError> {
 /// (corrupt, truncated, stale version, wrong fingerprint) are skipped
 /// with a one-line warning and recomputed — they never fail the study.
 ///
+/// With `cfg.analysis` set to [`AnalysisMode::Streaming`], a store is
+/// **required** (it is the row source); this is also how a sharded
+/// study reduces — see [`run_shard`].
+///
 /// With a `cancel` token, tripping the token stops the study at the next
 /// check (between VM slices during characterization, between k-means
 /// restarts, between stages) and returns [`StudyError::Cancelled`];
@@ -213,7 +252,9 @@ pub fn run_study(cfg: &StudyConfig) -> Result<StudyResult, StudyError> {
 /// # Errors
 ///
 /// As [`run_study`], plus [`StudyError::Cancelled`] when `cancel` trips
-/// before the study completes.
+/// before the study completes, and
+/// [`ConfigError::StreamingNeedsStore`] for a streaming run without a
+/// store.
 pub fn run_study_resumable(
     cfg: &StudyConfig,
     store: Option<&CheckpointStore>,
@@ -260,6 +301,10 @@ pub fn run_study_with_resumable(
     if benches.is_empty() {
         return Err(AnalysisError::NoBenchmarksSelected.into());
     }
+    let streaming = cfg.analysis == AnalysisMode::Streaming;
+    if streaming && store.is_none() {
+        return Err(ConfigError::StreamingNeedsStore.into());
+    }
     // One token always exists; an internal never-tripped token makes the
     // uncancellable path identical code to the cancellable one.
     let own_token;
@@ -281,20 +326,56 @@ pub fn run_study_with_resumable(
     // checkpointed outcome and persisting fresh ones. Results come back
     // keyed by benchmark index, so the survivor/quarantine split is
     // identical for every thread count and for resumed vs. fresh runs.
+    //
+    // The in-RAM mode keeps every characterization; the streaming mode
+    // projects each outcome down to its metadata the moment it arrives,
+    // so full feature matrices only ever exist one-per-worker-thread —
+    // the rows come back later, streamed out of the store.
     phaselab_obs::set_stage("characterize");
-    let outcomes = {
-        let _span = phaselab_obs::span!("characterize");
-        characterize_all(benches, cfg, store, token)?
-    };
+    let refs: Vec<&Benchmark> = benches.iter().collect();
     let mut quarantined = Vec::new();
-    let mut survivors: Vec<(&Benchmark, BenchCharacterization)> = Vec::with_capacity(benches.len());
-    for (bench, outcome) in benches.iter().zip(outcomes) {
-        match outcome {
-            BenchOutcome::Characterized(c) => survivors.push((bench, c)),
-            BenchOutcome::Quarantined(q) => quarantined.push(q),
+    let mut survivor_benches: Vec<&Benchmark> = Vec::new();
+    let mut benchmarks: Vec<BenchmarkRun> = Vec::new();
+    let mut characterizations: Vec<BenchCharacterization> = Vec::new();
+    {
+        let _span = phaselab_obs::span!("characterize");
+        if streaming {
+            let metas = characterize_map(&refs, cfg, store, token, meta_of)?;
+            for (bench, meta) in benches.iter().zip(metas) {
+                match meta {
+                    BenchMeta::Characterized {
+                        intervals_per_input,
+                        total_instructions,
+                    } => {
+                        benchmarks.push(benchmark_run(
+                            bench,
+                            intervals_per_input,
+                            total_instructions,
+                        ));
+                        survivor_benches.push(bench);
+                    }
+                    BenchMeta::Quarantined(q) => quarantined.push(q),
+                }
+            }
+        } else {
+            let outcomes = characterize_map(&refs, cfg, store, token, |o| o)?;
+            for (bench, outcome) in benches.iter().zip(outcomes) {
+                match outcome {
+                    BenchOutcome::Characterized(c) => {
+                        benchmarks.push(benchmark_run(
+                            bench,
+                            c.per_input.iter().map(Vec::len).collect(),
+                            c.total_instructions,
+                        ));
+                        survivor_benches.push(bench);
+                        characterizations.push(c);
+                    }
+                    BenchOutcome::Quarantined(q) => quarantined.push(q),
+                }
+            }
         }
     }
-    if survivors.is_empty() {
+    if benchmarks.is_empty() {
         return Err(StudyError::Characterization { quarantined });
     }
     if phaselab_obs::enabled() {
@@ -302,37 +383,22 @@ pub fn run_study_with_resumable(
         phaselab_obs::counter_add(
             "study.benchmarks.characterized",
             Structural,
-            survivors.len() as u64,
+            benchmarks.len() as u64,
         );
         phaselab_obs::counter_add(
             "study.benchmarks.quarantined",
             Structural,
             quarantined.len() as u64,
         );
-        let total_inst: u64 = survivors.iter().map(|(_, c)| c.total_instructions).sum();
+        let total_inst: u64 = benchmarks.iter().map(|b| b.total_instructions).sum();
         phaselab_obs::counter_add("study.instructions", Structural, total_inst);
     }
 
-    let benchmarks: Vec<BenchmarkRun> = survivors
-        .iter()
-        .map(|(b, c)| BenchmarkRun {
-            name: b.name().to_string(),
-            suite: b.suite(),
-            input_names: b
-                .input_names()
-                .iter()
-                .map(std::string::ToString::to_string)
-                .collect(),
-            intervals_per_input: c.per_input.iter().map(Vec::len).collect(),
-            total_instructions: c.total_instructions,
-        })
-        .collect();
-    let characterizations: Vec<BenchCharacterization> =
-        survivors.into_iter().map(|(_, c)| c).collect();
-
     // Step 2: equal-weight interval sampling. Benchmark indices are
     // compacted over the survivors, so a study with a quarantined
-    // benchmark draws exactly as a study never given it.
+    // benchmark draws exactly as a study never given it. The sampled
+    // list is grouped by ascending benchmark index, which is what lets
+    // the streaming row source hold one benchmark at a time.
     phaselab_obs::set_stage("sample");
     let available: Vec<Vec<usize>> = benchmarks
         .iter()
@@ -356,39 +422,82 @@ pub fn run_study_with_resumable(
         sampled.len() as f64,
     );
 
-    let mut rows = Vec::with_capacity(sampled.len());
-    for s in &sampled {
-        rows.push(
-            characterizations[s.bench].per_input[s.input][s.interval]
-                .as_slice()
-                .to_vec(),
-        );
-    }
-    let features = Matrix::from_rows(&rows);
-
-    // Step 3: normalize -> PCA (retain sd > threshold) -> normalize.
-    phaselab_obs::set_stage("pca");
-    let (pca, pcs_retained, variance_explained, space, score_norm, feature_norm) = {
-        let _span = phaselab_obs::span!("pca");
-        let (normed, feature_norm) = normalize_columns(&features);
-        let pca = Pca::fit(&normed);
-        let pcs_retained = pca.count_above(cfg.pca_sd_threshold).max(1);
-        let variance_explained = pca.cumulative_explained(pcs_retained);
-        let scores = pca.transform(&normed, pcs_retained);
-        let (space, score_norm) = normalize_columns(&scores);
-        (
-            pca,
-            pcs_retained,
-            variance_explained,
-            space,
-            score_norm,
-            feature_norm,
-        )
+    let features = if streaming {
+        Matrix::zeros(0, NUM_FEATURES)
+    } else {
+        let mut rows = Vec::with_capacity(sampled.len());
+        for s in &sampled {
+            rows.push(
+                characterizations[s.bench].per_input[s.input][s.interval]
+                    .as_slice()
+                    .to_vec(),
+            );
+        }
+        Matrix::from_rows(&rows)
     };
+
+    // Step 3: normalize -> PCA (retain sd > threshold) -> normalize,
+    // as three one-pass sweeps over the sampled rows. Both row sources
+    // feed the identical accumulator arithmetic in the identical order,
+    // which is what makes the two modes bit-identical.
+    phaselab_obs::set_stage("analysis");
+    let analysis_span = phaselab_obs::span!("analysis");
+    let mut streamed_src = if streaming {
+        Some(StreamedRows::new(
+            store.expect("checked above"),
+            characterization_fingerprint(cfg),
+            cfg,
+            token,
+            &survivor_benches,
+        ))
+    } else {
+        None
+    };
+    let (feature_norm, pca, pcs_retained, variance_explained, scores) =
+        if let Some(src) = streamed_src.as_mut() {
+            analyze_streamed(
+                &mut |sink| {
+                    for (r, s) in sampled.iter().enumerate() {
+                        let row = src.row(s)?;
+                        sink(r, row);
+                    }
+                    Ok(())
+                },
+                sampled.len(),
+                cfg.pca_sd_threshold,
+            )?
+        } else {
+            analyze_streamed(
+                &mut |sink| {
+                    for (r, row) in features.iter_rows().enumerate() {
+                        sink(r, row);
+                    }
+                    Ok(())
+                },
+                sampled.len(),
+                cfg.pca_sd_threshold,
+            )?
+        };
+    let (space, score_norm) = normalize_columns(&scores);
+    drop(analysis_span);
     if phaselab_obs::enabled() {
-        use phaselab_obs::Class::Structural;
+        use phaselab_obs::Class::{Structural, Timing};
         phaselab_obs::gauge_set("pca.pcs_retained", Structural, pcs_retained as f64);
         phaselab_obs::gauge_set("pca.variance_explained", Structural, variance_explained);
+        // Peak analysis-stage matrix footprint, in f64 cells: the raw
+        // feature matrix (in-RAM) or the covariance accumulator
+        // (streaming), plus the retained-component scores both modes
+        // keep. Timing-class: it differs across modes by design.
+        let held = if streaming {
+            NUM_FEATURES * NUM_FEATURES
+        } else {
+            sampled.len() * NUM_FEATURES
+        };
+        phaselab_obs::gauge_set(
+            "analysis.matrix_cells_peak",
+            Timing,
+            (held + sampled.len() * pcs_retained) as f64,
+        );
     }
 
     // Step 4: k-means with BIC-scored restarts; rank clusters by weight.
@@ -402,7 +511,8 @@ pub fn run_study_with_resumable(
         .with_restarts(cfg.kmeans_restarts)
         .with_max_iters(cfg.kmeans_max_iters)
         .with_seed(cfg.seed ^ 0xC1u64)
-        .with_threads(cfg.threads);
+        .with_threads(cfg.threads)
+        .with_batch(cfg.kmeans_batch);
     let clustering = {
         let _span = phaselab_obs::span!("kmeans");
         cluster_resumable(&space, &kcfg, store, token)?
@@ -412,7 +522,9 @@ pub fn run_study_with_resumable(
         prominent_phases(&clustering, &space, &sampled, &benchmarks, cfg);
 
     // Step 5: GA key-characteristic selection over the prominent phase
-    // representatives, in the raw characteristic space.
+    // representatives, in the raw characteristic space. The handful of
+    // representative rows is gathered from whichever source holds them;
+    // both produce the same bits in the same (prominence) order.
     if token.is_cancelled() {
         return Err(StudyError::Cancelled);
     }
@@ -420,7 +532,15 @@ pub fn run_study_with_resumable(
     let ga_span = phaselab_obs::span!("ga");
     let rep_rows: Vec<usize> = prominent.iter().map(|p| p.representative_row).collect();
     let (key_characteristics, ga_fitness) = if rep_rows.len() >= 3 {
-        let rep_matrix = features.select_rows(&rep_rows);
+        let rep_matrix = if let Some(src) = streamed_src.as_mut() {
+            let mut rows = Vec::with_capacity(rep_rows.len());
+            for &r in &rep_rows {
+                rows.push(src.row(&sampled[r])?.to_vec());
+            }
+            Matrix::from_rows(&rows)
+        } else {
+            features.select_rows(&rep_rows)
+        };
         let fitness = DistanceCorrelationFitness::new(&rep_matrix, cfg.pca_sd_threshold)
             .with_threads(cfg.threads);
         let mut ga_cfg = cfg.ga.clone();
@@ -457,39 +577,362 @@ pub fn run_study_with_resumable(
     })
 }
 
-/// Characterizes all benchmarks on the shared work-stealing executor,
-/// loading checkpointed outcomes and storing fresh ones.
+/// Summary of one shard worker's characterization pass (see
+/// [`run_shard`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// This worker's index in `0..shard_total`.
+    pub shard_index: u32,
+    /// The topology the worker ran under (`cfg.shard_total`).
+    pub shard_total: u32,
+    /// Benchmarks assigned to this shard.
+    pub assigned: usize,
+    /// Assigned benchmarks that characterized cleanly (checkpointed).
+    pub characterized: usize,
+    /// Assigned benchmarks that were quarantined (also checkpointed, so
+    /// the reducer neither re-runs nor forgets them).
+    pub quarantined: Vec<QuarantinedBenchmark>,
+}
+
+/// Characterizes shard `shard_index` of `cfg.shard_total` over the
+/// (suite-filtered) catalog into `store` — one worker of a sharded
+/// study.
+///
+/// Benchmarks are dealt round-robin by catalog index (`index %
+/// shard_total == shard_index`), so the shards partition the benchmark
+/// list and every worker can be launched with the same configuration.
+/// Workers write under the **streaming** fingerprint regardless of
+/// `cfg.analysis`, because the only consumer of a sharded store is a
+/// streaming reducer: after all workers finish, run
+/// [`run_study_resumable`] with the same `cfg`,
+/// `analysis = `[`AnalysisMode::Streaming`] and the same store, and the
+/// reduce pass finds every outcome checkpointed. The result is
+/// bit-identical to a single-process run.
+///
+/// # Errors
+///
+/// [`StudyError::Config`] for an invalid configuration or a
+/// `shard_index` outside `0..cfg.shard_total`;
+/// [`StudyError::Cancelled`] when `cancel` trips. A quarantined
+/// benchmark is *not* an error — it is checkpointed and reported in the
+/// summary, exactly as a study would record it.
+pub fn run_shard(
+    cfg: &StudyConfig,
+    shard_index: u32,
+    store: &CheckpointStore,
+    cancel: Option<&CancelToken>,
+) -> Result<ShardSummary, StudyError> {
+    cfg.validate()?;
+    let benches: Vec<_> = catalog()
+        .into_iter()
+        .filter(|b| cfg.suites.as_ref().is_none_or(|s| s.contains(&b.suite())))
+        .collect();
+    run_shard_with(cfg, &benches, shard_index, store, cancel)
+}
+
+/// [`run_shard`] over an explicit benchmark list (ignoring
+/// `cfg.suites`) — the list **must** be identical, and identically
+/// ordered, across all workers and the reducer for the round-robin deal
+/// to partition it.
+///
+/// # Errors
+///
+/// As [`run_shard`]; additionally returns
+/// [`AnalysisError::NoBenchmarksSelected`] when `benches` is empty.
+pub fn run_shard_with(
+    cfg: &StudyConfig,
+    benches: &[Benchmark],
+    shard_index: u32,
+    store: &CheckpointStore,
+    cancel: Option<&CancelToken>,
+) -> Result<ShardSummary, StudyError> {
+    cfg.validate()?;
+    if shard_index >= cfg.shard_total {
+        return Err(ConfigError::ShardIndex {
+            index: shard_index,
+            total: cfg.shard_total,
+        }
+        .into());
+    }
+    if benches.is_empty() {
+        return Err(AnalysisError::NoBenchmarksSelected.into());
+    }
+    // Workers always checkpoint under the streaming fingerprint — that
+    // is the protocol the reducer consumes.
+    let mut cfg = cfg.clone();
+    cfg.analysis = AnalysisMode::Streaming;
+
+    let own_token;
+    let token = if let Some(t) = cancel {
+        t
+    } else {
+        own_token = CancelToken::new();
+        &own_token
+    };
+
+    let _span = phaselab_obs::span!("shard");
+    phaselab_obs::set_stage("characterize");
+    let mine: Vec<&Benchmark> = benches
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| (i % cfg.shard_total as usize) as u32 == shard_index)
+        .map(|(_, b)| b)
+        .collect();
+    if phaselab_obs::enabled() {
+        use phaselab_obs::Class::Structural;
+        phaselab_obs::counter_add("shard.benchmarks.assigned", Structural, mine.len() as u64);
+        phaselab_obs::gauge_set("shard.index", Structural, shard_index as f64);
+        phaselab_obs::gauge_set("shard.total", Structural, cfg.shard_total as f64);
+    }
+    let mut summary = ShardSummary {
+        shard_index,
+        shard_total: cfg.shard_total,
+        assigned: mine.len(),
+        characterized: 0,
+        quarantined: Vec::new(),
+    };
+    // An empty deal (more shards than benchmarks) is a valid no-op.
+    if !mine.is_empty() {
+        let metas = characterize_map(&mine, &cfg, Some(store), token, meta_of)?;
+        for meta in metas {
+            match meta {
+                BenchMeta::Characterized { .. } => summary.characterized += 1,
+                BenchMeta::Quarantined(q) => summary.quarantined.push(q),
+            }
+        }
+    }
+    phaselab_obs::set_stage("done");
+    Ok(summary)
+}
+
+/// Metadata-only projection of a benchmark outcome: everything the
+/// sampling and reporting stages need, without the feature matrices.
+enum BenchMeta {
+    /// The benchmark characterized cleanly.
+    Characterized {
+        /// Characterized intervals per input.
+        intervals_per_input: Vec<usize>,
+        /// Total dynamic instructions executed.
+        total_instructions: u64,
+    },
+    /// The benchmark was quarantined.
+    Quarantined(QuarantinedBenchmark),
+}
+
+fn meta_of(outcome: BenchOutcome) -> BenchMeta {
+    match outcome {
+        BenchOutcome::Characterized(c) => BenchMeta::Characterized {
+            intervals_per_input: c.per_input.iter().map(Vec::len).collect(),
+            total_instructions: c.total_instructions,
+        },
+        BenchOutcome::Quarantined(q) => BenchMeta::Quarantined(q),
+    }
+}
+
+fn benchmark_run(
+    bench: &Benchmark,
+    intervals_per_input: Vec<usize>,
+    total_instructions: u64,
+) -> BenchmarkRun {
+    BenchmarkRun {
+        name: bench.name().to_string(),
+        suite: bench.suite(),
+        input_names: bench
+            .input_names()
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect(),
+        intervals_per_input,
+        total_instructions,
+    }
+}
+
+/// The shared three-pass streaming analysis: Welford column statistics
+/// over the raw rows, a running covariance over the normalized rows,
+/// and a projection pass building the retained-component scores. The
+/// caller provides `for_each`, a replayable in-order sweep over the
+/// sampled rows; every mode's sweep feeds these identical accumulators,
+/// so every mode's output is bit-identical.
+///
+/// Holds O(features²) accumulator state plus the `rows × retained`
+/// score matrix — never `rows × features`.
+fn analyze_streamed<F>(
+    for_each: &mut F,
+    n_rows: usize,
+    sd_threshold: f64,
+) -> Result<(ColumnStats, Pca, usize, f64, Matrix), StudyError>
+where
+    F: FnMut(&mut dyn FnMut(usize, &[f64])) -> Result<(), StudyError>,
+{
+    // Pass 1: raw per-column statistics (the first normalization).
+    let mut stats = RunningColumnStats::new(NUM_FEATURES);
+    for_each(&mut |_, row| stats.push(row))?;
+    let feature_norm = stats.finalize();
+
+    // Pass 2: covariance of the normalized rows, one row at a time.
+    let mut cov = RunningCovariance::new(NUM_FEATURES);
+    let mut scratch = vec![0.0f64; NUM_FEATURES];
+    for_each(&mut |_, row| {
+        normalize_into(&feature_norm, row, &mut scratch);
+        cov.push(&scratch);
+    })?;
+    let pca = Pca::from_covariance(cov.means().to_vec(), &cov.covariance());
+    let pcs_retained = pca.count_above(sd_threshold).max(1);
+    let variance_explained = pca.cumulative_explained(pcs_retained);
+
+    // Pass 3: retained-component scores (the clustering's input, after
+    // one more normalization by the caller).
+    let mut scores = Matrix::zeros(n_rows, pcs_retained);
+    let mut scratch2 = vec![0.0f64; NUM_FEATURES];
+    for_each(&mut |r, row| {
+        normalize_into(&feature_norm, row, &mut scratch2);
+        pca.transform_row(&scratch2, scores.row_mut(r));
+    })?;
+
+    Ok((feature_norm, pca, pcs_retained, variance_explained, scores))
+}
+
+/// Z-scores one row into `out` with exactly
+/// [`ColumnStats::apply`]'s arithmetic, so streamed rows normalize to
+/// the same bits as materialized ones.
+fn normalize_into(stats: &ColumnStats, row: &[f64], out: &mut [f64]) {
+    for ((o, &v), (&mean, &std)) in out
+        .iter_mut()
+        .zip(row)
+        .zip(stats.means.iter().zip(&stats.stds))
+    {
+        *o = if std == 0.0 { 0.0 } else { (v - mean) / std };
+    }
+}
+
+/// Replays survivors' feature rows out of the checkpoint store, one
+/// benchmark at a time — the streaming mode's row source.
+///
+/// Because the sampled list is grouped by ascending benchmark index,
+/// holding the single most recent benchmark makes a full sweep load
+/// each benchmark exactly once. A load that fails (file vanished,
+/// corrupted after the characterize stage warmed it) falls back to
+/// recomputing the benchmark — and repairing the store — so a damaged
+/// store costs time, never correctness.
+struct StreamedRows<'a> {
+    store: &'a CheckpointStore,
+    fingerprint: u64,
+    cfg: &'a StudyConfig,
+    token: &'a CancelToken,
+    /// Survivor index → benchmark (the compacted post-quarantine list).
+    benches: &'a [&'a Benchmark],
+    cached: Option<(usize, BenchCharacterization)>,
+}
+
+impl<'a> StreamedRows<'a> {
+    fn new(
+        store: &'a CheckpointStore,
+        fingerprint: u64,
+        cfg: &'a StudyConfig,
+        token: &'a CancelToken,
+        benches: &'a [&'a Benchmark],
+    ) -> Self {
+        StreamedRows {
+            store,
+            fingerprint,
+            cfg,
+            token,
+            benches,
+            cached: None,
+        }
+    }
+
+    /// The feature row of one sampled interval.
+    fn row(&mut self, s: &SampledInterval) -> Result<&[f64], StudyError> {
+        let c = self.characterization(s.bench)?;
+        Ok(c.per_input[s.input][s.interval].as_slice())
+    }
+
+    fn characterization(&mut self, bench: usize) -> Result<&BenchCharacterization, StudyError> {
+        if self.cached.as_ref().map(|(b, _)| *b) != Some(bench) {
+            let c = self.load_or_recompute(self.benches[bench])?;
+            self.cached = Some((bench, c));
+        }
+        Ok(&self.cached.as_ref().expect("just cached").1)
+    }
+
+    fn load_or_recompute(&self, b: &Benchmark) -> Result<BenchCharacterization, StudyError> {
+        if let Some(BenchOutcome::Characterized(c)) =
+            self.store
+                .load_benchmark(self.fingerprint, b.suite(), b.name())
+        {
+            if c.per_input.len() == b.num_inputs() {
+                return Ok(c);
+            }
+        }
+        // The store lost or mangled this outcome *after* the
+        // characterize stage saw it. Recompute and repair the store.
+        phaselab_obs::counter_add(
+            "checkpoint.stream.recomputes",
+            phaselab_obs::Class::Timing,
+            1,
+        );
+        match characterize_benchmark_watched(b, self.cfg, Some(self.token)) {
+            Ok(c) => {
+                self.store.store_benchmark(
+                    self.fingerprint,
+                    b.suite(),
+                    b.name(),
+                    &BenchOutcome::Characterized(c.clone()),
+                );
+                Ok(c)
+            }
+            Err(BenchFailure::Cancelled) => Err(StudyError::Cancelled),
+            // The recompute quarantined a benchmark the characterize
+            // stage saw survive: the run's premises changed mid-study.
+            Err(BenchFailure::Quarantined(_)) => Err(AnalysisError::InconsistentCheckpoint {
+                bench: b.name().to_string(),
+            }
+            .into()),
+        }
+    }
+}
+
+/// Characterizes benchmarks on the shared work-stealing executor,
+/// loading checkpointed outcomes and storing fresh ones, and hands each
+/// outcome to `project` *inside* the worker — so a caller that only
+/// needs metadata never holds more than one full outcome per thread.
 ///
 /// Per-benchmark outcomes ride across the executor in index-keyed
 /// slots, so the outcome vector — including which benchmarks fault — is
 /// identical for every thread count; and because each checkpoint is the
 /// exact bits of the computed outcome, loaded and recomputed benchmarks
-/// are indistinguishable downstream.
-fn characterize_all(
-    benches: &[Benchmark],
+/// are indistinguishable downstream. To keep them indistinguishable in
+/// the observability manifest too, checkpoint hit/miss tallies are
+/// Timing-class (store warmth is provenance, not a property of the
+/// study), and a hit emits the same `characterized`/`quarantined`
+/// events the compute path would.
+fn characterize_map<T: Send>(
+    benches: &[&Benchmark],
     cfg: &StudyConfig,
     store: Option<&CheckpointStore>,
     token: &CancelToken,
-) -> Result<Vec<BenchOutcome>, StudyError> {
+    project: impl Fn(BenchOutcome) -> T + Sync,
+) -> Result<Vec<T>, StudyError> {
     let threads = effective_threads(cfg.threads);
     let fingerprint = characterization_fingerprint(cfg);
-    let outcomes = parallel_map_cancellable(benches, threads, token, |b| {
-        use phaselab_obs::Class::Structural;
+    let outcomes = parallel_map_cancellable(benches, threads, token, |&b| {
+        use phaselab_obs::Class::{Structural, Timing};
         let obs_on = phaselab_obs::enabled();
         if let Some(s) = store {
             if let Some(o) = s.load_benchmark(fingerprint, b.suite(), b.name()) {
                 if outcome_matches(&o, b) {
                     if obs_on {
                         let scope = format!("{}/{}", b.suite().short_name(), b.name());
-                        phaselab_obs::counter_add("checkpoint.bench.hits", Structural, 1);
-                        phaselab_obs::event(&scope, "checkpoint-hit");
+                        phaselab_obs::counter_add("checkpoint.bench.hits", Timing, 1);
+                        record_outcome_event(&scope, &o);
                         record_outcome_obs(&scope, &o, cfg);
                         phaselab_obs::counter_add("study.benchmarks.done", Structural, 1);
                     }
-                    return Ok(o);
+                    return Ok(project(o));
                 }
             }
-            phaselab_obs::counter_add("checkpoint.bench.misses", Structural, 1);
+            phaselab_obs::counter_add("checkpoint.bench.misses", Timing, 1);
         }
         let _span = phaselab_obs::span!("characterize.bench");
         let started = obs_on.then(std::time::Instant::now);
@@ -508,22 +951,29 @@ fn characterize_all(
                 phaselab_obs::Class::Timing,
                 t0.elapsed().as_secs_f64() * 1e3,
             );
-            match &outcome {
-                BenchOutcome::Characterized(_) => phaselab_obs::event(&scope, "characterized"),
-                BenchOutcome::Quarantined(q) => {
-                    phaselab_obs::event(&scope, &format!("quarantined: {}", q.cause));
-                }
-            }
+            record_outcome_event(&scope, &outcome);
             record_outcome_obs(&scope, &outcome, cfg);
             phaselab_obs::counter_add("study.benchmarks.done", Structural, 1);
         }
-        Ok(outcome)
+        Ok(project(outcome))
     })
     .map_err(|_| StudyError::Cancelled)?;
     outcomes
         .into_iter()
         .collect::<Result<Vec<_>, ()>>()
         .map_err(|()| StudyError::Cancelled)
+}
+
+/// Emits the outcome event (`characterized` or `quarantined: <cause>`)
+/// for one benchmark. Shared by the checkpoint-hit and compute paths so
+/// the event stream is identical either way.
+fn record_outcome_event(scope: &str, outcome: &BenchOutcome) {
+    match outcome {
+        BenchOutcome::Characterized(_) => phaselab_obs::event(scope, "characterized"),
+        BenchOutcome::Quarantined(q) => {
+            phaselab_obs::event(scope, &format!("quarantined: {}", q.cause));
+        }
+    }
 }
 
 /// Publishes one benchmark outcome's structural metrics: instruction
@@ -590,15 +1040,15 @@ fn cluster_resumable(
     let fingerprint = store.map(|_| clustering_fingerprint(kcfg, space));
     let indices: Vec<usize> = (0..restarts).collect();
     let candidates = parallel_map_cancellable(&indices, outer, token, |&r| {
-        use phaselab_obs::Class::Structural;
+        use phaselab_obs::Class::Timing;
         if let (Some(s), Some(fp)) = (store, fingerprint) {
             if let Some(c) = s.load_clustering(fp, r) {
                 if c.assignments.len() == space.rows() && c.centroids.rows() == kcfg.k {
-                    phaselab_obs::counter_add("checkpoint.clustering.hits", Structural, 1);
+                    phaselab_obs::counter_add("checkpoint.clustering.hits", Timing, 1);
                     return c;
                 }
             }
-            phaselab_obs::counter_add("checkpoint.clustering.misses", Structural, 1);
+            phaselab_obs::counter_add("checkpoint.clustering.misses", Timing, 1);
         }
         let c = kmeans_restart(space, kcfg, r, inner);
         if let (Some(s), Some(fp)) = (store, fingerprint) {
@@ -791,5 +1241,30 @@ mod tests {
             run_study(&cfg),
             Err(StudyError::Config(crate::ConfigError::ZeroClusters))
         ));
+    }
+
+    #[test]
+    fn streaming_without_store_is_a_config_error() {
+        let mut cfg = StudyConfig::smoke();
+        cfg.analysis = AnalysisMode::Streaming;
+        assert!(matches!(
+            run_study(&cfg),
+            Err(StudyError::Config(ConfigError::StreamingNeedsStore))
+        ));
+    }
+
+    #[test]
+    fn shard_index_must_be_in_range() {
+        let dir =
+            std::env::temp_dir().join(format!("phaselab-ckpt-shardrange-{}", std::process::id()));
+        let store = CheckpointStore::open(&dir).expect("store");
+        let mut cfg = StudyConfig::smoke();
+        cfg.shard_total = 2;
+        let err = run_shard(&cfg, 2, &store, None).unwrap_err();
+        assert!(matches!(
+            err,
+            StudyError::Config(ConfigError::ShardIndex { index: 2, total: 2 })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

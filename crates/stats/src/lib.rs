@@ -9,7 +9,10 @@
 //! * principal components analysis ([`Pca`]) via Jacobi eigendecomposition
 //!   of the (symmetric) covariance matrix,
 //! * k-means++ clustering with multiple restarts scored by the Bayesian
-//!   Information Criterion ([`kmeans`]),
+//!   Information Criterion ([`kmeans`]), with an optional mini-batch mode,
+//! * one-pass, mergeable streaming accumulators for column statistics and
+//!   covariance ([`RunningColumnStats`], [`RunningCovariance`]) so the
+//!   analysis can run memory-bounded without materializing its input,
 //! * Euclidean distances and the Pearson correlation coefficient.
 //!
 //! The paper's statistics were computed with off-the-shelf tooling; this
@@ -42,6 +45,7 @@ mod kmeans;
 mod matrix;
 mod normalize;
 mod pca;
+mod streaming;
 
 pub use correlation::{pearson, spearman};
 pub use eigen::{jacobi_eigen, EigenDecomposition};
@@ -52,6 +56,7 @@ pub use kmeans::{
 pub use matrix::Matrix;
 pub use normalize::{normalize_columns, ColumnStats};
 pub use pca::{rescaled_pca_space, Pca};
+pub use streaming::{RunningColumnStats, RunningCovariance, RELATIVE_STD_FLOOR};
 
 /// Squared Euclidean distance between two equal-length vectors.
 ///

@@ -1,6 +1,7 @@
 //! Column-wise z-score normalization.
 
 use crate::matrix::Matrix;
+use crate::streaming::RunningColumnStats;
 
 /// Per-column mean and standard deviation, as computed by
 /// [`normalize_columns`].
@@ -18,25 +19,22 @@ pub struct ColumnStats {
 
 impl ColumnStats {
     /// Computes the statistics of the columns of `m` without normalizing.
+    ///
+    /// Runs the one-pass Welford accumulator
+    /// ([`RunningColumnStats`](crate::RunningColumnStats)) over the rows,
+    /// so the result is bit-identical to streaming the same rows in the
+    /// same order. A standard deviation at or below
+    /// [`RELATIVE_STD_FLOOR`](crate::RELATIVE_STD_FLOOR) times the
+    /// column's largest absolute value is clamped to `0.0` — relative to
+    /// the column's magnitude, so legitimately tiny-scale columns keep
+    /// their spread while rounding noise on large-scale near-constant
+    /// columns is treated as zero.
     pub fn of(m: &Matrix) -> Self {
-        let means = m.column_means();
-        let n = m.rows();
-        let mut stds = vec![0.0; m.cols()];
-        if n >= 2 {
-            for row in m.iter_rows() {
-                for (acc, (&v, &mean)) in stds.iter_mut().zip(row.iter().zip(&means)) {
-                    let d = v - mean;
-                    *acc += d * d;
-                }
-            }
-            for s in &mut stds {
-                *s = (*s / (n - 1) as f64).sqrt();
-                if !s.is_finite() || *s < 1e-12 {
-                    *s = 0.0;
-                }
-            }
+        let mut acc = RunningColumnStats::new(m.cols());
+        for row in m.iter_rows() {
+            acc.push(row);
         }
-        ColumnStats { means, stds }
+        acc.finalize()
     }
 
     /// The `(mean, standard deviation)` of column `col`.
@@ -143,6 +141,27 @@ mod tests {
         let (n, stats) = normalize_columns(&m);
         assert_eq!(stats.stds, vec![0.0, 0.0]);
         assert_eq!(n.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn tiny_scale_column_is_not_clamped_to_constant() {
+        // Regression: an absolute 1e-12 std floor zeroed this column even
+        // though its spread is perfectly meaningful at its own scale.
+        let m = Matrix::from_rows(&[vec![1e-15], vec![2e-15], vec![3e-15]]);
+        let (n, stats) = normalize_columns(&m);
+        assert!(stats.stds[0] > 0.0);
+        assert!((n.get(0, 0) + 1.0).abs() < 1e-9, "z-scores must survive");
+    }
+
+    #[test]
+    fn large_scale_noise_column_is_clamped_to_constant() {
+        // Regression: a 1e12-scale column whose spread is floating-point
+        // rounding noise (relative std ~1e-16) passed the absolute floor
+        // and injected noise-only variance into the analysis.
+        let m = Matrix::from_rows(&[vec![1e12], vec![1e12 + 1e-4], vec![1e12 - 1e-4]]);
+        let (n, stats) = normalize_columns(&m);
+        assert_eq!(stats.stds[0], 0.0);
+        assert!(n.column(0).iter().all(|&v| v == 0.0));
     }
 
     #[test]

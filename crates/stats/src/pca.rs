@@ -59,6 +59,37 @@ impl Pca {
         }
     }
 
+    /// Fits a PCA model from an already-accumulated covariance matrix and
+    /// the matching column means, without ever seeing the rows.
+    ///
+    /// This is the streaming entry point: feed rows through a
+    /// [`RunningCovariance`](crate::RunningCovariance) and hand its
+    /// [`covariance()`](crate::RunningCovariance::covariance) and
+    /// [`means()`](crate::RunningCovariance::means) here. Given the same
+    /// covariance and means, the fitted model is bit-identical to
+    /// [`Pca::fit`]'s eigendecomposition of that matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cov` is not square with side `means.len()`, or not
+    /// symmetric.
+    pub fn from_covariance(means: Vec<f64>, cov: &Matrix) -> Self {
+        let _span = phaselab_obs::span!("pca.fit");
+        phaselab_obs::counter_add("pca.fits", phaselab_obs::Class::Structural, 1);
+        assert_eq!(cov.rows(), means.len(), "covariance/means size mismatch");
+        let eig = jacobi_eigen(cov);
+        let variances = eig
+            .eigenvalues
+            .iter()
+            .map(|&v| if v > 0.0 { v } else { 0.0 })
+            .collect();
+        Pca {
+            means,
+            components: eig.eigenvectors,
+            variances,
+        }
+    }
+
     /// Number of input variables the model was fitted on.
     pub fn input_dim(&self) -> usize {
         self.means.len()
@@ -117,16 +148,30 @@ impl Pca {
         assert!(k <= self.input_dim(), "k out of range");
         let mut out = Matrix::zeros(m.rows(), k);
         for r in 0..m.rows() {
-            let row = m.row(r);
-            for c in 0..k {
-                let mut acc = 0.0;
-                for (j, &x) in row.iter().enumerate() {
-                    acc += (x - self.means[j]) * self.components.get(j, c);
-                }
-                out.set(r, c, acc);
-            }
+            self.transform_row(m.row(r), out.row_mut(r));
         }
         out
+    }
+
+    /// Projects a single row onto the first `out.len()` principal
+    /// components, writing the scores into `out`. [`transform`](Self::transform)
+    /// is this per row, so streaming rows through here is bit-identical to
+    /// transforming the materialized matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`'s length differs from the fitted dimensionality or
+    /// `out` asks for more components than exist.
+    pub fn transform_row(&self, row: &[f64], out: &mut [f64]) {
+        assert_eq!(row.len(), self.input_dim(), "dimensionality mismatch");
+        assert!(out.len() <= self.input_dim(), "k out of range");
+        for (c, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, &x) in row.iter().enumerate() {
+                acc += (x - self.means[j]) * self.components.get(j, c);
+            }
+            *o = acc;
+        }
     }
 }
 
@@ -254,6 +299,40 @@ mod tests {
             prev = c;
         }
         assert!((pca.cumulative_explained(3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_covariance_matches_fit_bitwise() {
+        let m = Matrix::from_rows(&[
+            vec![2.5, 2.4, 0.1],
+            vec![0.5, 0.7, 1.3],
+            vec![2.2, 2.9, -0.4],
+            vec![1.9, 2.2, 0.8],
+        ]);
+        let fitted = Pca::fit(&m);
+        let streamed = Pca::from_covariance(m.column_means(), &m.covariance());
+        // Same covariance bits in → same model bits out.
+        assert_eq!(fitted.variances(), streamed.variances());
+        let a = fitted.transform(&m, 2);
+        let b = streamed.transform(&m, 2);
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                assert_eq!(a.get(r, c).to_bits(), b.get(r, c).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn transform_row_matches_transform() {
+        let m = Matrix::from_rows(&[vec![1.0, 5.0], vec![2.0, 3.0], vec![3.0, 8.0]]);
+        let pca = Pca::fit(&m);
+        let full = pca.transform(&m, 2);
+        let mut out = [0.0; 2];
+        for r in 0..m.rows() {
+            pca.transform_row(m.row(r), &mut out);
+            assert_eq!(out[0].to_bits(), full.get(r, 0).to_bits());
+            assert_eq!(out[1].to_bits(), full.get(r, 1).to_bits());
+        }
     }
 
     #[test]

@@ -22,8 +22,17 @@ Typical usage:
     python3 scripts/bench_compare.py BENCH_obs.json target/BENCH_obs.json
     python3 scripts/bench_compare.py old-manifest.json new-manifest.json --noise 0.5
 
-Exit status: 0 when no metric regressed beyond its band, 1 otherwise
-(also 1 for unreadable input or no shared metrics).
+A metric present on only one side is *asymmetric*: a removed metric
+means the candidate silently lost coverage, a new one means the
+baseline predates it. Both are reported and — unless `--allow-missing`
+is given — fail the comparison, so a renamed or dropped metric cannot
+sail through as "no shared regression". Pass `--allow-missing` when
+the metric set legitimately changed (e.g. the baseline predates a new
+figure) and update the baseline in the same change.
+
+Exit status: 0 when no metric regressed beyond its band and the metric
+sets match (or `--allow-missing` was given), 1 otherwise (also 1 for
+unreadable input or no shared metrics).
 """
 
 import argparse
@@ -71,6 +80,10 @@ def distill(doc, path):
             out["characterize_inst_per_s"] = instructions / (char_ms / 1e3)
         if instructions is not None and blocks:
             out["vm_inst_per_dispatch"] = instructions / blocks
+        analysis_ms = spans.get("study/analysis", {}).get("total_ms")
+        rows = doc.get("gauges", {}).get("sampling.rows")
+        if analysis_ms and rows:
+            out["analysis_rows_per_s"] = rows / (analysis_ms / 1e3)
         gauges = doc["timings"].get("gauges", {})
         out["vm_block_speedup"] = gauges.get("vm.calibrate.block_speedup")
         return {k: v for k, v in out.items() if v is not None}
@@ -106,6 +119,12 @@ def main():
         metavar="FRAC",
         help="fractional band for deterministic metrics (default: 1e-6)",
     )
+    ap.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="tolerate metrics present in only one document "
+        "(default: asymmetric metric sets fail the comparison)",
+    )
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -136,10 +155,24 @@ def main():
         print(
             f"{metric:<{width}}  {b:>14.6g}  {c:>14.6g}  {delta:>+8.1%}  {status}"
         )
-    for metric in sorted(set(base) - set(cand)):
+    removed = sorted(set(base) - set(cand))
+    new = sorted(set(cand) - set(base))
+    for metric in removed:
         print(f"{metric:<{width}}  {base[metric]:>14.6g}  {'—':>14}  {'':>9}  removed")
-    for metric in sorted(set(cand) - set(base)):
+    for metric in new:
         print(f"{metric:<{width}}  {'—':>14}  {cand[metric]:>14.6g}  {'':>9}  new")
+    if (removed or new) and not args.allow_missing:
+        parts = []
+        if removed:
+            parts.append(f"removed: {', '.join(removed)}")
+        if new:
+            parts.append(f"new: {', '.join(new)}")
+        print(
+            "bench_compare: FAIL — metric sets differ "
+            f"({'; '.join(parts)}); pass --allow-missing if intentional",
+            file=sys.stderr,
+        )
+        sys.exit(1)
 
     if regressions:
         print(

@@ -126,9 +126,19 @@ def emit_bench(manifest, path):
     # pass (lbm behind a trait-object sink under both engines).
     speedup = manifest["timings"]["gauges"].get("vm.calibrate.block_speedup")
 
+    # Analysis-stage throughput: sampled rows swept through the
+    # normalize → PCA → score passes per second of the `study/analysis`
+    # span. Tracks the streaming-analysis refactor's hot path.
+    analysis_ms = spans.get("study/analysis", {}).get("total_ms")
+    rows = manifest["gauges"].get("sampling.rows")
+    rows_per_s = None
+    if analysis_ms and rows:
+        rows_per_s = rows / (analysis_ms / 1e3)
+
     bench = {
         "kmeans_wall_ms": kmeans_ms,
         "characterize_inst_per_s": inst_per_s,
+        "analysis_rows_per_s": rows_per_s,
         "vm_inst_per_dispatch": inst_per_dispatch,
         "vm_block_speedup": speedup,
         "peak_rss_kb": manifest["timings"]["peak_rss_kb"],

@@ -74,7 +74,9 @@ if command -v python3 >/dev/null 2>&1; then
     python3 - "$MANIFEST" "$HITS_EXPECTED" <<'EOF'
 import json, sys
 manifest, expected = json.load(open(sys.argv[1])), int(sys.argv[2])
-hits = manifest["counters"].get("checkpoint.bench.hits", 0)
+# Checkpoint hit/miss tallies are Timing-class (store warmth is
+# provenance, not structure), so they live under timings.counters.
+hits = manifest["timings"]["counters"].get("checkpoint.bench.hits", 0)
 if hits != expected:
     sys.exit(
         f"resume_smoke: FAIL — manifest records {hits} benchmark "

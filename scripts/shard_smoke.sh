@@ -1,0 +1,99 @@
+#!/usr/bin/env sh
+# Smoke test for the sharded-study protocol: two `repro --shard` worker
+# processes fill one checkpoint store, a `repro --reduce` pass runs the
+# streaming analysis over it, and the result must match a single-process
+# in-RAM run — byte-identical stdout report, identical structural
+# manifest sections. Exercises the real multi-process coordination
+# (separate OS processes sharing one store directory) that in-process
+# tests cannot.
+set -eu
+
+REPRO="${REPRO:-target/release/repro}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/phaselab-shard-smoke.XXXXXX")"
+CKPT="$WORK/ckpt"
+trap 'rm -rf "$WORK"' EXIT
+
+if [ ! -x "$REPRO" ]; then
+    echo "shard_smoke: $REPRO not built (run: cargo build --release -p phaselab-bench --bin repro)" >&2
+    exit 1
+fi
+
+# Sub-scale study: 3 benchmarks, small k — seconds, not minutes.
+ARGS="--scale tiny --interval 20000 --samples 8 --k 12 --seed 0 --only face,finger,jpeg"
+
+echo "shard_smoke: single-process baseline"
+PHASELAB_OUT="$WORK/out-single" $REPRO $ARGS \
+    --metrics-out "$WORK/single.json" table3 > "$WORK/single.txt"
+
+echo "shard_smoke: launching 2 shard workers"
+$REPRO $ARGS --shard 0/2 --checkpoint-dir "$CKPT"
+$REPRO $ARGS --shard 1/2 --checkpoint-dir "$CKPT"
+
+echo "shard_smoke: reduce pass"
+PHASELAB_OUT="$WORK/out-reduce" $REPRO $ARGS --reduce 2 --checkpoint-dir "$CKPT" \
+    --metrics-out "$WORK/reduced.json" table3 > "$WORK/reduced.txt"
+
+# The reports must be byte-identical except the artifact-path lines
+# (the two runs write their CSVs to different PHASELAB_OUT dirs) — and
+# the CSV artifacts themselves must be byte-identical too.
+grep -v '^wrote ' "$WORK/single.txt" > "$WORK/single.flt"
+grep -v '^wrote ' "$WORK/reduced.txt" > "$WORK/reduced.flt"
+if ! diff "$WORK/single.flt" "$WORK/reduced.flt"; then
+    echo "shard_smoke: FAIL — reduced report differs from the single-process report" >&2
+    exit 1
+fi
+for csv in "$WORK"/out-single/*.csv; do
+    name="$(basename "$csv")"
+    if ! diff "$csv" "$WORK/out-reduce/$name"; then
+        echo "shard_smoke: FAIL — artifact $name differs between the runs" >&2
+        exit 1
+    fi
+done
+echo "shard_smoke: reports and artifacts are byte-identical"
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$WORK/single.json" "$WORK/reduced.json" <<'EOF'
+import json, sys
+
+single = json.load(open(sys.argv[1]))
+reduced = json.load(open(sys.argv[2]))
+
+def structural(doc):
+    """The structural manifest sections, minus the keys that lawfully
+    differ between a fresh run and a reduce pass:
+
+    - `vm.*` counters count *executed* VM work; the reducer loads every
+      outcome from the store and executes nothing.
+    - `config.fingerprint` incorporates the analysis mode and shard
+      topology by design (that is what keeps the protocols apart), so
+      it is compared for *presence*, not equality, via the required-key
+      check in check_manifest.py.
+
+    Everything else — study tallies, per-benchmark instruction gauges
+    and events, histograms, PCA shape — must match exactly.
+    """
+    out = {}
+    for section in ("counters", "gauges", "events", "histograms"):
+        sec = doc.get(section, {})
+        out[section] = {k: v for k, v in sec.items() if not k.startswith("vm.")}
+    return out
+
+a, b = structural(single), structural(reduced)
+if a != b:
+    for section in a:
+        if a[section] != b[section]:
+            keys = sorted(set(a[section]) | set(b[section]))
+            for k in keys:
+                if a[section].get(k) != b[section].get(k):
+                    print(
+                        f"shard_smoke: {section}[{k}]: "
+                        f"single={a[section].get(k)!r} reduced={b[section].get(k)!r}",
+                        file=sys.stderr,
+                    )
+    sys.exit("shard_smoke: FAIL — structural manifest sections differ")
+print("shard_smoke: structural manifest sections are identical")
+EOF
+else
+    echo "shard_smoke: python3 unavailable, skipping manifest comparison"
+fi
+echo "shard_smoke: OK"

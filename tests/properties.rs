@@ -6,6 +6,7 @@ use proptest::prelude::*;
 use phaselab::mica::{IntervalCharacterizer, NUM_FEATURES};
 use phaselab::stats::{
     jacobi_eigen, kmeans, kmeans_reference, normalize_columns, pearson, KmeansConfig, Matrix, Pca,
+    RunningColumnStats, RunningCovariance,
 };
 use phaselab::trace::TraceSink;
 use phaselab::vm::{regs::*, Asm, DataBuilder, Vm};
@@ -167,6 +168,234 @@ proptest! {
         let r = pearson(&col, &vals);
         prop_assert!((r - 1.0).abs() < 1e-9);
     }
+
+    /// One-pass Welford column statistics match the two-pass textbook
+    /// reference within relative 1e-9, for any row order, and a
+    /// two-accumulator merge matches pushing everything into one.
+    #[test]
+    fn streaming_column_stats_match_two_pass_reference(
+        rows in 2usize..40,
+        cols in 1usize..8,
+        seed in 0u64..1_000,
+        split_frac in 0.0f64..1.0,
+    ) {
+        let data = pseudo_matrix(rows, cols, seed);
+        let perm = pseudo_permutation(rows, seed ^ 0xA5A5);
+
+        // Two-pass reference on the original data (order-free).
+        let (ref_means, ref_stds) = two_pass_stats(&data);
+
+        // One accumulator, rows pushed in permuted order.
+        let mut acc = RunningColumnStats::new(cols);
+        for &r in &perm {
+            acc.push(&data[r]);
+        }
+        let one = acc.finalize();
+
+        // Two accumulators over a split of the permutation, merged.
+        let split = ((rows as f64 * split_frac) as usize).min(rows);
+        let mut left = RunningColumnStats::new(cols);
+        let mut right = RunningColumnStats::new(cols);
+        for &r in &perm[..split] {
+            left.push(&data[r]);
+        }
+        for &r in &perm[split..] {
+            right.push(&data[r]);
+        }
+        left.merge(&right);
+        let merged = left.finalize();
+
+        for j in 0..cols {
+            prop_assert!(close(one.means[j], ref_means[j], 1e-9), "mean[{}]", j);
+            prop_assert!(close(one.stds[j], ref_stds[j], 1e-9), "std[{}]", j);
+            prop_assert!(close(merged.means[j], ref_means[j], 1e-9), "merged mean[{}]", j);
+            prop_assert!(close(merged.stds[j], ref_stds[j], 1e-9), "merged std[{}]", j);
+        }
+    }
+
+    /// The one-pass covariance accumulator matches the two-pass
+    /// reference within relative 1e-9, under row permutations and
+    /// accumulator merges.
+    #[test]
+    fn streaming_covariance_matches_two_pass_reference(
+        rows in 2usize..40,
+        cols in 1usize..6,
+        seed in 0u64..1_000,
+        split_frac in 0.0f64..1.0,
+    ) {
+        let data = pseudo_matrix(rows, cols, seed);
+        let perm = pseudo_permutation(rows, seed ^ 0x5A5A);
+        let reference = two_pass_covariance(&data);
+
+        let mut acc = RunningCovariance::new(cols);
+        for &r in &perm {
+            acc.push(&data[r]);
+        }
+        let one = acc.covariance();
+
+        let split = ((rows as f64 * split_frac) as usize).min(rows);
+        // Both halves need at least one row for a meaningful merge, but
+        // empty halves must also be legal — merge handles both.
+        let mut left = RunningCovariance::new(cols);
+        let mut right = RunningCovariance::new(cols);
+        for &r in &perm[..split] {
+            left.push(&data[r]);
+        }
+        for &r in &perm[split..] {
+            right.push(&data[r]);
+        }
+        left.merge(&right);
+        let merged = left.covariance();
+
+        for i in 0..cols {
+            for j in 0..cols {
+                prop_assert!(
+                    close(one.get(i, j), reference.get(i, j), 1e-9),
+                    "cov[{},{}] {} vs {}", i, j, one.get(i, j), reference.get(i, j)
+                );
+                prop_assert!(
+                    close(merged.get(i, j), reference.get(i, j), 1e-9),
+                    "merged cov[{},{}]", i, j
+                );
+            }
+        }
+    }
+
+    /// Mini-batch k-means recovers the same partition as the exact
+    /// Hamerly solver on well-separated blobs — the regime the
+    /// approximation contract promises (see `KmeansConfig::batch`).
+    #[test]
+    fn minibatch_agrees_with_exact_hamerly_on_separated_blobs(
+        k in 2usize..5,
+        per_blob in 4usize..12,
+        dims in 1usize..4,
+        batch in 8usize..64,
+        seed in 0u64..500,
+    ) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        // Blob centers 1000 apart per axis, points within +/- 0.5.
+        let rows: Vec<Vec<f64>> = (0..k)
+            .flat_map(|c| {
+                let center: Vec<f64> = (0..dims).map(|d| (c * 1000 + d * 37) as f64).collect();
+                (0..per_blob)
+                    .map(|_| center.iter().map(|&x| x + next()).collect::<Vec<f64>>())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let m = Matrix::from_rows(&rows);
+        let cfg = KmeansConfig::new(k)
+            .with_restarts(2)
+            .with_max_iters(40)
+            .with_seed(seed);
+        let exact = kmeans(&m, &cfg);
+        let mini = kmeans(&m, &cfg.clone().with_batch(Some(batch)));
+        // Same partition up to cluster relabeling: co-membership agrees
+        // for every pair of points.
+        for i in 0..rows.len() {
+            for j in (i + 1)..rows.len() {
+                prop_assert_eq!(
+                    exact.assignments[i] == exact.assignments[j],
+                    mini.assignments[i] == mini.assignments[j],
+                    "pair ({}, {}) co-membership diverged", i, j
+                );
+            }
+        }
+    }
+}
+
+/// Relative closeness with an absolute floor for near-zero values.
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Deterministic pseudo-random matrix with per-column scale spread
+/// (columns span several orders of magnitude, exercising the
+/// accumulators away from unit scale).
+fn pseudo_matrix(rows: usize, cols: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    };
+    (0..rows)
+        .map(|_| {
+            (0..cols)
+                .map(|j| next() * 10f64.powi(j as i32 - 2))
+                .collect()
+        })
+        .collect()
+}
+
+/// Deterministic Fisher–Yates permutation of `0..n`.
+fn pseudo_permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let j = (state % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Textbook two-pass mean and sample standard deviation, the reference
+/// the streaming accumulators are tested against.
+fn two_pass_stats(data: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
+    let n = data.len();
+    let cols = data[0].len();
+    let mut means = vec![0.0; cols];
+    for row in data {
+        for (m, &v) in means.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n as f64;
+    }
+    let mut stds = vec![0.0; cols];
+    if n >= 2 {
+        for row in data {
+            for ((s, &v), &m) in stds.iter_mut().zip(row).zip(&means) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / (n - 1) as f64).sqrt();
+        }
+    }
+    (means, stds)
+}
+
+/// Textbook two-pass sample covariance (the `/(n-1)` convention).
+fn two_pass_covariance(data: &[Vec<f64>]) -> Matrix {
+    let n = data.len();
+    let cols = data[0].len();
+    let (means, _) = two_pass_stats(data);
+    let mut cov = Matrix::zeros(cols, cols);
+    for row in data {
+        for i in 0..cols {
+            for j in 0..cols {
+                let v = cov.get(i, j) + (row[i] - means[i]) * (row[j] - means[j]);
+                cov.set(i, j, v);
+            }
+        }
+    }
+    for i in 0..cols {
+        for j in 0..cols {
+            cov.set(i, j, cov.get(i, j) / (n - 1) as f64);
+        }
+    }
+    cov
 }
 
 /// A sink that counts observations, used to assert the VM's budget
