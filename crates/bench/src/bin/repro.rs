@@ -63,6 +63,15 @@
 //! re-invoked with `--resume` reloads them and produces a bit-identical
 //! result.
 //!
+//! `--supervise N` turns the binary into its own process supervisor: it
+//! spawns N `--shard` workers over the shared store, restarts crashed
+//! or hung ones with capped exponential backoff, salvages
+//! permanently-dead shards in-process, and then runs the streaming
+//! reduce — producing a report byte-identical to a fault-free
+//! single-process run, or a typed non-zero exit naming the
+//! unrecoverable shard. See DESIGN.md §16 for the fault model, the
+//! lease/fencing protocol, and the supervisor state machine.
+//!
 //! `--metrics-out` installs the `phaselab-obs` subscriber and writes
 //! one deterministic run manifest (counters, per-benchmark events,
 //! k-means pruning stats, GA telemetry, spans) after the run; see
@@ -100,17 +109,20 @@ const EXIT_RUNTIME: i32 = 1;
 /// convention of 128 + SIGINT.
 const EXIT_INTERRUPTED: i32 = 130;
 
-/// Ctrl-C handling: the signal handler only flips an atomic flag; a
-/// watcher thread turns the flag into a [`CancelToken`] trip, which the
-/// pipeline observes at its next check.
+/// Ctrl-C and SIGTERM handling: the signal handler only flips an atomic
+/// flag; a watcher thread turns the flag into a [`CancelToken`] trip,
+/// which the pipeline observes at its next check. SIGTERM gets the same
+/// cooperative treatment as SIGINT so supervised workers flush their
+/// checkpoints and release their leases instead of dying mid-write.
 #[cfg(unix)]
 mod sigint {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     static INTERRUPTED: AtomicBool = AtomicBool::new(false);
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
 
-    extern "C" fn on_sigint(_sig: i32) {
+    extern "C" fn on_signal(_sig: i32) {
         // Async-signal-safe: a single atomic store, nothing else.
         INTERRUPTED.store(true, Ordering::SeqCst);
     }
@@ -121,7 +133,8 @@ mod sigint {
 
     pub fn install() {
         unsafe {
-            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
         }
     }
 
@@ -235,6 +248,12 @@ options:
   --reduce N                reduce pass of a sharded study: analyze a store
                             filled by N shard workers (implies --streaming;
                             combine with a streaming-capable experiment)
+  --supervise N             supervised sharded study: spawn N shard workers as
+                            child processes, restart crashed/hung ones with
+                            capped backoff, salvage permanently-dead shards
+                            in-process, then run the reduce (implies
+                            --streaming; requires --checkpoint-dir; combine
+                            with a streaming-capable experiment)
   --max-inst-per-bench N    quarantine benchmarks exceeding N instructions
   --metrics-out PATH        write the run manifest (JSON) to PATH
   --progress                throttled stage/progress lines on stderr
@@ -257,6 +276,8 @@ struct Cli {
     /// `--shard I/N`: run the worker pass for shard I (N is
     /// `cfg.shard_total`) instead of an experiment.
     shard: Option<u32>,
+    /// `--supervise N`: spawn and babysit N shard workers, then reduce.
+    supervise: Option<u32>,
 }
 
 fn main() {
@@ -296,6 +317,11 @@ fn main() {
             .as_ref()
             .expect("parse_args requires --checkpoint-dir for --shard");
         run_shard_worker(&cli.cfg, shard_index, &cli.only, s, &token)
+    } else if let Some(shards) = cli.supervise {
+        let s = store
+            .as_ref()
+            .expect("parse_args requires --checkpoint-dir for --supervise");
+        run_supervised(&cli, &args, shards, s, &token)
     } else {
         run_experiment(&cli.cfg, &cli.command, &cli.only, store.as_ref(), &token)
     };
@@ -621,6 +647,86 @@ fn run_shard_worker(
     Ok(())
 }
 
+/// Flags whose value must travel with them when the supervisor rebuilds
+/// the worker argv from its own.
+const VALUE_FLAGS: &[&str] = &[
+    "--scale",
+    "--interval",
+    "--samples",
+    "--k",
+    "--seed",
+    "--threads",
+    "--engine",
+    "--suites",
+    "--only",
+    "--checkpoint-dir",
+    "--kmeans-batch",
+    "--max-inst-per-bench",
+];
+
+/// Builds the child worker argv from the supervisor's own argv: keeps
+/// the study-shape flags (scale, seed, filters, the checkpoint dir),
+/// drops `--supervise` itself (each child gets `--shard I/N` appended
+/// by the supervisor instead), the experiment token (workers
+/// characterize; only the parent reduces), and the parent-only flags
+/// (`--metrics-out`, `--progress`, `--resume`, `--streaming`).
+fn worker_argv(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a == "--supervise" || a == "--metrics-out" {
+            i += 2; // flag + value
+        } else if VALUE_FLAGS.contains(&a) {
+            out.push(args[i].clone());
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+            }
+            i += 2;
+        } else {
+            // `--progress`, `--resume`, `--streaming`, and the
+            // experiment token are parent-side concerns; anything else
+            // was already rejected by parse_args.
+            i += 1;
+        }
+    }
+    out
+}
+
+/// `--supervise N`: spawns N `--shard` worker processes over the shared
+/// store, restarts crashed or hung ones with capped backoff, salvages
+/// permanently-dead shards in-process, and then runs the streaming
+/// reduce — one command, chaos-tolerant end to end. The report is
+/// byte-identical to a fault-free single-process run because every
+/// worker writes idempotent content-fingerprinted checkpoints.
+fn run_supervised(
+    cli: &Cli,
+    args: &[String],
+    shards: u32,
+    store: &CheckpointStore,
+    token: &CancelToken,
+) -> Result<(), StudyError> {
+    let sup = phaselab_bench::supervise::SuperviseConfig::from_env(
+        shards,
+        store.dir().to_path_buf(),
+        worker_argv(args),
+        cli.cfg.seed,
+    );
+    eprintln!(
+        "[repro] supervising {shards} shard workers over {}",
+        store.dir().display()
+    );
+    let report = phaselab_bench::supervise::supervise(&sup, token, |shard_index| {
+        run_shard_worker(&cli.cfg, shard_index, &cli.only, store, token)
+    })?;
+    eprintln!(
+        "[repro] supervision done: {} restart(s), {} shard(s) salvaged in-process",
+        report.restarts,
+        report.salvaged.len()
+    );
+    run_experiment(&cli.cfg, &cli.command, &cli.only, Some(store), token)
+}
+
 /// Runs the study over the configured suites, further restricted to the
 /// `--only` benchmark names when given. With an empty filter this is
 /// exactly [`run_study_resumable`]; with a filter it applies the same
@@ -690,6 +796,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut streaming = false;
     let mut shard: Option<(u32, u32)> = None;
     let mut reduce: Option<u32> = None;
+    let mut supervise: Option<u32> = None;
     let mut i = 0;
     let value = |args: &[String], i: usize| -> Result<String, String> {
         args.get(i + 1)
@@ -827,6 +934,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
                 reduce = Some(total);
             }
+            "--supervise" => {
+                let v = value(args, i)?;
+                i += 1;
+                let n: u32 = parse_num("--supervise", &v)?;
+                if n == 0 {
+                    return Err("bad value `0` for `--supervise` (must be positive)".to_string());
+                }
+                supervise = Some(n);
+            }
             // Occupies the experiment slot: the lint mode runs instead
             // of (never alongside) an experiment.
             "--verify-only" => {
@@ -904,6 +1020,27 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         cfg.shard_total = total;
         streaming = true;
     }
+    if let Some(n) = supervise {
+        if shard.is_some() {
+            return Err(
+                "`--supervise` spawns the `--shard` workers itself; the flags cannot be combined"
+                    .to_string(),
+            );
+        }
+        if reduce.is_some() {
+            return Err("`--supervise` already runs the reduce pass; drop `--reduce`".to_string());
+        }
+        if checkpoint_dir.is_none() {
+            return Err(
+                "`--supervise` requires `--checkpoint-dir` (the shared store coordinates workers)"
+                    .to_string(),
+            );
+        }
+        cfg.shard_total = n;
+        // Workers fill the store under the streaming protocol; the
+        // supervisor's reduce streams rows back out of it.
+        cfg.analysis = AnalysisMode::Streaming;
+    }
     if streaming {
         cfg.analysis = AnalysisMode::Streaming;
         if checkpoint_dir.is_none() {
@@ -936,6 +1073,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         metrics_out,
         progress,
         shard: shard.map(|(idx, _)| idx),
+        supervise,
     })
 }
 

@@ -350,6 +350,100 @@ fn help_lists_the_sharding_flags() {
     }
 }
 
+#[test]
+fn supervise_requires_a_checkpoint_dir() {
+    let out = repro(&["--supervise", "2", "table3"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(
+        line.contains("`--supervise` requires `--checkpoint-dir`"),
+        "{line}"
+    );
+}
+
+#[test]
+fn supervise_cannot_be_combined_with_shard_or_reduce() {
+    let out = repro(&[
+        "--supervise",
+        "2",
+        "--shard",
+        "0/2",
+        "--checkpoint-dir",
+        "/tmp/unused",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(line.contains("cannot be combined"), "{line}");
+
+    let out = repro(&[
+        "--supervise",
+        "2",
+        "--reduce",
+        "2",
+        "--checkpoint-dir",
+        "/tmp/unused",
+        "table3",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(line.contains("already runs the reduce"), "{line}");
+}
+
+#[test]
+fn zero_supervise_is_a_usage_error() {
+    let out = repro(&["--supervise", "0", "--checkpoint-dir", "/tmp/unused"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(line.contains("bad value `0` for `--supervise`"), "{line}");
+}
+
+#[test]
+fn supervise_refuses_matrix_experiments_like_streaming_does() {
+    let out = repro(&[
+        "--supervise",
+        "2",
+        "--checkpoint-dir",
+        "/tmp/unused",
+        "fig1",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(line.contains("raw feature matrix"), "{line}");
+}
+
+#[test]
+fn help_lists_supervise() {
+    let out = repro(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("--supervise N"), "help missing --supervise");
+}
+
+/// SIGTERM gets the same cooperative-cancel treatment as Ctrl-C: the
+/// run flushes and exits 130 instead of dying mid-write.
+#[cfg(unix)]
+#[test]
+fn sigterm_cancels_cooperatively_with_exit_130() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--scale", "small", "table3"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn repro");
+    // Let it get into the study before signalling; a small-scale full
+    // catalog run takes far longer than this.
+    std::thread::sleep(std::time::Duration::from_millis(500));
+    let delivered = Command::new("kill")
+        .arg("-TERM")
+        .arg(child.id().to_string())
+        .status()
+        .expect("spawn kill")
+        .success();
+    assert!(delivered, "kill -TERM must reach the child");
+    let status = child.wait().expect("wait for repro");
+    assert_eq!(status.code(), Some(130), "SIGTERM must exit 130");
+}
+
 /// The full sharded protocol end to end at smoke scale: two workers
 /// fill one store, the reduce pass analyzes it, and the report is
 /// byte-identical to the single-process run's.
@@ -412,6 +506,66 @@ fn shard_workers_plus_reduce_reproduce_the_single_process_report() {
         String::from_utf8_lossy(&single.stdout),
         String::from_utf8_lossy(&reduced.stdout),
         "reduced report must be byte-identical to the single-process report"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The supervised mode end to end, with crash/torn/EINTR fault
+/// injection armed in the workers: the supervisor restarts the
+/// casualties (salvaging any shard that exhausts its restart budget)
+/// and the final report is still byte-identical to a fault-free
+/// single-process run.
+#[cfg(unix)]
+#[test]
+fn supervised_chaos_run_reproduces_the_single_process_report() {
+    let dir = std::env::temp_dir().join(format!("phaselab-supervise-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("ckpt");
+    let base = [
+        "--scale",
+        "tiny",
+        "--interval",
+        "20000",
+        "--samples",
+        "8",
+        "--k",
+        "12",
+        "--seed",
+        "0",
+        "--only",
+        "face,finger,jpeg",
+    ];
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend([
+        "--supervise",
+        "3",
+        "--checkpoint-dir",
+        store.to_str().unwrap(),
+        "table3",
+    ]);
+    let supervised = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(&args)
+        .env(
+            "PHASELAB_FAULTS_WORKER",
+            "seed=7,crash=0.4,torn=0.2,eintr=0.1",
+        )
+        .output()
+        .expect("spawn repro");
+    assert_eq!(
+        supervised.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&supervised.stderr)
+    );
+    let mut args: Vec<&str> = base.to_vec();
+    args.push("table3");
+    let single = repro(&args);
+    assert_eq!(single.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&single.stdout),
+        String::from_utf8_lossy(&supervised.stdout),
+        "supervised chaos report must be byte-identical to the single-process report"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -56,6 +56,7 @@ use phaselab_workloads::{Scale, Suite};
 use crate::characterize::BenchCharacterization;
 use crate::config::{AnalysisMode, StudyConfig};
 use crate::error::{QuarantineCause, QuarantinedBenchmark};
+use crate::faults;
 
 const MAGIC: &[u8; 4] = b"PLCK";
 /// Bumped whenever the payload encodings change; older files are
@@ -792,6 +793,9 @@ impl CheckpointStore {
     ///
     /// Returns the I/O error if the directory cannot be created.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        // Any process that touches a store (including spawned shard
+        // workers) arms chaos injection from the environment here.
+        faults::arm_from_env();
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         Ok(CheckpointStore { dir })
@@ -825,8 +829,8 @@ impl CheckpointStore {
             let parent = path.parent().expect("checkpoint paths have a parent");
             fs::create_dir_all(parent)?;
             let tmp = path.with_extension("ckpt.tmp");
-            fs::write(&tmp, frame(kind, fingerprint, payload))?;
-            fs::rename(&tmp, path)
+            faults::fs_write(&tmp, &frame(kind, fingerprint, payload))?;
+            faults::fs_rename(&tmp, path)
         })();
         if let Err(e) = result {
             phaselab_obs::counter_add("checkpoint.write_errors", phaselab_obs::Class::Timing, 1);
@@ -837,22 +841,53 @@ impl CheckpointStore {
         }
     }
 
+    /// How many times a transient-looking read failure (`EINTR`, or a
+    /// frame that arrives truncated — possibly a short read) is retried
+    /// before the file is classified as corruption-and-recompute.
+    const READ_RETRIES: u32 = 3;
+
     fn read(path: &Path, kind: u8, fingerprint: u64) -> Option<Vec<u8>> {
-        let bytes = match fs::read(path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
-            Err(e) => {
-                warn_skip(path, &CheckpointError::Io(e));
-                return None;
+        let mut last_err: Option<CheckpointError> = None;
+        for attempt in 0..=Self::READ_RETRIES {
+            if attempt > 0 {
+                phaselab_obs::counter_add(
+                    "checkpoint.read_retries",
+                    phaselab_obs::Class::Timing,
+                    1,
+                );
             }
-        };
-        match unframe(&bytes, kind, fingerprint) {
-            Ok(payload) => Some(payload.to_vec()),
-            Err(e) => {
-                warn_skip(path, &e);
-                None
+            let bytes = match faults::fs_read(path) {
+                Ok(b) => b,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    // The canonical transient failure: retry, bounded.
+                    last_err = Some(CheckpointError::Io(e));
+                    continue;
+                }
+                Err(e) => {
+                    warn_skip(path, &CheckpointError::Io(e));
+                    return None;
+                }
+            };
+            match unframe(&bytes, kind, fingerprint) {
+                Ok(payload) => return Some(payload.to_vec()),
+                Err(e @ (CheckpointError::Truncated | CheckpointError::CrcMismatch)) => {
+                    // A truncated or CRC-failing frame may be a short
+                    // read rather than rot on disk; re-read before
+                    // giving up on the file.
+                    last_err = Some(e);
+                }
+                Err(e) => {
+                    warn_skip(path, &e);
+                    return None;
+                }
             }
         }
+        warn_skip(
+            path,
+            &last_err.expect("retry loop only exits with an error recorded"),
+        );
+        None
     }
 
     /// Persists the outcome of characterizing one benchmark.

@@ -275,6 +275,25 @@ pub enum StudyError {
     /// finish. Checkpointed progress, if a store was attached, survives
     /// for a later resume.
     Cancelled,
+    /// A shard worker could not acquire (or lost) its store lease —
+    /// another live worker holds the same shard slot.
+    ShardLease {
+        /// The contended shard index.
+        shard: u32,
+        /// One-line description of the lease failure.
+        detail: String,
+    },
+    /// A supervised shard kept failing after every restart and could
+    /// not be salvaged in-process: the study has no complete data for
+    /// it, so no report is produced.
+    UnrecoverableShard {
+        /// The shard that never completed.
+        shard: u32,
+        /// How many worker attempts (initial + restarts) were made.
+        attempts: u32,
+        /// One-line description of the last failure observed.
+        last: String,
+    },
 }
 
 impl fmt::Display for StudyError {
@@ -293,6 +312,17 @@ impl fmt::Display for StudyError {
             }
             StudyError::Analysis(e) => write!(f, "analysis failed: {e}"),
             StudyError::Cancelled => write!(f, "study cancelled before completion"),
+            StudyError::ShardLease { shard, detail } => {
+                write!(f, "shard {shard} lease unavailable: {detail}")
+            }
+            StudyError::UnrecoverableShard {
+                shard,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "shard {shard} unrecoverable after {attempts} attempt(s) (last failure: {last})"
+            ),
         }
     }
 }
@@ -305,7 +335,9 @@ impl Error for StudyError {
                 quarantined.first().map(|q| q as &(dyn Error + 'static))
             }
             StudyError::Analysis(e) => Some(e),
-            StudyError::Cancelled => None,
+            StudyError::Cancelled
+            | StudyError::ShardLease { .. }
+            | StudyError::UnrecoverableShard { .. } => None,
         }
     }
 }
@@ -363,6 +395,17 @@ mod tests {
             ConfigError::StreamingNeedsStore.to_string(),
             AnalysisError::InconsistentCheckpoint {
                 bench: "gcc".into(),
+            }
+            .to_string(),
+            StudyError::ShardLease {
+                shard: 2,
+                detail: "held by pid 4242".into(),
+            }
+            .to_string(),
+            StudyError::UnrecoverableShard {
+                shard: 3,
+                attempts: 6,
+                last: "exit status: 9".into(),
             }
             .to_string(),
         ] {

@@ -51,6 +51,10 @@ mod characterize;
 mod checkpoint;
 mod config;
 mod error;
+/// Deterministic fault injection for the checkpoint store's I/O.
+pub mod faults;
+/// Advisory per-shard leases over a shared checkpoint store.
+pub mod lease;
 mod phases;
 mod pipeline;
 mod report;

@@ -30,6 +30,7 @@ use crate::checkpoint::{
 };
 use crate::config::{AnalysisMode, StudyConfig};
 use crate::error::{AnalysisError, ConfigError, QuarantinedBenchmark, StudyError};
+use crate::lease;
 use crate::phases::{KiviatAxis, PhaseKind, PhaseShare, ProminentPhase};
 use crate::sampling::sample_with_policy;
 
@@ -691,6 +692,19 @@ pub fn run_shard_with(
         characterized: 0,
         quarantined: Vec::new(),
     };
+    // Claim this shard's slot before touching the store: at most one
+    // live worker writes per slot, a crashed predecessor's stale lease
+    // is fenced over, and a displacement (another worker taking the
+    // slot) trips `token` so this worker stops cleanly.
+    let ttl = lease::default_ttl();
+    let shard_lease =
+        lease::acquire(store.dir(), shard_index, ttl, ttl, Some(token)).map_err(|e| match e {
+            lease::LeaseError::Cancelled => StudyError::Cancelled,
+            other => StudyError::ShardLease {
+                shard: shard_index,
+                detail: other.to_string(),
+            },
+        })?;
     // An empty deal (more shards than benchmarks) is a valid no-op.
     if !mine.is_empty() {
         let metas = characterize_map(&mine, &cfg, Some(store), token, meta_of)?;
@@ -701,6 +715,12 @@ pub fn run_shard_with(
             }
         }
     }
+    // A displaced worker must not report success even if it finished:
+    // the new owner of the slot is the authoritative writer now.
+    if shard_lease.is_displaced() {
+        return Err(StudyError::Cancelled);
+    }
+    shard_lease.release();
     phaselab_obs::set_stage("done");
     Ok(summary)
 }

@@ -45,6 +45,20 @@ REQUIRED_TIMING_KEYS = {
     "spans": dict,
 }
 
+# Counters that are Timing-class by contract: they record operational
+# luck (fault injection, lease takeovers, worker restarts, read
+# retries), not study structure, so they may only ever appear under
+# `timings.counters`. One of them leaking into the structural
+# `counters` section would break the byte-identity of chaos runs.
+TIMING_ONLY_COUNTER_PREFIXES = (
+    "supervisor.restarts",
+    "store.lease_takeovers",
+    "faults.injected",
+    "checkpoint.read_retries",
+    "checkpoint.invalid",
+    "checkpoint.write_errors",
+)
+
 
 def fail(msg):
     print(f"check_manifest: FAIL — {msg}", file=sys.stderr)
@@ -69,6 +83,11 @@ def validate(manifest):
     for name, value in manifest["counters"].items():
         if not isinstance(value, int) or value < 0:
             fail(f"counter `{name}` must be a non-negative integer")
+        if name.startswith(TIMING_ONLY_COUNTER_PREFIXES):
+            fail(
+                f"counter `{name}` is Timing-class and must live under "
+                "`timings.counters`, not the structural section"
+            )
 
     for name, hist in manifest["histograms"].items():
         for key in ("count", "sum", "buckets"):
@@ -151,6 +170,23 @@ def emit_bench(manifest, path):
     print(f"check_manifest: wrote {path}")
 
 
+def require_counter(manifest, spec):
+    """Assert a counter exists with at least the given value. The spec
+    is `NAME` or `NAME:MIN` (MIN defaults to 1). Timing-class counters
+    live under `timings.counters`; structural ones under `counters` —
+    both are searched."""
+    name, _, minimum = spec.partition(":")
+    minimum = int(minimum) if minimum else 1
+    value = manifest["timings"]["counters"].get(name)
+    if value is None:
+        value = manifest["counters"].get(name)
+    if value is None:
+        fail(f"required counter `{name}` absent from the manifest")
+    if value < minimum:
+        fail(f"counter `{name}` is {value}, required at least {minimum}")
+    print(f"check_manifest: counter {name} = {value} (>= {minimum})")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("manifest", help="path to the run manifest JSON")
@@ -158,6 +194,14 @@ def main():
         "--emit-bench",
         metavar="PATH",
         help="also write a one-line benchmark-figures JSON to PATH",
+    )
+    ap.add_argument(
+        "--require-counter",
+        metavar="NAME[:MIN]",
+        action="append",
+        default=[],
+        help="fail unless the named counter is present with value >= MIN "
+        "(default 1); searches timings.counters then counters",
     )
     args = ap.parse_args()
 
@@ -168,6 +212,8 @@ def main():
         fail(f"cannot read manifest: {e}")
 
     validate(manifest)
+    for spec in args.require_counter:
+        require_counter(manifest, spec)
     if args.emit_bench:
         emit_bench(manifest, args.emit_bench)
     print(f"check_manifest: OK — {args.manifest} validates (schema 1)")

@@ -1,0 +1,116 @@
+//! Concurrency property of the checkpoint store: two writers racing on
+//! one slot must never expose a torn frame to a reader. Every
+//! successful load decodes to exactly one of the complete outcomes
+//! (the CRC-framed atomic tmp+rename protocol guarantees it), and once
+//! the dust settles the last sequential writer wins.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use phaselab::core::{BenchCharacterization, BenchOutcome, CheckpointStore};
+use phaselab::mica::{FeatureVector, NUM_FEATURES};
+use phaselab::Suite;
+
+fn temp_store(tag: &str) -> (CheckpointStore, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("phaselab-race-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::open(&dir).expect("store opens");
+    (store, dir)
+}
+
+/// A complete, recognizable outcome: every feature carries the marker,
+/// so a frame mixing bytes from two writers cannot masquerade as
+/// either.
+fn outcome(marker: f64) -> BenchOutcome {
+    let v = [marker; NUM_FEATURES];
+    BenchOutcome::Characterized(BenchCharacterization {
+        per_input: vec![vec![FeatureVector::from_slice(&v)]],
+        total_instructions: marker.to_bits(),
+    })
+}
+
+/// Returns the outcome's marker iff the outcome is internally
+/// consistent — every feature identical and the instruction count
+/// matching. Panics on any mixture: that would be a torn frame.
+fn consistent_marker(out: &BenchOutcome) -> f64 {
+    let BenchOutcome::Characterized(c) = out else {
+        panic!("unexpected quarantine outcome");
+    };
+    let marker = c.per_input[0][0].as_slice()[0];
+    for &x in c.per_input[0][0].as_slice() {
+        assert!(
+            x.to_bits() == marker.to_bits(),
+            "torn frame: mixed features"
+        );
+    }
+    assert_eq!(
+        c.total_instructions,
+        marker.to_bits(),
+        "torn frame: instruction count from a different write"
+    );
+    marker
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Two writers hammer one slot while a reader polls it. The reader
+    /// must only ever observe `None` (no frame yet / frame mid-replace)
+    /// or one of the two complete outcomes, bit-exact. Afterwards a
+    /// sequential write wins the slot.
+    #[test]
+    fn racing_writers_never_expose_a_torn_frame(
+        fp in 1u64..u64::MAX,
+        a in -1.0e12f64..1.0e12,
+        offset in 1.0f64..1.0e6,
+    ) {
+        let b = a + offset; // distinct markers, both finite and NaN-free
+        let (store, dir) = temp_store("writers");
+        let store = Arc::new(store);
+        let done = Arc::new(AtomicBool::new(false));
+
+        let writer = |marker: f64| {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                for _ in 0..40 {
+                    store.store_benchmark(fp, Suite::Bmw, "slot", &outcome(marker));
+                }
+            })
+        };
+        let wa = writer(a);
+        let wb = writer(b);
+        let reader = {
+            let store = Arc::clone(&store);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut seen = 0u32;
+                while !done.load(Ordering::SeqCst) {
+                    if let Some(out) = store.load_benchmark(fp, Suite::Bmw, "slot") {
+                        seen += 1;
+                        let m = consistent_marker(&out);
+                        assert!(
+                            m.to_bits() == a.to_bits() || m.to_bits() == b.to_bits(),
+                            "torn frame: marker {m} is neither writer's"
+                        );
+                    }
+                }
+                seen
+            })
+        };
+        wa.join().expect("writer a");
+        wb.join().expect("writer b");
+        done.store(true, Ordering::SeqCst);
+        let seen = reader.join().expect("reader");
+        prop_assert!(seen > 0, "reader must observe at least one complete frame");
+
+        // Last writer wins: a final sequential write owns the slot.
+        store.store_benchmark(fp, Suite::Bmw, "slot", &outcome(b));
+        let final_out = store
+            .load_benchmark(fp, Suite::Bmw, "slot")
+            .expect("final write loads");
+        prop_assert!(consistent_marker(&final_out).to_bits() == b.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
