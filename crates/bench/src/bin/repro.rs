@@ -37,16 +37,26 @@
 //!   --checkpoint-dir DIR      persist/reuse study checkpoints in DIR
 //!   --resume                  resume from --checkpoint-dir (must exist)
 //!   --max-inst-per-bench N    quarantine benchmarks exceeding N instructions
+//!   --no-static-analysis      skip the static pre-flight (budgets, pruning,
+//!                             shard ordering, static_analysis section)
 //!   --metrics-out PATH        write the run manifest (JSON) to PATH
 //!   --progress                throttled stage/progress lines on stderr
 //!   --verify-only             statically verify every registry program, run nothing
+//!   --json                    machine-readable diagnostics (lint/--verify-only)
 //!   --help                    print usage and exit
 //! ```
 //!
 //! `--verify-only` is a lint mode: it builds every registry program at
 //! the requested `--scale`, runs `Program::verify_all` on each, prints
 //! one line per finding, and exits `1` when anything fails — without
-//! executing a single instruction.
+//! executing a single instruction. `lint` goes further: it runs the
+//! abstract interpreter (`Program::analyze`) over every program and
+//! reports severity-ranked diagnostics — unbounded loops without a
+//! budget, dead blocks, degenerate constant loops, unreachable fault
+//! sites, oversized footprints — exiting `1` only on `deny`-severity
+//! findings. Both share one `--json` schema:
+//! `{schema, programs, clean, findings: [{path, pc, instruction,
+//! severity, source, kind, message}]}`.
 //!
 //! Text output goes to stdout; SVG/CSV artifacts go to
 //! `target/experiments` (override with `PHASELAB_OUT`).
@@ -78,6 +88,11 @@
 //! DESIGN.md §13. `--progress` prints a throttled stage/progress line
 //! to stderr. Both are off by default, leaving the output byte-for-byte
 //! what it was without them.
+
+// The only unsafe in the workspace is the signal-handler install in
+// `sigint` below, allowed explicitly; everything else is forbidden
+// (and CI greps for new `unsafe` outside the allowlist).
+#![deny(unsafe_code)]
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -114,7 +129,12 @@ const EXIT_INTERRUPTED: i32 = 130;
 /// which the pipeline observes at its next check. SIGTERM gets the same
 /// cooperative treatment as SIGINT so supervised workers flush their
 /// checkpoints and release their leases instead of dying mid-write.
+/// `unsafe` allowlist: registering an async-signal-safe handler
+/// requires the raw `signal(2)` FFI — there is no safe-Rust
+/// equivalent without a dependency. The handler body itself is a
+/// single atomic store.
 #[cfg(unix)]
+#[allow(unsafe_code)]
 mod sigint {
     use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -255,10 +275,24 @@ options:
                             --streaming; requires --checkpoint-dir; combine
                             with a streaming-capable experiment)
   --max-inst-per-bench N    quarantine benchmarks exceeding N instructions
+                            (when absent, a sound budget is derived from the
+                            static analyzer's per-benchmark instruction bound)
+  --no-static-analysis      skip the static pre-flight: no derived watchdog
+                            budgets, no dead-code pruning, no longest-first
+                            shard ordering, no static_analysis manifest section
+                            (results are bit-identical either way)
   --metrics-out PATH        write the run manifest (JSON) to PATH
   --progress                throttled stage/progress lines on stderr
   --verify-only             statically verify every registry program, run nothing
+  --json                    machine-readable diagnostics (lint/--verify-only)
   --help                    print this help and exit
+
+diagnostics:
+  lint               abstract-interpretation lints over every registry program
+                     (unbounded loops, dead blocks, degenerate constant loops,
+                     unreachable faults, oversized footprints); exits 1 on any
+                     deny-severity finding. Combine with --json for the
+                     machine-readable schema shared with --verify-only.
 
 exit codes: 0 success, 1 study/runtime error, 2 usage error, 130 interrupted";
 
@@ -278,6 +312,8 @@ struct Cli {
     shard: Option<u32>,
     /// `--supervise N`: spawn and babysit N shard workers, then reduce.
     supervise: Option<u32>,
+    /// `--json`: machine-readable diagnostics for `lint`/`--verify-only`.
+    json: bool,
 }
 
 fn main() {
@@ -294,7 +330,10 @@ fn main() {
         }
     };
     if cli.command == "--verify-only" {
-        std::process::exit(verify_only(cli.cfg.scale));
+        std::process::exit(verify_only(cli.cfg.scale, cli.json));
+    }
+    if cli.command == "lint" {
+        std::process::exit(lint_registry(cli.cfg.scale, cli.json));
     }
     let store = match &cli.checkpoint_dir {
         Some(dir) => match CheckpointStore::open(dir) {
@@ -408,6 +447,43 @@ fn calibrate_engines(reg: &phaselab_obs::Registry) {
         .set(inst_ns / block_ns);
 }
 
+/// Measures static-analyzer throughput over the full registry catalog
+/// (built at Tiny so the measurement is dominated by analysis, not
+/// program construction) and records it — plus the per-pass wall-time
+/// split the analyzer self-reports — as Timing-class gauges. Min-of-3
+/// keeps scheduler noise out, mirroring `calibrate_engines`.
+fn calibrate_static(reg: &phaselab_obs::Registry) {
+    use phaselab_obs::Class::Timing;
+    let programs: Vec<_> = phaselab_workloads::catalog()
+        .iter()
+        .map(|b| b.build(Scale::Tiny, 0))
+        .collect();
+    let mut best = f64::INFINITY;
+    let mut pass_ns: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for _ in 0..3 {
+        let t = Instant::now();
+        let mut this_round: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for program in &programs {
+            if let Ok(report) = std::hint::black_box(program.analyze()) {
+                for (pass, ns) in &report.pass_ns {
+                    *this_round.entry(pass).or_insert(0) += ns;
+                }
+            }
+        }
+        let elapsed = t.elapsed().as_secs_f64();
+        if elapsed < best {
+            best = elapsed;
+            pass_ns = this_round;
+        }
+    }
+    reg.gauge("static.calibrate.progs_per_s", Timing)
+        .set(programs.len() as f64 / best.max(f64::MIN_POSITIVE));
+    for (pass, ns) in pass_ns {
+        reg.gauge(&format!("static.calibrate.{pass}_ms"), Timing)
+            .set(ns as f64 / 1e6);
+    }
+}
+
 /// Renders the run manifest and writes it to `path`. The config section
 /// deliberately excludes the thread count: everything outside the
 /// manifest's `timings` section is identical across thread counts.
@@ -416,6 +492,7 @@ fn write_metrics_manifest(cfg: &StudyConfig, command: &str, path: &Path) {
         return;
     };
     calibrate_engines(reg);
+    calibrate_static(reg);
     let config = vec![
         ("experiment".to_string(), Json::Str(command.to_string())),
         (
@@ -564,32 +641,182 @@ fn run_experiment(
     Ok(())
 }
 
+/// One diagnostic from a registry-wide static pass — the shared record
+/// behind the `lint` and `--verify-only` text and `--json` outputs. The
+/// JSON schema (`schema: 1`) is validated in CI by
+/// `scripts/check_manifest.py --diagnostics`.
+struct Finding {
+    /// `suite/bench/input`, the registry coordinates of the program.
+    path: String,
+    pc: u32,
+    instruction: String,
+    /// `deny` | `warn` | `info`; every verifier finding is `deny`.
+    severity: &'static str,
+    /// Which pass produced it: `verify` or `lint`.
+    source: &'static str,
+    /// Kebab-case diagnostic kind (e.g. `dead-block`, `verify-error`).
+    kind: String,
+    message: String,
+}
+
+/// Sort key: most severe first, then registry order, then pc.
+fn severity_rank(severity: &str) -> u8 {
+    match severity {
+        "deny" => 0,
+        "warn" => 1,
+        _ => 2,
+    }
+}
+
+/// Renders the shared diagnostics document:
+/// `{schema, programs, clean, findings: [{path, pc, instruction,
+/// severity, source, kind, message}]}`.
+fn findings_json(programs: usize, findings: &[Finding]) -> String {
+    let items = findings
+        .iter()
+        .map(|f| {
+            Json::Obj(vec![
+                ("path".to_string(), Json::Str(f.path.clone())),
+                ("pc".to_string(), Json::U64(u64::from(f.pc))),
+                ("instruction".to_string(), Json::Str(f.instruction.clone())),
+                ("severity".to_string(), Json::Str(f.severity.to_string())),
+                ("source".to_string(), Json::Str(f.source.to_string())),
+                ("kind".to_string(), Json::Str(f.kind.clone())),
+                ("message".to_string(), Json::Str(f.message.clone())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".to_string(), Json::U64(1)),
+        ("programs".to_string(), Json::U64(programs as u64)),
+        ("clean".to_string(), Json::Bool(findings.is_empty())),
+        ("findings".to_string(), Json::Arr(items)),
+    ])
+    .render_pretty()
+}
+
 /// `--verify-only`: build every registry program at the requested scale
 /// and run the static verifier over each, executing nothing. One stdout
-/// line per finding; the exit code says whether the registry is clean.
-fn verify_only(scale: Scale) -> i32 {
-    let mut findings = 0usize;
+/// line per finding (or the shared diagnostics JSON with `--json`); the
+/// exit code says whether the registry is clean.
+fn verify_only(scale: Scale, json: bool) -> i32 {
+    let mut findings = Vec::new();
     let mut programs = 0usize;
     for bench in phaselab_workloads::catalog() {
         for input in 0..bench.num_inputs() {
             let program = bench.build(scale, input);
             programs += 1;
             for err in program.verify_all() {
-                findings += 1;
-                println!(
-                    "{} [{}] input `{}`: {err}",
-                    bench.name(),
-                    bench.suite().short_name(),
-                    bench.input_names()[input]
-                );
+                if !json {
+                    println!(
+                        "{} [{}] input `{}`: {err}",
+                        bench.name(),
+                        bench.suite().short_name(),
+                        bench.input_names()[input]
+                    );
+                }
+                findings.push(Finding {
+                    path: format!(
+                        "{}/{}/{}",
+                        bench.suite().short_name(),
+                        bench.name(),
+                        bench.input_names()[input]
+                    ),
+                    pc: err.pc(),
+                    instruction: err.instruction().to_string(),
+                    severity: "deny",
+                    source: "verify",
+                    kind: "verify-error".to_string(),
+                    message: err.to_string(),
+                });
             }
         }
     }
-    if findings == 0 {
+    if json {
+        print!("{}", findings_json(programs, &findings));
+    } else if findings.is_empty() {
         println!("all clean: {programs} programs verified");
+    }
+    if findings.is_empty() {
         0
     } else {
-        eprintln!("repro: {findings} static-verification findings across {programs} programs");
+        eprintln!(
+            "repro: {} static-verification findings across {programs} programs",
+            findings.len()
+        );
+        EXIT_RUNTIME
+    }
+}
+
+/// `lint`: run the abstract interpreter over every registry program at
+/// the requested scale — no execution — and report the severity-ranked
+/// diagnostics (unbounded loops without a budget, dead blocks,
+/// degenerate constant loops, unreachable fault sites, oversized
+/// footprints). A program the verifier rejects outright surfaces as a
+/// `deny`/`verify` finding, same as `--verify-only`. Exits `1` only
+/// when a `deny`-severity finding exists: `warn`/`info` diagnostics are
+/// advisory and leave the exit code at `0`.
+fn lint_registry(scale: Scale, json: bool) -> i32 {
+    let mut findings = Vec::new();
+    let mut programs = 0usize;
+    for bench in phaselab_workloads::catalog() {
+        for input in 0..bench.num_inputs() {
+            let program = bench.build(scale, input);
+            programs += 1;
+            let path = format!(
+                "{}/{}/{}",
+                bench.suite().short_name(),
+                bench.name(),
+                bench.input_names()[input]
+            );
+            match program.analyze() {
+                Ok(report) => {
+                    for lint in &report.lints {
+                        findings.push(Finding {
+                            path: path.clone(),
+                            pc: lint.pc,
+                            instruction: lint.instr.clone(),
+                            severity: lint.severity.as_str(),
+                            source: "lint",
+                            kind: lint.kind.as_str().to_string(),
+                            message: lint.message.clone(),
+                        });
+                    }
+                }
+                Err(err) => findings.push(Finding {
+                    path,
+                    pc: err.pc(),
+                    instruction: err.instruction().to_string(),
+                    severity: "deny",
+                    source: "verify",
+                    kind: "verify-error".to_string(),
+                    message: err.to_string(),
+                }),
+            }
+        }
+    }
+    // Most severe first; within a severity keep registry order (the
+    // catalog walk above), which the stable sort preserves.
+    findings.sort_by_key(|f| severity_rank(f.severity));
+    let denied = findings.iter().filter(|f| f.severity == "deny").count();
+    if json {
+        print!("{}", findings_json(programs, &findings));
+    } else {
+        for f in &findings {
+            println!(
+                "{}: {} pc={} `{}`: {} [{}]",
+                f.severity, f.path, f.pc, f.instruction, f.message, f.kind
+            );
+        }
+        println!(
+            "{programs} programs linted: {} findings ({denied} deny)",
+            findings.len()
+        );
+    }
+    if denied == 0 {
+        0
+    } else {
+        eprintln!("repro: {denied} deny-severity lint findings across {programs} programs");
         EXIT_RUNTIME
     }
 }
@@ -677,6 +904,12 @@ fn worker_argv(args: &[String]) -> Vec<String> {
         let a = args[i].as_str();
         if a == "--supervise" || a == "--metrics-out" {
             i += 2; // flag + value
+        } else if a == "--no-static-analysis" {
+            // Boolean study-shape flag: workers must make the same
+            // static-analysis decision as the parent or the store
+            // fingerprints would describe differently-derived budgets.
+            out.push(args[i].clone());
+            i += 1;
         } else if VALUE_FLAGS.contains(&a) {
             out.push(args[i].clone());
             if let Some(v) = args.get(i + 1) {
@@ -792,6 +1025,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut only: Vec<String> = Vec::new();
     let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut progress = false;
+    let mut json = false;
     let mut resume = false;
     let mut streaming = false;
     let mut shard: Option<(u32, u32)> = None;
@@ -901,6 +1135,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 metrics_out = Some(std::path::PathBuf::from(v));
             }
             "--progress" => progress = true,
+            "--json" => json = true,
+            "--no-static-analysis" => cfg.static_analysis = false,
             "--resume" => resume = true,
             "--streaming" => streaming = true,
             "--kmeans-batch" => {
@@ -953,6 +1189,16 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
                 command = Some("--verify-only".to_string());
             }
+            // Like `--verify-only`, `lint` occupies the experiment slot:
+            // it runs the abstract interpreter instead of a study.
+            "lint" => {
+                if let Some(first) = &command {
+                    return Err(format!(
+                        "`lint` cannot be combined with experiment `{first}`"
+                    ));
+                }
+                command = Some("lint".to_string());
+            }
             "--max-inst-per-bench" => {
                 let v = value(args, i)?;
                 i += 1;
@@ -967,8 +1213,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             cmd => {
                 if let Some(first) = &command {
-                    return Err(if first == "--verify-only" {
-                        format!("`--verify-only` cannot be combined with experiment `{cmd}`")
+                    return Err(if first == "--verify-only" || first == "lint" {
+                        format!("`{first}` cannot be combined with experiment `{cmd}`")
                     } else {
                         format!("unexpected argument `{cmd}` (experiment `{first}` already given)")
                     });
@@ -1065,6 +1311,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
              retain (pick a streaming-capable experiment, e.g. table3 or fig4)"
         ));
     }
+    if json && command != "lint" && command != "--verify-only" {
+        return Err(
+            "`--json` is only meaningful with `lint` or `--verify-only` (diagnostics modes)"
+                .to_string(),
+        );
+    }
     Ok(Cli {
         cfg,
         command,
@@ -1074,6 +1326,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         progress,
         shard: shard.map(|(idx, _)| idx),
         supervise,
+        json,
     })
 }
 

@@ -172,6 +172,95 @@ fn help_lists_verify_only() {
 }
 
 #[test]
+fn lint_sweeps_the_registry_without_deny_findings() {
+    let out = repro(&["lint", "--scale", "tiny"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "registry must carry no deny-severity lints: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("programs linted"), "{text}");
+    // Findings are severity-ranked: no warn line may follow an info line.
+    let mut seen_info = false;
+    for line in text.lines() {
+        if line.starts_with("info:") {
+            seen_info = true;
+        }
+        if line.starts_with("warn:") {
+            assert!(!seen_info, "warn after info: findings not severity-ranked");
+        }
+    }
+}
+
+#[test]
+fn lint_json_emits_the_shared_diagnostics_schema() {
+    let out = repro(&["lint", "--scale", "tiny", "--json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("{\n  \"schema\": 1,"), "{text}");
+    for needle in [
+        "\"programs\":",
+        "\"clean\":",
+        "\"findings\":",
+        "\"path\":",
+        "\"pc\":",
+        "\"instruction\":",
+        "\"severity\":",
+        "\"source\": \"lint\"",
+        "\"kind\":",
+        "\"message\":",
+    ] {
+        assert!(text.contains(needle), "lint JSON missing `{needle}`");
+    }
+}
+
+#[test]
+fn verify_only_json_shares_the_lint_schema_and_is_clean() {
+    let out = repro(&["--verify-only", "--scale", "tiny", "--json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("{\n  \"schema\": 1,"), "{text}");
+    assert!(text.contains("\"clean\": true"), "{text}");
+    assert!(text.contains("\"findings\": []"), "{text}");
+    // JSON replaces the human lines entirely.
+    assert!(!text.contains("all clean:"), "{text}");
+}
+
+#[test]
+fn lint_rejects_an_experiment_argument() {
+    let out = repro(&["lint", "table1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(
+        line.contains("`lint` cannot be combined with experiment"),
+        "{line}"
+    );
+}
+
+#[test]
+fn json_without_a_diagnostics_mode_is_a_usage_error() {
+    let out = repro(&["--json", "table1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let line = stderr_line(&out);
+    assert!(
+        line.contains("`--json` is only meaningful with `lint` or `--verify-only`"),
+        "{line}"
+    );
+}
+
+#[test]
+fn help_lists_lint_and_the_static_analysis_flags() {
+    let out = repro(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["lint", "--json", "--no-static-analysis"] {
+        assert!(text.contains(needle), "help missing `{needle}`");
+    }
+}
+
+#[test]
 fn zero_bench_budget_is_a_usage_error() {
     let out = repro(&["--max-inst-per-bench", "0", "table1"]);
     assert_eq!(out.status.code(), Some(2));

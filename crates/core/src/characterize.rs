@@ -2,8 +2,8 @@
 
 use phaselab_mica::{FeatureVector, IntervalCharacterizer};
 use phaselab_par::CancelToken;
-use phaselab_vm::{CompiledProgram, Program, Vm, VmError};
-use phaselab_workloads::Benchmark;
+use phaselab_vm::{CompiledProgram, Program, StaticReport, Vm, VmError};
+use phaselab_workloads::{Benchmark, Scale};
 
 use crate::config::{Engine, StudyConfig};
 use crate::error::{QuarantineCause, QuarantinedBenchmark};
@@ -38,6 +38,74 @@ impl BenchCharacterization {
     pub fn total_intervals(&self) -> usize {
         self.per_input.iter().map(Vec::len).sum()
     }
+}
+
+/// The static pre-flight of one benchmark: one [`StaticReport`] per
+/// input, in input order. Produced by [`analyze_benchmark`], consumed
+/// by the watchdog (derived budget), the block compiler (dead-code
+/// pruning), the supervisor (longest-first shard ordering), and the
+/// `static_analysis` manifest section.
+#[derive(Debug, Clone)]
+pub struct BenchStaticReport {
+    /// One report per input.
+    pub per_input: Vec<StaticReport>,
+}
+
+impl BenchStaticReport {
+    /// Sum of the per-input static instruction maxima; `None` (⊤) when
+    /// any input is unbounded or the sum overflows.
+    pub fn total_inst_max(&self) -> Option<u64> {
+        self.per_input
+            .iter()
+            .try_fold(0u64, |acc, r| r.inst_max.and_then(|m| acc.checked_add(m)))
+    }
+
+    /// Sum of the per-input static instruction minima (saturating).
+    pub fn total_inst_min(&self) -> u64 {
+        self.per_input
+            .iter()
+            .fold(0u64, |acc, r| acc.saturating_add(r.inst_min))
+    }
+
+    /// The watchdog budget derived from the static maxima: twice the
+    /// proven upper bound, so a sound bound can never trip it while a
+    /// genuinely runaway execution (one exceeding its own proof) still
+    /// gets caught. `None` when any input's bound is ⊤ — an unbounded
+    /// benchmark cannot arm a finite budget.
+    pub fn derived_budget(&self) -> Option<u64> {
+        self.total_inst_max().map(|m| m.saturating_mul(2).max(1))
+    }
+}
+
+/// Builds and statically analyzes every input of `bench` at `scale`
+/// without executing anything.
+///
+/// # Errors
+///
+/// Returns a [`QuarantinedBenchmark`] with
+/// [`QuarantineCause::StaticallyInvalid`] naming the first input whose
+/// program fails verification (analysis runs the verifier first).
+pub fn analyze_benchmark(
+    bench: &Benchmark,
+    scale: Scale,
+) -> Result<BenchStaticReport, QuarantinedBenchmark> {
+    let mut per_input = Vec::with_capacity(bench.num_inputs());
+    for input in 0..bench.num_inputs() {
+        let program = bench.build(scale, input);
+        match program.analyze() {
+            Ok(report) => per_input.push(report),
+            Err(e) => {
+                return Err(QuarantinedBenchmark {
+                    name: bench.name().to_string(),
+                    suite: bench.suite(),
+                    input,
+                    input_name: bench.input_names()[input].to_string(),
+                    cause: QuarantineCause::StaticallyInvalid(e),
+                })
+            }
+        }
+    }
+    Ok(BenchStaticReport { per_input })
 }
 
 /// Characterizes one program execution: runs it to completion (or the
@@ -149,9 +217,27 @@ pub fn characterize_benchmark_watched(
             cause,
         })
     };
+    // Static pre-flight: analyze every input before running anything.
+    // Analysis subsumes verification, so a failure here is the same
+    // `StaticallyInvalid` quarantine the verifier would produce.
+    let statics = if cfg.static_analysis {
+        match analyze_benchmark(bench, cfg.scale) {
+            Ok(r) => Some(r),
+            Err(q) => return Err(BenchFailure::Quarantined(q)),
+        }
+    } else {
+        None
+    };
+    // The explicit CLI budget wins; otherwise, when every input has a
+    // finite static maximum, arm twice the proven bound — a sound
+    // bound can never trip it, so results are unchanged, while a
+    // genuinely runaway execution (exceeding its own proof) is caught.
+    let armed_budget = cfg
+        .max_inst_per_bench
+        .or_else(|| statics.as_ref().and_then(BenchStaticReport::derived_budget));
     let mut per_input = Vec::with_capacity(bench.num_inputs());
     let mut total_instructions = 0;
-    let mut budget_left = cfg.max_inst_per_bench;
+    let mut budget_left = armed_budget;
     // Counter handles fetched once per benchmark so the per-slice cost
     // is three atomic adds; `None` without a subscriber. Instructions and
     // blocks are counted separately: their ratio is the dispatch
@@ -172,13 +258,22 @@ pub fn characterize_benchmark_watched(
         }
         let program = bench.build(cfg.scale, input);
         // Static pre-flight: reject ill-formed programs before spending
-        // a single cycle (or watchdog budget) running them.
-        if let Err(e) = program.verify() {
-            return Err(quarantine(input, QuarantineCause::StaticallyInvalid(e)));
+        // a single cycle (or watchdog budget) running them. With the
+        // analyzer on, `analyze_benchmark` already ran the verifier.
+        if statics.is_none() {
+            if let Err(e) = program.verify() {
+                return Err(quarantine(input, QuarantineCause::StaticallyInvalid(e)));
+            }
         }
         // Compile once per input; every resume slice reuses the decoded
-        // blocks.
-        let compiled = (cfg.engine == Engine::Block).then(|| CompiledProgram::compile(&program));
+        // blocks. Statically dead pcs skip decode entirely — sound
+        // because execution can never enter them.
+        let compiled = (cfg.engine == Engine::Block).then(|| {
+            match statics.as_ref().map(|s| s.per_input[input].dead.as_slice()) {
+                Some(dead) if !dead.is_empty() => CompiledProgram::compile_pruned(&program, dead),
+                _ => CompiledProgram::compile(&program),
+            }
+        });
         let mut chr = IntervalCharacterizer::new(cfg.interval_len).keep_tail(true);
         let mut vm = Vm::new(&program);
         let mut executed = 0u64;
@@ -188,7 +283,7 @@ pub fn characterize_benchmark_watched(
             }
             if budget_left == Some(0) {
                 // Budget spent and the program still hasn't halted.
-                let budget = cfg.max_inst_per_bench.expect("budget was armed");
+                let budget = armed_budget.expect("budget was armed");
                 return Err(quarantine(input, QuarantineCause::Runaway { budget }));
             }
             let run_left = cfg.max_instructions_per_run - executed;

@@ -150,6 +150,17 @@ pub struct StudyConfig {
     /// bounded-Lloyd algorithm). An approximation — see
     /// [`KmeansConfig::batch`](phaselab_stats::KmeansConfig).
     pub kmeans_batch: Option<usize>,
+    /// Run the abstract-interpretation pre-flight
+    /// (`Program::analyze`) over every benchmark before executing it
+    /// (default: on). The pre-flight records a `static_analysis`
+    /// manifest section, derives a default watchdog budget from the
+    /// static instruction maxima when `max_inst_per_bench` is absent,
+    /// lets the block compiler skip statically dead code, and orders
+    /// shard work longest-first. The static bounds are sound, so study
+    /// results are **bit-identical** with the pre-flight on or off;
+    /// like [`Engine`], the flag is therefore not part of the
+    /// checkpoint fingerprint.
+    pub static_analysis: bool,
 }
 
 impl StudyConfig {
@@ -179,6 +190,7 @@ impl StudyConfig {
             analysis: AnalysisMode::InRam,
             shard_total: 1,
             kmeans_batch: None,
+            static_analysis: true,
         }
     }
 
@@ -206,6 +218,7 @@ impl StudyConfig {
             analysis: AnalysisMode::InRam,
             shard_total: 1,
             kmeans_batch: None,
+            static_analysis: true,
         }
     }
 

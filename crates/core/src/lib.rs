@@ -67,8 +67,9 @@ pub use analysis::{
     SuiteUniqueness,
 };
 pub use characterize::{
-    characterize_benchmark, characterize_benchmark_watched, characterize_program,
-    characterize_program_with_engine, BenchCharacterization, BenchFailure,
+    analyze_benchmark, characterize_benchmark, characterize_benchmark_watched,
+    characterize_program, characterize_program_with_engine, BenchCharacterization, BenchFailure,
+    BenchStaticReport,
 };
 pub use checkpoint::{
     characterization_fingerprint, clustering_fingerprint, BenchOutcome, CheckpointError,

@@ -24,7 +24,9 @@ use phaselab_stats::{
 };
 use phaselab_workloads::{catalog, Benchmark, Suite};
 
-use crate::characterize::{characterize_benchmark_watched, BenchCharacterization, BenchFailure};
+use crate::characterize::{
+    analyze_benchmark, characterize_benchmark_watched, BenchCharacterization, BenchFailure,
+};
 use crate::checkpoint::{
     characterization_fingerprint, clustering_fingerprint, BenchOutcome, CheckpointStore,
 };
@@ -707,8 +709,36 @@ pub fn run_shard_with(
         })?;
     // An empty deal (more shards than benchmarks) is a valid no-op.
     if !mine.is_empty() {
-        let metas = characterize_map(&mine, &cfg, Some(store), token, meta_of)?;
-        for meta in metas {
+        // Longest-first by static budget: the heavy benchmarks start
+        // first, so under a supervisor stragglers surface (and can be
+        // reaped) as early as possible. Unbounded (⊤) benchmarks sort
+        // heaviest; ties keep deal order. Every outcome is checkpointed
+        // by name and the summary is restored to deal order below, so
+        // ordering never changes results.
+        let order: Vec<usize> = if cfg.static_analysis {
+            let mut keyed: Vec<(usize, u64)> = mine
+                .iter()
+                .enumerate()
+                .map(|(i, b)| {
+                    let key = analyze_benchmark(b, cfg.scale)
+                        .ok()
+                        .and_then(|s| s.total_inst_max())
+                        .unwrap_or(u64::MAX);
+                    (i, key)
+                })
+                .collect();
+            keyed.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            keyed.into_iter().map(|(i, _)| i).collect()
+        } else {
+            (0..mine.len()).collect()
+        };
+        let sorted: Vec<&Benchmark> = order.iter().map(|&i| mine[i]).collect();
+        let metas_sorted = characterize_map(&sorted, &cfg, Some(store), token, meta_of)?;
+        let mut metas: Vec<Option<BenchMeta>> = (0..mine.len()).map(|_| None).collect();
+        for (k, meta) in metas_sorted.into_iter().enumerate() {
+            metas[order[k]] = Some(meta);
+        }
+        for meta in metas.into_iter().flatten() {
             match meta {
                 BenchMeta::Characterized { .. } => summary.characterized += 1,
                 BenchMeta::Quarantined(q) => summary.quarantined.push(q),
@@ -947,6 +977,7 @@ fn characterize_map<T: Send>(
                         phaselab_obs::counter_add("checkpoint.bench.hits", Timing, 1);
                         record_outcome_event(&scope, &o);
                         record_outcome_obs(&scope, &o, cfg);
+                        record_static_obs(&scope, b, cfg);
                         phaselab_obs::counter_add("study.benchmarks.done", Structural, 1);
                     }
                     return Ok(project(o));
@@ -973,6 +1004,7 @@ fn characterize_map<T: Send>(
             );
             record_outcome_event(&scope, &outcome);
             record_outcome_obs(&scope, &outcome, cfg);
+            record_static_obs(&scope, b, cfg);
             phaselab_obs::counter_add("study.benchmarks.done", Structural, 1);
         }
         Ok(project(outcome))
@@ -1026,6 +1058,63 @@ fn record_outcome_obs(scope: &str, outcome: &BenchOutcome, cfg: &StudyConfig) {
                     1.0,
                 );
             }
+        }
+    }
+}
+
+/// Publishes one benchmark's static pre-flight into the manifest: a
+/// `static_analysis` structural section entry (sound bounds and lint
+/// tallies — deterministic, so safe in the golden-comparable prefix)
+/// plus Timing-class analyzer cost metrics. Shared by the
+/// checkpoint-hit and compute paths so warm and cold runs render the
+/// same structural document.
+fn record_static_obs(scope: &str, bench: &Benchmark, cfg: &StudyConfig) {
+    use phaselab_obs::{Class, Json};
+    if !cfg.static_analysis {
+        return;
+    }
+    let t0 = std::time::Instant::now();
+    let Ok(statics) = analyze_benchmark(bench, cfg.scale) else {
+        // A statically invalid benchmark is already recorded by its
+        // quarantine event; there are no sound bounds to publish.
+        return;
+    };
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let opt_u64 = |v: Option<u64>| v.map_or(Json::Null, Json::U64);
+    let sum =
+        |f: fn(&phaselab_vm::StaticReport) -> u64| -> u64 { statics.per_input.iter().map(f).sum() };
+    // Severity derives `Ord` with `Deny` first, so the most severe
+    // finding across inputs is the minimum.
+    let severity = statics
+        .per_input
+        .iter()
+        .filter_map(phaselab_vm::StaticReport::max_severity)
+        .min();
+    phaselab_obs::section_set(
+        "static_analysis",
+        scope,
+        Json::Obj(vec![
+            ("inst_min".into(), Json::U64(statics.total_inst_min())),
+            ("inst_max".into(), opt_u64(statics.total_inst_max())),
+            ("derived_budget".into(), opt_u64(statics.derived_budget())),
+            ("dead_pcs".into(), Json::U64(sum(|r| r.dead.len() as u64))),
+            ("mem_sites".into(), Json::U64(sum(|r| r.sites.len() as u64))),
+            (
+                "footprint_bytes".into(),
+                Json::U64(sum(|r| r.footprint.1.saturating_sub(r.footprint.0))),
+            ),
+            ("lints".into(), Json::U64(sum(|r| r.lints.len() as u64))),
+            (
+                "max_severity".into(),
+                severity.map_or(Json::Null, |s| Json::Str(s.as_str().into())),
+            ),
+        ]),
+    );
+    phaselab_obs::counter_add("static.benchmarks.analyzed", Class::Structural, 1);
+    phaselab_obs::gauge_set(&format!("static.analyze_ms[{scope}]"), Class::Timing, ms);
+    for r in &statics.per_input {
+        for (pass, ns) in &r.pass_ns {
+            phaselab_obs::counter_add(&format!("static.pass.{pass}_ns"), Class::Timing, *ns);
         }
     }
 }

@@ -224,6 +224,98 @@ proptest! {
         assert_equivalent(&program, slice)?;
     }
 
+    /// The abstract interpreter's soundness contract, checked
+    /// differentially against both engines: for any verified program,
+    /// the dynamic instruction count of a halting run lies in
+    /// `[inst_min, inst_max]` (whenever the upper bound is finite), and
+    /// every dynamically touched byte lies inside the static footprint.
+    /// The block engine additionally runs under adversarial watchdog
+    /// slices, so the bounds must survive mid-block cutoffs and resume.
+    #[test]
+    fn static_bounds_contain_dynamic_behavior(
+        iters in 1u64..40,
+        ops in proptest::collection::vec(0u8..12, 6),
+        cond_sel in 0u8..4,
+        call_sel in 0u8..2,
+        stride in 1u64..4,
+        slice in 1u64..23,
+    ) {
+        let program = gen_program(iters, &ops, cond_sel, call_sel == 1, stride, false);
+        let report = program.analyze().expect("generated programs verify");
+
+        // The generated loop is counted (li bound, +1 induction), so
+        // the trip solver must produce a finite budget — a `None` here
+        // is a precision regression, not just imprecision.
+        let max = report.inst_max.expect("counted loop must have a finite budget");
+        prop_assert!(report.inst_min <= max);
+
+        let (out_i, recs_i, _) = run_inst(&program);
+        let out = out_i.expect("non-oob programs halt");
+        prop_assert!(
+            out.instructions >= report.inst_min,
+            "halting run executed {} < static minimum {}",
+            out.instructions, report.inst_min
+        );
+        prop_assert!(
+            out.instructions <= max,
+            "run executed {} > static budget {}",
+            out.instructions, max
+        );
+
+        // Footprint containment: every touched byte inside [start, end).
+        let (lo, hi) = report.footprint;
+        for r in &recs_i {
+            if let Some(m) = r.mem {
+                prop_assert!(
+                    m.addr >= lo && m.addr + u64::from(m.size) <= hi,
+                    "access {:#x}+{} outside static footprint [{:#x}, {:#x})",
+                    m.addr, m.size, lo, hi
+                );
+            }
+        }
+
+        // The same bounds hold when the watchdog slices the block
+        // engine mid-block: pausing and resuming must not manufacture
+        // instructions outside the static budget.
+        let (out_b, recs_b, _) = run_block(&program, slice);
+        let out_b = out_b.expect("non-oob programs halt");
+        prop_assert!(out_b.instructions >= report.inst_min);
+        prop_assert!(out_b.instructions <= max);
+        for r in &recs_b {
+            if let Some(m) = r.mem {
+                prop_assert!(m.addr >= lo && m.addr + u64::from(m.size) <= hi);
+            }
+        }
+    }
+
+    /// Faulting runs stay within the static *upper* bound too (the
+    /// budget bounds any run, not just halting ones), and the analyzer
+    /// must flag the faulting walk as possibly out of segment.
+    #[test]
+    fn static_budget_bounds_faulting_runs(
+        iters in 2u64..40,
+        ops in proptest::collection::vec(0u8..12, 4),
+        cond_sel in 0u8..4,
+        call_sel in 0u8..2,
+        stride in 1u64..4,
+        slice in 1u64..23,
+    ) {
+        let program = gen_program(iters, &ops, cond_sel, call_sel == 1, stride, true);
+        let report = program.analyze().expect("generated programs verify");
+        prop_assert!(
+            report.sites.iter().any(|s| s.may_exceed),
+            "an out-of-bounds walk must be flagged may_exceed"
+        );
+        let (out_i, _, _) = run_inst(&program);
+        prop_assert!(matches!(out_i, Err(VmError::MemOutOfBounds { .. })));
+        if let Some(max) = report.inst_max {
+            // The faulting run stopped early; its executed count still
+            // respects the budget — under slicing as well.
+            let (_, recs_b, _) = run_block(&program, slice);
+            prop_assert!(recs_b.len() as u64 <= max);
+        }
+    }
+
     #[test]
     fn characterized_features_are_bit_identical(
         iters in 1u64..40,

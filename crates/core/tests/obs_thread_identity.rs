@@ -47,6 +47,19 @@ fn structural_manifest_is_byte_identical_across_thread_counts() {
     );
     assert!(slices > 0 && slices <= blocks);
 
+    // The static pre-flight contributes a named structural section: one
+    // entry per benchmark with the analyzer's bounds. It must be inside
+    // the structural prefix (and therefore thread-identical below).
+    assert!(
+        structural_prefix(&m1).contains("\"static_analysis\""),
+        "static_analysis section missing from the structural prefix"
+    );
+    assert!(structural_prefix(&m1).contains("\"BMW/"));
+    assert!(
+        reg.counter_value("static.benchmarks.analyzed").unwrap_or(0) > 0,
+        "static pre-flight did not run"
+    );
+
     let m2 = study_manifest(2);
     let m4 = study_manifest(4);
     assert_eq!(

@@ -124,6 +124,16 @@ pub fn event(scope: &str, what: &str) {
     }
 }
 
+/// Sets `key` within a named structural manifest section (see
+/// [`Registry::section_set`]); sections render between `events` and
+/// `timings`. No-op without a subscriber.
+#[inline]
+pub fn section_set(section: &str, key: &str, value: Json) {
+    if let Some(reg) = registry() {
+        reg.section_set(section, key, value);
+    }
+}
+
 /// Marks the start of a pipeline stage (see [`Registry::set_stage`]).
 /// No-op without a subscriber.
 #[inline]

@@ -85,6 +85,17 @@ pub fn manifest(reg: &Registry, config: &[(String, Json)], include_timings: bool
             .collect();
         doc.push(("events".into(), Json::Obj(events)));
 
+        // Named structural sections (e.g. `static_analysis`) render as
+        // top-level objects after the fixed keys, still ahead of
+        // `timings` so they stay inside the golden-comparable prefix.
+        for (name, entries) in &snap.sections {
+            let obj = entries
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            doc.push((name.clone(), Json::Obj(obj)));
+        }
+
         if include_timings {
             let mut timings: Vec<(String, Json)> = vec![
                 ("stage".into(), Json::Str(snap.stage.clone())),
@@ -190,6 +201,28 @@ mod tests {
         let structural = manifest_json(&build(), &config, false);
         assert!(!structural.contains("timings"));
         assert_eq!(structural_prefix(&structural), structural.as_str());
+    }
+
+    #[test]
+    fn named_sections_render_between_events_and_timings() {
+        let reg = Registry::new();
+        reg.event("suite/bench", "characterized");
+        reg.section_set(
+            "static_analysis",
+            "suite/bench",
+            Json::Obj(vec![("inst_max".into(), Json::U64(10))]),
+        );
+        reg.section_set("static_analysis", "suite/bench", Json::U64(7));
+        let doc = manifest_json(&reg, &[], true);
+        let ev = doc.find("\"events\"").expect("events key");
+        let sec = doc.find("\"static_analysis\"").expect("section key");
+        let tim = doc.find("\"timings\"").expect("timings key");
+        assert!(
+            ev < sec && sec < tim,
+            "sections sit between events and timings"
+        );
+        // Last write wins, and the section stays in the structural prefix.
+        assert!(structural_prefix(&doc).contains("\"suite/bench\": 7"));
     }
 
     #[test]

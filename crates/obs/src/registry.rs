@@ -13,6 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
+use crate::json::Json;
+
 /// Determinism class of a metric. See DESIGN.md §13.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Class {
@@ -174,6 +176,7 @@ struct Inner {
     histograms: BTreeMap<String, (Class, Histogram)>,
     series: BTreeMap<String, (Class, Vec<f64>)>,
     events: BTreeMap<String, Vec<String>>,
+    sections: BTreeMap<String, BTreeMap<String, Json>>,
     spans: BTreeMap<String, SpanAgg>,
     stage: String,
     stage_rss: BTreeMap<String, u64>,
@@ -271,6 +274,21 @@ impl Registry {
             .push(what.to_string());
     }
 
+    /// Sets `key` within the named structural manifest section.
+    /// Sections render as top-level manifest objects between `events`
+    /// and `timings`, so their entries — like any Structural metric —
+    /// must be deterministic across thread counts. Keys within a
+    /// section and sections themselves render in sorted order;
+    /// re-setting a key overwrites it (last write wins).
+    pub fn section_set(&self, section: &str, key: &str, value: Json) {
+        let mut inner = self.lock();
+        inner
+            .sections
+            .entry(section.to_string())
+            .or_default()
+            .insert(key.to_string(), value);
+    }
+
     /// Marks the start of a pipeline stage. The peak RSS observed so
     /// far is attributed to the stage being left (if any), so each
     /// stage records the high-water mark up to its end.
@@ -332,6 +350,7 @@ impl Registry {
                 .collect(),
             series: inner.series.clone(),
             events: inner.events.clone(),
+            sections: inner.sections.clone(),
             spans: inner.spans.clone(),
             stage: inner.stage.clone(),
             stage_rss: inner.stage_rss.clone(),
@@ -348,6 +367,7 @@ pub(crate) struct Snapshot {
     pub histograms: BTreeMap<String, (Class, HistogramSnapshot)>,
     pub series: BTreeMap<String, (Class, Vec<f64>)>,
     pub events: BTreeMap<String, Vec<String>>,
+    pub sections: BTreeMap<String, BTreeMap<String, Json>>,
     pub spans: BTreeMap<String, SpanAgg>,
     pub stage: String,
     pub stage_rss: BTreeMap<String, u64>,

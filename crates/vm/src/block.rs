@@ -202,8 +202,30 @@ pub struct CompiledProgram {
 impl CompiledProgram {
     /// Pre-decodes `program` into basic blocks.
     pub fn compile(program: &Program) -> Self {
+        Self::compile_inner(program, &[])
+    }
+
+    /// Pre-decodes `program` like [`CompiledProgram::compile`], but
+    /// skips decode work for `dead` pcs: their body/terminator/template
+    /// entries become `nop` placeholders. Sound only for pcs proven
+    /// unreachable (the `dead` set of
+    /// [`Program::analyze`](crate::Program::analyze)): block boundaries
+    /// are kept from the original code, and because a live pc implies
+    /// its whole remaining straight-line run is live, every run that can
+    /// actually be entered decodes exactly as under `compile`.
+    pub fn compile_pruned(program: &Program, dead: &[u32]) -> Self {
+        Self::compile_inner(program, dead)
+    }
+
+    fn compile_inner(program: &Program, dead: &[u32]) -> Self {
         let code = program.code();
         let n = code.len();
+        let mut is_dead = vec![false; n];
+        for &d in dead {
+            if (d as usize) < n {
+                is_dead[d as usize] = true;
+            }
+        }
 
         // Leader analysis, as in the verifier's CFG construction: pc 0,
         // every direct control-transfer target, and every instruction
@@ -243,6 +265,7 @@ impl CompiledProgram {
         let mut term = Vec::with_capacity(n);
         let mut templates = Vec::with_capacity(n);
         for (i, instr) in code.iter().enumerate() {
+            let instr = if is_dead[i] { &Instr::Nop } else { instr };
             body.push(body_of(instr));
             term.push(term_of(instr));
             templates.push(template_of(i as u32, instr));
@@ -874,9 +897,17 @@ mod tests {
         budget: u64,
     ) -> (Result<RunOutcome, VmError>, Vec<phaselab_trace::InstRecord>) {
         let compiled = CompiledProgram::compile(program);
+        records_block_with(program, &compiled, budget)
+    }
+
+    fn records_block_with(
+        program: &Program,
+        compiled: &CompiledProgram,
+        budget: u64,
+    ) -> (Result<RunOutcome, VmError>, Vec<phaselab_trace::InstRecord>) {
         let mut vm = Vm::new(program);
         let mut sink = BlockToInstAdapter::new(VecSink::new());
-        let out = vm.run_blocks(&compiled, &mut sink, budget);
+        let out = vm.run_blocks(compiled, &mut sink, budget);
         sink.finish();
         (out, sink.into_inner().into_records())
     }
@@ -1080,6 +1111,36 @@ mod tests {
         let compiled = CompiledProgram::compile(&other);
         let mut vm = Vm::new(&program);
         let _ = vm.run_blocks(&compiled, &mut CountingBlockSink::new(), 1);
+    }
+
+    #[test]
+    fn pruned_compile_matches_full_compile_on_live_paths() {
+        // A const-folded branch leaves an unreachable tail; pruning its
+        // decode tables must not change what the live path executes or
+        // observes, even when the watchdog slices the run mid-loop.
+        let mut a = Asm::new();
+        a.li(T0, 1);
+        a.li(T1, 0);
+        a.li(T2, 50);
+        a.beq(T0, ZERO, "dead");
+        a.label("loop");
+        a.addi(T1, T1, 1);
+        a.blt(T1, T2, "loop");
+        a.halt();
+        a.label("dead");
+        a.li(T1, 999);
+        a.halt();
+        let program = a.assemble(DataBuilder::new()).unwrap();
+        let report = program.analyze().unwrap();
+        assert!(!report.dead.is_empty());
+
+        let pruned = CompiledProgram::compile_pruned(&program, &report.dead);
+        for budget in [u64::MAX, 7, 1] {
+            let (full_out, full_recs) = records_block(&program, budget);
+            let (pruned_out, pruned_recs) = records_block_with(&program, &pruned, budget);
+            assert_eq!(full_out.unwrap(), pruned_out.unwrap());
+            assert_eq!(full_recs, pruned_recs);
+        }
     }
 
     #[test]

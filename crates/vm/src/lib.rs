@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analyze;
 mod asm;
 mod block;
 mod disasm;
@@ -57,6 +58,7 @@ mod parse;
 mod program;
 mod verify;
 
+pub use analyze::{AccessKind, Lint, LintKind, LoopSummary, MemSite, Severity, StaticReport};
 pub use asm::{regs, Asm};
 pub use block::CompiledProgram;
 pub use error::{AsmError, VmError};

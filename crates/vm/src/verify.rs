@@ -267,15 +267,20 @@ impl Error for VerifyError {}
 /// Register-file dataflow fact: which registers are definitely
 /// initialized on every path, and which integer registers hold a known
 /// constant. `r0` is pinned to initialized-and-zero.
+///
+/// Shared with the [`analyze`](crate::analyze) module: a must-constant
+/// here is a constant on *every* execution reaching the pc, which is
+/// exactly the fact the abstract interpreter folds branches and loop
+/// bounds with.
 #[derive(Clone, PartialEq)]
-struct RegState {
+pub(crate) struct RegState {
     init_i: u32,
     init_f: u32,
     consts: [Option<u64>; 32],
 }
 
 impl RegState {
-    fn entry() -> Self {
+    pub(crate) fn entry() -> Self {
         let mut consts = [None; 32];
         consts[0] = Some(0);
         RegState {
@@ -287,7 +292,7 @@ impl RegState {
 
     /// Must-analysis meet: intersect init sets, keep only agreeing
     /// constants. Returns `true` if `self` changed.
-    fn meet(&mut self, other: &RegState) -> bool {
+    pub(crate) fn meet(&mut self, other: &RegState) -> bool {
         let mut changed = false;
         let ii = self.init_i & other.init_i;
         let fi = self.init_f & other.init_f;
@@ -305,7 +310,7 @@ impl RegState {
         changed
     }
 
-    fn const_of(&self, r: IReg) -> Option<u64> {
+    pub(crate) fn const_of(&self, r: IReg) -> Option<u64> {
         self.consts[r.num() as usize]
     }
 
@@ -330,7 +335,7 @@ impl RegState {
     }
 
     /// Applies one instruction's register effects.
-    fn transfer(&mut self, instr: &Instr) {
+    pub(crate) fn transfer(&mut self, instr: &Instr) {
         match *instr {
             Instr::Alu { op, rd, rs1, rs2 } => {
                 let v = match (self.const_of(rs1), self.const_of(rs2)) {
@@ -393,7 +398,7 @@ fn fp_reads(instr: &Instr) -> Vec<FReg> {
 }
 
 /// The memory access an instruction performs, as `(base, offset, size)`.
-fn mem_access(instr: &Instr) -> Option<(IReg, i64, u8)> {
+pub(crate) fn mem_access(instr: &Instr) -> Option<(IReg, i64, u8)> {
     match *instr {
         Instr::Load {
             base,
@@ -425,28 +430,29 @@ fn falls_through(instr: &Instr, callee_returns: impl Fn(u32) -> bool) -> bool {
     }
 }
 
-/// The whole-program control-flow analysis: shared by every pass.
-struct Cfg<'a> {
-    code: &'a [Instr],
-    len: u32,
+/// The whole-program control-flow analysis: shared by every pass (and
+/// by the [`analyze`](crate::analyze) module's deeper ones).
+pub(crate) struct Cfg<'a> {
+    pub(crate) code: &'a [Instr],
+    pub(crate) len: u32,
     /// Statically plausible indirect-jump targets: every `li` immediate
     /// that is a valid instruction index.
-    jr_targets: Vec<u32>,
+    pub(crate) jr_targets: Vec<u32>,
     /// `returns[pc]`: can execution starting at `pc` reach a `ret` of
     /// the *current* frame (calls must return before their fall-through
     /// counts)?
-    returns: Vec<bool>,
+    pub(crate) returns: Vec<bool>,
 }
 
 /// What one intra-frame traversal saw: the frame's reachable `ret`s
 /// and its reachable call sites.
-struct FrameView {
-    rets: Vec<u32>,
-    calls: Vec<(u32, u32)>, // (call pc, target)
+pub(crate) struct FrameView {
+    pub(crate) rets: Vec<u32>,
+    pub(crate) calls: Vec<(u32, u32)>, // (call pc, target)
 }
 
 /// The integer register an instruction writes, if any.
-fn int_write(instr: &Instr) -> Option<IReg> {
+pub(crate) fn int_write(instr: &Instr) -> Option<IReg> {
     match *instr {
         Instr::Alu { rd, .. }
         | Instr::AluImm { rd, .. }
@@ -515,7 +521,7 @@ fn jr_targets(code: &[Instr]) -> Vec<u32> {
 }
 
 impl<'a> Cfg<'a> {
-    fn new(code: &'a [Instr]) -> Self {
+    pub(crate) fn new(code: &'a [Instr]) -> Self {
         let len = code.len() as u32;
         let jr_targets = jr_targets(code);
         let mut cfg = Cfg {
@@ -637,7 +643,7 @@ impl<'a> Cfg<'a> {
     /// Intra-frame traversal from `entry`: follows every edge except
     /// into callees (calls are stepped over when the callee can return)
     /// and stops at `ret`/`halt`.
-    fn frame_view(&self, entry: u32) -> FrameView {
+    pub(crate) fn frame_view(&self, entry: u32) -> FrameView {
         let mut body = vec![false; self.len as usize];
         let mut rets = Vec::new();
         let mut calls = Vec::new();
@@ -677,7 +683,7 @@ impl<'a> Cfg<'a> {
         FrameView { rets, calls }
     }
 
-    fn disasm(&self, pc: u32) -> String {
+    pub(crate) fn disasm(&self, pc: u32) -> String {
         self.code[pc as usize].to_string()
     }
 }
@@ -915,7 +921,7 @@ impl Program {
 /// calling contexts: call sites flow into callee entries, and each
 /// reachable `ret` of a callee flows back to the fall-through of every
 /// call site of that callee.
-fn dataflow(cfg: &Cfg<'_>, views: &BTreeMap<u32, FrameView>) -> Vec<Option<RegState>> {
+pub(crate) fn dataflow(cfg: &Cfg<'_>, views: &BTreeMap<u32, FrameView>) -> Vec<Option<RegState>> {
     let n = cfg.len as usize;
     // ret pc -> every call-site fall-through it can return to.
     let mut ret_edges: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();

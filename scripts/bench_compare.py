@@ -86,6 +86,11 @@ def distill(doc, path):
             out["analysis_rows_per_s"] = rows / (analysis_ms / 1e3)
         gauges = doc["timings"].get("gauges", {})
         out["vm_block_speedup"] = gauges.get("vm.calibrate.block_speedup")
+        out["static_analysis_progs_per_s"] = gauges.get("static.calibrate.progs_per_s")
+        for name, value in gauges.items():
+            if name.startswith("static.calibrate.") and name.endswith("_ms"):
+                pass_name = name.removeprefix("static.calibrate.").removesuffix("_ms")
+                out[f"static_pass_{pass_name}_ms"] = value
         return {k: v for k, v in out.items() if v is not None}
     flat = {k: v for k, v in doc.items() if isinstance(v, (int, float))}
     if not flat:

@@ -8,7 +8,12 @@ count, span timings are non-negative). With `--emit-bench PATH` it
 also distills the headline performance figures into a one-line JSON
 document suitable for CI tracking.
 
-Exit status: 0 when the manifest validates, 1 otherwise.
+With `--diagnostics` the input is instead a diagnostics document from
+`repro lint --json` or `repro --verify-only --json`, validated against
+the shared finding schema: `{schema, programs, clean, findings:
+[{path, pc, instruction, severity, source, kind, message}]}`.
+
+Exit status: 0 when the document validates, 1 otherwise.
 """
 
 import argparse
@@ -44,6 +49,35 @@ REQUIRED_TIMING_KEYS = {
     "gauges": dict,
     "spans": dict,
 }
+
+# Per-benchmark entry schema of the `static_analysis` section (written
+# by the study's static pre-flight): key -> allowed types. `inst_max`
+# and `derived_budget` are null when the analyzer cannot bound a loop
+# (the budget is ⊤); `max_severity` is null for lint-free programs.
+STATIC_ANALYSIS_KEYS = {
+    "inst_min": (int,),
+    "inst_max": (int, type(None)),
+    "derived_budget": (int, type(None)),
+    "dead_pcs": (int,),
+    "mem_sites": (int,),
+    "footprint_bytes": (int,),
+    "lints": (int,),
+    "max_severity": (str, type(None)),
+}
+
+# The shared diagnostics schema of `repro lint --json` and
+# `repro --verify-only --json`.
+FINDING_KEYS = {
+    "path": str,
+    "pc": int,
+    "instruction": str,
+    "severity": str,
+    "source": str,
+    "kind": str,
+    "message": str,
+}
+SEVERITIES = ("deny", "warn", "info")
+SOURCES = ("verify", "lint")
 
 # Counters that are Timing-class by contract: they record operational
 # luck (fault injection, lease takeovers, worker restarts, read
@@ -115,10 +149,73 @@ def validate(manifest):
         if span["self_ms"] > span["total_ms"] + 1e-9:
             fail(f"span `{path}` self time exceeds total: {span}")
 
+    # The `static_analysis` section appears whenever a study ran with
+    # the pre-flight enabled (the default). When present, every entry
+    # must follow the per-benchmark schema, with sound internal bounds.
+    statics = manifest.get("static_analysis")
+    if statics is not None:
+        if not isinstance(statics, dict):
+            fail("`static_analysis` must be an object keyed by suite/bench")
+        for bench, entry in statics.items():
+            for key, types in STATIC_ANALYSIS_KEYS.items():
+                if key not in entry:
+                    fail(f"static_analysis `{bench}` missing `{key}`")
+                if not isinstance(entry[key], types):
+                    fail(f"static_analysis `{bench}` mistyped `{key}`")
+            extra = set(entry) - set(STATIC_ANALYSIS_KEYS)
+            if extra:
+                fail(f"static_analysis `{bench}` has unknown keys {sorted(extra)}")
+            if entry["inst_max"] is not None:
+                if entry["inst_min"] > entry["inst_max"]:
+                    fail(f"static_analysis `{bench}`: inst_min > inst_max")
+                if entry["derived_budget"] is None:
+                    fail(f"static_analysis `{bench}`: finite bound but no budget")
+            if entry["max_severity"] not in (None, *SEVERITIES):
+                fail(f"static_analysis `{bench}`: bad severity {entry['max_severity']!r}")
+
     # The manifest renders timings last so the structural prefix is a
     # clean byte-range cut; enforce that ordering contract here too.
     if list(manifest.keys())[-1] != "timings":
         fail("`timings` must be the last top-level key")
+
+
+def validate_diagnostics(doc):
+    """Validate a `repro lint --json` / `--verify-only --json` document."""
+    if doc.get("schema") != 1:
+        fail(f"diagnostics schema must be 1, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("programs"), int) or doc["programs"] <= 0:
+        fail("`programs` must be a positive integer")
+    findings = doc.get("findings")
+    if not isinstance(findings, list):
+        fail("`findings` must be a list")
+    if doc.get("clean") is not (len(findings) == 0):
+        fail("`clean` must equal `findings == []`")
+    last_rank = 0
+    for i, f in enumerate(findings):
+        for key, ty in FINDING_KEYS.items():
+            if not isinstance(f.get(key), ty):
+                fail(f"finding {i} missing or mistyped `{key}`")
+        extra = set(f) - set(FINDING_KEYS)
+        if extra:
+            fail(f"finding {i} has unknown keys {sorted(extra)}")
+        if f["severity"] not in SEVERITIES:
+            fail(f"finding {i}: bad severity {f['severity']!r}")
+        if f["source"] not in SOURCES:
+            fail(f"finding {i}: bad source {f['source']!r}")
+        if f["pc"] < 0:
+            fail(f"finding {i}: negative pc")
+        if f["path"].count("/") != 2:
+            fail(f"finding {i}: path {f['path']!r} is not suite/bench/input")
+        rank = SEVERITIES.index(f["severity"])
+        if rank < last_rank:
+            fail(f"finding {i}: findings not severity-ranked")
+        last_rank = rank
+    denies = sum(1 for f in findings if f["severity"] == "deny")
+    print(
+        f"check_manifest: diagnostics OK — {doc['programs']} programs, "
+        f"{len(findings)} findings ({denies} deny)"
+    )
+    return denies
 
 
 def emit_bench(manifest, path):
@@ -145,6 +242,16 @@ def emit_bench(manifest, path):
     # pass (lbm behind a trait-object sink under both engines).
     speedup = manifest["timings"]["gauges"].get("vm.calibrate.block_speedup")
 
+    # Static-analyzer throughput and per-pass split, measured by the
+    # calibration pass (full catalog at Tiny, min-of-3).
+    timing_gauges = manifest["timings"]["gauges"]
+    static_progs_per_s = timing_gauges.get("static.calibrate.progs_per_s")
+    static_passes = {
+        f"static_pass_{name.removeprefix('static.calibrate.').removesuffix('_ms')}_ms": value
+        for name, value in timing_gauges.items()
+        if name.startswith("static.calibrate.") and name.endswith("_ms")
+    }
+
     # Analysis-stage throughput: sampled rows swept through the
     # normalize → PCA → score passes per second of the `study/analysis`
     # span. Tracks the streaming-analysis refactor's hot path.
@@ -160,6 +267,8 @@ def emit_bench(manifest, path):
         "analysis_rows_per_s": rows_per_s,
         "vm_inst_per_dispatch": inst_per_dispatch,
         "vm_block_speedup": speedup,
+        "static_analysis_progs_per_s": static_progs_per_s,
+        **static_passes,
         "peak_rss_kb": manifest["timings"]["peak_rss_kb"],
     }
     for key, value in bench.items():
@@ -196,6 +305,12 @@ def main():
         help="also write a one-line benchmark-figures JSON to PATH",
     )
     ap.add_argument(
+        "--diagnostics",
+        action="store_true",
+        help="treat the input as a `repro lint --json` / `--verify-only "
+        "--json` diagnostics document instead of a run manifest",
+    )
+    ap.add_argument(
         "--require-counter",
         metavar="NAME[:MIN]",
         action="append",
@@ -210,6 +325,10 @@ def main():
             manifest = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot read manifest: {e}")
+
+    if args.diagnostics:
+        validate_diagnostics(manifest)
+        return
 
     validate(manifest)
     for spec in args.require_counter:

@@ -231,6 +231,100 @@ fn unarmed_watchdog_never_quarantines_healthy_benchmarks() {
     assert_eq!(armed.clustering.assignments, unarmed.clustering.assignments);
 }
 
+/// The static pre-flight (derived watchdog budgets, dead-code-pruned
+/// block compilation, longest-first shard ordering) must be invisible
+/// in results: analyzer on and off produce bit-identical studies, and
+/// a sound derived budget can never quarantine the benchmark it was
+/// derived from.
+#[test]
+fn static_preflight_leaves_results_bit_identical() {
+    for threads in [1, 4] {
+        let mut on = smoke_cfg(threads);
+        on.static_analysis = true;
+        let r_on = run_study_with(&on, &healthy_benches()).expect("study with analyzer");
+
+        let mut off = smoke_cfg(threads);
+        off.static_analysis = false;
+        let r_off = run_study_with(&off, &healthy_benches()).expect("study without analyzer");
+
+        assert!(
+            r_on.quarantined.is_empty(),
+            "a sound derived budget tripped"
+        );
+        assert_eq!(r_on.sampled, r_off.sampled);
+        assert_eq!(r_on.features, r_off.features);
+        assert_eq!(r_on.clustering.assignments, r_off.clustering.assignments);
+        assert_eq!(r_on.key_characteristics, r_off.key_characteristics);
+        assert_eq!(
+            r_on.benchmarks
+                .iter()
+                .map(|b| b.total_instructions)
+                .collect::<Vec<_>>(),
+            r_off
+                .benchmarks
+                .iter()
+                .map(|b| b.total_instructions)
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+/// An adversarial explicit budget quarantines part of the suite
+/// mid-study — the watchdog slices those runs mid-block before pulling
+/// them. The explicit budget overrides the derived one, so the same
+/// benchmarks must be quarantined, in the same order, and the
+/// survivors characterized bit-identically, whether the analyzer ran
+/// or not.
+#[test]
+fn mid_study_quarantine_is_static_preflight_invariant() {
+    // Pick a budget strictly between the smallest and largest
+    // benchmark so some (but not all) get pulled mid-study.
+    let probe = run_study_with(&smoke_cfg(2), &healthy_benches()).expect("probe study");
+    let mut totals: Vec<u64> = probe
+        .benchmarks
+        .iter()
+        .map(|b| b.total_instructions)
+        .collect();
+    totals.sort_unstable();
+    let budget = totals[totals.len() / 2];
+    assert!(budget > totals[0] && budget < *totals.last().unwrap());
+
+    let mut on = smoke_cfg(2);
+    on.max_inst_per_bench = Some(budget);
+    on.static_analysis = true;
+    let r_on = run_study_with(&on, &healthy_benches()).expect("survivors keep the study alive");
+
+    let mut off = smoke_cfg(2);
+    off.max_inst_per_bench = Some(budget);
+    off.static_analysis = false;
+    let r_off = run_study_with(&off, &healthy_benches()).expect("survivors keep the study alive");
+
+    assert!(
+        !r_on.quarantined.is_empty(),
+        "budget {budget} was chosen to quarantine at least one benchmark"
+    );
+    assert!(r_on.benchmarks.len() < probe.benchmarks.len());
+    assert!(r_on
+        .quarantined
+        .iter()
+        .all(phaselab::QuarantinedBenchmark::is_runaway));
+    assert_eq!(
+        r_on.quarantined
+            .iter()
+            .map(|q| q.name.clone())
+            .collect::<Vec<_>>(),
+        r_off
+            .quarantined
+            .iter()
+            .map(|q| q.name.clone())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(r_on.sampled, r_off.sampled);
+    assert_eq!(r_on.features, r_off.features);
+    assert_eq!(r_on.clustering.assignments, r_off.clustering.assignments);
+    assert_eq!(r_on.key_characteristics, r_off.key_characteristics);
+}
+
 #[test]
 fn quarantine_order_is_deterministic_across_thread_counts() {
     let mut benches = healthy_benches();
