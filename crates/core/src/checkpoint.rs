@@ -917,11 +917,19 @@ impl CheckpointStore {
         name: &str,
     ) -> Option<BenchOutcome> {
         let path = self.benchmark_path(fingerprint, suite, name);
-        let payload = Self::read(&path, KIND_BENCH, fingerprint)?;
+        let Some(payload) = Self::read(&path, KIND_BENCH, fingerprint) else {
+            record_lookup(false);
+            return None;
+        };
         match decode_bench_outcome(&payload) {
-            Ok(outcome) => Some(outcome),
+            Ok(outcome) => {
+                record_lookup(true);
+                touch(&path);
+                Some(outcome)
+            }
             Err(e) => {
                 warn_skip(&path, &e);
+                record_lookup(false);
                 None
             }
         }
@@ -941,14 +949,42 @@ impl CheckpointStore {
     /// unusable (warned, never fatal).
     pub fn load_clustering(&self, fingerprint: u64, restart: usize) -> Option<Clustering> {
         let path = self.clustering_path(fingerprint, restart);
-        let payload = Self::read(&path, KIND_CLUSTERING, fingerprint)?;
+        let Some(payload) = Self::read(&path, KIND_CLUSTERING, fingerprint) else {
+            record_lookup(false);
+            return None;
+        };
         match decode_clustering(&payload) {
-            Ok(c) => Some(c),
+            Ok(c) => {
+                record_lookup(true);
+                touch(&path);
+                Some(c)
+            }
             Err(e) => {
                 warn_skip(&path, &e);
+                record_lookup(false);
                 None
             }
         }
+    }
+}
+
+/// Counts one cache lookup. Timing-class by contract: warmth is
+/// operational luck (a resumed run hits where a fresh one misses), so
+/// the tallies live under `timings.counters` and never perturb the
+/// structural manifest.
+fn record_lookup(hit: bool) {
+    let name = if hit { "cache.hit" } else { "cache.miss" };
+    phaselab_obs::counter_add(name, phaselab_obs::Class::Timing, 1);
+}
+
+/// Best-effort LRU bookkeeping: bumps the entry's modification time so
+/// size-budget eviction (`ResultCache::gc`) evicts least-recently-*used*
+/// entries, not merely least-recently-written ones. Failure is ignored —
+/// recency decay only makes eviction slightly less fair.
+fn touch(path: &Path) {
+    if let Ok(f) = fs::File::options().append(true).open(path) {
+        let now = std::time::SystemTime::now();
+        let _ = f.set_times(fs::FileTimes::new().set_accessed(now).set_modified(now));
     }
 }
 

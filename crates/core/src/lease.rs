@@ -211,7 +211,21 @@ fn write_lease(path: &Path, info: &LeaseInfo) -> io::Result<()> {
 /// two acquirers cannot interleave their read-decide-write sequences.
 /// A lock file older than `ttl` is presumed abandoned by a crashed
 /// acquirer and broken.
-fn with_mutation_lock<T>(path: &Path, ttl: Duration, mutate: impl FnOnce() -> T) -> io::Result<T> {
+///
+/// Public because the result cache reuses the same lock protocol for
+/// its multi-process eviction passes: `path` names the protected
+/// resource (the lock file is `path` with a `.lock` extension), and
+/// any cooperating process taking the same `path` is excluded.
+///
+/// # Errors
+///
+/// `WouldBlock` when the lock stayed busy past `ttl`; otherwise
+/// whatever the lock-file creation produced.
+pub fn with_mutation_lock<T>(
+    path: &Path,
+    ttl: Duration,
+    mutate: impl FnOnce() -> T,
+) -> io::Result<T> {
     let lock = path.with_extension("lock");
     let deadline = Instant::now() + ttl;
     loop {

@@ -1,0 +1,39 @@
+//! `phaselab-serve`: characterization-as-a-service on top of a
+//! spool directory.
+//!
+//! This crate turns the one-shot `repro` study pipeline into a
+//! long-lived, multi-client service without taking on a single
+//! dependency: the queue is a directory of JSON files whose state
+//! machine is made of atomic renames ([`queue`]), jobs are canonical
+//! study specs whose FNV fingerprint doubles as the dedup key
+//! ([`job`]), and the serve loop ([`server`]) admits work under a
+//! concurrency budget, answers duplicate submissions from the first
+//! execution's results, and leaves actual study execution to a
+//! caller-supplied runner.
+//!
+//! The division of labor with its sibling crates:
+//!
+//! * `phaselab-core` owns the checkpoint store, the
+//!   [`ResultCache`](phaselab_core::ResultCache) eviction policy, and
+//!   fault injection — this crate reuses all three.
+//! * `phaselab-obs` provides the counters (`serve.jobs.*`,
+//!   `cache.*`) and the queue-depth gauge the serve loop publishes.
+//! * The `repro` binary supplies the real job runner (each job is a
+//!   child `repro` invocation, so a served study is byte-identical to
+//!   a direct one) and the `serve`/`submit`/`jobs` subcommands.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Job specifications and their canonical JSON + fingerprint.
+pub mod job;
+/// Minimal strict JSON parsing into `phaselab_obs::Json`.
+pub mod json;
+/// The spool-directory queue: submit, claim, complete, recover.
+pub mod queue;
+/// The serve loop: admission, dedup, parking, concurrency budget.
+pub mod server;
+
+pub use job::{JobSpec, SpecError};
+pub use queue::{Claim, CompletionRecord, JobEntry, JobStatus, Queue, QueueDepth};
+pub use server::{results_dir, serve, JobContext, JobRunner, ServeConfig, ServeReport};

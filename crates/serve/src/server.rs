@@ -1,0 +1,432 @@
+//! The serve loop: admits queued jobs under a concurrency budget,
+//! deduplicates identical submissions, and runs everything else
+//! through a caller-supplied job runner.
+//!
+//! # Deduplication contract
+//!
+//! Two submissions with the same [`JobSpec::fingerprint`] are the same
+//! study. The first to be claimed executes; its results land in
+//! `results/j<fingerprint>/` under the queue root. Every later claim
+//! of that fingerprint — whether the original is already done or still
+//! in flight — completes as [`JobStatus::Deduped`] pointing at the
+//! *same* result directory, with zero recharacterization. In-flight
+//! duplicates are *parked*: claimed (so no other server re-runs them),
+//! heartbeated by the serve loop, and completed the moment the
+//! original finishes. If the original fails, parked duplicates fail
+//! with it — re-running an identical spec would fail identically, and
+//! failing fast keeps a poisoned spec from looping.
+//!
+//! # What the server does not do
+//!
+//! Execute studies. The [`JobRunner`] closure owns that (the `repro`
+//! binary runs each job as a child process; tests substitute mocks),
+//! which keeps this crate free of workload or pipeline dependencies
+//! and makes the scheduling logic testable in milliseconds.
+
+use phaselab_core::CancelToken;
+use phaselab_obs as obs;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use crate::job::JobSpec;
+use crate::queue::{Claim, JobStatus, Queue};
+
+/// Serve-loop tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum concurrently executing jobs (parked duplicates do not
+    /// count; they cost no work).
+    pub jobs: usize,
+    /// Exit once the queue is empty and nothing is in flight, instead
+    /// of idling for more submissions. What CI and tests want.
+    pub drain: bool,
+    /// Idle sleep between scheduling passes. Also the heartbeat
+    /// cadence for in-flight and parked claims.
+    pub poll: Duration,
+    /// Claim lease TTL handed to [`Queue::recover`].
+    pub ttl: Duration,
+    /// Per-job wall-clock budget, exposed to the runner as a deadline.
+    pub job_timeout: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            jobs: 2,
+            drain: false,
+            poll: Duration::from_millis(100),
+            ttl: phaselab_core::lease::default_ttl(),
+            job_timeout: None,
+        }
+    }
+}
+
+/// Everything a runner may need besides the spec itself.
+#[derive(Debug, Clone)]
+pub struct JobContext {
+    /// Where this job's report and manifest must land
+    /// (`results/j<fingerprint>` under the queue root).
+    pub results_dir: PathBuf,
+    /// The shared checkpoint store all jobs characterize through.
+    pub store_dir: PathBuf,
+    /// Trips when the server is shutting down; runners should stop
+    /// promptly (kill the child, abandon the study).
+    pub cancel: CancelToken,
+    /// Absolute wall-clock budget for this job, if configured.
+    pub deadline: Option<Instant>,
+}
+
+/// Executes one job: runs the study described by `spec` and writes
+/// `report.txt` (and any manifest) into `ctx.results_dir`. Returns a
+/// short human-readable success detail, or the failure text.
+pub type JobRunner<'a> = dyn Fn(&JobSpec, &JobContext) -> Result<String, String> + Sync + 'a;
+
+/// Tally of one [`serve`] invocation, mirrored into the obs counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Claims taken off the queue (including ones later deduped).
+    pub admitted: u64,
+    /// Claims answered from an identical job's results.
+    pub deduped: u64,
+    /// Jobs that executed and succeeded.
+    pub completed: u64,
+    /// Jobs that executed and failed (parked duplicates of a failed
+    /// job count here too).
+    pub failed: u64,
+    /// Abandoned claims returned to `pending/` by recovery sweeps.
+    pub requeued: u64,
+}
+
+/// The result directory for a fingerprint, under the queue root.
+pub fn results_dir(queue_root: &Path, fingerprint: u64) -> PathBuf {
+    queue_root
+        .join("results")
+        .join(format!("j{fingerprint:016x}"))
+}
+
+/// True when a previous execution of this fingerprint left a report
+/// behind — the cross-restart dedup check.
+fn results_ready(queue_root: &Path, fingerprint: u64) -> bool {
+    results_dir(queue_root, fingerprint)
+        .join("report.txt")
+        .exists()
+}
+
+fn count(name: &str, n: u64) {
+    obs::counter_add(name, obs::Class::Timing, n);
+}
+
+/// Runs the serve loop until cancelled (or, with [`ServeConfig::drain`],
+/// until the queue runs dry).
+///
+/// # Errors
+///
+/// Propagates queue I/O errors (listing failures, completion-record
+/// publish failures). Individual job failures are *not* errors — they
+/// complete their submissions as [`JobStatus::Failed`] and count in
+/// [`ServeReport::failed`].
+pub fn serve(
+    queue: &Queue,
+    cfg: &ServeConfig,
+    cancel: &CancelToken,
+    runner: &JobRunner<'_>,
+) -> io::Result<ServeReport> {
+    let store_dir = queue.root().join("store");
+    let mut report = ServeReport::default();
+    // Claims whose runner thread is executing, by fingerprint.
+    let mut active: HashMap<u64, Claim> = HashMap::new();
+    // Claims waiting on an identical active job, by fingerprint.
+    let mut parked: HashMap<u64, Vec<Claim>> = HashMap::new();
+    let (tx, rx) = mpsc::channel::<(u64, Result<String, String>)>();
+
+    std::thread::scope(|scope| -> io::Result<()> {
+        loop {
+            // 1. Reap finished runners.
+            while let Ok((fp, outcome)) = rx.try_recv() {
+                let claim = active.remove(&fp).expect("finished job was active");
+                let waiters = parked.remove(&fp).unwrap_or_default();
+                match outcome {
+                    Ok(detail) => {
+                        queue.complete(&claim, JobStatus::Completed, &detail)?;
+                        report.completed += 1;
+                        count("serve.jobs.completed", 1);
+                        for dup in waiters {
+                            queue.complete(&dup, JobStatus::Deduped, &detail)?;
+                            report.deduped += 1;
+                            count("serve.jobs.deduped", 1);
+                            count("cache.hit", 1);
+                        }
+                    }
+                    Err(why) => {
+                        queue.complete(&claim, JobStatus::Failed, &why)?;
+                        report.failed += 1;
+                        count("serve.jobs.failed", 1);
+                        let shared = format!("identical job failed: {why}");
+                        for dup in waiters {
+                            queue.complete(&dup, JobStatus::Failed, &shared)?;
+                            report.failed += 1;
+                            count("serve.jobs.failed", 1);
+                        }
+                    }
+                }
+            }
+
+            // 2. Keep other servers' recovery off our live claims.
+            for claim in active.values() {
+                queue.heartbeat(claim);
+            }
+            for dup in parked.values().flatten() {
+                queue.heartbeat(dup);
+            }
+
+            // 3. Requeue claims abandoned by dead/silent servers.
+            let back = queue.recover(cfg.ttl)?;
+            if back > 0 {
+                report.requeued += back as u64;
+                count("serve.jobs.requeued", back as u64);
+            }
+
+            // 4. Admit while the budget allows.
+            if !cancel.is_cancelled() {
+                while active.len() < cfg.jobs {
+                    let Some(claim) = queue.claim_next()? else {
+                        break;
+                    };
+                    report.admitted += 1;
+                    count("serve.jobs.admitted", 1);
+                    let fp = claim.fingerprint;
+                    if results_ready(queue.root(), fp) {
+                        // Same study already served: answer from its
+                        // result directory without touching a worker.
+                        let detail = results_dir(queue.root(), fp).display().to_string();
+                        queue.complete(&claim, JobStatus::Deduped, &detail)?;
+                        report.deduped += 1;
+                        count("serve.jobs.deduped", 1);
+                        count("cache.hit", 1);
+                    } else {
+                        match active.entry(fp) {
+                            Entry::Occupied(_) => {
+                                obs::event("serve", "duplicate parked behind in-flight job");
+                                parked.entry(fp).or_default().push(claim);
+                            }
+                            Entry::Vacant(slot) => {
+                                count("cache.miss", 1);
+                                let ctx = JobContext {
+                                    results_dir: results_dir(queue.root(), fp),
+                                    store_dir: store_dir.clone(),
+                                    cancel: cancel.clone(),
+                                    deadline: cfg.job_timeout.map(|t| Instant::now() + t),
+                                };
+                                std::fs::create_dir_all(&ctx.results_dir)?;
+                                let spec = claim.spec.clone();
+                                slot.insert(claim);
+                                let tx = tx.clone();
+                                scope.spawn(move || {
+                                    let outcome = runner(&spec, &ctx);
+                                    // The receiver outlives every worker; a
+                                    // send failure means the loop already
+                                    // returned an I/O error and is unwinding
+                                    // the scope.
+                                    let _ = tx.send((fp, outcome));
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+
+            let depth = queue.depth()?;
+            obs::gauge_set(
+                "serve.queue.depth",
+                obs::Class::Timing,
+                depth.pending as f64,
+            );
+
+            let idle = active.is_empty() && parked.is_empty();
+            // In drain mode, wait out orphaned running/ entries too:
+            // they are other servers' abandoned claims that recovery
+            // will requeue once their lease expires.
+            if idle
+                && (cancel.is_cancelled()
+                    || (cfg.drain && depth.pending == 0 && depth.running == 0))
+            {
+                return Ok(());
+            }
+            if idle && depth.pending == 0 {
+                std::thread::sleep(cfg.poll);
+            } else {
+                // Short tick: reap promptly, heartbeat often.
+                std::thread::sleep(cfg.poll.min(Duration::from_millis(50)));
+            }
+        }
+    })?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn spec(seed: u64) -> JobSpec {
+        JobSpec {
+            experiment: "table3".to_string(),
+            scale: "tiny".to_string(),
+            interval_len: 20_000,
+            samples: 8,
+            k: 12,
+            seed,
+            engine: "block".to_string(),
+            suites: None,
+            only: vec!["face".to_string()],
+            max_inst_per_bench: None,
+            static_analysis: true,
+            kmeans_batch: None,
+        }
+    }
+
+    fn temp_queue(tag: &str) -> (PathBuf, Queue) {
+        let dir = std::env::temp_dir().join(format!(
+            "phaselab-serve-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let q = Queue::open(&dir).expect("open queue");
+        (dir, q)
+    }
+
+    fn drain_cfg() -> ServeConfig {
+        ServeConfig {
+            jobs: 2,
+            drain: true,
+            poll: Duration::from_millis(5),
+            ttl: Duration::from_mins(1),
+            job_timeout: None,
+        }
+    }
+
+    #[test]
+    fn executes_each_unique_spec_once_and_dedupes_the_rest() {
+        let (dir, q) = temp_queue("dedup");
+        let runs = AtomicU64::new(0);
+        let runner = |s: &JobSpec, ctx: &JobContext| {
+            runs.fetch_add(1, Ordering::SeqCst);
+            fs::create_dir_all(&ctx.results_dir).unwrap();
+            fs::write(
+                ctx.results_dir.join("report.txt"),
+                format!("seed {}", s.seed),
+            )
+            .unwrap();
+            Ok(ctx.results_dir.display().to_string())
+        };
+        let names = [
+            q.submit(&spec(1)).unwrap(),
+            q.submit(&spec(1)).unwrap(), // duplicate of the first
+            q.submit(&spec(2)).unwrap(),
+        ];
+        let report = serve(&q, &drain_cfg(), &CancelToken::new(), &runner).expect("serve");
+        assert_eq!(runs.load(Ordering::SeqCst), 2, "one run per unique spec");
+        assert_eq!(report.admitted, 3);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.deduped, 1);
+        assert_eq!(report.failed, 0);
+        let statuses: Vec<JobStatus> = names
+            .iter()
+            .map(|n| q.read_done(n).expect("done").status)
+            .collect();
+        assert_eq!(
+            statuses
+                .iter()
+                .filter(|s| **s == JobStatus::Deduped)
+                .count(),
+            1
+        );
+        // Both same-fingerprint submissions point at the same results.
+        let d0 = q.read_done(&names[0]).unwrap().detail;
+        let d1 = q.read_done(&names[1]).unwrap().detail;
+        assert_eq!(d0, d1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn dedupes_across_server_restarts_from_the_result_directory() {
+        let (dir, q) = temp_queue("restart");
+        let fp = spec(1).fingerprint();
+        fs::create_dir_all(results_dir(q.root(), fp)).unwrap();
+        fs::write(results_dir(q.root(), fp).join("report.txt"), "prior run").unwrap();
+        q.submit(&spec(1)).unwrap();
+        let runner = |_: &JobSpec, _: &JobContext| -> Result<String, String> {
+            panic!("nothing should execute");
+        };
+        let report = serve(&q, &drain_cfg(), &CancelToken::new(), &runner).expect("serve");
+        assert_eq!(report.deduped, 1);
+        assert_eq!(report.completed, 0);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn failure_propagates_to_parked_duplicates() {
+        let (dir, q) = temp_queue("fail");
+        q.submit(&spec(3)).unwrap();
+        q.submit(&spec(3)).unwrap();
+        let runner = |_: &JobSpec, _: &JobContext| Err("boom".to_string());
+        let report = serve(&q, &drain_cfg(), &CancelToken::new(), &runner).expect("serve");
+        assert_eq!(report.failed, 2);
+        assert_eq!(report.deduped, 0);
+        for row in q.list().unwrap() {
+            assert_eq!(row.state, "failed");
+        }
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn respects_the_concurrency_budget() {
+        let (dir, q) = temp_queue("budget");
+        let peak = AtomicU64::new(0);
+        let live = AtomicU64::new(0);
+        let runner = |_: &JobSpec, ctx: &JobContext| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(30));
+            live.fetch_sub(1, Ordering::SeqCst);
+            fs::write(ctx.results_dir.join("report.txt"), "ok").unwrap();
+            Ok("ok".to_string())
+        };
+        for seed in 0..5 {
+            q.submit(&spec(seed)).unwrap();
+        }
+        let cfg = ServeConfig {
+            jobs: 2,
+            ..drain_cfg()
+        };
+        let report = serve(&q, &cfg, &CancelToken::new(), &runner).expect("serve");
+        assert_eq!(report.completed, 5);
+        assert!(peak.load(Ordering::SeqCst) <= 2, "budget exceeded");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn cancel_stops_admission_and_returns() {
+        let (dir, q) = temp_queue("cancel");
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        q.submit(&spec(9)).unwrap();
+        let runner = |_: &JobSpec, _: &JobContext| -> Result<String, String> {
+            panic!("cancelled server must not run jobs");
+        };
+        let cfg = ServeConfig {
+            drain: false,
+            ..drain_cfg()
+        };
+        let report = serve(&q, &cfg, &cancel, &runner).expect("serve");
+        assert_eq!(report.admitted, 0);
+        assert_eq!(q.depth().unwrap().pending, 1, "job left for a live server");
+        let _ = fs::remove_dir_all(dir);
+    }
+}

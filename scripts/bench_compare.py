@@ -22,6 +22,12 @@ Typical usage:
     python3 scripts/bench_compare.py BENCH_obs.json target/BENCH_obs.json
     python3 scripts/bench_compare.py old-manifest.json new-manifest.json --noise 0.5
 
+With `--append-history PATH` the candidate's distilled figures are also
+appended to a JSONL history file — one row per commit, stamped with the
+commit hash (`GITHUB_SHA` or `git rev-parse HEAD`) and a UTC timestamp —
+before the comparison runs, so the per-commit trend survives even when
+a regression fails the build.
+
 A metric present on only one side is *asymmetric*: a removed metric
 means the candidate silently lost coverage, a new one means the
 baseline predates it. Both are reported and — unless `--allow-missing`
@@ -36,7 +42,10 @@ unreadable input or no shared metrics).
 """
 
 import argparse
+import datetime
 import json
+import os
+import subprocess
 import sys
 
 # Metrics whose values are bit-deterministic for a fixed workload set:
@@ -106,6 +115,56 @@ def load(path):
         fail(f"cannot read {path}: {e}")
 
 
+def current_commit():
+    """The commit the candidate figures describe: `GITHUB_SHA` in CI,
+    `git rev-parse HEAD` locally, `unknown` outside a checkout."""
+    commit = os.environ.get("GITHUB_SHA")
+    if commit:
+        return commit
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def append_history(path, metrics):
+    """Append one distilled row per commit to a JSONL history file.
+
+    Each row is `{"commit", "recorded_at", **metrics}` on a single
+    line, so the file diffs cleanly and `jq`/pandas read it directly.
+    Re-runs on the same commit are idempotent: if the last row already
+    names this commit the append is skipped."""
+    commit = current_commit()
+    try:
+        with open(path) as f:
+            lines = [line for line in f if line.strip()]
+        if lines and json.loads(lines[-1]).get("commit") == commit:
+            print(f"bench_compare: {path} already has {commit[:12]}, not appending")
+            return
+    except FileNotFoundError:
+        pass
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read history {path}: {e}")
+    row = {
+        "commit": commit,
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        **metrics,
+    }
+    try:
+        with open(path, "a") as f:
+            f.write(json.dumps(row) + "\n")
+    except OSError as e:
+        fail(f"cannot append history {path}: {e}")
+    print(f"bench_compare: appended {commit[:12]} to {path}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline", help="baseline BENCH_obs.json or run manifest")
@@ -130,10 +189,22 @@ def main():
         help="tolerate metrics present in only one document "
         "(default: asymmetric metric sets fail the comparison)",
     )
+    ap.add_argument(
+        "--append-history",
+        metavar="PATH",
+        help="append the candidate's distilled row (plus commit and "
+        "timestamp) to this JSONL file before comparing; idempotent "
+        "per commit",
+    )
     args = ap.parse_args()
 
     base = load(args.baseline)
     cand = load(args.candidate)
+
+    # History is appended before the regression verdict on purpose: a
+    # regressed commit is exactly the row you want on record.
+    if args.append_history:
+        append_history(args.append_history, cand)
 
     shared = sorted(set(base) & set(cand))
     if not shared:

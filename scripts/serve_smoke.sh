@@ -1,0 +1,136 @@
+#!/usr/bin/env sh
+# Smoke test for characterization-as-a-service: three `repro submit`
+# clients (one submitting an exact duplicate) race against one
+# `repro serve` server draining the spool. The duplicate must be
+# deduplicated — zero recharacterization, proven by the server's
+# `serve.jobs.deduped` and `cache.hit` counters — and the served
+# report must be byte-identical to a direct single-process run of the
+# same study. Exercises the real multi-process spool protocol
+# (separate OS client/server/worker processes) that in-process tests
+# cannot.
+set -eu
+
+REPRO="${REPRO:-target/release/repro}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/phaselab-serve-smoke.XXXXXX")"
+QUEUE="$WORK/queue"
+trap 'rm -rf "$WORK"' EXIT
+
+if [ ! -x "$REPRO" ]; then
+    echo "serve_smoke: $REPRO not built (run: cargo build --release -p phaselab-bench --bin repro)" >&2
+    exit 1
+fi
+
+# Sub-scale study: 3 benchmarks, small k — seconds, not minutes.
+ARGS="--scale tiny --interval 20000 --samples 8 --k 12 --seed 0 --only face,finger,jpeg"
+
+echo "serve_smoke: direct single-process baseline"
+PHASELAB_OUT="$WORK/out-direct" $REPRO $ARGS \
+    --metrics-out "$WORK/direct.json" table3 > "$WORK/direct.txt"
+
+echo "serve_smoke: launching 3 submit clients (one duplicate)"
+$REPRO submit $ARGS --queue-dir "$QUEUE" --wait table3 \
+    > "$WORK/client-a.name" 2> "$WORK/client-a.log" &
+CLIENT_A=$!
+$REPRO submit $ARGS --queue-dir "$QUEUE" --wait table3 \
+    > "$WORK/client-dup.name" 2> "$WORK/client-dup.log" &
+CLIENT_DUP=$!
+$REPRO submit $ARGS --seed 1 --queue-dir "$QUEUE" --wait table3 \
+    > "$WORK/client-b.name" 2> "$WORK/client-b.log" &
+CLIENT_B=$!
+
+# Wait for all three submissions to land before starting a draining
+# server, so it cannot exit on a still-filling spool.
+tries=0
+while [ "$(ls "$QUEUE/pending" 2>/dev/null | wc -l)" -lt 3 ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "serve_smoke: FAIL — submissions never landed" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "serve_smoke: serving the spool"
+$REPRO serve --queue-dir "$QUEUE" --jobs 2 --drain \
+    --metrics-out "$WORK/serve.json"
+
+for pid in $CLIENT_A $CLIENT_DUP $CLIENT_B; do
+    if ! wait "$pid"; then
+        echo "serve_smoke: FAIL — a submit client exited non-zero" >&2
+        cat "$WORK"/client-*.log >&2
+        exit 1
+    fi
+done
+echo "serve_smoke: all clients done"
+$REPRO jobs --queue-dir "$QUEUE"
+
+if command -v python3 >/dev/null 2>&1; then
+    # The dedup contract, proven by counters: 3 admissions, 1 deduped,
+    # 1 cache hit — the duplicate performed zero recharacterization.
+    python3 scripts/check_manifest.py "$WORK/serve.json" \
+        --require-counter serve.jobs.admitted:3 \
+        --require-counter serve.jobs.completed:2 \
+        --require-counter serve.jobs.deduped \
+        --require-counter cache.hit
+else
+    echo "serve_smoke: python3 unavailable, skipping manifest validation"
+fi
+
+# The duplicate client must have been answered by the original's job:
+# same fingerprint, hence the same results directory.
+NAME_A="$(cat "$WORK/client-a.name")"
+NAME_DUP="$(cat "$WORK/client-dup.name")"
+FP_A="$(echo "${NAME_A%.json}" | sed 's/.*-//')"
+FP_DUP="$(echo "${NAME_DUP%.json}" | sed 's/.*-//')"
+if [ "$FP_A" != "$FP_DUP" ]; then
+    echo "serve_smoke: FAIL — duplicate fingerprints differ ($FP_A vs $FP_DUP)" >&2
+    exit 1
+fi
+
+# The served report must be byte-identical to the direct run, except
+# the artifact-path lines (the two runs write CSVs under different
+# output dirs).
+SERVED="$QUEUE/results/j$FP_A/report.txt"
+grep -v '^wrote ' "$WORK/direct.txt" > "$WORK/direct.flt"
+grep -v '^wrote ' "$SERVED" > "$WORK/served.flt"
+if ! diff "$WORK/direct.flt" "$WORK/served.flt"; then
+    echo "serve_smoke: FAIL — served report differs from the direct run" >&2
+    exit 1
+fi
+echo "serve_smoke: served report is byte-identical to the direct run"
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$WORK/direct.json" "$QUEUE/results/j$FP_A/manifest.json" <<'EOF'
+import json, sys
+
+direct = json.load(open(sys.argv[1]))
+served = json.load(open(sys.argv[2]))
+
+def structural(doc):
+    """The structural manifest sections. Both runs execute the full
+    study (the served job is a worker child, not a reduce pass), so
+    every structural counter — VM work included — must match exactly.
+    Cache and queue traffic is Timing-class by contract and never
+    appears here; check_manifest.py enforces that separately."""
+    return {
+        section: doc.get(section, {})
+        for section in ("counters", "gauges", "events", "histograms")
+    }
+
+a, b = structural(direct), structural(served)
+if a != b:
+    for section in a:
+        if a[section] != b[section]:
+            keys = sorted(set(a[section]) | set(b[section]))
+            for k in keys:
+                if a[section].get(k) != b[section].get(k):
+                    print(
+                        f"serve_smoke: {section}[{k}]: "
+                        f"direct={a[section].get(k)!r} served={b[section].get(k)!r}",
+                        file=sys.stderr,
+                    )
+    sys.exit("serve_smoke: FAIL — structural manifest sections differ")
+print("serve_smoke: structural manifest sections are identical")
+EOF
+fi
+echo "serve_smoke: OK"
